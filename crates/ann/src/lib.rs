@@ -1,0 +1,72 @@
+//! # c2-ann — the ANN design-space predictor baseline
+//!
+//! The paper's Fig 12 compares APS against "the well-known machine
+//! learning method ANN \[2\]" (Ipek et al., ASPLOS'06): train a neural
+//! network on a growing sample of simulated design points until its
+//! prediction error over the design space reaches a target, and count
+//! how many simulations that took (613 for fluidanimate at 5.96% error
+//! in the paper). This crate provides
+//!
+//! * [`mlp`] — a from-scratch feedforward network (tanh hidden layers,
+//!   linear output) trained with mini-batch SGD + momentum,
+//! * [`protocol`] — the sample-train-evaluate loop that reports the
+//!   number of "simulations" (oracle queries) needed to reach an error
+//!   target.
+//!
+//! ```
+//! use c2_ann::mlp::{Mlp, TrainOptions};
+//!
+//! // Learn y = x0 + x1 on a few points.
+//! let xs: Vec<Vec<f64>> = (0..50)
+//!     .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+//!     .collect();
+//! let ys: Vec<f64> = xs.iter().map(|p| p[0] + p[1]).collect();
+//! let mut net = Mlp::new(&[2, 8, 1], 42);
+//! net.train(&xs, &ys, &TrainOptions::default());
+//! let err = (net.predict(&[3.0, 4.0]) - 7.0).abs();
+//! assert!(err < 1.0, "err = {err}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mlp;
+pub mod protocol;
+
+pub use mlp::{Mlp, TrainOptions};
+pub use protocol::{SampleProtocol, SampleReport};
+
+/// Errors from network construction or the sampling protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A shape or option was invalid.
+    InvalidParameter(&'static str),
+    /// The protocol exhausted its sample budget before reaching the
+    /// error target.
+    BudgetExhausted {
+        /// Samples consumed.
+        samples: usize,
+        /// Best error reached.
+        best_error: f64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            Error::BudgetExhausted {
+                samples,
+                best_error,
+            } => write!(
+                f,
+                "sample budget exhausted after {samples} samples (best error {best_error:.4})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,349 @@
+//! A from-scratch feedforward network: tanh hidden units, linear output,
+//! mini-batch SGD with momentum, z-score input/output normalization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Training options.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 400,
+            learning_rate: 0.02,
+            momentum: 0.9,
+            batch_size: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    // Momentum buffers.
+    vel_w: Vec<f64>,
+    vel_b: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut SmallRng) -> Self {
+        // Xavier-style init.
+        let scale = (2.0 / (inputs + outputs) as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Layer {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+            vel_w: vec![0.0; inputs * outputs],
+            vel_b: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[o];
+            out.push(z);
+        }
+    }
+}
+
+/// The network: `shape = [inputs, hidden..., 1]`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    // Normalization (fit at train time).
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    rng: SmallRng,
+}
+
+impl Mlp {
+    /// Build a network with the given layer sizes. The last entry must
+    /// be 1 (scalar regression) and there must be at least two entries.
+    pub fn new(shape: &[usize], seed: u64) -> Self {
+        assert!(shape.len() >= 2, "need at least input and output layers");
+        assert_eq!(*shape.last().unwrap(), 1, "scalar regression only");
+        assert!(shape.iter().all(|&s| s > 0));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = shape
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            x_mean: vec![0.0; shape[0]],
+            x_std: vec![1.0; shape[0]],
+            y_mean: 0.0,
+            y_std: 1.0,
+            rng,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    fn fit_normalization(&mut self, xs: &[Vec<f64>], ys: &[f64]) {
+        let n = xs.len() as f64;
+        let d = self.input_dim();
+        self.x_mean = vec![0.0; d];
+        self.x_std = vec![0.0; d];
+        for x in xs {
+            for (m, xi) in self.x_mean.iter_mut().zip(x) {
+                *m += xi / n;
+            }
+        }
+        for x in xs {
+            for ((s, xi), m) in self.x_std.iter_mut().zip(x).zip(&self.x_mean) {
+                *s += (xi - m) * (xi - m) / n;
+            }
+        }
+        for s in &mut self.x_std {
+            *s = s.sqrt().max(1e-9);
+        }
+        self.y_mean = ys.iter().sum::<f64>() / n;
+        self.y_std = (ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n)
+            .sqrt()
+            .max(1e-9);
+    }
+
+    fn normalize_x(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.x_mean)
+            .zip(&self.x_std)
+            .map(|((xi, m), s)| (xi - m) / s)
+            .collect()
+    }
+
+    /// Forward pass (normalized domain), returning per-layer activations.
+    fn forward_all(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().unwrap(), &mut buf);
+            let is_output = li + 1 == self.layers.len();
+            let act: Vec<f64> = if is_output {
+                buf.clone()
+            } else {
+                buf.iter().map(|z| z.tanh()).collect()
+            };
+            acts.push(act);
+        }
+        acts
+    }
+
+    /// Predict (denormalized).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim());
+        let xn = self.normalize_x(x);
+        let acts = self.forward_all(&xn);
+        acts.last().unwrap()[0] * self.y_std + self.y_mean
+    }
+
+    /// Train with mini-batch SGD + momentum. Refits normalization.
+    pub fn train(&mut self, xs: &[Vec<f64>], ys: &[f64], opts: &TrainOptions) {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        self.fit_normalization(xs, ys);
+        let xn: Vec<Vec<f64>> = xs.iter().map(|x| self.normalize_x(x)).collect();
+        let yn: Vec<f64> = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let n = xn.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..opts.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..n).rev() {
+                let j = self.rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(opts.batch_size.max(1)) {
+                self.train_batch(&xn, &yn, batch, opts);
+            }
+        }
+    }
+
+    fn train_batch(&mut self, xn: &[Vec<f64>], yn: &[f64], batch: &[usize], opts: &TrainOptions) {
+        let nl = self.layers.len();
+        // Accumulate gradients.
+        let mut grad_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        for &i in batch {
+            let acts = self.forward_all(&xn[i]);
+            // Output delta (MSE, linear output).
+            let mut delta = vec![acts[nl][0] - yn[i]];
+            for li in (0..nl).rev() {
+                let input = &acts[li];
+                let layer = &self.layers[li];
+                for o in 0..layer.outputs {
+                    grad_b[li][o] += delta[o];
+                    for (k, inp) in input.iter().enumerate() {
+                        grad_w[li][o * layer.inputs + k] += delta[o] * inp;
+                    }
+                }
+                if li > 0 {
+                    // Propagate: delta_prev = (W^T delta) * tanh'(a).
+                    let mut prev = vec![0.0; layer.inputs];
+                    for o in 0..layer.outputs {
+                        for k in 0..layer.inputs {
+                            prev[k] += layer.weights[o * layer.inputs + k] * delta[o];
+                        }
+                    }
+                    for (k, p) in prev.iter_mut().enumerate() {
+                        let a = acts[li][k]; // already tanh-activated
+                        *p *= 1.0 - a * a;
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        // Apply with momentum.
+        let scale = opts.learning_rate / batch.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (w, (v, g)) in layer
+                .weights
+                .iter_mut()
+                .zip(layer.vel_w.iter_mut().zip(&grad_w[li]))
+            {
+                *v = opts.momentum * *v - scale * g;
+                *w += *v;
+            }
+            for (b, (v, g)) in layer
+                .biases
+                .iter_mut()
+                .zip(layer.vel_b.iter_mut().zip(&grad_b[li]))
+            {
+                *v = opts.momentum * *v - scale * g;
+                *b += *v;
+            }
+        }
+    }
+
+    /// Mean relative error over a labelled set:
+    /// `mean(|pred − y| / max(|y|, eps))`.
+    pub fn mean_relative_error(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            let p = self.predict(x);
+            total += (p - y).abs() / y.abs().max(1e-12);
+        }
+        total / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        // Keep targets away from zero: mean_relative_error is a relative
+        // metric (as in the paper's 5.96%), undefined at y = 0.
+        let ys: Vec<f64> = xs.iter().map(|p| 2.0 * p[0] - p[1] + 30.0).collect();
+        let mut net = Mlp::new(&[2, 8, 1], 1);
+        net.train(&xs, &ys, &TrainOptions::default());
+        let err = net.mean_relative_error(&xs, &ys);
+        assert!(err < 0.1, "error {err}");
+    }
+
+    #[test]
+    fn learns_mildly_nonlinear_function() {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 200.0;
+                vec![t, 1.0 - t]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|p| (3.0 * p[0]).sin() + p[1] * p[1]).collect();
+        let mut net = Mlp::new(&[2, 16, 16, 1], 7);
+        net.train(
+            &xs,
+            &ys,
+            &TrainOptions {
+                epochs: 800,
+                ..TrainOptions::default()
+            },
+        );
+        // Check on off-grid points.
+        let mut worst = 0.0f64;
+        for i in 0..20 {
+            let t = (i as f64 + 0.5) / 20.0;
+            let y = (3.0 * t).sin() + (1.0 - t) * (1.0 - t);
+            worst = worst.max((net.predict(&[t, 1.0 - t]) - y).abs());
+        }
+        assert!(worst < 0.15, "worst error {worst}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| p[0] * 0.5).collect();
+        let mut a = Mlp::new(&[1, 4, 1], 9);
+        let mut b = Mlp::new(&[1, 4, 1], 9);
+        a.train(&xs, &ys, &TrainOptions::default());
+        b.train(&xs, &ys, &TrainOptions::default());
+        assert_eq!(a.predict(&[5.0]), b.predict(&[5.0]));
+    }
+
+    #[test]
+    fn normalization_handles_large_scales() {
+        // Inputs in the millions, outputs in the 1e-6 range.
+        let xs: Vec<Vec<f64>> = (1..60).map(|i| vec![i as f64 * 1e6]).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| p[0] * 1e-12).collect();
+        let mut net = Mlp::new(&[1, 8, 1], 3);
+        net.train(&xs, &ys, &TrainOptions::default());
+        let err = net.mean_relative_error(&xs, &ys);
+        assert!(err < 0.1, "error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar regression")]
+    fn multi_output_rejected() {
+        Mlp::new(&[2, 4, 3], 0);
+    }
+
+    #[test]
+    fn predict_checks_dimension() {
+        let net = Mlp::new(&[3, 4, 1], 0);
+        assert_eq!(net.input_dim(), 3);
+        let r = std::panic::catch_unwind(|| net.predict(&[1.0]));
+        assert!(r.is_err());
+    }
+}

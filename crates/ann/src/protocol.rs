@@ -1,0 +1,250 @@
+//! The Ipek-style sample-until-accurate protocol (paper Fig 12's "ANN"
+//! bar).
+//!
+//! Starting from a small random sample of the design space, repeatedly
+//! (1) simulate the sampled points (counted — each is one "simulation"),
+//! (2) train the network, (3) measure prediction error over an
+//! evaluation set, and (4) grow the sample until the error target is
+//! met. The number of oracle queries consumed is the statistic the
+//! paper reports (613 simulations at 5.96% error for fluidanimate).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mlp::{Mlp, TrainOptions};
+use crate::{Error, Result};
+
+/// Configuration of the sampling protocol.
+#[derive(Debug, Clone)]
+pub struct SampleProtocol {
+    /// Initial sample size.
+    pub initial_samples: usize,
+    /// Samples added per round.
+    pub step: usize,
+    /// Hard budget on oracle queries.
+    pub max_samples: usize,
+    /// Mean-relative-error target (e.g. 0.0596 for the paper's 5.96%).
+    pub error_target: f64,
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Training options per round.
+    pub train: TrainOptions,
+    /// RNG seed (sampling order and network init).
+    pub seed: u64,
+}
+
+impl Default for SampleProtocol {
+    fn default() -> Self {
+        SampleProtocol {
+            initial_samples: 16,
+            step: 16,
+            max_samples: 4096,
+            error_target: 0.0596,
+            hidden: vec![16, 16],
+            train: TrainOptions::default(),
+            seed: 0xA11,
+        }
+    }
+}
+
+/// Result of a protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleReport {
+    /// Oracle queries (simulations) consumed.
+    pub simulations: usize,
+    /// Rounds of training performed.
+    pub rounds: usize,
+    /// Final mean relative error on the evaluation set.
+    pub final_error: f64,
+    /// Error after each round (for convergence plots).
+    pub error_history: Vec<f64>,
+}
+
+impl SampleProtocol {
+    /// Run the protocol.
+    ///
+    /// * `space` — every candidate design point (feature vectors);
+    /// * `oracle` — the simulator: maps a design point to its measured
+    ///   performance (each call is counted as one simulation);
+    /// * `eval_truth` — ground-truth labels for the whole space, used
+    ///   only to *measure* the error (the paper obtained these from its
+    ///   exhaustive 10⁶-point sweep).
+    pub fn run<F>(&self, space: &[Vec<f64>], mut oracle: F, eval_truth: &[f64]) -> Result<SampleReport>
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        if space.is_empty() || space.len() != eval_truth.len() {
+            return Err(Error::InvalidParameter(
+                "space and eval_truth must be equal-length and non-empty",
+            ));
+        }
+        if self.initial_samples == 0 || self.step == 0 {
+            return Err(Error::InvalidParameter("initial_samples and step must be positive"));
+        }
+        if !(self.error_target > 0.0) {
+            return Err(Error::InvalidParameter("error_target must be positive"));
+        }
+        let dim = space[0].len();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Random sampling order over the space (without replacement).
+        let mut order: Vec<usize> = (0..space.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let budget = self.max_samples.min(space.len());
+
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut consumed = 0usize;
+        let mut rounds = 0usize;
+        let mut history = Vec::new();
+        let mut shape = vec![dim];
+        shape.extend(&self.hidden);
+        shape.push(1);
+
+        loop {
+            let want = if rounds == 0 {
+                self.initial_samples
+            } else {
+                self.step
+            };
+            let take = want.min(budget - consumed);
+            if take == 0 {
+                let best = history.iter().copied().fold(f64::INFINITY, f64::min);
+                return Err(Error::BudgetExhausted {
+                    samples: consumed,
+                    best_error: best,
+                });
+            }
+            for &idx in &order[consumed..consumed + take] {
+                xs.push(space[idx].clone());
+                ys.push(oracle(&space[idx]));
+            }
+            consumed += take;
+            rounds += 1;
+
+            let mut net = Mlp::new(&shape, self.seed.wrapping_add(rounds as u64));
+            net.train(&xs, &ys, &self.train);
+            let err = net.mean_relative_error(space, eval_truth);
+            history.push(err);
+            if err <= self.error_target {
+                return Ok(SampleReport {
+                    simulations: consumed,
+                    rounds,
+                    final_error: err,
+                    error_history: history,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth synthetic "design space": performance as a function of
+    /// two knobs, shaped like a DSE response surface.
+    fn surface(p: &[f64]) -> f64 {
+        10.0 + 3.0 * p[0] - 2.0 * p[1] + 0.5 * p[0] * p[1]
+    }
+
+    fn grid_space() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut space = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                space.push(vec![i as f64 / 19.0, j as f64 / 19.0]);
+            }
+        }
+        let truth = space.iter().map(|p| surface(p)).collect();
+        (space, truth)
+    }
+
+    #[test]
+    fn converges_on_smooth_surface() {
+        let (space, truth) = grid_space();
+        let proto = SampleProtocol {
+            error_target: 0.05,
+            ..SampleProtocol::default()
+        };
+        let mut calls = 0usize;
+        let report = proto
+            .run(
+                &space,
+                |p| {
+                    calls += 1;
+                    surface(p)
+                },
+                &truth,
+            )
+            .unwrap();
+        assert_eq!(report.simulations, calls);
+        assert!(report.final_error <= 0.05);
+        // It should need far fewer samples than the whole space.
+        assert!(report.simulations < space.len() / 2, "{}", report.simulations);
+        assert_eq!(report.error_history.len(), report.rounds);
+    }
+
+    #[test]
+    fn tighter_target_needs_more_samples() {
+        let (space, truth) = grid_space();
+        let loose = SampleProtocol {
+            error_target: 0.2,
+            ..SampleProtocol::default()
+        };
+        let tight = SampleProtocol {
+            error_target: 0.02,
+            train: TrainOptions {
+                epochs: 600,
+                ..TrainOptions::default()
+            },
+            ..SampleProtocol::default()
+        };
+        let r_loose = loose.run(&space, |p| surface(p), &truth).unwrap();
+        let r_tight = tight.run(&space, |p| surface(p), &truth).unwrap();
+        assert!(
+            r_tight.simulations >= r_loose.simulations,
+            "tight {} vs loose {}",
+            r_tight.simulations,
+            r_loose.simulations
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let (space, truth) = grid_space();
+        let proto = SampleProtocol {
+            error_target: 1e-12, // unreachable
+            max_samples: 64,
+            ..SampleProtocol::default()
+        };
+        let err = proto.run(&space, |p| surface(p), &truth).unwrap_err();
+        assert!(matches!(err, Error::BudgetExhausted { samples: 64, .. }));
+    }
+
+    #[test]
+    fn input_validation() {
+        let proto = SampleProtocol::default();
+        assert!(proto.run(&[], |_| 0.0, &[]).is_err());
+        let space = vec![vec![0.0]];
+        assert!(proto.run(&space, |_| 0.0, &[1.0, 2.0]).is_err());
+        let bad = SampleProtocol {
+            initial_samples: 0,
+            ..SampleProtocol::default()
+        };
+        assert!(bad.run(&space, |_| 0.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (space, truth) = grid_space();
+        let proto = SampleProtocol {
+            error_target: 0.1,
+            ..SampleProtocol::default()
+        };
+        let a = proto.run(&space, |p| surface(p), &truth).unwrap();
+        let b = proto.run(&space, |p| surface(p), &truth).unwrap();
+        assert_eq!(a, b);
+    }
+}

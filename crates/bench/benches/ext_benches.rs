@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the extension modules: recursive
+//! C-AMAT, energy/asymmetric optimizers, phase detection, the ANN
+//! training round, and trace serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c2_ann::mlp::{Mlp, TrainOptions};
+use c2_bound::asymmetric::AsymmetricModel;
+use c2_bound::energy::{MultiObjective, PowerModel};
+use c2_bound::model::{C2BoundModel, ProgramProfile};
+use c2_camat::hierarchy::{Hierarchy, LevelParams};
+use c2_speedup::scale::ScaleFunction;
+use c2_trace::locality::locality;
+use c2_trace::synthetic::{TraceGenerator, ZipfGenerator};
+use c2_trace::{PhaseConfig, PhaseDetector};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let h = Hierarchy::new(
+        vec![
+            LevelParams::new(3.0, 2.0, 0.05, 2.0, 1.0).unwrap(),
+            LevelParams::new(12.0, 4.0, 0.3, 4.0, 1.0).unwrap(),
+            LevelParams::new(30.0, 8.0, 0.5, 8.0, 1.0).unwrap(),
+        ],
+        50.0,
+    )
+    .unwrap();
+    c.bench_function("camat/hierarchy_3level_recursion", |b| {
+        b.iter(|| black_box(&h).camat())
+    });
+    c.bench_function("camat/hierarchy_sensitivity", |b| {
+        b.iter(|| black_box(&h).sensitivity_to_pmr(0))
+    });
+}
+
+fn model() -> C2BoundModel {
+    let mut m = C2BoundModel::example_big_data();
+    m.program = ProgramProfile::new(1e9, 0.15, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
+    m
+}
+
+fn bench_extension_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    let mo = MultiObjective::new(model(), PowerModel::default(), 0.5, 3e9).unwrap();
+    group.bench_function("multiobjective_optimize", |b| {
+        b.iter(|| mo.optimize().unwrap())
+    });
+    let asym = AsymmetricModel::new(model(), true);
+    group.bench_function("asymmetric_optimize", |b| {
+        b.iter(|| asym.optimize().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_phase_detection(c: &mut Criterion) {
+    let trace = ZipfGenerator::new(0, 1 << 14, 1.1, 40_000, 3).generate();
+    let det = PhaseDetector::new(PhaseConfig {
+        interval_len: 2000,
+        clusters: 4,
+        ..PhaseConfig::default()
+    });
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(20);
+    group.bench_function("phase_detect_40k", |b| {
+        b.iter(|| det.detect(black_box(&trace)).unwrap())
+    });
+    group.bench_function("locality_scores_40k", |b| {
+        b.iter(|| locality(black_box(&trace)))
+    });
+    group.bench_function("io_roundtrip_40k", |b| {
+        b.iter(|| {
+            let s = c2_trace::io::to_string(black_box(&trace));
+            c2_trace::io::from_str(&s).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ann_round(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..256)
+        .map(|i| vec![(i % 16) as f64, (i / 16) as f64])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|p| 50.0 + 3.0 * p[0] - p[1]).collect();
+    let mut group = c.benchmark_group("ann");
+    group.sample_size(10);
+    group.bench_function("train_256x100epochs", |b| {
+        b.iter(|| {
+            let mut net = Mlp::new(&[2, 16, 16, 1], 7);
+            net.train(
+                &xs,
+                &ys,
+                &TrainOptions {
+                    epochs: 100,
+                    ..TrainOptions::default()
+                },
+            );
+            net.predict(&[3.0, 4.0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hierarchy,
+    bench_extension_optimizers,
+    bench_phase_detection,
+    bench_ann_round
+);
+criterion_main!(benches);

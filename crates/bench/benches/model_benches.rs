@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for the analytical side: metric algebra,
+//! objective evaluation, and the optimizer (the components APS runs
+//! thousands of times during a DSE).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c2_bound::dse::{analytic_time, DesignPoint, DesignSpace};
+use c2_bound::model::DesignVariables;
+use c2_bound::optimize::{optimize, optimize_split};
+use c2_camat::detector::CamatDetector;
+use c2_camat::timeline::Timeline;
+use c2_speedup::laws::sun_ni;
+use c2_speedup::scale::ScaleFunction;
+use c2_trace::stats::ReuseProfile;
+use c2_trace::synthetic::{TraceGenerator, ZipfGenerator};
+
+fn bench_camat_measurement(c: &mut Criterion) {
+    let tl = Timeline::paper_fig1();
+    c.bench_function("camat/fig1_measure", |b| {
+        b.iter(|| black_box(&tl).measure())
+    });
+    c.bench_function("camat/fig1_detector_replay", |b| {
+        b.iter(|| CamatDetector::replay(black_box(&tl)))
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let model = c2_bound::C2BoundModel::example_big_data();
+    let v = DesignVariables {
+        n: 64.0,
+        a0: 3.0,
+        a1: 0.5,
+        a2: 1.0,
+    };
+    c.bench_function("model/execution_time_eq10", |b| {
+        b.iter(|| black_box(&model).execution_time(black_box(&v)))
+    });
+    let p = DesignPoint {
+        a0: 3.0,
+        a1: 0.5,
+        a2: 1.0,
+        n: 64,
+        issue_width: 4,
+        rob_size: 128,
+    };
+    c.bench_function("model/analytic_time_discrete", |b| {
+        b.iter(|| analytic_time(black_box(&model), black_box(&p)))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let model = c2_bound::C2BoundModel::example_big_data();
+    c.bench_function("optimize/inner_split_n64", |b| {
+        b.iter(|| optimize_split(black_box(&model), 64.0).unwrap())
+    });
+    let mut group = c.benchmark_group("optimize/full");
+    group.sample_size(10);
+    group.bench_function("two_level", |b| {
+        b.iter(|| optimize(black_box(&model)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sun_ni(c: &mut Criterion) {
+    let g = ScaleFunction::Power(1.5);
+    c.bench_function("speedup/sun_ni_sweep_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=1000 {
+                acc += sun_ni(black_box(0.05), n as f64, &g);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_reuse_profile(c: &mut Criterion) {
+    let trace = ZipfGenerator::new(0, 4096, 1.1, 20_000, 7).generate();
+    let mut group = c.benchmark_group("trace/reuse_profile");
+    group.sample_size(20);
+    group.bench_function("20k_accesses", |b| {
+        b.iter(|| ReuseProfile::compute(black_box(&trace), 64))
+    });
+    group.finish();
+}
+
+fn bench_snap_and_space(c: &mut Criterion) {
+    let space = DesignSpace::paper_scale();
+    c.bench_function("dse/snap", |b| {
+        b.iter(|| black_box(&space).snap(3.3, 0.4, 1.7, 77.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_camat_measurement,
+    bench_objective,
+    bench_optimizer,
+    bench_sun_ni,
+    bench_reuse_profile,
+    bench_snap_and_space
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the simulator and the workload
+//! kernels — the per-simulation cost is what makes the paper's
+//! 10⁶-point exhaustive sweep infeasible and APS valuable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use c2_sim::{ChipConfig, Simulator};
+use c2_trace::synthetic::{RandomGenerator, StridedGenerator, TraceGenerator};
+use c2_workloads::fft::Fft;
+use c2_workloads::stencil::Stencil2D;
+use c2_workloads::tmm::TiledMatMul;
+use c2_workloads::Workload;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+
+    let stream = StridedGenerator::new(0, 64, 5_000).generate();
+    group.bench_function("stream_5k_single_core", |b| {
+        b.iter(|| {
+            Simulator::new(ChipConfig::default_single_core())
+                .run(std::slice::from_ref(black_box(&stream)))
+                .unwrap()
+        })
+    });
+
+    let random = RandomGenerator::new(0, 4 << 20, 5_000, 1).generate();
+    group.bench_function("random_4mib_5k_single_core", |b| {
+        b.iter(|| {
+            Simulator::new(ChipConfig::default_single_core())
+                .run(std::slice::from_ref(black_box(&random)))
+                .unwrap()
+        })
+    });
+
+    let per_core: Vec<c2_trace::Trace> = (0..4)
+        .map(|i| RandomGenerator::new(i << 22, 1 << 20, 2_000, i).generate())
+        .collect();
+    group.bench_function("random_4core_shared_l2", |b| {
+        b.iter(|| {
+            Simulator::new(ChipConfig::default_multi_core(4))
+                .run(black_box(&per_core))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    group.bench_function("tmm_32_traced", |b| {
+        b.iter(|| TiledMatMul::new(32, 8, 1).run())
+    });
+    group.bench_function("fft_1024_traced", |b| {
+        b.iter(|| Fft::new(1024, 1).run())
+    });
+    group.bench_function("stencil_64x64x2_traced", |b| {
+        b.iter(|| Stencil2D::new(64, 64, 2, 1).run())
+    });
+    group.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    let w = TiledMatMul::new(24, 4, 2).generate();
+    let chip = ChipConfig::default_single_core();
+    group.bench_function("tmm24_full_pipeline", |b| {
+        b.iter(|| c2_workloads::characterize(black_box(&w), black_box(&chip)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_kernels, bench_characterization);
+criterion_main!(benches);

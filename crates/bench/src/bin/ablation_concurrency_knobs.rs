@@ -1,0 +1,95 @@
+//! Hardware-concurrency-knob ablation (DESIGN.md §5).
+//!
+//! The paper (§II.A): "C_H can be contributed by caches with multi-port,
+//! multi-bank or pipelined structures. C_M can be contributed by
+//! non-blocking cache structures. In addition, out-of-order execution,
+//! multi-issue pipeline, multi-threading ... can all increase C_H and
+//! C_M." This binary turns each knob on the cycle-level simulator and
+//! reports the *measured* C_H, C_M and C — evidence that the simulator's
+//! concurrency is emergent, not assumed.
+
+use c2_bound::report::{fmt_num, Table};
+use c2_sim::{ChipConfig, Simulator};
+use c2_trace::synthetic::{RandomGenerator, TraceGenerator};
+use c2_trace::Trace;
+
+fn run(config: ChipConfig, trace: &Trace) -> (f64, f64, f64, f64) {
+    let r = Simulator::new(config)
+        .run(std::slice::from_ref(trace))
+        .expect("simulation");
+    let m = &r.cores[0].camat;
+    (
+        m.hit_concurrency,
+        m.pure_miss_concurrency,
+        m.concurrency(),
+        r.ipc(),
+    )
+}
+
+fn main() {
+    c2_bench::header(
+        "Ablation: hardware knobs -> measured memory concurrency",
+        "MSHRs, ROB, issue width and ports all raise C_H/C_M (paper SS II.A)",
+    );
+
+    // A miss-heavy, independent-access workload so concurrency can show.
+    let trace = RandomGenerator::new(0, 16 << 20, 8000, 3)
+        .compute_per_access(1)
+        .generate();
+
+    let base = ChipConfig::default_single_core();
+    let mut variants: Vec<(String, ChipConfig)> = Vec::new();
+
+    let mut blocking = base.clone();
+    blocking.core = c2_sim::CoreConfig::scalar_blocking();
+    blocking.l1.mshr_entries = 1;
+    variants.push(("blocking scalar, 1 MSHR".to_string(), blocking));
+
+    let mut narrow = base.clone();
+    narrow.core.issue_width = 1;
+    narrow.core.rob_size = 16;
+    variants.push(("1-wide, ROB 16".to_string(), narrow));
+
+    let mut few_mshr = base.clone();
+    few_mshr.l1.mshr_entries = 2;
+    variants.push(("4-wide, ROB 128, 2 MSHRs".to_string(), few_mshr));
+
+    variants.push(("4-wide, ROB 128, 8 MSHRs (ref)".to_string(), base.clone()));
+
+    let mut many_mshr = base.clone();
+    many_mshr.l1.mshr_entries = 32;
+    many_mshr.core.rob_size = 256;
+    variants.push(("4-wide, ROB 256, 32 MSHRs".to_string(), many_mshr));
+
+    let mut wide = base.clone();
+    wide.core.issue_width = 8;
+    wide.core.rob_size = 256;
+    wide.l1.mshr_entries = 32;
+    wide.l1.ports = 4;
+    variants.push(("8-wide, ROB 256, 32 MSHRs, 4 ports".to_string(), wide));
+
+    let mut prefetch = base.clone();
+    prefetch.l1.next_line_prefetch = true;
+    variants.push(("reference + next-line prefetch".to_string(), prefetch));
+
+    let mut t = Table::new(vec!["configuration", "C_H", "C_M", "C", "IPC"]);
+    let mut last_c = 0.0;
+    let mut first_c = f64::NAN;
+    for (name, cfg) in variants {
+        let (ch, cm, c, ipc) = run(cfg, &trace);
+        if first_c.is_nan() {
+            first_c = c;
+        }
+        last_c = c;
+        t.row(vec![name, fmt_num(ch), fmt_num(cm), fmt_num(c), fmt_num(ipc)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "concurrency span: C = {} (blocking) to {} (aggressive+prefetch) -> {}x",
+        fmt_num(first_c),
+        fmt_num(last_c),
+        fmt_num(last_c / first_c)
+    );
+    println!("the knobs the paper lists each move the measured C_H/C_M upward;");
+    println!("the C2-Bound model consumes exactly these measured values.");
+}

@@ -1,0 +1,50 @@
+//! Fig 2 — the impact of process-level and memory-level concurrency on
+//! program running time.
+//!
+//! The figure's three subgraphs: (a) p = 1, C = 1; (b) p = N, C = 1;
+//! (c) p = N, C > 1. The shaded *area* (total work) is identical; the
+//! *length* (time) shrinks. We regenerate the widths/lengths from the
+//! model: time = work / (p · rate(C)).
+
+use c2_bound::report::{fmt_num, Table};
+
+fn main() {
+    c2_bench::header(
+        "Fig 2: process-level vs memory-level concurrency",
+        "same work area; time shrinks by p from parallelism and further by memory concurrency C",
+    );
+
+    let work = 1000.0; // abstract operation count
+    let cpi_exe = 1.0;
+    let f_mem = 0.4;
+    let amat = 6.0;
+    let n = 8.0;
+
+    let time = |p: f64, c: f64| work * (cpi_exe + f_mem * amat / c) / p;
+
+    let cases = [
+        ("(a) p = 1, C = 1", 1.0, 1.0),
+        ("(b) p = N, C = 1", n, 1.0),
+        ("(c) p = N, C > 1", n, 4.0),
+    ];
+    let mut t = Table::new(vec!["case", "parallel width", "running time", "operations done"]);
+    for (name, p, c) in cases {
+        let len = time(p, c);
+        // The shaded area — operations done — is the same in all three
+        // subgraphs; only the time axis shrinks.
+        t.row(vec![name.to_string(), fmt_num(p), fmt_num(len), fmt_num(work)]);
+        // ASCII sketch of the shaded rectangle (width ~ time, height ~ p).
+        let cols = (len / time(n, 4.0) * 10.0).round().max(1.0) as usize;
+        for _ in 0..(p as usize).min(8) {
+            println!("  {}", "#".repeat(cols.min(120)));
+        }
+        println!();
+    }
+    println!("{}", t.render());
+    let t_a = time(1.0, 1.0);
+    let t_b = time(n, 1.0);
+    let t_c = time(n, 4.0);
+    println!("speedup (b)/(a) = {} (process concurrency)", fmt_num(t_a / t_b));
+    println!("speedup (c)/(b) = {} (memory concurrency)", fmt_num(t_b / t_c));
+    println!("speedup (c)/(a) = {} (combined)", fmt_num(t_a / t_c));
+}

@@ -1,0 +1,71 @@
+//! Fig 3 — the CMP organization: NoC-connected cores with private L1s,
+//! a shared banked L2, memory controllers and fixed-function logic.
+//!
+//! Rendered from an *optimized* area split: the C²-Bound optimizer
+//! picks (N, A0, A1, A2) and this binary draws the resulting floorplan
+//! with areas to scale.
+
+use c2_bound::optimize::optimize;
+use c2_bound::report::fmt_num;
+
+fn main() {
+    c2_bench::header(
+        "Fig 3: chip multiprocessor floorplan (from the optimized split)",
+        "cores + private caches + shared L2 slices + fixed functions share the die",
+    );
+
+    // Use a workload with g(N) < O(N) so a finite N minimizes T and the
+    // floorplan has an interior optimum (the g >= O(N) case maximizes
+    // W/T and runs to the core-count boundary; see the ablation binary).
+    let mut model = c2_bench::paper_model();
+    model.program.g = c2_speedup::scale::ScaleFunction::Power(0.5);
+    model.program.f_seq = 0.15;
+    let d = optimize(&model).expect("optimization should succeed");
+    let n = d.vars.n.round() as usize;
+    println!(
+        "optimized: N = {n} cores, A0 = {} mm2, A1 = {} mm2, A2 = {} mm2 (per core)",
+        fmt_num(d.vars.a0),
+        fmt_num(d.vars.a1),
+        fmt_num(d.vars.a2)
+    );
+    println!(
+        "die = {} mm2, shared functions Ac = {} mm2, used by cores = {} mm2",
+        fmt_num(model.budget.total_area),
+        fmt_num(model.budget.shared_area),
+        fmt_num(d.vars.n * d.vars.per_core()),
+    );
+    println!();
+
+    // Scale: one text column ~ per-core area / 12.
+    let unit = d.vars.per_core() / 12.0;
+    let w0 = (d.vars.a0 / unit).round().max(1.0) as usize;
+    let w1 = (d.vars.a1 / unit).round().max(1.0) as usize;
+    let w2 = (d.vars.a2 / unit).round().max(1.0) as usize;
+    let tile = format!(
+        "|{}{}{}|",
+        "C".repeat(w0),
+        "1".repeat(w1),
+        "2".repeat(w2)
+    );
+    let per_row = 4.min(n.max(1));
+    println!("per-core tile: C = core (A0), 1 = L1 (A1), 2 = L2 slice (A2)");
+    for row in 0..n.div_ceil(per_row).min(8) {
+        let tiles_in_row = per_row.min(n - row * per_row);
+        println!("  {}", tile.repeat(tiles_in_row));
+    }
+    if n > 32 {
+        println!("  ... ({} more tiles)", n - 32);
+    }
+    println!(
+        "  [{} memory controllers / NoC / test+debug: Ac = {} mm2]",
+        "=".repeat(20),
+        fmt_num(model.budget.shared_area)
+    );
+    println!();
+    println!(
+        "area fractions per core: core {}%, L1 {}%, L2 {}%",
+        fmt_num(100.0 * d.vars.a0 / d.vars.per_core()),
+        fmt_num(100.0 * d.vars.a1 / d.vars.per_core()),
+        fmt_num(100.0 * d.vars.a2 / d.vars.per_core()),
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig 7 — core allocation for multiple tasks in a CMP.
+
+use c2_bound::allocate::{allocate_cores, fig7_apps, total_throughput};
+use c2_bound::report::{fmt_num, Table};
+
+fn main() {
+    c2_bench::header(
+        "Fig 7: core allocation for multiple tasks in a CMP",
+        "high f_seq + low C -> few cores; low f_seq + high C -> many; moderate -> between",
+    );
+
+    let apps = fig7_apps();
+    for total in [16usize, 64, 256] {
+        let alloc = allocate_cores(&apps, total).expect("allocation");
+        let mut t = Table::new(vec!["application", "f_seq", "C", "cores", "throughput"]);
+        for (a, &n) in apps.iter().zip(&alloc) {
+            t.row(vec![
+                a.name.clone(),
+                fmt_num(a.f_seq),
+                fmt_num(a.concurrency),
+                n.to_string(),
+                fmt_num(a.throughput(n)),
+            ]);
+        }
+        println!("total cores = {total}");
+        println!("{}", t.render());
+        let uniform = vec![total / apps.len(); apps.len()];
+        println!(
+            "system throughput: greedy = {}, uniform split = {} (greedy wins: {})",
+            fmt_num(total_throughput(&apps, &alloc)),
+            fmt_num(total_throughput(&apps, &uniform)),
+            total_throughput(&apps, &alloc) >= total_throughput(&apps, &uniform),
+        );
+        println!();
+    }
+}

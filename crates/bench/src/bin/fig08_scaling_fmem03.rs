@@ -1,0 +1,10 @@
+//! Fig 8 — problem size W and execution time T of memory-bounded
+//! scaling (g(N) = N^{3/2}, f_mem = 0.3).
+
+fn main() {
+    c2_bench::run_scaling_figure(
+        "Fig 8: W and T of memory-bounded scaling (g = N^{3/2}, f_mem = 0.3)",
+        0.3,
+        c2_bench::ScalingSeries::SizeAndTime,
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig 9 — problem size W and execution time T of memory-bounded
+//! scaling (g(N) = N^{3/2}, f_mem = 0.9).
+
+fn main() {
+    c2_bench::run_scaling_figure(
+        "Fig 9: W and T of memory-bounded scaling (g = N^{3/2}, f_mem = 0.9)",
+        0.9,
+        c2_bench::ScalingSeries::SizeAndTime,
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig 10 — throughput W/T of memory-bounded scaling
+//! (g(N) = N^{3/2}, f_mem = 0.3).
+
+fn main() {
+    c2_bench::run_scaling_figure(
+        "Fig 10: W/T (g = N^{3/2}, f_mem = 0.3)",
+        0.3,
+        c2_bench::ScalingSeries::Throughput,
+    );
+}

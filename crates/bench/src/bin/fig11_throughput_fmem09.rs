@@ -1,0 +1,10 @@
+//! Fig 11 — throughput W/T of memory-bounded scaling
+//! (g(N) = N^{3/2}, f_mem = 0.9).
+
+fn main() {
+    c2_bench::run_scaling_figure(
+        "Fig 11: W/T (g = N^{3/2}, f_mem = 0.9)",
+        0.9,
+        c2_bench::ScalingSeries::Throughput,
+    );
+}

@@ -1,0 +1,238 @@
+//! Fig 12 — the number of simulations: exhaustive vs ANN vs APS.
+//!
+//! Protocol (see DESIGN.md's substitution table and EXPERIMENTS.md):
+//!
+//! 1. the fluidanimate-like workload is characterized on the reference
+//!    chip and a C²-Bound model is built from the measurement;
+//! 2. the paper-scale design space (6 parameters × 10 values = 10⁶
+//!    points) gets a **ground-truth surface** by running the real
+//!    cycle-level simulator on a 2-per-axis lattice (≤ 64 simulations)
+//!    and interpolating ln(time) multilinearly — the stand-in for the
+//!    paper's 128-Xeon × 4-week exhaustive sweep;
+//! 3. *exhaustive* queries the surface at every feasible point (10⁶
+//!    conceptual simulations);
+//! 4. *APS* pins (A0, A1, A2, N) analytically and simulates only the
+//!    10 × 10 microarchitecture cross — 100 simulations;
+//! 5. *ANN* (Ipek-style) samples-until-accurate at the error APS
+//!    achieved, and we count the simulations it consumed.
+
+use c2_ann::protocol::SampleProtocol;
+use c2_bound::aps::Aps;
+use c2_bound::dse::{simulate_point, DesignPoint, DesignSpace, GroundTruth};
+use c2_bound::report::{fmt_num, Table};
+use c2_bound::Error;
+
+fn position_f(axis: &[f64], v: f64) -> usize {
+    axis.iter()
+        .position(|&x| (x - v).abs() < 1e-9 * x.abs().max(1.0))
+        .expect("value must lie on the axis")
+}
+
+fn position_u(axis: &[usize], v: usize) -> usize {
+    axis.iter().position(|&x| x == v).expect("value on axis")
+}
+
+fn main() {
+    c2_bench::header(
+        "Fig 12: the number of simulation times (fluidanimate case study)",
+        "full space 10^6; ANN needs 613 sims for 5.96% error; APS needs ~10^2 (16.3% of ANN's time)",
+    );
+
+    // --- 1. Characterize the workload, build the model.
+    let workload = c2_bench::fluidanimate_small();
+    let mut model = c2_bench::characterized_model(&workload).expect("characterization");
+    // The case study explores configurations for a *fixed* fluidanimate
+    // input (the paper simulated a fixed 10-billion-instruction run), so
+    // the model runs in the fixed-problem-size regime: g(N) = 1,
+    // minimize T (Fig 6 case II).
+    model.program.g = c2_speedup::scale::ScaleFunction::Constant;
+    println!(
+        "characterized: f_mem = {}, f_seq = {}, C = {}",
+        fmt_num(model.program.f_mem),
+        fmt_num(model.program.f_seq),
+        fmt_num(model.memory.hit_concurrency),
+    );
+
+    // --- 2. Ground-truth surface from real simulator runs.
+    let space = DesignSpace::paper_scale();
+    let area = model.area;
+    let budget = model.budget;
+    println!(
+        "design space: {} points ({} per axis)",
+        space.size(),
+        space.axis_lens()[0]
+    );
+    let t0 = std::time::Instant::now();
+    let mut lattice_sims = 0usize;
+    let gt = GroundTruth::calibrate(&space, 3, |p| {
+        lattice_sims += 1;
+        eprintln!(
+            "  [calibration {lattice_sims}/729] n={} a0={:.2} issue={} rob={} ({:.0} s elapsed)",
+            p.n, p.a0, p.issue_width, p.rob_size, t0.elapsed().as_secs_f64()
+        );
+        simulate_point(p, &workload, &area, &budget)
+    })
+    .expect("calibration");
+    println!(
+        "calibration: {} cycle-level simulations in {:.1} s",
+        lattice_sims,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let index_of = |p: &DesignPoint| -> [usize; 6] {
+        [
+            position_f(&space.a0, p.a0),
+            position_f(&space.a1, p.a1),
+            position_f(&space.a2, p.a2),
+            position_u(&space.n, p.n),
+            position_u(&space.issue, p.issue_width),
+            position_u(&space.rob, p.rob_size),
+        ]
+    };
+
+    // --- 3. Exhaustive search over the surface.
+    let t0 = std::time::Instant::now();
+    let mut best_time = f64::INFINITY;
+    let mut best_idx = [0usize; 6];
+    let mut feasible = 0usize;
+    let mut exhaustive_evals = 0usize;
+    for idx in space.indices() {
+        let p = space.point_at(idx);
+        exhaustive_evals += 1;
+        if !space.feasible(&p, &budget) {
+            continue;
+        }
+        feasible += 1;
+        let t = gt.time_at(idx);
+        if t < best_time {
+            best_time = t;
+            best_idx = idx;
+        }
+    }
+    println!(
+        "exhaustive: {} points evaluated ({} feasible) in {:.1} s; best T = {} cycles at {:?}",
+        exhaustive_evals,
+        feasible,
+        t0.elapsed().as_secs_f64(),
+        fmt_num(best_time),
+        space.point_at(best_idx),
+    );
+
+    // --- 4. APS.
+    let aps = Aps::new(model.clone(), space.clone());
+    let outcome = aps
+        .run(|p| {
+            if !space.feasible(p, &budget) {
+                return Err(Error::Simulation("over budget".into()));
+            }
+            Ok(gt.time_at(index_of(p)))
+        })
+        .expect("APS");
+    let aps_error = outcome.prediction_error;
+    println!(
+        "APS: {} simulations, case {:?}, chosen {:?}",
+        outcome.simulations, outcome.case, outcome.chosen
+    );
+    println!(
+        "APS calibrated prediction error vs simulation: {}% (paper: 5.96%)",
+        fmt_num(100.0 * aps_error)
+    );
+
+    // --- 5. ANN at the same error target.
+    // ANN trains/evaluates on a random feasible subsample of the space
+    // (the full 10^6 would only slow the error evaluation down).
+    let stride = 41;
+    let mut ann_space: Vec<Vec<f64>> = Vec::new();
+    let mut ann_truth: Vec<f64> = Vec::new();
+    for (k, idx) in space.indices().enumerate() {
+        if k % stride != 0 {
+            continue;
+        }
+        let p = space.point_at(idx);
+        if !space.feasible(&p, &budget) {
+            continue;
+        }
+        ann_space.push(p.features());
+        ann_truth.push(gt.time_at(idx));
+    }
+    println!(
+        "ANN evaluation pool: {} feasible points (stride {stride})",
+        ann_space.len()
+    );
+    let protocol = SampleProtocol {
+        error_target: aps_error.max(0.005),
+        initial_samples: 32,
+        step: 32,
+        max_samples: 2048,
+        train: c2_ann::TrainOptions {
+            epochs: 150,
+            ..c2_ann::TrainOptions::default()
+        },
+        ..SampleProtocol::default()
+    };
+    // O(1) feature -> truth lookup (the oracle receives feature vectors).
+    let lut: std::collections::HashMap<Vec<u64>, f64> = ann_space
+        .iter()
+        .zip(&ann_truth)
+        .map(|(f, &t)| (f.iter().map(|v| v.to_bits()).collect(), t))
+        .collect();
+    eprintln!("  [ANN] starting sample-until-accurate protocol");
+    let t0 = std::time::Instant::now();
+    let ann = protocol.run(
+        &ann_space,
+        |feat| {
+            // Each oracle call is one conceptual detailed simulation.
+            let key: Vec<u64> = feat.iter().map(|v| v.to_bits()).collect();
+            *lut.get(&key).expect("feature vector from the pool")
+        },
+        &ann_truth,
+    );
+    let (ann_sims, ann_error) = match &ann {
+        Ok(r) => (r.simulations, r.final_error),
+        Err(c2_ann::Error::BudgetExhausted {
+            samples,
+            best_error,
+        }) => (*samples, *best_error),
+        Err(e) => panic!("ANN protocol failed: {e}"),
+    };
+    println!(
+        "ANN: {} simulations to reach {}% error (target {}%) in {:.1} s",
+        ann_sims,
+        fmt_num(100.0 * ann_error),
+        fmt_num(100.0 * aps_error.max(0.005)),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // --- Fig 12 bars.
+    println!();
+    let mut t = Table::new(vec!["method", "simulations", "paper reports"]);
+    t.row(vec![
+        "full design space".to_string(),
+        exhaustive_evals.to_string(),
+        "1,000,000".to_string(),
+    ]);
+    t.row(vec!["ANN [2]".to_string(), ann_sims.to_string(), "613".to_string()]);
+    t.row(vec![
+        "APS (C2-Bound)".to_string(),
+        outcome.simulations.to_string(),
+        "100".to_string(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "APS / ANN simulation ratio: {}% (paper: 16.3%)",
+        fmt_num(100.0 * outcome.simulations as f64 / ann_sims.max(1) as f64)
+    );
+    let aps_truth = outcome.best_time;
+    println!(
+        "APS regret vs exhaustive optimum: chosen T = {} vs best T = {} ({}%)",
+        fmt_num(aps_truth),
+        fmt_num(best_time),
+        fmt_num(100.0 * (aps_truth - best_time) / best_time)
+    );
+    println!(
+        "design-space narrowing: {} -> {} points ({} orders of magnitude)",
+        exhaustive_evals,
+        outcome.simulations,
+        fmt_num((exhaustive_evals as f64 / outcome.simulations as f64).log10())
+    );
+}

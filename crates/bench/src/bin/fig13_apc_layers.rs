@@ -1,0 +1,70 @@
+//! Fig 13 — the APC values at each layer of the memory hierarchy.
+//!
+//! The paper's point: the gap between on-chip APC (L1/LLC) and DRAM APC
+//! is large, so the binding capacity constraint in C²-Bound is the
+//! *on-chip* memory bound.
+
+use c2_bound::report::{fmt_num, Table};
+use c2_camat::MemoryLayer;
+use c2_sim::{ChipConfig, Simulator};
+use c2_trace::synthetic::{RandomGenerator, TraceGenerator, ZipfGenerator};
+use c2_workloads::fluidanimate::FluidAnimate;
+use c2_workloads::stencil::Stencil2D;
+use c2_workloads::tmm::TiledMatMul;
+use c2_workloads::Workload;
+
+fn main() {
+    c2_bench::header(
+        "Fig 13: APC at each layer of the memory hierarchy",
+        "APC_L1 >> APC_LLC >> APC_DRAM; the on-chip/off-chip gap justifies the on-chip memory bound",
+    );
+
+    let workloads: Vec<(&str, c2_trace::Trace)> = vec![
+        ("tmm (48x48, untiled)", TiledMatMul::new(48, 0, 1).generate().combined()),
+        (
+            "stencil (64x64, 2 sweeps)",
+            Stencil2D::new(64, 64, 2, 2).generate().combined(),
+        ),
+        (
+            "fluidanimate-like",
+            FluidAnimate::new(1500, 12, 1, 3).generate().combined(),
+        ),
+        (
+            "random 8 MiB working set",
+            RandomGenerator::new(0, 8 << 20, 30_000, 4).generate(),
+        ),
+        (
+            "zipf hot/cold",
+            ZipfGenerator::new(0, 1 << 16, 1.1, 30_000, 5).generate(),
+        ),
+    ];
+
+    let mut t = Table::new(vec![
+        "workload",
+        "APC L1",
+        "APC LLC",
+        "APC DRAM",
+        "L1/DRAM gap",
+        "on-chip bound?",
+    ]);
+    for (name, trace) in workloads {
+        let result = Simulator::new(ChipConfig::default_single_core())
+            .run(std::slice::from_ref(&trace))
+            .expect("simulation");
+        let apc = result.layer_apc();
+        let l1 = apc.get(MemoryLayer::L1).map(|a| a.value()).unwrap_or(0.0);
+        let llc = apc.get(MemoryLayer::Llc).map(|a| a.value()).unwrap_or(0.0);
+        let dram = apc.get(MemoryLayer::Dram).map(|a| a.value()).unwrap_or(0.0);
+        let gap = apc.on_chip_to_dram_gap();
+        t.row(vec![
+            name.to_string(),
+            fmt_num(l1),
+            fmt_num(llc),
+            fmt_num(dram),
+            gap.map(fmt_num).unwrap_or_else(|| "n/a".to_string()),
+            (if gap.unwrap_or(0.0) > 10.0 { "yes" } else { "-" }).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("APC = accesses per memory-active cycle at that layer; C-AMAT = 1/APC.");
+}

@@ -1,0 +1,190 @@
+//! # c2-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (under `src/bin/`), plus
+//! Criterion micro-benchmarks (under `benches/`). Each binary prints
+//! the series/rows the paper's figure shows, side by side with the
+//! paper's qualitative claim, so `EXPERIMENTS.md` can record
+//! paper-vs-measured for every experiment:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig01_camat_demo` | Fig 1 — the 5-access C-AMAT worked example |
+//! | `fig02_concurrency_shapes` | Fig 2 — work/time area shapes |
+//! | `fig03_floorplan` | Fig 3 — CMP area split rendering |
+//! | `fig04_detector` | Fig 4 — HCD/MCD online detection |
+//! | `table1_gn_factors` | Table I — g(N) derivations |
+//! | `fig07_core_allocation` | Fig 7 — multi-application allocation |
+//! | `fig08_scaling_fmem03` / `fig09_scaling_fmem09` | Figs 8–9 — W, T vs N |
+//! | `fig10_throughput_fmem03` / `fig11_throughput_fmem09` | Figs 10–11 — W/T vs N |
+//! | `fig12_aps_vs_ann` | Fig 12 — simulation counts (+ §IV error stats) |
+//! | `fig13_apc_layers` | Fig 13 — APC per memory layer |
+//! | `ablation_model_variants` | DESIGN.md §5 — model-term ablations |
+
+use c2_bound::{C2BoundModel, ScalingStudy};
+use c2_workloads::fluidanimate::FluidAnimate;
+use c2_workloads::{characterize, Workload, WorkloadTrace};
+
+/// The reference model used by the figure regenerators.
+pub fn paper_model() -> C2BoundModel {
+    C2BoundModel::example_big_data()
+}
+
+/// The Figs 8–11 scaling study (see `c2_bound::scaling`).
+pub fn paper_scaling_study(f_mem: f64) -> ScalingStudy {
+    ScalingStudy::paper_figs_8_to_11(f_mem).expect("valid study")
+}
+
+/// A small fluidanimate workload for simulator-backed experiments
+/// (scaled to finish in seconds; the full case study uses
+/// [`FluidAnimate::case_study`]).
+pub fn fluidanimate_small() -> WorkloadTrace {
+    FluidAnimate::new(1200, 12, 1, 0x5EED).generate()
+}
+
+/// Characterize a workload on the reference chip and build a model
+/// whose program profile comes from the measurement.
+pub fn characterized_model(workload: &WorkloadTrace) -> c2_bound::Result<C2BoundModel> {
+    let chip = c2_sim::ChipConfig::default_single_core();
+    let ch = characterize(workload, &chip)
+        .map_err(|e| c2_bound::Error::Simulation(e.to_string()))?;
+    let memory = c2_bound::MemoryModel::from_characterization(
+        &ch,
+        chip.l1.size_bytes as f64,
+        chip.l2.size_bytes as f64,
+        0.5,
+        1.0,
+        chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
+        120.0,
+    )?;
+    let program = c2_bound::ProgramProfile::new(
+        ch.instruction_count as f64,
+        ch.f_seq,
+        ch.f_mem,
+        ch.overlap_cm.clamp(0.0, 0.95),
+        c2_speedup::scale::ScaleFunction::Power(1.0),
+    )?;
+    Ok(C2BoundModel::new(
+        program,
+        memory,
+        c2_sim::area::AreaModel::default(),
+        c2_sim::area::SiliconBudget::new(400.0, 40.0)
+            .map_err(|e| c2_bound::Error::Simulation(e.to_string()))?,
+    ))
+}
+
+/// Which series a scaling figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingSeries {
+    /// Figs 8–9: problem size W and execution time T.
+    SizeAndTime,
+    /// Figs 10–11: throughput W/T.
+    Throughput,
+}
+
+/// Shared driver for Figs 8–11: sweep N = 1..1000 at C ∈ {1, 4, 8}.
+pub fn run_scaling_figure(figure: &str, f_mem: f64, series: ScalingSeries) {
+    use c2_bound::report::{fmt_num, render_series, Table};
+
+    let claim = match series {
+        ScalingSeries::SizeAndTime => {
+            "T grows with f_mem; at N = 1000 the speedup of T(C=8) over T(C=1) is very significant"
+        }
+        ScalingSeries::Throughput => {
+            "with C = 1 about a hundred cores saturate W/T; higher C keeps improving and peaks later"
+        }
+    };
+    header(figure, claim);
+    let study = paper_scaling_study(f_mem);
+    let ns = ScalingStudy::paper_n_grid();
+    let sweeps: Vec<(f64, Vec<c2_bound::ScalingPoint>)> = [1.0, 4.0, 8.0]
+        .iter()
+        .map(|&c| (c, study.sweep(&ns, c).expect("sweep")))
+        .collect();
+
+    let mut t = Table::new(vec![
+        "N",
+        "W = g(N)*IC0",
+        "T (C=1)",
+        "T (C=4)",
+        "T (C=8)",
+        "W/T (C=1)",
+        "W/T (C=4)",
+        "W/T (C=8)",
+    ]);
+    for (i, &n) in ns.iter().enumerate() {
+        t.row(vec![
+            fmt_num(n),
+            fmt_num(sweeps[0].1[i].problem_size),
+            fmt_num(sweeps[0].1[i].time),
+            fmt_num(sweeps[1].1[i].time),
+            fmt_num(sweeps[2].1[i].time),
+            fmt_num(sweeps[0].1[i].throughput),
+            fmt_num(sweeps[1].1[i].throughput),
+            fmt_num(sweeps[2].1[i].throughput),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for (c, points) in &sweeps {
+        let series_points: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p.n,
+                    match series {
+                        ScalingSeries::SizeAndTime => p.time,
+                        ScalingSeries::Throughput => p.throughput,
+                    },
+                )
+            })
+            .collect();
+        let label = match series {
+            ScalingSeries::SizeAndTime => format!("T(N) at C = {c} (log-scale bars)"),
+            ScalingSeries::Throughput => format!("W/T at C = {c} (log-scale bars)"),
+        };
+        println!("{}", render_series(&label, "N", "value", &series_points));
+    }
+
+    // Headline shape statistics.
+    let last = ns.len() - 1;
+    let idx100 = ns.iter().position(|&n| n >= 100.0).unwrap_or(last);
+    println!(
+        "T(C=1)/T(C=8) at N=1000: {}",
+        fmt_num(sweeps[0].1[last].time / sweeps[2].1[last].time)
+    );
+    println!(
+        "W/T gain 100 -> 1000 cores: C=1: {}x, C=4: {}x, C=8: {}x",
+        fmt_num(sweeps[0].1[last].throughput / sweeps[0].1[idx100].throughput),
+        fmt_num(sweeps[1].1[last].throughput / sweeps[1].1[idx100].throughput),
+        fmt_num(sweeps[2].1[last].throughput / sweeps[2].1[idx100].throughput),
+    );
+}
+
+/// Print a standard experiment header.
+pub fn header(figure: &str, claim: &str) {
+    println!("================================================================");
+    println!("{figure}");
+    println!("Paper claim: {claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        let m = paper_model();
+        assert!(m.budget.total_area > 0.0);
+        let s = paper_scaling_study(0.3);
+        assert!((s.model.program.f_mem - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterized_model_from_small_workload() {
+        let w = fluidanimate_small();
+        let m = characterized_model(&w).unwrap();
+        assert!(m.program.f_mem > 0.0 && m.program.f_mem < 1.0);
+        assert!(m.program.f_seq > 0.0 && m.program.f_seq < 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! APC — data Accesses Per memory-active Cycle (paper §V, Fig 13).
+//!
+//! APC (Wang & Sun \[27\]) measures a memory layer's delivered performance
+//! as accesses divided by the cycles during which the layer was serving
+//! at least one access. It captures the combined effect of latency and
+//! bandwidth, and relates to C-AMAT by `C-AMAT = 1/APC`. The paper's
+//! Fig 13 plots APC at each layer of the hierarchy (L1, LLC, DRAM) to
+//! argue that the dominant bound is the *on-chip* memory bound.
+
+use crate::timeline::CamatMeasurement;
+
+/// A layer of the memory hierarchy, ordered from closest to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoryLayer {
+    /// Private L1 cache.
+    L1,
+    /// Private or clustered L2 cache.
+    L2,
+    /// Last-level cache (shared).
+    Llc,
+    /// Off-chip main memory.
+    Dram,
+}
+
+impl MemoryLayer {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryLayer::L1 => "L1",
+            MemoryLayer::L2 => "L2",
+            MemoryLayer::Llc => "LLC",
+            MemoryLayer::Dram => "DRAM",
+        }
+    }
+
+    /// Whether the layer is on-chip (the paper's "on-chip memory bound"
+    /// covers every layer except DRAM).
+    pub fn is_on_chip(self) -> bool {
+        !matches!(self, MemoryLayer::Dram)
+    }
+}
+
+/// An APC observation: accesses served and memory-active cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Apc {
+    /// Accesses served by the layer.
+    pub accesses: u64,
+    /// Cycles during which the layer had at least one access in flight.
+    pub active_cycles: u64,
+}
+
+impl Apc {
+    /// Construct from raw counters.
+    pub fn new(accesses: u64, active_cycles: u64) -> Self {
+        Apc {
+            accesses,
+            active_cycles,
+        }
+    }
+
+    /// `APC = accesses / active cycles`; `0` if the layer was never active.
+    pub fn value(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.active_cycles as f64
+        }
+    }
+
+    /// `C-AMAT = 1/APC` for this layer; infinite if APC is zero.
+    pub fn camat(&self) -> f64 {
+        let v = self.value();
+        if v == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / v
+        }
+    }
+
+    /// Merge two observation windows.
+    pub fn merge(&self, other: &Apc) -> Apc {
+        Apc {
+            accesses: self.accesses + other.accesses,
+            active_cycles: self.active_cycles + other.active_cycles,
+        }
+    }
+}
+
+impl From<&CamatMeasurement> for Apc {
+    fn from(m: &CamatMeasurement) -> Self {
+        Apc {
+            accesses: m.accesses,
+            active_cycles: m.memory_active_cycles,
+        }
+    }
+}
+
+/// APC readings per memory layer (the data series of the paper's Fig 13).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerApc {
+    readings: Vec<(MemoryLayer, Apc)>,
+}
+
+impl LayerApc {
+    /// Empty set of readings.
+    pub fn new() -> Self {
+        LayerApc::default()
+    }
+
+    /// Record the APC of a layer (replaces an existing reading).
+    pub fn set(&mut self, layer: MemoryLayer, apc: Apc) {
+        if let Some(slot) = self.readings.iter_mut().find(|(l, _)| *l == layer) {
+            slot.1 = apc;
+        } else {
+            self.readings.push((layer, apc));
+            self.readings.sort_by_key(|(l, _)| *l);
+        }
+    }
+
+    /// Get a layer's reading.
+    pub fn get(&self, layer: MemoryLayer) -> Option<Apc> {
+        self.readings
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|(_, a)| *a)
+    }
+
+    /// All readings, ordered from L1 outward.
+    pub fn readings(&self) -> &[(MemoryLayer, Apc)] {
+        &self.readings
+    }
+
+    /// The gap (ratio) between the innermost on-chip layer and DRAM —
+    /// the "big gap" Fig 13 points at to justify the on-chip bound.
+    pub fn on_chip_to_dram_gap(&self) -> Option<f64> {
+        let dram = self.get(MemoryLayer::Dram)?.value();
+        if dram == 0.0 {
+            return None;
+        }
+        let on_chip = self
+            .readings
+            .iter()
+            .filter(|(l, _)| l.is_on_chip())
+            .map(|(_, a)| a.value())
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })?;
+        Some(on_chip / dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apc_is_accesses_per_active_cycle() {
+        let a = Apc::new(5, 8);
+        assert!((a.value() - 0.625).abs() < 1e-12);
+        assert!((a.camat() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_layer_has_zero_apc_and_infinite_camat() {
+        let a = Apc::new(0, 0);
+        assert_eq!(a.value(), 0.0);
+        assert!(a.camat().is_infinite());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = Apc::new(10, 4).merge(&Apc::new(6, 4));
+        assert_eq!(a.accesses, 16);
+        assert_eq!(a.active_cycles, 8);
+        assert!((a.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_ordering_and_lookup() {
+        let mut l = LayerApc::new();
+        l.set(MemoryLayer::Dram, Apc::new(10, 1000));
+        l.set(MemoryLayer::L1, Apc::new(1000, 500));
+        l.set(MemoryLayer::Llc, Apc::new(100, 400));
+        let layers: Vec<_> = l.readings().iter().map(|(layer, _)| *layer).collect();
+        assert_eq!(
+            layers,
+            vec![MemoryLayer::L1, MemoryLayer::Llc, MemoryLayer::Dram]
+        );
+        assert_eq!(l.get(MemoryLayer::L1).unwrap().accesses, 1000);
+        assert_eq!(l.get(MemoryLayer::L2), None);
+    }
+
+    #[test]
+    fn set_replaces_existing_reading() {
+        let mut l = LayerApc::new();
+        l.set(MemoryLayer::L1, Apc::new(1, 1));
+        l.set(MemoryLayer::L1, Apc::new(2, 1));
+        assert_eq!(l.get(MemoryLayer::L1).unwrap().accesses, 2);
+        assert_eq!(l.readings().len(), 1);
+    }
+
+    #[test]
+    fn gap_compares_best_on_chip_to_dram() {
+        let mut l = LayerApc::new();
+        l.set(MemoryLayer::L1, Apc::new(2000, 1000)); // APC 2.0
+        l.set(MemoryLayer::Llc, Apc::new(500, 1000)); // APC 0.5
+        l.set(MemoryLayer::Dram, Apc::new(10, 1000)); // APC 0.01
+        assert!((l.on_chip_to_dram_gap().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_is_none_without_dram() {
+        let mut l = LayerApc::new();
+        l.set(MemoryLayer::L1, Apc::new(10, 10));
+        assert_eq!(l.on_chip_to_dram_gap(), None);
+    }
+
+    #[test]
+    fn on_chip_classification() {
+        assert!(MemoryLayer::L1.is_on_chip());
+        assert!(MemoryLayer::L2.is_on_chip());
+        assert!(MemoryLayer::Llc.is_on_chip());
+        assert!(!MemoryLayer::Dram.is_on_chip());
+    }
+}

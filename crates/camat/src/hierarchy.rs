@@ -1,0 +1,267 @@
+//! Multi-level (recursive) C-AMAT across a cache hierarchy.
+//!
+//! The paper treats C-AMAT at the L1 and measures APC at every layer
+//! (Fig 13). The C-AMAT framework it builds on (Sun & Wang \[15\], Liu &
+//! Sun \[20\]) defines the recursion that ties the layers together: the
+//! pure-miss penalty seen at level `i` is the *concurrency-discounted*
+//! C-AMAT of level `i+1`,
+//!
+//! ```text
+//! C-AMAT_i = H_i/C_Hi + pMR_i · (κ_i · C-AMAT_{i+1}) / C_Mi
+//! ```
+//!
+//! where `κ_i` (the access-amplification term) converts level-`i+1`
+//! time per *its* access into pure penalty cycles per level-`i` pure
+//! miss. This module implements that recursion and the measurement of
+//! its per-level inputs from simulator layer statistics.
+
+use crate::params::CamatParams;
+use crate::{Error, Result};
+
+/// One level of the recursive model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelParams {
+    /// Hit time `H_i` (cycles).
+    pub hit_time: f64,
+    /// Hit concurrency `C_Hi` (≥ 1).
+    pub hit_concurrency: f64,
+    /// Pure miss rate `pMR_i` at this level (fraction of this level's
+    /// accesses).
+    pub pure_miss_rate: f64,
+    /// Pure-miss concurrency `C_Mi` (≥ 1).
+    pub pure_miss_concurrency: f64,
+    /// Amplification `κ_i`: pure-penalty cycles contributed per unit of
+    /// next-level C-AMAT (≥ 0; 1.0 when each pure miss maps to exactly
+    /// one next-level access with no overlap slack).
+    pub kappa: f64,
+}
+
+impl LevelParams {
+    /// Validated constructor.
+    pub fn new(
+        hit_time: f64,
+        hit_concurrency: f64,
+        pure_miss_rate: f64,
+        pure_miss_concurrency: f64,
+        kappa: f64,
+    ) -> Result<Self> {
+        if !(hit_time > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "hit_time",
+                value: hit_time,
+            });
+        }
+        for (name, v) in [
+            ("hit_concurrency", hit_concurrency),
+            ("pure_miss_concurrency", pure_miss_concurrency),
+        ] {
+            if !(v >= 1.0) {
+                return Err(Error::InvalidParameter { name, value: v });
+            }
+        }
+        if !(0.0..=1.0).contains(&pure_miss_rate) {
+            return Err(Error::InvalidParameter {
+                name: "pure_miss_rate",
+                value: pure_miss_rate,
+            });
+        }
+        if !(kappa >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+            });
+        }
+        Ok(LevelParams {
+            hit_time,
+            hit_concurrency,
+            pure_miss_rate,
+            pure_miss_concurrency,
+            kappa,
+        })
+    }
+}
+
+/// A memory hierarchy described level by level, innermost first, closed
+/// by a flat memory (DRAM) service time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    levels: Vec<LevelParams>,
+    /// C-AMAT of the terminal level (DRAM): its service time per access
+    /// discounted by its own concurrency.
+    memory_camat: f64,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy. `levels` is ordered L1 outward; `memory_camat`
+    /// closes the recursion.
+    pub fn new(levels: Vec<LevelParams>, memory_camat: f64) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "levels",
+                value: 0.0,
+            });
+        }
+        if !(memory_camat > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "memory_camat",
+                value: memory_camat,
+            });
+        }
+        Ok(Hierarchy {
+            levels,
+            memory_camat,
+        })
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// C-AMAT as seen at level `i` (0 = L1). Applies the recursion from
+    /// the outside in.
+    pub fn camat_at(&self, i: usize) -> f64 {
+        assert!(i < self.levels.len());
+        let mut inner = self.memory_camat;
+        for level in self.levels[i..].iter().rev() {
+            let pamp = level.kappa * inner;
+            inner = level.hit_time / level.hit_concurrency
+                + level.pure_miss_rate * pamp / level.pure_miss_concurrency;
+        }
+        inner
+    }
+
+    /// The application-visible C-AMAT (level 0).
+    pub fn camat(&self) -> f64 {
+        self.camat_at(0)
+    }
+
+    /// Per-level C-AMAT series, L1 outward, ending with the memory term
+    /// — the analytical counterpart of the paper's Fig 13 APC profile
+    /// (APC_i = 1 / C-AMAT_i).
+    pub fn camat_profile(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = (0..self.levels.len()).map(|i| self.camat_at(i)).collect();
+        out.push(self.memory_camat);
+        out
+    }
+
+    /// The equivalent single-level [`CamatParams`] at L1 (folding all
+    /// outer levels into the pure-miss penalty).
+    pub fn as_l1_params(&self) -> Result<CamatParams> {
+        let l1 = &self.levels[0];
+        let pamp = if self.levels.len() > 1 {
+            l1.kappa * self.camat_at(1)
+        } else {
+            l1.kappa * self.memory_camat
+        };
+        CamatParams::new(
+            l1.hit_time,
+            l1.hit_concurrency,
+            l1.pure_miss_rate,
+            pamp,
+            l1.pure_miss_concurrency,
+        )
+    }
+
+    /// Sensitivity: the derivative of the L1 C-AMAT with respect to
+    /// level-`i`'s pure miss rate (how much a capacity change at level
+    /// `i` matters upstream). Computed by central finite differences.
+    pub fn sensitivity_to_pmr(&self, i: usize) -> f64 {
+        assert!(i < self.levels.len());
+        let h = 1e-6;
+        let mut up = self.clone();
+        up.levels[i].pure_miss_rate = (up.levels[i].pure_miss_rate + h).min(1.0);
+        let mut down = self.clone();
+        down.levels[i].pure_miss_rate = (down.levels[i].pure_miss_rate - h).max(0.0);
+        (up.camat() - down.camat())
+            / (up.levels[i].pure_miss_rate - down.levels[i].pure_miss_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Hierarchy {
+        Hierarchy::new(
+            vec![
+                // L1: H=3, C_H=2, pMR=0.05, C_M=2, kappa=1
+                LevelParams::new(3.0, 2.0, 0.05, 2.0, 1.0).unwrap(),
+                // L2: H=12, C_H=4, pMR=0.3, C_M=4, kappa=1
+                LevelParams::new(12.0, 4.0, 0.3, 4.0, 1.0).unwrap(),
+            ],
+            // DRAM: ~200 cycles discounted by bank concurrency 4.
+            50.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recursion_matches_manual_expansion() {
+        let h = two_level();
+        let l2 = 12.0 / 4.0 + 0.3 * 50.0 / 4.0; // 3 + 3.75 = 6.75
+        let l1 = 3.0 / 2.0 + 0.05 * l2 / 2.0; // 1.5 + 0.16875
+        assert!((h.camat_at(1) - l2).abs() < 1e-12);
+        assert!((h.camat() - l1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_is_increasing_outward() {
+        // Deeper layers are slower per access: C-AMAT_1 < C-AMAT_2 < mem
+        // (equivalently APC decreases outward — Fig 13's shape).
+        let p = two_level().camat_profile();
+        assert_eq!(p.len(), 3);
+        assert!(p[0] < p[1] && p[1] < p[2], "{p:?}");
+    }
+
+    #[test]
+    fn folding_matches_recursion() {
+        let h = two_level();
+        let folded = h.as_l1_params().unwrap();
+        assert!((folded.value() - h.camat()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_level_hierarchy() {
+        let h = Hierarchy::new(
+            vec![LevelParams::new(2.0, 1.0, 0.1, 1.0, 1.0).unwrap()],
+            100.0,
+        )
+        .unwrap();
+        assert!((h.camat() - (2.0 + 0.1 * 100.0)).abs() < 1e-12);
+        assert_eq!(h.depth(), 1);
+    }
+
+    #[test]
+    fn l1_miss_rate_dominates_sensitivity() {
+        // A change in L1 pMR moves the application-visible C-AMAT far
+        // more than the same change at L2 (it multiplies a bigger term).
+        let h = two_level();
+        let s1 = h.sensitivity_to_pmr(0);
+        let s2 = h.sensitivity_to_pmr(1);
+        assert!(s1 > s2, "s1 {s1} s2 {s2}");
+        assert!(s1 > 0.0 && s2 > 0.0);
+    }
+
+    #[test]
+    fn kappa_scales_the_outer_contribution() {
+        let mut h = two_level();
+        let base = h.camat();
+        h.levels[0].kappa = 2.0;
+        assert!(h.camat() > base);
+        h.levels[0].kappa = 0.0;
+        // With kappa 0 the outer hierarchy vanishes.
+        assert!((h.camat() - 3.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LevelParams::new(0.0, 1.0, 0.1, 1.0, 1.0).is_err());
+        assert!(LevelParams::new(1.0, 0.5, 0.1, 1.0, 1.0).is_err());
+        assert!(LevelParams::new(1.0, 1.0, 1.5, 1.0, 1.0).is_err());
+        assert!(LevelParams::new(1.0, 1.0, 0.1, 1.0, -1.0).is_err());
+        assert!(Hierarchy::new(vec![], 10.0).is_err());
+        let l = LevelParams::new(1.0, 1.0, 0.1, 1.0, 1.0).unwrap();
+        assert!(Hierarchy::new(vec![l], 0.0).is_err());
+    }
+}

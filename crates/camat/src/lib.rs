@@ -1,0 +1,79 @@
+//! # c2-camat — AMAT, C-AMAT and APC metrics (paper §II.A, Figs 1, 4, 13)
+//!
+//! C-AMAT (concurrent average memory access time, Sun & Wang \[15\]) is the
+//! latency half of the C²-Bound model: it extends the classic
+//! `AMAT = H + MR * AMP` with hit concurrency `C_H`, *pure* misses `pMR`
+//! (miss cycles with no overlapping hit activity), pure-miss penalty
+//! `pAMP` and pure-miss concurrency `C_M`:
+//!
+//! ```text
+//! C-AMAT = H / C_H + pMR * pAMP / C_M          (paper Eq. 2)
+//! C      = AMAT / C-AMAT                       (paper Eq. 3)
+//! APC    = 1 / C-AMAT                          (paper §V)
+//! ```
+//!
+//! This crate provides
+//!
+//! * the closed-form parameter structs ([`AmatParams`], [`CamatParams`]),
+//! * a cycle-accurate *timeline* representation from which every
+//!   parameter is measured exactly ([`timeline::Timeline`]) — the
+//!   machinery behind the paper's Fig 1 worked example,
+//! * the HCD/MCD online detector of Fig 4 ([`detector::CamatDetector`]),
+//! * the APC per-layer metric of Fig 13 ([`apc`]),
+//! * the data-stall-time execution model, Eqs. 5–7 ([`stall`]).
+//!
+//! ## The paper's Fig 1 example
+//!
+//! ```
+//! use c2_camat::timeline::Timeline;
+//!
+//! let tl = Timeline::paper_fig1();
+//! let m = tl.measure();
+//! assert!((m.amat() - 3.8).abs() < 1e-12);
+//! assert!((m.camat() - 1.6).abs() < 1e-12);
+//! assert!((m.concurrency() - 3.8 / 1.6).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apc;
+pub mod detector;
+pub mod hierarchy;
+pub mod params;
+pub mod stall;
+pub mod timeline;
+
+pub use apc::{Apc, LayerApc, MemoryLayer};
+pub use detector::{CamatDetector, DetectorReport};
+pub use hierarchy::{Hierarchy, LevelParams};
+pub use params::{AmatParams, CamatParams};
+pub use stall::{cpu_time, data_stall_amat, data_stall_camat, ExecutionTimeModel};
+pub use timeline::{AccessTiming, CamatMeasurement, Timeline};
+
+/// Errors from metric construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter that must be positive (or within a range) was not.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,224 @@
+//! Closed-form AMAT and C-AMAT parameter sets (paper Eqs. 1–3).
+
+use crate::{Error, Result};
+
+/// Parameters of the conventional sequential memory model
+/// `AMAT = H + MR * AMP` (paper Eq. 1, Hennessy & Patterson \[21\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmatParams {
+    /// Hit time in cycles, `H > 0`.
+    pub hit_time: f64,
+    /// Conventional miss rate, `0 <= MR <= 1`.
+    pub miss_rate: f64,
+    /// Average miss penalty in cycles, `AMP >= 0`.
+    pub avg_miss_penalty: f64,
+}
+
+impl AmatParams {
+    /// Validated constructor.
+    pub fn new(hit_time: f64, miss_rate: f64, avg_miss_penalty: f64) -> Result<Self> {
+        if !(hit_time > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "hit_time",
+                value: hit_time,
+            });
+        }
+        if !(0.0..=1.0).contains(&miss_rate) {
+            return Err(Error::InvalidParameter {
+                name: "miss_rate",
+                value: miss_rate,
+            });
+        }
+        if !(avg_miss_penalty >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "avg_miss_penalty",
+                value: avg_miss_penalty,
+            });
+        }
+        Ok(AmatParams {
+            hit_time,
+            miss_rate,
+            avg_miss_penalty,
+        })
+    }
+
+    /// `AMAT = H + MR * AMP` in cycles per access.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.hit_time + self.miss_rate * self.avg_miss_penalty
+    }
+}
+
+/// Parameters of the concurrent memory model
+/// `C-AMAT = H/C_H + pMR * pAMP / C_M` (paper Eq. 2, Sun & Wang \[15\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamatParams {
+    /// Hit time in cycles, `H > 0` (same `H` as in AMAT).
+    pub hit_time: f64,
+    /// Hit concurrency, `C_H >= 1` (multi-port / multi-bank / pipelined
+    /// caches, OoO issue, SMT all raise it).
+    pub hit_concurrency: f64,
+    /// Pure miss rate, `0 <= pMR <= MR` — fraction of accesses with at
+    /// least one miss cycle that overlaps no hit activity.
+    pub pure_miss_rate: f64,
+    /// Average number of pure-miss cycles per pure-miss access.
+    pub pure_avg_miss_penalty: f64,
+    /// Pure-miss concurrency, `C_M >= 1` (non-blocking caches / MSHRs).
+    pub pure_miss_concurrency: f64,
+}
+
+impl CamatParams {
+    /// Validated constructor.
+    pub fn new(
+        hit_time: f64,
+        hit_concurrency: f64,
+        pure_miss_rate: f64,
+        pure_avg_miss_penalty: f64,
+        pure_miss_concurrency: f64,
+    ) -> Result<Self> {
+        if !(hit_time > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "hit_time",
+                value: hit_time,
+            });
+        }
+        if !(hit_concurrency >= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "hit_concurrency",
+                value: hit_concurrency,
+            });
+        }
+        if !(0.0..=1.0).contains(&pure_miss_rate) {
+            return Err(Error::InvalidParameter {
+                name: "pure_miss_rate",
+                value: pure_miss_rate,
+            });
+        }
+        if !(pure_avg_miss_penalty >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "pure_avg_miss_penalty",
+                value: pure_avg_miss_penalty,
+            });
+        }
+        if !(pure_miss_concurrency >= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "pure_miss_concurrency",
+                value: pure_miss_concurrency,
+            });
+        }
+        Ok(CamatParams {
+            hit_time,
+            hit_concurrency,
+            pure_miss_rate,
+            pure_avg_miss_penalty,
+            pure_miss_concurrency,
+        })
+    }
+
+    /// The sequential special case: `C_H = C_M = 1`, `pMR = MR`,
+    /// `pAMP = AMP`, under which C-AMAT degenerates to AMAT (paper §II.A).
+    pub fn sequential(amat: AmatParams) -> Self {
+        CamatParams {
+            hit_time: amat.hit_time,
+            hit_concurrency: 1.0,
+            pure_miss_rate: amat.miss_rate,
+            pure_avg_miss_penalty: amat.avg_miss_penalty,
+            pure_miss_concurrency: 1.0,
+        }
+    }
+
+    /// `C-AMAT = H/C_H + pMR * pAMP / C_M` in cycles per access.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.hit_time / self.hit_concurrency
+            + self.pure_miss_rate * self.pure_avg_miss_penalty / self.pure_miss_concurrency
+    }
+
+    /// Data-access concurrency `C = AMAT / C-AMAT` (paper Eq. 3).
+    pub fn concurrency(&self, amat: &AmatParams) -> f64 {
+        amat.value() / self.value()
+    }
+
+    /// `APC = 1 / C-AMAT` (paper §V, Wang & Sun \[27\]).
+    #[inline]
+    pub fn apc(&self) -> f64 {
+        1.0 / self.value()
+    }
+
+    /// Scale both concurrency knobs by `factor >= 1`, clamping at 1 —
+    /// the analytic knob the paper turns for C ∈ {1, 4, 8} in Figs 8–11.
+    pub fn with_concurrency_factor(&self, factor: f64) -> Result<Self> {
+        if !(factor > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "factor",
+                value: factor,
+            });
+        }
+        CamatParams::new(
+            self.hit_time,
+            (self.hit_concurrency * factor).max(1.0),
+            self.pure_miss_rate,
+            self.pure_avg_miss_penalty,
+            (self.pure_miss_concurrency * factor).max(1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amat_formula() {
+        let a = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        assert!((a.value() - 3.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camat_paper_example_values() {
+        // Fig 1: H=3, C_H=5/2, pMR=1/5, pAMP=2, C_M=1 -> 1.6
+        let c = CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).unwrap();
+        assert!((c.value() - 1.6).abs() < 1e-12);
+        let a = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        assert!((c.concurrency(&a) - 2.375).abs() < 1e-12);
+        assert!((c.apc() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_degenerates_to_amat() {
+        let a = AmatParams::new(2.0, 0.1, 50.0).unwrap();
+        let c = CamatParams::sequential(a);
+        assert!((c.value() - a.value()).abs() < 1e-12);
+        assert!((c.concurrency(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(AmatParams::new(0.0, 0.1, 1.0).is_err());
+        assert!(AmatParams::new(1.0, 1.5, 1.0).is_err());
+        assert!(AmatParams::new(1.0, 0.5, -1.0).is_err());
+        assert!(CamatParams::new(1.0, 0.5, 0.1, 1.0, 1.0).is_err()); // C_H < 1
+        assert!(CamatParams::new(1.0, 1.0, 0.1, 1.0, 0.0).is_err()); // C_M < 1
+        assert!(CamatParams::new(f64::NAN, 1.0, 0.1, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn concurrency_factor_scales_camat_down() {
+        let a = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        let base = CamatParams::sequential(a);
+        let c4 = base.with_concurrency_factor(4.0).unwrap();
+        assert!((c4.value() - base.value() / 4.0).abs() < 1e-12);
+        assert!((c4.concurrency(&a) - 4.0).abs() < 1e-12);
+        // factor below 1 clamps at sequential
+        let c_half = base.with_concurrency_factor(0.5).unwrap();
+        assert!((c_half.value() - base.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camat_never_exceeds_amat_with_equal_rates() {
+        // With pMR<=MR, pAMP<=AMP and concurrencies >=1, C-AMAT <= AMAT.
+        let a = AmatParams::new(3.0, 0.3, 10.0).unwrap();
+        let c = CamatParams::new(3.0, 2.0, 0.2, 8.0, 3.0).unwrap();
+        assert!(c.value() <= a.value());
+    }
+}

@@ -1,0 +1,190 @@
+//! Data-stall-time execution model (paper Eqs. 5–7).
+//!
+//! ```text
+//! CPU-time        = IC * (CPI_exe + data-stall-time) * cycle-time   (Eq. 5)
+//! data-stall-time = f_mem * AMAT                                    (Eq. 6, locality only)
+//! T = IC * (CPI_exe + f_mem * C-AMAT * (1 - overlapRatio_cm)) * cycle-time  (Eq. 7)
+//! ```
+//!
+//! Eq. 7 (Liu & Sun \[20\]) generalizes Eq. 6 to concurrent data access:
+//! the `overlapRatio_cm` term is the fraction of memory-stall time hidden
+//! under computation (compute/memory overlap), distinct from the
+//! intra-memory concurrency already folded into C-AMAT itself.
+
+use crate::{Error, Result};
+
+/// Conventional AMAT-based data stall time per instruction (Eq. 6).
+#[inline]
+pub fn data_stall_amat(f_mem: f64, amat: f64) -> f64 {
+    f_mem * amat
+}
+
+/// C-AMAT-based data stall time per instruction (the stall part of Eq. 7).
+///
+/// `overlap_cm` is `overlapRatio_{c-m}`, the fraction of the remaining
+/// memory time hidden under computation (`0..=1`).
+#[inline]
+pub fn data_stall_camat(f_mem: f64, camat: f64, overlap_cm: f64) -> f64 {
+    f_mem * camat * (1.0 - overlap_cm)
+}
+
+/// CPU time (Eq. 5 / Eq. 7): `IC * (CPI_exe + stall_per_instr) * cycle_time`.
+#[inline]
+pub fn cpu_time(ic: f64, cpi_exe: f64, stall_per_instr: f64, cycle_time: f64) -> f64 {
+    ic * (cpi_exe + stall_per_instr) * cycle_time
+}
+
+/// The full Eq. 7 execution-time model for a single processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionTimeModel {
+    /// Dynamic instruction count `IC`.
+    pub instruction_count: f64,
+    /// Cycles per instruction of the execution core alone (`CPI_exe`).
+    pub cpi_exe: f64,
+    /// Fraction of instructions that access memory (`f_mem`).
+    pub f_mem: f64,
+    /// Concurrent average memory access time (`C-AMAT`).
+    pub camat: f64,
+    /// Compute/memory overlap ratio (`overlapRatio_{c-m}`), `0..=1`.
+    pub overlap_cm: f64,
+    /// Cycle time in seconds.
+    pub cycle_time: f64,
+}
+
+impl ExecutionTimeModel {
+    /// Validated constructor.
+    pub fn new(
+        instruction_count: f64,
+        cpi_exe: f64,
+        f_mem: f64,
+        camat: f64,
+        overlap_cm: f64,
+        cycle_time: f64,
+    ) -> Result<Self> {
+        for (name, value, lo, hi) in [
+            ("instruction_count", instruction_count, 0.0, f64::INFINITY),
+            ("cpi_exe", cpi_exe, 0.0, f64::INFINITY),
+            ("f_mem", f_mem, 0.0, 1.0),
+            ("camat", camat, 0.0, f64::INFINITY),
+            ("overlap_cm", overlap_cm, 0.0, 1.0),
+            ("cycle_time", cycle_time, 0.0, f64::INFINITY),
+        ] {
+            if !(value >= lo && value <= hi) {
+                return Err(Error::InvalidParameter { name, value });
+            }
+        }
+        Ok(ExecutionTimeModel {
+            instruction_count,
+            cpi_exe,
+            f_mem,
+            camat,
+            overlap_cm,
+            cycle_time,
+        })
+    }
+
+    /// Effective cycles per instruction including the data stall.
+    pub fn cpi_effective(&self) -> f64 {
+        self.cpi_exe + data_stall_camat(self.f_mem, self.camat, self.overlap_cm)
+    }
+
+    /// Execution time `T` in seconds (Eq. 7).
+    pub fn time(&self) -> f64 {
+        cpu_time(
+            self.instruction_count,
+            self.cpi_exe,
+            data_stall_camat(self.f_mem, self.camat, self.overlap_cm),
+            self.cycle_time,
+        )
+    }
+
+    /// Fraction of the execution time spent stalled on data access — the
+    /// paper's motivation cites 50–70% for data-intensive applications.
+    pub fn stall_fraction(&self) -> f64 {
+        let stall = data_stall_camat(self.f_mem, self.camat, self.overlap_cm);
+        let total = self.cpi_exe + stall;
+        if total == 0.0 {
+            0.0
+        } else {
+            stall / total
+        }
+    }
+
+    /// Same model with a different C-AMAT (e.g. after a concurrency or
+    /// cache-size change).
+    pub fn with_camat(&self, camat: f64) -> Result<Self> {
+        ExecutionTimeModel::new(
+            self.instruction_count,
+            self.cpi_exe,
+            self.f_mem,
+            camat,
+            self.overlap_cm,
+            self.cycle_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_and_eq7_agree_when_sequential_and_no_overlap() {
+        // With C-AMAT == AMAT and zero overlap, Eq. 7 reduces to Eq. 5+6.
+        let amat = 3.8;
+        let stall6 = data_stall_amat(0.3, amat);
+        let stall7 = data_stall_camat(0.3, amat, 0.0);
+        assert!((stall6 - stall7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_hides_stall() {
+        let full = data_stall_camat(0.3, 2.0, 0.0);
+        let half = data_stall_camat(0.3, 2.0, 0.5);
+        let none = data_stall_camat(0.3, 2.0, 1.0);
+        assert!((full - 0.6).abs() < 1e-12);
+        assert!((half - 0.3).abs() < 1e-12);
+        assert!(none.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_time_formula() {
+        // 1e9 instructions, CPI 1, stall 0.5, 1ns cycle -> 1.5 s
+        let t = cpu_time(1e9, 1.0, 0.5, 1e-9);
+        assert!((t - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_time_and_stall_fraction() {
+        let m = ExecutionTimeModel::new(1e9, 0.5, 0.3, 5.0, 0.0, 1e-9).unwrap();
+        // CPI_eff = 0.5 + 1.5 = 2.0 -> T = 2 s
+        assert!((m.cpi_effective() - 2.0).abs() < 1e-12);
+        assert!((m.time() - 2.0).abs() < 1e-9);
+        assert!((m.stall_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_motivating_range_is_reachable() {
+        // The intro cites stall fractions of 50-70%; a plausible OoO
+        // config with f_mem=0.3 and C-AMAT ~2-4 lands in that band.
+        let m = ExecutionTimeModel::new(1e9, 0.6, 0.3, 3.0, 0.0, 1e-9).unwrap();
+        let f = m.stall_fraction();
+        assert!(f > 0.5 && f < 0.7, "stall fraction {f}");
+    }
+
+    #[test]
+    fn with_camat_rescales_time() {
+        let m = ExecutionTimeModel::new(1e9, 1.0, 0.5, 4.0, 0.0, 1e-9).unwrap();
+        let faster = m.with_camat(1.0).unwrap();
+        assert!(faster.time() < m.time());
+        assert!((faster.cpi_effective() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ExecutionTimeModel::new(1.0, 1.0, 1.5, 1.0, 0.0, 1.0).is_err());
+        assert!(ExecutionTimeModel::new(1.0, 1.0, 0.5, -1.0, 0.0, 1.0).is_err());
+        assert!(ExecutionTimeModel::new(1.0, 1.0, 0.5, 1.0, 2.0, 1.0).is_err());
+        assert!(ExecutionTimeModel::new(f64::NAN, 1.0, 0.5, 1.0, 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! Cycle-accurate access timelines and exact C-AMAT measurement.
+//!
+//! A [`Timeline`] records, for every access, which cycles it spends in
+//! its *hit phase* (cache lookup/transfer, always `H` cycles in the
+//! paper's examples) and which cycles it spends waiting on a *miss
+//! penalty*. From the per-cycle overlap structure every AMAT and C-AMAT
+//! parameter is measured exactly, following the definitions of §II.A:
+//!
+//! * a cycle is **hit-active** if at least one access is in its hit phase;
+//! * a **pure-miss cycle** is a cycle where at least one access is in its
+//!   miss phase and *no* access is in a hit phase;
+//! * a **pure miss** is an access with at least one pure-miss cycle;
+//! * `C_H` = (Σ per-cycle hit concurrency) / (# hit-active cycles);
+//! * `C_M` = (Σ per-cycle miss concurrency over pure-miss cycles) /
+//!   (# pure-miss cycles);
+//! * `pAMP` = (Σ pure-miss cycles per pure miss) / (# pure misses).
+//!
+//! The measured parameters satisfy the paper's identity
+//! `C-AMAT = (memory-active cycles) / (# accesses) = 1/APC` exactly,
+//! which the test-suite and a proptest verify.
+
+use crate::params::{AmatParams, CamatParams};
+
+/// Timing of one access: a hit phase and an optional miss phase, each a
+/// half-open cycle interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// First cycle of the hit phase.
+    pub hit_start: u64,
+    /// Length of the hit phase in cycles (the access's `H`).
+    pub hit_len: u32,
+    /// First cycle of the miss-penalty phase (ignored if `miss_len == 0`).
+    pub miss_start: u64,
+    /// Length of the miss-penalty phase in cycles; `0` for a cache hit.
+    pub miss_len: u32,
+}
+
+impl AccessTiming {
+    /// A pure cache hit occupying `[start, start + h)`.
+    pub fn hit(start: u64, h: u32) -> Self {
+        AccessTiming {
+            hit_start: start,
+            hit_len: h,
+            miss_start: start + h as u64,
+            miss_len: 0,
+        }
+    }
+
+    /// A miss: hit phase `[hit_start, hit_start + h)` followed (or not —
+    /// the miss phase may be placed anywhere) by `penalty` miss cycles
+    /// starting at `miss_start`.
+    pub fn miss(hit_start: u64, h: u32, miss_start: u64, penalty: u32) -> Self {
+        AccessTiming {
+            hit_start,
+            hit_len: h,
+            miss_start,
+            miss_len: penalty,
+        }
+    }
+
+    /// Whether this access missed.
+    #[inline]
+    pub fn is_miss(&self) -> bool {
+        self.miss_len > 0
+    }
+
+    /// Last cycle (exclusive) this access occupies.
+    pub fn end(&self) -> u64 {
+        let hit_end = self.hit_start + self.hit_len as u64;
+        let miss_end = self.miss_start + self.miss_len as u64;
+        hit_end.max(if self.miss_len > 0 { miss_end } else { 0 })
+    }
+}
+
+/// A collection of access timings with exact C-AMAT measurement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    accesses: Vec<AccessTiming>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Build from a vector of access timings.
+    pub fn from_accesses(accesses: Vec<AccessTiming>) -> Self {
+        Timeline { accesses }
+    }
+
+    /// Append one access.
+    pub fn push(&mut self, t: AccessTiming) {
+        self.accesses.push(t);
+    }
+
+    /// The accesses.
+    pub fn accesses(&self) -> &[AccessTiming] {
+        &self.accesses
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The exact 5-access timeline of the paper's Fig 1.
+    ///
+    /// Accesses 1,2,5 hit; access 3 misses with a 3-cycle penalty of which
+    /// 2 cycles are pure; access 4 misses with a 1-cycle penalty that
+    /// fully overlaps access 5's hit phase. Reproduces
+    /// `AMAT = 3.8`, `C-AMAT = 1.6`, `C_H = 5/2`, `C_M = 1`,
+    /// `pMR = 0.2`, `pAMP = 2`.
+    pub fn paper_fig1() -> Self {
+        Timeline::from_accesses(vec![
+            AccessTiming::hit(1, 3),           // A1: hits c1-c3
+            AccessTiming::hit(1, 3),           // A2: hits c1-c3
+            AccessTiming::miss(3, 3, 6, 3),    // A3: hits c3-c5, penalty c6-c8
+            AccessTiming::miss(3, 3, 6, 1),    // A4: hits c3-c5, penalty c6
+            AccessTiming::hit(4, 3),           // A5: hits c4-c6
+        ])
+    }
+
+    /// Per-cycle (hit concurrency, miss concurrency) occupancy over the
+    /// active span, returned as `(first_cycle, Vec<(hits, misses)>)`.
+    pub fn occupancy(&self) -> (u64, Vec<(u32, u32)>) {
+        if self.accesses.is_empty() {
+            return (0, Vec::new());
+        }
+        let first = self
+            .accesses
+            .iter()
+            .map(|a| a.hit_start.min(if a.miss_len > 0 { a.miss_start } else { a.hit_start }))
+            .min()
+            .unwrap();
+        let last = self.accesses.iter().map(|a| a.end()).max().unwrap();
+        let span = (last - first) as usize;
+        let mut occ = vec![(0u32, 0u32); span];
+        for a in &self.accesses {
+            for c in a.hit_start..a.hit_start + a.hit_len as u64 {
+                occ[(c - first) as usize].0 += 1;
+            }
+            for c in a.miss_start..a.miss_start + a.miss_len as u64 {
+                occ[(c - first) as usize].1 += 1;
+            }
+        }
+        (first, occ)
+    }
+
+    /// Measure every AMAT/C-AMAT parameter exactly.
+    pub fn measure(&self) -> CamatMeasurement {
+        let n = self.accesses.len() as u64;
+        if n == 0 {
+            return CamatMeasurement::default();
+        }
+        let (first, occ) = self.occupancy();
+
+        let mut hit_active_cycles = 0u64; // cycles with >=1 hit activity
+        let mut hit_access_cycles = 0u64; // sum of per-cycle hit concurrency
+        let mut pure_miss_cycles = 0u64; // cycles with miss activity and no hit
+        let mut pure_miss_access_cycles = 0u64; // sum of miss concurrency over pure cycles
+        let mut memory_active_cycles = 0u64;
+        for &(h, m) in &occ {
+            if h > 0 {
+                hit_active_cycles += 1;
+                hit_access_cycles += h as u64;
+            }
+            if m > 0 && h == 0 {
+                pure_miss_cycles += 1;
+                pure_miss_access_cycles += m as u64;
+            }
+            if h > 0 || m > 0 {
+                memory_active_cycles += 1;
+            }
+        }
+
+        // Per-access pure-miss cycle counts determine pMR and pAMP.
+        let mut pure_misses = 0u64;
+        let mut pure_cycles_per_access_total = 0u64;
+        let mut misses = 0u64;
+        let mut miss_penalty_total = 0u64;
+        let mut hit_time_total = 0u64;
+        for a in &self.accesses {
+            hit_time_total += a.hit_len as u64;
+            if a.is_miss() {
+                misses += 1;
+                miss_penalty_total += a.miss_len as u64;
+                let mut pure = 0u64;
+                for c in a.miss_start..a.miss_start + a.miss_len as u64 {
+                    let (h, _) = occ[(c - first) as usize];
+                    if h == 0 {
+                        pure += 1;
+                    }
+                }
+                if pure > 0 {
+                    pure_misses += 1;
+                    pure_cycles_per_access_total += pure;
+                }
+            }
+        }
+
+        CamatMeasurement {
+            accesses: n,
+            misses,
+            pure_misses,
+            hit_time: hit_time_total as f64 / n as f64,
+            hit_concurrency: if hit_active_cycles == 0 {
+                1.0
+            } else {
+                hit_access_cycles as f64 / hit_active_cycles as f64
+            },
+            pure_miss_concurrency: if pure_miss_cycles == 0 {
+                1.0
+            } else {
+                pure_miss_access_cycles as f64 / pure_miss_cycles as f64
+            },
+            avg_miss_penalty: if misses == 0 {
+                0.0
+            } else {
+                miss_penalty_total as f64 / misses as f64
+            },
+            pure_avg_miss_penalty: if pure_misses == 0 {
+                0.0
+            } else {
+                pure_cycles_per_access_total as f64 / pure_misses as f64
+            },
+            memory_active_cycles,
+            hit_active_cycles,
+            pure_miss_cycles,
+        }
+    }
+}
+
+/// Every parameter measured from a [`Timeline`] (or by the online
+/// [`crate::detector::CamatDetector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CamatMeasurement {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Conventional misses.
+    pub misses: u64,
+    /// Pure misses (accesses with >=1 pure-miss cycle).
+    pub pure_misses: u64,
+    /// Average hit time `H`.
+    pub hit_time: f64,
+    /// Hit concurrency `C_H`.
+    pub hit_concurrency: f64,
+    /// Pure-miss concurrency `C_M`.
+    pub pure_miss_concurrency: f64,
+    /// Conventional average miss penalty `AMP`.
+    pub avg_miss_penalty: f64,
+    /// Pure average miss penalty `pAMP`.
+    pub pure_avg_miss_penalty: f64,
+    /// Cycles with any hit or miss activity.
+    pub memory_active_cycles: u64,
+    /// Cycles with any hit activity.
+    pub hit_active_cycles: u64,
+    /// Pure-miss cycles.
+    pub pure_miss_cycles: u64,
+}
+
+impl CamatMeasurement {
+    /// Conventional miss rate `MR`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Pure miss rate `pMR`.
+    pub fn pure_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.pure_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// `AMAT = H + MR * AMP` from the measured parameters.
+    pub fn amat(&self) -> f64 {
+        self.hit_time + self.miss_rate() * self.avg_miss_penalty
+    }
+
+    /// `C-AMAT = H/C_H + pMR * pAMP / C_M` from the measured parameters.
+    pub fn camat(&self) -> f64 {
+        self.hit_time / self.hit_concurrency
+            + self.pure_miss_rate() * self.pure_avg_miss_penalty / self.pure_miss_concurrency
+    }
+
+    /// `C-AMAT` measured directly as memory-active cycles per access —
+    /// must equal [`CamatMeasurement::camat`] (the paper's identity with
+    /// APC: `C-AMAT = 1/APC`).
+    pub fn camat_direct(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.memory_active_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Data-access concurrency `C = AMAT / C-AMAT` (Eq. 3).
+    pub fn concurrency(&self) -> f64 {
+        let c = self.camat();
+        if c == 0.0 {
+            1.0
+        } else {
+            self.amat() / c
+        }
+    }
+
+    /// `APC = accesses / memory-active cycles = 1 / C-AMAT`.
+    pub fn apc(&self) -> f64 {
+        if self.memory_active_cycles == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.memory_active_cycles as f64
+        }
+    }
+
+    /// The measured parameters as [`AmatParams`].
+    pub fn amat_params(&self) -> crate::Result<AmatParams> {
+        AmatParams::new(self.hit_time, self.miss_rate(), self.avg_miss_penalty)
+    }
+
+    /// The measured parameters as [`CamatParams`].
+    pub fn camat_params(&self) -> crate::Result<CamatParams> {
+        CamatParams::new(
+            self.hit_time,
+            self.hit_concurrency,
+            self.pure_miss_rate(),
+            self.pure_avg_miss_penalty,
+            self.pure_miss_concurrency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_every_paper_number() {
+        let m = Timeline::paper_fig1().measure();
+        assert_eq!(m.accesses, 5);
+        assert_eq!(m.misses, 2);
+        assert_eq!(m.pure_misses, 1);
+        assert!((m.hit_time - 3.0).abs() < 1e-12);
+        assert!((m.hit_concurrency - 2.5).abs() < 1e-12, "C_H = 5/2");
+        assert!((m.pure_miss_concurrency - 1.0).abs() < 1e-12, "C_M = 1");
+        assert!((m.miss_rate() - 0.4).abs() < 1e-12);
+        assert!((m.pure_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((m.avg_miss_penalty - 2.0).abs() < 1e-12);
+        assert!((m.pure_avg_miss_penalty - 2.0).abs() < 1e-12);
+        assert!((m.amat() - 3.8).abs() < 1e-12);
+        assert!((m.camat() - 1.6).abs() < 1e-12);
+        assert_eq!(m.memory_active_cycles, 8);
+        assert!((m.camat_direct() - 1.6).abs() < 1e-12);
+        assert!((m.apc() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_hit_phase_structure() {
+        // The paper identifies 4 hit phases with concurrencies 2,4,3,1
+        // lasting 2,1,2,1 cycles.
+        let (first, occ) = Timeline::paper_fig1().occupancy();
+        assert_eq!(first, 1);
+        let hits: Vec<u32> = occ.iter().map(|&(h, _)| h).collect();
+        assert_eq!(hits, vec![2, 2, 4, 3, 3, 1, 0, 0]);
+        let misses: Vec<u32> = occ.iter().map(|&(_, m)| m).collect();
+        assert_eq!(misses, vec![0, 0, 0, 0, 0, 2, 1, 1]);
+    }
+
+    #[test]
+    fn sequential_accesses_give_camat_equal_amat() {
+        // Back-to-back accesses with no overlap: C-AMAT == AMAT.
+        let mut tl = Timeline::new();
+        let mut t = 0u64;
+        for i in 0..10 {
+            if i % 3 == 0 {
+                tl.push(AccessTiming::miss(t, 2, t + 2, 5));
+                t += 7;
+            } else {
+                tl.push(AccessTiming::hit(t, 2));
+                t += 2;
+            }
+        }
+        let m = tl.measure();
+        assert!((m.camat() - m.amat()).abs() < 1e-9);
+        assert!((m.concurrency() - 1.0).abs() < 1e-9);
+        assert!((m.hit_concurrency - 1.0).abs() < 1e-12);
+        assert!((m.pure_miss_concurrency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_overlapped_misses_are_not_pure() {
+        // A miss whose penalty lies entirely under another access's hit
+        // phase contributes no pure miss.
+        let tl = Timeline::from_accesses(vec![
+            AccessTiming::miss(0, 2, 2, 3),
+            AccessTiming::hit(2, 3), // covers cycles 2-4, hiding the penalty
+        ]);
+        let m = tl.measure();
+        assert_eq!(m.pure_misses, 0);
+        assert!((m.pure_miss_rate()).abs() < 1e-12);
+        // C-AMAT = active cycles / accesses = 5/2
+        assert!((m.camat() - 2.5).abs() < 1e-12);
+        assert!(m.camat() < m.amat());
+    }
+
+    #[test]
+    fn formula_equals_direct_measurement_on_random_timelines() {
+        // Deterministic pseudo-random layout; the identity must hold.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..50 {
+            let mut tl = Timeline::new();
+            let n = 3 + (next() % 20) as usize;
+            for _ in 0..n {
+                let start = next() % 40;
+                let h = 1 + (next() % 4) as u32;
+                if next() % 3 == 0 {
+                    let pen = 1 + (next() % 8) as u32;
+                    tl.push(AccessTiming::miss(start, h, start + h as u64, pen));
+                } else {
+                    tl.push(AccessTiming::hit(start, h));
+                }
+            }
+            let m = tl.measure();
+            assert!(
+                (m.camat() - m.camat_direct()).abs() < 1e-9,
+                "identity violated: formula {} direct {}",
+                m.camat(),
+                m.camat_direct()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_timeline_measures_zero() {
+        let m = Timeline::new().measure();
+        assert_eq!(m.accesses, 0);
+        assert_eq!(m.camat_direct(), 0.0);
+        assert_eq!(m.apc(), 0.0);
+    }
+
+    #[test]
+    fn access_end_accounts_for_detached_miss() {
+        let a = AccessTiming::miss(0, 2, 10, 3);
+        assert_eq!(a.end(), 13);
+        let h = AccessTiming::hit(5, 2);
+        assert_eq!(h.end(), 7);
+    }
+
+    #[test]
+    fn measurement_roundtrip_to_params() {
+        let m = Timeline::paper_fig1().measure();
+        let cp = m.camat_params().unwrap();
+        assert!((cp.value() - 1.6).abs() < 1e-12);
+        let ap = m.amat_params().unwrap();
+        assert!((ap.value() - 3.8).abs() < 1e-12);
+        assert!((cp.concurrency(&ap) - m.concurrency()).abs() < 1e-12);
+    }
+}

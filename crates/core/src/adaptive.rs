@@ -1,0 +1,282 @@
+//! Phase-adaptive reconfiguration (paper §IV–V).
+//!
+//! "The behavior of an application changes phase by phase during its
+//! execution. There is no fixed hardware configuration that can work
+//! best for all the possible behaviors. ... programs have periodic
+//! behaviors and their data access patterns are predictable. With a set
+//! of lightweight counters, we are able to deploy proper optimization
+//! techniques to timely adapt to the underlying data access pattern
+//! changes" — and §V: "reconfigurable hardware or management software
+//! (for scheduling, partitioning and allocating) is called for to
+//! achieve the dynamic matching between application and underlying
+//! hardware."
+//!
+//! [`AdaptiveDse`] is that loop in software:
+//!
+//! 1. detect phases over the trace (`c2-trace::phase`, the SimPoint
+//!    stand-in — the "lightweight counters");
+//! 2. characterize one representative interval per phase on the
+//!    reference chip (the Fig 4 detector);
+//! 3. run the C²-Bound optimization per phase;
+//! 4. compare the per-phase optimal configurations against the single
+//!    whole-program optimum — the benefit of reconfiguration is the
+//!    weighted time saved.
+
+use c2_sim::ChipConfig;
+use c2_trace::{PhaseConfig, PhaseDetector, Trace};
+use c2_workloads::characterize::characterize_trace;
+
+use crate::mem_model::MemoryModel;
+use crate::model::{C2BoundModel, ProgramProfile};
+use crate::optimize::{optimize, OptimalDesign};
+use crate::{Error, Result};
+
+/// Per-phase outcome.
+#[derive(Debug, Clone)]
+pub struct PhasePlan {
+    /// Phase label (dense, 0-based).
+    pub phase: usize,
+    /// Fraction of intervals belonging to this phase.
+    pub weight: f64,
+    /// Measured memory-access fraction of the representative interval.
+    pub f_mem: f64,
+    /// Measured memory concurrency of the representative interval.
+    pub concurrency: f64,
+    /// The phase-optimal design.
+    pub design: OptimalDesign,
+}
+
+/// Result of the adaptive exploration.
+#[derive(Debug, Clone)]
+pub struct AdaptivePlan {
+    /// One plan per detected phase.
+    pub phases: Vec<PhasePlan>,
+    /// The single whole-program optimum for comparison.
+    pub static_design: OptimalDesign,
+    /// Weighted execution cost (cycles per unit of base problem size)
+    /// if the chip reconfigures to each phase's optimum.
+    pub adaptive_cost: f64,
+    /// The same weighted cost pinned to the static optimum.
+    pub static_cost: f64,
+    /// Phase transitions observed over the trace.
+    pub transitions: usize,
+}
+
+impl AdaptivePlan {
+    /// Relative improvement of reconfiguring (0.05 = 5% fewer cycles).
+    pub fn improvement(&self) -> f64 {
+        if self.static_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.adaptive_cost / self.static_cost
+        }
+    }
+}
+
+/// The adaptive DSE driver.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDse {
+    /// Reference chip for characterization runs.
+    pub chip: ChipConfig,
+    /// Phase-detection configuration.
+    pub phase_config: PhaseConfig,
+    /// Template model providing budget/area/g; per-phase profiles swap
+    /// in the measured `f_mem` and concurrency.
+    pub template: C2BoundModel,
+}
+
+impl AdaptiveDse {
+    /// Build with sensible defaults.
+    pub fn new(template: C2BoundModel) -> Self {
+        AdaptiveDse {
+            chip: ChipConfig::default_single_core(),
+            phase_config: PhaseConfig::default(),
+            template,
+        }
+    }
+
+    /// Build a per-phase model from a characterization.
+    fn phase_model(&self, ch: &c2_workloads::Characterization) -> Result<C2BoundModel> {
+        let mut m = self.template.clone();
+        m.program = ProgramProfile::new(
+            self.template.program.ic0,
+            self.template.program.f_seq,
+            ch.f_mem.clamp(0.0, 1.0),
+            ch.overlap_cm.clamp(0.0, 0.95),
+            self.template.program.g,
+        )?;
+        m.memory = MemoryModel::from_characterization(
+            ch,
+            self.chip.l1.size_bytes as f64,
+            self.chip.l2.size_bytes as f64,
+            0.5,
+            1.0,
+            self.chip.l2.hit_latency as f64 + 2.0 * self.chip.noc.l1_l2_latency as f64,
+            120.0,
+        )?;
+        Ok(m)
+    }
+
+    /// Run the full adaptive loop on a trace.
+    pub fn plan(&self, trace: &Trace) -> Result<AdaptivePlan> {
+        let detector = PhaseDetector::new(self.phase_config.clone());
+        let phases = detector
+            .detect(trace)
+            .map_err(|e| Error::Optimization(format!("phase detection: {e}")))?;
+        let weights = phases.weights();
+        let intervals = trace.intervals(self.phase_config.interval_len);
+
+        let mut plans = Vec::with_capacity(phases.phase_count());
+        let mut phase_models = Vec::with_capacity(phases.phase_count());
+        let mut adaptive_cost = 0.0;
+        for (phase, &rep) in phases.representatives().iter().enumerate() {
+            // Re-materialize the representative interval as a trace,
+            // rebasing instruction indices so f_mem reflects the
+            // interval (slices keep whole-program indices).
+            let slice = intervals[rep].accesses;
+            let base = slice.first().map_or(0, |a| a.instr);
+            let rebased: Vec<c2_trace::MemAccess> = slice
+                .iter()
+                .map(|a| c2_trace::MemAccess {
+                    instr: a.instr - base,
+                    ..*a
+                })
+                .collect();
+            let rep_trace = Trace::from_accesses(rebased, 0)
+                .map_err(|e| Error::Optimization(format!("interval trace: {e}")))?;
+            let ch = characterize_trace(&rep_trace, self.template.program.f_seq, &self.chip)?;
+            let model = self.phase_model(&ch)?;
+            let design = optimize(&model)?;
+            // Cost = execution time per unit of base problem size; this
+            // includes both the cycle-per-instruction term and the
+            // parallelism factor (the optimal N differs per phase).
+            adaptive_cost +=
+                weights[phase] * model.execution_time(&design.vars) / model.program.ic0;
+            plans.push(PhasePlan {
+                phase,
+                weight: weights[phase],
+                f_mem: ch.f_mem,
+                concurrency: ch.concurrency(),
+                design,
+            });
+            phase_models.push(model);
+        }
+
+        // The static baseline: one model characterized over the whole
+        // trace, one configuration for every phase. Both configurations
+        // are priced under each *phase's* model, so the comparison is
+        // consistent (and the adaptive plan, being per-phase optimal,
+        // can never lose).
+        let whole = characterize_trace(trace, self.template.program.f_seq, &self.chip)?;
+        let static_model = self.phase_model(&whole)?;
+        let static_design = optimize(&static_model)?;
+        let mut static_cost = 0.0;
+        for (plan, phase_model) in plans.iter().zip(&phase_models) {
+            static_cost += plan.weight * phase_model.execution_time(&static_design.vars)
+                / phase_model.program.ic0;
+        }
+
+        Ok(AdaptivePlan {
+            phases: plans,
+            static_design,
+            adaptive_cost,
+            static_cost,
+            transitions: phases.transitions(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_speedup::scale::ScaleFunction;
+    use c2_trace::synthetic::{
+        MixedPhaseGenerator, PointerChaseGenerator, StridedGenerator, TraceGenerator,
+    };
+
+    fn template() -> C2BoundModel {
+        let mut m = C2BoundModel::example_big_data();
+        m.program =
+            ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
+        m
+    }
+
+    fn phase_changing_trace() -> Trace {
+        MixedPhaseGenerator::new(
+            vec![
+                Box::new(StridedGenerator::new(0, 64, 3000).compute_per_access(6)),
+                Box::new(
+                    PointerChaseGenerator::new(1 << 30, 1 << 15, 3000, 5).compute_per_access(1),
+                ),
+            ],
+            3,
+        )
+        .generate()
+    }
+
+    fn dse() -> AdaptiveDse {
+        let mut d = AdaptiveDse::new(template());
+        d.phase_config = PhaseConfig {
+            interval_len: 3000,
+            clusters: 2,
+            ..PhaseConfig::default()
+        };
+        d
+    }
+
+    #[test]
+    fn detects_phases_and_plans_per_phase() {
+        let plan = dse().plan(&phase_changing_trace()).unwrap();
+        assert_eq!(plan.phases.len(), 2);
+        assert!(plan.transitions >= 3, "transitions {}", plan.transitions);
+        let w: f64 = plan.phases.iter().map(|p| p.weight).sum();
+        assert!((w - 1.0).abs() < 1e-9);
+        // The two phases look different to the detector: the streaming
+        // phase has more compute per access than the chasing phase.
+        let f: Vec<f64> = plan.phases.iter().map(|p| p.f_mem).collect();
+        assert!((f[0] - f[1]).abs() > 0.1, "f_mem {f:?}");
+    }
+
+    #[test]
+    fn reconfiguration_never_loses_to_static() {
+        // Per-phase optima are optimal for their own model, so the
+        // weighted adaptive cost can't exceed the static one by more
+        // than numerical slack.
+        let plan = dse().plan(&phase_changing_trace()).unwrap();
+        assert!(
+            plan.adaptive_cost <= plan.static_cost * 1.02,
+            "adaptive {} vs static {}",
+            plan.adaptive_cost,
+            plan.static_cost
+        );
+        assert!(plan.improvement() > -0.02);
+    }
+
+    #[test]
+    fn homogeneous_trace_yields_little_gain() {
+        let trace = StridedGenerator::new(0, 64, 18_000).generate();
+        let mut d = dse();
+        d.phase_config.clusters = 2;
+        let plan = d.plan(&trace).unwrap();
+        // With one real behaviour the improvement is marginal.
+        assert!(
+            plan.improvement().abs() < 0.1,
+            "improvement {}",
+            plan.improvement()
+        );
+    }
+
+    #[test]
+    fn phase_designs_are_feasible() {
+        let plan = dse().plan(&phase_changing_trace()).unwrap();
+        let template = template();
+        for p in &plan.phases {
+            assert!(template.budget.admits(
+                p.design.vars.n,
+                p.design.vars.a0,
+                p.design.vars.a1,
+                p.design.vars.a2
+            ));
+        }
+    }
+}

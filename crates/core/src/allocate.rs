@@ -1,0 +1,262 @@
+//! Multi-application core allocation (paper Fig 7).
+//!
+//! "C²-Bound analytic results can ... be applied to scheduling,
+//! partitioning, and allocating resources among diverse applications."
+//! Fig 7 shows three applications sharing a CMP: the one with a large
+//! `f_seq` and low memory concurrency `C` gets few cores (the marginal
+//! benefit of more is tiny); the one with small `f_seq` and high `C`
+//! gets many.
+//!
+//! The allocator is a greedy marginal-utility water-filling: cores are
+//! handed out one at a time to the application whose throughput gains
+//! most from the next core. For concave per-application utilities
+//! (which Sun-Ni speedups with `g(N) ≤ O(N)` are) greedy is optimal.
+
+use c2_speedup::laws::sun_ni;
+use c2_speedup::scale::ScaleFunction;
+
+use crate::{Error, Result};
+
+/// The per-application inputs (the paper's Fig 7 annotations).
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Name for reporting.
+    pub name: String,
+    /// Sequential fraction `f_seq`.
+    pub f_seq: f64,
+    /// Memory concurrency `C = AMAT/C-AMAT` (≥ 1).
+    pub concurrency: f64,
+    /// Memory-access fraction.
+    pub f_mem: f64,
+    /// Base C-AMAT at `C = 1` (sequential AMAT), cycles per access.
+    pub amat: f64,
+    /// Core-only CPI.
+    pub cpi_exe: f64,
+    /// Problem scale function.
+    pub g: ScaleFunction,
+}
+
+impl AppProfile {
+    /// Validated constructor.
+    pub fn new(
+        name: &str,
+        f_seq: f64,
+        concurrency: f64,
+        f_mem: f64,
+        amat: f64,
+        cpi_exe: f64,
+        g: ScaleFunction,
+    ) -> Result<Self> {
+        for (pname, value) in [("f_seq", f_seq), ("f_mem", f_mem)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(Error::InvalidParameter { name: pname, value });
+            }
+        }
+        if !(concurrency >= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "concurrency",
+                value: concurrency,
+            });
+        }
+        if !(amat > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "amat",
+                value: amat,
+            });
+        }
+        if !(cpi_exe > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "cpi_exe",
+                value: cpi_exe,
+            });
+        }
+        Ok(AppProfile {
+            name: name.to_string(),
+            f_seq,
+            concurrency,
+            f_mem,
+            amat,
+            cpi_exe,
+            g,
+        })
+    }
+
+    /// Single-core instruction rate (instructions per cycle): the
+    /// reciprocal of `CPI_exe + f_mem · (AMAT/C)` — memory concurrency
+    /// divides the stall (Eq. 3: C-AMAT = AMAT/C).
+    pub fn base_rate(&self) -> f64 {
+        1.0 / (self.cpi_exe + self.f_mem * self.amat / self.concurrency)
+    }
+
+    /// Throughput with `n` cores: base rate × Sun-Ni speedup.
+    pub fn throughput(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.base_rate() * sun_ni(self.f_seq, n as f64, &self.g)
+    }
+
+    /// Marginal gain of the `n+1`-th core.
+    pub fn marginal_gain(&self, n: usize) -> f64 {
+        self.throughput(n + 1) - self.throughput(n)
+    }
+}
+
+/// Allocate `total_cores` among the applications, greedily by marginal
+/// throughput gain. Every application receives at least one core.
+/// Returns per-application core counts (same order as `apps`).
+pub fn allocate_cores(apps: &[AppProfile], total_cores: usize) -> Result<Vec<usize>> {
+    if apps.is_empty() {
+        return Err(Error::InvalidParameter {
+            name: "apps",
+            value: 0.0,
+        });
+    }
+    if total_cores < apps.len() {
+        return Err(Error::InvalidParameter {
+            name: "total_cores",
+            value: total_cores as f64,
+        });
+    }
+    let mut alloc = vec![1usize; apps.len()];
+    let mut remaining = total_cores - apps.len();
+    while remaining > 0 {
+        let (best, _) = apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.marginal_gain(alloc[i])))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
+            .expect("non-empty");
+        alloc[best] += 1;
+        remaining -= 1;
+    }
+    Ok(alloc)
+}
+
+/// Total system throughput of an allocation.
+pub fn total_throughput(apps: &[AppProfile], alloc: &[usize]) -> f64 {
+    apps.iter()
+        .zip(alloc)
+        .map(|(a, &n)| a.throughput(n))
+        .sum()
+}
+
+/// The paper's three Fig 7 archetypes.
+pub fn fig7_apps() -> Vec<AppProfile> {
+    vec![
+        // App 1: "f_seq is very large and memory concurrency C is very
+        // low ... needs the least number of cores".
+        AppProfile::new(
+            "app1 (high f_seq, low C)",
+            0.5,
+            1.0,
+            0.3,
+            10.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+        // App 2: "low f_seq and a high C ... assign more cores". All
+        // three apps run fixed problem sizes here (they are partitioning
+        // one chip), so g = 1 and f_seq/C drive the split.
+        AppProfile::new(
+            "app2 (low f_seq, high C)",
+            0.01,
+            8.0,
+            0.3,
+            10.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+        // App 3: "falls somewhere between these two extremes".
+        AppProfile::new(
+            "app3 (moderate)",
+            0.1,
+            3.0,
+            0.3,
+            10.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_ordering_matches_paper() {
+        let apps = fig7_apps();
+        let alloc = allocate_cores(&apps, 64).unwrap();
+        assert_eq!(alloc.iter().sum::<usize>(), 64);
+        // app1 fewest, app2 most, app3 between.
+        assert!(alloc[0] < alloc[2], "{alloc:?}");
+        assert!(alloc[2] < alloc[1], "{alloc:?}");
+    }
+
+    #[test]
+    fn concurrency_raises_base_rate() {
+        let lo = AppProfile::new("a", 0.1, 1.0, 0.3, 10.0, 1.0, ScaleFunction::Constant).unwrap();
+        let hi = AppProfile::new("b", 0.1, 8.0, 0.3, 10.0, 1.0, ScaleFunction::Constant).unwrap();
+        assert!(hi.base_rate() > lo.base_rate());
+    }
+
+    #[test]
+    fn greedy_beats_uniform_for_heterogeneous_mix() {
+        let apps = fig7_apps();
+        let greedy = allocate_cores(&apps, 48).unwrap();
+        let uniform = vec![16usize; 3];
+        assert!(
+            total_throughput(&apps, &greedy) >= total_throughput(&apps, &uniform),
+            "greedy {:?} lost to uniform",
+            greedy
+        );
+    }
+
+    #[test]
+    fn greedy_is_optimal_for_concave_utilities() {
+        // Exhaustively check small instances against brute force.
+        let apps = vec![
+            AppProfile::new("x", 0.3, 1.0, 0.4, 8.0, 1.0, ScaleFunction::Constant).unwrap(),
+            AppProfile::new("y", 0.05, 4.0, 0.4, 8.0, 1.0, ScaleFunction::Constant).unwrap(),
+        ];
+        let total = 10;
+        let greedy = allocate_cores(&apps, total).unwrap();
+        let g_tp = total_throughput(&apps, &greedy);
+        let mut best = 0.0f64;
+        for n0 in 1..total {
+            let tp = total_throughput(&apps, &[n0, total - n0]);
+            best = best.max(tp);
+        }
+        assert!(g_tp >= best - 1e-9, "greedy {g_tp} vs brute {best}");
+    }
+
+    #[test]
+    fn every_app_gets_at_least_one_core() {
+        let apps = fig7_apps();
+        let alloc = allocate_cores(&apps, 3).unwrap();
+        assert_eq!(alloc, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(allocate_cores(&[], 4).is_err());
+        let apps = fig7_apps();
+        assert!(allocate_cores(&apps, 2).is_err());
+        assert!(AppProfile::new("z", 1.5, 1.0, 0.3, 1.0, 1.0, ScaleFunction::Constant).is_err());
+        assert!(AppProfile::new("z", 0.5, 0.5, 0.3, 1.0, 1.0, ScaleFunction::Constant).is_err());
+    }
+
+    #[test]
+    fn amdahl_app_throughput_saturates() {
+        let a = AppProfile::new("a", 0.25, 1.0, 0.3, 10.0, 1.0, ScaleFunction::Constant).unwrap();
+        let t16 = a.throughput(16);
+        let t256 = a.throughput(256);
+        // Amdahl limit 1/f_seq = 4x the base rate.
+        assert!(t256 < 4.0 * a.base_rate() + 1e-9);
+        assert!(t256 - t16 < 0.3 * t16, "still growing fast");
+    }
+}

@@ -1,0 +1,284 @@
+//! Asymmetric CMP extension (paper §VII: "The extension of C²-Bound to
+//! asymmetric CMP DSE is straightforward"; §III.B: "The case for
+//! asymmetric and dynamic multicore processors can be derived
+//! similarly").
+//!
+//! Following the Hill–Marty organization the paper builds on \[6\]: one
+//! *big* core of area `Ab` executes the sequential fraction; `N` *small*
+//! cores of area `A0` each execute the parallel fraction (the big core
+//! joins as the equivalent of `perf(Ab)/perf(A0)` small cores when
+//! `big_helps_parallel` is set). The area constraint becomes
+//!
+//! ```text
+//! A = Ab + N·(A0 + A1 + A2) + A1b + Ac
+//! ```
+//!
+//! and the Eq. 10 objective splits into a serial term paced by the big
+//! core's CPI and a parallel term paced by the small cores'.
+
+use c2_solver::grid::{grid_minimize, GridSpec};
+use c2_solver::nelder::{nelder_mead, NelderMeadOptions};
+
+use crate::model::C2BoundModel;
+use crate::{Error, Result};
+
+/// Design variables of the asymmetric chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymmetricDesign {
+    /// Big-core area (mm²).
+    pub big_core_area: f64,
+    /// Number of small cores.
+    pub n_small: f64,
+    /// Small-core area (mm²).
+    pub small_core_area: f64,
+    /// Private-cache area per small core (mm²), also granted to the big
+    /// core once.
+    pub l1_area: f64,
+    /// Shared-L2 area per small core (mm²).
+    pub l2_area: f64,
+}
+
+impl AsymmetricDesign {
+    /// Total silicon consumed (excluding the fixed shared functions).
+    pub fn area(&self) -> f64 {
+        self.big_core_area
+            + self.l1_area // the big core's private cache
+            + self.n_small * (self.small_core_area + self.l1_area + self.l2_area)
+    }
+}
+
+/// The asymmetric C²-Bound model.
+#[derive(Debug, Clone)]
+pub struct AsymmetricModel {
+    /// The underlying symmetric model (program, memory, area, budget).
+    pub base: C2BoundModel,
+    /// Whether the big core also helps during the parallel phase
+    /// (Hill–Marty's asymmetric speedup assumes it does).
+    pub big_helps_parallel: bool,
+}
+
+impl AsymmetricModel {
+    /// Wrap a symmetric model.
+    pub fn new(base: C2BoundModel, big_helps_parallel: bool) -> Self {
+        AsymmetricModel {
+            base,
+            big_helps_parallel,
+        }
+    }
+
+    /// Pollack-rule performance of a core of area `a` relative to a
+    /// 1 mm² core: `perf ∝ 1/CPI_exe`.
+    fn perf(&self, a: f64) -> f64 {
+        1.0 / self.base.area.cpi_exe(a)
+    }
+
+    /// Execution time (cycles) of the asymmetric chip (Eq. 10 split
+    /// into serial-on-big and parallel-on-small terms).
+    pub fn execution_time(&self, d: &AsymmetricDesign) -> f64 {
+        let program = &self.base.program;
+        let n = d.n_small.max(0.0);
+        // Memory term: same capacity-sensitive C-AMAT, with L2 shared by
+        // the small cores.
+        let c1 = self.base.area.cache_bytes_continuous(d.l1_area.max(0.01));
+        let c2 = self
+            .base
+            .area
+            .cache_bytes_continuous((d.l2_area * n.max(1.0)).max(0.01))
+            * 2.0;
+        let stall = program.f_mem
+            * self.base.memory.camat(c1, c2)
+            * (1.0 - program.overlap_cm);
+
+        let cpi_big = self.base.area.cpi_exe(d.big_core_area) + stall;
+        let cpi_small = self.base.area.cpi_exe(d.small_core_area.max(0.01)) + stall;
+
+        let gn = program.g.eval((n + 1.0).max(1.0));
+        let serial = program.f_seq * cpi_big;
+        // Parallel capability in units of small cores.
+        let parallel_width = if self.big_helps_parallel {
+            n + self.perf(d.big_core_area) / self.perf(d.small_core_area.max(0.01))
+        } else {
+            n.max(1e-9)
+        };
+        let parallel = gn * (1.0 - program.f_seq) * cpi_small / parallel_width.max(1e-9);
+        program.ic0 * (serial + parallel)
+    }
+
+    /// Throughput `W/T` with `W = g(N+1)·IC0`.
+    pub fn throughput(&self, d: &AsymmetricDesign) -> f64 {
+        let gn = self.base.program.g.eval((d.n_small + 1.0).max(1.0));
+        gn * self.base.program.ic0 / self.execution_time(d)
+    }
+
+    /// Whether a design fits the budget.
+    pub fn feasible(&self, d: &AsymmetricDesign) -> bool {
+        d.big_core_area > 0.0
+            && d.small_core_area > 0.0
+            && d.l1_area > 0.0
+            && d.l2_area > 0.0
+            && d.n_small >= 0.0
+            && d.area() <= self.base.budget.usable() + 1e-9
+    }
+
+    /// Optimize the asymmetric design (grid seed + Nelder–Mead over
+    /// `(Ab, N, A0)` with the cache split tied to the symmetric
+    /// optimum's proportions).
+    pub fn optimize(&self) -> Result<AsymmetricDesign> {
+        let usable = self.base.budget.usable();
+        let eval = |ab: f64, n: f64, a0: f64, l1f: f64| -> f64 {
+            if !(0.2..usable).contains(&ab) || n < 0.0 || !(0.05..usable).contains(&a0) {
+                return 1e30; // finite penalty: Nelder-Mead rejects non-finite simplexes
+            }
+            // Remaining area after cores goes to caches.
+            let cache_total = usable - ab - n * a0;
+            if cache_total < 0.1 {
+                return 1e30; // finite penalty: Nelder-Mead rejects non-finite simplexes
+            }
+            let per_slot = cache_total / (n + 1.0);
+            let l1 = (per_slot * l1f).max(0.01);
+            let l2 = (per_slot * (1.0 - l1f)).max(0.01);
+            let d = AsymmetricDesign {
+                big_core_area: ab,
+                n_small: n,
+                small_core_area: a0,
+                l1_area: l1,
+                l2_area: l2,
+            };
+            if !self.feasible(&d) {
+                return 1e30; // finite penalty: Nelder-Mead rejects non-finite simplexes
+            }
+            self.execution_time(&d)
+        };
+        let axes = [
+            GridSpec::logarithmic(0.5, usable * 0.5, 10),
+            GridSpec::logarithmic(1.0, usable / 0.2, 12),
+            GridSpec::logarithmic(0.1, 16.0, 10),
+            GridSpec::linear(0.2, 0.8, 4),
+        ];
+        let (seed, _) = grid_minimize(&axes, |p| eval(p[0], p[1], p[2], p[3]))?;
+        let (best, _) = nelder_mead(
+            |p: &[f64]| eval(p[0].abs(), p[1].abs(), p[2].abs(), p[3]),
+            &seed,
+            &NelderMeadOptions {
+                max_iters: 6000,
+                ..NelderMeadOptions::default()
+            },
+        )?;
+        let (ab, n, a0, l1f) = (best[0].abs(), best[1].abs(), best[2].abs(), best[3]);
+        let cache_total = usable - ab - n * a0;
+        let per_slot = (cache_total / (n + 1.0)).max(0.02);
+        let d = AsymmetricDesign {
+            big_core_area: ab,
+            n_small: n,
+            small_core_area: a0,
+            l1_area: (per_slot * l1f.clamp(0.05, 0.95)).max(0.01),
+            l2_area: (per_slot * (1.0 - l1f.clamp(0.05, 0.95))).max(0.01),
+        };
+        if !self.feasible(&d) {
+            return Err(Error::Optimization(
+                "asymmetric optimum left the feasible region".to_string(),
+            ));
+        }
+        Ok(d)
+    }
+
+    /// The symmetric design of equal area, for comparison: `N` equal
+    /// cores from the symmetric optimizer.
+    pub fn symmetric_baseline(&self) -> Result<crate::optimize::OptimalDesign> {
+        crate::optimize::optimize(&self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProgramProfile;
+    use c2_speedup::scale::ScaleFunction;
+
+    fn model(f_seq: f64) -> C2BoundModel {
+        let mut m = C2BoundModel::example_big_data();
+        m.program = ProgramProfile::new(1e9, f_seq, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
+        m
+    }
+
+    fn design(ab: f64, n: f64, a0: f64) -> AsymmetricDesign {
+        AsymmetricDesign {
+            big_core_area: ab,
+            n_small: n,
+            small_core_area: a0,
+            l1_area: 0.3,
+            l2_area: 0.3,
+        }
+    }
+
+    #[test]
+    fn bigger_big_core_helps_serial_heavy_programs() {
+        let m = AsymmetricModel::new(model(0.4), true);
+        let small_big = design(2.0, 32.0, 1.0);
+        let big_big = design(16.0, 32.0, 1.0);
+        assert!(m.execution_time(&big_big) < m.execution_time(&small_big));
+    }
+
+    #[test]
+    fn more_small_cores_help_parallel_heavy_programs() {
+        let m = AsymmetricModel::new(model(0.02), true);
+        let few = design(8.0, 8.0, 1.0);
+        let many = design(8.0, 64.0, 1.0);
+        assert!(m.execution_time(&many) < m.execution_time(&few));
+    }
+
+    #[test]
+    fn asymmetric_beats_symmetric_for_mixed_workloads() {
+        // The Hill-Marty observation the paper builds on: with a serial
+        // fraction, one big core + many small ones beats all-equal cores
+        // of the same total area.
+        let base = model(0.25);
+        let asym = AsymmetricModel::new(base.clone(), true);
+        let d_asym = asym.optimize().unwrap();
+        let d_sym = asym.symmetric_baseline().unwrap();
+        let t_asym = asym.execution_time(&d_asym);
+        let t_sym = d_sym.execution_time;
+        assert!(
+            t_asym < t_sym,
+            "asymmetric {t_asym} should beat symmetric {t_sym}"
+        );
+        // And the big core should really be bigger than the small ones.
+        assert!(d_asym.big_core_area > d_asym.small_core_area);
+    }
+
+    #[test]
+    fn optimum_respects_budget() {
+        let asym = AsymmetricModel::new(model(0.1), true);
+        let d = asym.optimize().unwrap();
+        assert!(asym.feasible(&d));
+        assert!(d.area() <= asym.base.budget.usable() + 1e-6);
+    }
+
+    #[test]
+    fn big_core_parallel_help_reduces_time() {
+        let with_help = AsymmetricModel::new(model(0.1), true);
+        let without = AsymmetricModel::new(model(0.1), false);
+        let d = design(8.0, 16.0, 1.0);
+        assert!(with_help.execution_time(&d) < without.execution_time(&d));
+    }
+
+    #[test]
+    fn throughput_positive_and_consistent() {
+        let m = AsymmetricModel::new(model(0.1), true);
+        let d = design(8.0, 16.0, 1.0);
+        let tp = m.throughput(&d);
+        assert!(tp > 0.0);
+        let gn = m.base.program.g.eval(17.0);
+        assert!((tp - gn * 1e9 / m.execution_time(&d)).abs() / tp < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_designs_detected() {
+        let m = AsymmetricModel::new(model(0.1), true);
+        assert!(!m.feasible(&design(1000.0, 8.0, 1.0)));
+        assert!(!m.feasible(&design(-1.0, 8.0, 1.0)));
+        let mut d = design(8.0, 8.0, 1.0);
+        d.l1_area = 0.0;
+        assert!(!m.feasible(&d));
+    }
+}

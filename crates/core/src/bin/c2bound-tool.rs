@@ -1,0 +1,396 @@
+//! `c2bound-tool` — the paper's "automatic tool to find an
+//! application-specific optimal architecture" (§I contribution 3), as a
+//! command-line program.
+//!
+//! ```text
+//! c2bound-tool characterize <tmm|spmv|stencil|fft|fluidanimate> [size]
+//! c2bound-tool optimize [f_seq] [f_mem] [g-exponent] [area] [shared]
+//! c2bound-tool aps <tmm|spmv|stencil|fft|fluidanimate> [size]
+//! c2bound-tool scaling [f_mem]
+//! c2bound-tool table1
+//! c2bound-tool trace <workload> [size]          # dump a #c2trace file to stdout
+//! c2bound-tool characterize-file <path>         # characterize a #c2trace file
+//! c2bound-tool multiobjective [weight]          # energy/perf trade-off (SS VII)
+//! c2bound-tool adaptive                         # phase-adaptive reconfiguration (SS V)
+//! ```
+//!
+//! Everything is computed live: `characterize` and `aps` run the
+//! cycle-level simulator; `optimize` solves Eq. 13.
+
+use c2_bound::aps::Aps;
+use c2_bound::dse::{simulate_point, DesignSpace};
+use c2_bound::optimize::optimize;
+use c2_bound::report::{fmt_num, Table};
+use c2_bound::scaling::ScalingStudy;
+use c2_bound::{C2BoundModel, MemoryModel, ProgramProfile};
+use c2_sim::area::{AreaModel, SiliconBudget};
+use c2_sim::ChipConfig;
+use c2_speedup::scale::ScaleFunction;
+use c2_workloads::{characterize, Characterization, Workload, WorkloadTrace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|fluidanimate> [size]\n  \
+         c2bound-tool optimize [f_seq] [f_mem] [g_exponent] [total_area] [shared_area]\n  \
+         c2bound-tool aps <workload> [size]\n  c2bound-tool scaling [f_mem]\n  \
+         c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
+         c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
+         c2bound-tool adaptive"
+    );
+    std::process::exit(2);
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn workload_by_name(name: &str, size: usize) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "tmm" => Box::new(c2_workloads::tmm::TiledMatMul::new(size.max(8), 8, 1)),
+        "spmv" => Box::new(c2_workloads::spmv::BandSpmv::new(size.max(16), 3, 1)),
+        "stencil" => Box::new(c2_workloads::stencil::Stencil2D::new(
+            size.max(8),
+            size.max(8),
+            2,
+            1,
+        )),
+        "fft" => Box::new(c2_workloads::fft::Fft::new(size.max(8).next_power_of_two(), 1)),
+        "fluidanimate" => Box::new(c2_workloads::fluidanimate::FluidAnimate::new(
+            size.max(100),
+            12,
+            1,
+            1,
+        )),
+        _ => return None,
+    })
+}
+
+fn characterize_workload(w: &dyn Workload) -> (WorkloadTrace, Characterization, ChipConfig) {
+    let chip = ChipConfig::default_single_core();
+    let trace = w.generate();
+    let ch = characterize(&trace, &chip).expect("characterization failed");
+    (trace, ch, chip)
+}
+
+fn model_from(ch: &Characterization, chip: &ChipConfig, g: ScaleFunction) -> C2BoundModel {
+    let memory = MemoryModel::from_characterization(
+        ch,
+        chip.l1.size_bytes as f64,
+        chip.l2.size_bytes as f64,
+        0.5,
+        1.0,
+        chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
+        120.0,
+    )
+    .expect("memory model");
+    let program = ProgramProfile::new(
+        ch.instruction_count as f64,
+        ch.f_seq,
+        ch.f_mem,
+        ch.overlap_cm.clamp(0.0, 0.95),
+        g,
+    )
+    .expect("program profile");
+    C2BoundModel::new(
+        program,
+        memory,
+        AreaModel::default(),
+        SiliconBudget::new(400.0, 40.0).expect("budget"),
+    )
+}
+
+fn cmd_characterize(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let size = parse_or(args, 1, 32usize);
+    let Some(w) = workload_by_name(name, size) else {
+        usage()
+    };
+    let (trace, ch, _) = characterize_workload(w.as_ref());
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["workload".to_string(), w.name().to_string()]);
+    t.row(vec![
+        "instructions".to_string(),
+        ch.instruction_count.to_string(),
+    ]);
+    t.row(vec!["accesses".to_string(), trace.combined().len().to_string()]);
+    t.row(vec!["f_mem".to_string(), fmt_num(ch.f_mem)]);
+    t.row(vec!["f_seq".to_string(), fmt_num(ch.f_seq)]);
+    t.row(vec!["L1 miss rate".to_string(), fmt_num(ch.l1_miss_rate)]);
+    t.row(vec!["L2 miss rate".to_string(), fmt_num(ch.l2_miss_rate)]);
+    t.row(vec!["C-AMAT".to_string(), fmt_num(ch.camat_value())]);
+    t.row(vec!["C = AMAT/C-AMAT".to_string(), fmt_num(ch.concurrency())]);
+    t.row(vec![
+        "footprint (bytes)".to_string(),
+        ch.footprint_bytes.to_string(),
+    ]);
+    t.row(vec!["IPC".to_string(), fmt_num(ch.ipc)]);
+    let g = w
+        .complexity()
+        .scale_function()
+        .map(|g| g.label())
+        .unwrap_or_else(|| "derived numerically".to_string());
+    t.row(vec!["g(N)".to_string(), g]);
+    println!("{}", t.render());
+}
+
+fn cmd_optimize(args: &[String]) {
+    let f_seq = parse_or(args, 0, 0.05f64);
+    let f_mem = parse_or(args, 1, 0.3f64);
+    let g_exp = parse_or(args, 2, 1.5f64);
+    let area = parse_or(args, 3, 400.0f64);
+    let shared = parse_or(args, 4, 40.0f64);
+    let mut model = C2BoundModel::example_big_data();
+    model.program =
+        ProgramProfile::new(1e9, f_seq, f_mem, 0.1, ScaleFunction::Power(g_exp))
+            .expect("profile");
+    model.budget = SiliconBudget::new(area, shared).expect("budget");
+    let d = optimize(&model).expect("optimization");
+    println!(
+        "case: {:?} (g(N) {} O(N))",
+        d.case,
+        if model.program.g.is_at_least_linear() {
+            ">="
+        } else {
+            "<"
+        }
+    );
+    let mut t = Table::new(vec!["variable", "value"]);
+    t.row(vec!["N (cores)".to_string(), fmt_num(d.vars.n)]);
+    t.row(vec!["A0 core area (mm2)".to_string(), fmt_num(d.vars.a0)]);
+    t.row(vec!["A1 L1 area (mm2)".to_string(), fmt_num(d.vars.a1)]);
+    t.row(vec!["A2 L2 area (mm2)".to_string(), fmt_num(d.vars.a2)]);
+    t.row(vec!["CPI (cycles/instr)".to_string(), fmt_num(d.cpi)]);
+    t.row(vec!["concurrency C".to_string(), fmt_num(d.concurrency)]);
+    t.row(vec![
+        "execution time (cycles)".to_string(),
+        fmt_num(d.execution_time),
+    ]);
+    t.row(vec!["throughput W/T".to_string(), fmt_num(d.throughput)]);
+    println!("{}", t.render());
+}
+
+fn cmd_aps(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let size = parse_or(args, 1, 24usize);
+    let Some(w) = workload_by_name(name, size) else {
+        usage()
+    };
+    let (trace, ch, chip) = characterize_workload(w.as_ref());
+    let g = w
+        .complexity()
+        .scale_function()
+        .unwrap_or(ScaleFunction::Power(1.0));
+    let model = model_from(&ch, &chip, g);
+    let area = model.area;
+    let budget = model.budget;
+    let space = DesignSpace::tiny();
+    println!(
+        "APS over a {}-point space; refining {} microarchitecture points with real simulations...",
+        space.size(),
+        space.issue.len() * space.rob.len()
+    );
+    let aps = Aps::new(model, space);
+    let outcome = aps
+        .run(|p| {
+            simulate_point(p, &trace, &area, &budget)
+                .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
+        })
+        .expect("APS");
+    println!(
+        "chosen: N = {}, A0 = {} mm2, L1 = {} mm2, L2 = {} mm2, issue = {}, ROB = {}",
+        outcome.chosen.n,
+        fmt_num(outcome.chosen.a0),
+        fmt_num(outcome.chosen.a1),
+        fmt_num(outcome.chosen.a2),
+        outcome.chosen.issue_width,
+        outcome.chosen.rob_size
+    );
+    println!(
+        "simulations used: {}; best simulated time: {} cycles; calibrated model error: {}%",
+        outcome.simulations,
+        fmt_num(outcome.best_time),
+        fmt_num(100.0 * outcome.prediction_error)
+    );
+}
+
+fn cmd_scaling(args: &[String]) {
+    let f_mem = parse_or(args, 0, 0.3f64);
+    let study = ScalingStudy::paper_figs_8_to_11(f_mem).expect("study");
+    let ns = [1.0, 4.0, 16.0, 64.0, 256.0, 1000.0];
+    let mut t = Table::new(vec!["N", "W", "T(C=1)", "T(C=8)", "W/T(C=1)", "W/T(C=8)"]);
+    let c1 = study.sweep(&ns, 1.0).expect("sweep");
+    let c8 = study.sweep(&ns, 8.0).expect("sweep");
+    for i in 0..ns.len() {
+        t.row(vec![
+            fmt_num(ns[i]),
+            fmt_num(c1[i].problem_size),
+            fmt_num(c1[i].time),
+            fmt_num(c8[i].time),
+            fmt_num(c1[i].throughput),
+            fmt_num(c8[i].throughput),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_table1() {
+    let workloads: Vec<(Box<dyn Workload>, &str)> = vec![
+        (
+            Box::new(c2_workloads::tmm::TiledMatMul::new(64, 8, 0)),
+            "N^{3/2}",
+        ),
+        (Box::new(c2_workloads::spmv::BandSpmv::new(256, 2, 0)), "N"),
+        (
+            Box::new(c2_workloads::stencil::Stencil2D::new(32, 32, 2, 0)),
+            "N",
+        ),
+        (Box::new(c2_workloads::fft::Fft::new(1024, 0)), "2N"),
+    ];
+    let mut t = Table::new(vec!["application", "paper g(N)", "derived g(16)"]);
+    for (w, paper) in &workloads {
+        let g = w
+            .complexity()
+            .derive_g(4096.0, 16.0)
+            .map(fmt_num)
+            .unwrap_or_else(|e| e.to_string());
+        t.row(vec![w.name().to_string(), paper.to_string(), g]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_trace(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let size = parse_or(args, 1, 32usize);
+    let Some(w) = workload_by_name(name, size) else {
+        usage()
+    };
+    let trace = w.generate().combined();
+    let stdout = std::io::stdout();
+    // A closed pipe (e.g. `| head`) is a normal way to consume a dump.
+    if let Err(e) = c2_trace::io::write_trace(&trace, stdout.lock()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            panic!("write trace: {e}");
+        }
+    }
+}
+
+fn cmd_characterize_file(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = c2_trace::io::read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let chip = ChipConfig::default_single_core();
+    // A raw trace file carries no serial/parallel split; report f_seq = 0
+    // and let the user supply it to `optimize` separately.
+    let ch = c2_workloads::characterize::characterize_trace(&trace, 0.0, &chip)
+        .expect("characterization failed");
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["file".to_string(), path.to_string()]);
+    t.row(vec!["instructions".to_string(), ch.instruction_count.to_string()]);
+    t.row(vec!["f_mem".to_string(), fmt_num(ch.f_mem)]);
+    t.row(vec!["L1 miss rate".to_string(), fmt_num(ch.l1_miss_rate)]);
+    t.row(vec!["C-AMAT".to_string(), fmt_num(ch.camat_value())]);
+    t.row(vec!["C".to_string(), fmt_num(ch.concurrency())]);
+    t.row(vec!["IPC".to_string(), fmt_num(ch.ipc)]);
+    println!("{}", t.render());
+}
+
+fn cmd_multiobjective(args: &[String]) {
+    use c2_bound::energy::{MultiObjective, PowerModel};
+    let weight = parse_or(args, 0, 0.5f64);
+    let mut base = C2BoundModel::example_big_data();
+    base.program = ProgramProfile::new(1e9, 0.15, 0.3, 0.1, ScaleFunction::Power(0.5))
+        .expect("profile");
+    let power = PowerModel::default();
+    let clock = 3e9;
+    let mo = MultiObjective::new(base.clone(), power, weight, clock).expect("objective");
+    let v = mo.optimize().expect("optimize");
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["performance weight w".to_string(), fmt_num(weight)]);
+    t.row(vec!["N (cores)".to_string(), fmt_num(v.n)]);
+    t.row(vec!["per-core area (mm2)".to_string(), fmt_num(v.per_core())]);
+    t.row(vec![
+        "time (s)".to_string(),
+        fmt_num(base.execution_time(&v) / clock),
+    ]);
+    t.row(vec![
+        "energy (J)".to_string(),
+        fmt_num(power.energy(&base, &v, clock)),
+    ]);
+    t.row(vec![
+        "power (W)".to_string(),
+        fmt_num(power.average_power(&base, &v)),
+    ]);
+    t.row(vec![
+        "EDP (J*s)".to_string(),
+        fmt_num(power.edp(&base, &v, clock)),
+    ]);
+    println!("{}", t.render());
+}
+
+fn cmd_adaptive() {
+    use c2_bound::adaptive::AdaptiveDse;
+    use c2_trace::synthetic::{
+        MixedPhaseGenerator, PointerChaseGenerator, StridedGenerator, TraceGenerator,
+    };
+    let trace = MixedPhaseGenerator::new(
+        vec![
+            Box::new(StridedGenerator::new(0, 64, 4000).compute_per_access(6)),
+            Box::new(
+                PointerChaseGenerator::new(1 << 30, 1 << 15, 4000, 5).compute_per_access(1),
+            ),
+        ],
+        3,
+    )
+    .generate();
+    let mut template = C2BoundModel::example_big_data();
+    template.program = ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5))
+        .expect("profile");
+    let mut dse = AdaptiveDse::new(template);
+    dse.phase_config = c2_trace::PhaseConfig {
+        interval_len: 4000,
+        clusters: 2,
+        ..c2_trace::PhaseConfig::default()
+    };
+    let plan = dse.plan(&trace).expect("adaptive plan");
+    let mut t = Table::new(vec!["phase", "weight", "f_mem", "C", "N*", "CPI"]);
+    for p in &plan.phases {
+        t.row(vec![
+            p.phase.to_string(),
+            fmt_num(p.weight),
+            fmt_num(p.f_mem),
+            fmt_num(p.concurrency),
+            fmt_num(p.design.vars.n),
+            fmt_num(p.design.cpi),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "transitions: {}; reconfiguration gain: {}%",
+        plan.transitions,
+        fmt_num(100.0 * plan.improvement())
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("characterize-file") => cmd_characterize_file(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("aps") => cmd_aps(&args[1..]),
+        Some("scaling") => cmd_scaling(&args[1..]),
+        Some("table1") => cmd_table1(),
+        Some("multiobjective") => cmd_multiobjective(&args[1..]),
+        Some("adaptive") => cmd_adaptive(),
+        _ => usage(),
+    }
+}

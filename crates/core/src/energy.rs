@@ -1,0 +1,323 @@
+//! Energy/power extension of the C²-Bound objective (paper §VII:
+//! "the object function in Eq. (10) can be reshaped to achieve a
+//! balance among performance, power, energy and temperature").
+//!
+//! Power model, in the spirit of the Amdahl's-law-for-energy corollaries
+//! the paper cites (Cho & Melhem \[34\], Woo & Lee \[7\]):
+//!
+//! * **dynamic core power** scales with the core's performance:
+//!   Pollack's rule gives perf ∝ √A0 while dynamic power grows ~linearly
+//!   in area, so big cores are energy-inefficient per op;
+//! * **leakage** is proportional to total powered silicon (cores and
+//!   caches, caches at a lower per-mm² rate);
+//! * an idle (serial-phase) core burns `idle_fraction` of its dynamic
+//!   power.
+//!
+//! From these the model derives energy `E = P·T`, energy-delay product
+//! `EDP = E·T`, and a weighted multi-objective `T^w · E^{1-w}` that
+//! reduces to pure performance at `w = 1` and pure energy at `w = 0`.
+
+use crate::model::{C2BoundModel, DesignVariables};
+use crate::{Error, Result};
+
+/// Technology power constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Dynamic power of a core per mm² at full activity (W/mm²).
+    pub core_dynamic_per_mm2: f64,
+    /// Leakage power per mm² of core logic (W/mm²).
+    pub core_leakage_per_mm2: f64,
+    /// Leakage power per mm² of cache (W/mm²) — SRAM leaks less.
+    pub cache_leakage_per_mm2: f64,
+    /// Fraction of dynamic power an idle core still burns.
+    pub idle_fraction: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            core_dynamic_per_mm2: 0.5,
+            core_leakage_per_mm2: 0.08,
+            cache_leakage_per_mm2: 0.02,
+            idle_fraction: 0.3,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Validated constructor.
+    pub fn new(
+        core_dynamic_per_mm2: f64,
+        core_leakage_per_mm2: f64,
+        cache_leakage_per_mm2: f64,
+        idle_fraction: f64,
+    ) -> Result<Self> {
+        for (name, v) in [
+            ("core_dynamic_per_mm2", core_dynamic_per_mm2),
+            ("core_leakage_per_mm2", core_leakage_per_mm2),
+            ("cache_leakage_per_mm2", cache_leakage_per_mm2),
+        ] {
+            if !(v >= 0.0) {
+                return Err(Error::InvalidParameter { name, value: v });
+            }
+        }
+        if !(0.0..=1.0).contains(&idle_fraction) {
+            return Err(Error::InvalidParameter {
+                name: "idle_fraction",
+                value: idle_fraction,
+            });
+        }
+        Ok(PowerModel {
+            core_dynamic_per_mm2,
+            core_leakage_per_mm2,
+            cache_leakage_per_mm2,
+            idle_fraction,
+        })
+    }
+
+    /// Chip power (W) at a design point, split into the serial phase
+    /// (one active core, N−1 idle) and the parallel phase (all active),
+    /// weighted by the phase time fractions of the Sun-Ni execution.
+    pub fn average_power(&self, model: &C2BoundModel, v: &DesignVariables) -> f64 {
+        let n = v.n.max(1.0);
+        let leakage = n * (v.a0 * self.core_leakage_per_mm2
+            + (v.a1 + v.a2) * self.cache_leakage_per_mm2);
+        let core_dyn = v.a0 * self.core_dynamic_per_mm2;
+        // Phase time fractions from the Eq. 10 parallel factor.
+        let f = model.program.f_seq;
+        let gn = model.program.g.eval(n);
+        let serial_time = f;
+        let parallel_time = gn * (1.0 - f) / n;
+        let total = serial_time + parallel_time;
+        if total <= 0.0 {
+            return leakage;
+        }
+        let serial_power = core_dyn * (1.0 + (n - 1.0) * self.idle_fraction);
+        let parallel_power = core_dyn * n;
+        leakage + (serial_time * serial_power + parallel_time * parallel_power) / total
+    }
+
+    /// Energy (J) for the whole execution: `E = P_avg · T`, with `T`
+    /// converted to seconds at the given clock.
+    pub fn energy(&self, model: &C2BoundModel, v: &DesignVariables, clock_hz: f64) -> f64 {
+        debug_assert!(clock_hz > 0.0);
+        self.average_power(model, v) * model.execution_time(v) / clock_hz
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self, model: &C2BoundModel, v: &DesignVariables, clock_hz: f64) -> f64 {
+        self.energy(model, v, clock_hz) * model.execution_time(v) / clock_hz
+    }
+}
+
+/// A weighted time/energy objective: minimize `T^w · E^{1−w}`.
+///
+/// `w = 1` is the paper's pure-performance Eq. 10; `w = 0` minimizes
+/// energy; `w = 0.5` is equivalent to minimizing `E·T` (EDP) up to a
+/// monotone transform.
+#[derive(Debug, Clone)]
+pub struct MultiObjective {
+    /// The performance model.
+    pub model: C2BoundModel,
+    /// The power model.
+    pub power: PowerModel,
+    /// Performance weight `w ∈ [0, 1]`.
+    pub weight: f64,
+    /// Clock frequency (Hz) for cycle → second conversion.
+    pub clock_hz: f64,
+}
+
+impl MultiObjective {
+    /// Validated constructor.
+    pub fn new(model: C2BoundModel, power: PowerModel, weight: f64, clock_hz: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&weight) {
+            return Err(Error::InvalidParameter {
+                name: "weight",
+                value: weight,
+            });
+        }
+        if !(clock_hz > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "clock_hz",
+                value: clock_hz,
+            });
+        }
+        Ok(MultiObjective {
+            model,
+            power,
+            weight,
+            clock_hz,
+        })
+    }
+
+    /// The scalarized objective value (lower is better).
+    pub fn objective(&self, v: &DesignVariables) -> f64 {
+        let t = self.model.execution_time(v) / self.clock_hz;
+        let e = self.power.energy(&self.model, v, self.clock_hz);
+        t.powf(self.weight) * e.powf(1.0 - self.weight)
+    }
+
+    /// Optimize `(N, A0, A1, A2)` for the weighted objective: coarse
+    /// grid over N and the split fractions, refined by Nelder–Mead.
+    pub fn optimize(&self) -> Result<DesignVariables> {
+        use c2_solver::grid::{grid_minimize, GridSpec};
+        use c2_solver::nelder::{nelder_mead, NelderMeadOptions};
+
+        let usable = self.model.budget.usable();
+        let eval = |n: f64, f0: f64, f1: f64| -> f64 {
+            if !(1.0..=usable / 0.15).contains(&n) {
+                return 1e30; // finite penalty: Nelder-Mead rejects non-finite simplexes
+            }
+            let per_core = usable / n;
+            let a0 = f0.clamp(0.02, 0.96) * per_core;
+            let a1 = f1.clamp(0.02, 0.96) * per_core;
+            let a2 = per_core - a0 - a1;
+            if a2 < 0.05 {
+                return 1e30; // finite penalty: Nelder-Mead rejects non-finite simplexes
+            }
+            self.objective(&DesignVariables { n, a0, a1, a2 })
+        };
+        let axes = [
+            GridSpec::logarithmic(1.0, usable / 0.2, 16),
+            GridSpec::linear(0.1, 0.8, 8),
+            GridSpec::linear(0.1, 0.8, 8),
+        ];
+        let (seed, _) = grid_minimize(&axes, |p| eval(p[0], p[1], p[2]))?;
+        let (best, _) = nelder_mead(
+            |p: &[f64]| eval(p[0].abs().max(1.0), p[1], p[2]),
+            &seed,
+            &NelderMeadOptions {
+                max_iters: 4000,
+                ..NelderMeadOptions::default()
+            },
+        )?;
+        let n = best[0].abs().max(1.0);
+        let per_core = usable / n;
+        let a0 = best[1].clamp(0.02, 0.96) * per_core;
+        let a1 = best[2].clamp(0.02, 0.96) * per_core;
+        Ok(DesignVariables {
+            n,
+            a0,
+            a1,
+            a2: per_core - a0 - a1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProgramProfile;
+    use c2_speedup::scale::ScaleFunction;
+
+    fn model() -> C2BoundModel {
+        let mut m = C2BoundModel::example_big_data();
+        m.program = ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
+        m
+    }
+
+    fn point(n: f64) -> DesignVariables {
+        DesignVariables {
+            n,
+            a0: 2.0,
+            a1: 0.5,
+            a2: 0.5,
+        }
+    }
+
+    #[test]
+    fn power_grows_with_core_count() {
+        let p = PowerModel::default();
+        let m = model();
+        assert!(p.average_power(&m, &point(16.0)) > p.average_power(&m, &point(2.0)));
+    }
+
+    #[test]
+    fn idle_cores_burn_less_than_active() {
+        // A fully-serial program keeps N-1 cores idle: less power than a
+        // fully-parallel one on the same hardware.
+        let p = PowerModel::default();
+        let mut serial = model();
+        serial.program.f_seq = 1.0;
+        let mut parallel = model();
+        parallel.program.f_seq = 0.0;
+        let v = point(16.0);
+        assert!(p.average_power(&serial, &v) < p.average_power(&parallel, &v));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = PowerModel::default();
+        let m = model();
+        let v = point(8.0);
+        let clock = 3e9;
+        let e = p.energy(&m, &v, clock);
+        let direct = p.average_power(&m, &v) * m.execution_time(&v) / clock;
+        assert!((e - direct).abs() / direct < 1e-12);
+        assert!(p.edp(&m, &v, clock) > 0.0);
+    }
+
+    #[test]
+    fn weight_one_reduces_to_execution_time_ordering() {
+        let mo = MultiObjective::new(model(), PowerModel::default(), 1.0, 3e9).unwrap();
+        let fast = point(32.0);
+        let slow = point(2.0);
+        let t_order = mo.model.execution_time(&fast) < mo.model.execution_time(&slow);
+        let o_order = mo.objective(&fast) < mo.objective(&slow);
+        assert_eq!(t_order, o_order);
+    }
+
+    #[test]
+    fn energy_weight_prefers_fewer_or_smaller_cores() {
+        // The energy-leaning optimum should burn less power than the
+        // performance-leaning one.
+        let perf = MultiObjective::new(model(), PowerModel::default(), 1.0, 3e9).unwrap();
+        let green = MultiObjective::new(model(), PowerModel::default(), 0.0, 3e9).unwrap();
+        let v_perf = perf.optimize().unwrap();
+        let v_green = green.optimize().unwrap();
+        let p = PowerModel::default();
+        let power_perf = p.average_power(&perf.model, &v_perf);
+        let power_green = p.average_power(&green.model, &v_green);
+        assert!(
+            power_green <= power_perf + 1e-9,
+            "green {power_green} W vs perf {power_perf} W"
+        );
+        // And the performance optimum must not be slower than the green.
+        assert!(
+            perf.model.execution_time(&v_perf) <= perf.model.execution_time(&v_green) + 1e-6
+        );
+    }
+
+    #[test]
+    fn optimum_is_feasible_and_beats_neighbours() {
+        let mo = MultiObjective::new(model(), PowerModel::default(), 0.5, 3e9).unwrap();
+        let v = mo.optimize().unwrap();
+        assert!(mo.model.feasible(&v), "{v:?}");
+        let obj = mo.objective(&v);
+        for (dn, da) in [(2.0f64, 1.0f64), (0.5, 1.0), (1.0, 1.3), (1.0, 0.7)] {
+            let per_core = mo.model.budget.usable() / (v.n * dn);
+            let scale = per_core / v.per_core() * da.min(1.0 / da);
+            let alt = DesignVariables {
+                n: v.n * dn,
+                a0: v.a0 * scale,
+                a1: v.a1 * scale,
+                a2: (per_core - v.a0 * scale - v.a1 * scale).max(0.05),
+            };
+            if mo.model.feasible(&alt) {
+                assert!(
+                    obj <= mo.objective(&alt) * 1.05,
+                    "neighbour ({dn}, {da}) wins: {obj} vs {}",
+                    mo.objective(&alt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerModel::new(-1.0, 0.0, 0.0, 0.5).is_err());
+        assert!(PowerModel::new(1.0, 0.1, 0.1, 1.5).is_err());
+        assert!(MultiObjective::new(model(), PowerModel::default(), 1.5, 3e9).is_err());
+        assert!(MultiObjective::new(model(), PowerModel::default(), 0.5, 0.0).is_err());
+    }
+}

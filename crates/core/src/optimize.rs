@@ -1,0 +1,381 @@
+//! Solving the constrained design problem (paper Eq. 13, Fig 6 cases).
+//!
+//! Structure of the solve, following §III.C:
+//!
+//! 1. **Inner problem** (fixed `N`): choose the area split
+//!    `(A0, A1, A2)` with `A0 + A1 + A2 = (A − Ac)/N` minimizing the
+//!    per-instruction cycle cost. Solved with the method of Lagrange
+//!    multipliers → Newton on the KKT system (`c2-solver::lagrange`),
+//!    seeded by a coarse grid; Nelder–Mead is the fallback for the rare
+//!    KKT non-convergence.
+//! 2. **Outer problem**: the case split on `g(N)`. When `g(N) < O(N)` a
+//!    finite `N` minimizes `T` (golden-section on the inner optimum);
+//!    when `g(N) ≥ O(N)` there is no finite minimizer of `T`
+//!    (`∂L/∂N > 0`), so maximize the throughput `W/T` instead.
+
+use c2_solver::golden::{golden_section, golden_section_max};
+use c2_solver::grid::{grid_minimize, GridSpec};
+use c2_solver::lagrange::EqualityConstrained;
+use c2_solver::nelder::{nelder_mead, NelderMeadOptions};
+use c2_solver::newton::NewtonOptions;
+
+use crate::model::{C2BoundModel, DesignVariables, OptimizationCase};
+use crate::{Error, Result};
+
+/// Lower bound on any single area component (mm²) to keep the model in
+/// its physical domain.
+const MIN_AREA: f64 = 0.05;
+
+/// The optimizer's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalDesign {
+    /// The optimal design variables.
+    pub vars: DesignVariables,
+    /// Which case the optimizer took.
+    pub case: OptimizationCase,
+    /// Execution time `J_D` at the optimum (cycles).
+    pub execution_time: f64,
+    /// Throughput `W/T` at the optimum.
+    pub throughput: f64,
+    /// Per-instruction cycle cost at the optimum.
+    pub cpi: f64,
+    /// Data-access concurrency `C` at the optimum.
+    pub concurrency: f64,
+    /// `true` if the inner solves used the Lagrange/Newton path for the
+    /// final `N` (false = Nelder–Mead fallback).
+    pub newton_converged: bool,
+}
+
+/// Optimize the area split for a fixed `N`. Returns the best feasible
+/// `(A0, A1, A2)` and whether Newton converged.
+pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, bool)> {
+    if n < 1.0 {
+        return Err(Error::InvalidParameter { name: "n", value: n });
+    }
+    let per_core = model.budget.usable() / n;
+    if per_core < 3.0 * MIN_AREA {
+        return Err(Error::Optimization(format!(
+            "per-core area {per_core:.3} mm² cannot fit three components"
+        )));
+    }
+    let objective = |a: &[f64]| {
+        let v = DesignVariables {
+            n,
+            a0: a[0],
+            a1: a[1],
+            a2: a[2],
+        };
+        if a.iter().any(|&x| x < MIN_AREA) {
+            // Smooth barrier keeps Newton inside the domain.
+            return f64::INFINITY;
+        }
+        model.cycles_per_instruction(&v)
+    };
+
+    // Grid seed over (a0 fraction, a1 fraction); a2 takes the rest.
+    let axes = [
+        GridSpec::linear(0.05, 0.9, 18),
+        GridSpec::linear(0.05, 0.9, 18),
+    ];
+    let (seed_frac, _) = grid_minimize(&axes, |f| {
+        let a0 = f[0] * per_core;
+        let a1 = f[1] * per_core;
+        let a2 = per_core - a0 - a1;
+        if a2 < MIN_AREA {
+            return f64::NAN;
+        }
+        objective(&[a0, a1, a2])
+    })?;
+    let seed = [
+        seed_frac[0] * per_core,
+        seed_frac[1] * per_core,
+        per_core - seed_frac[0] * per_core - seed_frac[1] * per_core,
+    ];
+
+    // Lagrange/Newton on the KKT system (the paper's Eq. 13 route).
+    let smooth_objective = |a: &[f64]| {
+        // Clamp (rather than reject) so finite differences stay finite.
+        let v = DesignVariables {
+            n,
+            a0: a[0].max(MIN_AREA),
+            a1: a[1].max(MIN_AREA),
+            a2: a[2].max(MIN_AREA),
+        };
+        model.cycles_per_instruction(&v)
+    };
+    let problem = EqualityConstrained::new(smooth_objective)
+        .constraint(move |a: &[f64]| a[0] + a[1] + a[2] - per_core);
+    let newton = problem.solve(
+        &seed,
+        &NewtonOptions {
+            tol: 1e-8,
+            max_iters: 200,
+            ..NewtonOptions::default()
+        },
+    );
+
+    let candidate = match &newton {
+        Ok(kkt)
+            if kkt.x.iter().all(|&x| x >= MIN_AREA * 0.99)
+                && (kkt.x.iter().sum::<f64>() - per_core).abs() < 1e-6 * per_core.max(1.0) =>
+        {
+            Some(DesignVariables {
+                n,
+                a0: kkt.x[0],
+                a1: kkt.x[1],
+                a2: kkt.x[2],
+            })
+        }
+        _ => None,
+    };
+
+    if let Some(v) = candidate {
+        // Accept the KKT point only if it actually beats the seed (KKT
+        // also matches saddle points).
+        if model.cycles_per_instruction(&v) <= objective(&seed) + 1e-12 {
+            return Ok((v, true));
+        }
+    }
+
+    // Fallback: Nelder–Mead on the two free fractions.
+    let (best, _) = nelder_mead(
+        |f: &[f64]| {
+            let a0 = f[0].clamp(0.01, 0.98) * per_core;
+            let a1 = f[1].clamp(0.01, 0.98) * per_core;
+            let a2 = per_core - a0 - a1;
+            if a2 < MIN_AREA {
+                return 1e18;
+            }
+            objective(&[a0, a1, a2])
+        },
+        &seed_frac,
+        &NelderMeadOptions {
+            max_iters: 4000,
+            tol: 1e-12,
+            ..NelderMeadOptions::default()
+        },
+    )?;
+    let a0 = best[0].clamp(0.01, 0.98) * per_core;
+    let a1 = best[1].clamp(0.01, 0.98) * per_core;
+    Ok((
+        DesignVariables {
+            n,
+            a0,
+            a1,
+            a2: per_core - a0 - a1,
+        },
+        false,
+    ))
+}
+
+/// Full two-level optimization (Fig 6).
+pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
+    let n_max = (model.budget.usable() / (3.0 * MIN_AREA)).floor().max(1.0);
+    let case = model.case();
+
+    // Outer objective: the best achievable value at each N.
+    let value_at = |n: f64| -> f64 {
+        match optimize_split(model, n) {
+            Ok((v, _)) => match case {
+                OptimizationCase::MinimizeTime => model.execution_time(&v),
+                OptimizationCase::MaximizeThroughput => model.throughput(&v),
+            },
+            Err(_) => match case {
+                OptimizationCase::MinimizeTime => f64::INFINITY,
+                OptimizationCase::MaximizeThroughput => 0.0,
+            },
+        }
+    };
+
+    // Coarse logarithmic scan over N to bracket the optimum, then golden
+    // refinement inside the best bracket.
+    let scan_axis = GridSpec::logarithmic(1.0, n_max, 25);
+    let mut best_i = 0;
+    let mut best_val = match case {
+        OptimizationCase::MinimizeTime => f64::INFINITY,
+        OptimizationCase::MaximizeThroughput => f64::NEG_INFINITY,
+    };
+    for i in 0..scan_axis.steps {
+        let n = scan_axis.point(i);
+        let v = value_at(n);
+        let better = match case {
+            OptimizationCase::MinimizeTime => v < best_val,
+            OptimizationCase::MaximizeThroughput => v > best_val,
+        };
+        if better {
+            best_val = v;
+            best_i = i;
+        }
+    }
+    let lo = scan_axis.point(best_i.saturating_sub(1));
+    let hi = scan_axis.point((best_i + 1).min(scan_axis.steps - 1));
+    let n_star = if hi > lo {
+        match case {
+            OptimizationCase::MinimizeTime => golden_section(value_at, lo, hi, 1e-3)?.0,
+            OptimizationCase::MaximizeThroughput => {
+                golden_section_max(value_at, lo, hi, 1e-3)?.0
+            }
+        }
+    } else {
+        scan_axis.point(best_i)
+    };
+
+    let (vars, newton_converged) = optimize_split(model, n_star)?;
+    Ok(OptimalDesign {
+        execution_time: model.execution_time(&vars),
+        throughput: model.throughput(&vars),
+        cpi: model.cycles_per_instruction(&vars),
+        concurrency: model.concurrency(&vars),
+        vars,
+        case,
+        newton_converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProgramProfile;
+    use c2_speedup::scale::ScaleFunction;
+
+    fn model_with_g(g: ScaleFunction) -> C2BoundModel {
+        let mut m = C2BoundModel::example_big_data();
+        m.program = ProgramProfile::new(1e9, 0.05, 0.3, 0.1, g).unwrap();
+        m
+    }
+
+    #[test]
+    fn inner_split_exhausts_the_budget() {
+        let m = C2BoundModel::example_big_data();
+        let (v, _) = optimize_split(&m, 16.0).unwrap();
+        let per_core = m.budget.usable() / 16.0;
+        assert!((v.per_core() - per_core).abs() < 1e-6 * per_core);
+        assert!(v.a0 >= MIN_AREA && v.a1 >= MIN_AREA && v.a2 >= MIN_AREA);
+    }
+
+    #[test]
+    fn inner_split_beats_naive_splits() {
+        let m = C2BoundModel::example_big_data();
+        let n = 32.0;
+        let (v, _) = optimize_split(&m, n).unwrap();
+        let opt = m.cycles_per_instruction(&v);
+        let per_core = m.budget.usable() / n;
+        for (f0, f1) in [(0.34, 0.33), (0.6, 0.2), (0.2, 0.6), (0.1, 0.1), (0.8, 0.1)] {
+            let naive = DesignVariables {
+                n,
+                a0: f0 * per_core,
+                a1: f1 * per_core,
+                a2: (1.0 - f0 - f1) * per_core,
+            };
+            assert!(
+                opt <= m.cycles_per_instruction(&naive) + 1e-9,
+                "optimizer lost to naive split ({f0}, {f1}): {opt} vs {}",
+                m.cycles_per_instruction(&naive)
+            );
+        }
+    }
+
+    #[test]
+    fn amdahl_like_workload_minimizes_time_with_few_cores() {
+        // g < O(N) -> MinimizeTime; sequential fraction pushes the
+        // optimum toward fewer, bigger cores ("few cores but large
+        // caches" in the paper's abstract).
+        let mut m = model_with_g(ScaleFunction::Power(0.5));
+        m.program.f_seq = 0.3;
+        let d = optimize(&m).unwrap();
+        assert_eq!(d.case, OptimizationCase::MinimizeTime);
+        assert!(d.vars.n >= 1.0);
+        // The optimum must beat doubling or halving N.
+        for factor in [0.5, 2.0] {
+            let n_alt = (d.vars.n * factor).max(1.0);
+            if let Ok((v_alt, _)) = optimize_split(&m, n_alt) {
+                assert!(
+                    d.execution_time <= m.execution_time(&v_alt) * (1.0 + 1e-6),
+                    "N = {} beaten by N = {}",
+                    d.vars.n,
+                    n_alt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn superlinear_workload_maximizes_throughput_with_many_cores() {
+        let m = model_with_g(ScaleFunction::Power(1.5));
+        let d = optimize(&m).unwrap();
+        assert_eq!(d.case, OptimizationCase::MaximizeThroughput);
+        // The throughput optimum should use substantially more cores
+        // than the Amdahl-like case.
+        let mut amdahl = model_with_g(ScaleFunction::Power(0.3));
+        amdahl.program.f_seq = 0.3;
+        let d_amdahl = optimize(&amdahl).unwrap();
+        assert!(
+            d.vars.n > d_amdahl.vars.n,
+            "throughput case N = {} vs time case N = {}",
+            d.vars.n,
+            d_amdahl.vars.n
+        );
+        // And it must beat nearby N on throughput.
+        for factor in [0.5, 2.0] {
+            let n_alt = (d.vars.n * factor).max(1.0);
+            if let Ok((v_alt, _)) = optimize_split(&m, n_alt) {
+                assert!(
+                    d.throughput >= m.throughput(&v_alt) * (1.0 - 1e-6),
+                    "N = {} beaten by N = {}",
+                    d.vars.n,
+                    n_alt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_concurrency_shifts_area_from_cache_to_cores() {
+        // More memory concurrency hides latency, so the optimizer can
+        // afford smaller caches / more-or-bigger cores (paper abstract:
+        // "memory bound factors significantly impact ... optimal silicon
+        // area allocations").
+        let base = model_with_g(ScaleFunction::Power(1.5));
+        let mut high_c = base.clone();
+        high_c.memory = base.memory.with_concurrency(8.0).unwrap();
+        let (v_base, _) = optimize_split(&base, 64.0).unwrap();
+        let (v_high, _) = optimize_split(&high_c, 64.0).unwrap();
+        let cache_frac_base = (v_base.a1 + v_base.a2) / v_base.per_core();
+        let cache_frac_high = (v_high.a1 + v_high.a2) / v_high.per_core();
+        assert!(
+            cache_frac_high < cache_frac_base,
+            "cache fraction {cache_frac_high} !< {cache_frac_base}"
+        );
+    }
+
+    #[test]
+    fn memory_hungry_program_gets_more_cache() {
+        let lean = {
+            let mut m = model_with_g(ScaleFunction::Power(1.5));
+            m.program.f_mem = 0.05;
+            m
+        };
+        let hungry = {
+            let mut m = model_with_g(ScaleFunction::Power(1.5));
+            m.program.f_mem = 0.6;
+            m
+        };
+        let (v_lean, _) = optimize_split(&lean, 32.0).unwrap();
+        let (v_hungry, _) = optimize_split(&hungry, 32.0).unwrap();
+        let frac = |v: &DesignVariables| (v.a1 + v.a2) / v.per_core();
+        assert!(
+            frac(&v_hungry) > frac(&v_lean),
+            "hungry {} !> lean {}",
+            frac(&v_hungry),
+            frac(&v_lean)
+        );
+    }
+
+    #[test]
+    fn invalid_n_rejected() {
+        let m = C2BoundModel::example_big_data();
+        assert!(optimize_split(&m, 0.5).is_err());
+        // N so large that nothing fits.
+        assert!(optimize_split(&m, 1e9).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text tables and series for the figure/table regenerators.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = *w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float compactly for tables (3 significant-ish digits, with
+/// scientific notation for extremes).
+pub fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e7).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render an (x, y) series as an aligned two-column block with an ASCII
+/// log-scale bar to visualize the shape (the "figure" part of a figure
+/// regenerator).
+pub fn render_series(title: &str, xlabel: &str, ylabel: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    if points.is_empty() {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+    let ymax = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = points
+        .iter()
+        .map(|p| p.1)
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let log_span = if ymax > 0.0 && ymin.is_finite() && ymax > ymin {
+        (ymax / ymin).ln()
+    } else {
+        1.0
+    };
+    let _ = writeln!(out, "{xlabel:>10}  {ylabel:>12}");
+    for &(x, y) in points {
+        let bar_len = if y > 0.0 && ymin.is_finite() && log_span > 0.0 {
+            (40.0 * (y / ymin).ln() / log_span).round().max(0.0) as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>12}  {}",
+            fmt_num(x),
+            fmt_num(y),
+            "#".repeat(bar_len.min(60))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]).row(vec!["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("alpha"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(12345.6), "12345.6");
+        assert!(fmt_num(1e12).contains('e'));
+        assert!(fmt_num(1e-9).contains('e'));
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let s = render_series("T vs N", "N", "T", &[(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)]);
+        assert!(s.contains("T vs N"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Monotone series -> monotone bar lengths.
+        let bars: Vec<usize> = lines[2..]
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert!(bars[0] < bars[1] && bars[1] < bars[2]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = render_series("x", "a", "b", &[]);
+        assert!(s.contains("empty"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The memory-bounded scaling study behind the paper's Figs 8–11.
+//!
+//! For `N = 1..1000` with `g(N) = N^{3/2}` and three concurrency levels
+//! `C ∈ {1, 4, 8}`, the paper plots the problem size `W`, the execution
+//! time `T` and the throughput `W/T`. The chip area is fixed, so more
+//! cores mean smaller per-core caches and a higher C-AMAT — that cache
+//! pressure is what makes the `C = 1` throughput saturate around a
+//! hundred cores while higher concurrency keeps scaling (the paper's
+//! central qualitative claims for these figures).
+
+use crate::model::{C2BoundModel, DesignVariables};
+use crate::{Error, Result};
+
+/// One row of the scaling study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Core count.
+    pub n: f64,
+    /// Scaled problem size `W(N) = g(N)·IC0`.
+    pub problem_size: f64,
+    /// Execution time `T(N)` in cycles.
+    pub time: f64,
+    /// Throughput `W/T`.
+    pub throughput: f64,
+    /// C-AMAT at this point (cycles/access).
+    pub camat: f64,
+}
+
+/// The Figs 8–11 generator.
+#[derive(Debug, Clone)]
+pub struct ScalingStudy {
+    /// The underlying model (fixed area budget).
+    pub model: C2BoundModel,
+    /// Fraction of per-core area spent on the core (`A0`); the rest is
+    /// split between L1 and L2. The paper holds the split policy fixed
+    /// across N for these figures.
+    pub core_fraction: f64,
+    /// Of the cache area, the fraction given to L1.
+    pub l1_fraction: f64,
+}
+
+impl ScalingStudy {
+    /// A study over the given model with the default 50/25/25 split.
+    pub fn new(model: C2BoundModel) -> Self {
+        ScalingStudy {
+            model,
+            core_fraction: 0.5,
+            l1_fraction: 0.5,
+        }
+    }
+
+    /// The design variables implied by `N` under the fixed split.
+    pub fn variables(&self, n: f64) -> DesignVariables {
+        let per_core = self.model.budget.usable() / n.max(1.0);
+        let a0 = per_core * self.core_fraction;
+        let cache = per_core - a0;
+        DesignVariables {
+            n,
+            a0,
+            a1: cache * self.l1_fraction,
+            a2: cache * (1.0 - self.l1_fraction),
+        }
+    }
+
+    /// Evaluate one point.
+    pub fn point(&self, n: f64) -> ScalingPoint {
+        let v = self.variables(n);
+        let (c1, c2) = self.model.capacities(&v);
+        ScalingPoint {
+            n,
+            problem_size: self.model.problem_size(n),
+            time: self.model.execution_time(&v),
+            throughput: self.model.throughput(&v),
+            camat: self.model.camat_at(c1, c2),
+        }
+    }
+
+    /// Evaluate a whole sweep of `N` values with a concurrency factor
+    /// applied to the memory model (the paper's C ∈ {1, 4, 8} curves).
+    pub fn sweep(&self, ns: &[f64], concurrency: f64) -> Result<Vec<ScalingPoint>> {
+        if !(concurrency > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "concurrency",
+                value: concurrency,
+            });
+        }
+        let mut study = self.clone();
+        // The sweep interprets `concurrency` as the *absolute* C target:
+        // the base model is first reduced to its sequential variant.
+        study.model.memory = self.model.memory.sequential().with_concurrency(concurrency)?;
+        Ok(ns.iter().map(|&n| study.point(n)).collect())
+    }
+
+    /// The logarithmically spaced `N` grid the paper's figures use.
+    pub fn paper_n_grid() -> Vec<f64> {
+        let mut ns = Vec::new();
+        let mut n = 1.0f64;
+        while n <= 1000.0 {
+            let rounded = n.round();
+            if ns.last() != Some(&rounded) {
+                ns.push(rounded);
+            }
+            n *= 1.3;
+        }
+        if *ns.last().unwrap() < 1000.0 {
+            ns.push(1000.0);
+        }
+        ns
+    }
+
+    /// The Figs 8–11 configuration: `g(N) = N^{3/2}`, the given
+    /// `f_mem` (0.3 for Figs 8/10, 0.9 for Figs 9/11), and a big-data
+    /// memory model whose working set outruns the shared L2 (L2 miss
+    /// floor ≈ 0.5) with a heavy-tailed L1 miss curve (α = 1) — the
+    /// regime in which the paper's C = 1 throughput saturates around a
+    /// hundred cores.
+    pub fn paper_figs_8_to_11(f_mem: f64) -> crate::Result<Self> {
+        use crate::mem_model::{CacheSensitivity, MemoryModel};
+        use crate::model::ProgramProfile;
+        use c2_speedup::scale::ScaleFunction;
+
+        let mut model = C2BoundModel::example_big_data();
+        model.program =
+            ProgramProfile::new(1e9, 0.02, f_mem, 0.0, ScaleFunction::Power(1.5))?;
+        model.memory = MemoryModel::new(
+            3.0,
+            2.0,
+            2.0,
+            0.8,
+            16.0,
+            300.0,
+            CacheSensitivity::power_law(0.4, 32.0 * 1024.0, 1.0, 1e-4)?,
+            CacheSensitivity::power_law(0.8, 2.0 * 1024.0 * 1024.0, 0.2, 0.5)?,
+        )?;
+        Ok(ScalingStudy::new(model))
+    }
+}
+
+impl C2BoundModel {
+    /// C-AMAT at explicit capacities (helper for the scaling study).
+    pub fn camat_at(&self, c1_bytes: f64, c2_bytes: f64) -> f64 {
+        self.memory.camat(c1_bytes, c2_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProgramProfile;
+    use c2_speedup::scale::ScaleFunction;
+
+    /// The paper's Figs 8-11 configuration: g = N^{3/2}, f_mem 0.3/0.9.
+    fn study(f_mem: f64) -> ScalingStudy {
+        ScalingStudy::paper_figs_8_to_11(f_mem).unwrap()
+    }
+
+    #[test]
+    fn study_profile_is_the_paper_configuration() {
+        let s = study(0.3);
+        assert!((s.model.program.f_mem - 0.3).abs() < 1e-12);
+        assert_eq!(s.model.program.g, ScaleFunction::Power(1.5));
+        let _ = ProgramProfile::new(1e9, 0.02, 0.3, 0.0, ScaleFunction::Power(1.5)).unwrap();
+    }
+
+    #[test]
+    fn problem_size_grows_as_n_three_halves() {
+        let s = study(0.3);
+        let p10 = s.point(10.0);
+        let p1000 = s.point(1000.0);
+        let ratio = p1000.problem_size / p10.problem_size;
+        assert!((ratio - 100.0f64.powf(1.5)).abs() / 1000.0 < 1.0, "{ratio}");
+    }
+
+    #[test]
+    fn time_increases_with_f_mem() {
+        // Fig 8 vs Fig 9: higher data-access frequency raises T.
+        let lo = study(0.3);
+        let hi = study(0.9);
+        for n in [1.0, 10.0, 100.0, 1000.0] {
+            assert!(
+                hi.point(n).time > lo.point(n).time,
+                "at N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_decreases_with_f_mem() {
+        // Comparing Figs 10 and 11.
+        let lo = study(0.3);
+        let hi = study(0.9);
+        for n in [10.0, 100.0, 1000.0] {
+            assert!(hi.point(n).throughput < lo.point(n).throughput, "at N = {n}");
+        }
+    }
+
+    #[test]
+    fn higher_concurrency_cuts_execution_time() {
+        // The paper: at N = 1000 the speedup of T(C=8) over T(C=1) is
+        // "very significant".
+        let s = study(0.9);
+        let ns = [1000.0];
+        let c1 = s.sweep(&ns, 1.0).unwrap()[0];
+        let c8 = s.sweep(&ns, 8.0).unwrap()[0];
+        assert!(
+            c1.time / c8.time > 2.0,
+            "T(C=1)/T(C=8) = {}",
+            c1.time / c8.time
+        );
+    }
+
+    #[test]
+    fn c1_throughput_saturates_but_c8_keeps_growing() {
+        // Fig 10's shape: with C = 1, beyond ~100 cores W/T stays about
+        // the same; with C = 8 it is still improving.
+        let s = study(0.9);
+        let ns = [100.0, 1000.0];
+        let c1 = s.sweep(&ns, 1.0).unwrap();
+        let c8 = s.sweep(&ns, 8.0).unwrap();
+        let gain_c1 = c1[1].throughput / c1[0].throughput;
+        let gain_c8 = c8[1].throughput / c8[0].throughput;
+        assert!(
+            gain_c1 < 2.0,
+            "C=1 throughput still growing fast past 100 cores: {gain_c1}"
+        );
+        assert!(
+            gain_c8 > gain_c1 * 1.3,
+            "C=8 gain {gain_c8} should clearly exceed C=1 gain {gain_c1}"
+        );
+    }
+
+    #[test]
+    fn throughput_ordering_follows_concurrency() {
+        let s = study(0.3);
+        let ns = ScalingStudy::paper_n_grid();
+        let c1 = s.sweep(&ns, 1.0).unwrap();
+        let c4 = s.sweep(&ns, 4.0).unwrap();
+        let c8 = s.sweep(&ns, 8.0).unwrap();
+        for i in 0..ns.len() {
+            assert!(c4[i].throughput >= c1[i].throughput - 1e-9);
+            assert!(c8[i].throughput >= c4[i].throughput - 1e-9);
+        }
+    }
+
+    #[test]
+    fn camat_grows_as_cores_squeeze_caches() {
+        let s = study(0.3);
+        assert!(s.point(1000.0).camat > s.point(10.0).camat);
+    }
+
+    #[test]
+    fn n_grid_covers_1_to_1000() {
+        let g = ScalingStudy::paper_n_grid();
+        assert_eq!(g[0], 1.0);
+        assert_eq!(*g.last().unwrap(), 1000.0);
+        assert!(g.len() > 15);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn invalid_concurrency_rejected() {
+        let s = study(0.3);
+        assert!(s.sweep(&[1.0], 0.0).is_err());
+    }
+}

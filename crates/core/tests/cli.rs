@@ -1,0 +1,105 @@
+//! Smoke tests for the `c2bound-tool` command-line program.
+
+use std::process::Command;
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_c2bound-tool"))
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = tool().output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn table1_prints_rows() {
+    let out = tool().arg("table1").output().expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("TMM"), "{s}");
+    assert!(s.contains("FFT"), "{s}");
+}
+
+#[test]
+fn optimize_reports_a_design() {
+    let out = tool()
+        .args(["optimize", "0.2", "0.4", "0.5"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("MinimizeTime"), "{s}");
+    assert!(s.contains("N (cores)"), "{s}");
+}
+
+#[test]
+fn characterize_runs_the_simulator() {
+    let out = tool()
+        .args(["characterize", "stencil", "12"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("f_mem"), "{s}");
+    assert!(s.contains("C-AMAT"), "{s}");
+}
+
+#[test]
+fn trace_roundtrips_through_characterize_file() {
+    let out = tool().args(["trace", "spmv", "32"]).output().expect("spawn");
+    assert!(out.status.success());
+    let dump = out.stdout;
+    assert!(dump.starts_with(b"#c2trace v1"));
+
+    let dir = std::env::temp_dir().join(format!("c2bound-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("t.trace");
+    std::fs::write(&path, &dump).expect("write");
+    let out = tool()
+        .args(["characterize-file", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("f_mem"), "{s}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scaling_prints_series() {
+    let out = tool().args(["scaling", "0.9"]).output().expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("W/T"), "{s}");
+    assert!(s.contains("1000"), "{s}");
+}
+
+#[test]
+fn multiobjective_reports_energy() {
+    let out = tool().args(["multiobjective", "0.5"]).output().expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("energy (J)"), "{s}");
+    assert!(s.contains("EDP"), "{s}");
+}
+
+#[test]
+fn adaptive_reports_phases() {
+    let out = tool().arg("adaptive").output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("phase"), "{s}");
+    assert!(s.contains("reconfiguration gain"), "{s}");
+}
+
+#[test]
+fn unknown_workload_is_usage_error() {
+    let out = tool()
+        .args(["characterize", "nosuch"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}

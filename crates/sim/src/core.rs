@@ -1,0 +1,337 @@
+//! Out-of-order core abstraction.
+//!
+//! The core is modelled by its two first-order resources: an issue width
+//! and a reorder-buffer window. Instructions issue in order into the
+//! ROB; compute instructions complete after `exec_latency`; memory
+//! instructions complete when the memory hierarchy returns data.
+//! Retirement is in order. Memory-level parallelism — the paper's `C_H`
+//! and `C_M` — *emerges* from the window: a wide ROB lets many memory
+//! requests overlap, a 1-entry ROB serializes them (the paper's C = 1).
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use c2_trace::{MemAccess, Trace};
+
+use crate::config::CoreConfig;
+use crate::request::ReqId;
+
+/// A slot in the reorder buffer.
+#[derive(Debug, Clone, Copy)]
+enum RobEntry {
+    /// A non-memory instruction completing at the given cycle.
+    Compute {
+        /// Completion cycle.
+        done_at: u64,
+    },
+    /// A memory instruction waiting on the request with this id.
+    Memory {
+        /// The in-flight request id.
+        req: ReqId,
+    },
+}
+
+/// What the core wants to issue next (peeked by the chip engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextOp {
+    /// A compute instruction.
+    Compute,
+    /// A memory access (the next one in the trace).
+    Memory(MemAccess),
+    /// Trace exhausted.
+    Exhausted,
+}
+
+/// One simulated core executing one trace.
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    accesses: Vec<MemAccess>,
+    instruction_count: u64,
+    /// Index of the next trace access to issue.
+    next_access: usize,
+    /// Dynamic instruction index of the next instruction to issue.
+    next_instr: u64,
+    rob: VecDeque<RobEntry>,
+    completed_reqs: HashSet<ReqId>,
+    retired: u64,
+    finished_at: u64,
+    /// Whether the core issued or retired anything since the last
+    /// [`Core::take_progress`] call (drives the overlap measurement).
+    progress: bool,
+    // Statistics
+    rob_stalls: u64,
+    mem_stalls: u64,
+}
+
+impl Core {
+    /// Build a core that will execute `trace`.
+    pub fn new(config: CoreConfig, trace: &Trace) -> Self {
+        Core {
+            config,
+            accesses: trace.accesses().to_vec(),
+            instruction_count: trace.instruction_count(),
+            next_access: 0,
+            next_instr: 0,
+            rob: VecDeque::with_capacity(config.rob_size),
+            completed_reqs: HashSet::new(),
+            retired: 0,
+            finished_at: 0,
+            progress: false,
+            rob_stalls: 0,
+            mem_stalls: 0,
+        }
+    }
+
+    /// Whether every instruction has been issued *and* retired.
+    pub fn finished(&self) -> bool {
+        self.retired >= self.instruction_count && self.rob.is_empty()
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycle at which the last instruction retired (0 until finished).
+    pub fn finished_at(&self) -> u64 {
+        self.finished_at
+    }
+
+    /// ROB-full issue stalls observed.
+    pub fn rob_stalls(&self) -> u64 {
+        self.rob_stalls
+    }
+
+    /// Memory-structural issue stalls observed (ports/MSHRs).
+    pub fn mem_stalls(&self) -> u64 {
+        self.mem_stalls
+    }
+
+    /// Total dynamic instructions this core will execute.
+    pub fn instruction_count(&self) -> u64 {
+        self.instruction_count
+    }
+
+    /// Notification from the memory system that request `id` completed.
+    pub fn complete_request(&mut self, id: ReqId) {
+        self.completed_reqs.insert(id);
+    }
+
+    /// Retire up to `issue_width` completed instructions from the ROB
+    /// head (in order).
+    pub fn retire(&mut self, now: u64) {
+        for _ in 0..self.config.issue_width {
+            let Some(head) = self.rob.front() else { break };
+            let done = match head {
+                RobEntry::Compute { done_at } => *done_at <= now,
+                RobEntry::Memory { req } => self.completed_reqs.contains(req),
+            };
+            if !done {
+                break;
+            }
+            if let Some(RobEntry::Memory { req }) = self.rob.pop_front() {
+                self.completed_reqs.remove(&req);
+            }
+            self.retired += 1;
+            self.progress = true;
+            if self.retired == self.instruction_count && self.rob.is_empty() {
+                self.finished_at = now;
+            }
+        }
+    }
+
+    /// What the next instruction to issue is.
+    pub fn peek(&self) -> NextOp {
+        if self.next_instr >= self.instruction_count {
+            return NextOp::Exhausted;
+        }
+        match self.accesses.get(self.next_access) {
+            Some(a) if a.instr == self.next_instr => NextOp::Memory(*a),
+            _ => NextOp::Compute,
+        }
+    }
+
+    /// Whether the ROB has room for another instruction.
+    pub fn rob_has_space(&self) -> bool {
+        self.rob.len() < self.config.rob_size
+    }
+
+    /// Record a ROB-full stall for this cycle.
+    pub fn note_rob_stall(&mut self) {
+        self.rob_stalls += 1;
+    }
+
+    /// Record a memory-structural stall for this cycle.
+    pub fn note_mem_stall(&mut self) {
+        self.mem_stalls += 1;
+    }
+
+    /// Issue the pending compute instruction (caller checked `peek`).
+    pub fn issue_compute(&mut self, now: u64) {
+        debug_assert!(self.rob_has_space());
+        self.rob.push_back(RobEntry::Compute {
+            done_at: now + self.config.exec_latency as u64,
+        });
+        self.next_instr += 1;
+        self.progress = true;
+    }
+
+    /// Issue the pending memory instruction bound to request `req`
+    /// (caller checked `peek` and created the request).
+    pub fn issue_memory(&mut self, req: ReqId) {
+        debug_assert!(self.rob_has_space());
+        self.rob.push_back(RobEntry::Memory { req });
+        self.next_instr += 1;
+        self.next_access += 1;
+        self.progress = true;
+    }
+
+    /// The configured issue width.
+    pub fn issue_width(&self) -> usize {
+        self.config.issue_width
+    }
+
+    /// Whether the core made pipeline progress (issued or retired) since
+    /// the previous call; resets the flag.
+    pub fn take_progress(&mut self) -> bool {
+        std::mem::take(&mut self.progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_trace::TraceBuilder;
+
+    fn small_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.compute(2).read(64).compute(1).read(128);
+        b.finish()
+    }
+
+    #[test]
+    fn peek_distinguishes_compute_and_memory() {
+        let core = Core::new(CoreConfig::default_ooo(), &small_trace());
+        assert_eq!(core.peek(), NextOp::Compute);
+    }
+
+    #[test]
+    fn compute_only_trace_retires_everything() {
+        let mut b = TraceBuilder::new();
+        b.compute(10);
+        let t = b.finish();
+        let mut core = Core::new(
+            CoreConfig {
+                issue_width: 2,
+                rob_size: 4,
+                exec_latency: 1,
+            },
+            &t,
+        );
+        let mut now = 0;
+        while !core.finished() && now < 100 {
+            core.retire(now);
+            for _ in 0..2 {
+                if core.rob_has_space() && core.peek() == NextOp::Compute {
+                    core.issue_compute(now);
+                }
+            }
+            now += 1;
+        }
+        core.retire(now);
+        assert!(core.finished());
+        assert_eq!(core.retired(), 10);
+        // 10 instructions, width 2, ROB 4: bounded by width -> ~>=5 cycles.
+        assert!(core.finished_at() >= 5);
+    }
+
+    #[test]
+    fn memory_instruction_blocks_retirement_until_completed() {
+        let t = small_trace();
+        let mut core = Core::new(CoreConfig::default_ooo(), &t);
+        // Issue the two compute instructions and the first memory access.
+        core.issue_compute(0);
+        core.issue_compute(0);
+        match core.peek() {
+            NextOp::Memory(a) => assert_eq!(a.addr, 64),
+            other => panic!("expected memory, got {other:?}"),
+        }
+        core.issue_memory(77);
+        core.retire(5);
+        // The two computes retired; the memory op gates the head.
+        assert_eq!(core.retired(), 2);
+        core.retire(6);
+        assert_eq!(core.retired(), 2);
+        core.complete_request(77);
+        core.retire(7);
+        assert_eq!(core.retired(), 3);
+    }
+
+    #[test]
+    fn rob_capacity_limits_inflight() {
+        let mut b = TraceBuilder::new();
+        b.compute(8);
+        let t = b.finish();
+        let mut core = Core::new(
+            CoreConfig {
+                issue_width: 8,
+                rob_size: 2,
+                exec_latency: 5,
+            },
+            &t,
+        );
+        core.issue_compute(0);
+        core.issue_compute(0);
+        assert!(!core.rob_has_space());
+    }
+
+    #[test]
+    fn finished_requires_full_retirement() {
+        let t = small_trace();
+        let mut core = Core::new(CoreConfig::default_ooo(), &t);
+        assert!(!core.finished());
+        // Drive to completion manually.
+        let mut now = 0u64;
+        let mut next_req = 0u64;
+        let mut pending: Vec<(u64, u64)> = Vec::new(); // (ready_at, req)
+        while !core.finished() && now < 1000 {
+            for (ready, req) in &pending {
+                if *ready <= now {
+                    core.complete_request(*req);
+                }
+            }
+            pending.retain(|(ready, _)| *ready > now);
+            core.retire(now);
+            for _ in 0..core.issue_width() {
+                if !core.rob_has_space() {
+                    break;
+                }
+                match core.peek() {
+                    NextOp::Compute => core.issue_compute(now),
+                    NextOp::Memory(_) => {
+                        core.issue_memory(next_req);
+                        pending.push((now + 10, next_req));
+                        next_req += 1;
+                    }
+                    NextOp::Exhausted => break,
+                }
+            }
+            now += 1;
+        }
+        assert!(core.finished(), "core did not finish");
+        assert_eq!(core.retired(), t.instruction_count());
+        assert!(core.finished_at() >= 10, "memory latency must show up");
+    }
+
+    #[test]
+    fn stall_counters() {
+        let t = small_trace();
+        let mut core = Core::new(CoreConfig::default_ooo(), &t);
+        core.note_rob_stall();
+        core.note_mem_stall();
+        core.note_mem_stall();
+        assert_eq!(core.rob_stalls(), 1);
+        assert_eq!(core.mem_stalls(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulation counters and per-layer APC statistics.
+
+use c2_camat::apc::Apc;
+use c2_camat::timeline::CamatMeasurement;
+
+/// Raw activity counters for one memory layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Accesses serviced at this layer.
+    pub accesses: u64,
+    /// Hits at this layer (meaningless for DRAM; row hits tracked there).
+    pub hits: u64,
+    /// Misses at this layer.
+    pub misses: u64,
+    /// Cycles during which the layer had at least one access in flight.
+    pub active_cycles: u64,
+}
+
+impl LayerStats {
+    /// APC (accesses per memory-active cycle) of the layer.
+    pub fn apc(&self) -> Apc {
+        Apc::new(self.accesses, self.active_cycles)
+    }
+
+    /// Miss rate at the layer.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Per-core outcome of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCoreStats {
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Cycle at which the core retired its last instruction.
+    pub finished_at: u64,
+    /// Memory accesses issued.
+    pub accesses: u64,
+    /// L1 misses among them.
+    pub l1_misses: u64,
+    /// The HCD/MCD measurement at this core's L1 (paper Fig 4).
+    pub camat: CamatMeasurement,
+    /// Issue stalls caused by a full ROB.
+    pub rob_stalls: u64,
+    /// Issue stalls caused by L1 port exhaustion or a full MSHR file.
+    pub mem_stalls: u64,
+    /// Cycles with memory activity (hit phase or outstanding miss).
+    pub mem_active_cycles: u64,
+    /// Memory-active cycles during which the core also made pipeline
+    /// progress (issued or retired).
+    pub overlap_cycles: u64,
+}
+
+impl PerCoreStats {
+    /// Instructions per cycle over the core's active period.
+    pub fn ipc(&self) -> f64 {
+        if self.finished_at == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.finished_at as f64
+        }
+    }
+
+    /// L1 miss rate seen by the core.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Measured compute/memory overlap ratio (Eq. 7's
+    /// `overlapRatio_{c-m}`): the fraction of memory-active cycles in
+    /// which the core still made pipeline progress.
+    pub fn overlap_cm(&self) -> f64 {
+        if self.mem_active_cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.mem_active_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_apc() {
+        let l = LayerStats {
+            accesses: 100,
+            hits: 90,
+            misses: 10,
+            active_cycles: 50,
+        };
+        assert!((l.apc().value() - 2.0).abs() < 1e-12);
+        assert!((l.miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_layer() {
+        let l = LayerStats::default();
+        assert_eq!(l.apc().value(), 0.0);
+        assert_eq!(l.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn core_ipc() {
+        let c = PerCoreStats {
+            instructions: 1000,
+            finished_at: 500,
+            accesses: 100,
+            l1_misses: 25,
+            camat: CamatMeasurement::default(),
+            rob_stalls: 0,
+            mem_stalls: 0,
+            mem_active_cycles: 40,
+            overlap_cycles: 10,
+        };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert!((c.overlap_cm() - 0.25).abs() < 1e-12);
+        assert!((c.l1_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_core() {
+        let c = PerCoreStats {
+            instructions: 0,
+            finished_at: 0,
+            accesses: 0,
+            l1_misses: 0,
+            camat: CamatMeasurement::default(),
+            rob_stalls: 0,
+            mem_stalls: 0,
+            mem_active_cycles: 0,
+            overlap_cycles: 0,
+        };
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.l1_miss_rate(), 0.0);
+        assert_eq!(c.overlap_cm(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Miss Status Holding Registers — the hardware behind non-blocking
+//! caches and therefore behind the paper's miss concurrency `C_M`.
+//!
+//! Each entry tracks one outstanding miss line; secondary misses to the
+//! same line *merge* into the existing entry instead of consuming a new
+//! one. The number of entries caps the memory-level parallelism a cache
+//! can sustain — the knob the C²-Bound ablations turn.
+
+use std::collections::HashMap;
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated (primary miss).
+    Allocated,
+    /// Merged into an existing entry for the same line (secondary miss).
+    Merged,
+    /// The file is full: the requester must stall and retry.
+    Full,
+}
+
+/// One MSHR entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Request ids waiting on this line (primary first).
+    waiters: Vec<u64>,
+}
+
+/// A file of MSHR entries keyed by line index.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    // Statistics
+    primary_misses: u64,
+    secondary_misses: u64,
+    stalls: u64,
+    peak_occupancy: usize,
+}
+
+impl MshrFile {
+    /// A file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            primary_misses: 0,
+            secondary_misses: 0,
+            stalls: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Register a miss on `line` by request `req`.
+    pub fn register(&mut self, line: u64, req: u64) -> MshrOutcome {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.waiters.push(req);
+            self.secondary_misses += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, Entry { waiters: vec![req] });
+        self.primary_misses += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Complete the miss on `line`, returning every waiting request id.
+    pub fn complete(&mut self, line: u64) -> Vec<u64> {
+        self.entries
+            .remove(&line)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
+    }
+
+    /// Whether a miss on `line` is already outstanding.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Current number of outstanding miss lines.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file is full.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Outstanding lines (for the MCD detector feed).
+    pub fn outstanding_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Primary (entry-allocating) misses seen.
+    pub fn primary_misses(&self) -> u64 {
+        self.primary_misses
+    }
+
+    /// Secondary (merged) misses seen.
+    pub fn secondary_misses(&self) -> u64 {
+        self.secondary_misses
+    }
+
+    /// Requests rejected because the file was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_complete() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(10, 1), MshrOutcome::Allocated);
+        assert!(m.contains(10));
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.complete(10), vec![1]);
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn secondary_misses_merge() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.register(7, 1), MshrOutcome::Allocated);
+        assert_eq!(m.register(7, 2), MshrOutcome::Merged);
+        assert_eq!(m.register(7, 3), MshrOutcome::Merged);
+        // Merging does not consume capacity.
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.complete(7), vec![1, 2, 3]);
+        assert_eq!(m.primary_misses(), 1);
+        assert_eq!(m.secondary_misses(), 2);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_merges_existing() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.register(1, 1), MshrOutcome::Allocated);
+        assert_eq!(m.register(2, 2), MshrOutcome::Full);
+        assert_eq!(m.register(1, 3), MshrOutcome::Merged);
+        assert_eq!(m.stalls(), 1);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = MshrFile::new(4);
+        assert!(m.complete(99).is_empty());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut m = MshrFile::new(4);
+        m.register(1, 1);
+        m.register(2, 2);
+        m.register(3, 3);
+        m.complete(1);
+        m.complete(2);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.peak_occupancy(), 3);
+    }
+
+    #[test]
+    fn outstanding_lines_iterates_keys() {
+        let mut m = MshrFile::new(4);
+        m.register(5, 1);
+        m.register(9, 2);
+        let mut lines: Vec<u64> = m.outstanding_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! In-flight memory request representation and state machine.
+
+/// Monotonic request identifier.
+pub type ReqId = u64;
+
+/// Where a request currently is in the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqState {
+    /// In the L1 lookup pipeline (the access's *hit phase*).
+    L1Lookup {
+        /// Cycle at which the lookup resolves.
+        done_at: u64,
+        /// Whether the lookup will hit (determined at issue).
+        hit: bool,
+    },
+    /// Missed in L1 but the MSHR file was full; retrying allocation.
+    L1MshrRetry,
+    /// Secondary miss: merged into an existing L1 MSHR entry, waiting
+    /// for the primary's fill.
+    WaitL1Fill,
+    /// Travelling L1 → L2 over the NoC.
+    ToL2 {
+        /// Arrival cycle at the L2 queue.
+        arrive_at: u64,
+    },
+    /// Waiting for a free L2 bank.
+    L2Queue,
+    /// In an L2 bank's lookup pipeline.
+    L2Lookup {
+        /// Cycle at which the lookup resolves.
+        done_at: u64,
+        /// Whether the lookup will hit.
+        hit: bool,
+    },
+    /// Missed in L2 but the L2 MSHR file was full; retrying.
+    L2MshrRetry,
+    /// Secondary L2 miss waiting on an outstanding DRAM fetch.
+    WaitL2Fill,
+    /// Travelling L2 → memory controller.
+    ToDram {
+        /// Arrival cycle at the DRAM controller.
+        arrive_at: u64,
+    },
+    /// Waiting for space in the DRAM controller queue.
+    DramQueueRetry,
+    /// Accepted by the DRAM controller; awaiting data.
+    DramInFlight,
+    /// Fill data travelling back to the L1 (L2 already filled).
+    FillToL1 {
+        /// Arrival cycle at the L1.
+        arrive_at: u64,
+    },
+    /// Completed; the owning core has been notified.
+    Done,
+}
+
+/// One in-flight memory request (a dynamic load or store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Identifier (also the MSHR waiter token).
+    pub id: ReqId,
+    /// Issuing core.
+    pub core: usize,
+    /// Cache-line index.
+    pub line: u64,
+    /// Store (write-allocate) vs load.
+    pub is_write: bool,
+    /// Cycle the request entered the L1 pipeline.
+    pub issued_at: u64,
+    /// Cycle the L1 lookup resolved (start of the miss penalty if any).
+    pub lookup_done_at: u64,
+    /// Current state.
+    pub state: ReqState,
+    /// Whether the L1 lookup missed (for retirement accounting).
+    pub l1_miss: bool,
+    /// Hardware prefetch (not a program access: no core/ detector
+    /// notification on completion).
+    pub is_prefetch: bool,
+}
+
+impl MemRequest {
+    /// Whether the request is past its L1 hit phase and still waiting on
+    /// data — i.e. an *outstanding miss* from the L1 detector's view.
+    pub fn is_outstanding_miss(&self, now: u64) -> bool {
+        match self.state {
+            ReqState::L1Lookup { .. } | ReqState::Done => false,
+            // All interior states are outstanding.
+            _ => {
+                let _ = now;
+                true
+            }
+        }
+    }
+
+    /// Whether the request is in its L1 hit (lookup) phase at `now`.
+    pub fn in_hit_phase(&self, now: u64) -> bool {
+        matches!(self.state, ReqState::L1Lookup { done_at, .. } if now < done_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(state: ReqState) -> MemRequest {
+        MemRequest {
+            id: 1,
+            core: 0,
+            line: 10,
+            is_write: false,
+            issued_at: 0,
+            lookup_done_at: 3,
+            state,
+            l1_miss: true,
+            is_prefetch: false,
+        }
+    }
+
+    #[test]
+    fn hit_phase_classification() {
+        let r = req(ReqState::L1Lookup {
+            done_at: 3,
+            hit: false,
+        });
+        assert!(r.in_hit_phase(0));
+        assert!(r.in_hit_phase(2));
+        assert!(!r.in_hit_phase(3));
+        assert!(!r.is_outstanding_miss(1));
+    }
+
+    #[test]
+    fn outstanding_miss_classification() {
+        for s in [
+            ReqState::L1MshrRetry,
+            ReqState::WaitL1Fill,
+            ReqState::ToL2 { arrive_at: 9 },
+            ReqState::L2Queue,
+            ReqState::L2Lookup {
+                done_at: 20,
+                hit: true,
+            },
+            ReqState::WaitL2Fill,
+            ReqState::ToDram { arrive_at: 30 },
+            ReqState::DramQueueRetry,
+            ReqState::DramInFlight,
+            ReqState::FillToL1 { arrive_at: 99 },
+        ] {
+            assert!(req(s).is_outstanding_miss(5), "{s:?}");
+            assert!(!req(s).in_hit_phase(5), "{s:?}");
+        }
+        assert!(!req(ReqState::Done).is_outstanding_miss(5));
+    }
+}

@@ -1,0 +1,119 @@
+//! Golden-section minimization of a unimodal 1-D function.
+//!
+//! Used by the C²-Bound optimizer for its 1-D subproblems (optimal core
+//! count `N` at fixed area split, and the `W/T` throughput maximization
+//! of case I in the APS algorithm).
+
+use crate::{Error, Result};
+
+const INV_PHI: f64 = 0.618_033_988_749_894_8; // 1/phi
+const INV_PHI2: f64 = 0.381_966_011_250_105_2; // 1/phi^2
+
+/// Minimize a unimodal `f` on `[a, b]` to interval tolerance `tol`.
+///
+/// Returns `(x_min, f(x_min))`.
+pub fn golden_section<F>(f: F, a: f64, b: f64, tol: f64) -> Result<(f64, f64)>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(a < b) {
+        return Err(Error::InvalidBracket);
+    }
+    if !(tol > 0.0) {
+        return Err(Error::InvalidParameter("tol must be positive"));
+    }
+    let mut lo = a;
+    // The upper bound is tracked implicitly through `h`; only updates to
+    // `lo` matter for the probe positions.
+    let mut h = b - lo;
+    let mut x1 = lo + INV_PHI2 * h;
+    let mut x2 = lo + INV_PHI * h;
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    if !f1.is_finite() || !f2.is_finite() {
+        return Err(Error::NonFiniteValue);
+    }
+    // Enough iterations to shrink the interval below tol.
+    let n = ((tol / h).ln() / INV_PHI.ln()).ceil().max(1.0) as usize;
+    for _ in 0..n {
+        if f1 < f2 {
+            x2 = x1;
+            f2 = f1;
+            h *= INV_PHI;
+            x1 = lo + INV_PHI2 * h;
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            h *= INV_PHI;
+            x2 = lo + INV_PHI * h;
+            f2 = f(x2);
+        }
+        if !f1.is_finite() || !f2.is_finite() {
+            return Err(Error::NonFiniteValue);
+        }
+    }
+    let (x, fx) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
+    Ok((x, fx))
+}
+
+/// Maximize a unimodal `f` on `[a, b]` (golden section on `-f`).
+pub fn golden_section_max<F>(f: F, a: f64, b: f64, tol: f64) -> Result<(f64, f64)>
+where
+    F: Fn(f64) -> f64,
+{
+    let (x, neg) = golden_section(|x| -f(x), a, b, tol)?;
+    Ok((x, -neg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_parabola() {
+        let (x, fx) = golden_section(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-10).unwrap();
+        // Near a flat quadratic minimum, f64 cancellation limits the
+        // achievable x accuracy to ~sqrt(eps).
+        assert!((x - 3.0).abs() < 1e-7);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimizes_asymmetric_function() {
+        // x - ln(x) has minimum at x = 1.
+        let (x, _) = golden_section(|x| x - x.ln(), 0.1, 10.0, 1e-10).unwrap();
+        assert!((x - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn maximizes() {
+        let (x, fx) = golden_section_max(|x| -(x - 2.0) * (x - 2.0) + 5.0, -10.0, 10.0, 1e-10).unwrap();
+        assert!((x - 2.0).abs() < 1e-7);
+        assert!((fx - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_minimum_is_found() {
+        // Monotone increasing: minimum at the left edge.
+        let (x, _) = golden_section(|x| x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(x < 1e-8);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert_eq!(
+            golden_section(|x| x, 1.0, 0.0, 1e-8).unwrap_err(),
+            Error::InvalidBracket
+        );
+        assert!(matches!(
+            golden_section(|x| x, 0.0, 1.0, 0.0),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert_eq!(
+            golden_section(|_| f64::NAN, 0.0, 1.0, 1e-8).unwrap_err(),
+            Error::NonFiniteValue
+        );
+    }
+}

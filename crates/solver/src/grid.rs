@@ -1,0 +1,191 @@
+//! Coarse grid search.
+//!
+//! Newton needs a seed; the C²-Bound design space is cheap to evaluate
+//! analytically, so a coarse multi-dimensional grid scan provides both
+//! the seed and a sanity floor the refined optimum must beat.
+
+use crate::{Error, Result};
+
+/// One axis of a grid: `steps` points spanning `[lo, hi]`, linearly or
+/// logarithmically spaced.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+    /// Number of points (`>= 1`).
+    pub steps: usize,
+    /// Logarithmic spacing (requires `lo > 0`).
+    pub log: bool,
+}
+
+impl GridSpec {
+    /// Linear axis.
+    pub fn linear(lo: f64, hi: f64, steps: usize) -> Self {
+        GridSpec {
+            lo,
+            hi,
+            steps,
+            log: false,
+        }
+    }
+
+    /// Logarithmic axis (`lo > 0` required, checked at search time).
+    pub fn logarithmic(lo: f64, hi: f64, steps: usize) -> Self {
+        GridSpec {
+            lo,
+            hi,
+            steps,
+            log: true,
+        }
+    }
+
+    /// The `i`-th grid point.
+    pub fn point(&self, i: usize) -> f64 {
+        debug_assert!(i < self.steps);
+        if self.steps == 1 {
+            return self.lo;
+        }
+        let t = i as f64 / (self.steps - 1) as f64;
+        if self.log {
+            (self.lo.ln() + t * (self.hi.ln() - self.lo.ln())).exp()
+        } else {
+            self.lo + t * (self.hi - self.lo)
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.steps == 0 {
+            return Err(Error::InvalidParameter("grid axis with zero steps"));
+        }
+        if !(self.lo <= self.hi) {
+            return Err(Error::InvalidBracket);
+        }
+        if self.log && !(self.lo > 0.0) {
+            return Err(Error::InvalidParameter("log axis requires lo > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively minimize `f` over the Cartesian product of the axes.
+///
+/// Returns `(argmin, min)`. Points where `f` is non-finite are skipped;
+/// if every point is non-finite an error is returned.
+pub fn grid_minimize<F>(axes: &[GridSpec], f: F) -> Result<(Vec<f64>, f64)>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if axes.is_empty() {
+        return Err(Error::InvalidParameter("no axes"));
+    }
+    for a in axes {
+        a.validate()?;
+    }
+    let mut idx = vec![0usize; axes.len()];
+    let mut point = vec![0.0f64; axes.len()];
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    loop {
+        for (d, &i) in idx.iter().enumerate() {
+            point[d] = axes[d].point(i);
+        }
+        let v = f(&point);
+        if v.is_finite() {
+            match &best {
+                Some((_, b)) if *b <= v => {}
+                _ => best = Some((point.clone(), v)),
+            }
+        }
+        // Odometer increment.
+        let mut d = 0;
+        loop {
+            idx[d] += 1;
+            if idx[d] < axes[d].steps {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+            if d == axes.len() {
+                return best.ok_or(Error::NonFiniteValue);
+            }
+        }
+    }
+}
+
+/// Total number of points in a grid.
+pub fn grid_size(axes: &[GridSpec]) -> usize {
+    axes.iter().map(|a| a.steps).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_grid() {
+        let axes = [GridSpec::linear(0.0, 10.0, 101)];
+        let (x, v) = grid_minimize(&axes, |p| (p[0] - 3.0) * (p[0] - 3.0)).unwrap();
+        assert!((x[0] - 3.0).abs() < 0.051);
+        assert!(v < 0.01);
+    }
+
+    #[test]
+    fn two_dimensional_grid() {
+        let axes = [
+            GridSpec::linear(-5.0, 5.0, 21),
+            GridSpec::linear(-5.0, 5.0, 21),
+        ];
+        let (x, _) = grid_minimize(&axes, |p| p[0] * p[0] + (p[1] - 1.0) * (p[1] - 1.0)).unwrap();
+        assert!((x[0]).abs() < 0.26);
+        assert!((x[1] - 1.0).abs() < 0.26);
+        assert_eq!(grid_size(&axes), 441);
+    }
+
+    #[test]
+    fn log_axis_points_are_geometric() {
+        let a = GridSpec::logarithmic(1.0, 1024.0, 11);
+        assert!((a.point(0) - 1.0).abs() < 1e-9);
+        assert!((a.point(10) - 1024.0).abs() < 1e-6);
+        assert!((a.point(5) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_axis() {
+        let axes = [GridSpec::linear(7.0, 7.0, 1)];
+        let (x, v) = grid_minimize(&axes, |p| p[0]).unwrap();
+        assert_eq!(x[0], 7.0);
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn skips_non_finite_points() {
+        let axes = [GridSpec::linear(-1.0, 1.0, 21)];
+        let (x, _) = grid_minimize(&axes, |p| {
+            if p[0] <= 0.0 {
+                f64::NAN
+            } else {
+                p[0]
+            }
+        })
+        .unwrap();
+        assert!(x[0] > 0.0);
+    }
+
+    #[test]
+    fn all_non_finite_is_error() {
+        let axes = [GridSpec::linear(0.0, 1.0, 5)];
+        assert_eq!(
+            grid_minimize(&axes, |_| f64::NAN).unwrap_err(),
+            Error::NonFiniteValue
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(grid_minimize(&[], |_| 0.0).is_err());
+        assert!(grid_minimize(&[GridSpec::linear(1.0, 0.0, 5)], |_| 0.0).is_err());
+        assert!(grid_minimize(&[GridSpec::logarithmic(0.0, 1.0, 5)], |_| 0.0).is_err());
+        assert!(grid_minimize(&[GridSpec::linear(0.0, 1.0, 0)], |_| 0.0).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Equality-constrained minimization via Lagrange multipliers (Eq. 13).
+//!
+//! The paper forms `L(A1, A2, λ, N) = J_D + λ [N(A0+A1+A2) + Ac − A]`
+//! and differentiates to obtain a nonlinear equation set. This module
+//! does the same for a generic objective `f(x)` with equality constraints
+//! `g_i(x) = 0`: the KKT residual
+//!
+//! ```text
+//! F(x, λ) = [ ∇f(x) + Σ λ_i ∇g_i(x) ;  g(x) ]
+//! ```
+//!
+//! is assembled with central finite differences and handed to the damped
+//! Newton solver.
+
+use crate::newton::{newton_system, NewtonOptions, NewtonSolution};
+use crate::{Error, Result};
+
+/// An equality-constrained minimization problem.
+pub struct EqualityConstrained<'a> {
+    objective: Box<dyn Fn(&[f64]) -> f64 + 'a>,
+    constraints: Vec<Box<dyn Fn(&[f64]) -> f64 + 'a>>,
+    fd_step: f64,
+}
+
+impl<'a> std::fmt::Debug for EqualityConstrained<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EqualityConstrained")
+            .field("constraints", &self.constraints.len())
+            .field("fd_step", &self.fd_step)
+            .finish()
+    }
+}
+
+impl<'a> EqualityConstrained<'a> {
+    /// Build a problem from an objective.
+    pub fn new<F>(objective: F) -> Self
+    where
+        F: Fn(&[f64]) -> f64 + 'a,
+    {
+        EqualityConstrained {
+            objective: Box::new(objective),
+            constraints: Vec::new(),
+            fd_step: 1e-6,
+        }
+    }
+
+    /// Add an equality constraint `g(x) = 0`.
+    pub fn constraint<G>(mut self, g: G) -> Self
+    where
+        G: Fn(&[f64]) -> f64 + 'a,
+    {
+        self.constraints.push(Box::new(g));
+        self
+    }
+
+    /// Override the finite-difference step.
+    pub fn fd_step(mut self, h: f64) -> Self {
+        self.fd_step = h;
+        self
+    }
+
+    fn grad<F>(&self, f: &F, x: &[f64], out: &mut [f64])
+    where
+        F: Fn(&[f64]) -> f64 + ?Sized,
+    {
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            let h = self.fd_step * x[i].abs().max(self.fd_step);
+            let orig = xp[i];
+            xp[i] = orig + h;
+            let fp = f(&xp);
+            xp[i] = orig - h;
+            let fm = f(&xp);
+            xp[i] = orig;
+            out[i] = (fp - fm) / (2.0 * h);
+        }
+    }
+
+    /// Solve the KKT system from starting point `x0` (primal) and zero
+    /// multipliers. Returns the primal solution, the multipliers, and the
+    /// Newton diagnostics.
+    pub fn solve(&self, x0: &[f64], opts: &NewtonOptions) -> Result<KktSolution> {
+        let n = x0.len();
+        let m = self.constraints.len();
+        if n == 0 {
+            return Err(Error::InvalidParameter("empty primal space"));
+        }
+        let residual = |z: &[f64], out: &mut [f64]| {
+            let (x, lambda) = z.split_at(n);
+            // ∇f
+            let mut grad_f = vec![0.0; n];
+            self.grad(self.objective.as_ref(), x, &mut grad_f);
+            // + Σ λ_i ∇g_i
+            let mut grad_g = vec![0.0; n];
+            for (i, g) in self.constraints.iter().enumerate() {
+                self.grad(g.as_ref(), x, &mut grad_g);
+                for (gf, gg) in grad_f.iter_mut().zip(&grad_g) {
+                    *gf += lambda[i] * gg;
+                }
+            }
+            out[..n].copy_from_slice(&grad_f);
+            for (i, g) in self.constraints.iter().enumerate() {
+                out[n + i] = g(x);
+            }
+        };
+        // Seed each multiplier with its least-squares estimate
+        // λ_i ≈ −(∇f·∇g_i)/(∇g_i·∇g_i) at x0. Zero multipliers make the
+        // KKT Jacobian's primal block vanish for objectives whose Hessian
+        // is zero along the constraint normal (singular first step).
+        let mut grad_f0 = vec![0.0; n];
+        self.grad(self.objective.as_ref(), x0, &mut grad_f0);
+        let mut lambda0 = Vec::with_capacity(m);
+        let mut grad_g0 = vec![0.0; n];
+        for g in &self.constraints {
+            self.grad(g.as_ref(), x0, &mut grad_g0);
+            let num: f64 = grad_f0.iter().zip(&grad_g0).map(|(a, b)| a * b).sum();
+            let den: f64 = grad_g0.iter().map(|b| b * b).sum();
+            lambda0.push(if den > 1e-12 { -num / den } else { 0.0 });
+        }
+        let mut z0 = x0.to_vec();
+        z0.extend(lambda0);
+        let sol = newton_system(residual, &z0, opts)?;
+        let (x, lambda) = sol.x.split_at(n);
+        Ok(KktSolution {
+            x: x.to_vec(),
+            multipliers: lambda.to_vec(),
+            objective: (self.objective)(x),
+            newton: NewtonSolution {
+                x: sol.x.clone(),
+                residual: sol.residual,
+                iterations: sol.iterations,
+            },
+        })
+    }
+}
+
+/// Solution of a KKT system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KktSolution {
+    /// Primal solution.
+    pub x: Vec<f64>,
+    /// Lagrange multipliers, one per constraint.
+    pub multipliers: Vec<f64>,
+    /// Objective value at the solution.
+    pub objective: f64,
+    /// Raw Newton diagnostics.
+    pub newton: NewtonSolution,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_distance_on_line() {
+        // min x^2 + y^2 s.t. x + y = 2 -> (1, 1), lambda = -2.
+        let p = EqualityConstrained::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1])
+            .constraint(|x: &[f64]| x[0] + x[1] - 2.0);
+        let s = p.solve(&[0.5, 0.3], &NewtonOptions::default()).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.x[1] - 1.0).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.multipliers[0] + 2.0).abs() < 1e-5, "{:?}", s.multipliers);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_on_circle() {
+        // min x + y s.t. x^2 + y^2 = 2 -> (-1, -1).
+        let p = EqualityConstrained::new(|x: &[f64]| x[0] + x[1])
+            .constraint(|x: &[f64]| x[0] * x[0] + x[1] * x[1] - 2.0);
+        let s = p.solve(&[-0.5, -1.4], &NewtonOptions::default()).unwrap();
+        assert!((s.x[0] + 1.0).abs() < 1e-6, "{:?}", s.x);
+        assert!((s.x[1] + 1.0).abs() < 1e-6, "{:?}", s.x);
+    }
+
+    #[test]
+    fn two_constraints() {
+        // min x^2+y^2+z^2 s.t. x+y+z=3, x-y=0 -> (1,1,1).
+        let p = EqualityConstrained::new(|x: &[f64]| {
+            x[0] * x[0] + x[1] * x[1] + x[2] * x[2]
+        })
+        .constraint(|x: &[f64]| x[0] + x[1] + x[2] - 3.0)
+        .constraint(|x: &[f64]| x[0] - x[1]);
+        let s = p.solve(&[0.9, 1.2, 0.8], &NewtonOptions::default()).unwrap();
+        for (i, &xi) in s.x.iter().enumerate() {
+            assert!((xi - 1.0).abs() < 1e-6, "x[{i}] = {xi}");
+        }
+    }
+
+    #[test]
+    fn area_constraint_shape_like_eq13() {
+        // A miniature of Eq. 13: minimize (k/sqrt(a0) + c) * t(a1) subject
+        // to n*(a0 + a1) = A, with t decreasing in a1. n fixed at 4.
+        let n = 4.0;
+        let area = 40.0;
+        let p = EqualityConstrained::new(move |x: &[f64]| {
+            let (a0, a1) = (x[0], x[1]);
+            (2.0 / a0.sqrt() + 0.5) * (1.0 + 8.0 / a1)
+        })
+        .constraint(move |x: &[f64]| n * (x[0] + x[1]) - area);
+        let s = p.solve(&[5.0, 5.0], &NewtonOptions::default()).unwrap();
+        // Constraint satisfied.
+        assert!((n * (s.x[0] + s.x[1]) - area).abs() < 1e-6);
+        // Both areas positive and interior.
+        assert!(s.x[0] > 0.0 && s.x[1] > 0.0);
+        // The solution beats a few perturbed feasible points.
+        let obj = |a0: f64, a1: f64| (2.0 / a0.sqrt() + 0.5) * (1.0 + 8.0 / a1);
+        let total = area / n;
+        for d in [-1.0, -0.5, 0.5, 1.0] {
+            let a0 = s.x[0] + d;
+            let a1 = total - a0;
+            if a0 > 0.1 && a1 > 0.1 {
+                assert!(s.objective <= obj(a0, a1) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_primal_is_error() {
+        let p = EqualityConstrained::new(|_: &[f64]| 0.0);
+        assert!(p.solve(&[], &NewtonOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Nelder–Mead simplex minimization.
+//!
+//! Derivative-free fallback for objectives that are only piecewise
+//! smooth (e.g. when the cache miss-rate curve comes from a measured
+//! reuse profile rather than a closed form).
+
+use crate::{Error, Result};
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Convergence tolerance on the function-value spread.
+    pub tol: f64,
+    /// Convergence tolerance on the simplex diameter (both must hold —
+    /// a value-only criterion stalls on simplexes placed symmetrically
+    /// around the minimum).
+    pub xtol: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Initial simplex edge scale (relative to each coordinate).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            tol: 1e-10,
+            xtol: 1e-7,
+            max_iters: 2000,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Minimize `f` starting at `x0`. Returns `(argmin, min)`.
+pub fn nelder_mead<F>(f: F, x0: &[f64], opts: &NelderMeadOptions) -> Result<(Vec<f64>, f64)>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(Error::InvalidParameter("empty start point"));
+    }
+    // Standard coefficients.
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        let step = if p[i].abs() > 1e-12 {
+            opts.initial_step * p[i].abs()
+        } else {
+            opts.initial_step
+        };
+        p[i] += step;
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| f(p)).collect();
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFiniteValue);
+    }
+
+    for it in 0..opts.max_iters {
+        // Order simplex by value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        let diameter = simplex
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if (values[worst] - values[best]).abs() < opts.tol && diameter < opts.xtol {
+            return Ok((simplex[best].clone(), values[best]));
+        }
+        let _ = it;
+
+        // Centroid of all but worst.
+        let mut centroid = vec![0.0; n];
+        for &i in order.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(&simplex[i]) {
+                *c += x / n as f64;
+            }
+        }
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &simplex[worst], -ALPHA);
+        let fr = f(&reflected);
+        if fr.is_finite() && fr < values[second_worst] && fr >= values[best] {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+            continue;
+        }
+        // Expansion.
+        if fr.is_finite() && fr < values[best] {
+            let expanded = lerp(&centroid, &simplex[worst], -GAMMA);
+            let fe = f(&expanded);
+            if fe.is_finite() && fe < fr {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+            continue;
+        }
+        // Contraction (toward the better of worst/reflected).
+        let contracted = if fr.is_finite() && fr < values[worst] {
+            lerp(&centroid, &reflected, RHO)
+        } else {
+            lerp(&centroid, &simplex[worst], RHO)
+        };
+        let fc = f(&contracted);
+        if fc.is_finite() && fc < values[worst].min(if fr.is_finite() { fr } else { f64::INFINITY })
+        {
+            simplex[worst] = contracted;
+            values[worst] = fc;
+            continue;
+        }
+        // Shrink toward best.
+        let best_point = simplex[best].clone();
+        for &i in order.iter().skip(1) {
+            simplex[i] = lerp(&best_point, &simplex[i], SIGMA);
+            values[i] = f(&simplex[i]);
+            if !values[i].is_finite() {
+                return Err(Error::NonFiniteValue);
+            }
+        }
+    }
+
+    let (best_idx, &best_val) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let spread = values
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+        - best_val;
+    if spread < opts.tol.sqrt() {
+        Ok((simplex[best_idx].clone(), best_val))
+    } else {
+        Err(Error::DidNotConverge {
+            iterations: opts.max_iters,
+            residual: spread,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let (x, v) = nelder_mead(
+            |p| (p[0] - 1.0).powi(2) + (p[1] + 2.0).powi(2),
+            &[5.0, 5.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!((x[1] + 2.0).abs() < 1e-4, "{x:?}");
+        assert!(v < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let (x, _) = nelder_mead(
+            |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_iters: 5000,
+                ..NelderMeadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-3, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn handles_piecewise_objective() {
+        // |x| + |y - 3| is non-smooth at the optimum.
+        let (x, v) = nelder_mead(
+            |p| p[0].abs() + (p[1] - 3.0).abs(),
+            &[2.0, -2.0],
+            &NelderMeadOptions {
+                max_iters: 5000,
+                tol: 1e-12,
+                ..NelderMeadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(v < 1e-4, "v = {v}, x = {x:?}");
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let (x, _) = nelder_mead(
+            |p| (p[0] - 7.0).powi(2),
+            &[0.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(
+            nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default()),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_start_is_error() {
+        assert_eq!(
+            nelder_mead(|_| f64::NAN, &[1.0], &NelderMeadOptions::default()).unwrap_err(),
+            Error::NonFiniteValue
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar root finding: safeguarded Newton–Raphson and bisection.
+
+use crate::{Error, Result};
+
+/// Find a root of `f` in `[lo, hi]` by bisection. Requires a sign change.
+pub fn bisect<F>(f: F, lo: f64, hi: f64, tol: f64, max_iters: usize) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(lo < hi) {
+        return Err(Error::InvalidBracket);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(Error::NonFiniteValue);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(Error::InvalidBracket);
+    }
+    for _ in 0..max_iters {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(Error::NonFiniteValue);
+        }
+        if fm == 0.0 || (b - a) < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Newton–Raphson with numerical derivative, safeguarded by bisection
+/// when a bracket `[lo, hi]` with a sign change is supplied.
+///
+/// Without a valid bracket it runs plain (damped) Newton from `x0`.
+pub fn newton_scalar<F>(
+    f: F,
+    x0: f64,
+    bracket: Option<(f64, f64)>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    let mut x = x0;
+    let (mut lo, mut hi, bracketed) = match bracket {
+        Some((a, b)) if a < b && f(a).signum() != f(b).signum() => (a, b, true),
+        _ => (f64::NEG_INFINITY, f64::INFINITY, false),
+    };
+    let mut f_lo_sign = if bracketed { f(lo).signum() } else { 0.0 };
+    for it in 0..max_iters {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(Error::NonFiniteValue);
+        }
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if bracketed {
+            if fx.signum() == f_lo_sign {
+                lo = x;
+                f_lo_sign = fx.signum();
+            } else {
+                hi = x;
+            }
+        }
+        // Numerical derivative with relative step.
+        let h = 1e-7 * x.abs().max(1e-7);
+        let dfx = (f(x + h) - f(x - h)) / (2.0 * h);
+        let mut next = if dfx.abs() > 1e-300 && dfx.is_finite() {
+            x - fx / dfx
+        } else {
+            f64::NAN
+        };
+        // Fall back to the bracket midpoint when Newton escapes or fails.
+        if bracketed && !(next > lo && next < hi) {
+            next = 0.5 * (lo + hi);
+        }
+        if !next.is_finite() {
+            return Err(Error::DidNotConverge {
+                iterations: it,
+                residual: fx.abs(),
+            });
+        }
+        if (next - x).abs() < tol * x.abs().max(1.0) && fx.abs() < tol.sqrt() {
+            return Ok(next);
+        }
+        x = next;
+    }
+    let fx = f(x);
+    if fx.abs() < tol.sqrt() {
+        Ok(x)
+    } else {
+        Err(Error::DidNotConverge {
+            iterations: max_iters,
+            residual: fx.abs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err(),
+            Error::InvalidBracket
+        );
+        assert_eq!(
+            bisect(|x| x, 2.0, 1.0, 1e-12, 100).unwrap_err(),
+            Error::InvalidBracket
+        );
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn newton_cube_root() {
+        let r = newton_scalar(|x| x * x * x - 27.0, 5.0, None, 1e-12, 100).unwrap();
+        assert!((r - 3.0).abs() < 1e-8, "r = {r}");
+    }
+
+    #[test]
+    fn newton_with_bracket_survives_bad_start() {
+        // f has an inflection that throws plain Newton far away from the
+        // root when started at 0; the bracket keeps it contained.
+        let f = |x: f64| x.tanh() - 0.5;
+        let r = newton_scalar(f, 10.0, Some((-5.0, 5.0)), 1e-12, 200).unwrap();
+        assert!((r - 0.5f64.atanh()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_flat_function_fails_gracefully() {
+        let r = newton_scalar(|_| 1.0, 0.0, None, 1e-12, 20);
+        assert!(matches!(r, Err(Error::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn newton_transcendental() {
+        // x e^x = 1 -> x = W(1) ~ 0.567143
+        let r = newton_scalar(|x| x * x.exp() - 1.0, 1.0, None, 1e-13, 100).unwrap();
+        assert!((r - 0.5671432904097838).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Amdahl's, Gustafson's and Sun-Ni's laws (paper §II.B, Eq. 4).
+
+use crate::scale::ScaleFunction;
+
+/// Amdahl's law: fixed problem size.
+///
+/// `S(N) = 1 / (f_seq + (1 - f_seq)/N)`.
+pub fn amdahl(f_seq: f64, n: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&f_seq));
+    debug_assert!(n >= 1.0);
+    1.0 / (f_seq + (1.0 - f_seq) / n)
+}
+
+/// Gustafson's law: fixed execution time, problem scales linearly.
+///
+/// `S(N) = f_seq + (1 - f_seq) · N`.
+pub fn gustafson(f_seq: f64, n: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&f_seq));
+    debug_assert!(n >= 1.0);
+    f_seq + (1.0 - f_seq) * n
+}
+
+/// Sun-Ni's law: memory-bounded speedup (paper Eq. 4).
+///
+/// `S(N) = (f_seq + (1-f_seq)·g(N)) / (f_seq + (1-f_seq)·g(N)/N)`.
+///
+/// `g(N) = 1` recovers Amdahl; `g(N) = N` recovers Gustafson.
+pub fn sun_ni(f_seq: f64, n: f64, g: &ScaleFunction) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&f_seq));
+    debug_assert!(n >= 1.0);
+    let gn = g.eval(n);
+    (f_seq + (1.0 - f_seq) * gn) / (f_seq + (1.0 - f_seq) * gn / n)
+}
+
+/// Parallel efficiency `S(N)/N` under Sun-Ni's law.
+pub fn efficiency(f_seq: f64, n: f64, g: &ScaleFunction) -> f64 {
+    sun_ni(f_seq, n, g) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl(0.0, 16.0) - 16.0).abs() < 1e-12);
+        assert!((amdahl(1.0, 16.0) - 1.0).abs() < 1e-12);
+        // Asymptote 1/f_seq.
+        assert!((amdahl(0.1, 1e9) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gustafson_is_affine_in_n() {
+        assert!((gustafson(0.25, 100.0) - (0.25 + 0.75 * 100.0)).abs() < 1e-12);
+        assert!((gustafson(1.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sun_ni_generalizes_amdahl_and_gustafson() {
+        for f in [0.0, 0.05, 0.3, 0.9, 1.0] {
+            for n in [1.0, 2.0, 17.0, 256.0] {
+                let a = sun_ni(f, n, &ScaleFunction::Constant);
+                assert!((a - amdahl(f, n)).abs() < 1e-10, "f={f} n={n}");
+                let g = sun_ni(f, n, &ScaleFunction::Power(1.0));
+                assert!((g - gustafson(f, n)).abs() < 1e-10, "f={f} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_g_three_halves_is_order_n() {
+        // The paper shows for g(N) = N^{3/2}:
+        // S = (f + (1-f) N^{3/2}) / (f + (1-f) N^{1/2}) = O(N).
+        let f = 0.2;
+        let g = ScaleFunction::Power(1.5);
+        for n in [100.0, 400.0, 1600.0] {
+            let s = sun_ni(f, n, &g);
+            let closed = (f + (1.0 - f) * n.powf(1.5)) / (f + (1.0 - f) * n.sqrt());
+            assert!((s - closed).abs() / closed < 1e-12);
+            // O(N): ratio to N approaches 1 for large N.
+            assert!(s / n > 0.9 && s / n < 1.1, "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn sun_ni_ordering_amdahl_le_sunni_le_gustafson_for_sublinear_g() {
+        // For 1 <= g(N) <= N, Sun-Ni sits between Amdahl and Gustafson.
+        let f = 0.15;
+        let n = 64.0;
+        let s_sqrt = sun_ni(f, n, &ScaleFunction::Power(0.5));
+        assert!(amdahl(f, n) <= s_sqrt + 1e-12);
+        assert!(s_sqrt <= gustafson(f, n) + 1e-12);
+    }
+
+    #[test]
+    fn speedup_at_one_core_is_one() {
+        for g in [
+            ScaleFunction::Constant,
+            ScaleFunction::Power(1.5),
+            ScaleFunction::Log2,
+        ] {
+            assert!((sun_ni(0.3, 1.0, &g) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_n_under_amdahl() {
+        let f = 0.1;
+        let mut prev = f64::INFINITY;
+        for n in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let e = efficiency(f, n, &ScaleFunction::Constant);
+            assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn superlinear_g_keeps_efficiency_high() {
+        // With g = N^{3/2}, efficiency stays near 1 even at large N.
+        let e = efficiency(0.1, 1000.0, &ScaleFunction::Power(1.5));
+        assert!(e > 0.9, "efficiency {e}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # c2-speedup — scalable speedup laws and memory-bounded scaling
+//!
+//! The capacity half of the C²-Bound model (paper §II.B):
+//!
+//! * [`laws`] — Amdahl's law, Gustafson's law and their generalization,
+//!   **Sun-Ni's law** (paper Eq. 4):
+//!   `S(N) = (f_seq + (1-f_seq) g(N)) / (f_seq + (1-f_seq) g(N)/N)`.
+//! * [`scale`] — the problem-size scale function `g(N)` and its numeric
+//!   derivation from an application's computation/memory complexity,
+//!   reproducing the paper's Table I.
+//! * [`memory_bound`] — memory-capacity-bounded problem sizes `W = h(M)`
+//!   and the on-chip working-set bound of §V.
+//!
+//! ```
+//! use c2_speedup::{laws, scale::ScaleFunction};
+//!
+//! // Sun-Ni with g(N) = N^{3/2} and f_seq = 0.1 at N = 64:
+//! let g = ScaleFunction::Power(1.5);
+//! let s = laws::sun_ni(0.1, 64.0, &g);
+//! // Between Amdahl (g = 1) and the superlinear workload growth.
+//! assert!(s > laws::amdahl(0.1, 64.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod laws;
+pub mod memory_bound;
+pub mod scale;
+
+pub use laws::{amdahl, efficiency, gustafson, sun_ni};
+pub use memory_bound::{BoundKind, MemoryBoundedProblem, OnChipBound};
+pub use scale::{Complexity, ComplexityPair, ScaleFunction};
+
+/// Errors from speedup-law construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A numeric inversion failed to bracket a root.
+    InversionFailed(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            Error::InversionFailed(what) => write!(f, "numeric inversion failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

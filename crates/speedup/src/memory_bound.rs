@@ -1,0 +1,230 @@
+//! Memory-capacity-bounded problem sizes (paper §II.B and §V).
+//!
+//! Sun-Ni's law assumes each node is a processor–memory pair: adding
+//! nodes adds capacity, and the problem size follows `W = h(M)`. For the
+//! power-law family `h(x) = a·x^b` the scale function is `g(N) = N^b`.
+//!
+//! §V adds the *on-chip* bound: performance falls off a cliff once the
+//! working set `Y(Z)` of problem size `Z` exceeds the on-chip cache `X`,
+//! so the LLC-bounded problem size is `max Z s.t. Y(Z) <= X`. The two
+//! cases (processor-bound when the real problem fits, memory-bound when
+//! it does not) are classified by [`OnChipBound::classify`].
+
+use crate::scale::ScaleFunction;
+use crate::{Error, Result};
+
+/// A problem whose size is a power-law function of memory capacity:
+/// `W = h(M) = a · M^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBoundedProblem {
+    /// Coefficient `a > 0`.
+    pub a: f64,
+    /// Exponent `b > 0`.
+    pub b: f64,
+}
+
+impl MemoryBoundedProblem {
+    /// Validated constructor.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !(a > 0.0) {
+            return Err(Error::InvalidParameter { name: "a", value: a });
+        }
+        if !(b > 0.0) {
+            return Err(Error::InvalidParameter { name: "b", value: b });
+        }
+        Ok(MemoryBoundedProblem { a, b })
+    }
+
+    /// The paper's worked example: dense matrix multiplication with
+    /// `W = 2n³`, `M = 3n²`. Inverting exactly: `n = (M/3)^{1/2}`, so
+    /// `W = h(M) = 2·(M/3)^{3/2}` (the paper prints the constant loosely
+    /// as `(2M/3)^{3/2}`; the exponent — and hence `g(N) = N^{3/2}` — is
+    /// what matters).
+    pub fn dense_matrix_multiplication() -> Self {
+        MemoryBoundedProblem {
+            a: 2.0 / 3.0f64.powf(1.5),
+            b: 1.5,
+        }
+    }
+
+    /// `W = h(M)`.
+    pub fn problem_size(&self, memory: f64) -> f64 {
+        debug_assert!(memory > 0.0);
+        self.a * memory.powf(self.b)
+    }
+
+    /// `h⁻¹(W)`: the memory needed for problem size `W`.
+    pub fn memory_for(&self, problem: f64) -> f64 {
+        debug_assert!(problem > 0.0);
+        (problem / self.a).powf(1.0 / self.b)
+    }
+
+    /// `W' = h(N·M)`: the scaled problem when capacity grows `n`-fold.
+    pub fn scaled_problem_size(&self, memory: f64, n: f64) -> f64 {
+        self.problem_size(n * memory)
+    }
+
+    /// `g(N) = h(N·M)/h(M) = N^b` — independent of `M` for power laws.
+    pub fn g(&self, n: f64) -> f64 {
+        debug_assert!(n >= 1.0);
+        n.powf(self.b)
+    }
+
+    /// The closed-form scale function.
+    pub fn scale_function(&self) -> ScaleFunction {
+        ScaleFunction::Power(self.b)
+    }
+}
+
+/// Which resource bounds an application's performance (paper §V cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Working set fits on chip: performance is processor-bound and
+    /// largely insensitive to cache capacity and concurrency.
+    ProcessorBound,
+    /// Working set exceeds on-chip memory: performance is bounded by the
+    /// processor–DRAM transfer rate; capacity and concurrency dominate.
+    /// Big-data applications typically land here.
+    MemoryBound,
+}
+
+/// The §V on-chip working-set bound:
+/// `max Z s.t. workingset(Z) <= on_chip_capacity`.
+#[derive(Debug, Clone)]
+pub struct OnChipBound {
+    /// On-chip memory capacity `X` in bytes (LLC for inclusive caches,
+    /// the sum of all on-chip caches for exclusive ones).
+    pub capacity: f64,
+}
+
+impl OnChipBound {
+    /// Construct for a given on-chip capacity in bytes.
+    pub fn new(capacity: f64) -> Result<Self> {
+        if !(capacity > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "capacity",
+                value: capacity,
+            });
+        }
+        Ok(OnChipBound { capacity })
+    }
+
+    /// Solve `max Z s.t. working_set(Z) <= X` by bisection, given a
+    /// monotone non-decreasing `working_set` map (bytes as a function of
+    /// problem size).
+    pub fn max_problem_size<F>(&self, working_set: F, z_hi: f64) -> Result<f64>
+    where
+        F: Fn(f64) -> f64,
+    {
+        if !(z_hi > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "z_hi",
+                value: z_hi,
+            });
+        }
+        if working_set(z_hi) <= self.capacity {
+            return Ok(z_hi); // even the largest probe fits
+        }
+        let mut lo = 0.0f64;
+        let mut hi = z_hi;
+        if working_set(lo.max(f64::MIN_POSITIVE)) > self.capacity {
+            return Err(Error::InversionFailed(
+                "working set exceeds capacity even for tiny problems",
+            ));
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if working_set(mid) <= self.capacity {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Classify a real problem size `b` against the on-chip-bounded size
+    /// `a` (paper §V cases 1 and 2).
+    pub fn classify(&self, bounded_size: f64, real_size: f64) -> BoundKind {
+        if real_size <= bounded_size {
+            BoundKind::ProcessorBound
+        } else {
+            BoundKind::MemoryBound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_mm_matches_paper_derivation() {
+        // W = 2n^3, M = 3n^2. For n = 100: M = 30000, W = 2e6.
+        let p = MemoryBoundedProblem::dense_matrix_multiplication();
+        let n: f64 = 100.0;
+        let m = 3.0 * n * n;
+        let w = p.problem_size(m);
+        assert!((w - 2.0 * n.powi(3)).abs() / w < 1e-12);
+        // g(N) = N^{3/2}
+        assert!((p.g(4.0) - 8.0).abs() < 1e-12);
+        assert_eq!(p.scale_function(), ScaleFunction::Power(1.5));
+    }
+
+    #[test]
+    fn memory_for_is_inverse_of_problem_size() {
+        let p = MemoryBoundedProblem::new(0.7, 1.3).unwrap();
+        for m in [10.0, 1e4, 1e8] {
+            let w = p.problem_size(m);
+            assert!((p.memory_for(w) - m).abs() / m < 1e-10);
+        }
+    }
+
+    #[test]
+    fn g_is_capacity_independent_for_power_laws() {
+        let p = MemoryBoundedProblem::new(2.0, 1.5).unwrap();
+        for m in [1.0, 100.0, 1e6] {
+            let direct = p.scaled_problem_size(m, 9.0) / p.problem_size(m);
+            assert!((direct - p.g(9.0)).abs() / direct < 1e-12);
+        }
+    }
+
+    #[test]
+    fn on_chip_bound_bisects_correctly() {
+        // Working set = 8 Z bytes; capacity 1 MiB -> Z* = 131072.
+        let b = OnChipBound::new(1048576.0).unwrap();
+        let z = b.max_problem_size(|z| 8.0 * z, 1e9).unwrap();
+        assert!((z - 131072.0).abs() < 1.0, "z = {z}");
+    }
+
+    #[test]
+    fn on_chip_bound_saturates_at_probe_limit() {
+        let b = OnChipBound::new(1e12).unwrap();
+        let z = b.max_problem_size(|z| 8.0 * z, 1000.0).unwrap();
+        assert_eq!(z, 1000.0);
+    }
+
+    #[test]
+    fn classification_matches_paper_cases() {
+        let b = OnChipBound::new(1024.0).unwrap();
+        assert_eq!(b.classify(500.0, 400.0), BoundKind::ProcessorBound);
+        assert_eq!(b.classify(500.0, 500.0), BoundKind::ProcessorBound);
+        assert_eq!(b.classify(500.0, 501.0), BoundKind::MemoryBound);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(MemoryBoundedProblem::new(0.0, 1.0).is_err());
+        assert!(MemoryBoundedProblem::new(1.0, 0.0).is_err());
+        assert!(OnChipBound::new(0.0).is_err());
+        assert!(OnChipBound::new(-5.0).is_err());
+    }
+
+    #[test]
+    fn impossible_capacity_is_an_error() {
+        let b = OnChipBound::new(1.0).unwrap();
+        // Even a tiny problem needs 100 bytes.
+        let r = b.max_problem_size(|_| 100.0, 1e6);
+        assert!(r.is_err());
+    }
+}

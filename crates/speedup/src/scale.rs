@@ -1,0 +1,430 @@
+//! The problem-size scale function `g(N)` (paper §II.B, Table I).
+//!
+//! When memory capacity grows `N`-fold, the problem a user actually runs
+//! grows too: `W' = h(N·M)` where `W = h(M)` relates problem size to
+//! memory footprint. `g(N) = W'/W` is the scale factor, and for any
+//! power law `h(x) = a x^b` it is simply `N^b`. `g(N)` also represents
+//! the *data-reuse rate* as memory scales.
+//!
+//! Table I of the paper:
+//!
+//! | Application | Computation | Memory | g(N) |
+//! |---|---|---|---|
+//! | Tiled matrix multiplication | n³ | n² | N^{3/2} |
+//! | Band sparse matrix multiplication | n | n | N |
+//! | Stencil | n | n | N |
+//! | FFT | n·log₂n | n | ≈N (paper prints "2N" under its W=N, M=N·log₂N convention) |
+//!
+//! [`ComplexityPair::derive_g`] reproduces these entries *numerically*
+//! from the raw complexities — no per-application hand derivation.
+
+use crate::{Error, Result};
+
+/// A closed-form `g(N)` family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleFunction {
+    /// `g(N) = 1` — fixed problem size (Amdahl's regime).
+    Constant,
+    /// `g(N) = N^b` — power-law scaling; `Power(1.0)` is Gustafson's
+    /// regime, `Power(1.5)` is dense matrix multiplication.
+    Power(f64),
+    /// `g(N) = a·N` for `N > 1`, `g(1) = 1` — the paper's loose "2N"
+    /// entry for FFT. For `a = 1` this is exactly linear scaling.
+    LinearScaled(f64),
+    /// `g(N) = 1 + log₂(N)` — memory-hungry workloads whose useful
+    /// problem growth is only logarithmic in capacity.
+    Log2,
+}
+
+impl ScaleFunction {
+    /// Evaluate `g(N)`. `n >= 1` is required (debug-asserted); `g(1) = 1`
+    /// holds for every variant.
+    pub fn eval(&self, n: f64) -> f64 {
+        debug_assert!(n >= 1.0, "g(N) is defined for N >= 1");
+        match *self {
+            ScaleFunction::Constant => 1.0,
+            ScaleFunction::Power(b) => n.powf(b),
+            ScaleFunction::LinearScaled(a) => {
+                if n <= 1.0 {
+                    1.0
+                } else {
+                    a * n
+                }
+            }
+            ScaleFunction::Log2 => 1.0 + n.log2(),
+        }
+    }
+
+    /// Asymptotic growth order relative to `O(N)` — the paper's case
+    /// split (§III.C): `g(N) >= O(N)` means no finite N minimizes the
+    /// execution time and the optimizer must maximize `W/T` instead.
+    pub fn is_at_least_linear(&self) -> bool {
+        match *self {
+            ScaleFunction::Constant => false,
+            ScaleFunction::Power(b) => b >= 1.0,
+            ScaleFunction::LinearScaled(a) => a >= 1.0,
+            ScaleFunction::Log2 => false,
+        }
+    }
+
+    /// The derivative `dg/dN` (used by the Lagrangian optimizer).
+    pub fn derivative(&self, n: f64) -> f64 {
+        debug_assert!(n >= 1.0);
+        match *self {
+            ScaleFunction::Constant => 0.0,
+            ScaleFunction::Power(b) => b * n.powf(b - 1.0),
+            ScaleFunction::LinearScaled(a) => {
+                if n <= 1.0 {
+                    0.0
+                } else {
+                    a
+                }
+            }
+            ScaleFunction::Log2 => 1.0 / (n * std::f64::consts::LN_2),
+        }
+    }
+
+    /// Short display label (`"1"`, `"N^1.5"`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            ScaleFunction::Constant => "1".to_string(),
+            ScaleFunction::Power(b) if (b - 1.0).abs() < 1e-12 => "N".to_string(),
+            ScaleFunction::Power(b) => format!("N^{b}"),
+            ScaleFunction::LinearScaled(a) if (a - 1.0).abs() < 1e-12 => "N".to_string(),
+            ScaleFunction::LinearScaled(a) => format!("{a}N"),
+            ScaleFunction::Log2 => "1+log2(N)".to_string(),
+        }
+    }
+}
+
+/// An asymptotic complexity term `a · n^b · (log₂ n)^c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complexity {
+    /// Constant factor `a > 0`.
+    pub coeff: f64,
+    /// Polynomial exponent `b >= 0`.
+    pub poly: f64,
+    /// Logarithmic exponent `c >= 0`.
+    pub log: f64,
+}
+
+impl Complexity {
+    /// `a · n^b` (no log factor).
+    pub fn poly(coeff: f64, poly: f64) -> Result<Self> {
+        Complexity::new(coeff, poly, 0.0)
+    }
+
+    /// Validated constructor for `a · n^b · (log₂ n)^c`.
+    pub fn new(coeff: f64, poly: f64, log: f64) -> Result<Self> {
+        if !(coeff > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "coeff",
+                value: coeff,
+            });
+        }
+        if !(poly >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "poly",
+                value: poly,
+            });
+        }
+        if !(log >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "log",
+                value: log,
+            });
+        }
+        Ok(Complexity { coeff, poly, log })
+    }
+
+    /// Evaluate at problem parameter `n >= 2`.
+    pub fn eval(&self, n: f64) -> f64 {
+        debug_assert!(n >= 2.0, "complexities evaluated for n >= 2");
+        self.coeff * n.powf(self.poly) * n.log2().powf(self.log)
+    }
+
+    /// Invert: find `n` with `eval(n) = target` by bisection (the
+    /// function is strictly increasing for `poly + log > 0`).
+    pub fn invert(&self, target: f64) -> Result<f64> {
+        if self.poly == 0.0 && self.log == 0.0 {
+            return Err(Error::InversionFailed("constant complexity"));
+        }
+        if !(target > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "target",
+                value: target,
+            });
+        }
+        let mut lo = 2.0f64;
+        let mut hi = 4.0f64;
+        if self.eval(lo) > target {
+            return Err(Error::InversionFailed("target below n = 2 value"));
+        }
+        let mut guard = 0;
+        while self.eval(hi) < target {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 1024 {
+                return Err(Error::InversionFailed("failed to bracket"));
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.eval(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+/// An application characterized by its computation and memory complexity,
+/// from which `g(N)` is derived exactly as in §II.B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplexityPair {
+    /// Work as a function of problem parameter `n` (e.g. `2n³` for MM).
+    pub computation: Complexity,
+    /// Memory footprint as a function of `n` (e.g. `3n²` for MM).
+    pub memory: Complexity,
+}
+
+impl ComplexityPair {
+    /// Construct from the two complexities.
+    pub fn new(computation: Complexity, memory: Complexity) -> Self {
+        ComplexityPair {
+            computation,
+            memory,
+        }
+    }
+
+    /// Numerically derive `g(N)` at scale factor `factor`, starting from
+    /// base problem parameter `n0`:
+    ///
+    /// 1. base memory `M = memory(n0)`, base work `W = computation(n0)`;
+    /// 2. solve `memory(n') = factor · M` for `n'`;
+    /// 3. `g(factor) = computation(n') / W`.
+    pub fn derive_g(&self, n0: f64, factor: f64) -> Result<f64> {
+        if !(n0 >= 2.0) {
+            return Err(Error::InvalidParameter {
+                name: "n0",
+                value: n0,
+            });
+        }
+        if !(factor >= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "factor",
+                value: factor,
+            });
+        }
+        let m0 = self.memory.eval(n0);
+        let w0 = self.computation.eval(n0);
+        let n_scaled = self.memory.invert(factor * m0)?;
+        Ok(self.computation.eval(n_scaled) / w0)
+    }
+
+    /// The asymptotic power-law exponent of `g(N)` (`b_comp / b_mem`),
+    /// exact when both complexities are pure power laws.
+    pub fn asymptotic_exponent(&self) -> Option<f64> {
+        if self.memory.poly > 0.0 && self.computation.log == 0.0 && self.memory.log == 0.0 {
+            Some(self.computation.poly / self.memory.poly)
+        } else {
+            None
+        }
+    }
+
+    /// The closed-form [`ScaleFunction`] when one exists (pure power
+    /// laws), matching the paper's Table I.
+    pub fn scale_function(&self) -> Option<ScaleFunction> {
+        self.asymptotic_exponent().map(|b| {
+            if (b - 1.0).abs() < 1e-12 {
+                ScaleFunction::Power(1.0)
+            } else {
+                ScaleFunction::Power(b)
+            }
+        })
+    }
+
+    /// Table I row: tiled (dense) matrix multiplication, `W = 2n³`,
+    /// `M = 3n²` ⇒ `g(N) = N^{3/2}`.
+    pub fn tiled_matrix_multiplication() -> Self {
+        ComplexityPair::new(
+            Complexity::poly(2.0, 3.0).unwrap(),
+            Complexity::poly(3.0, 2.0).unwrap(),
+        )
+    }
+
+    /// Table I row: band sparse matrix multiplication, `W = O(n)`,
+    /// `M = O(n)` ⇒ `g(N) = N`.
+    pub fn band_sparse_mm() -> Self {
+        ComplexityPair::new(
+            Complexity::poly(9.0, 1.0).unwrap(),
+            Complexity::poly(4.0, 1.0).unwrap(),
+        )
+    }
+
+    /// Table I row: stencil, `W = O(n)`, `M = O(n)` ⇒ `g(N) = N`.
+    pub fn stencil() -> Self {
+        ComplexityPair::new(
+            Complexity::poly(5.0, 1.0).unwrap(),
+            Complexity::poly(3.0, 1.0).unwrap(),
+        )
+    }
+
+    /// Table I row: FFT, computation `n·log₂n`, memory `n`. The exact
+    /// `g(N)` is `N·(1 + log₂N / log₂n₀)` → `N` as `n₀ → ∞`; the paper's
+    /// table prints "2N" under its own convention.
+    pub fn fft() -> Self {
+        ComplexityPair::new(
+            Complexity::new(5.0, 1.0, 1.0).unwrap(),
+            Complexity::poly(2.0, 1.0).unwrap(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_of_one_is_one_for_all_variants() {
+        for g in [
+            ScaleFunction::Constant,
+            ScaleFunction::Power(1.5),
+            ScaleFunction::Power(0.5),
+            ScaleFunction::LinearScaled(2.0),
+            ScaleFunction::Log2,
+        ] {
+            assert!((g.eval(1.0) - 1.0).abs() < 1e-12, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn power_families_match_paper_special_cases() {
+        // g = 1 -> Amdahl; g = N -> Gustafson; g = N^{3/2} -> matrix mult.
+        assert!((ScaleFunction::Constant.eval(64.0) - 1.0).abs() < 1e-12);
+        assert!((ScaleFunction::Power(1.0).eval(64.0) - 64.0).abs() < 1e-12);
+        assert!((ScaleFunction::Power(1.5).eval(64.0) - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_split_classification() {
+        assert!(!ScaleFunction::Constant.is_at_least_linear());
+        assert!(!ScaleFunction::Power(0.7).is_at_least_linear());
+        assert!(ScaleFunction::Power(1.0).is_at_least_linear());
+        assert!(ScaleFunction::Power(1.5).is_at_least_linear());
+        assert!(ScaleFunction::LinearScaled(2.0).is_at_least_linear());
+        assert!(!ScaleFunction::Log2.is_at_least_linear());
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-6;
+        for g in [
+            ScaleFunction::Power(1.5),
+            ScaleFunction::Power(0.5),
+            ScaleFunction::Log2,
+            ScaleFunction::Constant,
+        ] {
+            for n in [2.0, 10.0, 100.0] {
+                let fd = (g.eval(n + eps) - g.eval(n - eps)) / (2.0 * eps);
+                assert!(
+                    (g.derivative(n) - fd).abs() < 1e-5,
+                    "{g:?} at {n}: {} vs {fd}",
+                    g.derivative(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tmm_derives_n_to_three_halves() {
+        let pair = ComplexityPair::tiled_matrix_multiplication();
+        assert_eq!(pair.asymptotic_exponent(), Some(1.5));
+        // Numeric derivation must match N^{3/2} for power laws exactly.
+        for factor in [2.0, 4.0, 16.0, 100.0] {
+            let g = pair.derive_g(64.0, factor).unwrap();
+            assert!(
+                (g - factor.powf(1.5)).abs() / factor.powf(1.5) < 1e-6,
+                "factor {factor}: derived {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_workloads_derive_linear_g() {
+        for pair in [ComplexityPair::band_sparse_mm(), ComplexityPair::stencil()] {
+            assert_eq!(pair.asymptotic_exponent(), Some(1.0));
+            let g = pair.derive_g(100.0, 8.0).unwrap();
+            assert!((g - 8.0).abs() < 1e-6, "derived {g}");
+        }
+    }
+
+    #[test]
+    fn fft_derived_g_is_superlinear_but_subquadratic() {
+        let pair = ComplexityPair::fft();
+        // g(N) = N (1 + log2 N / log2 n0): above N, far below N^2.
+        let n0 = 1024.0;
+        let g = pair.derive_g(n0, 8.0).unwrap();
+        assert!(g > 8.0, "derived {g}");
+        assert!(g < 16.0, "derived {g}");
+        // Exact value: 8 * (1 + 3/10) = 10.4
+        assert!((g - 10.4).abs() < 0.05, "derived {g}");
+        assert_eq!(pair.asymptotic_exponent(), None);
+    }
+
+    #[test]
+    fn scale_function_extraction() {
+        let tmm = ComplexityPair::tiled_matrix_multiplication();
+        match tmm.scale_function() {
+            Some(ScaleFunction::Power(b)) => assert!((b - 1.5).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ComplexityPair::fft().scale_function(), None);
+    }
+
+    #[test]
+    fn complexity_invert_roundtrip() {
+        let c = Complexity::new(3.0, 2.0, 1.0).unwrap();
+        for n in [4.0, 37.0, 1000.0] {
+            let y = c.eval(n);
+            let back = c.invert(y).unwrap();
+            assert!((back - n).abs() / n < 1e-9, "{back} vs {n}");
+        }
+    }
+
+    #[test]
+    fn invert_rejects_degenerate_cases() {
+        let constant = Complexity::poly(5.0, 0.0).unwrap();
+        assert!(constant.invert(10.0).is_err());
+        let c = Complexity::poly(1.0, 1.0).unwrap();
+        assert!(c.invert(-1.0).is_err());
+        assert!(c.invert(1.0).is_err()); // below the n = 2 floor
+    }
+
+    #[test]
+    fn validation_rejects_bad_complexities() {
+        assert!(Complexity::poly(0.0, 1.0).is_err());
+        assert!(Complexity::poly(-1.0, 1.0).is_err());
+        assert!(Complexity::new(1.0, -0.5, 0.0).is_err());
+        assert!(Complexity::new(1.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn derive_g_validates_inputs() {
+        let pair = ComplexityPair::stencil();
+        assert!(pair.derive_g(1.0, 2.0).is_err());
+        assert!(pair.derive_g(10.0, 0.5).is_err());
+        assert!((pair.derive_g(10.0, 1.0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ScaleFunction::Constant.label(), "1");
+        assert_eq!(ScaleFunction::Power(1.0).label(), "N");
+        assert_eq!(ScaleFunction::Power(1.5).label(), "N^1.5");
+        assert_eq!(ScaleFunction::LinearScaled(2.0).label(), "2N");
+        assert_eq!(ScaleFunction::Log2.label(), "1+log2(N)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Single memory access records.
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One dynamic memory access in program order.
+///
+/// `instr` is the dynamic instruction index at which the access was issued;
+/// it is what ties the memory stream back to the instruction stream, so
+/// that `f_mem` (memory accesses per instruction, paper Eq. 6/7) can be
+/// computed. Addresses are byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Dynamic instruction index (monotonically non-decreasing in a trace).
+    pub instr: u64,
+    /// Byte address touched.
+    pub addr: u64,
+    /// Number of bytes touched (commonly 4 or 8).
+    pub size: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a read.
+    #[inline]
+    pub fn read(instr: u64, addr: u64) -> Self {
+        MemAccess {
+            instr,
+            addr,
+            size: 8,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    #[inline]
+    pub fn write(instr: u64, addr: u64) -> Self {
+        MemAccess {
+            instr,
+            addr,
+            size: 8,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// The cache-line index this access falls in for a given line size.
+    ///
+    /// `line_size` must be a power of two; this is debug-asserted.
+    #[inline]
+    pub fn line(&self, line_size: u64) -> u64 {
+        debug_assert!(line_size.is_power_of_two());
+        self.addr / line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn line_index_uses_line_size() {
+        let a = MemAccess::read(0, 130);
+        assert_eq!(a.line(64), 2);
+        assert_eq!(a.line(128), 1);
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemAccess::read(1, 2).kind, AccessKind::Read);
+        assert_eq!(MemAccess::write(1, 2).kind, AccessKind::Write);
+        assert_eq!(MemAccess::read(7, 2).instr, 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! Trace serialization: a small line-oriented text format.
+//!
+//! The paper's flow collects traces once (GEM5 runs are expensive) and
+//! re-analyzes them many times; this module provides the same
+//! collect-once/replay-many workflow. Format, one record per line:
+//!
+//! ```text
+//! #c2trace v1 ic=<instruction-count>
+//! R <instr> <addr-hex> <size>
+//! W <instr> <addr-hex> <size>
+//! ```
+//!
+//! Lines starting with `#` (after the header) are comments.
+
+use std::io::{BufRead, Write};
+
+use crate::access::{AccessKind, MemAccess};
+use crate::trace::Trace;
+use crate::{Error, Result};
+
+/// Magic header prefix.
+const MAGIC: &str = "#c2trace v1";
+
+/// Serialize a trace to a writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC} ic={}", trace.instruction_count())?;
+    for a in trace.accesses() {
+        writeln!(
+            out,
+            "{} {} {:x} {}",
+            if a.kind.is_write() { 'W' } else { 'R' },
+            a.instr,
+            a.addr,
+            a.size
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialize a trace to a string.
+pub fn to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Deserialize a trace from a reader.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Trace> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or(Error::InvalidParameter("empty trace file"))?
+        .map_err(|_| Error::InvalidParameter("unreadable trace file"))?;
+    if !header.starts_with(MAGIC) {
+        return Err(Error::InvalidParameter("missing #c2trace header"));
+    }
+    let ic: u64 = header
+        .split("ic=")
+        .nth(1)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or(Error::InvalidParameter("malformed ic= field"))?;
+    let mut accesses = Vec::new();
+    for line in lines {
+        let line = line.map_err(|_| Error::InvalidParameter("unreadable trace line"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let kind = match parts.next() {
+            Some("R") => AccessKind::Read,
+            Some("W") => AccessKind::Write,
+            _ => return Err(Error::InvalidParameter("bad record kind")),
+        };
+        let instr: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(Error::InvalidParameter("bad instr field"))?;
+        let addr: u64 = parts
+            .next()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or(Error::InvalidParameter("bad addr field"))?;
+        let size: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(Error::InvalidParameter("bad size field"))?;
+        accesses.push(MemAccess {
+            instr,
+            addr,
+            size,
+            kind,
+        });
+    }
+    Trace::from_accesses(accesses, ic)
+}
+
+/// Deserialize a trace from a string.
+pub fn from_str(s: &str) -> Result<Trace> {
+    read_trace(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{RandomGenerator, TraceGenerator};
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn roundtrip_small_trace() {
+        let mut b = TraceBuilder::new();
+        b.compute(5).read(0x1000).compute(2).write(0x2040);
+        let t = b.finish();
+        let s = to_string(&t);
+        let back = from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_random_trace() {
+        let t = RandomGenerator::new(0x4000, 1 << 16, 500, 9).generate();
+        let back = from_str(&to_string(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let mut b = TraceBuilder::new();
+        b.compute(1).read(0xff);
+        let s = to_string(&b.finish());
+        assert_eq!(s, "#c2trace v1 ic=2\nR 1 ff 8\n");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = "#c2trace v1 ic=10\n# a comment\n\nR 3 40 8\n";
+        let t = from_str(s).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.instruction_count(), 10);
+        assert_eq!(t.accesses()[0].addr, 0x40);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not a trace\n").is_err());
+        assert!(from_str("#c2trace v1 ic=abc\n").is_err());
+        assert!(from_str("#c2trace v1 ic=5\nX 0 0 8\n").is_err());
+        assert!(from_str("#c2trace v1 ic=5\nR zz 0 8\n").is_err());
+        assert!(from_str("#c2trace v1 ic=5\nR 0 0\n").is_err());
+        // Out-of-order instructions rejected by Trace validation.
+        assert!(from_str("#c2trace v1 ic=9\nR 5 0 8\nR 3 0 8\n").is_err());
+    }
+
+    #[test]
+    fn instruction_count_clamps_like_trace() {
+        // ic smaller than the last access index is clamped up.
+        let t = from_str("#c2trace v1 ic=0\nR 7 0 8\n").unwrap();
+        assert_eq!(t.instruction_count(), 8);
+    }
+}

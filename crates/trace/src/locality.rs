@@ -1,0 +1,167 @@
+//! Spatial/temporal locality scores — compact scalar signatures of a
+//! trace's access pattern, used to characterize workloads and to label
+//! phases (complementing the full reuse-distance machinery in
+//! [`crate::stats`]).
+
+use std::collections::HashMap;
+
+use crate::trace::Trace;
+
+/// Scalar locality signature of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityScores {
+    /// Fraction of consecutive access pairs within `near_bytes` of each
+    /// other (1.0 = perfectly streaming/strided, 0.0 = scattered).
+    pub spatial: f64,
+    /// Fraction of accesses whose line was touched within the last
+    /// `window` accesses (1.0 = tight reuse loop, 0.0 = no reuse).
+    pub temporal: f64,
+    /// Fraction of consecutive pairs with *exactly* the dominant stride
+    /// (streaming detector; 0 when no dominant stride exists).
+    pub stride_regularity: f64,
+    /// The dominant signed byte stride (0 when the trace is too short).
+    pub dominant_stride: i64,
+}
+
+/// Locality analyzer with configurable thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityAnalyzer {
+    /// "Near" threshold for the spatial score, bytes.
+    pub near_bytes: u64,
+    /// Trailing window for the temporal score, accesses.
+    pub window: usize,
+    /// Cache-line size for the temporal score.
+    pub line_size: u64,
+}
+
+impl Default for LocalityAnalyzer {
+    fn default() -> Self {
+        LocalityAnalyzer {
+            near_bytes: 256,
+            window: 64,
+            line_size: 64,
+        }
+    }
+}
+
+impl LocalityAnalyzer {
+    /// Compute the scores for a trace.
+    pub fn analyze(&self, trace: &Trace) -> LocalityScores {
+        let accesses = trace.accesses();
+        if accesses.len() < 2 {
+            return LocalityScores {
+                spatial: 0.0,
+                temporal: 0.0,
+                stride_regularity: 0.0,
+                dominant_stride: 0,
+            };
+        }
+
+        // Spatial: consecutive-pair distance + dominant stride.
+        let mut near = 0usize;
+        let mut stride_counts: HashMap<i64, usize> = HashMap::new();
+        for w in accesses.windows(2) {
+            let d = w[1].addr as i64 - w[0].addr as i64;
+            if d.unsigned_abs() <= self.near_bytes {
+                near += 1;
+            }
+            *stride_counts.entry(d).or_insert(0) += 1;
+        }
+        let pairs = accesses.len() - 1;
+        let (dominant_stride, dominant_count) = stride_counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .unwrap_or((0, 0));
+
+        // Temporal: recent-line reuse within the trailing window.
+        let mut last_seen: HashMap<u64, usize> = HashMap::new();
+        let mut reused = 0usize;
+        for (i, a) in accesses.iter().enumerate() {
+            let line = a.line(self.line_size);
+            if let Some(&prev) = last_seen.get(&line) {
+                if i - prev <= self.window {
+                    reused += 1;
+                }
+            }
+            last_seen.insert(line, i);
+        }
+
+        LocalityScores {
+            spatial: near as f64 / pairs as f64,
+            temporal: reused as f64 / accesses.len() as f64,
+            stride_regularity: dominant_count as f64 / pairs as f64,
+            dominant_stride,
+        }
+    }
+}
+
+/// Analyze with the default thresholds.
+pub fn locality(trace: &Trace) -> LocalityScores {
+    LocalityAnalyzer::default().analyze(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{
+        PointerChaseGenerator, RandomGenerator, StridedGenerator, TraceGenerator, ZipfGenerator,
+    };
+
+    #[test]
+    fn streaming_is_spatial_and_regular() {
+        let t = StridedGenerator::new(0, 64, 2000).generate();
+        let s = locality(&t);
+        assert!(s.spatial > 0.95, "spatial {}", s.spatial);
+        assert!(s.stride_regularity > 0.95, "{}", s.stride_regularity);
+        assert_eq!(s.dominant_stride, 64);
+        // Streaming never revisits a line.
+        assert!(s.temporal < 0.05, "temporal {}", s.temporal);
+    }
+
+    #[test]
+    fn small_random_set_is_temporal_not_spatial() {
+        // 32 lines revisited constantly within the window.
+        let t = RandomGenerator::new(0, 32 * 64, 4000, 1).generate();
+        let s = locality(&t);
+        assert!(s.temporal > 0.8, "temporal {}", s.temporal);
+        assert!(s.stride_regularity < 0.5, "{}", s.stride_regularity);
+    }
+
+    #[test]
+    fn pointer_chase_scores_low_on_both() {
+        let t = PointerChaseGenerator::new(0, 1 << 16, 4000, 2).generate();
+        let s = locality(&t);
+        assert!(s.spatial < 0.2, "spatial {}", s.spatial);
+        assert!(s.temporal < 0.2, "temporal {}", s.temporal);
+    }
+
+    #[test]
+    fn zipf_is_temporal() {
+        let t = ZipfGenerator::new(0, 1 << 14, 1.3, 4000, 3).generate();
+        let s = locality(&t);
+        assert!(s.temporal > 0.5, "temporal {}", s.temporal);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        for t in [
+            StridedGenerator::new(0, 8, 500).generate(),
+            RandomGenerator::new(0, 1 << 20, 500, 5).generate(),
+        ] {
+            let s = locality(&t);
+            for v in [s.spatial, s.temporal, s.stride_regularity] {
+                assert!((0.0..=1.0).contains(&v), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_traces() {
+        let s = locality(&Trace::new());
+        assert_eq!(s.spatial, 0.0);
+        let mut b = crate::TraceBuilder::new();
+        b.read(0x40);
+        let s = locality(&b.finish());
+        assert_eq!(s.dominant_stride, 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! SimPoint-style phase detection.
+//!
+//! The paper relies on SimPoint \[26\] to cut a 10-billion-instruction
+//! simulation down to representative slices, and on the observation
+//! (§IV) that "programs have periodic behaviors and their data access
+//! patterns are predictable". This module reproduces that machinery over
+//! access traces: each fixed-length interval is summarized by a signature
+//! vector (address-region histogram plus stride histogram), the
+//! signatures are clustered with k-means, and one representative interval
+//! per cluster is selected — exactly the role SimPoint plays.
+
+use crate::trace::Trace;
+use crate::{Error, Result};
+
+/// Configuration for phase detection.
+#[derive(Debug, Clone)]
+pub struct PhaseConfig {
+    /// Accesses per interval.
+    pub interval_len: usize,
+    /// Number of clusters (phases) to find.
+    pub clusters: usize,
+    /// Number of address-region buckets in the signature.
+    pub region_buckets: usize,
+    /// Number of stride buckets in the signature.
+    pub stride_buckets: usize,
+    /// Maximum k-means iterations.
+    pub max_iters: usize,
+    /// Deterministic seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            interval_len: 1000,
+            clusters: 4,
+            region_buckets: 32,
+            stride_buckets: 16,
+            max_iters: 50,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A phase label assigned to an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaseLabel(pub usize);
+
+/// The result of phase detection.
+#[derive(Debug, Clone)]
+pub struct Phases {
+    labels: Vec<PhaseLabel>,
+    representatives: Vec<usize>,
+    interval_len: usize,
+}
+
+impl Phases {
+    /// Per-interval phase labels, in interval order.
+    pub fn labels(&self) -> &[PhaseLabel] {
+        &self.labels
+    }
+
+    /// Representative interval index per phase (`representatives()[p]` is
+    /// the interval closest to cluster `p`'s centroid).
+    pub fn representatives(&self) -> &[usize] {
+        &self.representatives
+    }
+
+    /// Number of detected phases.
+    pub fn phase_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Interval length the analysis used.
+    pub fn interval_len(&self) -> usize {
+        self.interval_len
+    }
+
+    /// Weight (fraction of intervals) of each phase.
+    pub fn weights(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.phase_count()];
+        for l in &self.labels {
+            counts[l.0] += 1;
+        }
+        let n = self.labels.len().max(1) as f64;
+        counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Number of transitions between distinct consecutive phases.
+    pub fn transitions(&self) -> usize {
+        self.labels.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// SimPoint-like phase detector.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseDetector {
+    config: PhaseConfig,
+}
+
+impl PhaseDetector {
+    /// Detector with the given configuration.
+    pub fn new(config: PhaseConfig) -> Self {
+        PhaseDetector { config }
+    }
+
+    /// Compute the signature vector of one interval.
+    ///
+    /// The signature concatenates a normalized histogram of address
+    /// regions (hashed line index modulo `region_buckets`) and a
+    /// normalized histogram of log2-bucketed absolute strides.
+    pub fn signature(&self, accesses: &[crate::MemAccess]) -> Vec<f64> {
+        let rb = self.config.region_buckets;
+        let sb = self.config.stride_buckets;
+        let mut v = vec![0.0f64; rb + sb];
+        if accesses.is_empty() {
+            return v;
+        }
+        for a in accesses {
+            let line = a.line(64);
+            // Fibonacci hashing spreads contiguous lines across buckets
+            // of the same region while keeping distinct regions apart.
+            let h = (line.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % rb;
+            v[h] += 1.0;
+        }
+        for w in accesses.windows(2) {
+            let stride = w[1].addr.abs_diff(w[0].addr);
+            let bucket = if stride == 0 {
+                0
+            } else {
+                (64 - stride.leading_zeros()) as usize
+            }
+            .min(sb - 1);
+            v[rb + bucket] += 1.0;
+        }
+        // Normalize each half so interval length does not dominate.
+        let region_sum: f64 = v[..rb].iter().sum();
+        if region_sum > 0.0 {
+            for x in &mut v[..rb] {
+                *x /= region_sum;
+            }
+        }
+        let stride_sum: f64 = v[rb..].iter().sum();
+        if stride_sum > 0.0 {
+            for x in &mut v[rb..] {
+                *x /= stride_sum;
+            }
+        }
+        v
+    }
+
+    /// Run phase detection over a trace.
+    pub fn detect(&self, trace: &Trace) -> Result<Phases> {
+        if self.config.interval_len == 0 {
+            return Err(Error::InvalidParameter("interval_len must be positive"));
+        }
+        if self.config.clusters == 0 {
+            return Err(Error::InvalidParameter("clusters must be positive"));
+        }
+        let intervals = trace.intervals(self.config.interval_len);
+        if intervals.len() < self.config.clusters {
+            return Err(Error::TooManyClusters {
+                requested: self.config.clusters,
+                available: intervals.len(),
+            });
+        }
+        let sigs: Vec<Vec<f64>> = intervals
+            .iter()
+            .map(|iv| self.signature(iv.accesses))
+            .collect();
+        let (assign, centroids) = kmeans(
+            &sigs,
+            self.config.clusters,
+            self.config.max_iters,
+            self.config.seed,
+        );
+        // Representative = interval closest to its centroid.
+        let mut representatives = vec![usize::MAX; self.config.clusters];
+        let mut best = vec![f64::INFINITY; self.config.clusters];
+        for (i, sig) in sigs.iter().enumerate() {
+            let c = assign[i];
+            let d = sq_dist(sig, &centroids[c]);
+            if d < best[c] {
+                best[c] = d;
+                representatives[i_fix(c)] = i;
+            }
+        }
+        // Drop empty clusters (possible if k-means collapsed), compacting
+        // labels so they stay dense.
+        let mut remap = vec![usize::MAX; self.config.clusters];
+        let mut kept = Vec::new();
+        for (c, &rep) in representatives.iter().enumerate() {
+            if rep != usize::MAX {
+                remap[c] = kept.len();
+                kept.push(rep);
+            }
+        }
+        let labels = assign.iter().map(|&c| PhaseLabel(remap[c])).collect();
+        Ok(Phases {
+            labels,
+            representatives: kept,
+            interval_len: self.config.interval_len,
+        })
+    }
+}
+
+#[inline]
+fn i_fix(c: usize) -> usize {
+    c
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic k-means with k-means++-style seeding driven by a simple
+/// splitmix64 stream (no rand dependency needed here).
+fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> (Vec<usize>, Vec<Vec<f64>>) {
+    assert!(!points.is_empty() && k > 0 && k <= points.len());
+    let dim = points[0].len();
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[(next() % points.len() as u64) as usize].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            (next() % points.len() as u64) as usize
+        } else {
+            let target = (next() as f64 / u64::MAX as f64) * total;
+            let mut acc = 0.0;
+            let mut idx = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                acc += d;
+                if acc >= target {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centroids.push(points[chosen].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut bd = f64::INFINITY;
+            for (c, cen) in centroids.iter().enumerate() {
+                let d = sq_dist(p, cen);
+                if d < bd {
+                    bd = d;
+                    best = c;
+                }
+            }
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &x) in sums[assign[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assign, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{
+        MixedPhaseGenerator, PointerChaseGenerator, StridedGenerator, TraceGenerator,
+    };
+
+    #[test]
+    fn detects_two_alternating_phases() {
+        // Alternate streaming and pointer-chasing phases; the detector
+        // should separate them into (at least) two phases whose labels
+        // alternate with the program structure.
+        let g = MixedPhaseGenerator::new(
+            vec![
+                Box::new(StridedGenerator::new(0, 64, 1000)),
+                Box::new(PointerChaseGenerator::new(1 << 30, 256, 1000, 42)),
+            ],
+            4,
+        );
+        let trace = g.generate();
+        let det = PhaseDetector::new(PhaseConfig {
+            interval_len: 1000,
+            clusters: 2,
+            ..PhaseConfig::default()
+        });
+        let phases = det.detect(&trace).unwrap();
+        assert_eq!(phases.labels().len(), 8);
+        assert_eq!(phases.phase_count(), 2);
+        // Even intervals (streaming) share a label distinct from odd ones.
+        let even = phases.labels()[0];
+        let odd = phases.labels()[1];
+        assert_ne!(even, odd);
+        for (i, l) in phases.labels().iter().enumerate() {
+            assert_eq!(*l, if i % 2 == 0 { even } else { odd });
+        }
+        assert_eq!(phases.transitions(), 7);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let g = StridedGenerator::new(0, 64, 5000);
+        let trace = g.generate();
+        let det = PhaseDetector::new(PhaseConfig {
+            interval_len: 500,
+            clusters: 3,
+            ..PhaseConfig::default()
+        });
+        let phases = det.detect(&trace).unwrap();
+        let s: f64 = phases.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_clusters_is_an_error() {
+        let trace = StridedGenerator::new(0, 64, 100).generate();
+        let det = PhaseDetector::new(PhaseConfig {
+            interval_len: 100,
+            clusters: 5,
+            ..PhaseConfig::default()
+        });
+        assert!(matches!(
+            det.detect(&trace),
+            Err(Error::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_is_normalized() {
+        let trace = StridedGenerator::new(0, 64, 100).generate();
+        let det = PhaseDetector::new(PhaseConfig::default());
+        let sig = det.signature(trace.accesses());
+        let rb = det.config.region_buckets;
+        let region_sum: f64 = sig[..rb].iter().sum();
+        let stride_sum: f64 = sig[rb..].iter().sum();
+        assert!((region_sum - 1.0).abs() < 1e-9);
+        assert!((stride_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn representatives_are_valid_interval_indices() {
+        let g = MixedPhaseGenerator::new(
+            vec![
+                Box::new(StridedGenerator::new(0, 64, 400)),
+                Box::new(PointerChaseGenerator::new(1 << 28, 128, 400, 1)),
+            ],
+            3,
+        );
+        let trace = g.generate();
+        let det = PhaseDetector::new(PhaseConfig {
+            interval_len: 400,
+            clusters: 2,
+            ..PhaseConfig::default()
+        });
+        let phases = det.detect(&trace).unwrap();
+        for &r in phases.representatives() {
+            assert!(r < 6);
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let (assign, _) = kmeans(&pts, 2, 100, 7);
+        // All even-index points together, all odd-index together.
+        for i in (0..20).step_by(2) {
+            assert_eq!(assign[i], assign[0]);
+            assert_eq!(assign[i + 1], assign[1]);
+        }
+        assert_ne!(assign[0], assign[1]);
+    }
+}

@@ -1,0 +1,451 @@
+//! Synthetic trace generators.
+//!
+//! These stand in for the SPLASH-2/PARSEC traces the paper collected with
+//! GEM5 (see DESIGN.md substitution table). Each generator produces a
+//! deterministic trace given its seed, covering the access-pattern space
+//! the paper's analysis cares about: streaming (high spatial locality),
+//! strided, random over a working set (capacity-sensitive), Zipf-skewed
+//! (hot/cold), pointer chasing (serialized, concurrency-hostile), and
+//! mixed-phase programs for phase detection.
+
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::access::AccessKind;
+use crate::trace::{Trace, TraceBuilder};
+
+/// Anything that can produce a [`Trace`].
+pub trait TraceGenerator {
+    /// Produce the trace.
+    fn generate(&self) -> Trace;
+}
+
+/// Purely sequential streaming reads: `base, base+stride, ...`.
+#[derive(Debug, Clone)]
+pub struct StridedGenerator {
+    base: u64,
+    stride: u64,
+    count: usize,
+    compute_per_access: u64,
+    write_every: Option<usize>,
+}
+
+impl StridedGenerator {
+    /// Stream of `count` reads starting at `base` with byte `stride`.
+    pub fn new(base: u64, stride: u64, count: usize) -> Self {
+        StridedGenerator {
+            base,
+            stride,
+            count,
+            compute_per_access: 2,
+            write_every: None,
+        }
+    }
+
+    /// Set the number of non-memory instructions between accesses
+    /// (controls `f_mem`).
+    pub fn compute_per_access(mut self, n: u64) -> Self {
+        self.compute_per_access = n;
+        self
+    }
+
+    /// Make every `k`-th access a write.
+    pub fn write_every(mut self, k: usize) -> Self {
+        assert!(k > 0);
+        self.write_every = Some(k);
+        self
+    }
+}
+
+impl TraceGenerator for StridedGenerator {
+    fn generate(&self) -> Trace {
+        let mut b = TraceBuilder::with_capacity(self.count);
+        for i in 0..self.count {
+            b.compute(self.compute_per_access);
+            let addr = self.base + i as u64 * self.stride;
+            let kind = match self.write_every {
+                Some(k) if i % k == k - 1 => AccessKind::Write,
+                _ => AccessKind::Read,
+            };
+            b.access(addr, kind);
+        }
+        b.finish()
+    }
+}
+
+/// Uniform random accesses over a working set of `footprint_bytes`.
+#[derive(Debug, Clone)]
+pub struct RandomGenerator {
+    base: u64,
+    footprint_bytes: u64,
+    count: usize,
+    compute_per_access: u64,
+    write_fraction: f64,
+    seed: u64,
+}
+
+impl RandomGenerator {
+    /// `count` accesses uniformly over `[base, base + footprint_bytes)`.
+    pub fn new(base: u64, footprint_bytes: u64, count: usize, seed: u64) -> Self {
+        assert!(footprint_bytes >= 8);
+        RandomGenerator {
+            base,
+            footprint_bytes,
+            count,
+            compute_per_access: 2,
+            write_fraction: 0.3,
+            seed,
+        }
+    }
+
+    /// Set the number of non-memory instructions between accesses.
+    pub fn compute_per_access(mut self, n: u64) -> Self {
+        self.compute_per_access = n;
+        self
+    }
+
+    /// Set the fraction of accesses that are writes (`0..=1`).
+    pub fn write_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.write_fraction = f;
+        self
+    }
+}
+
+impl TraceGenerator for RandomGenerator {
+    fn generate(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut b = TraceBuilder::with_capacity(self.count);
+        let slots = self.footprint_bytes / 8;
+        for _ in 0..self.count {
+            b.compute(self.compute_per_access);
+            let addr = self.base + rng.gen_range(0..slots) * 8;
+            let kind = if rng.gen_bool(self.write_fraction) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            b.access(addr, kind);
+        }
+        b.finish()
+    }
+}
+
+/// Zipf-distributed accesses: a small hot set absorbs most accesses.
+///
+/// Uses the classic rejection-free inverse-CDF over precomputed harmonic
+/// weights, ranking line 0 as hottest.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    base: u64,
+    lines: usize,
+    exponent: f64,
+    count: usize,
+    compute_per_access: u64,
+    seed: u64,
+}
+
+impl ZipfGenerator {
+    /// `count` accesses over `lines` 64-byte lines with Zipf `exponent`.
+    pub fn new(base: u64, lines: usize, exponent: f64, count: usize, seed: u64) -> Self {
+        assert!(lines > 0);
+        assert!(exponent >= 0.0);
+        ZipfGenerator {
+            base,
+            lines,
+            exponent,
+            count,
+            compute_per_access: 2,
+            seed,
+        }
+    }
+
+    /// Set the number of non-memory instructions between accesses.
+    pub fn compute_per_access(mut self, n: u64) -> Self {
+        self.compute_per_access = n;
+        self
+    }
+}
+
+impl TraceGenerator for ZipfGenerator {
+    fn generate(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Precompute CDF.
+        let mut cdf = Vec::with_capacity(self.lines);
+        let mut acc = 0.0f64;
+        for rank in 1..=self.lines {
+            acc += 1.0 / (rank as f64).powf(self.exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let mut b = TraceBuilder::with_capacity(self.count);
+        for _ in 0..self.count {
+            b.compute(self.compute_per_access);
+            let u = rng.gen_range(0.0..total);
+            let idx = cdf.partition_point(|&c| c < u).min(self.lines - 1);
+            b.read(self.base + idx as u64 * 64);
+        }
+        b.finish()
+    }
+}
+
+/// Pointer chasing over a random permutation: each access depends on the
+/// previous one, defeating memory-level parallelism. The concurrency-
+/// hostile extreme the paper's C=1 configurations correspond to.
+#[derive(Debug, Clone)]
+pub struct PointerChaseGenerator {
+    base: u64,
+    nodes: usize,
+    count: usize,
+    compute_per_access: u64,
+    seed: u64,
+}
+
+impl PointerChaseGenerator {
+    /// Chase over `nodes` 64-byte nodes for `count` hops.
+    pub fn new(base: u64, nodes: usize, count: usize, seed: u64) -> Self {
+        assert!(nodes > 1);
+        PointerChaseGenerator {
+            base,
+            nodes,
+            count,
+            compute_per_access: 1,
+            seed,
+        }
+    }
+
+    /// Set the number of non-memory instructions between hops.
+    pub fn compute_per_access(mut self, n: u64) -> Self {
+        self.compute_per_access = n;
+        self
+    }
+}
+
+impl TraceGenerator for PointerChaseGenerator {
+    fn generate(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // Sattolo's algorithm: a single cycle through all nodes.
+        let mut next: Vec<usize> = (0..self.nodes).collect();
+        for i in (1..self.nodes).rev() {
+            let j = rng.gen_range(0..i);
+            next.swap(i, j);
+        }
+        let mut b = TraceBuilder::with_capacity(self.count);
+        let mut cur = 0usize;
+        for _ in 0..self.count {
+            b.compute(self.compute_per_access);
+            b.read(self.base + cur as u64 * 64);
+            cur = next[cur];
+        }
+        b.finish()
+    }
+}
+
+/// Gaussian working-set accesses: addresses cluster around a moving
+/// center, modelling a sliding hot region (e.g. a frontier sweep).
+#[derive(Debug, Clone)]
+pub struct GaussianGenerator {
+    base: u64,
+    sigma_lines: f64,
+    drift_per_access: f64,
+    count: usize,
+    compute_per_access: u64,
+    seed: u64,
+}
+
+impl GaussianGenerator {
+    /// `count` accesses with stddev `sigma_lines` (in 64-byte lines)
+    /// around a center that drifts by `drift_per_access` lines per access.
+    pub fn new(
+        base: u64,
+        sigma_lines: f64,
+        drift_per_access: f64,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(sigma_lines > 0.0);
+        GaussianGenerator {
+            base,
+            sigma_lines,
+            drift_per_access,
+            count,
+            compute_per_access: 2,
+            seed,
+        }
+    }
+}
+
+impl TraceGenerator for GaussianGenerator {
+    fn generate(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let normal = NormalSampler::new(0.0, self.sigma_lines);
+        let mut b = TraceBuilder::with_capacity(self.count);
+        let mut center = 4.0 * self.sigma_lines; // keep addresses positive
+        for _ in 0..self.count {
+            b.compute(self.compute_per_access);
+            let off = normal.sample(&mut rng);
+            let line = (center + off).max(0.0) as u64;
+            b.read(self.base + line * 64);
+            center += self.drift_per_access;
+        }
+        b.finish()
+    }
+}
+
+/// Box-Muller normal sampler (avoids pulling in rand_distr).
+#[derive(Debug, Clone, Copy)]
+struct NormalSampler {
+    mean: f64,
+    stddev: f64,
+}
+
+impl NormalSampler {
+    fn new(mean: f64, stddev: f64) -> Self {
+        NormalSampler { mean, stddev }
+    }
+}
+
+impl Distribution<f64> for NormalSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.stddev * z
+    }
+}
+
+/// A program alternating between distinct phases, each produced by one of
+/// the other generators; used to exercise phase detection.
+pub struct MixedPhaseGenerator {
+    phases: Vec<Box<dyn TraceGenerator + Send + Sync>>,
+    repeats: usize,
+}
+
+impl std::fmt::Debug for MixedPhaseGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedPhaseGenerator")
+            .field("phases", &self.phases.len())
+            .field("repeats", &self.repeats)
+            .finish()
+    }
+}
+
+impl MixedPhaseGenerator {
+    /// Build from a list of phase generators, cycled `repeats` times.
+    pub fn new(phases: Vec<Box<dyn TraceGenerator + Send + Sync>>, repeats: usize) -> Self {
+        assert!(!phases.is_empty());
+        assert!(repeats > 0);
+        MixedPhaseGenerator { phases, repeats }
+    }
+}
+
+impl TraceGenerator for MixedPhaseGenerator {
+    fn generate(&self) -> Trace {
+        let mut out = Trace::new();
+        for _ in 0..self.repeats {
+            for p in &self.phases {
+                let t = p.generate();
+                out.extend_with(&t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ReuseProfile;
+
+    #[test]
+    fn strided_covers_expected_range() {
+        let t = StridedGenerator::new(0x1000, 64, 100).generate();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.accesses()[0].addr, 0x1000);
+        assert_eq!(t.accesses()[99].addr, 0x1000 + 99 * 64);
+        // compute 2 + access 1 per element
+        assert_eq!(t.instruction_count(), 300);
+    }
+
+    #[test]
+    fn strided_write_every() {
+        let t = StridedGenerator::new(0, 8, 10).write_every(2).generate();
+        let writes = t.accesses().iter().filter(|a| a.kind.is_write()).count();
+        assert_eq!(writes, 5);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = RandomGenerator::new(0, 4096, 50, 7).generate();
+        let b = RandomGenerator::new(0, 4096, 50, 7).generate();
+        let c = RandomGenerator::new(0, 4096, 50, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_stays_in_footprint() {
+        let t = RandomGenerator::new(0x100, 1024, 200, 1).generate();
+        for a in t.accesses() {
+            assert!(a.addr >= 0x100 && a.addr < 0x100 + 1024);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_lines() {
+        let t = ZipfGenerator::new(0, 1000, 1.2, 10_000, 3).generate();
+        let hot = t.accesses().iter().filter(|a| a.line(64) < 10).count();
+        // With alpha=1.2 the top-10 of 1000 lines should take well over a
+        // third of the accesses.
+        assert!(
+            hot as f64 / t.len() as f64 > 0.35,
+            "hot fraction {}",
+            hot as f64 / t.len() as f64
+        );
+    }
+
+    #[test]
+    fn pointer_chase_visits_whole_cycle() {
+        let n = 64;
+        let t = PointerChaseGenerator::new(0, n, n, 5).generate();
+        let distinct: std::collections::HashSet<u64> =
+            t.accesses().iter().map(|a| a.line(64)).collect();
+        // Sattolo guarantees a single cycle covering all nodes.
+        assert_eq!(distinct.len(), n);
+    }
+
+    #[test]
+    fn pointer_chase_has_poor_locality() {
+        let t = PointerChaseGenerator::new(0, 512, 4096, 11).generate();
+        let p = ReuseProfile::compute(&t, 64);
+        // Reuse distance is always ~nodes-1 (full cycle), so a small cache
+        // misses almost everything.
+        assert!(p.miss_rate_for_lines(16) > 0.9);
+    }
+
+    #[test]
+    fn gaussian_addresses_cluster() {
+        let t = GaussianGenerator::new(0, 8.0, 0.0, 2000, 9).generate();
+        let p = ReuseProfile::compute(&t, 64);
+        // Stationary gaussian with sigma=8 lines: a 64-line cache holds it.
+        assert!(p.miss_rate_for_lines(64) < 0.1);
+    }
+
+    #[test]
+    fn mixed_phases_concatenates() {
+        let g = MixedPhaseGenerator::new(
+            vec![
+                Box::new(StridedGenerator::new(0, 64, 10)),
+                Box::new(StridedGenerator::new(1 << 20, 64, 10)),
+            ],
+            3,
+        );
+        let t = g.generate();
+        assert_eq!(t.len(), 60);
+        // instruction indices strictly ordered
+        for w in t.accesses().windows(2) {
+            assert!(w[1].instr > w[0].instr);
+        }
+    }
+}

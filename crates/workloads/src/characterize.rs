@@ -1,0 +1,151 @@
+//! Application characterization — the "input" stage of the paper's
+//! Fig 5 methodology.
+//!
+//! The paper collects `f_mem`, C-AMAT and friends either from hardware
+//! counters (PAPI/HPCToolkit) or from GEM5+DRAMSim2. Here the same
+//! parameters are measured by running the workload's trace through the
+//! `c2-sim` chip simulator with the HCD/MCD detector attached.
+
+use c2_camat::timeline::CamatMeasurement;
+use c2_sim::{ChipConfig, Simulator};
+use c2_trace::Trace;
+
+use crate::WorkloadTrace;
+
+/// The measured parameter set the C²-Bound model consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Fraction of instructions that access memory.
+    pub f_mem: f64,
+    /// Measured sequential fraction.
+    pub f_seq: f64,
+    /// Dynamic instruction count of the characterized run.
+    pub instruction_count: u64,
+    /// The L1 C-AMAT measurement (hit time, concurrencies, pure misses).
+    pub camat: CamatMeasurement,
+    /// L1 miss rate observed.
+    pub l1_miss_rate: f64,
+    /// L2 miss rate observed.
+    pub l2_miss_rate: f64,
+    /// Total-footprint working set in bytes (64-byte lines).
+    pub footprint_bytes: u64,
+    /// IPC of the characterization run.
+    pub ipc: f64,
+    /// Cycles of the characterization run.
+    pub cycles: u64,
+    /// Measured compute/memory overlap ratio (Eq. 7's
+    /// `overlapRatio_{c-m}`).
+    pub overlap_cm: f64,
+}
+
+impl Characterization {
+    /// The memory concurrency `C = AMAT / C-AMAT` (paper Eq. 3).
+    pub fn concurrency(&self) -> f64 {
+        self.camat.concurrency()
+    }
+
+    /// The C-AMAT value in cycles per access.
+    pub fn camat_value(&self) -> f64 {
+        self.camat.camat()
+    }
+}
+
+/// Characterize a workload trace on a reference single-core chip.
+pub fn characterize(
+    trace: &WorkloadTrace,
+    config: &ChipConfig,
+) -> Result<Characterization, c2_sim::Error> {
+    let combined = trace.combined();
+    characterize_trace(&combined, trace.f_seq(), config)
+}
+
+/// Characterize a raw trace with an externally supplied `f_seq`.
+pub fn characterize_trace(
+    trace: &Trace,
+    f_seq: f64,
+    config: &ChipConfig,
+) -> Result<Characterization, c2_sim::Error> {
+    let mut cfg = config.clone();
+    cfg.cores = 1;
+    let result = Simulator::new(cfg).run(std::slice::from_ref(trace))?;
+    let stats = trace.stats();
+    let core = &result.cores[0];
+    Ok(Characterization {
+        f_mem: trace.f_mem(),
+        f_seq,
+        instruction_count: trace.instruction_count(),
+        camat: core.camat,
+        l1_miss_rate: core.l1_miss_rate(),
+        l2_miss_rate: result.l2_layer.miss_rate(),
+        footprint_bytes: stats.footprint_bytes(),
+        ipc: result.ipc(),
+        cycles: result.total_cycles,
+        overlap_cm: core.overlap_cm(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::BandSpmv;
+    use crate::stencil::Stencil2D;
+    use crate::tmm::TiledMatMul;
+    use crate::Workload;
+
+    fn reference_chip() -> ChipConfig {
+        ChipConfig::default_single_core()
+    }
+
+    #[test]
+    fn characterize_tmm() {
+        let w = TiledMatMul::new(16, 4, 1);
+        let ch = characterize(&w.generate(), &reference_chip()).unwrap();
+        assert!(ch.f_mem > 0.3 && ch.f_mem < 0.9, "f_mem {}", ch.f_mem);
+        assert!(ch.f_seq > 0.0 && ch.f_seq < 0.3, "f_seq {}", ch.f_seq);
+        assert!(ch.camat_value() > 0.0);
+        assert!(ch.concurrency() >= 1.0 - 1e-9);
+        assert!(ch.ipc > 0.0);
+        assert!((0.0..=1.0).contains(&ch.overlap_cm), "overlap {}", ch.overlap_cm);
+        // An OoO core overlaps at least some compute with memory time.
+        assert!(ch.overlap_cm > 0.1, "overlap {}", ch.overlap_cm);
+    }
+
+    #[test]
+    fn stencil_has_high_spatial_locality() {
+        // Measure with a blocking core so misses-under-miss do not
+        // inflate the conventional miss rate; the grid fits in L1 so
+        // only cold misses remain.
+        let w = Stencil2D::new(24, 24, 2, 3);
+        let mut cfg = reference_chip();
+        cfg.core = c2_sim::CoreConfig::scalar_blocking();
+        let ch = characterize(&w.generate(), &cfg).unwrap();
+        assert!(ch.l1_miss_rate < 0.05, "miss rate {}", ch.l1_miss_rate);
+    }
+
+    #[test]
+    fn footprint_matches_stats() {
+        let w = BandSpmv::new(256, 2, 0);
+        let trace = w.generate();
+        let ch = characterize(&trace, &reference_chip()).unwrap();
+        assert_eq!(ch.footprint_bytes, trace.combined().stats().footprint_bytes());
+        assert_eq!(ch.instruction_count, trace.instruction_count());
+    }
+
+    #[test]
+    fn concurrency_responds_to_core_width() {
+        // Same workload on a blocking scalar core vs the OoO reference:
+        // measured C must drop.
+        let w = TiledMatMul::new(24, 0, 2); // untiled -> plenty of misses
+        let trace = w.generate();
+        let ooo = characterize(&trace, &reference_chip()).unwrap();
+        let mut blocking = reference_chip();
+        blocking.core = c2_sim::CoreConfig::scalar_blocking();
+        let blk = characterize(&trace, &blocking).unwrap();
+        assert!(
+            ooo.concurrency() > blk.concurrency(),
+            "OoO C {} vs blocking C {}",
+            ooo.concurrency(),
+            blk.concurrency()
+        );
+    }
+}

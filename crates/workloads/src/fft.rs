@@ -1,0 +1,209 @@
+//! Radix-2 iterative Cooley–Tukey FFT — Table I's FFT row
+//! (computation `n·log₂n`, memory `O(n)`).
+//!
+//! The traced kernel is a real in-place decimation-in-time FFT over
+//! interleaved complex data, verified against a naive O(n²) DFT.
+
+use c2_speedup::scale::{Complexity, ComplexityPair};
+
+use crate::tracer::{layout, TracedVec, Tracer};
+use crate::{Workload, WorkloadTrace};
+
+/// Radix-2 FFT of `n` complex points (`n` a power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct Fft {
+    /// Number of complex points (power of two).
+    pub n: usize,
+    /// Seed for the input signal.
+    pub seed: u64,
+}
+
+impl Fft {
+    /// Construct the workload.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two");
+        Fft { n, seed }
+    }
+
+    fn signal(&self) -> Vec<f64> {
+        // Interleaved (re, im).
+        let mut state = self.seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut v = Vec::with_capacity(2 * self.n);
+        for _ in 0..self.n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+        }
+        v
+    }
+
+    /// Run with tracing, returning `(trace, interleaved spectrum)`.
+    pub fn run(&self) -> (WorkloadTrace, Vec<f64>) {
+        let n = self.n;
+        let bases = layout(0xC0_0000, 4096, &[2 * n]);
+        let mut data = TracedVec::from_vec(bases[0], self.signal());
+
+        // Serial segment: bit-reversal permutation (data-dependent
+        // shuffle, classically the non-parallel part).
+        let mut serial = Tracer::new();
+        let mut j = 0usize;
+        for i in 0..n {
+            if i < j {
+                // Swap complex elements i and j.
+                for off in 0..2 {
+                    let xi = data.get(2 * i + off, &mut serial);
+                    let xj = data.get(2 * j + off, &mut serial);
+                    data.set(2 * i + off, xj, &mut serial);
+                    data.set(2 * j + off, xi, &mut serial);
+                }
+            }
+            serial.compute(3); // index arithmetic
+            let mut m = n >> 1;
+            while m >= 1 && j & m != 0 {
+                j ^= m;
+                m >>= 1;
+                serial.compute(1);
+            }
+            j |= m;
+        }
+
+        // Parallel segment: the log2(n) butterfly stages (butterflies
+        // within a stage are independent).
+        let mut par = Tracer::new();
+        let mut len = 2usize;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let (wr, wi) = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                    let i = start + k;
+                    let j = start + k + len / 2;
+                    let xr = data.get(2 * i, &mut par);
+                    let xi_ = data.get(2 * i + 1, &mut par);
+                    let yr = data.get(2 * j, &mut par);
+                    let yi = data.get(2 * j + 1, &mut par);
+                    par.compute(10); // twiddle multiply + add/sub
+                    let tr = yr * wr - yi * wi;
+                    let ti = yr * wi + yi * wr;
+                    data.set(2 * i, xr + tr, &mut par);
+                    data.set(2 * i + 1, xi_ + ti, &mut par);
+                    data.set(2 * j, xr - tr, &mut par);
+                    data.set(2 * j + 1, xi_ - ti, &mut par);
+                }
+            }
+            len <<= 1;
+        }
+
+        (
+            WorkloadTrace {
+                serial: serial.finish(),
+                parallel: par.finish(),
+            },
+            data.raw().to_vec(),
+        )
+    }
+
+    /// Naive O(n²) DFT for verification.
+    pub fn reference(&self) -> Vec<f64> {
+        let n = self.n;
+        let x = self.signal();
+        let mut out = vec![0.0; 2 * n];
+        for k in 0..n {
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                re += x[2 * t] * c - x[2 * t + 1] * s;
+                im += x[2 * t] * s + x[2 * t + 1] * c;
+            }
+            out[2 * k] = re;
+            out[2 * k + 1] = im;
+        }
+        out
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "FFT (Fast Fourier Transform)"
+    }
+
+    fn complexity(&self) -> ComplexityPair {
+        // Computation n·log2(n), memory O(n) (Table I, exact form).
+        ComplexityPair::new(
+            Complexity::new(5.0, 1.0, 1.0).expect("valid"),
+            Complexity::poly(2.0, 1.0).expect("valid"),
+        )
+    }
+
+    fn generate(&self) -> WorkloadTrace {
+        self.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let w = Fft::new(64, 5);
+        let (_, fast) = w.run();
+        let slow = w.reference();
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let w = Fft::new(128, 1);
+        let input = w.signal();
+        let (_, spectrum) = w.run();
+        let e_time: f64 = input.iter().map(|v| v * v).sum();
+        let e_freq: f64 = spectrum.iter().map(|v| v * v).sum::<f64>() / w.n as f64;
+        assert!(
+            (e_time - e_freq).abs() / e_time < 1e-9,
+            "{e_time} vs {e_freq}"
+        );
+    }
+
+    #[test]
+    fn butterfly_access_count_is_n_log_n() {
+        let n = 256;
+        let w = Fft::new(n, 0);
+        let trace = w.generate();
+        // 8 accesses per butterfly, n/2 butterflies per stage, log2(n)
+        // stages.
+        let expected = 8 * (n / 2) * n.trailing_zeros() as usize;
+        assert_eq!(trace.parallel.len(), expected);
+    }
+
+    #[test]
+    fn smallest_transform() {
+        let w = Fft::new(2, 3);
+        let (_, fast) = w.run();
+        let slow = w.reference();
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Fft::new(12, 0);
+    }
+
+    #[test]
+    fn serial_fraction_decreases_with_n() {
+        let small = Fft::new(64, 0).generate().f_seq();
+        let big = Fft::new(512, 0).generate().f_seq();
+        assert!(big < small, "{big} !< {small}");
+    }
+}

@@ -1,0 +1,273 @@
+//! A fluidanimate-like particle-grid workload (paper §IV case study).
+//!
+//! PARSEC's fluidanimate is a smoothed-particle-hydrodynamics animation
+//! kernel with a *large working set* — the property the paper's Fig 12
+//! DSE case study depends on. This stand-in performs a real (if
+//! simplified) SPH-style computation: particles live in a uniform grid
+//! of cells; each timestep
+//!
+//! 1. **rebuild** — reassign particles to cells (serial, scattered
+//!    writes),
+//! 2. **density/force** — for every particle, read the particles of its
+//!    own and neighbouring cells and accumulate a kernel-weighted sum
+//!    (parallel, the dominant phase),
+//! 3. **advance** — integrate positions (parallel, streaming).
+//!
+//! The phase structure gives the trace the periodic behaviour the
+//! paper's online detector exploits, and the footprint scales with the
+//! particle count.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use c2_speedup::scale::{Complexity, ComplexityPair};
+
+use crate::tracer::{layout, TracedVec, Tracer};
+use crate::{Workload, WorkloadTrace};
+
+/// The fluidanimate-like workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidAnimate {
+    /// Number of particles.
+    pub particles: usize,
+    /// Grid edge (cells per side; `cells = edge²`).
+    pub grid_edge: usize,
+    /// Simulated timesteps.
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FluidAnimate {
+    /// Construct the workload.
+    pub fn new(particles: usize, grid_edge: usize, steps: usize, seed: u64) -> Self {
+        assert!(particles > 0 && grid_edge >= 3 && steps > 0);
+        FluidAnimate {
+            particles,
+            grid_edge,
+            steps,
+            seed,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        FluidAnimate::new(400, 8, 2, seed)
+    }
+
+    /// The §IV case-study configuration: a working set well beyond L1.
+    pub fn case_study(seed: u64) -> Self {
+        FluidAnimate::new(20_000, 32, 2, seed)
+    }
+
+    /// Run with tracing, returning `(trace, final positions)`.
+    pub fn run(&self) -> (WorkloadTrace, Vec<(f64, f64)>) {
+        let np = self.particles;
+        let edge = self.grid_edge;
+        let ncells = edge * edge;
+        // Arrays: positions x/y, velocities x/y, densities, cell heads,
+        // next-particle links (linked cell list).
+        let bases = layout(
+            0x1_000_000,
+            4096,
+            &[np, np, np, np, np, ncells, np],
+        );
+        let mut px = TracedVec::zeroed(bases[0], np);
+        let mut py = TracedVec::zeroed(bases[1], np);
+        let mut vx = TracedVec::zeroed(bases[2], np);
+        let mut vy = TracedVec::zeroed(bases[3], np);
+        let mut density = TracedVec::zeroed(bases[4], np);
+        let mut cell_head = TracedVec::zeroed(bases[5], ncells);
+        let mut next_link = TracedVec::zeroed(bases[6], np);
+
+        // Untraced initialization (corresponds to input loading).
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for i in 0..np {
+            px.raw_mut()[i] = rng.gen_range(0.0..edge as f64);
+            py.raw_mut()[i] = rng.gen_range(0.0..edge as f64);
+            vx.raw_mut()[i] = rng.gen_range(-0.05..0.05);
+            vy.raw_mut()[i] = rng.gen_range(-0.05..0.05);
+        }
+
+        let mut serial = Tracer::new();
+        let mut par = Tracer::new();
+        let cell_of = |x: f64, y: f64| -> usize {
+            let cx = (x.max(0.0) as usize).min(edge - 1);
+            let cy = (y.max(0.0) as usize).min(edge - 1);
+            cy * edge + cx
+        };
+
+        for _ in 0..self.steps {
+            // Phase 1 (serial): rebuild the linked cell lists. The list
+            // insertion order is inherently sequential.
+            for c in 0..ncells {
+                serial.compute(1);
+                cell_head.set(c, -1.0, &mut serial);
+            }
+            for i in 0..np {
+                let x = px.get(i, &mut serial);
+                let y = py.get(i, &mut serial);
+                serial.compute(4);
+                let c = cell_of(x, y);
+                let head = cell_head.get(c, &mut serial);
+                next_link.set(i, head, &mut serial);
+                cell_head.set(c, i as f64, &mut serial);
+            }
+
+            // Phase 2 (parallel): density over neighbouring cells.
+            for i in 0..np {
+                let x = px.get(i, &mut par);
+                let y = py.get(i, &mut par);
+                par.compute(4);
+                let c = cell_of(x, y);
+                let (cx, cy) = (c % edge, c / edge);
+                let mut rho = 0.0;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let nx = cx as i64 + dx;
+                        let ny = cy as i64 + dy;
+                        if nx < 0 || ny < 0 || nx >= edge as i64 || ny >= edge as i64 {
+                            continue;
+                        }
+                        let nc = (ny as usize) * edge + nx as usize;
+                        par.compute(2);
+                        let mut j = cell_head.get(nc, &mut par);
+                        while j >= 0.0 {
+                            let ji = j as usize;
+                            let qx = px.get(ji, &mut par);
+                            let qy = py.get(ji, &mut par);
+                            par.compute(6);
+                            let d2 = (x - qx) * (x - qx) + (y - qy) * (y - qy);
+                            if d2 < 1.0 {
+                                rho += (1.0 - d2) * (1.0 - d2);
+                            }
+                            j = next_link.get(ji, &mut par);
+                        }
+                    }
+                }
+                density.set(i, rho, &mut par);
+            }
+
+            // Phase 3 (parallel): integrate (streaming).
+            for i in 0..np {
+                let rho = density.get(i, &mut par);
+                let ux = vx.get(i, &mut par);
+                let uy = vy.get(i, &mut par);
+                par.compute(8);
+                // Crude pressure response pushing away from dense spots.
+                let damp = 1.0 / (1.0 + 0.01 * rho);
+                let nvx = ux * damp;
+                let nvy = uy * damp - 0.001; // gravity
+                vx.set(i, nvx, &mut par);
+                vy.set(i, nvy, &mut par);
+                let x = px.get(i, &mut par);
+                let y = py.get(i, &mut par);
+                par.compute(4);
+                px.set(i, (x + nvx).clamp(0.0, edge as f64 - 1e-9), &mut par);
+                py.set(i, (y + nvy).clamp(0.0, edge as f64 - 1e-9), &mut par);
+            }
+        }
+
+        let positions = px
+            .raw()
+            .iter()
+            .zip(py.raw())
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        (
+            WorkloadTrace {
+                serial: serial.finish(),
+                parallel: par.finish(),
+            },
+            positions,
+        )
+    }
+}
+
+impl Workload for FluidAnimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate (particle-grid SPH stand-in)"
+    }
+
+    fn complexity(&self) -> ComplexityPair {
+        // Near-linear in particles for bounded density (cells scale with
+        // particles in PARSEC's native inputs): computation O(n), memory
+        // O(n).
+        ComplexityPair::new(
+            Complexity::poly(30.0, 1.0).expect("valid"),
+            Complexity::poly(7.0, 1.0).expect("valid"),
+        )
+    }
+
+    fn generate(&self) -> WorkloadTrace {
+        self.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_trace::stats::WorkingSet;
+
+    #[test]
+    fn runs_and_keeps_particles_in_bounds() {
+        let w = FluidAnimate::small(7);
+        let (trace, positions) = w.run();
+        assert!(!trace.parallel.is_empty());
+        assert!(!trace.serial.is_empty());
+        for (x, y) in positions {
+            assert!((0.0..8.0).contains(&x), "x = {x}");
+            assert!((0.0..8.0).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FluidAnimate::small(3).run();
+        let b = FluidAnimate::small(3).run();
+        assert_eq!(a.0, b.0);
+        let c = FluidAnimate::small(4).run();
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn footprint_scales_with_particles() {
+        let ws = WorkingSet::new(64);
+        let small = FluidAnimate::new(300, 8, 1, 0).generate();
+        let big = FluidAnimate::new(3000, 8, 1, 0).generate();
+        let f_small = ws.footprint_bytes(&small.combined());
+        let f_big = ws.footprint_bytes(&big.combined());
+        assert!(
+            f_big > 5 * f_small,
+            "footprint {f_big} vs {f_small}"
+        );
+    }
+
+    #[test]
+    fn case_study_has_large_working_set() {
+        // The §IV premise: the working set exceeds a 32 KiB L1.
+        let w = FluidAnimate::case_study(1);
+        let trace = w.generate();
+        let ws = WorkingSet::new(64);
+        let bytes = ws.footprint_bytes(&trace.combined());
+        assert!(bytes > 512 * 1024, "working set only {bytes} bytes");
+    }
+
+    #[test]
+    fn f_seq_is_small_but_nonzero() {
+        let w = FluidAnimate::small(2);
+        let f = w.generate().f_seq();
+        assert!(f > 0.0 && f < 0.5, "f_seq = {f}");
+    }
+
+    #[test]
+    fn gravity_pulls_particles_down() {
+        // After many steps with gravity and damping, mean y must drop.
+        let w = FluidAnimate::new(500, 8, 1, 9);
+        let (_, after1) = w.run();
+        let w10 = FluidAnimate::new(500, 8, 10, 9);
+        let (_, after10) = w10.run();
+        let mean = |ps: &[(f64, f64)]| ps.iter().map(|p| p.1).sum::<f64>() / ps.len() as f64;
+        assert!(mean(&after10) < mean(&after1), "gravity had no effect");
+    }
+}

@@ -1,0 +1,184 @@
+//! Banded sparse matrix–vector multiplication — Table I's `g(N) = N`
+//! workload: both computation and memory are `O(n·bandwidth)`.
+
+use c2_speedup::scale::{Complexity, ComplexityPair};
+
+use crate::tracer::{layout, TracedVec, Tracer};
+use crate::{Workload, WorkloadTrace};
+
+/// `y = A·x` for an `n×n` band matrix with `2k+1` diagonals.
+#[derive(Debug, Clone, Copy)]
+pub struct BandSpmv {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Half-bandwidth `k` (diagonals `-k..=k` are nonzero).
+    pub half_bandwidth: usize,
+    /// Seed for the matrix and vector entries.
+    pub seed: u64,
+}
+
+impl BandSpmv {
+    /// Construct the workload.
+    pub fn new(n: usize, half_bandwidth: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        assert!(half_bandwidth < n);
+        BandSpmv {
+            n,
+            half_bandwidth,
+            seed,
+        }
+    }
+
+    fn fill(&self, v: &mut TracedVec, salt: u64) {
+        let mut state = self.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        for x in v.raw_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+        }
+    }
+
+    /// Run with tracing, returning `(trace, y)`.
+    pub fn run(&self) -> (WorkloadTrace, Vec<f64>) {
+        let n = self.n;
+        let k = self.half_bandwidth;
+        let band = 2 * k + 1;
+        let bases = layout(0x40_0000, 4096, &[n * band, n, n]);
+        // Band storage: row i holds A[i][i-k ..= i+k] at a[i*band ..].
+        let mut a = TracedVec::zeroed(bases[0], n * band);
+        let mut x = TracedVec::zeroed(bases[1], n);
+        let mut y = TracedVec::zeroed(bases[2], n);
+        self.fill(&mut a, 1);
+        self.fill(&mut x, 2);
+
+        // Serial segment: clear the output vector.
+        let mut serial = Tracer::new();
+        for i in 0..n {
+            serial.compute(1);
+            y.set(i, 0.0, &mut serial);
+        }
+
+        // Parallel segment: each row is independent.
+        let mut par = Tracer::new();
+        for i in 0..n {
+            let mut acc = 0.0;
+            par.compute(1); // accumulator init
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n - 1);
+            for j in lo..=hi {
+                let aij = a.get(i * band + (j + k - i), &mut par);
+                let xj = x.get(j, &mut par);
+                par.compute(2);
+                acc += aij * xj;
+            }
+            y.set(i, acc, &mut par);
+        }
+
+        (
+            WorkloadTrace {
+                serial: serial.finish(),
+                parallel: par.finish(),
+            },
+            y.raw().to_vec(),
+        )
+    }
+
+    /// Untraced dense reference for verification.
+    pub fn reference(&self) -> Vec<f64> {
+        let n = self.n;
+        let k = self.half_bandwidth;
+        let band = 2 * k + 1;
+        let bases = layout(0x40_0000, 4096, &[n * band, n, n]);
+        let mut a = TracedVec::zeroed(bases[0], n * band);
+        let mut x = TracedVec::zeroed(bases[1], n);
+        self.fill(&mut a, 1);
+        self.fill(&mut x, 2);
+        let (a, x) = (a.raw(), x.raw());
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n - 1);
+            for j in lo..=hi {
+                y[i] += a[i * band + (j + k - i)] * x[j];
+            }
+        }
+        y
+    }
+}
+
+impl Workload for BandSpmv {
+    fn name(&self) -> &'static str {
+        "Band sparse matrix multiplication"
+    }
+
+    fn complexity(&self) -> ComplexityPair {
+        // Both computation and memory are O(n) for fixed bandwidth
+        // (Table I row 2).
+        let band = (2 * self.half_bandwidth + 1) as f64;
+        ComplexityPair::new(
+            Complexity::poly(2.0 * band, 1.0).expect("valid"),
+            Complexity::poly(band + 2.0, 1.0).expect("valid"),
+        )
+    }
+
+    fn generate(&self) -> WorkloadTrace {
+        self.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_speedup::scale::ScaleFunction;
+
+    #[test]
+    fn traced_matches_reference() {
+        let w = BandSpmv::new(50, 3, 11);
+        let (_, y) = w.run();
+        let r = w.reference();
+        for (a, b) in y.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_rows_are_clipped() {
+        // Bandwidth wider than the index for the first rows.
+        let w = BandSpmv::new(10, 4, 3);
+        let (_, y) = w.run();
+        let r = w.reference();
+        for (a, b) in y.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn g_is_linear() {
+        let w = BandSpmv::new(100, 2, 0);
+        match w.complexity().scale_function().unwrap() {
+            ScaleFunction::Power(b) => assert!((b - 1.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn access_count_is_linear_in_n() {
+        let small = BandSpmv::new(100, 2, 0).generate();
+        let large = BandSpmv::new(200, 2, 0).generate();
+        let ratio = large.parallel.len() as f64 / small.parallel.len() as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn diagonal_only_matrix() {
+        let w = BandSpmv::new(20, 0, 5);
+        let (trace, y) = w.run();
+        let r = w.reference();
+        for (a, b) in y.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // One A load + one x load + one y store per row.
+        assert_eq!(trace.parallel.len(), 20 * 3);
+    }
+}

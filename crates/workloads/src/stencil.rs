@@ -1,0 +1,205 @@
+//! 2-D 5-point Jacobi stencil — Table I's second `g(N) = N` workload.
+//!
+//! Each sweep reads every interior cell's four neighbours and writes the
+//! cell: computation and memory are both `O(cells)`.
+
+use c2_speedup::scale::{Complexity, ComplexityPair};
+
+use crate::tracer::{layout, TracedVec, Tracer};
+use crate::{Workload, WorkloadTrace};
+
+/// Jacobi 5-point stencil over a `rows × cols` grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Stencil2D {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Number of Jacobi sweeps.
+    pub sweeps: usize,
+    /// Seed for the initial grid.
+    pub seed: u64,
+}
+
+impl Stencil2D {
+    /// Construct the workload.
+    pub fn new(rows: usize, cols: usize, sweeps: usize, seed: u64) -> Self {
+        assert!(rows >= 3 && cols >= 3);
+        assert!(sweeps > 0);
+        Stencil2D {
+            rows,
+            cols,
+            sweeps,
+            seed,
+        }
+    }
+
+    fn fill(&self, v: &mut TracedVec) {
+        let mut state = self.seed.wrapping_add(0x9E3779B97F4A7C15);
+        for x in v.raw_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = (state >> 33) as f64 / (1u64 << 31) as f64;
+        }
+    }
+
+    /// Run with tracing, returning `(trace, final grid)`.
+    pub fn run(&self) -> (WorkloadTrace, Vec<f64>) {
+        let (r, c) = (self.rows, self.cols);
+        let bases = layout(0x80_0000, 4096, &[r * c, r * c]);
+        let mut src = TracedVec::zeroed(bases[0], r * c);
+        let mut dst = TracedVec::zeroed(bases[1], r * c);
+        self.fill(&mut src);
+        dst.raw_mut().copy_from_slice(src.raw());
+
+        // Serial segment: boundary setup (fixing Dirichlet boundaries).
+        let mut serial = Tracer::new();
+        for j in 0..c {
+            serial.compute(1);
+            let top = src.get(j, &mut serial);
+            serial.compute(1);
+            dst.set(j, top, &mut serial);
+        }
+
+        // Parallel segment: the sweeps (rows are independent per sweep).
+        let mut par = Tracer::new();
+        for _ in 0..self.sweeps {
+            for i in 1..r - 1 {
+                for j in 1..c - 1 {
+                    let up = src.get((i - 1) * c + j, &mut par);
+                    let down = src.get((i + 1) * c + j, &mut par);
+                    let left = src.get(i * c + j - 1, &mut par);
+                    let right = src.get(i * c + j + 1, &mut par);
+                    let center = src.get(i * c + j, &mut par);
+                    par.compute(5);
+                    dst.set(
+                        i * c + j,
+                        0.2 * (up + down + left + right + center),
+                        &mut par,
+                    );
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+
+        (
+            WorkloadTrace {
+                serial: serial.finish(),
+                parallel: par.finish(),
+            },
+            src.raw().to_vec(),
+        )
+    }
+
+    /// Untraced reference implementation.
+    pub fn reference(&self) -> Vec<f64> {
+        let (r, c) = (self.rows, self.cols);
+        let bases = layout(0x80_0000, 4096, &[r * c]);
+        let mut grid = TracedVec::zeroed(bases[0], r * c);
+        self.fill(&mut grid);
+        let mut src = grid.raw().to_vec();
+        let mut dst = src.clone();
+        for _ in 0..self.sweeps {
+            for i in 1..r - 1 {
+                for j in 1..c - 1 {
+                    dst[i * c + j] = 0.2
+                        * (src[(i - 1) * c + j]
+                            + src[(i + 1) * c + j]
+                            + src[i * c + j - 1]
+                            + src[i * c + j + 1]
+                            + src[i * c + j]);
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+}
+
+impl Workload for Stencil2D {
+    fn name(&self) -> &'static str {
+        "Stencil"
+    }
+
+    fn complexity(&self) -> ComplexityPair {
+        // Computation and memory both linear in cell count (Table I).
+        ComplexityPair::new(
+            Complexity::poly(11.0 * self.sweeps as f64, 1.0).expect("valid"),
+            Complexity::poly(2.0, 1.0).expect("valid"),
+        )
+    }
+
+    fn generate(&self) -> WorkloadTrace {
+        self.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_speedup::scale::ScaleFunction;
+
+    #[test]
+    fn traced_matches_reference() {
+        let w = Stencil2D::new(12, 14, 3, 9);
+        let (_, grid) = w.run();
+        let r = w.reference();
+        for (a, b) in grid.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn jacobi_smooths_toward_mean() {
+        // Averaging repeatedly must shrink the interior spread.
+        let w = Stencil2D::new(16, 16, 1, 3);
+        let before = {
+            let bases = layout(0x80_0000, 4096, &[16 * 16]);
+            let mut g = TracedVec::zeroed(bases[0], 16 * 16);
+            w.fill(&mut g);
+            spread_interior(g.raw(), 16, 16)
+        };
+        let many = Stencil2D::new(16, 16, 20, 3).reference();
+        let after = spread_interior(&many, 16, 16);
+        assert!(after < before, "spread {after} !< {before}");
+    }
+
+    fn spread_interior(grid: &[f64], r: usize, c: usize) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 1..r - 1 {
+            for j in 1..c - 1 {
+                lo = lo.min(grid[i * c + j]);
+                hi = hi.max(grid[i * c + j]);
+            }
+        }
+        hi - lo
+    }
+
+    #[test]
+    fn accesses_scale_linearly_with_cells() {
+        let small = Stencil2D::new(10, 10, 2, 0).generate();
+        let large = Stencil2D::new(10, 20, 2, 0).generate();
+        let ratio = large.parallel.len() as f64 / small.parallel.len() as f64;
+        // Interior scales from 8x8 to 8x18: ratio 18/8 = 2.25.
+        assert!((ratio - 2.25).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn g_is_linear() {
+        let w = Stencil2D::new(10, 10, 1, 0);
+        match w.complexity().scale_function().unwrap() {
+            ScaleFunction::Power(b) => assert!((b - 1.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn six_accesses_per_interior_cell_per_sweep() {
+        let w = Stencil2D::new(8, 8, 2, 1);
+        let trace = w.generate();
+        let interior = 6 * 6;
+        assert_eq!(trace.parallel.len(), 2 * interior * 6);
+    }
+}

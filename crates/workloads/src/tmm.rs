@@ -1,0 +1,211 @@
+//! Tiled (dense) matrix multiplication — the paper's canonical
+//! `g(N) = N^{3/2}` workload (Table I row 1, §II.B worked example).
+//!
+//! `C = A · B` for `n×n` matrices: computation `2n³` flops, memory
+//! `3n²` words. The serial segment initializes `C`; the tiled triple
+//! loop is the parallel segment.
+
+use c2_speedup::scale::{Complexity, ComplexityPair};
+
+use crate::tracer::{layout, TracedVec, Tracer};
+use crate::{Workload, WorkloadTrace};
+
+/// Tiled matrix multiplication workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TiledMatMul {
+    /// Matrix dimension `n`.
+    pub n: usize,
+    /// Tile edge (0 or ≥ n disables tiling).
+    pub tile: usize,
+    /// Seed for the input matrices.
+    pub seed: u64,
+}
+
+impl TiledMatMul {
+    /// A workload multiplying `n×n` matrices with the given tile size.
+    pub fn new(n: usize, tile: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        TiledMatMul { n, tile, seed }
+    }
+
+    fn effective_tile(&self) -> usize {
+        if self.tile == 0 || self.tile > self.n {
+            self.n
+        } else {
+            self.tile
+        }
+    }
+
+    /// Deterministic pseudo-random matrix entries in `[-1, 1)`.
+    fn fill(&self, v: &mut TracedVec, salt: u64) {
+        let mut state = self.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        for x in v.raw_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+        }
+    }
+
+    /// Run the kernel with tracing, returning `(trace, C)`.
+    pub fn run(&self) -> (WorkloadTrace, Vec<f64>) {
+        let n = self.n;
+        let t = self.effective_tile();
+        let bases = layout(0x10_0000, 4096, &[n * n, n * n, n * n]);
+        let mut a = TracedVec::zeroed(bases[0], n * n);
+        let mut b = TracedVec::zeroed(bases[1], n * n);
+        let mut c = TracedVec::zeroed(bases[2], n * n);
+        self.fill(&mut a, 1);
+        self.fill(&mut b, 2);
+
+        // Serial segment: zero-initialize C (not parallelized in the
+        // classic formulation; stands in for setup).
+        let mut serial = Tracer::new();
+        for i in 0..n * n {
+            serial.compute(1);
+            c.set(i, 0.0, &mut serial);
+        }
+
+        // Parallel segment: tiled triple loop.
+        let mut par = Tracer::new();
+        for ii in (0..n).step_by(t) {
+            for kk in (0..n).step_by(t) {
+                for jj in (0..n).step_by(t) {
+                    for i in ii..(ii + t).min(n) {
+                        for k in kk..(kk + t).min(n) {
+                            let aik = a.get(i * n + k, &mut par);
+                            for j in jj..(jj + t).min(n) {
+                                let bkj = b.get(k * n + j, &mut par);
+                                let cij = c.get(i * n + j, &mut par);
+                                par.compute(2); // multiply + add
+                                c.set(i * n + j, cij + aik * bkj, &mut par);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        (
+            WorkloadTrace {
+                serial: serial.finish(),
+                parallel: par.finish(),
+            },
+            c.raw().to_vec(),
+        )
+    }
+
+    /// Untraced reference multiply for verification.
+    pub fn reference(&self) -> Vec<f64> {
+        let n = self.n;
+        let bases = layout(0x10_0000, 4096, &[n * n, n * n, n * n]);
+        let mut a = TracedVec::zeroed(bases[0], n * n);
+        let mut b = TracedVec::zeroed(bases[1], n * n);
+        self.fill(&mut a, 1);
+        self.fill(&mut b, 2);
+        let (a, b) = (a.raw(), b.raw());
+        let mut c = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    c[i * n + j] += aik * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+}
+
+impl Workload for TiledMatMul {
+    fn name(&self) -> &'static str {
+        "TMM (tiled matrix multiplication)"
+    }
+
+    fn complexity(&self) -> ComplexityPair {
+        // W = 2n^3, M = 3n^2 (paper Table I / §II.B).
+        ComplexityPair::new(
+            Complexity::poly(2.0, 3.0).expect("valid"),
+            Complexity::poly(3.0, 2.0).expect("valid"),
+        )
+    }
+
+    fn generate(&self) -> WorkloadTrace {
+        self.run().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_speedup::scale::ScaleFunction;
+
+    #[test]
+    fn tiled_result_matches_reference() {
+        let w = TiledMatMul::new(12, 4, 7);
+        let (_, tiled) = w.run();
+        let reference = w.reference();
+        for (x, y) in tiled.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn untiled_equals_tiled() {
+        let tiled = TiledMatMul::new(10, 3, 1).run().1;
+        let untiled = TiledMatMul::new(10, 0, 1).run().1;
+        for (x, y) in tiled.iter().zip(&untiled) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn access_count_matches_complexity() {
+        let n = 8;
+        let w = TiledMatMul::new(n, 4, 0);
+        let (trace, _) = w.run();
+        // Parallel segment: 3 loads + 1 store per inner iteration, plus
+        // one A load per (i,k): n^3 iterations.
+        let inner = (n * n * n) as usize;
+        let per_iter_accesses = trace.parallel.len();
+        assert!(per_iter_accesses >= 3 * inner, "{per_iter_accesses}");
+        assert!(per_iter_accesses <= 4 * inner, "{per_iter_accesses}");
+        // Serial segment: one store per element.
+        assert_eq!(trace.serial.len(), n * n);
+    }
+
+    #[test]
+    fn g_is_n_to_three_halves() {
+        let w = TiledMatMul::new(16, 4, 0);
+        let g = w.complexity().scale_function().unwrap();
+        match g {
+            ScaleFunction::Power(b) => assert!((b - 1.5).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f_seq_shrinks_with_n() {
+        // Serial work is O(n^2), parallel O(n^3): f_seq ~ 1/n.
+        let small = TiledMatMul::new(6, 0, 0).generate().f_seq();
+        let large = TiledMatMul::new(12, 0, 0).generate().f_seq();
+        assert!(large < small, "f_seq {large} !< {small}");
+    }
+
+    #[test]
+    fn tiling_improves_reuse_locality() {
+        use c2_trace::stats::ReuseProfile;
+        let n = 24;
+        let tiled = TiledMatMul::new(n, 6, 0).generate();
+        let untiled = TiledMatMul::new(n, 0, 0).generate();
+        let cache_lines = 64; // 4 KiB cache, 64B lines
+        let mr_tiled =
+            ReuseProfile::compute(&tiled.parallel, 64).miss_rate_for_lines(cache_lines);
+        let mr_untiled =
+            ReuseProfile::compute(&untiled.parallel, 64).miss_rate_for_lines(cache_lines);
+        assert!(
+            mr_tiled < mr_untiled,
+            "tiled {mr_tiled} vs untiled {mr_untiled}"
+        );
+    }
+}

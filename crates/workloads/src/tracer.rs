@@ -1,0 +1,189 @@
+//! Instrumentation shims: run real Rust kernels while recording their
+//! memory-access stream.
+//!
+//! [`TracedVec`] owns a `Vec<f64>` placed at a virtual base address;
+//! every element read/write both performs the real data operation and
+//! logs a [`c2_trace::MemAccess`] into the shared [`Tracer`]. Kernels
+//! therefore compute *correct results* (unit-tested against reference
+//! implementations) while emitting the trace the simulator replays —
+//! the same role GEM5's syscall-emulation tracing plays in the paper.
+
+use c2_trace::{AccessKind, Trace, TraceBuilder};
+
+/// The shared trace recorder threaded through a kernel.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    builder: TraceBuilder,
+}
+
+impl Tracer {
+    /// Fresh tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Record `n` non-memory instructions (arithmetic, control).
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.builder.compute(n);
+    }
+
+    /// Record a load at a raw address.
+    #[inline]
+    pub fn load(&mut self, addr: u64) {
+        self.builder.access(addr, AccessKind::Read);
+    }
+
+    /// Record a store at a raw address.
+    #[inline]
+    pub fn store(&mut self, addr: u64) {
+        self.builder.access(addr, AccessKind::Write);
+    }
+
+    /// Instructions recorded so far.
+    pub fn instruction_count(&self) -> u64 {
+        self.builder.instruction_count()
+    }
+
+    /// Finish, returning the trace.
+    pub fn finish(self) -> Trace {
+        self.builder.finish()
+    }
+}
+
+/// A `Vec<f64>` with a virtual base address whose accesses are traced.
+#[derive(Debug, Clone)]
+pub struct TracedVec {
+    data: Vec<f64>,
+    base: u64,
+}
+
+impl TracedVec {
+    /// Allocate `len` zeroed elements at virtual address `base`.
+    pub fn zeroed(base: u64, len: usize) -> Self {
+        TracedVec {
+            data: vec![0.0; len],
+            base,
+        }
+    }
+
+    /// Wrap existing data at virtual address `base`.
+    pub fn from_vec(base: u64, data: Vec<f64>) -> Self {
+        TracedVec { data, base }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Virtual base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The virtual address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + (i as u64) * 8
+    }
+
+    /// Traced read of element `i`.
+    #[inline]
+    pub fn get(&self, i: usize, t: &mut Tracer) -> f64 {
+        t.load(self.addr(i));
+        self.data[i]
+    }
+
+    /// Traced write of element `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64, t: &mut Tracer) {
+        t.store(self.addr(i));
+        self.data[i] = v;
+    }
+
+    /// Untraced view of the underlying data (for verification).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Untraced mutable view (for initialization that should not appear
+    /// in the measured region).
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The byte span `[base, end)` this vector occupies.
+    pub fn span(&self) -> (u64, u64) {
+        (self.base, self.base + self.data.len() as u64 * 8)
+    }
+}
+
+/// Lay out multiple arrays head-to-tail from `start`, separated by
+/// `guard` bytes, returning their base addresses.
+pub fn layout(start: u64, guard: u64, lens: &[usize]) -> Vec<u64> {
+    let mut bases = Vec::with_capacity(lens.len());
+    let mut cursor = start;
+    for &len in lens {
+        bases.push(cursor);
+        cursor += len as u64 * 8 + guard;
+    }
+    bases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_reads_and_writes_log_and_compute() {
+        let mut t = Tracer::new();
+        let mut v = TracedVec::zeroed(0x1000, 4);
+        v.set(2, 7.5, &mut t);
+        t.compute(3);
+        let x = v.get(2, &mut t);
+        assert_eq!(x, 7.5);
+        let trace = t.finish();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.accesses()[0].addr, 0x1000 + 16);
+        assert!(trace.accesses()[0].kind.is_write());
+        assert!(trace.accesses()[1].kind.is_read());
+        assert_eq!(trace.instruction_count(), 5);
+    }
+
+    #[test]
+    fn layout_is_disjoint() {
+        let bases = layout(0x1000, 64, &[10, 20, 30]);
+        assert_eq!(bases.len(), 3);
+        assert_eq!(bases[0], 0x1000);
+        assert_eq!(bases[1], 0x1000 + 80 + 64);
+        assert!(bases[2] > bases[1] + 160);
+        let v0 = TracedVec::zeroed(bases[0], 10);
+        let v1 = TracedVec::zeroed(bases[1], 20);
+        assert!(v0.span().1 <= v1.span().0);
+    }
+
+    #[test]
+    fn raw_access_is_untraced() {
+        let mut t = Tracer::new();
+        let mut v = TracedVec::zeroed(0, 4);
+        v.raw_mut()[0] = 1.0;
+        assert_eq!(v.raw()[0], 1.0);
+        assert_eq!(t.instruction_count(), 0);
+        v.set(0, 2.0, &mut t);
+        assert_eq!(t.instruction_count(), 1);
+    }
+
+    #[test]
+    fn from_vec_preserves_data() {
+        let v = TracedVec::from_vec(64, vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.addr(1), 72);
+        assert_eq!(v.raw(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Online C-AMAT detection (the paper's Fig 4 detector) across
+//! workloads with very different locality/concurrency signatures, plus
+//! phase detection on a phase-changing program.
+//!
+//! ```sh
+//! cargo run --release --example camat_online
+//! ```
+
+use c2bound::sim::{ChipConfig, Simulator};
+use c2bound::trace::synthetic::{
+    MixedPhaseGenerator, PointerChaseGenerator, RandomGenerator, StridedGenerator, TraceGenerator,
+    ZipfGenerator,
+};
+use c2bound::trace::{PhaseConfig, PhaseDetector};
+
+fn main() {
+    let workloads: Vec<(&str, c2bound::trace::Trace)> = vec![
+        ("streaming", StridedGenerator::new(0, 64, 20_000).generate()),
+        (
+            "random / 8 MiB",
+            RandomGenerator::new(0, 8 << 20, 20_000, 1).generate(),
+        ),
+        (
+            "zipf hot-cold",
+            ZipfGenerator::new(0, 1 << 15, 1.2, 20_000, 2).generate(),
+        ),
+        (
+            "pointer chase",
+            PointerChaseGenerator::new(0, 1 << 17, 20_000, 3).generate(),
+        ),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "AMAT", "C-AMAT", "C", "C_H", "C_M", "pMR"
+    );
+    for (name, trace) in &workloads {
+        let r = Simulator::new(ChipConfig::default_single_core())
+            .run(std::slice::from_ref(trace))
+            .expect("simulation");
+        let m = &r.cores[0].camat;
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.3}",
+            name,
+            m.amat(),
+            m.camat(),
+            m.concurrency(),
+            m.hit_concurrency,
+            m.pure_miss_concurrency,
+            m.pure_miss_rate()
+        );
+    }
+
+    // Phase detection on a program alternating between two behaviours:
+    // the paper's premise that "programs have periodic behaviors and
+    // their data access patterns are predictable".
+    let program = MixedPhaseGenerator::new(
+        vec![
+            Box::new(StridedGenerator::new(0, 64, 4_000)),
+            Box::new(PointerChaseGenerator::new(1 << 30, 1 << 14, 4_000, 9)),
+        ],
+        3,
+    )
+    .generate();
+    let phases = PhaseDetector::new(PhaseConfig {
+        interval_len: 4_000,
+        clusters: 2,
+        ..PhaseConfig::default()
+    })
+    .detect(&program)
+    .expect("phase detection");
+    println!(
+        "\nphase detection over the alternating program: {} phases, labels = {:?}",
+        phases.phase_count(),
+        phases.labels().iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+    println!(
+        "phase weights = {:?}, transitions = {}",
+        phases
+            .weights()
+            .iter()
+            .map(|w| (w * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        phases.transitions()
+    );
+    println!("-> a reconfigurable CMP would re-run the C2-Bound optimization at each transition");
+}

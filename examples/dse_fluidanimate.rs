@@ -1,0 +1,97 @@
+//! End-to-end design-space exploration for the fluidanimate-like
+//! workload — the paper's §IV case study in miniature.
+//!
+//! Pipeline: generate the workload → characterize it on the reference
+//! chip (measuring f_mem, f_seq, C-AMAT with the HCD/MCD detector) →
+//! build the C²-Bound model → run APS against the cycle-level simulator
+//! over a reduced design space.
+//!
+//! ```sh
+//! cargo run --release --example dse_fluidanimate
+//! ```
+
+use c2bound::model::aps::Aps;
+use c2bound::model::dse::{simulate_point, DesignSpace};
+use c2bound::model::{C2BoundModel, MemoryModel, ProgramProfile};
+use c2bound::sim::area::{AreaModel, SiliconBudget};
+use c2bound::sim::ChipConfig;
+use c2bound::speedup::scale::ScaleFunction;
+use c2bound::workloads::fluidanimate::FluidAnimate;
+use c2bound::workloads::{characterize, Workload};
+
+fn main() {
+    // --- Characterization (paper Fig 5, "input" stage).
+    let workload = FluidAnimate::new(800, 10, 1, 42).generate();
+    let chip = ChipConfig::default_single_core();
+    let ch = characterize(&workload, &chip).expect("characterization");
+    println!(
+        "characterized fluidanimate-like workload:\n  f_mem = {:.3}, f_seq = {:.3}, \
+         L1 miss rate = {:.3}, C-AMAT = {:.2}, C = {:.2}",
+        ch.f_mem,
+        ch.f_seq,
+        ch.l1_miss_rate,
+        ch.camat_value(),
+        ch.concurrency()
+    );
+
+    // --- Model assembly from the measurement.
+    let memory = MemoryModel::from_characterization(
+        &ch,
+        chip.l1.size_bytes as f64,
+        chip.l2.size_bytes as f64,
+        0.5,
+        1.0,
+        chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
+        120.0,
+    )
+    .expect("memory model");
+    let program = ProgramProfile::new(
+        ch.instruction_count as f64,
+        ch.f_seq,
+        ch.f_mem,
+        ch.overlap_cm.clamp(0.0, 0.95), // measured, not assumed
+        ScaleFunction::Power(1.0),
+    )
+    .expect("profile");
+    let area = AreaModel::default();
+    let budget = SiliconBudget::new(400.0, 40.0).expect("budget");
+    let model = C2BoundModel::new(program, memory, area, budget);
+
+    // --- APS over a reduced space, with *real* simulations as the
+    //     refinement oracle (4^4 * 3^2 = 2304-point space, 9 sims).
+    let space = DesignSpace::tiny();
+    println!(
+        "\ndesign space: {} points; APS will simulate only the issue x ROB cross ({} runs)",
+        space.size(),
+        space.issue.len() * space.rob.len()
+    );
+    let aps = Aps::new(model, space);
+    let t0 = std::time::Instant::now();
+    let outcome = aps
+        .run(|p| {
+            simulate_point(p, &workload, &area, &budget)
+                .map_err(|e| c2bound::model::Error::Simulation(e.to_string()))
+        })
+        .expect("APS");
+    println!(
+        "APS finished in {:.1} s with {} detailed simulations (case {:?})",
+        t0.elapsed().as_secs_f64(),
+        outcome.simulations,
+        outcome.case
+    );
+    println!(
+        "chosen configuration: {} cores, A0 = {} mm2, L1 = {} mm2, L2 = {} mm2, \
+         issue = {}, ROB = {}",
+        outcome.chosen.n,
+        outcome.chosen.a0,
+        outcome.chosen.a1,
+        outcome.chosen.a2,
+        outcome.chosen.issue_width,
+        outcome.chosen.rob_size
+    );
+    println!(
+        "best simulated time = {:.0} cycles; calibrated analytic error = {:.1}%",
+        outcome.best_time,
+        100.0 * outcome.prediction_error
+    );
+}

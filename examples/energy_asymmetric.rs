@@ -1,0 +1,59 @@
+//! The paper's §VII extensions in action: energy-aware multi-objective
+//! design and asymmetric (big.LITTLE-style) CMPs.
+//!
+//! ```sh
+//! cargo run --release --example energy_asymmetric
+//! ```
+
+use c2bound::model::asymmetric::AsymmetricModel;
+use c2bound::model::energy::{MultiObjective, PowerModel};
+use c2bound::model::{C2BoundModel, ProgramProfile};
+use c2bound::speedup::scale::ScaleFunction;
+
+fn main() {
+    let mut base = C2BoundModel::example_big_data();
+    base.program = ProgramProfile::new(1e9, 0.2, 0.3, 0.1, ScaleFunction::Power(0.5))
+        .expect("profile");
+
+    // --- Energy/performance trade-off sweep.
+    println!("weight  N*      per-core mm2  time (s)   energy (J)  power (W)");
+    let power = PowerModel::default();
+    let clock = 3e9;
+    for w in [1.0, 0.75, 0.5, 0.25, 0.0] {
+        let mo = MultiObjective::new(base.clone(), power, w, clock).expect("objective");
+        let v = mo.optimize().expect("optimize");
+        println!(
+            "{w:<7} {:<7.1} {:<13.2} {:<10.4} {:<11.3} {:<9.2}",
+            v.n,
+            v.per_core(),
+            base.execution_time(&v) / clock,
+            power.energy(&base, &v, clock),
+            power.average_power(&base, &v),
+        );
+    }
+    println!("-> performance-leaning designs buy more/bigger cores; energy-leaning");
+    println!("   designs shed silicon (Pollack: perf ~ sqrt(area), power ~ area)\n");
+
+    // --- Asymmetric vs symmetric, as a function of the serial fraction.
+    println!("f_seq   symmetric T  asymmetric T  big core  small cores  gain");
+    for f_seq in [0.05, 0.15, 0.30, 0.50] {
+        let mut m = base.clone();
+        m.program = ProgramProfile::new(1e9, f_seq, 0.3, 0.1, ScaleFunction::Power(0.5))
+            .expect("profile");
+        let asym = AsymmetricModel::new(m, true);
+        let d_sym = asym.symmetric_baseline().expect("symmetric");
+        let d_asym = asym.optimize().expect("asymmetric");
+        let t_sym = d_sym.execution_time;
+        let t_asym = asym.execution_time(&d_asym);
+        println!(
+            "{f_seq:<7} {t_sym:<12.3e} {t_asym:<13.3e} {:<9.1} {:<12.0} {:+.1}%",
+            d_asym.big_core_area,
+            d_asym.n_small,
+            100.0 * (t_sym / t_asym - 1.0),
+        );
+    }
+    println!("-> the asymmetric design wins across the board: the big core absorbs the");
+    println!("   serial phase while a sea of small cores takes the parallel phase");
+    println!("   (the Hill-Marty effect the paper's SS VII extension targets; at high");
+    println!("   f_seq both designs converge on big cores and the gap narrows)");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: the C²-Bound model in ~40 lines.
+//!
+//! Compute C-AMAT for a measured access timeline, combine it with
+//! Sun-Ni's law, and ask the optimizer for the best core count and
+//! silicon split for a big-data workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use c2bound::camat::timeline::Timeline;
+use c2bound::model::optimize::optimize;
+use c2bound::model::C2BoundModel;
+use c2bound::speedup::{laws, scale::ScaleFunction};
+
+fn main() {
+    // 1. C-AMAT from a cycle-accurate timeline (the paper's Fig 1).
+    let m = Timeline::paper_fig1().measure();
+    println!(
+        "C-AMAT = {:.2} cycles/access vs AMAT = {:.2} -> concurrency C = {:.2}",
+        m.camat(),
+        m.amat(),
+        m.concurrency()
+    );
+
+    // 2. Sun-Ni's law: memory-bounded speedup for g(N) = N^{3/2}.
+    let g = ScaleFunction::Power(1.5);
+    for n in [4.0, 64.0, 1024.0] {
+        println!(
+            "Sun-Ni speedup at N = {n:>5}: {:>8.1}  (Amdahl would say {:.1})",
+            laws::sun_ni(0.05, n, &g),
+            laws::amdahl(0.05, n),
+        );
+    }
+
+    // 3. The full C²-Bound optimization: how many cores, and how much
+    //    silicon for cores vs caches, on a 400 mm2 die?
+    let model = C2BoundModel::example_big_data();
+    let design = optimize(&model).expect("optimization");
+    println!(
+        "\noptimal design ({:?}):\n  N = {:.0} cores, A0 = {:.2} mm2, \
+         L1 = {:.2} mm2, L2 = {:.2} mm2 per core",
+        design.case, design.vars.n, design.vars.a0, design.vars.a1, design.vars.a2
+    );
+    println!(
+        "  per-instruction cost = {:.3} cycles, data-access concurrency C = {:.2}",
+        design.cpi, design.concurrency
+    );
+}

@@ -1,0 +1,40 @@
+//! Memory-bounded scaling for a future many-core "supercomputer node"
+//! (the paper's Figs 8–11 machinery as a library call): how do problem
+//! size, execution time and throughput scale with the core count at
+//! different memory-concurrency levels?
+//!
+//! ```sh
+//! cargo run --release --example supercomputer_scaling
+//! ```
+
+use c2bound::model::ScalingStudy;
+
+fn main() {
+    for f_mem in [0.3, 0.9] {
+        let study = ScalingStudy::paper_figs_8_to_11(f_mem).expect("study");
+        println!("=== g(N) = N^(3/2), f_mem = {f_mem} ===");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "N", "W", "T(C=1)", "T(C=8)", "speedup", "W/T(C=1)", "W/T(C=8)"
+        );
+        let ns = [1.0, 10.0, 100.0, 1000.0];
+        let c1 = study.sweep(&ns, 1.0).expect("sweep");
+        let c8 = study.sweep(&ns, 8.0).expect("sweep");
+        for i in 0..ns.len() {
+            println!(
+                "{:>6} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.2} {:>10.4} {:>10.4}",
+                ns[i],
+                c1[i].problem_size,
+                c1[i].time,
+                c8[i].time,
+                c1[i].time / c8[i].time,
+                c1[i].throughput,
+                c8[i].throughput,
+            );
+        }
+        println!(
+            "-> \"even with a fixed number of processing cores, improving data access\n   \
+             performance via memory concurrency can obtain significant speedup\" (paper SS IV)\n"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests spanning every crate: kernel → trace →
+//! simulator → detector → characterization → model → optimizer → APS.
+
+use c2bound::model::aps::Aps;
+use c2bound::model::dse::{simulate_point, DesignSpace};
+use c2bound::model::{C2BoundModel, MemoryModel, ProgramProfile};
+use c2bound::sim::area::{AreaModel, SiliconBudget};
+use c2bound::sim::ChipConfig;
+use c2bound::speedup::scale::ScaleFunction;
+use c2bound::workloads::stencil::Stencil2D;
+use c2bound::workloads::tmm::TiledMatMul;
+use c2bound::workloads::{characterize, Workload};
+
+fn build_model(ch: &c2bound::workloads::Characterization, chip: &ChipConfig) -> C2BoundModel {
+    let memory = MemoryModel::from_characterization(
+        ch,
+        chip.l1.size_bytes as f64,
+        chip.l2.size_bytes as f64,
+        0.5,
+        1.0,
+        chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
+        120.0,
+    )
+    .expect("memory model");
+    let program = ProgramProfile::new(
+        ch.instruction_count as f64,
+        ch.f_seq,
+        ch.f_mem,
+        ch.overlap_cm.clamp(0.0, 0.95),
+        ScaleFunction::Power(1.0),
+    )
+    .expect("profile");
+    C2BoundModel::new(
+        program,
+        memory,
+        AreaModel::default(),
+        SiliconBudget::new(400.0, 40.0).expect("budget"),
+    )
+}
+
+#[test]
+fn characterize_then_optimize_tmm() {
+    let workload = TiledMatMul::new(20, 4, 3).generate();
+    let chip = ChipConfig::default_single_core();
+    let ch = characterize(&workload, &chip).expect("characterization");
+    assert!(ch.f_mem > 0.0 && ch.f_mem < 1.0);
+    let model = build_model(&ch, &chip);
+    let design = c2bound::model::optimize::optimize(&model).expect("optimize");
+    assert!(model.feasible(&design.vars), "optimum must be feasible");
+    assert!(design.cpi > 0.0);
+    assert!(design.concurrency >= 1.0);
+}
+
+#[test]
+fn aps_with_real_simulator_oracle() {
+    // The complete APS loop with actual cycle-level simulations as the
+    // refinement oracle, on a miniature space.
+    let workload = Stencil2D::new(24, 24, 1, 5).generate();
+    let chip = ChipConfig::default_single_core();
+    let ch = characterize(&workload, &chip).expect("characterization");
+    let model = build_model(&ch, &chip);
+    let area = model.area;
+    let budget = model.budget;
+
+    // 2 x 2 microarchitecture cross to keep the test fast.
+    let space = DesignSpace {
+        a0: vec![2.0, 4.0],
+        a1: vec![0.0625, 0.25],
+        a2: vec![0.25, 1.0],
+        n: vec![1, 2, 4],
+        issue: vec![2, 4],
+        rob: vec![32, 128],
+    };
+    let aps = Aps::new(model, space);
+    let outcome = aps
+        .run(|p| {
+            simulate_point(p, &workload, &area, &budget)
+                .map_err(|e| c2bound::model::Error::Simulation(e.to_string()))
+        })
+        .expect("APS");
+    assert_eq!(outcome.simulations, 4, "2x2 refinement cross");
+    assert!(outcome.best_time > 0.0);
+    // The chosen configuration must be on the grid.
+    assert!([2usize, 4].contains(&outcome.chosen.issue_width));
+    assert!([32usize, 128].contains(&outcome.chosen.rob_size));
+}
+
+#[test]
+fn simulated_concurrency_feeds_the_model() {
+    // The measured C (from the simulator's HCD/MCD) must land in the
+    // model as C_H/C_M > 1 for an OoO core on a miss-heavy workload.
+    let workload = TiledMatMul::new(32, 0, 1).generate();
+    let chip = ChipConfig::default_single_core();
+    let ch = characterize(&workload, &chip).expect("characterization");
+    assert!(
+        ch.concurrency() > 1.2,
+        "OoO core should expose memory concurrency, got {}",
+        ch.concurrency()
+    );
+    let model = build_model(&ch, &chip);
+    assert!(model.memory.hit_concurrency > 1.0);
+}
+
+#[test]
+fn per_core_partitioning_preserves_work() {
+    let workload = TiledMatMul::new(16, 4, 2).generate();
+    for cores in [1usize, 2, 4, 8] {
+        let per_core = workload.per_core_traces(cores);
+        assert_eq!(per_core.len(), cores);
+        let total_accesses: usize = per_core.iter().map(|t| t.len()).sum();
+        assert_eq!(
+            total_accesses,
+            workload.serial.len() + workload.parallel.len(),
+            "cores = {cores}"
+        );
+    }
+}
+
+#[test]
+fn more_cores_help_parallel_workloads_in_simulation() {
+    // Cross-crate sanity: the simulator agrees with the law's direction.
+    let workload = Stencil2D::new(40, 40, 2, 7).generate();
+    let run = |cores: usize| {
+        let config = ChipConfig::default_multi_core(cores);
+        let traces = workload.per_core_traces(cores);
+        c2bound::sim::Simulator::new(config)
+            .run(&traces)
+            .expect("simulation")
+            .total_cycles
+    };
+    let t1 = run(1);
+    let t4 = run(4);
+    assert!(
+        t4 < t1,
+        "4 cores ({t4} cycles) should beat 1 core ({t1} cycles)"
+    );
+}
