@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Workspace gate: lint-clean (clippy, warnings denied) and all tests
+# green. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "OK"

@@ -214,9 +214,10 @@ impl Mlp {
                 if li > 0 {
                     // Propagate: delta_prev = (W^T delta) * tanh'(a).
                     let mut prev = vec![0.0; layer.inputs];
-                    for o in 0..layer.outputs {
-                        for k in 0..layer.inputs {
-                            prev[k] += layer.weights[o * layer.inputs + k] * delta[o];
+                    for (o, &d) in delta.iter().enumerate() {
+                        let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                        for (p, w) in prev.iter_mut().zip(row) {
+                            *p += w * d;
                         }
                     }
                     for (k, p) in prev.iter_mut().enumerate() {

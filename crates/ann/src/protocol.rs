@@ -201,8 +201,8 @@ mod tests {
             },
             ..SampleProtocol::default()
         };
-        let r_loose = loose.run(&space, |p| surface(p), &truth).unwrap();
-        let r_tight = tight.run(&space, |p| surface(p), &truth).unwrap();
+        let r_loose = loose.run(&space, surface, &truth).unwrap();
+        let r_tight = tight.run(&space, surface, &truth).unwrap();
         assert!(
             r_tight.simulations >= r_loose.simulations,
             "tight {} vs loose {}",
@@ -219,7 +219,7 @@ mod tests {
             max_samples: 64,
             ..SampleProtocol::default()
         };
-        let err = proto.run(&space, |p| surface(p), &truth).unwrap_err();
+        let err = proto.run(&space, surface, &truth).unwrap_err();
         assert!(matches!(err, Error::BudgetExhausted { samples: 64, .. }));
     }
 
@@ -243,8 +243,8 @@ mod tests {
             error_target: 0.1,
             ..SampleProtocol::default()
         };
-        let a = proto.run(&space, |p| surface(p), &truth).unwrap();
-        let b = proto.run(&space, |p| surface(p), &truth).unwrap();
+        let a = proto.run(&space, surface, &truth).unwrap();
+        let b = proto.run(&space, surface, &truth).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -125,8 +125,12 @@ pub fn allocate_cores(apps: &[AppProfile], total_cores: usize) -> Result<Vec<usi
             .iter()
             .enumerate()
             .map(|(i, a)| (i, a.marginal_gain(alloc[i])))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
-            .expect("non-empty");
+            // `total_cmp` cannot panic even if a pathological scale
+            // function produced a NaN gain (NaN sorts last, so a real
+            // gain still wins).
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            // Unreachable: `apps` was checked non-empty at entry.
+            .expect("non-empty apps");
         alloc[best] += 1;
         remaining -= 1;
     }
@@ -142,6 +146,9 @@ pub fn total_throughput(apps: &[AppProfile], alloc: &[usize]) -> f64 {
 }
 
 /// The paper's three Fig 7 archetypes.
+///
+/// The `expect`s below are unreachable: every argument is a literal
+/// that satisfies `AppProfile::new`'s range checks.
 pub fn fig7_apps() -> Vec<AppProfile> {
     vec![
         // App 1: "f_seq is very large and memory concurrency C is very

@@ -213,6 +213,16 @@ fn cmd_aps(args: &[String]) {
         fmt_num(outcome.best_time),
         fmt_num(100.0 * outcome.prediction_error)
     );
+    let log = &outcome.refinement;
+    println!(
+        "refinement: {}/{} points simulated ({} retried, {} skipped, {} oracle calls, degradation: {:?})",
+        log.succeeded,
+        log.attempted,
+        log.retried,
+        log.skipped.len(),
+        log.oracle_calls,
+        log.degradation
+    );
 }
 
 fn cmd_scaling(args: &[String]) {

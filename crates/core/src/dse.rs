@@ -164,12 +164,18 @@ fn nearest_f(axis: &[f64], v: f64) -> usize {
     axis.iter()
         .enumerate()
         .min_by(|a, b| {
-            // Compare in log space: the axes are geometric.
+            // Compare in log space: the axes are geometric. `total_cmp`
+            // keeps this panic-free even for a NaN target (NaN distances
+            // sort last, so the search degrades to index 0 instead of
+            // aborting).
             let da = (a.1.ln() - v.max(1e-12).ln()).abs();
             let db = (b.1.ln() - v.max(1e-12).ln()).abs();
-            da.partial_cmp(&db).expect("finite")
+            da.total_cmp(&db)
         })
         .map(|(i, _)| i)
+        // Reachable only through a hand-built `DesignSpace` with an
+        // empty axis, which no provided constructor produces; callers
+        // that accept external spaces validate via `axis_lens` first.
         .expect("non-empty axis")
 }
 
@@ -179,9 +185,10 @@ fn nearest_u(axis: &[usize], v: f64) -> usize {
         .min_by(|a, b| {
             let da = ((*a.1 as f64).max(1.0).ln() - v.max(1.0).ln()).abs();
             let db = ((*b.1 as f64).max(1.0).ln() - v.max(1.0).ln()).abs();
-            da.partial_cmp(&db).expect("finite")
+            da.total_cmp(&db)
         })
         .map(|(i, _)| i)
+        // See `nearest_f`: unreachable for every provided constructor.
         .expect("non-empty axis")
 }
 
@@ -273,7 +280,7 @@ impl GroundTruth {
         let total: usize = alens.iter().product();
         let mut values = vec![f64::NAN; total];
         let mut sims = 0usize;
-        for flat in 0..total {
+        for (flat, value) in values.iter_mut().enumerate() {
             let mut rem = flat;
             let mut idx = [0usize; 6];
             for d in (0..6).rev() {
@@ -283,7 +290,7 @@ impl GroundTruth {
             let p = space.point_at(idx);
             sims += 1;
             if let Ok(t) = sim(&p) {
-                values[flat] = t.max(1.0).ln();
+                *value = t.max(1.0).ln();
             }
         }
         // Patch failed corners with the mean of successful neighbours

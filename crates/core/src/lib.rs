@@ -64,12 +64,12 @@ pub mod scaling;
 pub use adaptive::{AdaptiveDse, AdaptivePlan};
 pub use allocate::{allocate_cores, AppProfile};
 pub use asymmetric::{AsymmetricDesign, AsymmetricModel};
-pub use aps::{Aps, ApsOutcome};
+pub use aps::{Aps, ApsOutcome, DegradationLevel, RefinementLog, ResiliencePolicy, SkippedPoint};
 pub use dse::{DesignPoint, DesignSpace, GroundTruth};
 pub use energy::{MultiObjective, PowerModel};
 pub use mem_model::{CacheSensitivity, MemoryModel};
 pub use model::{C2BoundModel, DesignVariables, OptimizationCase, ProgramProfile};
-pub use optimize::{optimize, OptimalDesign};
+pub use optimize::{optimize, OptimalDesign, SplitSolve};
 pub use scaling::{ScalingPoint, ScalingStudy};
 
 /// Errors from the model and optimizer.

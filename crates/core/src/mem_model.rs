@@ -161,6 +161,9 @@ impl MemoryModel {
     /// A representative default: Core-i7-like latencies, moderate
     /// concurrency, √2-rule L1 and heavy-tail L2 around a 32 KiB / 2 MiB
     /// reference hierarchy.
+    ///
+    /// The `expect`s are unreachable: the literal arguments satisfy
+    /// `power_law`'s validation.
     pub fn default_big_data() -> Self {
         MemoryModel {
             hit_time: 3.0,

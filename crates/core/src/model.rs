@@ -178,6 +178,9 @@ impl C2BoundModel {
 
     /// A reasonable default model for exploration demos: a big-data
     /// profile on a 400 mm² die.
+    ///
+    /// The `expect`s are unreachable: the literal arguments satisfy the
+    /// constructors' validation.
     pub fn example_big_data() -> Self {
         C2BoundModel {
             program: ProgramProfile::new(

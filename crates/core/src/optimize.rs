@@ -18,6 +18,7 @@ use c2_solver::grid::{grid_minimize, GridSpec};
 use c2_solver::lagrange::EqualityConstrained;
 use c2_solver::nelder::{nelder_mead, NelderMeadOptions};
 use c2_solver::newton::NewtonOptions;
+use c2_solver::robust::{RobustOptions, SolveQuality, SolveStrategy};
 
 use crate::model::{C2BoundModel, DesignVariables, OptimizationCase};
 use crate::{Error, Result};
@@ -25,6 +26,28 @@ use crate::{Error, Result};
 /// Lower bound on any single area component (mm²) to keep the model in
 /// its physical domain.
 const MIN_AREA: f64 = 0.05;
+
+/// How the inner area-split problem was ultimately solved for the final
+/// `N` — the degradation ladder of the resilient pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitSolve {
+    /// The KKT cascade produced a clean (full-tolerance) solution; the
+    /// payload names the cascade stage that won.
+    Kkt(SolveStrategy),
+    /// The KKT cascade produced a usable but degraded solution (residual
+    /// above the Newton tolerance).
+    KktDegraded(SolveStrategy),
+    /// The KKT cascade failed or was beaten by the grid seed; the
+    /// Nelder–Mead simplex on the free fractions produced the answer.
+    SimplexFallback,
+}
+
+impl SplitSolve {
+    /// `true` for a clean KKT solve (the paper's nominal Eq. 13 route).
+    pub fn is_clean_kkt(&self) -> bool {
+        matches!(self, SplitSolve::Kkt(_))
+    }
+}
 
 /// The optimizer's output.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,11 +67,21 @@ pub struct OptimalDesign {
     /// `true` if the inner solves used the Lagrange/Newton path for the
     /// final `N` (false = Nelder–Mead fallback).
     pub newton_converged: bool,
+    /// Full degradation-ladder diagnostics for the final `N`'s split
+    /// solve (refines `newton_converged`).
+    pub split_solve: SplitSolve,
 }
 
 /// Optimize the area split for a fixed `N`. Returns the best feasible
 /// `(A0, A1, A2)` and whether Newton converged.
 pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, bool)> {
+    let (vars, solve) = optimize_split_report(model, n)?;
+    Ok((vars, solve.is_clean_kkt()))
+}
+
+/// Like [`optimize_split`], but reports which rung of the degradation
+/// ladder produced the answer.
+pub fn optimize_split_report(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, SplitSolve)> {
     if n < 1.0 {
         return Err(Error::InvalidParameter { name: "n", value: n });
     }
@@ -105,35 +138,47 @@ pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, 
     };
     let problem = EqualityConstrained::new(smooth_objective)
         .constraint(move |a: &[f64]| a[0] + a[1] + a[2] - per_core);
-    let newton = problem.solve(
+    let cascade = problem.solve_cascade(
         &seed,
-        &NewtonOptions {
-            tol: 1e-8,
-            max_iters: 200,
-            ..NewtonOptions::default()
+        &RobustOptions {
+            newton: NewtonOptions {
+                tol: 1e-8,
+                max_iters: 200,
+                ..NewtonOptions::default()
+            },
+            ..RobustOptions::default()
         },
     );
 
-    let candidate = match &newton {
-        Ok(kkt)
-            if kkt.x.iter().all(|&x| x >= MIN_AREA * 0.99)
-                && (kkt.x.iter().sum::<f64>() - per_core).abs() < 1e-6 * per_core.max(1.0) =>
+    let candidate = match &cascade {
+        Ok(r)
+            if r.kkt.x.iter().all(|&x| x >= MIN_AREA * 0.99)
+                && (r.kkt.x.iter().sum::<f64>() - per_core).abs()
+                    < 1e-6 * per_core.max(1.0) =>
         {
-            Some(DesignVariables {
-                n,
-                a0: kkt.x[0],
-                a1: kkt.x[1],
-                a2: kkt.x[2],
-            })
+            Some((
+                DesignVariables {
+                    n,
+                    a0: r.kkt.x[0],
+                    a1: r.kkt.x[1],
+                    a2: r.kkt.x[2],
+                },
+                r.report.strategy,
+                r.report.quality,
+            ))
         }
         _ => None,
     };
 
-    if let Some(v) = candidate {
+    if let Some((v, strategy, quality)) = candidate {
         // Accept the KKT point only if it actually beats the seed (KKT
         // also matches saddle points).
         if model.cycles_per_instruction(&v) <= objective(&seed) + 1e-12 {
-            return Ok((v, true));
+            let solve = match quality {
+                SolveQuality::Clean => SplitSolve::Kkt(strategy),
+                SolveQuality::Degraded => SplitSolve::KktDegraded(strategy),
+            };
+            return Ok((v, solve));
         }
     }
 
@@ -164,7 +209,7 @@ pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, 
             a1,
             a2: per_core - a0 - a1,
         },
-        false,
+        SplitSolve::SimplexFallback,
     ))
 }
 
@@ -220,7 +265,7 @@ pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
         scan_axis.point(best_i)
     };
 
-    let (vars, newton_converged) = optimize_split(model, n_star)?;
+    let (vars, split_solve) = optimize_split_report(model, n_star)?;
     Ok(OptimalDesign {
         execution_time: model.execution_time(&vars),
         throughput: model.throughput(&vars),
@@ -228,7 +273,8 @@ pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
         concurrency: model.concurrency(&vars),
         vars,
         case,
-        newton_converged,
+        newton_converged: split_solve.is_clean_kkt(),
+        split_solve,
     })
 }
 

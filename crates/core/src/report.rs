@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn fmt_num_ranges() {
         assert_eq!(fmt_num(0.0), "0");
-        assert_eq!(fmt_num(3.14159), "3.142");
+        assert_eq!(fmt_num(1.23456), "1.235");
         assert_eq!(fmt_num(12345.6), "12345.6");
         assert!(fmt_num(1e12).contains('e'));
         assert!(fmt_num(1e-9).contains('e'));

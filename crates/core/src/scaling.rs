@@ -102,7 +102,9 @@ impl ScalingStudy {
             }
             n *= 1.3;
         }
-        if *ns.last().unwrap() < 1000.0 {
+        // The loop above always pushes at least N = 1, so the grid is
+        // non-empty; `unwrap_or` keeps this panic-free regardless.
+        if ns.last().copied().unwrap_or(0.0) < 1000.0 {
             ns.push(1000.0);
         }
         ns

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! crates.io is unreachable in the build environment, so this shim
+//! implements the subset of the proptest API the workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header) expanding each
+//!   `fn case(x in strategy, ...)` into a `#[test]` that runs
+//!   `config.cases` deterministic random cases;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples, `prop::collection::vec`, `prop::option::of`, and
+//!   `Just`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (panic-based — a failing
+//!   case reports the generated inputs via the panic message of the
+//!   runner loop).
+//!
+//! Differences from the real crate, by design: no shrinking (the
+//! failing case's inputs are printed as generated), no persistence
+//! file, and deterministic seeding per case index so failures reproduce
+//! exactly across runs and machines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors grouped like the real crate's `prop` module
+/// (`prop::collection::vec`, `prop::option::of`, ...).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A vector length specification: a fixed size or a half-open range
+    /// of sizes (the subset of the real crate's `SizeRange` sources the
+    /// workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(pub(crate) core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy yielding `None` half the time and `Some(inner sample)`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// The conventional glob import: strategies, config, macros, and the
+/// `prop` path alias.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias so call sites can write `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __described = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), " = {:?}",)+),
+                    __case, $(&$arg,)+
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = __outcome {
+                    eprintln!("proptest case failed: {__described}");
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vecs() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5.0f64..5.0, n in 1u64..100) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..100).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in small_vecs()) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn tuples_and_options(t in (0u32..4, prop::option::of(0usize..=3))) {
+            prop_assert!(t.0 < 4);
+            if let Some(i) = t.1 {
+                prop_assert!(i <= 3);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 20);
+        }
+    }
+
+    #[test]
+    fn default_config_has_cases() {
+        assert!(ProptestConfig::default().cases > 0);
+    }
+}

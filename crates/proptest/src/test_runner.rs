@@ -1,0 +1,39 @@
+//! Deterministic case runner configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; tests in this workspace either
+        // set an explicit count or are cheap, so keep the same default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG for one `(property, case)` pair: seeded from a stable hash of
+/// the test name and the case index, so every case reproduces exactly
+/// across runs, machines, and test-filter subsets.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}

@@ -169,6 +169,7 @@ impl AreaModel {
             dram: crate::config::DramConfig::default_ddr3(),
             noc: crate::config::NocConfig::default_mesh(),
             max_cycles: 500_000_000,
+            fault: crate::fault::FaultPlan::default(),
         };
         config.validate()?;
         Ok(config)

@@ -153,6 +153,9 @@ struct Engine {
     outstanding: Vec<u32>,
     /// Requests currently resident at the L2 (queued or in lookup).
     l2_resident: u64,
+    /// Demand memory requests issued so far (1-based after increment),
+    /// keyed to the fault plan's `fail_at_request`.
+    demand_requests: u64,
     // Statistics
     l1_layer: LayerStats,
     l2_layer: LayerStats,
@@ -167,6 +170,8 @@ struct Engine {
 
 impl Engine {
     fn new(config: &ChipConfig, traces: &[Trace]) -> Self {
+        let mut dram = Dram::new(config.dram);
+        dram.set_spike(config.fault.dram_spike);
         Engine {
             cores: traces
                 .iter()
@@ -183,7 +188,7 @@ impl Engine {
             l2_mshr: MshrFile::new(config.l2.mshr_entries),
             l2_queue: Vec::new(),
             l2_bank_busy: vec![0; config.l2.banks],
-            dram: Dram::new(config.dram),
+            dram,
             requests: BTreeMap::new(),
             next_req: 0,
             next_wb: WB_BASE,
@@ -196,6 +201,7 @@ impl Engine {
             hits_in_flight: vec![0; config.cores],
             outstanding: vec![0; config.cores],
             l2_resident: 0,
+            demand_requests: 0,
             l1_layer: LayerStats::default(),
             l2_layer: LayerStats::default(),
             dram_layer: LayerStats::default(),
@@ -239,7 +245,7 @@ impl Engine {
             self.flush_writebacks(now);
 
             // 6. Cores retire and issue.
-            self.core_cycle(now);
+            self.core_cycle(now)?;
 
             // 7. Detector + layer activity observation.
             self.observe(now);
@@ -364,7 +370,7 @@ impl Engine {
 
     /// Wake L1-MSHR-blocked requests of `core` now that capacity freed.
     fn drain_l1_retries(&mut self, core: usize, now: u64) {
-        while !self.l1_mshrs[core].is_full() {
+        while !self.l1_mshr_blocked(core, now) {
             let Some(id) = self.retry_l1[core].pop_front() else {
                 break;
             };
@@ -403,7 +409,7 @@ impl Engine {
     fn maybe_prefetch(&mut self, core: usize, line: u64, now: u64) {
         use crate::cache::LookupResult;
         if self.l1_mshrs[core].contains(line)
-            || self.l1_mshrs[core].is_full()
+            || self.l1_mshr_blocked(core, now)
             || matches!(self.l1s[core].probe(line), LookupResult::Hit)
         {
             return;
@@ -449,7 +455,14 @@ impl Engine {
             let r = &self.requests[&id];
             (r.core, r.line, r.state)
         };
-        match self.l1_mshrs[core].register(line, id) {
+        // Starvation fault: a new line may not allocate while the file is
+        // non-empty, but merges into in-flight lines are still free.
+        let outcome = if self.l1_mshr_blocked(core, now) && !self.l1_mshrs[core].contains(line) {
+            MshrOutcome::Full
+        } else {
+            self.l1_mshrs[core].register(line, id)
+        };
+        match outcome {
             MshrOutcome::Allocated => {
                 let arrive = now + self.config.noc.l1_l2_latency as u64;
                 self.requests.get_mut(&id).unwrap().state = ReqState::ToL2 { arrive_at: arrive };
@@ -610,7 +623,22 @@ impl Engine {
         }
     }
 
-    fn core_cycle(&mut self, now: u64) {
+    /// Whether the private L1 MSHR file of `core` must be treated as
+    /// unavailable for new allocations: genuinely full, or starved down
+    /// to one effective entry by the fault plan. During starvation an
+    /// *empty* file still accepts one miss, so forward progress (and
+    /// hence termination) is preserved.
+    fn l1_mshr_blocked(&self, core: usize, now: u64) -> bool {
+        if self.l1_mshrs[core].is_full() {
+            return true;
+        }
+        match &self.config.fault.mshr_starvation {
+            Some(w) => w.contains(now) && self.l1_mshrs[core].occupancy() >= 1,
+            None => false,
+        }
+    }
+
+    fn core_cycle(&mut self, now: u64) -> Result<()> {
         for core_idx in 0..self.cores.len() {
             if self.cores[core_idx].finished() {
                 continue;
@@ -635,6 +663,13 @@ impl Engine {
                             break;
                         }
                         ports_used += 1;
+                        self.demand_requests += 1;
+                        if self.config.fault.fail_at_request == Some(self.demand_requests) {
+                            return Err(Error::InjectedFault {
+                                request: self.demand_requests,
+                                cycle: now,
+                            });
+                        }
                         let line = self.l1s[core_idx].line_of(access.addr);
                         let hit = matches!(
                             self.l1s[core_idx].access(line, access.kind.is_write()),
@@ -671,6 +706,7 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
     fn observe(&mut self, now: u64) {
@@ -1010,6 +1046,102 @@ mod tests {
         let trace = RandomGenerator::new(0, 1 << 20, 3000, 42).generate();
         let a = single(ChipConfig::default_single_core(), trace.clone());
         let b = single(ChipConfig::default_single_core(), trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_request_fault_terminates_with_its_index() {
+        use crate::fault::FaultPlan;
+        let trace = RandomGenerator::new(0, 1 << 20, 3000, 17).generate();
+        let mut cfg = ChipConfig::default_single_core();
+        cfg.fault = FaultPlan {
+            fail_at_request: Some(100),
+            ..FaultPlan::default()
+        };
+        let err = Simulator::new(cfg).run(&[trace]).unwrap_err();
+        match err {
+            Error::InjectedFault { request, .. } => assert_eq!(request, 100),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn request_fault_beyond_the_run_is_never_hit() {
+        use crate::fault::FaultPlan;
+        let trace = StridedGenerator::new(0, 64, 500).generate();
+        let mut cfg = ChipConfig::default_single_core();
+        cfg.fault = FaultPlan {
+            fail_at_request: Some(1_000_000),
+            ..FaultPlan::default()
+        };
+        assert!(Simulator::new(cfg).run(&[trace]).is_ok());
+    }
+
+    #[test]
+    fn dram_spike_slows_the_run_with_identical_work() {
+        use crate::fault::{CycleWindow, DramSpike, FaultPlan};
+        let trace = RandomGenerator::new(0, 16 << 20, 2000, 23)
+            .compute_per_access(1)
+            .generate();
+        let base = single(ChipConfig::default_single_core(), trace.clone());
+        let mut cfg = ChipConfig::default_single_core();
+        cfg.fault = FaultPlan {
+            dram_spike: Some(DramSpike {
+                window: CycleWindow::new(0, base.total_cycles),
+                extra: 500,
+            }),
+            ..FaultPlan::default()
+        };
+        let spiked = single(cfg, trace);
+        // Same retired work, correct accounting, strictly more cycles.
+        assert_eq!(spiked.total_instructions(), base.total_instructions());
+        assert_eq!(spiked.cores[0].accesses, base.cores[0].accesses);
+        assert!(
+            spiked.total_cycles > base.total_cycles,
+            "spiked {} !> base {}",
+            spiked.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+    fn mshr_starvation_window_slows_but_terminates() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let trace = RandomGenerator::new(0, 16 << 20, 2000, 29)
+            .compute_per_access(1)
+            .generate();
+        let base = single(ChipConfig::default_single_core(), trace.clone());
+        let mut cfg = ChipConfig::default_single_core();
+        cfg.fault = FaultPlan {
+            mshr_starvation: Some(CycleWindow::new(0, base.total_cycles * 2)),
+            ..FaultPlan::default()
+        };
+        let starved = single(cfg, trace);
+        assert_eq!(starved.total_instructions(), base.total_instructions());
+        // One effective MSHR entry serializes misses: strictly slower.
+        assert!(
+            starved.total_cycles > base.total_cycles,
+            "starved {} !> base {}",
+            starved.total_cycles,
+            base.total_cycles
+        );
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        use crate::fault::{CycleWindow, DramSpike, FaultPlan};
+        let trace = RandomGenerator::new(0, 1 << 20, 2000, 31).generate();
+        let mut cfg = ChipConfig::default_single_core();
+        cfg.fault = FaultPlan {
+            dram_spike: Some(DramSpike {
+                window: CycleWindow::new(100, 5_000),
+                extra: 77,
+            }),
+            mshr_starvation: Some(CycleWindow::new(2_000, 4_000)),
+            ..FaultPlan::default()
+        };
+        let a = single(cfg.clone(), trace.clone());
+        let b = single(cfg, trace);
         assert_eq!(a, b);
     }
 }

@@ -71,7 +71,7 @@ impl CacheConfig {
         if self.associativity == 0 {
             return Err(Error::InvalidConfig("associativity must be positive"));
         }
-        if (self.size_bytes / self.line_size) as usize % self.associativity != 0 {
+        if !((self.size_bytes / self.line_size) as usize).is_multiple_of(self.associativity) {
             return Err(Error::InvalidConfig(
                 "lines must divide evenly into sets of `associativity` ways",
             ));
@@ -229,6 +229,8 @@ pub struct ChipConfig {
     pub noc: NocConfig,
     /// Safety budget: abort if the simulation exceeds this many cycles.
     pub max_cycles: u64,
+    /// Deterministic fault-injection plan (inert by default).
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl ChipConfig {
@@ -242,6 +244,7 @@ impl ChipConfig {
             dram: DramConfig::default_ddr3(),
             noc: NocConfig::default_mesh(),
             max_cycles: 500_000_000,
+            fault: crate::fault::FaultPlan::default(),
         }
     }
 
@@ -268,6 +271,7 @@ impl ChipConfig {
         if self.max_cycles == 0 {
             return Err(Error::InvalidConfig("max_cycles must be positive"));
         }
+        self.fault.validate()?;
         Ok(())
     }
 }

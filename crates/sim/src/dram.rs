@@ -9,6 +9,7 @@
 //! Fig 13 APC gap depends on.
 
 use crate::config::DramConfig;
+use crate::fault::DramSpike;
 
 /// A request queued at the DRAM controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,10 @@ pub struct Dram {
     banks: Vec<Bank>,
     queue: Vec<DramRequest>,
     bus_free_at: u64,
+    /// Injected latency spike (fault-injection hook; `None` normally).
+    spike: Option<DramSpike>,
+    /// Accesses delayed by the spike (accounting for tests/diagnosis).
+    spiked_accesses: u64,
     /// Completions ready to be collected: (cycle_done, request id).
     completed: Vec<(u64, u64)>,
     // Statistics
@@ -50,6 +55,8 @@ impl Dram {
             banks: vec![Bank::default(); config.banks],
             queue: Vec::with_capacity(config.queue_depth),
             bus_free_at: 0,
+            spike: None,
+            spiked_accesses: 0,
             completed: Vec::new(),
             reads: 0,
             writes: 0,
@@ -59,6 +66,17 @@ impl Dram {
             busy_cycles_hint: 0,
             config,
         }
+    }
+
+    /// Arm (or clear) an injected latency spike. Accesses dispatched
+    /// while the spike window is active complete `extra` cycles late.
+    pub fn set_spike(&mut self, spike: Option<DramSpike>) {
+        self.spike = spike;
+    }
+
+    /// Accesses whose completion was delayed by the injected spike.
+    pub fn spiked_accesses(&self) -> u64 {
+        self.spiked_accesses
     }
 
     /// Whether the controller queue can accept another request.
@@ -126,13 +144,22 @@ impl Dram {
                 }
             } as u64;
             bank.open_row = Some(row);
-            let column_done = now + access_latency;
+            // Injected latency spike: accesses dispatched inside the
+            // window see a slower device across the board.
+            let spike_extra = match &self.spike {
+                Some(s) if s.window.contains(now) => {
+                    self.spiked_accesses += 1;
+                    s.extra
+                }
+                _ => 0,
+            };
+            let column_done = now + access_latency + spike_extra;
             // The data transfer serializes on the shared bus.
             let bus_start = self.bus_free_at.max(column_done);
             let done = bus_start + self.config.t_bus as u64;
             self.bus_free_at = done;
             bank.busy_until = column_done;
-            self.busy_cycles_hint += access_latency + self.config.t_bus as u64;
+            self.busy_cycles_hint += access_latency + spike_extra + self.config.t_bus as u64;
             if r.is_write {
                 self.writes += 1;
                 // Writes complete at the controller; no reply needed, but
@@ -322,6 +349,33 @@ mod tests {
         assert_eq!(out, vec![1]);
         assert_eq!(d.writes(), 1);
         assert_eq!(d.reads(), 0);
+    }
+
+    #[test]
+    fn injected_spike_delays_completions_inside_its_window() {
+        use crate::fault::{CycleWindow, DramSpike};
+        let mut d = Dram::new(cfg());
+        d.set_spike(Some(DramSpike {
+            window: CycleWindow::new(0, 50),
+            extra: 100,
+        }));
+        d.enqueue(1, 0, false, 0);
+        d.tick(0);
+        let mut out = Vec::new();
+        // Normally done at 24 (tRCD + tCAS + tBUS); the spike adds 100.
+        d.drain_completed(123, &mut out);
+        assert!(out.is_empty());
+        d.drain_completed(124, &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(d.spiked_accesses(), 1);
+
+        // Outside the window the device is back to nominal speed.
+        d.enqueue(2, 1, false, 1000);
+        d.tick(1000);
+        out.clear();
+        d.drain_completed(1014, &mut out); // row hit: tCAS + tBUS
+        assert_eq!(out, vec![2]);
+        assert_eq!(d.spiked_accesses(), 1);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] rides inside [`crate::ChipConfig`] and describes,
+//! *ahead of time*, exactly which faults the engine will experience:
+//! the k-th memory request can be declared fatal, DRAM can suffer a
+//! latency spike over a cycle window, the private L1 MSHR files can be
+//! starved to a single entry over a window, and DSE-level drivers can
+//! fail every n-th oracle call. Everything is keyed to deterministic
+//! quantities (request issue order, simulation cycles, call indices),
+//! so two runs of the same plan produce byte-identical outcomes — the
+//! property the robustness tests in `tests/failure_injection.rs` rely
+//! on to exercise the recovery paths of the solve-and-refine pipeline.
+//!
+//! The default plan injects nothing and costs nothing: every hook
+//! checks an `Option` that is `None` in normal operation.
+
+use crate::{Error, Result};
+
+/// A half-open window `[start, end)` of simulation cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleWindow {
+    /// First cycle inside the window.
+    pub start: u64,
+    /// First cycle after the window.
+    pub end: u64,
+}
+
+impl CycleWindow {
+    /// Build a window covering `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        CycleWindow { start, end }
+    }
+
+    /// Whether `cycle` falls inside the window.
+    pub fn contains(&self, cycle: u64) -> bool {
+        cycle >= self.start && cycle < self.end
+    }
+}
+
+/// A DRAM latency spike: every access *dispatched* during the window
+/// completes `extra` cycles late (models a refresh storm or a
+/// thermally-throttled device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramSpike {
+    /// Cycles during which the spike is active.
+    pub window: CycleWindow,
+    /// Additional completion latency per affected access.
+    pub extra: u64,
+}
+
+/// A deterministic fault-injection plan. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Declare the k-th demand memory request (1-based, in chip-wide
+    /// issue order) fatal: the simulation terminates with
+    /// [`Error::InjectedFault`] the cycle it is issued.
+    pub fail_at_request: Option<u64>,
+    /// DRAM latency spike window.
+    pub dram_spike: Option<DramSpike>,
+    /// Starve every private L1 MSHR file to one effective entry during
+    /// this window (models transient resource loss; merged and retried
+    /// requests drain one at a time, so forward progress is preserved).
+    pub mshr_starvation: Option<CycleWindow>,
+    /// For DSE-level drivers: every n-th oracle call (1-based) should
+    /// fail. The cycle engine ignores this field; refinement loops
+    /// honor it through [`FaultPlan::oracle_call_fails`].
+    pub oracle_failure_period: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan (same as `Default`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects any fault at all.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Validate the plan's parameters.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(k) = self.fail_at_request {
+            if k == 0 {
+                return Err(Error::InvalidConfig(
+                    "fail_at_request is 1-based and must be positive",
+                ));
+            }
+        }
+        if let Some(spike) = &self.dram_spike {
+            if spike.window.start >= spike.window.end {
+                return Err(Error::InvalidConfig("dram_spike window is empty"));
+            }
+            if spike.extra == 0 {
+                return Err(Error::InvalidConfig("dram_spike extra latency is zero"));
+            }
+        }
+        if let Some(w) = &self.mshr_starvation {
+            if w.start >= w.end {
+                return Err(Error::InvalidConfig("mshr_starvation window is empty"));
+            }
+        }
+        if let Some(n) = self.oracle_failure_period {
+            if n == 0 {
+                return Err(Error::InvalidConfig(
+                    "oracle_failure_period must be positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the `call`-th oracle invocation (1-based) should fail
+    /// under this plan.
+    pub fn oracle_call_fails(&self, call: u64) -> bool {
+        match self.oracle_failure_period {
+            Some(n) => call > 0 && call.is_multiple_of(n),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(p.is_none());
+        assert!(p.validate().is_ok());
+        assert!(!p.oracle_call_fails(1));
+        assert!(!p.oracle_call_fails(100));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = CycleWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    fn oracle_failure_period_hits_every_nth_call() {
+        let p = FaultPlan {
+            oracle_failure_period: Some(3),
+            ..FaultPlan::default()
+        };
+        let failures: Vec<u64> = (1..=9).filter(|&c| p.oracle_call_fails(c)).collect();
+        assert_eq!(failures, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let p = FaultPlan {
+            fail_at_request: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            dram_spike: Some(DramSpike {
+                window: CycleWindow::new(5, 5),
+                extra: 10,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            dram_spike: Some(DramSpike {
+                window: CycleWindow::new(0, 10),
+                extra: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            mshr_starvation: Some(CycleWindow::new(7, 7)),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            oracle_failure_period: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

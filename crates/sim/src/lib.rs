@@ -43,6 +43,7 @@ pub mod chip;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod fault;
 pub mod metrics;
 pub mod mshr;
 pub mod request;
@@ -52,6 +53,7 @@ pub use cache::CacheArray;
 pub use chip::{SimResult, Simulator};
 pub use config::{CacheConfig, ChipConfig, CoreConfig, DramConfig, NocConfig};
 pub use dram::Dram;
+pub use fault::{CycleWindow, DramSpike, FaultPlan};
 pub use metrics::{LayerStats, PerCoreStats};
 pub use mshr::MshrFile;
 
@@ -72,6 +74,14 @@ pub enum Error {
         /// Budget that was exceeded.
         budget: u64,
     },
+    /// A fault injected by the configured [`fault::FaultPlan`] was
+    /// declared fatal and terminated the simulation.
+    InjectedFault {
+        /// 1-based issue-order index of the request that tripped it.
+        request: u64,
+        /// Cycle at which the fault fired.
+        cycle: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -83,6 +93,9 @@ impl std::fmt::Display for Error {
             }
             Error::CycleBudgetExceeded { budget } => {
                 write!(f, "simulation exceeded {budget} cycles")
+            }
+            Error::InjectedFault { request, cycle } => {
+                write!(f, "injected fault on request {request} at cycle {cycle}")
             }
         }
     }

@@ -13,12 +13,16 @@
 //! Newton solver.
 
 use crate::newton::{newton_system, NewtonOptions, NewtonSolution};
+use crate::robust::{solve_robust, RobustOptions, SolveReport};
 use crate::{Error, Result};
+
+/// A boxed scalar function of a design vector.
+type ScalarFn<'a> = Box<dyn Fn(&[f64]) -> f64 + 'a>;
 
 /// An equality-constrained minimization problem.
 pub struct EqualityConstrained<'a> {
-    objective: Box<dyn Fn(&[f64]) -> f64 + 'a>,
-    constraints: Vec<Box<dyn Fn(&[f64]) -> f64 + 'a>>,
+    objective: ScalarFn<'a>,
+    constraints: Vec<ScalarFn<'a>>,
     fd_step: f64,
 }
 
@@ -76,40 +80,37 @@ impl<'a> EqualityConstrained<'a> {
         }
     }
 
-    /// Solve the KKT system from starting point `x0` (primal) and zero
-    /// multipliers. Returns the primal solution, the multipliers, and the
-    /// Newton diagnostics.
-    pub fn solve(&self, x0: &[f64], opts: &NewtonOptions) -> Result<KktSolution> {
-        let n = x0.len();
-        let m = self.constraints.len();
-        if n == 0 {
-            return Err(Error::InvalidParameter("empty primal space"));
+    /// Evaluate the KKT residual `[∇f + Σ λ_i ∇g_i ; g]` at the stacked
+    /// point `z = [x ; λ]` (`n` primal components).
+    fn kkt_residual(&self, n: usize, z: &[f64], out: &mut [f64]) {
+        let (x, lambda) = z.split_at(n);
+        // ∇f
+        let mut grad_f = vec![0.0; n];
+        self.grad(self.objective.as_ref(), x, &mut grad_f);
+        // + Σ λ_i ∇g_i
+        let mut grad_g = vec![0.0; n];
+        for (i, g) in self.constraints.iter().enumerate() {
+            self.grad(g.as_ref(), x, &mut grad_g);
+            for (gf, gg) in grad_f.iter_mut().zip(&grad_g) {
+                *gf += lambda[i] * gg;
+            }
         }
-        let residual = |z: &[f64], out: &mut [f64]| {
-            let (x, lambda) = z.split_at(n);
-            // ∇f
-            let mut grad_f = vec![0.0; n];
-            self.grad(self.objective.as_ref(), x, &mut grad_f);
-            // + Σ λ_i ∇g_i
-            let mut grad_g = vec![0.0; n];
-            for (i, g) in self.constraints.iter().enumerate() {
-                self.grad(g.as_ref(), x, &mut grad_g);
-                for (gf, gg) in grad_f.iter_mut().zip(&grad_g) {
-                    *gf += lambda[i] * gg;
-                }
-            }
-            out[..n].copy_from_slice(&grad_f);
-            for (i, g) in self.constraints.iter().enumerate() {
-                out[n + i] = g(x);
-            }
-        };
-        // Seed each multiplier with its least-squares estimate
-        // λ_i ≈ −(∇f·∇g_i)/(∇g_i·∇g_i) at x0. Zero multipliers make the
-        // KKT Jacobian's primal block vanish for objectives whose Hessian
-        // is zero along the constraint normal (singular first step).
+        out[..n].copy_from_slice(&grad_f);
+        for (i, g) in self.constraints.iter().enumerate() {
+            out[n + i] = g(x);
+        }
+    }
+
+    /// Build the stacked starting point `[x0 ; λ0]`. Each multiplier is
+    /// seeded with its least-squares estimate
+    /// λ_i ≈ −(∇f·∇g_i)/(∇g_i·∇g_i) at x0: zero multipliers make the
+    /// KKT Jacobian's primal block vanish for objectives whose Hessian
+    /// is zero along the constraint normal (singular first step).
+    fn initial_kkt_point(&self, x0: &[f64]) -> Vec<f64> {
+        let n = x0.len();
         let mut grad_f0 = vec![0.0; n];
         self.grad(self.objective.as_ref(), x0, &mut grad_f0);
-        let mut lambda0 = Vec::with_capacity(m);
+        let mut lambda0 = Vec::with_capacity(self.constraints.len());
         let mut grad_g0 = vec![0.0; n];
         for g in &self.constraints {
             self.grad(g.as_ref(), x0, &mut grad_g0);
@@ -119,19 +120,60 @@ impl<'a> EqualityConstrained<'a> {
         }
         let mut z0 = x0.to_vec();
         z0.extend(lambda0);
-        let sol = newton_system(residual, &z0, opts)?;
+        z0
+    }
+
+    fn unpack(&self, n: usize, sol: &NewtonSolution) -> KktSolution {
         let (x, lambda) = sol.x.split_at(n);
-        Ok(KktSolution {
+        KktSolution {
             x: x.to_vec(),
             multipliers: lambda.to_vec(),
             objective: (self.objective)(x),
-            newton: NewtonSolution {
-                x: sol.x.clone(),
-                residual: sol.residual,
-                iterations: sol.iterations,
-            },
+            newton: sol.clone(),
+        }
+    }
+
+    /// Solve the KKT system from starting point `x0` (primal) and zero
+    /// multipliers. Returns the primal solution, the multipliers, and the
+    /// Newton diagnostics.
+    pub fn solve(&self, x0: &[f64], opts: &NewtonOptions) -> Result<KktSolution> {
+        let n = x0.len();
+        if n == 0 {
+            return Err(Error::InvalidParameter("empty primal space"));
+        }
+        let z0 = self.initial_kkt_point(x0);
+        let sol = newton_system(|z, out| self.kkt_residual(n, z, out), &z0, opts)?;
+        Ok(self.unpack(n, &sol))
+    }
+
+    /// Like [`EqualityConstrained::solve`], but routed through the
+    /// [`solve_robust`] fallback cascade: a singular or divergent KKT
+    /// system is retried from perturbed starts and, failing that, handed
+    /// to the derivative-free stage. The returned [`SolveReport`] names
+    /// the winning strategy and whether the solve was degraded.
+    pub fn solve_cascade(&self, x0: &[f64], opts: &RobustOptions) -> Result<RobustKktSolution> {
+        let n = x0.len();
+        if n == 0 {
+            return Err(Error::InvalidParameter("empty primal space"));
+        }
+        let z0 = self.initial_kkt_point(x0);
+        let report = solve_robust(|z, out| self.kkt_residual(n, z, out), &z0, opts)?;
+        Ok(RobustKktSolution {
+            kkt: self.unpack(n, &report.solution),
+            report,
         })
     }
+}
+
+/// Solution of a KKT system obtained through the fallback cascade:
+/// the solution itself plus the [`SolveReport`] telling the caller how
+/// it was obtained (and how much to trust it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustKktSolution {
+    /// The KKT solution (primal point, multipliers, objective).
+    pub kkt: KktSolution,
+    /// Cascade diagnostics: winning strategy, retries, quality.
+    pub report: SolveReport,
 }
 
 /// Solution of a KKT system.
@@ -219,5 +261,38 @@ mod tests {
     fn empty_primal_is_error() {
         let p = EqualityConstrained::new(|_: &[f64]| 0.0);
         assert!(p.solve(&[], &NewtonOptions::default()).is_err());
+        assert!(p.solve_cascade(&[], &RobustOptions::default()).is_err());
+    }
+
+    #[test]
+    fn cascade_matches_plain_solve_on_well_posed_problem() {
+        let p = EqualityConstrained::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1])
+            .constraint(|x: &[f64]| x[0] + x[1] - 2.0);
+        let plain = p.solve(&[0.5, 0.3], &NewtonOptions::default()).unwrap();
+        let robust = p
+            .solve_cascade(&[0.5, 0.3], &RobustOptions::default())
+            .unwrap();
+        assert_eq!(
+            robust.report.strategy,
+            crate::robust::SolveStrategy::NominalNewton
+        );
+        assert!(robust.report.is_clean());
+        for (a, b) in plain.x.iter().zip(&robust.kkt.x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cascade_recovers_from_pathological_start() {
+        // min x^4 s.t. x + y = 2: at x0 = (0, 2) the objective's
+        // curvature vanishes and the plain KKT Newton stalls far from
+        // tolerance; the cascade still lands on the constrained optimum.
+        let p = EqualityConstrained::new(|x: &[f64]| x[0] * x[0] * x[0] * x[0])
+            .constraint(|x: &[f64]| x[0] + x[1] - 2.0);
+        let r = p
+            .solve_cascade(&[0.0, 2.0], &RobustOptions::default())
+            .unwrap();
+        assert!((r.kkt.x[0] + r.kkt.x[1] - 2.0).abs() < 1e-5, "{:?}", r.kkt.x);
+        assert!(r.kkt.x[0].abs() < 0.1, "{:?}", r.kkt.x);
     }
 }

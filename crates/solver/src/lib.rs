@@ -14,7 +14,10 @@
 //! * [`grid`] — coarse grid search used to seed Newton;
 //! * [`nelder`] — Nelder–Mead simplex fallback for non-smooth objectives;
 //! * [`lagrange`] — KKT-system assembly for equality-constrained
-//!   minimization, dispatched to [`newton`].
+//!   minimization, dispatched to [`newton`];
+//! * [`robust`] — resilient fallback cascade (nominal Newton →
+//!   perturbed restarts → derivative-free) with a structured
+//!   [`SolveReport`] distinguishing clean from degraded solves.
 //!
 //! ```
 //! use c2_solver::newton::{newton_system, NewtonOptions};
@@ -37,14 +40,16 @@ pub mod lagrange;
 pub mod linalg;
 pub mod nelder;
 pub mod newton;
+pub mod robust;
 pub mod roots;
 
 pub use golden::golden_section;
 pub use grid::{grid_minimize, GridSpec};
-pub use lagrange::EqualityConstrained;
+pub use lagrange::{EqualityConstrained, KktSolution, RobustKktSolution};
 pub use linalg::Matrix;
 pub use nelder::{nelder_mead, NelderMeadOptions};
 pub use newton::{newton_system, NewtonOptions, NewtonSolution};
+pub use robust::{solve_robust, RobustOptions, SolveQuality, SolveReport, SolveStrategy};
 pub use roots::{bisect, newton_scalar};
 
 /// Errors from the numerical routines.

@@ -76,9 +76,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }

@@ -68,7 +68,10 @@ where
     for it in 0..opts.max_iters {
         // Order simplex by value.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        // `total_cmp` gives a total order even for NaN, so the sort can
+        // never panic; `values` is kept finite by the acceptance checks
+        // below regardless.
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -146,8 +149,10 @@ where
     let (best_idx, &best_val) = values
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        // Unreachable: the simplex always has n + 1 >= 2 vertices
+        // (n == 0 is rejected at entry).
+        .expect("simplex is non-empty");
     let spread = values
         .iter()
         .fold(f64::NEG_INFINITY, |m, &v| m.max(v))

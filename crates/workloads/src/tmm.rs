@@ -166,7 +166,7 @@ mod tests {
         let (trace, _) = w.run();
         // Parallel segment: 3 loads + 1 store per inner iteration, plus
         // one A load per (i,k): n^3 iterations.
-        let inner = (n * n * n) as usize;
+        let inner = n * n * n;
         let per_iter_accesses = trace.parallel.len();
         assert!(per_iter_accesses >= 3 * inner, "{per_iter_accesses}");
         assert!(per_iter_accesses <= 4 * inner, "{per_iter_accesses}");

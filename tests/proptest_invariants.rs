@@ -213,6 +213,72 @@ proptest! {
         prop_assert!(build(pmr1, pmr2 * shrink).camat() <= base + 1e-12);
     }
 
+    /// The robust solver cascade never returns a non-finite solution,
+    /// whatever the (possibly ill-conditioned) polynomial system or
+    /// start point.
+    #[test]
+    fn solve_robust_solutions_are_finite(
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        c in -2.0f64..2.0,
+        x0 in -4.0f64..4.0,
+        y0 in -4.0f64..4.0,
+    ) {
+        use c2bound::solver::{solve_robust, RobustOptions};
+        let f = |x: &[f64], out: &mut [f64]| {
+            out[0] = x[0] * x[0] + a * x[1] - b;
+            out[1] = c * x[1] * x[1] * x[1] + x[0] - a;
+        };
+        if let Ok(report) = solve_robust(f, &[x0, y0], &RobustOptions::default()) {
+            prop_assert!(report.solution.x.iter().all(|v| v.is_finite()),
+                "non-finite solution: {:?}", report.solution.x);
+            prop_assert!(report.solution.residual.is_finite());
+            prop_assert!(report.retries <= RobustOptions::default().max_restarts + 1);
+        }
+    }
+
+    /// APS with an arbitrarily flaky oracle: as long as at least one
+    /// refinement point succeeds, the run returns an outcome whose log
+    /// accounts for every point; when every point fails, it errors.
+    #[test]
+    fn aps_survives_any_flaky_oracle_with_one_live_point(
+        fail in prop::collection::vec(0u8..2, 9),
+    ) {
+        use c2bound::model::dse::DesignSpace;
+        use c2bound::model::{Aps, C2BoundModel, ResiliencePolicy};
+        let space = DesignSpace::tiny(); // 3 issue x 3 rob = 9 sweep points
+        let aps = Aps::new(C2BoundModel::example_big_data(), space);
+        let policy = ResiliencePolicy {
+            max_attempts: 1,
+            analytic_fallback: true,
+        };
+        let mut calls = 0usize;
+        let outcome = aps.run_with_policy(
+            |p| {
+                let i = calls;
+                calls += 1;
+                if fail[i] == 1 {
+                    Err(c2bound::model::Error::Simulation("flaky".into()))
+                } else {
+                    Ok(1e6 / (p.issue_width as f64 * p.rob_size as f64).sqrt())
+                }
+            },
+            &policy,
+        );
+        let failures = fail.iter().filter(|&&f| f == 1).count();
+        if failures == 9 {
+            prop_assert!(outcome.is_err(), "all-failing oracle must error");
+        } else {
+            let o = outcome.unwrap();
+            let log = &o.refinement;
+            prop_assert_eq!(log.attempted, 9);
+            prop_assert_eq!(log.skipped.len(), failures);
+            prop_assert_eq!(log.attempted, log.succeeded + log.skipped.len());
+            prop_assert_eq!(log.is_complete(), failures == 0);
+            prop_assert!(o.best_time.is_finite() && o.best_time > 0.0);
+        }
+    }
+
     /// Trace serialization round-trips arbitrary valid traces.
     #[test]
     fn trace_io_roundtrip(
