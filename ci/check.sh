@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Workspace gate: lint-clean (clippy, warnings denied) and all tests
-# green. Run from the repository root.
+# Workspace gate: formatted, lint-clean (clippy, warnings denied) and
+# all tests green. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== rustfmt (check) =="
+cargo fmt --check
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tests =="
 cargo test --workspace -q
+
+echo "== runner engine integration tests =="
+cargo test -q -p c2-runner --test engine_resume
+cargo test -q -p c2-runner --test proptest_runner
 
 echo "OK"

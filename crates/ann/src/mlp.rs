@@ -292,7 +292,10 @@ mod tests {
                 vec![t, 1.0 - t]
             })
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|p| (3.0 * p[0]).sin() + p[1] * p[1]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|p| (3.0 * p[0]).sin() + p[1] * p[1])
+            .collect();
         let mut net = Mlp::new(&[2, 16, 16, 1], 7);
         net.train(
             &xs,

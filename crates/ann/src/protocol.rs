@@ -69,7 +69,12 @@ impl SampleProtocol {
     /// * `eval_truth` — ground-truth labels for the whole space, used
     ///   only to *measure* the error (the paper obtained these from its
     ///   exhaustive 10⁶-point sweep).
-    pub fn run<F>(&self, space: &[Vec<f64>], mut oracle: F, eval_truth: &[f64]) -> Result<SampleReport>
+    pub fn run<F>(
+        &self,
+        space: &[Vec<f64>],
+        mut oracle: F,
+        eval_truth: &[f64],
+    ) -> Result<SampleReport>
     where
         F: FnMut(&[f64]) -> f64,
     {
@@ -79,7 +84,9 @@ impl SampleProtocol {
             ));
         }
         if self.initial_samples == 0 || self.step == 0 {
-            return Err(Error::InvalidParameter("initial_samples and step must be positive"));
+            return Err(Error::InvalidParameter(
+                "initial_samples and step must be positive",
+            ));
         }
         if !(self.error_target > 0.0) {
             return Err(Error::InvalidParameter("error_target must be positive"));
@@ -182,7 +189,11 @@ mod tests {
         assert_eq!(report.simulations, calls);
         assert!(report.final_error <= 0.05);
         // It should need far fewer samples than the whole space.
-        assert!(report.simulations < space.len() / 2, "{}", report.simulations);
+        assert!(
+            report.simulations < space.len() / 2,
+            "{}",
+            report.simulations
+        );
         assert_eq!(report.error_history.len(), report.rounds);
     }
 

@@ -52,9 +52,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("tmm_32_traced", |b| {
         b.iter(|| TiledMatMul::new(32, 8, 1).run())
     });
-    group.bench_function("fft_1024_traced", |b| {
-        b.iter(|| Fft::new(1024, 1).run())
-    });
+    group.bench_function("fft_1024_traced", |b| b.iter(|| Fft::new(1024, 1).run()));
     group.bench_function("stencil_64x64x2_traced", |b| {
         b.iter(|| Stencil2D::new(64, 64, 2, 1).run())
     });
@@ -72,5 +70,10 @@ fn bench_characterization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_kernels, bench_characterization);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_kernels,
+    bench_characterization
+);
 criterion_main!(benches);

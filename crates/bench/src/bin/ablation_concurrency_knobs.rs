@@ -13,20 +13,22 @@ use c2_sim::{ChipConfig, Simulator};
 use c2_trace::synthetic::{RandomGenerator, TraceGenerator};
 use c2_trace::Trace;
 
-fn run(config: ChipConfig, trace: &Trace) -> (f64, f64, f64, f64) {
-    let r = Simulator::new(config)
-        .run(std::slice::from_ref(trace))
-        .expect("simulation");
+fn measure(config: ChipConfig, trace: &Trace) -> c2_bench::BenchResult<(f64, f64, f64, f64)> {
+    let r = Simulator::new(config).run(std::slice::from_ref(trace))?;
     let m = &r.cores[0].camat;
-    (
+    Ok((
         m.hit_concurrency,
         m.pure_miss_concurrency,
         m.concurrency(),
         r.ipc(),
-    )
+    ))
 }
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Ablation: hardware knobs -> measured memory concurrency",
         "MSHRs, ROB, issue width and ports all raise C_H/C_M (paper SS II.A)",
@@ -76,12 +78,18 @@ fn main() {
     let mut last_c = 0.0;
     let mut first_c = f64::NAN;
     for (name, cfg) in variants {
-        let (ch, cm, c, ipc) = run(cfg, &trace);
+        let (ch, cm, c, ipc) = measure(cfg, &trace)?;
         if first_c.is_nan() {
             first_c = c;
         }
         last_c = c;
-        t.row(vec![name, fmt_num(ch), fmt_num(cm), fmt_num(c), fmt_num(ipc)]);
+        t.row(vec![
+            name,
+            fmt_num(ch),
+            fmt_num(cm),
+            fmt_num(c),
+            fmt_num(ipc),
+        ]);
     }
     println!("{}", t.render());
     println!(
@@ -92,4 +100,5 @@ fn main() {
     );
     println!("the knobs the paper lists each move the measured C_H/C_M upward;");
     println!("the C2-Bound model consumes exactly these measured values.");
+    Ok(())
 }

@@ -14,32 +14,33 @@ use c2_solver::nelder::{nelder_mead, NelderMeadOptions};
 use c2_speedup::scale::ScaleFunction;
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Ablations: model-term and solver-choice sensitivity",
         "ignoring concurrency or capacity-bounded sizes misleads the DSE (paper SS I, SS VI)",
     );
 
-    ablation_camat_vs_amat();
-    ablation_g_family();
-    ablation_solver_choice();
+    ablation_camat_vs_amat()?;
+    ablation_g_family()?;
+    ablation_solver_choice()
 }
 
-fn ablation_camat_vs_amat() {
+fn ablation_camat_vs_amat() -> c2_bench::BenchResult<()> {
     println!("--- 1. C-AMAT (concurrency-aware) vs AMAT (sequential) objective");
     // Use the memory-dominant big-data model of the scaling figures,
     // with a sublinear g so the optimizer has a finite optimum to move.
-    let mut concurrent = c2_bench::paper_scaling_study(0.9).model;
+    let mut concurrent = c2_bench::paper_scaling_study(0.9)?.model;
     concurrent.program.g = ScaleFunction::Power(0.5);
     concurrent.program.f_seq = 0.2;
-    concurrent.memory = concurrent
-        .memory
-        .with_concurrency(4.0)
-        .expect("valid concurrency");
+    concurrent.memory = concurrent.memory.with_concurrency(4.0)?;
     let mut sequential = concurrent.clone();
     sequential.memory = concurrent.memory.sequential();
 
-    let d_con = optimize(&concurrent).expect("optimize");
-    let d_seq = optimize(&sequential).expect("optimize");
+    let d_con = optimize(&concurrent)?;
+    let d_seq = optimize(&sequential)?;
 
     let mut t = Table::new(vec!["objective", "N*", "A0", "A1", "A2", "cache frac"]);
     for (name, d) in [("C-AMAT", &d_con), ("AMAT (C=1)", &d_seq)] {
@@ -68,9 +69,10 @@ fn ablation_camat_vs_amat() {
         "running the AMAT-optimal design on the concurrent machine costs {}% extra time\n",
         fmt_num(100.0 * (t_cross - t_opt) / t_opt)
     );
+    Ok(())
 }
 
-fn ablation_g_family() {
+fn ablation_g_family() -> c2_bench::BenchResult<()> {
     println!("--- 2. g(N) family sweep (case split at g ~ O(N))");
     let mut t = Table::new(vec!["g(N)", "case", "N*", "per-core area"]);
     for g in [
@@ -84,7 +86,7 @@ fn ablation_g_family() {
         let mut m = c2_bench::paper_model();
         m.program.g = g;
         m.program.f_seq = 0.1;
-        let d = optimize(&m).expect("optimize");
+        let d = optimize(&m)?;
         t.row(vec![
             g.label(),
             format!("{:?}", d.case),
@@ -94,9 +96,10 @@ fn ablation_g_family() {
     }
     println!("{}", t.render());
     println!("g(N) < O(N): few cores / large caches; g(N) >= O(N): many cores (paper abstract)\n");
+    Ok(())
 }
 
-fn ablation_solver_choice() {
+fn ablation_solver_choice() -> c2_bench::BenchResult<()> {
     println!("--- 3. Inner-split solver comparison at N = 64");
     let m = c2_bench::paper_model();
     let n = 64.0;
@@ -115,7 +118,7 @@ fn ablation_solver_choice() {
     };
 
     let t0 = std::time::Instant::now();
-    let (lagrange, newton_ok) = optimize_split(&m, n).expect("split");
+    let (lagrange, newton_ok) = optimize_split(&m, n)?;
     let lagrange_val = m.cycles_per_instruction(&lagrange);
     let t_lagrange = t0.elapsed();
 
@@ -124,7 +127,7 @@ fn ablation_solver_choice() {
         GridSpec::linear(0.05 * per_core, 0.9 * per_core, 60),
         GridSpec::linear(0.05 * per_core, 0.9 * per_core, 60),
     ];
-    let (_, grid_val) = grid_minimize(&axes, |p| eval(p[0], p[1])).expect("grid");
+    let (_, grid_val) = grid_minimize(&axes, |p| eval(p[0], p[1]))?;
     let t_grid = t0.elapsed();
 
     let t0 = std::time::Instant::now();
@@ -132,8 +135,7 @@ fn ablation_solver_choice() {
         |p: &[f64]| eval(p[0].abs(), p[1].abs()),
         &[per_core * 0.3, per_core * 0.3],
         &NelderMeadOptions::default(),
-    )
-    .expect("nelder-mead");
+    )?;
     let t_nm = t0.elapsed();
 
     let mut t = Table::new(vec!["solver", "objective (CPI)", "time"]);
@@ -155,9 +157,7 @@ fn ablation_solver_choice() {
     println!("{}", t.render());
     println!(
         "all three agree to {}% — the Lagrange path is the one the paper describes",
-        fmt_num(
-            100.0 * ((lagrange_val - grid_val.min(nm_val)).abs()
-                / grid_val.min(nm_val))
-        )
+        fmt_num(100.0 * ((lagrange_val - grid_val.min(nm_val)).abs() / grid_val.min(nm_val)))
     );
+    Ok(())
 }

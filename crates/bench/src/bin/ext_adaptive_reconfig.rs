@@ -15,6 +15,10 @@ use c2_trace::synthetic::{
 use c2_trace::PhaseConfig;
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Extension (SS V): phase-adaptive reconfiguration",
         "no fixed configuration is best for all phases; re-optimizing per phase recovers cycles",
@@ -32,8 +36,7 @@ fn main() {
     .generate();
 
     let mut template = C2BoundModel::example_big_data();
-    template.program =
-        ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
+    template.program = ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5))?;
     let mut dse = AdaptiveDse::new(template);
     dse.phase_config = PhaseConfig {
         interval_len: 4000,
@@ -41,7 +44,7 @@ fn main() {
         ..PhaseConfig::default()
     };
 
-    let plan = dse.plan(&trace).expect("adaptive plan");
+    let plan = dse.plan(&trace)?;
     let mut t = Table::new(vec![
         "phase",
         "weight",
@@ -80,4 +83,5 @@ fn main() {
         "reconfiguration gain: {}% fewer cycles per instruction",
         fmt_num(100.0 * plan.improvement())
     );
+    Ok(())
 }

@@ -29,8 +29,18 @@ fn main() {
             online.pure_miss_concurrency,
         ),
         ("MR", 0.4, offline.miss_rate(), online.miss_rate()),
-        ("pMR", 0.2, offline.pure_miss_rate(), online.pure_miss_rate()),
-        ("AMP", 2.0, offline.avg_miss_penalty, online.avg_miss_penalty),
+        (
+            "pMR",
+            0.2,
+            offline.pure_miss_rate(),
+            online.pure_miss_rate(),
+        ),
+        (
+            "AMP",
+            2.0,
+            offline.avg_miss_penalty,
+            online.avg_miss_penalty,
+        ),
         (
             "pAMP",
             2.0,
@@ -63,7 +73,11 @@ fn main() {
         println!(
             "  cycle {}: hits in flight = {h}, misses in flight = {m}{}",
             first + i as u64,
-            if *m > 0 && *h == 0 { "   <- pure miss cycle" } else { "" }
+            if *m > 0 && *h == 0 {
+                "   <- pure miss cycle"
+            } else {
+                ""
+            }
         );
     }
     println!();

@@ -27,12 +27,22 @@ fn main() {
         ("(b) p = N, C = 1", n, 1.0),
         ("(c) p = N, C > 1", n, 4.0),
     ];
-    let mut t = Table::new(vec!["case", "parallel width", "running time", "operations done"]);
+    let mut t = Table::new(vec![
+        "case",
+        "parallel width",
+        "running time",
+        "operations done",
+    ]);
     for (name, p, c) in cases {
         let len = time(p, c);
         // The shaded area — operations done — is the same in all three
         // subgraphs; only the time axis shrinks.
-        t.row(vec![name.to_string(), fmt_num(p), fmt_num(len), fmt_num(work)]);
+        t.row(vec![
+            name.to_string(),
+            fmt_num(p),
+            fmt_num(len),
+            fmt_num(work),
+        ]);
         // ASCII sketch of the shaded rectangle (width ~ time, height ~ p).
         let cols = (len / time(n, 4.0) * 10.0).round().max(1.0) as usize;
         for _ in 0..(p as usize).min(8) {
@@ -44,7 +54,13 @@ fn main() {
     let t_a = time(1.0, 1.0);
     let t_b = time(n, 1.0);
     let t_c = time(n, 4.0);
-    println!("speedup (b)/(a) = {} (process concurrency)", fmt_num(t_a / t_b));
-    println!("speedup (c)/(b) = {} (memory concurrency)", fmt_num(t_b / t_c));
+    println!(
+        "speedup (b)/(a) = {} (process concurrency)",
+        fmt_num(t_a / t_b)
+    );
+    println!(
+        "speedup (c)/(b) = {} (memory concurrency)",
+        fmt_num(t_b / t_c)
+    );
     println!("speedup (c)/(a) = {} (combined)", fmt_num(t_a / t_c));
 }

@@ -9,6 +9,10 @@ use c2_bound::optimize::optimize;
 use c2_bound::report::fmt_num;
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Fig 3: chip multiprocessor floorplan (from the optimized split)",
         "cores + private caches + shared L2 slices + fixed functions share the die",
@@ -20,7 +24,7 @@ fn main() {
     let mut model = c2_bench::paper_model();
     model.program.g = c2_speedup::scale::ScaleFunction::Power(0.5);
     model.program.f_seq = 0.15;
-    let d = optimize(&model).expect("optimization should succeed");
+    let d = optimize(&model)?;
     let n = d.vars.n.round() as usize;
     println!(
         "optimized: N = {n} cores, A0 = {} mm2, A1 = {} mm2, A2 = {} mm2 (per core)",
@@ -41,12 +45,7 @@ fn main() {
     let w0 = (d.vars.a0 / unit).round().max(1.0) as usize;
     let w1 = (d.vars.a1 / unit).round().max(1.0) as usize;
     let w2 = (d.vars.a2 / unit).round().max(1.0) as usize;
-    let tile = format!(
-        "|{}{}{}|",
-        "C".repeat(w0),
-        "1".repeat(w1),
-        "2".repeat(w2)
-    );
+    let tile = format!("|{}{}{}|", "C".repeat(w0), "1".repeat(w1), "2".repeat(w2));
     let per_row = 4.min(n.max(1));
     println!("per-core tile: C = core (A0), 1 = L1 (A1), 2 = L2 slice (A2)");
     for row in 0..n.div_ceil(per_row).min(8) {
@@ -68,4 +67,5 @@ fn main() {
         fmt_num(100.0 * d.vars.a1 / d.vars.per_core()),
         fmt_num(100.0 * d.vars.a2 / d.vars.per_core()),
     );
+    Ok(())
 }

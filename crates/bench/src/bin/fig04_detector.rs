@@ -12,6 +12,10 @@ use c2_workloads::tmm::TiledMatMul;
 use c2_workloads::Workload;
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Fig 4: the HCD/MCD C-AMAT detector, online",
         "a lightweight counter structure measures H, C_H, C_M, pMR, pAMP during execution",
@@ -32,9 +36,8 @@ fn main() {
     // 2. Online detection during a real simulated execution.
     let workload = TiledMatMul::new(48, 0, 7).generate();
     let trace = workload.combined();
-    let result = Simulator::new(ChipConfig::default_single_core())
-        .run(std::slice::from_ref(&trace))
-        .expect("simulation");
+    let result =
+        Simulator::new(ChipConfig::default_single_core()).run(std::slice::from_ref(&trace))?;
     let m = &result.cores[0].camat;
 
     let mut t = Table::new(vec!["parameter", "measured online"]);
@@ -65,4 +68,5 @@ fn main() {
         "pure misses never exceed misses: {} <= {}",
         m.pure_misses, m.misses
     );
+    Ok(())
 }

@@ -4,6 +4,10 @@ use c2_bound::allocate::{allocate_cores, fig7_apps, total_throughput};
 use c2_bound::report::{fmt_num, Table};
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Fig 7: core allocation for multiple tasks in a CMP",
         "high f_seq + low C -> few cores; low f_seq + high C -> many; moderate -> between",
@@ -11,7 +15,7 @@ fn main() {
 
     let apps = fig7_apps();
     for total in [16usize, 64, 256] {
-        let alloc = allocate_cores(&apps, total).expect("allocation");
+        let alloc = allocate_cores(&apps, total)?;
         let mut t = Table::new(vec!["application", "f_seq", "C", "cores", "throughput"]);
         for (a, &n) in apps.iter().zip(&alloc) {
             t.row(vec![
@@ -33,4 +37,5 @@ fn main() {
         );
         println!();
     }
+    Ok(())
 }

@@ -2,9 +2,9 @@
 //! scaling (g(N) = N^{3/2}, f_mem = 0.9).
 
 fn main() {
-    c2_bench::run_scaling_figure(
+    c2_bench::exit_on_error(c2_bench::run_scaling_figure(
         "Fig 9: W and T of memory-bounded scaling (g = N^{3/2}, f_mem = 0.9)",
         0.9,
         c2_bench::ScalingSeries::SizeAndTime,
-    );
+    ));
 }

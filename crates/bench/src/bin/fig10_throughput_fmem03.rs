@@ -2,9 +2,9 @@
 //! (g(N) = N^{3/2}, f_mem = 0.3).
 
 fn main() {
-    c2_bench::run_scaling_figure(
+    c2_bench::exit_on_error(c2_bench::run_scaling_figure(
         "Fig 10: W/T (g = N^{3/2}, f_mem = 0.3)",
         0.3,
         c2_bench::ScalingSeries::Throughput,
-    );
+    ));
 }

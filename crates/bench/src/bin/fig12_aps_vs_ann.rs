@@ -22,17 +22,23 @@ use c2_bound::dse::{simulate_point, DesignPoint, DesignSpace, GroundTruth};
 use c2_bound::report::{fmt_num, Table};
 use c2_bound::Error;
 
-fn position_f(axis: &[f64], v: f64) -> usize {
+fn position_f(axis: &[f64], v: f64) -> c2_bench::BenchResult<usize> {
     axis.iter()
         .position(|&x| (x - v).abs() < 1e-9 * x.abs().max(1.0))
-        .expect("value must lie on the axis")
+        .ok_or_else(|| c2_bench::BenchError::Data(format!("value {v} does not lie on the axis")))
 }
 
-fn position_u(axis: &[usize], v: usize) -> usize {
-    axis.iter().position(|&x| x == v).expect("value on axis")
+fn position_u(axis: &[usize], v: usize) -> c2_bench::BenchResult<usize> {
+    axis.iter()
+        .position(|&x| x == v)
+        .ok_or_else(|| c2_bench::BenchError::Data(format!("value {v} does not lie on the axis")))
 }
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Fig 12: the number of simulation times (fluidanimate case study)",
         "full space 10^6; ANN needs 613 sims for 5.96% error; APS needs ~10^2 (16.3% of ANN's time)",
@@ -40,7 +46,7 @@ fn main() {
 
     // --- 1. Characterize the workload, build the model.
     let workload = c2_bench::fluidanimate_small();
-    let mut model = c2_bench::characterized_model(&workload).expect("characterization");
+    let mut model = c2_bench::characterized_model(&workload)?;
     // The case study explores configurations for a *fixed* fluidanimate
     // input (the paper simulated a fixed 10-billion-instruction run), so
     // the model runs in the fixed-problem-size regime: g(N) = 1,
@@ -64,30 +70,30 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let mut lattice_sims = 0usize;
-    let gt = GroundTruth::calibrate(&space, 3, |p| {
-        lattice_sims += 1;
-        eprintln!(
+    let gt =
+        GroundTruth::calibrate(&space, 3, |p| {
+            lattice_sims += 1;
+            eprintln!(
             "  [calibration {lattice_sims}/729] n={} a0={:.2} issue={} rob={} ({:.0} s elapsed)",
             p.n, p.a0, p.issue_width, p.rob_size, t0.elapsed().as_secs_f64()
         );
-        simulate_point(p, &workload, &area, &budget)
-    })
-    .expect("calibration");
+            simulate_point(p, &workload, &area, &budget)
+        })?;
     println!(
         "calibration: {} cycle-level simulations in {:.1} s",
         lattice_sims,
         t0.elapsed().as_secs_f64()
     );
 
-    let index_of = |p: &DesignPoint| -> [usize; 6] {
-        [
-            position_f(&space.a0, p.a0),
-            position_f(&space.a1, p.a1),
-            position_f(&space.a2, p.a2),
-            position_u(&space.n, p.n),
-            position_u(&space.issue, p.issue_width),
-            position_u(&space.rob, p.rob_size),
-        ]
+    let index_of = |p: &DesignPoint| -> c2_bench::BenchResult<[usize; 6]> {
+        Ok([
+            position_f(&space.a0, p.a0)?,
+            position_f(&space.a1, p.a1)?,
+            position_f(&space.a2, p.a2)?,
+            position_u(&space.n, p.n)?,
+            position_u(&space.issue, p.issue_width)?,
+            position_u(&space.rob, p.rob_size)?,
+        ])
     };
 
     // --- 3. Exhaustive search over the surface.
@@ -120,14 +126,13 @@ fn main() {
 
     // --- 4. APS.
     let aps = Aps::new(model.clone(), space.clone());
-    let outcome = aps
-        .run(|p| {
-            if !space.feasible(p, &budget) {
-                return Err(Error::Simulation("over budget".into()));
-            }
-            Ok(gt.time_at(index_of(p)))
-        })
-        .expect("APS");
+    let outcome = aps.run(|p| {
+        if !space.feasible(p, &budget) {
+            return Err(Error::Simulation("over budget".into()));
+        }
+        let idx = index_of(p).map_err(|e| Error::Simulation(e.to_string()))?;
+        Ok(gt.time_at(idx))
+    })?;
     let aps_error = outcome.prediction_error;
     println!(
         "APS: {} simulations, case {:?}, chosen {:?}",
@@ -183,7 +188,7 @@ fn main() {
         |feat| {
             // Each oracle call is one conceptual detailed simulation.
             let key: Vec<u64> = feat.iter().map(|v| v.to_bits()).collect();
-            *lut.get(&key).expect("feature vector from the pool")
+            lut.get(&key).copied().unwrap_or(f64::INFINITY)
         },
         &ann_truth,
     );
@@ -193,7 +198,11 @@ fn main() {
             samples,
             best_error,
         }) => (*samples, *best_error),
-        Err(e) => panic!("ANN protocol failed: {e}"),
+        Err(e) => {
+            return Err(c2_bench::BenchError::Data(format!(
+                "ANN protocol failed: {e}"
+            )));
+        }
     };
     println!(
         "ANN: {} simulations to reach {}% error (target {}%) in {:.1} s",
@@ -211,7 +220,11 @@ fn main() {
         exhaustive_evals.to_string(),
         "1,000,000".to_string(),
     ]);
-    t.row(vec!["ANN [2]".to_string(), ann_sims.to_string(), "613".to_string()]);
+    t.row(vec![
+        "ANN [2]".to_string(),
+        ann_sims.to_string(),
+        "613".to_string(),
+    ]);
     t.row(vec![
         "APS (C2-Bound)".to_string(),
         outcome.simulations.to_string(),
@@ -235,4 +248,5 @@ fn main() {
         outcome.simulations,
         fmt_num((exhaustive_evals as f64 / outcome.simulations as f64).log10())
     );
+    Ok(())
 }

@@ -14,13 +14,20 @@ use c2_workloads::tmm::TiledMatMul;
 use c2_workloads::Workload;
 
 fn main() {
+    c2_bench::exit_on_error(run());
+}
+
+fn run() -> c2_bench::BenchResult<()> {
     c2_bench::header(
         "Fig 13: APC at each layer of the memory hierarchy",
         "APC_L1 >> APC_LLC >> APC_DRAM; the on-chip/off-chip gap justifies the on-chip memory bound",
     );
 
     let workloads: Vec<(&str, c2_trace::Trace)> = vec![
-        ("tmm (48x48, untiled)", TiledMatMul::new(48, 0, 1).generate().combined()),
+        (
+            "tmm (48x48, untiled)",
+            TiledMatMul::new(48, 0, 1).generate().combined(),
+        ),
         (
             "stencil (64x64, 2 sweeps)",
             Stencil2D::new(64, 64, 2, 2).generate().combined(),
@@ -48,9 +55,8 @@ fn main() {
         "on-chip bound?",
     ]);
     for (name, trace) in workloads {
-        let result = Simulator::new(ChipConfig::default_single_core())
-            .run(std::slice::from_ref(&trace))
-            .expect("simulation");
+        let result =
+            Simulator::new(ChipConfig::default_single_core()).run(std::slice::from_ref(&trace))?;
         let apc = result.layer_apc();
         let l1 = apc.get(MemoryLayer::L1).map(|a| a.value()).unwrap_or(0.0);
         let llc = apc.get(MemoryLayer::Llc).map(|a| a.value()).unwrap_or(0.0);
@@ -62,9 +68,15 @@ fn main() {
             fmt_num(llc),
             fmt_num(dram),
             gap.map(fmt_num).unwrap_or_else(|| "n/a".to_string()),
-            (if gap.unwrap_or(0.0) > 10.0 { "yes" } else { "-" }).to_string(),
+            (if gap.unwrap_or(0.0) > 10.0 {
+                "yes"
+            } else {
+                "-"
+            })
+            .to_string(),
         ]);
     }
     println!("{}", t.render());
     println!("APC = accesses per memory-active cycle at that layer; C-AMAT = 1/APC.");
+    Ok(())
 }

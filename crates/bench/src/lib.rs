@@ -24,14 +24,74 @@ use c2_bound::{C2BoundModel, ScalingStudy};
 use c2_workloads::fluidanimate::FluidAnimate;
 use c2_workloads::{characterize, Workload, WorkloadTrace};
 
+/// A typed failure from one of the experiment binaries.
+///
+/// The figure regenerators are batch jobs: on any failure they print a
+/// one-line diagnostic to stderr and exit nonzero instead of unwinding
+/// through a panic backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The analytical model or APS pipeline failed.
+    Model(c2_bound::Error),
+    /// The trace-driven simulator failed.
+    Sim(c2_sim::Error),
+    /// A numerical routine failed to converge or was ill-posed.
+    Solver(c2_solver::Error),
+    /// An experiment produced data the figure cannot be built from.
+    Data(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Model(e) => write!(f, "model: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation: {e}"),
+            BenchError::Solver(e) => write!(f, "solver: {e}"),
+            BenchError::Data(msg) => write!(f, "data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<c2_bound::Error> for BenchError {
+    fn from(e: c2_bound::Error) -> Self {
+        BenchError::Model(e)
+    }
+}
+
+impl From<c2_sim::Error> for BenchError {
+    fn from(e: c2_sim::Error) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<c2_solver::Error> for BenchError {
+    fn from(e: c2_solver::Error) -> Self {
+        BenchError::Solver(e)
+    }
+}
+
+/// Result alias for the experiment harness.
+pub type BenchResult<T> = std::result::Result<T, BenchError>;
+
+/// Standard epilogue for a figure binary's `main`: print a one-line
+/// diagnostic and exit nonzero on failure.
+pub fn exit_on_error(result: BenchResult<()>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// The reference model used by the figure regenerators.
 pub fn paper_model() -> C2BoundModel {
     C2BoundModel::example_big_data()
 }
 
 /// The Figs 8–11 scaling study (see `c2_bound::scaling`).
-pub fn paper_scaling_study(f_mem: f64) -> ScalingStudy {
-    ScalingStudy::paper_figs_8_to_11(f_mem).expect("valid study")
+pub fn paper_scaling_study(f_mem: f64) -> BenchResult<ScalingStudy> {
+    Ok(ScalingStudy::paper_figs_8_to_11(f_mem)?)
 }
 
 /// A small fluidanimate workload for simulator-backed experiments
@@ -45,8 +105,8 @@ pub fn fluidanimate_small() -> WorkloadTrace {
 /// whose program profile comes from the measurement.
 pub fn characterized_model(workload: &WorkloadTrace) -> c2_bound::Result<C2BoundModel> {
     let chip = c2_sim::ChipConfig::default_single_core();
-    let ch = characterize(workload, &chip)
-        .map_err(|e| c2_bound::Error::Simulation(e.to_string()))?;
+    let ch =
+        characterize(workload, &chip).map_err(|e| c2_bound::Error::Simulation(e.to_string()))?;
     let memory = c2_bound::MemoryModel::from_characterization(
         &ch,
         chip.l1.size_bytes as f64,
@@ -82,7 +142,7 @@ pub enum ScalingSeries {
 }
 
 /// Shared driver for Figs 8–11: sweep N = 1..1000 at C ∈ {1, 4, 8}.
-pub fn run_scaling_figure(figure: &str, f_mem: f64, series: ScalingSeries) {
+pub fn run_scaling_figure(figure: &str, f_mem: f64, series: ScalingSeries) -> BenchResult<()> {
     use c2_bound::report::{fmt_num, render_series, Table};
 
     let claim = match series {
@@ -94,12 +154,12 @@ pub fn run_scaling_figure(figure: &str, f_mem: f64, series: ScalingSeries) {
         }
     };
     header(figure, claim);
-    let study = paper_scaling_study(f_mem);
+    let study = paper_scaling_study(f_mem)?;
     let ns = ScalingStudy::paper_n_grid();
-    let sweeps: Vec<(f64, Vec<c2_bound::ScalingPoint>)> = [1.0, 4.0, 8.0]
-        .iter()
-        .map(|&c| (c, study.sweep(&ns, c).expect("sweep")))
-        .collect();
+    let mut sweeps: Vec<(f64, Vec<c2_bound::ScalingPoint>)> = Vec::new();
+    for &c in &[1.0, 4.0, 8.0] {
+        sweeps.push((c, study.sweep(&ns, c)?));
+    }
 
     let mut t = Table::new(vec![
         "N",
@@ -158,6 +218,7 @@ pub fn run_scaling_figure(figure: &str, f_mem: f64, series: ScalingSeries) {
         fmt_num(sweeps[1].1[last].throughput / sweeps[1].1[idx100].throughput),
         fmt_num(sweeps[2].1[last].throughput / sweeps[2].1[idx100].throughput),
     );
+    Ok(())
 }
 
 /// Print a standard experiment header.
@@ -176,7 +237,7 @@ mod tests {
     fn helpers_build() {
         let m = paper_model();
         assert!(m.budget.total_area > 0.0);
-        let s = paper_scaling_study(0.3);
+        let s = paper_scaling_study(0.3).unwrap();
         assert!((s.model.program.f_mem - 0.3).abs() < 1e-12);
     }
 

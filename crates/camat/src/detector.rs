@@ -232,8 +232,11 @@ impl CamatDetector {
         let first = accesses
             .iter()
             .map(|a| {
-                a.hit_start
-                    .min(if a.miss_len > 0 { a.miss_start } else { a.hit_start })
+                a.hit_start.min(if a.miss_len > 0 {
+                    a.miss_start
+                } else {
+                    a.hit_start
+                })
             })
             .min()
             .unwrap();
@@ -293,7 +296,9 @@ mod tests {
     fn detector_matches_offline_on_random_timelines() {
         let mut state = 777u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for round in 0..30 {

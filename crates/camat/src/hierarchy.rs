@@ -173,8 +173,7 @@ impl Hierarchy {
         up.levels[i].pure_miss_rate = (up.levels[i].pure_miss_rate + h).min(1.0);
         let mut down = self.clone();
         down.levels[i].pure_miss_rate = (down.levels[i].pure_miss_rate - h).max(0.0);
-        (up.camat() - down.camat())
-            / (up.levels[i].pure_miss_rate - down.levels[i].pure_miss_rate)
+        (up.camat() - down.camat()) / (up.levels[i].pure_miss_rate - down.levels[i].pure_miss_rate)
     }
 }
 

@@ -118,11 +118,11 @@ impl Timeline {
     /// `pMR = 0.2`, `pAMP = 2`.
     pub fn paper_fig1() -> Self {
         Timeline::from_accesses(vec![
-            AccessTiming::hit(1, 3),           // A1: hits c1-c3
-            AccessTiming::hit(1, 3),           // A2: hits c1-c3
-            AccessTiming::miss(3, 3, 6, 3),    // A3: hits c3-c5, penalty c6-c8
-            AccessTiming::miss(3, 3, 6, 1),    // A4: hits c3-c5, penalty c6
-            AccessTiming::hit(4, 3),           // A5: hits c4-c6
+            AccessTiming::hit(1, 3),        // A1: hits c1-c3
+            AccessTiming::hit(1, 3),        // A2: hits c1-c3
+            AccessTiming::miss(3, 3, 6, 3), // A3: hits c3-c5, penalty c6-c8
+            AccessTiming::miss(3, 3, 6, 1), // A4: hits c3-c5, penalty c6
+            AccessTiming::hit(4, 3),        // A5: hits c4-c6
         ])
     }
 
@@ -135,7 +135,13 @@ impl Timeline {
         let first = self
             .accesses
             .iter()
-            .map(|a| a.hit_start.min(if a.miss_len > 0 { a.miss_start } else { a.hit_start }))
+            .map(|a| {
+                a.hit_start.min(if a.miss_len > 0 {
+                    a.miss_start
+                } else {
+                    a.hit_start
+                })
+            })
             .min()
             .unwrap();
         let last = self.accesses.iter().map(|a| a.end()).max().unwrap();
@@ -419,7 +425,9 @@ mod tests {
         // Deterministic pseudo-random layout; the identity must hold.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..50 {

@@ -196,8 +196,7 @@ mod tests {
 
     fn template() -> C2BoundModel {
         let mut m = C2BoundModel::example_big_data();
-        m.program =
-            ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
+        m.program = ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).unwrap();
         m
     }
 

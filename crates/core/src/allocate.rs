@@ -139,10 +139,7 @@ pub fn allocate_cores(apps: &[AppProfile], total_cores: usize) -> Result<Vec<usi
 
 /// Total system throughput of an allocation.
 pub fn total_throughput(apps: &[AppProfile], alloc: &[usize]) -> f64 {
-    apps.iter()
-        .zip(alloc)
-        .map(|(a, &n)| a.throughput(n))
-        .sum()
+    apps.iter().zip(alloc).map(|(a, &n)| a.throughput(n)).sum()
 }
 
 /// The paper's three Fig 7 archetypes.

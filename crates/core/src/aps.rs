@@ -10,7 +10,7 @@
 //!    10 × 10 = 100 runs instead of 10⁶ ("the design space has been
 //!    narrowed significantly by up to four orders of magnitude").
 
-use crate::dse::{analytic_time, DesignPoint, DesignSpace};
+use crate::dse::{analytic_time, DesignPoint, DesignSpace, Oracle};
 use crate::model::{C2BoundModel, OptimizationCase};
 use crate::optimize::{optimize, OptimalDesign};
 use crate::{Error, Result};
@@ -104,8 +104,59 @@ impl RefinementLog {
     }
 }
 
+/// One unit of refinement work: a microarchitecture point to simulate
+/// at the analysis-pinned skeleton. Jobs are the currency of the
+/// supervised execution engine (`c2-runner`): each one can be retried,
+/// journaled, and resumed independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementJob {
+    /// Dense job number in sweep order (0-based; doubles as the stable
+    /// oracle key and the journal record id).
+    pub seq: usize,
+    /// Multi-index of the point in the design space.
+    pub index: [usize; 6],
+    /// The concrete configuration to simulate.
+    pub point: DesignPoint,
+}
+
+/// The analysis-stage output plus the refinement work list: everything
+/// a driver needs to run the simulation stage of APS, in any order, on
+/// any number of workers, across any number of process lifetimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApsPlan {
+    /// The continuous analytic optimum (Fig 6 lines 4–13).
+    pub analytic: OptimalDesign,
+    /// Snapped `(a0, a1, a2, n)` axis indices — the pinned skeleton.
+    pub skeleton: [usize; 4],
+    /// The microarchitecture sweep, in canonical (issue × ROB) order.
+    pub jobs: Vec<RefinementJob>,
+}
+
+/// Terminal oracle outcome for one refinement job: how many attempts it
+/// consumed and what the last one produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Oracle attempts consumed (≥ 1).
+    pub attempts: usize,
+    /// The simulated time, or the last error.
+    pub result: std::result::Result<f64, Error>,
+}
+
+/// Normalize a raw oracle return: non-finite or non-positive times are
+/// failures, not data. Every APS driver (in-process and `c2-runner`)
+/// must classify through this function so their outcomes agree.
+pub fn classify_oracle_result(raw: Result<f64>) -> Result<f64> {
+    match raw {
+        Ok(t) if t.is_finite() && t > 0.0 => Ok(t),
+        Ok(t) => Err(Error::Simulation(format!(
+            "oracle returned non-physical time {t}"
+        ))),
+        Err(e) => Err(e),
+    }
+}
+
 /// Outcome of an APS run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApsOutcome {
     /// The configuration APS selects.
     pub chosen: DesignPoint,
@@ -150,16 +201,66 @@ impl Aps {
     /// with calibrated analytic estimates), and the returned
     /// [`RefinementLog`] accounts for every point. The run only fails if
     /// the analysis stage fails or *no* refinement point survives.
-    pub fn run_with_policy<F>(&self, mut oracle: F, policy: &ResiliencePolicy) -> Result<ApsOutcome>
+    pub fn run_with_policy<F>(&self, oracle: F, policy: &ResiliencePolicy) -> Result<ApsOutcome>
     where
         F: FnMut(&DesignPoint) -> Result<f64>,
     {
+        self.run_oracle(oracle, policy)
+    }
+
+    /// Like [`Aps::run_with_policy`], but for key-aware oracles: the
+    /// oracle sees each refinement job's stable key alongside its
+    /// design point, so fault injection (and any other per-job
+    /// behavior) is tied to job identity rather than call order. Plain
+    /// closures also qualify via the blanket [`Oracle`] impl; the two
+    /// entry points exist only because the closure-generic signature
+    /// gives call sites better type inference.
+    pub fn run_oracle<O: Oracle>(
+        &self,
+        mut oracle: O,
+        policy: &ResiliencePolicy,
+    ) -> Result<ApsOutcome> {
         if policy.max_attempts == 0 {
             return Err(Error::InvalidParameter {
                 name: "max_attempts",
                 value: 0.0,
             });
         }
+        let plan = self.plan()?;
+        // Sequential drive: each job gets its bounded retries in sweep
+        // order. The supervised engine (`c2-runner`) drives the same
+        // plan through a worker pool and must converge to the same
+        // outcomes, so both paths classify through
+        // [`classify_oracle_result`].
+        let mut results = Vec::with_capacity(plan.jobs.len());
+        for job in &plan.jobs {
+            let mut last_err = Error::Simulation("oracle never ran".to_string());
+            let mut outcome = None;
+            let mut attempts = 0usize;
+            while attempts < policy.max_attempts {
+                attempts += 1;
+                match classify_oracle_result(oracle.evaluate(job.seq as u64, &job.point)) {
+                    Ok(t) => {
+                        outcome = Some(t);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            results.push((
+                job.seq,
+                PointOutcome {
+                    attempts,
+                    result: outcome.ok_or(last_err),
+                },
+            ));
+        }
+        self.assemble(&plan, &results, policy)
+    }
+
+    /// Stage 1 of the decomposed APS: run the analysis, pin the
+    /// skeleton, and lay out the refinement sweep as independent jobs.
+    pub fn plan(&self) -> Result<ApsPlan> {
         // An empty axis makes the space unusable (nothing to snap to,
         // nothing to sweep) — reject it up front rather than panicking
         // deep inside `DesignSpace::snap`.
@@ -184,11 +285,55 @@ impl Aps {
         let split = crate::optimize::optimize_split(&self.model, n_snapped as f64)
             .map(|(v, _)| v)
             .unwrap_or(analytic.vars);
-        let snapped = self.space.snap(split.a0, split.a1, split.a2, n_snapped as f64);
+        let skeleton = self
+            .space
+            .snap(split.a0, split.a1, split.a2, n_snapped as f64);
 
-        // --- Simulation: sweep the microarchitecture axes at the pinned
-        // skeleton (Fig 6 lines 14-17), tolerating per-point failures.
-        let mut simulations = 0usize;
+        let mut jobs = Vec::with_capacity(self.space.issue.len() * self.space.rob.len());
+        for (i4, _) in self.space.issue.iter().enumerate() {
+            for (i5, _) in self.space.rob.iter().enumerate() {
+                let index = [skeleton[0], skeleton[1], skeleton[2], skeleton[3], i4, i5];
+                jobs.push(RefinementJob {
+                    seq: jobs.len(),
+                    index,
+                    point: self.space.point_at(index),
+                });
+            }
+        }
+        Ok(ApsPlan {
+            analytic,
+            skeleton,
+            jobs,
+        })
+    }
+
+    /// Stage 2 of the decomposed APS: fold per-job outcomes (from any
+    /// driver, in any completion order) into an [`ApsOutcome`].
+    ///
+    /// `results` pairs each job's `seq` with its terminal outcome; it is
+    /// sorted internally, so callers may supply completion order. Every
+    /// job in the plan must have exactly one outcome — a missing or
+    /// duplicated job is a driver bug and reported as an error rather
+    /// than silently mis-counted.
+    pub fn assemble(
+        &self,
+        plan: &ApsPlan,
+        results: &[(usize, PointOutcome)],
+        policy: &ResiliencePolicy,
+    ) -> Result<ApsOutcome> {
+        let mut by_seq: Vec<Option<&PointOutcome>> = vec![None; plan.jobs.len()];
+        for (seq, outcome) in results {
+            let slot = by_seq.get_mut(*seq).ok_or(Error::InvalidParameter {
+                name: "job_seq",
+                value: *seq as f64,
+            })?;
+            if slot.replace(outcome).is_some() {
+                return Err(Error::Simulation(format!(
+                    "job {seq} reported two terminal outcomes"
+                )));
+            }
+        }
+
         let mut best: Option<([usize; 6], DesignPoint, f64)> = None;
         let mut pairs: Vec<(f64, f64)> = Vec::new(); // (analytic, simulated)
         let mut log = RefinementLog {
@@ -199,55 +344,33 @@ impl Aps {
             skipped: Vec::new(),
             degradation: DegradationLevel::None,
         };
-        for (i4, _) in self.space.issue.iter().enumerate() {
-            for (i5, _) in self.space.rob.iter().enumerate() {
-                let idx = [snapped[0], snapped[1], snapped[2], snapped[3], i4, i5];
-                let p = self.space.point_at(idx);
-                simulations += 1;
-                log.attempted += 1;
-                // Bounded retry: transient faults get `max_attempts`
-                // tries; persistent ones are skipped and logged.
-                let mut result = None;
-                let mut last_err = Error::Simulation("oracle never ran".to_string());
-                let mut attempts = 0usize;
-                while attempts < policy.max_attempts {
-                    attempts += 1;
-                    log.oracle_calls += 1;
-                    match oracle(&p) {
-                        Ok(t) if t.is_finite() && t > 0.0 => {
-                            result = Some(t);
-                            break;
-                        }
-                        Ok(t) => {
-                            last_err = Error::Simulation(format!(
-                                "oracle returned non-physical time {t}"
-                            ));
-                        }
-                        Err(e) => last_err = e,
+        for job in &plan.jobs {
+            let outcome = by_seq[job.seq].ok_or_else(|| {
+                Error::Simulation(format!("job {} never reached a terminal state", job.seq))
+            })?;
+            log.attempted += 1;
+            log.oracle_calls += outcome.attempts;
+            if outcome.attempts > 1 {
+                log.retried += 1;
+            }
+            match &outcome.result {
+                Ok(t) => {
+                    log.succeeded += 1;
+                    pairs.push((analytic_time(&self.model, &job.point), *t));
+                    if best.as_ref().is_none_or(|(_, _, bt)| *t < *bt) {
+                        best = Some((job.index, job.point, *t));
                     }
                 }
-                if attempts > 1 {
-                    log.retried += 1;
-                }
-                let Some(t) = result else {
-                    log.skipped.push(SkippedPoint {
-                        index: idx,
-                        attempts,
-                        error: last_err,
-                        analytic_estimate: None, // backfilled after calibration
-                    });
-                    continue;
-                };
-                log.succeeded += 1;
-                pairs.push((analytic_time(&self.model, &p), t));
-                if best.as_ref().is_none_or(|(_, _, bt)| t < *bt) {
-                    best = Some((idx, p, t));
-                }
+                Err(e) => log.skipped.push(SkippedPoint {
+                    index: job.index,
+                    attempts: outcome.attempts,
+                    error: e.clone(),
+                    analytic_estimate: None, // backfilled after calibration
+                }),
             }
         }
-        let (chosen_index, chosen, best_time) = best.ok_or_else(|| {
-            Error::Simulation("every refinement simulation failed".to_string())
-        })?;
+        let (chosen_index, chosen, best_time) = best
+            .ok_or_else(|| Error::Simulation("every refinement simulation failed".to_string()))?;
 
         // --- Calibrated prediction error: one global scale factor
         // (log-least-squares) absorbs the unit difference between the
@@ -280,9 +403,9 @@ impl Aps {
         Ok(ApsOutcome {
             chosen,
             chosen_index,
-            simulations,
-            case: analytic.case,
-            analytic,
+            simulations: log.attempted,
+            case: plan.analytic.case,
+            analytic: plan.analytic.clone(),
             prediction_error,
             best_time,
             refinement: log,
@@ -293,18 +416,12 @@ impl Aps {
 /// Fit the scale minimizing `sum (ln(scale·a) − ln(t))²` over positive
 /// `(analytic, simulated)` pairs. `None` when no pair is usable.
 pub fn calibration_scale(pairs: &[(f64, f64)]) -> Option<f64> {
-    let valid: Vec<&(f64, f64)> = pairs
-        .iter()
-        .filter(|(a, t)| *a > 0.0 && *t > 0.0)
-        .collect();
+    let valid: Vec<&(f64, f64)> = pairs.iter().filter(|(a, t)| *a > 0.0 && *t > 0.0).collect();
     if valid.is_empty() {
         return None;
     }
-    let log_scale: f64 = valid
-        .iter()
-        .map(|(a, t)| t.ln() - a.ln())
-        .sum::<f64>()
-        / valid.len() as f64;
+    let log_scale: f64 =
+        valid.iter().map(|(a, t)| t.ln() - a.ln()).sum::<f64>() / valid.len() as f64;
     Some(log_scale.exp())
 }
 
@@ -314,10 +431,7 @@ pub fn calibrated_error(pairs: &[(f64, f64)]) -> f64 {
     let Some(scale) = calibration_scale(pairs) else {
         return f64::NAN;
     };
-    let valid: Vec<&(f64, f64)> = pairs
-        .iter()
-        .filter(|(a, t)| *a > 0.0 && *t > 0.0)
-        .collect();
+    let valid: Vec<&(f64, f64)> = pairs.iter().filter(|(a, t)| *a > 0.0 && *t > 0.0).collect();
     valid
         .iter()
         .map(|(a, t)| (scale * a - t).abs() / t)
@@ -359,7 +473,9 @@ mod tests {
     fn synthetic_oracle(p: &DesignPoint) -> Result<f64> {
         let core = 1.0 / (p.a0.sqrt()) + 0.2;
         let mem = 0.3 * (30.0 / (p.a1 * 1000.0).sqrt() + 200.0 / (p.a2 * 2000.0))
-            / ((p.issue_width as f64 * p.rob_size as f64 / 512.0).sqrt().max(1.0));
+            / ((p.issue_width as f64 * p.rob_size as f64 / 512.0)
+                .sqrt()
+                .max(1.0));
         let par = 0.05 + (p.n as f64).powf(1.5) * 0.95 / p.n as f64;
         Ok(1e6 * (core + mem) * par)
     }
@@ -389,8 +505,7 @@ mod tests {
         let model = C2BoundModel::example_big_data();
         let aps = Aps::new(model, space.clone());
         let outcome = aps.run(synthetic_oracle).unwrap();
-        let throughput =
-            |p: &DesignPoint, t: f64| (p.n as f64).powf(1.5) / t;
+        let throughput = |p: &DesignPoint, t: f64| (p.n as f64).powf(1.5) / t;
         let aps_tp = throughput(&outcome.chosen, outcome.best_time);
         // Exhaustive best by throughput.
         let mut best_tp = 0.0f64;

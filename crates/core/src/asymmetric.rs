@@ -85,9 +85,7 @@ impl AsymmetricModel {
             .area
             .cache_bytes_continuous((d.l2_area * n.max(1.0)).max(0.01))
             * 2.0;
-        let stall = program.f_mem
-            * self.base.memory.camat(c1, c2)
-            * (1.0 - program.overlap_cm);
+        let stall = program.f_mem * self.base.memory.camat(c1, c2) * (1.0 - program.overlap_cm);
 
         let cpi_big = self.base.area.cpi_exe(d.big_core_area) + stall;
         let cpi_small = self.base.area.cpi_exe(d.small_core_area.max(0.01)) + stall;

@@ -18,6 +18,31 @@ use c2_workloads::WorkloadTrace;
 use crate::model::C2BoundModel;
 use crate::{Error, Result};
 
+/// A simulation oracle: anything that can price a design point.
+///
+/// `key` is a stable identity for the evaluation (the flat index of the
+/// point in its sweep): fault injectors and journaling drivers key
+/// their decisions to it so the outcome of a point is a function of
+/// *which* point it is, never of global call order — the property that
+/// lets an interrupted sweep resume to a bit-identical result.
+///
+/// Every `FnMut(&DesignPoint) -> Result<f64>` is an `Oracle` that
+/// ignores the key, so existing closure-based callers keep working.
+pub trait Oracle {
+    /// Evaluate the oracle at `point`. `key` identifies the evaluation
+    /// (stable across retries and resumes of the same point).
+    fn evaluate(&mut self, key: u64, point: &DesignPoint) -> Result<f64>;
+}
+
+impl<F> Oracle for F
+where
+    F: FnMut(&DesignPoint) -> Result<f64>,
+{
+    fn evaluate(&mut self, _key: u64, point: &DesignPoint) -> Result<f64> {
+        self(point)
+    }
+}
+
 /// One concrete configuration in the discrete space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignPoint {

@@ -80,8 +80,8 @@ impl PowerModel {
     /// weighted by the phase time fractions of the Sun-Ni execution.
     pub fn average_power(&self, model: &C2BoundModel, v: &DesignVariables) -> f64 {
         let n = v.n.max(1.0);
-        let leakage = n * (v.a0 * self.core_leakage_per_mm2
-            + (v.a1 + v.a2) * self.cache_leakage_per_mm2);
+        let leakage =
+            n * (v.a0 * self.core_leakage_per_mm2 + (v.a1 + v.a2) * self.cache_leakage_per_mm2);
         let core_dyn = v.a0 * self.core_dynamic_per_mm2;
         // Phase time fractions from the Eq. 10 parallel factor.
         let f = model.program.f_seq;
@@ -283,9 +283,7 @@ mod tests {
             "green {power_green} W vs perf {power_perf} W"
         );
         // And the performance optimum must not be slower than the green.
-        assert!(
-            perf.model.execution_time(&v_perf) <= perf.model.execution_time(&v_green) + 1e-6
-        );
+        assert!(perf.model.execution_time(&v_perf) <= perf.model.execution_time(&v_green) + 1e-6);
     }
 
     #[test]

@@ -63,9 +63,12 @@ pub mod scaling;
 
 pub use adaptive::{AdaptiveDse, AdaptivePlan};
 pub use allocate::{allocate_cores, AppProfile};
+pub use aps::{
+    Aps, ApsOutcome, ApsPlan, DegradationLevel, PointOutcome, RefinementJob, RefinementLog,
+    ResiliencePolicy, SkippedPoint,
+};
 pub use asymmetric::{AsymmetricDesign, AsymmetricModel};
-pub use aps::{Aps, ApsOutcome, DegradationLevel, RefinementLog, ResiliencePolicy, SkippedPoint};
-pub use dse::{DesignPoint, DesignSpace, GroundTruth};
+pub use dse::{DesignPoint, DesignSpace, GroundTruth, Oracle};
 pub use energy::{MultiObjective, PowerModel};
 pub use mem_model::{CacheSensitivity, MemoryModel};
 pub use model::{C2BoundModel, DesignVariables, OptimizationCase, ProgramProfile};

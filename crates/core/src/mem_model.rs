@@ -48,7 +48,10 @@ impl CacheSensitivity {
             });
         }
         if !(c0 > 0.0) {
-            return Err(Error::InvalidParameter { name: "c0", value: c0 });
+            return Err(Error::InvalidParameter {
+                name: "c0",
+                value: c0,
+            });
         }
         if !(alpha >= 0.0) {
             return Err(Error::InvalidParameter {
@@ -173,8 +176,7 @@ impl MemoryModel {
             l2_latency: 16.0,
             dram_latency: 120.0,
             l1: CacheSensitivity::power_law(0.10, 32.0 * 1024.0, 0.5, 1e-4).expect("valid"),
-            l2: CacheSensitivity::power_law(0.40, 2.0 * 1024.0 * 1024.0, 1.0, 1e-3)
-                .expect("valid"),
+            l2: CacheSensitivity::power_law(0.40, 2.0 * 1024.0 * 1024.0, 1.0, 1e-3).expect("valid"),
         }
     }
 
@@ -233,8 +235,7 @@ impl MemoryModel {
     /// capacity-dependent pMR and pAMP).
     pub fn camat(&self, c1_bytes: f64, c2_bytes: f64) -> f64 {
         self.hit_time / self.hit_concurrency
-            + self.pure_miss_rate(c1_bytes) * self.pure_amp(c2_bytes)
-                / self.pure_miss_concurrency
+            + self.pure_miss_rate(c1_bytes) * self.pure_amp(c2_bytes) / self.pure_miss_concurrency
     }
 
     /// `AMAT(c1, c2)` — the sequential counterpart (Eq. 1), for
@@ -346,12 +347,8 @@ mod tests {
         assert!(CacheSensitivity::power_law(0.5, 1.0, -0.5, 0.0).is_err());
         let l1 = CacheSensitivity::power_law(0.1, 1e3, 0.5, 0.0).unwrap();
         let l2 = CacheSensitivity::power_law(0.4, 1e6, 1.0, 0.0).unwrap();
-        assert!(
-            MemoryModel::new(0.0, 1.0, 1.0, 0.5, 10.0, 100.0, l1.clone(), l2.clone()).is_err()
-        );
-        assert!(
-            MemoryModel::new(3.0, 0.5, 1.0, 0.5, 10.0, 100.0, l1.clone(), l2.clone()).is_err()
-        );
+        assert!(MemoryModel::new(0.0, 1.0, 1.0, 0.5, 10.0, 100.0, l1.clone(), l2.clone()).is_err());
+        assert!(MemoryModel::new(3.0, 0.5, 1.0, 0.5, 10.0, 100.0, l1.clone(), l2.clone()).is_err());
         assert!(MemoryModel::new(3.0, 1.0, 1.0, 1.5, 10.0, 100.0, l1, l2).is_err());
     }
 }

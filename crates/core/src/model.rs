@@ -24,14 +24,24 @@ pub struct ProgramProfile {
 
 impl ProgramProfile {
     /// Validated constructor.
-    pub fn new(ic0: f64, f_seq: f64, f_mem: f64, overlap_cm: f64, g: ScaleFunction) -> Result<Self> {
+    pub fn new(
+        ic0: f64,
+        f_seq: f64,
+        f_mem: f64,
+        overlap_cm: f64,
+        g: ScaleFunction,
+    ) -> Result<Self> {
         if !(ic0 > 0.0) {
             return Err(Error::InvalidParameter {
                 name: "ic0",
                 value: ic0,
             });
         }
-        for (name, value) in [("f_seq", f_seq), ("f_mem", f_mem), ("overlap_cm", overlap_cm)] {
+        for (name, value) in [
+            ("f_seq", f_seq),
+            ("f_mem", f_mem),
+            ("overlap_cm", overlap_cm),
+        ] {
             if !(0.0..=1.0).contains(&value) {
                 return Err(Error::InvalidParameter { name, value });
             }
@@ -114,15 +124,13 @@ impl C2BoundModel {
     pub fn cycles_per_instruction(&self, v: &DesignVariables) -> f64 {
         let (c1, c2) = self.capacities(v);
         let camat = self.memory.camat(c1, c2);
-        self.cpi_exe(v.a0)
-            + self.program.f_mem * camat * (1.0 - self.program.overlap_cm)
+        self.cpi_exe(v.a0) + self.program.f_mem * camat * (1.0 - self.program.overlap_cm)
     }
 
     /// The execution-time objective `J_D` (Eq. 10), in cycles.
     pub fn execution_time(&self, v: &DesignVariables) -> f64 {
         let gn = self.program.g.eval(v.n.max(1.0));
-        let parallel_factor =
-            self.program.f_seq + gn * (1.0 - self.program.f_seq) / v.n.max(1.0);
+        let parallel_factor = self.program.f_seq + gn * (1.0 - self.program.f_seq) / v.n.max(1.0);
         self.program.ic0 * self.cycles_per_instruction(v) * parallel_factor
     }
 
@@ -183,14 +191,8 @@ impl C2BoundModel {
     /// constructors' validation.
     pub fn example_big_data() -> Self {
         C2BoundModel {
-            program: ProgramProfile::new(
-                1e9,
-                0.05,
-                0.3,
-                0.1,
-                ScaleFunction::Power(1.5),
-            )
-            .expect("valid profile"),
+            program: ProgramProfile::new(1e9, 0.05, 0.3, 0.1, ScaleFunction::Power(1.5))
+                .expect("valid profile"),
             memory: MemoryModel::default_big_data(),
             area: AreaModel::default(),
             budget: SiliconBudget::new(400.0, 40.0).expect("valid budget"),

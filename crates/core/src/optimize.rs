@@ -81,9 +81,15 @@ pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, 
 
 /// Like [`optimize_split`], but reports which rung of the degradation
 /// ladder produced the answer.
-pub fn optimize_split_report(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, SplitSolve)> {
+pub fn optimize_split_report(
+    model: &C2BoundModel,
+    n: f64,
+) -> Result<(DesignVariables, SplitSolve)> {
     if n < 1.0 {
-        return Err(Error::InvalidParameter { name: "n", value: n });
+        return Err(Error::InvalidParameter {
+            name: "n",
+            value: n,
+        });
     }
     let per_core = model.budget.usable() / n;
     if per_core < 3.0 * MIN_AREA {
@@ -153,8 +159,7 @@ pub fn optimize_split_report(model: &C2BoundModel, n: f64) -> Result<(DesignVari
     let candidate = match &cascade {
         Ok(r)
             if r.kkt.x.iter().all(|&x| x >= MIN_AREA * 0.99)
-                && (r.kkt.x.iter().sum::<f64>() - per_core).abs()
-                    < 1e-6 * per_core.max(1.0) =>
+                && (r.kkt.x.iter().sum::<f64>() - per_core).abs() < 1e-6 * per_core.max(1.0) =>
         {
             Some((
                 DesignVariables {
@@ -257,9 +262,7 @@ pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
     let n_star = if hi > lo {
         match case {
             OptimizationCase::MinimizeTime => golden_section(value_at, lo, hi, 1e-3)?.0,
-            OptimizationCase::MaximizeThroughput => {
-                golden_section_max(value_at, lo, hi, 1e-3)?.0
-            }
+            OptimizationCase::MaximizeThroughput => golden_section_max(value_at, lo, hi, 1e-3)?.0,
         }
     } else {
         scan_axis.point(best_i)

@@ -158,7 +158,12 @@ mod tests {
 
     #[test]
     fn series_renders_bars() {
-        let s = render_series("T vs N", "N", "T", &[(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)]);
+        let s = render_series(
+            "T vs N",
+            "N",
+            "T",
+            &[(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)],
+        );
         assert!(s.contains("T vs N"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5);

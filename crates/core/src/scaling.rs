@@ -87,7 +87,11 @@ impl ScalingStudy {
         let mut study = self.clone();
         // The sweep interprets `concurrency` as the *absolute* C target:
         // the base model is first reduced to its sequential variant.
-        study.model.memory = self.model.memory.sequential().with_concurrency(concurrency)?;
+        study.model.memory = self
+            .model
+            .memory
+            .sequential()
+            .with_concurrency(concurrency)?;
         Ok(ns.iter().map(|&n| study.point(n)).collect())
     }
 
@@ -122,8 +126,7 @@ impl ScalingStudy {
         use c2_speedup::scale::ScaleFunction;
 
         let mut model = C2BoundModel::example_big_data();
-        model.program =
-            ProgramProfile::new(1e9, 0.02, f_mem, 0.0, ScaleFunction::Power(1.5))?;
+        model.program = ProgramProfile::new(1e9, 0.02, f_mem, 0.0, ScaleFunction::Power(1.5))?;
         model.memory = MemoryModel::new(
             3.0,
             2.0,
@@ -179,10 +182,7 @@ mod tests {
         let lo = study(0.3);
         let hi = study(0.9);
         for n in [1.0, 10.0, 100.0, 1000.0] {
-            assert!(
-                hi.point(n).time > lo.point(n).time,
-                "at N = {n}"
-            );
+            assert!(hi.point(n).time > lo.point(n).time, "at N = {n}");
         }
     }
 
@@ -192,7 +192,10 @@ mod tests {
         let lo = study(0.3);
         let hi = study(0.9);
         for n in [10.0, 100.0, 1000.0] {
-            assert!(hi.point(n).throughput < lo.point(n).throughput, "at N = {n}");
+            assert!(
+                hi.point(n).throughput < lo.point(n).throughput,
+                "at N = {n}"
+            );
         }
     }
 

@@ -1,0 +1,168 @@
+//! Retry backoff with exponential growth, a hard cap, and
+//! deterministic jitter.
+//!
+//! Jitter exists to decorrelate retries of *different* jobs against a
+//! shared sick backend; determinism exists so a resumed sweep replays
+//! the exact schedule of the run it resumes. Both at once means the
+//! jitter must be a pure function of `(job key, attempt)` — no clocks,
+//! no global RNG — which is what [`BackoffPolicy::delay`] computes.
+
+use crate::{Error, Result};
+use std::time::Duration;
+
+/// Exponential backoff schedule for oracle retries.
+///
+/// Attempt 1 runs immediately; attempt `n ≥ 2` waits
+/// `min(cap, base · factor^(n−2))` nominal milliseconds, displaced by a
+/// deterministic jitter of at most `jitter_frac` of the nominal delay,
+/// and never beyond the cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Nominal delay before the second attempt, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplicative growth per further attempt (≥ 1).
+    pub factor: f64,
+    /// Hard ceiling on any delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter amplitude as a fraction of the nominal delay, in `[0, 1]`.
+    pub jitter_frac: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 10,
+            factor: 2.0,
+            cap_ms: 1_000,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Validate the policy's parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.factor >= 1.0) || !self.factor.is_finite() {
+            return Err(Error::InvalidConfig(
+                "backoff factor must be finite and >= 1",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.jitter_frac) || self.jitter_frac.is_nan() {
+            return Err(Error::InvalidConfig(
+                "backoff jitter_frac must be in [0, 1]",
+            ));
+        }
+        if self.cap_ms < self.base_ms {
+            return Err(Error::InvalidConfig("backoff cap_ms must be >= base_ms"));
+        }
+        Ok(())
+    }
+
+    /// The jitter-free delay before `attempt` (1-based), in
+    /// milliseconds. Attempt 1 (and 0, defensively) is immediate.
+    pub fn nominal_ms(&self, attempt: usize) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let exp = (attempt - 2) as f64;
+        let nominal = self.base_ms as f64 * self.factor.powf(exp);
+        if nominal >= self.cap_ms as f64 {
+            self.cap_ms
+        } else {
+            nominal.round() as u64
+        }
+    }
+
+    /// The actual delay before `attempt` of the job with stable `key`:
+    /// the nominal delay displaced by deterministic jitter in
+    /// `[−jitter_frac, +jitter_frac] · nominal`, clamped to
+    /// `[0, cap_ms]`.
+    pub fn delay(&self, key: u64, attempt: usize) -> Duration {
+        let nominal = self.nominal_ms(attempt) as f64;
+        if nominal == 0.0 {
+            return Duration::ZERO;
+        }
+        // splitmix64 over (key, attempt) -> uniform in [-1, 1).
+        let unit = (splitmix64(key ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11)
+            as f64
+            / (1u64 << 52) as f64
+            - 1.0;
+        let jittered = nominal + unit * self.jitter_frac * nominal;
+        let clamped = jittered.clamp(0.0, self.cap_ms as f64);
+        Duration::from_millis(clamped.round() as u64)
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_immediate() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.nominal_ms(0), 0);
+        assert_eq!(p.nominal_ms(1), 0);
+        assert_eq!(p.delay(42, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn nominal_schedule_doubles_then_caps() {
+        let p = BackoffPolicy {
+            base_ms: 10,
+            factor: 2.0,
+            cap_ms: 100,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.nominal_ms(2), 10);
+        assert_eq!(p.nominal_ms(3), 20);
+        assert_eq!(p.nominal_ms(4), 40);
+        assert_eq!(p.nominal_ms(5), 80);
+        assert_eq!(p.nominal_ms(6), 100, "capped");
+        assert_eq!(p.nominal_ms(60), 100, "stays capped without overflow");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_key_and_attempt() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay(7, 3), p.delay(7, 3));
+        // Different keys should (generically) jitter differently.
+        let distinct: std::collections::HashSet<u64> = (0..32u64)
+            .map(|k| p.delay(k, 4).as_millis() as u64)
+            .collect();
+        assert!(distinct.len() > 1, "jitter must actually vary across keys");
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let p = BackoffPolicy {
+            factor: 0.5,
+            ..BackoffPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = BackoffPolicy {
+            jitter_frac: 1.5,
+            ..BackoffPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = BackoffPolicy {
+            jitter_frac: f64::NAN,
+            ..BackoffPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let base = BackoffPolicy::default();
+        let p = BackoffPolicy {
+            cap_ms: base.base_ms - 1,
+            ..base
+        };
+        assert!(p.validate().is_err());
+        assert!(BackoffPolicy::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,682 @@
+//! The supervised sweep engine.
+//!
+//! [`SweepRunner::run_aps`] drives the refinement stage of APS as
+//! independent jobs on a bounded-queue worker pool:
+//!
+//! * every job gets up to `max_attempts` oracle attempts, with
+//!   exponential-backoff delays (deterministically jittered) between
+//!   retries;
+//! * a per-attempt wall-clock **deadline** is enforced by a watchdog
+//!   thread: an attempt that outlives it is charged as a failure, its
+//!   worker is presumed stuck, and the job is requeued onto healthy
+//!   workers (the stuck worker's late result is discarded when it
+//!   finally surfaces);
+//! * a **circuit breaker** wraps the oracle: enough consecutive
+//!   failures trip it open and subsequent jobs are short-circuited to
+//!   calibrated analytic backfill instead of queueing up behind a sick
+//!   backend, with half-open probes deciding when to trust it again;
+//! * every terminal outcome is appended to a JSONL **journal** and
+//!   flushed immediately, so a killed run resumes idempotently: on
+//!   `resume`, journaled jobs are not re-run, the breaker is replayed
+//!   to the state the interrupted run left it in, and the merged sweep
+//!   is bit-identical to an uninterrupted one (all fault injection is
+//!   keyed to stable job identities, never to call order);
+//! * shutdown is graceful — the queue drains, the journal is flushed,
+//!   and a [`RunReport`] accounts for every job:
+//!   `attempted == succeeded + skipped + backfilled`.
+
+use crate::backoff::BackoffPolicy;
+use crate::breaker::{Admission, BreakerPolicy, CircuitBreaker};
+use crate::journal::{
+    self, error_message, plan_fingerprint, JobRecord, JournalHeader, JournalWriter,
+};
+use crate::{Error, Result};
+use c2_bound::aps::{classify_oracle_result, Aps, ApsOutcome, ApsPlan, PointOutcome};
+use c2_bound::dse::Oracle;
+use c2_bound::ResiliencePolicy;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Worker threads in the pool (≥ 1).
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline in milliseconds; 0 disables the
+    /// deadline and the watchdog.
+    pub deadline_ms: u64,
+    /// Watchdog scan period in milliseconds (≥ 1).
+    pub watchdog_tick_ms: u64,
+    /// Maximum oracle attempts per job (≥ 1).
+    pub max_attempts: usize,
+    /// Bounded-queue capacity for freshly seeded jobs (≥ 1). Retries
+    /// and watchdog requeues bypass the bound so recovery can never
+    /// deadlock against admission.
+    pub queue_capacity: usize,
+    /// Retry backoff schedule.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Backfill dead points with calibrated analytic estimates.
+    pub analytic_fallback: bool,
+    /// Test hook simulating a crash: stop (without draining) after
+    /// this many terminal outcomes this run. The journal keeps every
+    /// record flushed before the "crash".
+    pub abort_after: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workers: 2,
+            deadline_ms: 0,
+            watchdog_tick_ms: 5,
+            max_attempts: 2,
+            queue_capacity: 64,
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            analytic_fallback: true,
+            abort_after: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::InvalidConfig("workers must be positive"));
+        }
+        if self.max_attempts == 0 {
+            return Err(Error::InvalidConfig("max_attempts must be positive"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::InvalidConfig("queue_capacity must be positive"));
+        }
+        if self.watchdog_tick_ms == 0 {
+            return Err(Error::InvalidConfig("watchdog_tick_ms must be positive"));
+        }
+        self.backoff.validate()?;
+        self.breaker.validate()
+    }
+
+    /// The core-side resilience policy this configuration implies.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        ResiliencePolicy {
+            max_attempts: self.max_attempts,
+            analytic_fallback: self.analytic_fallback,
+        }
+    }
+}
+
+/// Full accounting of a supervised run. All counts cover the *merged*
+/// sweep (journal-resumed outcomes included), so an interrupted run's
+/// final report equals the uninterrupted run's except for `resumed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Jobs that reached a terminal state (equals the plan size for a
+    /// completed run).
+    pub attempted: usize,
+    /// Jobs with a successful simulation.
+    pub succeeded: usize,
+    /// Dead jobs with no analytic estimate.
+    pub skipped: usize,
+    /// Dead jobs degraded to a calibrated analytic estimate.
+    pub backfilled: usize,
+    /// Terminal outcomes satisfied from the journal instead of re-run.
+    pub resumed: usize,
+    /// Jobs that consumed more than one oracle attempt.
+    pub retried: usize,
+    /// Total oracle attempts across all terminal jobs.
+    pub oracle_calls: usize,
+    /// Attempts killed by the per-attempt deadline.
+    pub timeouts: usize,
+    /// Jobs denied their oracle by an open circuit breaker.
+    pub short_circuited: usize,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Whether every job in the plan reached a terminal state (false
+    /// after a simulated crash).
+    pub completed: bool,
+}
+
+impl RunReport {
+    /// The engine's ledger invariant: every attempted job terminates
+    /// as exactly one of succeeded, skipped, or backfilled.
+    pub fn consistent(&self) -> bool {
+        self.attempted == self.succeeded + self.skipped + self.backfilled
+    }
+}
+
+/// Result of a supervised APS run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The run's ledger.
+    pub report: RunReport,
+    /// The analysis-stage plan that was executed.
+    pub plan: ApsPlan,
+    /// The assembled outcome; `None` when the run did not complete
+    /// (simulated crash).
+    pub outcome: Option<ApsOutcome>,
+}
+
+/// The supervised job-execution engine.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    config: RunConfig,
+}
+
+/// One queued attempt of a job.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    seq: usize,
+    attempt: usize,
+}
+
+/// An attempt currently executing on a worker.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    attempt: usize,
+    generation: u64,
+    started: Instant,
+}
+
+/// A job's terminal outcome plus engine-side bookkeeping.
+#[derive(Debug, Clone)]
+struct Terminal {
+    outcome: PointOutcome,
+    short_circuited: bool,
+    timeouts: usize,
+}
+
+struct EngineState {
+    queue: VecDeque<Attempt>,
+    running: HashMap<usize, Running>,
+    generations: Vec<u64>,
+    timeouts_per_job: Vec<usize>,
+    terminals: Vec<Option<Terminal>>,
+    breaker: CircuitBreaker,
+    pending: usize,
+    terminals_this_run: usize,
+    aborted: bool,
+    shutdown: bool,
+    journal: Option<JournalWriter>,
+    journal_error: Option<Error>,
+}
+
+struct Shared<'a> {
+    state: Mutex<EngineState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    plan: &'a ApsPlan,
+    config: &'a RunConfig,
+}
+
+impl Shared<'_> {
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        // A panicking oracle poisons the mutex; the state itself is
+        // still sound (we never leave it mid-update), so keep draining
+        // rather than cascading the panic through every worker.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'g>(
+        &self,
+        guard: MutexGuard<'g, EngineState>,
+        cv: &Condvar,
+    ) -> MutexGuard<'g, EngineState> {
+        cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Record a terminal outcome: journal it, retire the job, and decide
+/// whether the run is over (drained or aborted).
+fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal) {
+    if st.terminals[seq].is_some() {
+        return; // already terminal (defensive; generations prevent this)
+    }
+    if let Some(journal) = st.journal.as_mut() {
+        let record = JobRecord {
+            seq,
+            attempts: terminal.outcome.attempts,
+            timeouts: terminal.timeouts,
+            result: terminal
+                .outcome
+                .result
+                .as_ref()
+                .map(|t| *t)
+                .map_err(error_message),
+            short_circuited: terminal.short_circuited,
+        };
+        if let Err(e) = journal.record(&record) {
+            // A dead journal means resumability is already lost; stop
+            // the run instead of silently continuing unjournaled.
+            st.journal_error = Some(e);
+            st.aborted = true;
+        }
+    }
+    st.terminals[seq] = Some(terminal);
+    st.generations[seq] += 1; // invalidate any stale in-flight attempt
+    st.pending -= 1;
+    st.terminals_this_run += 1;
+    if let Some(limit) = shared.config.abort_after {
+        if st.terminals_this_run >= limit {
+            st.aborted = true;
+        }
+    }
+    if st.pending == 0 || st.aborted {
+        st.shutdown = true;
+        st.queue.clear();
+        shared.work_cv.notify_all();
+    }
+    shared.done_cv.notify_all();
+}
+
+/// Worker thread: pop admitted attempts and run them.
+fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
+    loop {
+        // --- pop + breaker admission (one critical section) ---------
+        let (task, generation) = {
+            let mut st = shared.lock();
+            let task = loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(a) = st.queue.pop_front() {
+                    shared.done_cv.notify_all(); // queue capacity freed
+                    match st.breaker.admit() {
+                        Admission::Admit => break a,
+                        Admission::ShortCircuit => {
+                            let timeouts = st.timeouts_per_job[a.seq];
+                            finish(
+                                shared,
+                                &mut st,
+                                a.seq,
+                                Terminal {
+                                    outcome: PointOutcome {
+                                        attempts: a.attempt - 1,
+                                        result: Err(c2_bound::Error::Simulation(
+                                            "circuit breaker open: oracle attempt not admitted"
+                                                .to_string(),
+                                        )),
+                                    },
+                                    short_circuited: true,
+                                    timeouts,
+                                },
+                            );
+                            continue;
+                        }
+                    }
+                }
+                st = shared.wait(st, &shared.work_cv);
+            };
+            (task, st.generations[task.seq])
+        };
+
+        // --- backoff (outside the lock, before the deadline clock) --
+        if task.attempt >= 2 {
+            std::thread::sleep(shared.config.backoff.delay(task.seq as u64, task.attempt));
+        }
+
+        // --- register with the watchdog and run the oracle ----------
+        {
+            let mut st = shared.lock();
+            if st.shutdown && st.aborted {
+                return; // simulated crash: drop the attempt on the floor
+            }
+            if st.generations[task.seq] != generation {
+                continue; // retired while we were backing off
+            }
+            st.running.insert(
+                task.seq,
+                Running {
+                    attempt: task.attempt,
+                    generation,
+                    started: Instant::now(),
+                },
+            );
+        }
+        let point = &shared.plan.jobs[task.seq].point;
+        let result = classify_oracle_result(oracle.evaluate(task.seq as u64, point));
+
+        // --- report -------------------------------------------------
+        let mut st = shared.lock();
+        if st.generations[task.seq] != generation {
+            // The watchdog declared this attempt dead (or the job is
+            // otherwise retired); whatever we computed is stale.
+            continue;
+        }
+        st.running.remove(&task.seq);
+        if st.aborted {
+            continue;
+        }
+        match result {
+            Ok(t) => {
+                st.breaker.on_success();
+                let timeouts = st.timeouts_per_job[task.seq];
+                finish(
+                    shared,
+                    &mut st,
+                    task.seq,
+                    Terminal {
+                        outcome: PointOutcome {
+                            attempts: task.attempt,
+                            result: Ok(t),
+                        },
+                        short_circuited: false,
+                        timeouts,
+                    },
+                );
+            }
+            Err(e) => {
+                st.breaker.on_failure();
+                if task.attempt < shared.config.max_attempts {
+                    st.queue.push_back(Attempt {
+                        seq: task.seq,
+                        attempt: task.attempt + 1,
+                    });
+                    shared.work_cv.notify_one();
+                } else {
+                    let timeouts = st.timeouts_per_job[task.seq];
+                    finish(
+                        shared,
+                        &mut st,
+                        task.seq,
+                        Terminal {
+                            outcome: PointOutcome {
+                                attempts: task.attempt,
+                                result: Err(e),
+                            },
+                            short_circuited: false,
+                            timeouts,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Watchdog thread: requeue attempts that blew their deadline.
+fn watchdog_loop(shared: &Shared) {
+    let deadline = Duration::from_millis(shared.config.deadline_ms);
+    let tick = Duration::from_millis(shared.config.watchdog_tick_ms);
+    loop {
+        {
+            let mut st = shared.lock();
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            let expired: Vec<(usize, Running)> = st
+                .running
+                .iter()
+                .filter(|(_, r)| now.duration_since(r.started) > deadline)
+                .map(|(&seq, &r)| (seq, r))
+                .collect();
+            for (seq, r) in expired {
+                if st.generations[seq] != r.generation {
+                    continue;
+                }
+                // Presume the worker stuck: invalidate its attempt so
+                // its late result is discarded, charge a failure, and
+                // put the job back for a healthy worker.
+                st.running.remove(&seq);
+                st.generations[seq] += 1;
+                st.timeouts_per_job[seq] += 1;
+                st.breaker.on_failure();
+                if r.attempt < shared.config.max_attempts {
+                    st.queue.push_back(Attempt {
+                        seq,
+                        attempt: r.attempt + 1,
+                    });
+                    shared.work_cv.notify_one();
+                } else {
+                    let timeouts = st.timeouts_per_job[seq];
+                    finish(
+                        shared,
+                        &mut st,
+                        seq,
+                        Terminal {
+                            outcome: PointOutcome {
+                                attempts: r.attempt,
+                                result: Err(c2_bound::Error::Simulation(format!(
+                                    "attempt exceeded the {} ms deadline",
+                                    shared.config.deadline_ms
+                                ))),
+                            },
+                            short_circuited: false,
+                            timeouts,
+                        },
+                    );
+                }
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// Replay one journaled record through a fresh breaker so a resumed
+/// run's breaker starts exactly where the interrupted run left it.
+fn replay_breaker(breaker: &mut CircuitBreaker, record: &JobRecord) {
+    for i in 1..=record.attempts {
+        let _ = breaker.admit();
+        if record.result.is_ok() && i == record.attempts {
+            breaker.on_success();
+        } else {
+            breaker.on_failure();
+        }
+    }
+    if record.short_circuited {
+        let _ = breaker.admit();
+    }
+}
+
+impl SweepRunner {
+    /// Build an engine with `config`.
+    pub fn new(config: RunConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SweepRunner { config })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Run the refinement stage of `aps` on the supervised pool.
+    ///
+    /// `make_oracle` constructs one oracle per worker thread (oracles
+    /// need not be `Send`; they are built where they run). When
+    /// `journal` is given, every terminal outcome is checkpointed
+    /// there; with `resume`, an existing journal's outcomes are merged
+    /// instead of re-run (the journal must match the plan, enforced by
+    /// fingerprint). Returns an error if the journal is incompatible
+    /// or every refinement point died; otherwise the summary carries
+    /// the assembled outcome (for completed runs) and the ledger.
+    pub fn run_aps<O, B>(
+        &self,
+        aps: &Aps,
+        make_oracle: B,
+        journal_path: Option<&Path>,
+        resume: bool,
+    ) -> Result<RunSummary>
+    where
+        O: Oracle,
+        B: Fn() -> O + Sync,
+    {
+        let plan = aps.plan()?;
+        let header = JournalHeader {
+            jobs: plan.jobs.len(),
+            fingerprint: plan_fingerprint(&plan),
+        };
+
+        let mut terminals: Vec<Option<Terminal>> = vec![None; plan.jobs.len()];
+        let mut breaker = CircuitBreaker::new(self.config.breaker)?;
+        let mut resumed = 0usize;
+        let journal = match journal_path {
+            None => None,
+            Some(path) => {
+                if resume && path.exists() {
+                    let contents = journal::load(path)?;
+                    if contents.header != header {
+                        return Err(Error::Journal(format!(
+                            "journal {path:?} belongs to a different sweep \
+                             (jobs {} fingerprint {:#x}, expected jobs {} fingerprint {:#x})",
+                            contents.header.jobs,
+                            contents.header.fingerprint,
+                            header.jobs,
+                            header.fingerprint
+                        )));
+                    }
+                    for record in &contents.records {
+                        let slot = terminals.get_mut(record.seq).ok_or_else(|| {
+                            Error::Journal(format!(
+                                "journal record seq {} out of range",
+                                record.seq
+                            ))
+                        })?;
+                        replay_breaker(&mut breaker, record);
+                        *slot = Some(Terminal {
+                            outcome: record.point_outcome(),
+                            short_circuited: record.short_circuited,
+                            timeouts: record.timeouts,
+                        });
+                        resumed += 1;
+                    }
+                    Some(JournalWriter::append(path)?)
+                } else {
+                    Some(JournalWriter::create(path, &header)?)
+                }
+            }
+        };
+
+        let pending = terminals.iter().filter(|t| t.is_none()).count();
+        let shared = Shared {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                running: HashMap::new(),
+                generations: vec![0; plan.jobs.len()],
+                timeouts_per_job: terminals
+                    .iter()
+                    .map(|t| t.as_ref().map_or(0, |t| t.timeouts))
+                    .collect(),
+                terminals,
+                breaker,
+                pending,
+                terminals_this_run: 0,
+                aborted: false,
+                shutdown: pending == 0,
+                journal,
+                journal_error: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            plan: &plan,
+            config: &self.config,
+        };
+
+        if pending > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..self.config.workers {
+                    let shared = &shared;
+                    let make_oracle = &make_oracle;
+                    scope.spawn(move || worker_loop(shared, make_oracle()));
+                }
+                if self.config.deadline_ms > 0 {
+                    let shared = &shared;
+                    scope.spawn(move || watchdog_loop(shared));
+                }
+                // Seed the bounded queue with every non-journaled job.
+                let mut st = shared.lock();
+                for seq in 0..plan.jobs.len() {
+                    if st.terminals[seq].is_some() {
+                        continue;
+                    }
+                    while !st.shutdown && st.queue.len() >= self.config.queue_capacity {
+                        st = shared.wait(st, &shared.done_cv);
+                    }
+                    if st.shutdown {
+                        break;
+                    }
+                    st.queue.push_back(Attempt { seq, attempt: 1 });
+                    shared.work_cv.notify_one();
+                }
+                // Wait for drain (or the simulated crash).
+                while !st.shutdown {
+                    st = shared.wait(st, &shared.done_cv);
+                }
+                drop(st);
+            });
+        }
+
+        let mut st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Flush-and-close before reporting: the journal must be
+        // durable by the time the caller sees the report.
+        st.journal = None;
+        if let Some(e) = st.journal_error.take() {
+            return Err(e);
+        }
+
+        let completed = st.terminals.iter().all(|t| t.is_some());
+        let results: Vec<(usize, PointOutcome)> = st
+            .terminals
+            .iter()
+            .enumerate()
+            .filter_map(|(seq, t)| t.as_ref().map(|t| (seq, t.outcome.clone())))
+            .collect();
+        let outcome = if completed {
+            Some(aps.assemble(&plan, &results, &self.config.resilience_policy())?)
+        } else {
+            None
+        };
+
+        // Dead jobs split into backfilled (got a calibrated analytic
+        // estimate during assembly) and skipped (no estimate).
+        let mut backfilled_indices: std::collections::HashSet<[usize; 6]> =
+            std::collections::HashSet::new();
+        if let Some(o) = &outcome {
+            for s in &o.refinement.skipped {
+                if s.analytic_estimate.is_some() {
+                    backfilled_indices.insert(s.index);
+                }
+            }
+        }
+        let mut report = RunReport {
+            completed,
+            resumed,
+            breaker_trips: st.breaker.trips(),
+            ..RunReport::default()
+        };
+        for (seq, terminal) in st.terminals.iter().enumerate() {
+            let Some(t) = terminal else { continue };
+            report.attempted += 1;
+            report.oracle_calls += t.outcome.attempts;
+            report.timeouts += t.timeouts;
+            if t.outcome.attempts > 1 {
+                report.retried += 1;
+            }
+            if t.short_circuited {
+                report.short_circuited += 1;
+            }
+            match &t.outcome.result {
+                Ok(_) => report.succeeded += 1,
+                Err(_) => {
+                    if backfilled_indices.contains(&plan.jobs[seq].index) {
+                        report.backfilled += 1;
+                    } else {
+                        report.skipped += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(report.consistent());
+        Ok(RunSummary {
+            report,
+            plan,
+            outcome,
+        })
+    }
+}

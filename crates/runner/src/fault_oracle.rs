@@ -1,0 +1,83 @@
+//! Bridges `c2-sim`'s keyed fault injection onto the core
+//! [`Oracle`] trait.
+//!
+//! `c2-sim` cannot depend on `c2-bound` (the dependency runs the other
+//! way), so its [`FaultyOracle`] adapter is generic over the argument
+//! type; this thin wrapper pins that argument to [`DesignPoint`] and
+//! implements [`Oracle`], which is what [`crate::SweepRunner`] drives.
+//! The engine's stable job keys flow straight through to the fault
+//! plan, so injected failures and hangs land on the same jobs no
+//! matter how attempts are ordered, retried, or resumed.
+
+use crate::{Error, Result};
+use c2_bound::dse::{DesignPoint, Oracle};
+use c2_sim::{FaultPlan, FaultyOracle};
+
+/// A fault-injected [`Oracle`] over any design-point pricing function.
+#[derive(Debug, Clone)]
+pub struct InjectedOracle<F> {
+    inner: FaultyOracle<F>,
+}
+
+impl<F> InjectedOracle<F>
+where
+    F: FnMut(&DesignPoint) -> c2_bound::Result<f64>,
+{
+    /// Wrap `inner` under `plan`. Rejects invalid plans up front.
+    pub fn new(plan: FaultPlan, inner: F) -> Result<Self> {
+        Ok(InjectedOracle {
+            inner: FaultyOracle::new(plan, inner)
+                .map_err(|e| Error::Core(c2_bound::Error::from(e)))?,
+        })
+    }
+
+    /// Total evaluations attempted through the adapter.
+    pub fn calls(&self) -> u64 {
+        self.inner.calls()
+    }
+}
+
+impl<F> Oracle for InjectedOracle<F>
+where
+    F: FnMut(&DesignPoint) -> c2_bound::Result<f64>,
+{
+    fn evaluate(&mut self, key: u64, point: &DesignPoint) -> c2_bound::Result<f64> {
+        self.inner.call(key, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(_: &DesignPoint) -> c2_bound::Result<f64> {
+        Ok(100.0)
+    }
+
+    fn point() -> DesignPoint {
+        c2_bound::DesignSpace::tiny().point_at([0, 0, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn faults_key_on_job_identity() {
+        let plan = FaultPlan {
+            oracle_failure_period: Some(3),
+            ..FaultPlan::default()
+        };
+        let mut o = InjectedOracle::new(plan, flat).unwrap();
+        let p = point();
+        assert!(o.evaluate(0, &p).is_ok());
+        assert!(o.evaluate(2, &p).is_err());
+        assert!(o.evaluate(2, &p).is_err(), "same key, same fault");
+        assert_eq!(o.calls(), 3);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let plan = FaultPlan {
+            oracle_failure_period: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(InjectedOracle::new(plan, flat).is_err());
+    }
+}

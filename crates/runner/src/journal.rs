@@ -1,0 +1,577 @@
+//! The JSONL checkpoint journal.
+//!
+//! One line per *terminal* job outcome, appended and flushed as soon as
+//! the outcome is known, so a killed run loses at most the line being
+//! written when the process died. The reader therefore tolerates a
+//! truncated final line (the half-written record is simply redone on
+//! resume) but treats corruption anywhere else as a hard error — a
+//! mangled middle means the file is not the journal we wrote.
+//!
+//! Format (one JSON object per line):
+//!
+//! ```text
+//! {"c2runner":1,"jobs":9,"fingerprint":"00000000499602d2"}
+//! {"seq":0,"attempts":1,"timeouts":0,"status":"ok","time":123456.0}
+//! {"seq":1,"attempts":2,"timeouts":1,"status":"dead","error":"..."}
+//! {"seq":2,"attempts":0,"timeouts":0,"status":"dead","error":"...","short_circuited":true}
+//! ```
+//!
+//! The header pins the sweep the journal belongs to: `jobs` is the plan
+//! size and `fingerprint` hashes every job's index and design point, so
+//! resuming against a different model, space, or plan is rejected
+//! instead of silently merging incompatible results. Times are written
+//! with Rust's shortest round-trip float formatting and parsed with the
+//! correctly-rounded parser, so a value survives the write/read cycle
+//! bit-exactly — the property the resume-equality tests lean on.
+//!
+//! serde is deliberately absent (the build environment is offline); the
+//! tiny writer/parser below covers exactly this format.
+
+use crate::{Error, Result};
+use c2_bound::aps::{ApsPlan, PointOutcome};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Journal format version written in the header.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The header line pinning a journal to its sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Number of jobs in the plan.
+    pub jobs: usize,
+    /// FNV-1a hash of the plan's job list.
+    pub fingerprint: u64,
+}
+
+/// One terminal job outcome as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's dense sequence number in the plan.
+    pub seq: usize,
+    /// Oracle attempts consumed (0 for short-circuited jobs).
+    pub attempts: usize,
+    /// How many of those attempts were killed by the deadline.
+    pub timeouts: usize,
+    /// `Ok(time)` or `Err(error message)`.
+    pub result: std::result::Result<f64, String>,
+    /// Whether the circuit breaker denied the job its oracle.
+    pub short_circuited: bool,
+}
+
+impl JobRecord {
+    /// The core-side terminal outcome this record encodes. Dead
+    /// records reconstruct as [`c2_bound::Error::Simulation`] carrying
+    /// the journaled message — every error the engine journals is
+    /// written through [`error_message`], so the round trip is exact.
+    pub fn point_outcome(&self) -> PointOutcome {
+        PointOutcome {
+            attempts: self.attempts,
+            result: self.result.clone().map_err(c2_bound::Error::Simulation),
+        }
+    }
+}
+
+/// Reduce a core error to the message the journal stores. For
+/// [`c2_bound::Error::Simulation`] this is the inner string (so the
+/// reconstruction in [`JobRecord::point_outcome`] is the identity);
+/// other variants degrade to their display form.
+pub fn error_message(e: &c2_bound::Error) -> String {
+    match e {
+        c2_bound::Error::Simulation(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// FNV-1a fingerprint of a plan's job list: indices and point values.
+pub fn plan_fingerprint(plan: &ApsPlan) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for job in &plan.jobs {
+        eat(&(job.seq as u64).to_le_bytes());
+        for d in job.index {
+            eat(&(d as u64).to_le_bytes());
+        }
+        eat(&job.point.a0.to_bits().to_le_bytes());
+        eat(&job.point.a1.to_bits().to_le_bytes());
+        eat(&job.point.a2.to_bits().to_le_bytes());
+        eat(&(job.point.n as u64).to_le_bytes());
+        eat(&(job.point.issue_width as u64).to_le_bytes());
+        eat(&(job.point.rob_size as u64).to_le_bytes());
+    }
+    h
+}
+
+/// What a journal file contained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// The pinned header.
+    pub header: JournalHeader,
+    /// Every fully-written record, in file (completion) order.
+    /// Duplicate `seq`s keep the first occurrence.
+    pub records: Vec<JobRecord>,
+    /// Whether the final line was truncated mid-write (normal for a
+    /// killed run; the affected job is simply redone).
+    pub truncated_tail: bool,
+}
+
+/// Append-mode journal writer. Every record is flushed on write.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Create a fresh journal at `path` (truncating any existing file)
+    /// and write the header line.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self> {
+        let file = File::create(path).map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
+        let mut w = JournalWriter {
+            out: BufWriter::new(file),
+        };
+        // The fingerprint is a full 64-bit hash; JSON numbers are
+        // parsed as f64 (exact only up to 2^53), so it travels as a
+        // hex string.
+        w.write_line(&format!(
+            "{{\"c2runner\":{JOURNAL_VERSION},\"jobs\":{},\"fingerprint\":\"{:016x}\"}}",
+            header.jobs, header.fingerprint
+        ))?;
+        Ok(w)
+    }
+
+    /// Open an existing journal at `path` for appending further
+    /// records (the resume path; the header is already on disk).
+    pub fn append(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
+        Ok(JournalWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Append one terminal record and flush it to the OS.
+    pub fn record(&mut self, r: &JobRecord) -> Result<()> {
+        let mut line = format!(
+            "{{\"seq\":{},\"attempts\":{},\"timeouts\":{}",
+            r.seq, r.attempts, r.timeouts
+        );
+        match &r.result {
+            Ok(t) => {
+                // `{t:?}` is Rust's shortest round-trip formatting.
+                line.push_str(&format!(",\"status\":\"ok\",\"time\":{t:?}"));
+            }
+            Err(msg) => {
+                line.push_str(",\"status\":\"dead\",\"error\":");
+                line.push_str(&json_string(msg));
+            }
+        }
+        if r.short_circuited {
+            line.push_str(",\"short_circuited\":true");
+        }
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| Error::Io(format!("journal write: {e}")))
+    }
+}
+
+/// Load and validate a journal file.
+pub fn load(path: &Path) -> Result<JournalContents> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| Error::Io(format!("read {path:?}: {e}")))?;
+    parse(&text)
+}
+
+/// Parse journal text (exposed for truncation tests).
+pub fn parse(text: &str) -> Result<JournalContents> {
+    let lines: Vec<&str> = text.split('\n').collect();
+    // A well-formed file ends with '\n', so the final split piece is
+    // empty; anything else there is a truncated record.
+    let mut header: Option<JournalHeader> = None;
+    let mut records = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut truncated_tail = false;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_object(line);
+        let is_last_content = i == last || lines[i + 1..].iter().all(|l| l.trim().is_empty());
+        let fields = match parsed {
+            Some(f) => f,
+            None if is_last_content => {
+                truncated_tail = true;
+                continue;
+            }
+            None => {
+                return Err(Error::Journal(format!(
+                    "corrupt journal line {}: {line:?}",
+                    i + 1
+                )))
+            }
+        };
+        if header.is_none() {
+            let version = get_num(&fields, "c2runner")
+                .ok_or_else(|| Error::Journal("first journal line is not a header".into()))?;
+            if version as u64 != JOURNAL_VERSION {
+                return Err(Error::Journal(format!(
+                    "unsupported journal version {version}"
+                )));
+            }
+            header = Some(JournalHeader {
+                jobs: get_num(&fields, "jobs")
+                    .ok_or_else(|| Error::Journal("header missing jobs".into()))?
+                    as usize,
+                fingerprint: get_str(&fields, "fingerprint")
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| Error::Journal("header missing fingerprint".into()))?,
+            });
+            continue;
+        }
+        let record = record_from(&fields).ok_or_else(|| {
+            if is_last_content {
+                // Parsed as JSON but missing fields: a torn final write.
+                Error::Journal(String::new())
+            } else {
+                Error::Journal(format!("malformed record on line {}", i + 1))
+            }
+        });
+        let record = match record {
+            Ok(r) => r,
+            Err(Error::Journal(ref s)) if s.is_empty() => {
+                truncated_tail = true;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if seen.insert(record.seq) {
+            records.push(record);
+        }
+    }
+    Ok(JournalContents {
+        header: header.ok_or_else(|| Error::Journal("journal has no header".into()))?,
+        records,
+        truncated_tail,
+    })
+}
+
+fn record_from(fields: &[(String, Json)]) -> Option<JobRecord> {
+    let seq = get_num(fields, "seq")? as usize;
+    let attempts = get_num(fields, "attempts")? as usize;
+    let timeouts = get_num(fields, "timeouts")? as usize;
+    let status = get_str(fields, "status")?;
+    let result = match status {
+        "ok" => Ok(get_num(fields, "time")?),
+        "dead" => Err(get_str(fields, "error")?.to_string()),
+        _ => return None,
+    };
+    Some(JobRecord {
+        seq,
+        attempts,
+        timeouts,
+        result,
+        short_circuited: matches!(get(fields, "short_circuited"), Some(Json::Bool(true))),
+    })
+}
+
+// --- minimal JSON (flat objects of numbers, strings, booleans) -------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_num(fields: &[(String, Json)], key: &str) -> Option<f64> {
+    match get(fields, key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    match get(fields, key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse one flat JSON object. `None` on any syntax error (the caller
+/// decides whether that means truncation or corruption).
+fn parse_object(line: &str) -> Option<Vec<(String, Json)>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    if chars.next()?.1 != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            (_, '}') => {
+                chars.next();
+                break;
+            }
+            (_, ',') => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(s, &mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()?.1 != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            (_, '"') => Json::Str(parse_string(s, &mut chars)?),
+            (_, 't') => {
+                expect_word(&mut chars, "true")?;
+                Json::Bool(true)
+            }
+            (_, 'f') => {
+                expect_word(&mut chars, "false")?;
+                Json::Bool(false)
+            }
+            _ => Json::Num(parse_number(s, &mut chars)?),
+        };
+        fields.push((key, value));
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect_word(chars: &mut Chars, word: &str) -> Option<()> {
+    for expected in word.chars() {
+        if chars.next()?.1 != expected {
+            return None;
+        }
+    }
+    Some(())
+}
+
+fn parse_string(s: &str, chars: &mut Chars) -> Option<String> {
+    if chars.next()?.1 != '"' {
+        return None;
+    }
+    let _ = s;
+    let mut out = String::new();
+    loop {
+        let (_, c) = chars.next()?;
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.1.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_number(s: &str, chars: &mut Chars) -> Option<f64> {
+    let start = chars.peek()?.0;
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s[start..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            jobs: 3,
+            fingerprint: 0xDEAD_BEEF,
+        }
+    }
+
+    fn sample_records() -> Vec<JobRecord> {
+        vec![
+            JobRecord {
+                seq: 0,
+                attempts: 1,
+                timeouts: 0,
+                result: Ok(1234.5678901234567),
+                short_circuited: false,
+            },
+            JobRecord {
+                seq: 1,
+                attempts: 2,
+                timeouts: 1,
+                result: Err("deadline of 25 ms exceeded".into()),
+                short_circuited: false,
+            },
+            JobRecord {
+                seq: 2,
+                attempts: 0,
+                timeouts: 0,
+                result: Err("circuit breaker open: \"sick\"\nbackend".into()),
+                short_circuited: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_read_round_trip_is_exact() {
+        let dir = std::env::temp_dir().join("c2runner-journal-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        for r in sample_records() {
+            w.record(&r).unwrap();
+        }
+        drop(w);
+        let back = load(&path).unwrap();
+        assert_eq!(back.header, header());
+        assert_eq!(back.records, sample_records());
+        assert!(!back.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn float_times_survive_bit_exactly() {
+        for &t in &[1.0, 0.1 + 0.2, 1e308, 5e-324_f64, 123_456_789.123_456_78] {
+            let line = format!(
+                "{{\"seq\":0,\"attempts\":1,\"timeouts\":0,\"status\":\"ok\",\"time\":{t:?}}}"
+            );
+            let text = format!(
+                "{{\"c2runner\":1,\"jobs\":1,\"fingerprint\":\"0000000000000000\"}}\n{line}\n"
+            );
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed.records[0].result, Ok(t), "{t:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_and_flagged() {
+        let mut text =
+            String::from("{\"c2runner\":1,\"jobs\":2,\"fingerprint\":\"0000000000000007\"}\n");
+        text.push_str("{\"seq\":0,\"attempts\":1,\"timeouts\":0,\"status\":\"ok\",\"time\":5.0}\n");
+        text.push_str("{\"seq\":1,\"attempts\":1,\"timeo"); // torn write
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert!(parsed.truncated_tail);
+    }
+
+    #[test]
+    fn corruption_in_the_middle_is_a_hard_error() {
+        let mut text =
+            String::from("{\"c2runner\":1,\"jobs\":2,\"fingerprint\":\"0000000000000007\"}\n");
+        text.push_str("{\"seq\":0,\"attem\n"); // torn, but NOT the tail
+        text.push_str("{\"seq\":1,\"attempts\":1,\"timeouts\":0,\"status\":\"ok\",\"time\":5.0}\n");
+        assert!(matches!(parse(&text), Err(Error::Journal(_))));
+    }
+
+    #[test]
+    fn missing_or_versioned_header_is_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"seq\":0}\n").is_err());
+        assert!(
+            parse("{\"c2runner\":99,\"jobs\":1,\"fingerprint\":\"0000000000000000\"}\n").is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_seqs_keep_the_first() {
+        let mut text =
+            String::from("{\"c2runner\":1,\"jobs\":2,\"fingerprint\":\"0000000000000007\"}\n");
+        text.push_str("{\"seq\":0,\"attempts\":1,\"timeouts\":0,\"status\":\"ok\",\"time\":5.0}\n");
+        text.push_str("{\"seq\":0,\"attempts\":2,\"timeouts\":0,\"status\":\"ok\",\"time\":6.0}\n");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.records[0].result, Ok(5.0));
+    }
+
+    #[test]
+    fn error_message_round_trips_simulation_errors() {
+        let e = c2_bound::Error::Simulation("boom \"quoted\"".into());
+        let msg = error_message(&e);
+        let rec = JobRecord {
+            seq: 0,
+            attempts: 1,
+            timeouts: 0,
+            result: Err(msg),
+            short_circuited: false,
+        };
+        assert_eq!(rec.point_outcome().result, Err(e));
+    }
+}

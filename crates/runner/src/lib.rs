@@ -1,0 +1,86 @@
+//! Supervised, checkpointable job-execution engine for C2-Bound
+//! APS/DSE sweeps.
+//!
+//! The core crate's APS pipeline ([`c2_bound::Aps`]) decomposes its
+//! refinement stage into independent jobs; this crate executes those
+//! jobs under supervision instead of a bare sequential loop:
+//!
+//! * [`engine::SweepRunner`] — bounded-queue worker pool with
+//!   per-attempt deadlines, a watchdog that requeues stuck jobs, and
+//!   graceful drain-and-report shutdown;
+//! * [`backoff::BackoffPolicy`] — exponential retry backoff with
+//!   deterministic jitter (resume replays the same schedule);
+//! * [`breaker::CircuitBreaker`] — trips after consecutive oracle
+//!   failures, short-circuits jobs to analytic backfill while open,
+//!   and probes half-open before trusting the oracle again;
+//! * [`journal`] — a JSONL checkpoint journal flushed per terminal
+//!   outcome, so a killed sweep resumes idempotently and the merged
+//!   result is identical to an uninterrupted run.
+//!
+//! ```
+//! use c2_bound::{Aps, C2BoundModel, DesignPoint, DesignSpace};
+//! use c2_runner::{RunConfig, SweepRunner};
+//!
+//! let aps = Aps::new(C2BoundModel::example_big_data(), DesignSpace::tiny());
+//! let runner = SweepRunner::new(RunConfig::default()).unwrap();
+//! let summary = runner
+//!     .run_aps(
+//!         &aps,
+//!         || |p: &DesignPoint| Ok(1.0e9 / (p.n as f64 * p.issue_width as f64)),
+//!         None,
+//!         false,
+//!     )
+//!     .unwrap();
+//! assert!(summary.report.completed);
+//! assert!(summary.report.consistent());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod engine;
+pub mod fault_oracle;
+pub mod journal;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker};
+pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
+pub use fault_oracle::InjectedOracle;
+pub use journal::{JobRecord, JournalHeader, JournalWriter};
+
+/// Errors produced by the engine and its journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An engine, backoff, or breaker parameter is out of range.
+    InvalidConfig(&'static str),
+    /// Filesystem trouble while writing or reading the journal.
+    Io(String),
+    /// The journal's contents are unusable (corrupt, or it belongs to
+    /// a different sweep).
+    Journal(String),
+    /// The underlying model or assembly failed.
+    Core(c2_bound::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            Error::Io(msg) => write!(f, "journal i/o error: {msg}"),
+            Error::Journal(msg) => write!(f, "journal error: {msg}"),
+            Error::Core(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<c2_bound::Error> for Error {
+    fn from(e: c2_bound::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

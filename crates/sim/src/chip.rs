@@ -79,7 +79,11 @@ impl SimResult {
     /// per-core measurements (memory-active cycles / accesses).
     pub fn chip_camat(&self) -> f64 {
         let accesses: u64 = self.cores.iter().map(|c| c.camat.accesses).sum();
-        let active: u64 = self.cores.iter().map(|c| c.camat.memory_active_cycles).sum();
+        let active: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.camat.memory_active_cycles)
+            .sum();
         if accesses == 0 {
             0.0
         } else {
@@ -173,10 +177,7 @@ impl Engine {
         let mut dram = Dram::new(config.dram);
         dram.set_spike(config.fault.dram_spike);
         Engine {
-            cores: traces
-                .iter()
-                .map(|t| Core::new(config.core, t))
-                .collect(),
+            cores: traces.iter().map(|t| Core::new(config.core, t)).collect(),
             l1s: (0..config.cores)
                 .map(|_| CacheArray::new(&config.l1))
                 .collect(),
@@ -488,8 +489,7 @@ impl Engine {
         match self.l2_mshr.register(line, id) {
             MshrOutcome::Allocated => {
                 let arrive = now + self.config.noc.l2_mem_latency as u64;
-                self.requests.get_mut(&id).unwrap().state =
-                    ReqState::ToDram { arrive_at: arrive };
+                self.requests.get_mut(&id).unwrap().state = ReqState::ToDram { arrive_at: arrive };
                 self.schedule.push(std::cmp::Reverse((arrive, id)));
             }
             MshrOutcome::Merged => {
@@ -837,7 +837,11 @@ mod tests {
         // fits in the 2 MiB L2 so DRAM traffic stays bounded.
         let trace = RandomGenerator::new(0, 256 * 1024, 4000, 1).generate();
         let r = single(ChipConfig::default_single_core(), trace);
-        assert!(r.cores[0].l1_miss_rate() > 0.5, "{}", r.cores[0].l1_miss_rate());
+        assert!(
+            r.cores[0].l1_miss_rate() > 0.5,
+            "{}",
+            r.cores[0].l1_miss_rate()
+        );
         assert!(r.l2_layer.accesses > 0);
     }
 
@@ -913,10 +917,7 @@ mod tests {
     #[test]
     fn multicore_shares_l2() {
         let traces: Vec<Trace> = (0..4)
-            .map(|i| {
-                RandomGenerator::new(i * (4 << 20), 1024 * 1024, 2000, i)
-                    .generate()
-            })
+            .map(|i| RandomGenerator::new(i * (4 << 20), 1024 * 1024, 2000, i).generate())
             .collect();
         let r = Simulator::new(ChipConfig::default_multi_core(4))
             .run(&traces)
@@ -943,12 +944,7 @@ mod tests {
             .run(&traces)
             .unwrap();
         let solo_t = solo.cores[0].finished_at;
-        let crowded_t = crowded
-            .cores
-            .iter()
-            .map(|c| c.finished_at)
-            .max()
-            .unwrap();
+        let crowded_t = crowded.cores.iter().map(|c| c.finished_at).max().unwrap();
         assert!(
             crowded_t > solo_t,
             "8-core contended time {crowded_t} should exceed solo {solo_t}"

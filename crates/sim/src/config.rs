@@ -89,7 +89,9 @@ impl CacheConfig {
             return Err(Error::InvalidConfig("ports must be positive"));
         }
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(Error::InvalidConfig("banks must be a positive power of two"));
+            return Err(Error::InvalidConfig(
+                "banks must be a positive power of two",
+            ));
         }
         Ok(())
     }
@@ -132,7 +134,9 @@ impl DramConfig {
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(Error::InvalidConfig("dram banks must be a positive power of two"));
+            return Err(Error::InvalidConfig(
+                "dram banks must be a positive power of two",
+            ));
         }
         if !self.row_size.is_power_of_two() || self.row_size == 0 {
             return Err(Error::InvalidConfig("row_size must be a power of two"));

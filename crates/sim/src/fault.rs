@@ -48,6 +48,23 @@ pub struct DramSpike {
     pub extra: u64,
 }
 
+/// A deterministic slow-oracle fault: selected oracle evaluations stall
+/// for `stall_ms` of wall-clock time before completing — a request that
+/// never finishes within a supervised driver's deadline budget. The
+/// selection is keyed to the evaluation's stable key (not global call
+/// order), so a resumed sweep sees exactly the faults the uninterrupted
+/// sweep saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleHang {
+    /// Every `period`-th keyed evaluation hangs (keys are 0-based, so
+    /// keys `period-1, 2·period-1, ...` are affected).
+    pub period: u64,
+    /// How long the hung evaluation stalls, in milliseconds of wall
+    /// time. Bounded by construction: injected hangs must terminate so
+    /// test suites and drained shutdowns do, too.
+    pub stall_ms: u64,
+}
+
 /// A deterministic fault-injection plan. The default injects nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultPlan {
@@ -63,8 +80,13 @@ pub struct FaultPlan {
     pub mshr_starvation: Option<CycleWindow>,
     /// For DSE-level drivers: every n-th oracle call (1-based) should
     /// fail. The cycle engine ignores this field; refinement loops
-    /// honor it through [`FaultPlan::oracle_call_fails`].
+    /// honor it through [`FaultPlan::oracle_call_fails`] (call-order
+    /// keyed) or [`FaultPlan::oracle_key_fails`] (stable-key keyed).
     pub oracle_failure_period: Option<u64>,
+    /// For DSE-level drivers: a keyed slow-oracle fault (see
+    /// [`OracleHang`]). The cycle engine ignores this field; the
+    /// fault-aware adapter ([`crate::oracle::FaultyOracle`]) honors it.
+    pub oracle_hang: Option<OracleHang>,
 }
 
 impl FaultPlan {
@@ -107,6 +129,14 @@ impl FaultPlan {
                 ));
             }
         }
+        if let Some(h) = &self.oracle_hang {
+            if h.period == 0 {
+                return Err(Error::InvalidConfig("oracle_hang period must be positive"));
+            }
+            if h.stall_ms == 0 {
+                return Err(Error::InvalidConfig("oracle_hang stall is zero"));
+            }
+        }
         Ok(())
     }
 
@@ -117,6 +147,29 @@ impl FaultPlan {
             Some(n) => call > 0 && call.is_multiple_of(n),
             None => false,
         }
+    }
+
+    /// Whether the evaluation with stable 0-based `key` should fail.
+    /// Unlike [`FaultPlan::oracle_call_fails`] this is independent of
+    /// call order and retries, so resumed and reordered sweeps observe
+    /// identical faults.
+    pub fn oracle_key_fails(&self, key: u64) -> bool {
+        match self.oracle_failure_period {
+            Some(n) => (key + 1).is_multiple_of(n),
+            None => false,
+        }
+    }
+
+    /// The stall for the evaluation with stable 0-based `key`, if this
+    /// plan hangs it.
+    pub fn oracle_key_stall(&self, key: u64) -> Option<std::time::Duration> {
+        self.oracle_hang.and_then(|h| {
+            if (key + 1).is_multiple_of(h.period) {
+                Some(std::time::Duration::from_millis(h.stall_ms))
+            } else {
+                None
+            }
+        })
     }
 }
 
@@ -189,5 +242,60 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            oracle_hang: Some(OracleHang {
+                period: 0,
+                stall_ms: 10,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            oracle_hang: Some(OracleHang {
+                period: 4,
+                stall_ms: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn keyed_failures_are_order_independent() {
+        let p = FaultPlan {
+            oracle_failure_period: Some(3),
+            ..FaultPlan::default()
+        };
+        // 0-based keys 2, 5, 8 fail — the same set regardless of the
+        // order keys are presented in.
+        let fails: Vec<u64> = (0..9).filter(|&k| p.oracle_key_fails(k)).collect();
+        assert_eq!(fails, vec![2, 5, 8]);
+        assert!(p.oracle_key_fails(5));
+        assert!(p.oracle_key_fails(5), "same key, same answer");
+    }
+
+    #[test]
+    fn keyed_hangs_select_by_period() {
+        let p = FaultPlan {
+            oracle_hang: Some(OracleHang {
+                period: 4,
+                stall_ms: 25,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_ok());
+        assert!(!p.is_none());
+        assert_eq!(p.oracle_key_stall(0), None);
+        assert_eq!(
+            p.oracle_key_stall(3),
+            Some(std::time::Duration::from_millis(25))
+        );
+        assert_eq!(p.oracle_key_stall(4), None);
+        assert_eq!(
+            p.oracle_key_stall(7),
+            Some(std::time::Duration::from_millis(25))
+        );
     }
 }

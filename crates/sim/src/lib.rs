@@ -46,6 +46,7 @@ pub mod dram;
 pub mod fault;
 pub mod metrics;
 pub mod mshr;
+pub mod oracle;
 pub mod request;
 
 pub use area::{AreaModel, SiliconBudget};
@@ -53,9 +54,10 @@ pub use cache::CacheArray;
 pub use chip::{SimResult, Simulator};
 pub use config::{CacheConfig, ChipConfig, CoreConfig, DramConfig, NocConfig};
 pub use dram::Dram;
-pub use fault::{CycleWindow, DramSpike, FaultPlan};
+pub use fault::{CycleWindow, DramSpike, FaultPlan, OracleHang};
 pub use metrics::{LayerStats, PerCoreStats};
 pub use mshr::MshrFile;
+pub use oracle::FaultyOracle;
 
 /// Errors from simulator construction or execution.
 #[derive(Debug, Clone, PartialEq)]

@@ -89,7 +89,8 @@ mod tests {
 
     #[test]
     fn maximizes() {
-        let (x, fx) = golden_section_max(|x| -(x - 2.0) * (x - 2.0) + 5.0, -10.0, 10.0, 1e-10).unwrap();
+        let (x, fx) =
+            golden_section_max(|x| -(x - 2.0) * (x - 2.0) + 5.0, -10.0, 10.0, 1e-10).unwrap();
         assert!((x - 2.0).abs() < 1e-7);
         assert!((fx - 5.0).abs() < 1e-12);
     }

@@ -161,14 +161,7 @@ mod tests {
     #[test]
     fn skips_non_finite_points() {
         let axes = [GridSpec::linear(-1.0, 1.0, 21)];
-        let (x, _) = grid_minimize(&axes, |p| {
-            if p[0] <= 0.0 {
-                f64::NAN
-            } else {
-                p[0]
-            }
-        })
-        .unwrap();
+        let (x, _) = grid_minimize(&axes, |p| if p[0] <= 0.0 { f64::NAN } else { p[0] }).unwrap();
         assert!(x[0] > 0.0);
     }
 

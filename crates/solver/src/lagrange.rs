@@ -218,12 +218,12 @@ mod tests {
     #[test]
     fn two_constraints() {
         // min x^2+y^2+z^2 s.t. x+y+z=3, x-y=0 -> (1,1,1).
-        let p = EqualityConstrained::new(|x: &[f64]| {
-            x[0] * x[0] + x[1] * x[1] + x[2] * x[2]
-        })
-        .constraint(|x: &[f64]| x[0] + x[1] + x[2] - 3.0)
-        .constraint(|x: &[f64]| x[0] - x[1]);
-        let s = p.solve(&[0.9, 1.2, 0.8], &NewtonOptions::default()).unwrap();
+        let p = EqualityConstrained::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1] + x[2] * x[2])
+            .constraint(|x: &[f64]| x[0] + x[1] + x[2] - 3.0)
+            .constraint(|x: &[f64]| x[0] - x[1]);
+        let s = p
+            .solve(&[0.9, 1.2, 0.8], &NewtonOptions::default())
+            .unwrap();
         for (i, &xi) in s.x.iter().enumerate() {
             assert!((xi - 1.0).abs() < 1e-6, "x[{i}] = {xi}");
         }
@@ -292,7 +292,11 @@ mod tests {
         let r = p
             .solve_cascade(&[0.0, 2.0], &RobustOptions::default())
             .unwrap();
-        assert!((r.kkt.x[0] + r.kkt.x[1] - 2.0).abs() < 1e-5, "{:?}", r.kkt.x);
+        assert!(
+            (r.kkt.x[0] + r.kkt.x[1] - 2.0).abs() < 1e-5,
+            "{:?}",
+            r.kkt.x
+        );
         assert!(r.kkt.x[0].abs() < 0.1, "{:?}", r.kkt.x);
     }
 }

@@ -246,7 +246,11 @@ mod tests {
             let b: Vec<f64> = (0..n).map(|_| next()).collect();
             let x = a.solve(&b).unwrap();
             let ax = a.mul_vec(&x).unwrap();
-            let res: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            let res: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max);
             assert!(res < 1e-10, "n={n} residual {res}");
         }
     }

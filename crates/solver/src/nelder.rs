@@ -153,10 +153,7 @@ where
         // Unreachable: the simplex always has n + 1 >= 2 vertices
         // (n == 0 is rejected at entry).
         .expect("simplex is non-empty");
-    let spread = values
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &v| m.max(v))
-        - best_val;
+    let spread = values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v)) - best_val;
     if spread < opts.tol.sqrt() {
         Ok((simplex[best_idx].clone(), best_val))
     } else {

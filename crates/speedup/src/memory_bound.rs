@@ -27,10 +27,16 @@ impl MemoryBoundedProblem {
     /// Validated constructor.
     pub fn new(a: f64, b: f64) -> Result<Self> {
         if !(a > 0.0) {
-            return Err(Error::InvalidParameter { name: "a", value: a });
+            return Err(Error::InvalidParameter {
+                name: "a",
+                value: a,
+            });
         }
         if !(b > 0.0) {
-            return Err(Error::InvalidParameter { name: "b", value: b });
+            return Err(Error::InvalidParameter {
+                name: "b",
+                value: b,
+            });
         }
         Ok(MemoryBoundedProblem { a, b })
     }

@@ -215,7 +215,12 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 
 /// Deterministic k-means with k-means++-style seeding driven by a simple
 /// splitmix64 stream (no rand dependency needed here).
-fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> (Vec<usize>, Vec<Vec<f64>>) {
+fn kmeans(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<Vec<f64>>) {
     assert!(!points.is_empty() && k > 0 && k <= points.len());
     let dim = points[0].len();
     let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);

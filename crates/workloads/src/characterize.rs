@@ -105,7 +105,11 @@ mod tests {
         assert!(ch.camat_value() > 0.0);
         assert!(ch.concurrency() >= 1.0 - 1e-9);
         assert!(ch.ipc > 0.0);
-        assert!((0.0..=1.0).contains(&ch.overlap_cm), "overlap {}", ch.overlap_cm);
+        assert!(
+            (0.0..=1.0).contains(&ch.overlap_cm),
+            "overlap {}",
+            ch.overlap_cm
+        );
         // An OoO core overlaps at least some compute with memory time.
         assert!(ch.overlap_cm > 0.1, "overlap {}", ch.overlap_cm);
     }
@@ -127,7 +131,10 @@ mod tests {
         let w = BandSpmv::new(256, 2, 0);
         let trace = w.generate();
         let ch = characterize(&trace, &reference_chip()).unwrap();
-        assert_eq!(ch.footprint_bytes, trace.combined().stats().footprint_bytes());
+        assert_eq!(
+            ch.footprint_bytes,
+            trace.combined().stats().footprint_bytes()
+        );
         assert_eq!(ch.instruction_count, trace.instruction_count());
     }
 

@@ -67,11 +67,7 @@ impl FluidAnimate {
         let ncells = edge * edge;
         // Arrays: positions x/y, velocities x/y, densities, cell heads,
         // next-particle links (linked cell list).
-        let bases = layout(
-            0x1_000_000,
-            4096,
-            &[np, np, np, np, np, ncells, np],
-        );
+        let bases = layout(0x1_000_000, 4096, &[np, np, np, np, np, ncells, np]);
         let mut px = TracedVec::zeroed(bases[0], np);
         let mut py = TracedVec::zeroed(bases[1], np);
         let mut vx = TracedVec::zeroed(bases[2], np);
@@ -237,10 +233,7 @@ mod tests {
         let big = FluidAnimate::new(3000, 8, 1, 0).generate();
         let f_small = ws.footprint_bytes(&small.combined());
         let f_big = ws.footprint_bytes(&big.combined());
-        assert!(
-            f_big > 5 * f_small,
-            "footprint {f_big} vs {f_small}"
-        );
+        assert!(f_big > 5 * f_small, "footprint {f_big} vs {f_small}");
     }
 
     #[test]

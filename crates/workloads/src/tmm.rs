@@ -199,8 +199,7 @@ mod tests {
         let tiled = TiledMatMul::new(n, 6, 0).generate();
         let untiled = TiledMatMul::new(n, 0, 0).generate();
         let cache_lines = 64; // 4 KiB cache, 64B lines
-        let mr_tiled =
-            ReuseProfile::compute(&tiled.parallel, 64).miss_rate_for_lines(cache_lines);
+        let mr_tiled = ReuseProfile::compute(&tiled.parallel, 64).miss_rate_for_lines(cache_lines);
         let mr_untiled =
             ReuseProfile::compute(&untiled.parallel, 64).miss_rate_for_lines(cache_lines);
         assert!(

@@ -12,8 +12,8 @@ use c2bound::speedup::scale::ScaleFunction;
 
 fn main() {
     let mut base = C2BoundModel::example_big_data();
-    base.program = ProgramProfile::new(1e9, 0.2, 0.3, 0.1, ScaleFunction::Power(0.5))
-        .expect("profile");
+    base.program =
+        ProgramProfile::new(1e9, 0.2, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
 
     // --- Energy/performance trade-off sweep.
     println!("weight  N*      per-core mm2  time (s)   energy (J)  power (W)");
@@ -38,8 +38,8 @@ fn main() {
     println!("f_seq   symmetric T  asymmetric T  big core  small cores  gain");
     for f_seq in [0.05, 0.15, 0.30, 0.50] {
         let mut m = base.clone();
-        m.program = ProgramProfile::new(1e9, f_seq, 0.3, 0.1, ScaleFunction::Power(0.5))
-            .expect("profile");
+        m.program =
+            ProgramProfile::new(1e9, f_seq, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
         let asym = AsymmetricModel::new(m, true);
         let d_sym = asym.symmetric_baseline().expect("symmetric");
         let d_asym = asym.optimize().expect("asymmetric");

@@ -13,14 +13,46 @@ fn main() {
     // Profiles as the paper annotates them: (f_seq, C) extremes plus a
     // middle case, all with fixed problem sizes.
     let apps = vec![
-        AppProfile::new("sequential-ish ETL", 0.45, 1.0, 0.35, 12.0, 1.0, ScaleFunction::Constant)
-            .expect("valid"),
-        AppProfile::new("streaming analytics", 0.02, 6.0, 0.30, 12.0, 1.0, ScaleFunction::Constant)
-            .expect("valid"),
-        AppProfile::new("graph queries", 0.12, 2.5, 0.40, 14.0, 1.0, ScaleFunction::Constant)
-            .expect("valid"),
-        AppProfile::new("batch compression", 0.08, 4.0, 0.20, 8.0, 1.0, ScaleFunction::Constant)
-            .expect("valid"),
+        AppProfile::new(
+            "sequential-ish ETL",
+            0.45,
+            1.0,
+            0.35,
+            12.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+        AppProfile::new(
+            "streaming analytics",
+            0.02,
+            6.0,
+            0.30,
+            12.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+        AppProfile::new(
+            "graph queries",
+            0.12,
+            2.5,
+            0.40,
+            14.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
+        AppProfile::new(
+            "batch compression",
+            0.08,
+            4.0,
+            0.20,
+            8.0,
+            1.0,
+            ScaleFunction::Constant,
+        )
+        .expect("valid"),
     ];
 
     for total in [32usize, 128] {
@@ -29,7 +61,11 @@ fn main() {
         for (a, &n) in apps.iter().zip(&alloc) {
             println!(
                 "  {:<22} f_seq = {:.2}, C = {:.1}  ->  {:>3} cores  (throughput {:.2})",
-                a.name, a.f_seq, a.concurrency, n, a.throughput(n)
+                a.name,
+                a.f_seq,
+                a.concurrency,
+                n,
+                a.throughput(n)
             );
         }
         let uniform = vec![total / apps.len(); apps.len()];

@@ -12,13 +12,21 @@
 //! c2bound-tool characterize-file <path>         # characterize a #c2trace file
 //! c2bound-tool multiobjective [weight]          # energy/perf trade-off (SS VII)
 //! c2bound-tool adaptive                         # phase-adaptive reconfiguration (SS V)
+//! c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D]
+//!               [--max-attempts K] [--journal PATH] [--resume]
 //! ```
+//!
+//! `run` drives the APS refinement sweep through the supervised job
+//! engine (`c2-runner`): worker pool, per-attempt deadlines, retry
+//! with backoff, circuit breaking, and — with `--journal` — a
+//! flushed-per-outcome checkpoint file that `--resume` picks up
+//! idempotently after a crash.
 //!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
 
 use c2_bound::aps::Aps;
-use c2_bound::dse::{simulate_point, DesignSpace};
+use c2_bound::dse::{simulate_point, DesignPoint, DesignSpace};
 use c2_bound::optimize::optimize;
 use c2_bound::report::{fmt_num, Table};
 use c2_bound::scaling::ScalingStudy;
@@ -35,15 +43,15 @@ fn usage() -> ! {
          c2bound-tool aps <workload> [size]\n  c2bound-tool scaling [f_mem]\n  \
          c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
          c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
-         c2bound-tool adaptive"
+         c2bound-tool adaptive\n  \
+         c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D] [--max-attempts K] \
+         [--journal PATH] [--resume]"
     );
     std::process::exit(2);
 }
 
 fn parse_or<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 fn workload_by_name(name: &str, size: usize) -> Option<Box<dyn Workload>> {
@@ -56,7 +64,10 @@ fn workload_by_name(name: &str, size: usize) -> Option<Box<dyn Workload>> {
             2,
             1,
         )),
-        "fft" => Box::new(c2_workloads::fft::Fft::new(size.max(8).next_power_of_two(), 1)),
+        "fft" => Box::new(c2_workloads::fft::Fft::new(
+            size.max(8).next_power_of_two(),
+            1,
+        )),
         "fluidanimate" => Box::new(c2_workloads::fluidanimate::FluidAnimate::new(
             size.max(100),
             12,
@@ -114,13 +125,19 @@ fn cmd_characterize(args: &[String]) {
         "instructions".to_string(),
         ch.instruction_count.to_string(),
     ]);
-    t.row(vec!["accesses".to_string(), trace.combined().len().to_string()]);
+    t.row(vec![
+        "accesses".to_string(),
+        trace.combined().len().to_string(),
+    ]);
     t.row(vec!["f_mem".to_string(), fmt_num(ch.f_mem)]);
     t.row(vec!["f_seq".to_string(), fmt_num(ch.f_seq)]);
     t.row(vec!["L1 miss rate".to_string(), fmt_num(ch.l1_miss_rate)]);
     t.row(vec!["L2 miss rate".to_string(), fmt_num(ch.l2_miss_rate)]);
     t.row(vec!["C-AMAT".to_string(), fmt_num(ch.camat_value())]);
-    t.row(vec!["C = AMAT/C-AMAT".to_string(), fmt_num(ch.concurrency())]);
+    t.row(vec![
+        "C = AMAT/C-AMAT".to_string(),
+        fmt_num(ch.concurrency()),
+    ]);
     t.row(vec![
         "footprint (bytes)".to_string(),
         ch.footprint_bytes.to_string(),
@@ -143,8 +160,7 @@ fn cmd_optimize(args: &[String]) {
     let shared = parse_or(args, 4, 40.0f64);
     let mut model = C2BoundModel::example_big_data();
     model.program =
-        ProgramProfile::new(1e9, f_seq, f_mem, 0.1, ScaleFunction::Power(g_exp))
-            .expect("profile");
+        ProgramProfile::new(1e9, f_seq, f_mem, 0.1, ScaleFunction::Power(g_exp)).expect("profile");
     model.budget = SiliconBudget::new(area, shared).expect("budget");
     let d = optimize(&model).expect("optimization");
     println!(
@@ -193,7 +209,7 @@ fn cmd_aps(args: &[String]) {
     );
     let aps = Aps::new(model, space);
     let outcome = aps
-        .run(|p| {
+        .run(|p: &DesignPoint| {
             simulate_point(p, &trace, &area, &budget)
                 .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
         })
@@ -222,6 +238,132 @@ fn cmd_aps(args: &[String]) {
         log.skipped.len(),
         log.oracle_calls,
         log.degradation
+    );
+}
+
+/// `run`: the APS refinement sweep on the supervised engine, with an
+/// optional checkpoint journal and idempotent resume.
+fn cmd_run(args: &[String]) {
+    let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let mut size = 24usize;
+    let mut config = c2_runner::RunConfig {
+        workers: 2,
+        deadline_ms: 60_000,
+        max_attempts: 3,
+        ..c2_runner::RunConfig::default()
+    };
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--workers" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.workers = v,
+                None => usage(),
+            },
+            "--deadline-ms" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.deadline_ms = v,
+                None => usage(),
+            },
+            "--max-attempts" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_attempts = v,
+                None => usage(),
+            },
+            "--journal" => match rest.next() {
+                Some(v) => journal = Some(std::path::PathBuf::from(v)),
+                None => usage(),
+            },
+            "--resume" => resume = true,
+            other => match other.parse() {
+                Ok(v) => size = v,
+                Err(_) => usage(),
+            },
+        }
+    }
+    if resume && journal.is_none() {
+        eprintln!("error: --resume requires --journal PATH");
+        std::process::exit(2);
+    }
+    if let Some(path) = &journal {
+        if path.exists() && !resume {
+            eprintln!(
+                "error: journal {} already exists; pass --resume to continue it or remove it first",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    }
+    let Some(w) = workload_by_name(name, size) else {
+        usage()
+    };
+    let (trace, ch, chip) = characterize_workload(w.as_ref());
+    let g = w
+        .complexity()
+        .scale_function()
+        .unwrap_or(ScaleFunction::Power(1.0));
+    let model = model_from(&ch, &chip, g);
+    let area = model.area;
+    let budget = model.budget;
+    let space = DesignSpace::tiny();
+    let aps = Aps::new(model, space);
+    println!(
+        "supervised sweep: {} workers, deadline {} ms, {} attempts/job{}",
+        config.workers,
+        config.deadline_ms,
+        config.max_attempts,
+        match (&journal, resume) {
+            (Some(p), true) => format!(", resuming journal {}", p.display()),
+            (Some(p), false) => format!(", journaling to {}", p.display()),
+            (None, _) => String::new(),
+        }
+    );
+    let price = |p: &DesignPoint| {
+        simulate_point(p, &trace, &area, &budget)
+            .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
+    };
+    let runner = c2_runner::SweepRunner::new(config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let summary = runner
+        .run_aps(&aps, || price, journal.as_deref(), resume)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let r = &summary.report;
+    println!(
+        "run report: {} attempted = {} succeeded + {} skipped + {} backfilled \
+         ({} resumed, {} retried, {} oracle calls, {} timeouts, {} short-circuited, {} breaker trips)",
+        r.attempted,
+        r.succeeded,
+        r.skipped,
+        r.backfilled,
+        r.resumed,
+        r.retried,
+        r.oracle_calls,
+        r.timeouts,
+        r.short_circuited,
+        r.breaker_trips
+    );
+    let Some(outcome) = summary.outcome else {
+        println!("run did not complete; resume with --journal/--resume");
+        return;
+    };
+    println!(
+        "chosen: N = {}, A0 = {} mm2, L1 = {} mm2, L2 = {} mm2, issue = {}, ROB = {}",
+        outcome.chosen.n,
+        fmt_num(outcome.chosen.a0),
+        fmt_num(outcome.chosen.a1),
+        fmt_num(outcome.chosen.a2),
+        outcome.chosen.issue_width,
+        outcome.chosen.rob_size
+    );
+    println!(
+        "best simulated time: {} cycles; calibrated model error: {}%; degradation: {:?}",
+        fmt_num(outcome.best_time),
+        fmt_num(100.0 * outcome.prediction_error),
+        outcome.refinement.degradation
     );
 }
 
@@ -303,7 +445,10 @@ fn cmd_characterize_file(args: &[String]) {
         .expect("characterization failed");
     let mut t = Table::new(vec!["parameter", "value"]);
     t.row(vec!["file".to_string(), path.to_string()]);
-    t.row(vec!["instructions".to_string(), ch.instruction_count.to_string()]);
+    t.row(vec![
+        "instructions".to_string(),
+        ch.instruction_count.to_string(),
+    ]);
     t.row(vec!["f_mem".to_string(), fmt_num(ch.f_mem)]);
     t.row(vec!["L1 miss rate".to_string(), fmt_num(ch.l1_miss_rate)]);
     t.row(vec!["C-AMAT".to_string(), fmt_num(ch.camat_value())]);
@@ -316,8 +461,8 @@ fn cmd_multiobjective(args: &[String]) {
     use c2_bound::energy::{MultiObjective, PowerModel};
     let weight = parse_or(args, 0, 0.5f64);
     let mut base = C2BoundModel::example_big_data();
-    base.program = ProgramProfile::new(1e9, 0.15, 0.3, 0.1, ScaleFunction::Power(0.5))
-        .expect("profile");
+    base.program =
+        ProgramProfile::new(1e9, 0.15, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
     let power = PowerModel::default();
     let clock = 3e9;
     let mo = MultiObjective::new(base.clone(), power, weight, clock).expect("objective");
@@ -325,7 +470,10 @@ fn cmd_multiobjective(args: &[String]) {
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["performance weight w".to_string(), fmt_num(weight)]);
     t.row(vec!["N (cores)".to_string(), fmt_num(v.n)]);
-    t.row(vec!["per-core area (mm2)".to_string(), fmt_num(v.per_core())]);
+    t.row(vec![
+        "per-core area (mm2)".to_string(),
+        fmt_num(v.per_core()),
+    ]);
     t.row(vec![
         "time (s)".to_string(),
         fmt_num(base.execution_time(&v) / clock),
@@ -353,16 +501,14 @@ fn cmd_adaptive() {
     let trace = MixedPhaseGenerator::new(
         vec![
             Box::new(StridedGenerator::new(0, 64, 4000).compute_per_access(6)),
-            Box::new(
-                PointerChaseGenerator::new(1 << 30, 1 << 15, 4000, 5).compute_per_access(1),
-            ),
+            Box::new(PointerChaseGenerator::new(1 << 30, 1 << 15, 4000, 5).compute_per_access(1)),
         ],
         3,
     )
     .generate();
     let mut template = C2BoundModel::example_big_data();
-    template.program = ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5))
-        .expect("profile");
+    template.program =
+        ProgramProfile::new(1e9, 0.1, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
     let mut dse = AdaptiveDse::new(template);
     dse.phase_config = c2_trace::PhaseConfig {
         interval_len: 4000,
@@ -397,6 +543,7 @@ fn main() {
         Some("characterize-file") => cmd_characterize_file(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("aps") => cmd_aps(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("table1") => cmd_table1(),
         Some("multiobjective") => cmd_multiobjective(&args[1..]),

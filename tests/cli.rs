@@ -41,7 +41,11 @@ fn characterize_runs_the_simulator() {
         .args(["characterize", "stencil", "12"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("f_mem"), "{s}");
     assert!(s.contains("C-AMAT"), "{s}");
@@ -49,7 +53,10 @@ fn characterize_runs_the_simulator() {
 
 #[test]
 fn trace_roundtrips_through_characterize_file() {
-    let out = tool().args(["trace", "spmv", "32"]).output().expect("spawn");
+    let out = tool()
+        .args(["trace", "spmv", "32"])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let dump = out.stdout;
     assert!(dump.starts_with(b"#c2trace v1"));
@@ -62,7 +69,11 @@ fn trace_roundtrips_through_characterize_file() {
         .args(["characterize-file", path.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("f_mem"), "{s}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -79,7 +90,10 @@ fn scaling_prints_series() {
 
 #[test]
 fn multiobjective_reports_energy() {
-    let out = tool().args(["multiobjective", "0.5"]).output().expect("spawn");
+    let out = tool()
+        .args(["multiobjective", "0.5"])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("energy (J)"), "{s}");
@@ -89,7 +103,11 @@ fn multiobjective_reports_energy() {
 #[test]
 fn adaptive_reports_phases() {
     let out = tool().arg("adaptive").output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("phase"), "{s}");
     assert!(s.contains("reconfiguration gain"), "{s}");
@@ -102,4 +120,58 @@ fn unknown_workload_is_usage_error() {
         .output()
         .expect("spawn");
     assert!(!out.status.success());
+}
+
+#[test]
+fn run_journals_and_resumes_idempotently() {
+    let dir = std::env::temp_dir().join(format!("c2bound-cli-run-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let journal = dir.join("sweep.jsonl");
+    let jarg = journal.to_str().unwrap();
+
+    let out = tool()
+        .args(["run", "stencil", "10", "--workers", "2", "--journal", jarg])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("run report: 9 attempted"), "{s}");
+    assert!(s.contains("chosen:"), "{s}");
+    assert!(journal.exists());
+
+    // Re-running against an existing journal without --resume must
+    // refuse rather than clobber the checkpoint.
+    let out = tool()
+        .args(["run", "stencil", "10", "--journal", jarg])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume"));
+
+    // Resume of a complete journal re-runs nothing; the merged ledger
+    // still accounts for every journaled attempt.
+    let out = tool()
+        .args(["run", "stencil", "10", "--journal", jarg, "--resume"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("9 resumed"), "{s}");
+    assert!(s.contains("run report: 9 attempted = 9 succeeded"), "{s}");
+
+    // --resume without --journal is a usage error.
+    let out = tool()
+        .args(["run", "stencil", "10", "--resume"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -29,7 +29,10 @@ fn trace_count_mismatch_rejected_before_running() {
         .unwrap_err();
     assert!(matches!(
         err,
-        c2bound::sim::Error::TraceCountMismatch { cores: 3, traces: 1 }
+        c2bound::sim::Error::TraceCountMismatch {
+            cores: 3,
+            traces: 1
+        }
     ));
 }
 
@@ -38,11 +41,15 @@ fn invalid_chip_configs_rejected_before_running() {
     let trace = StridedGenerator::new(0, 64, 8).generate();
     let mut cfg = ChipConfig::default_single_core();
     cfg.l1.mshr_entries = 0;
-    assert!(Simulator::new(cfg).run(std::slice::from_ref(&trace)).is_err());
+    assert!(Simulator::new(cfg)
+        .run(std::slice::from_ref(&trace))
+        .is_err());
 
     let mut cfg = ChipConfig::default_single_core();
     cfg.l2.line_size = 128; // mismatched with the L1
-    assert!(Simulator::new(cfg).run(std::slice::from_ref(&trace)).is_err());
+    assert!(Simulator::new(cfg)
+        .run(std::slice::from_ref(&trace))
+        .is_err());
 }
 
 #[test]
@@ -69,7 +76,9 @@ fn starved_mshr_still_completes() {
     cfg.l1.mshr_entries = 1;
     cfg.l2.mshr_entries = 1;
     cfg.dram.queue_depth = 1;
-    let r = Simulator::new(cfg).run(std::slice::from_ref(&trace)).unwrap();
+    let r = Simulator::new(cfg)
+        .run(std::slice::from_ref(&trace))
+        .unwrap();
     assert_eq!(r.total_instructions(), trace.instruction_count());
     assert_eq!(r.cores[0].accesses, trace.len() as u64);
 }
@@ -82,7 +91,9 @@ fn tiny_caches_still_complete() {
     cfg.l1.associativity = 2;
     cfg.l2.size_bytes = 4096;
     cfg.l2.associativity = 4;
-    let r = Simulator::new(cfg).run(std::slice::from_ref(&trace)).unwrap();
+    let r = Simulator::new(cfg)
+        .run(std::slice::from_ref(&trace))
+        .unwrap();
     assert_eq!(r.total_instructions(), trace.instruction_count());
     assert!(r.cores[0].l1_miss_rate() > 0.5);
 }
@@ -246,7 +257,10 @@ fn injected_request_fault_is_a_typed_error() {
 fn ann_budget_exhaustion_reports_best_error() {
     use c2bound::ann::protocol::SampleProtocol;
     let space: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-    let truth: Vec<f64> = space.iter().map(|p| 100.0 + (p[0] * 17.0).sin() * 50.0).collect();
+    let truth: Vec<f64> = space
+        .iter()
+        .map(|p| 100.0 + (p[0] * 17.0).sin() * 50.0)
+        .collect();
     let proto = SampleProtocol {
         error_target: 1e-9,
         max_samples: 32,

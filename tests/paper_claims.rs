@@ -42,7 +42,10 @@ fn case_split_governs_optimizer() {
     // SS III.C: dL/dN > 0 iff g(N) >= O(N).
     let mut m = C2BoundModel::example_big_data();
     m.program.g = ScaleFunction::Power(1.5);
-    assert_eq!(optimize(&m).unwrap().case, OptimizationCase::MaximizeThroughput);
+    assert_eq!(
+        optimize(&m).unwrap().case,
+        OptimizationCase::MaximizeThroughput
+    );
     m.program.g = ScaleFunction::Log2;
     m.program.f_seq = 0.2;
     assert_eq!(optimize(&m).unwrap().case, OptimizationCase::MinimizeTime);
