@@ -17,4 +17,12 @@ echo "== runner engine integration tests =="
 cargo test -q -p c2-runner --test engine_resume
 cargo test -q -p c2-runner --test proptest_runner
 
+echo "== examples (build + smoke run) =="
+cargo build -q --examples
+for ex in examples/*.rs; do
+    name="$(basename "${ex%.rs}")"
+    echo "-- ${name}"
+    cargo run -q --example "${name}" > /dev/null
+done
+
 echo "OK"

@@ -12,8 +12,9 @@
 
 use crate::dse::{analytic_time, DesignPoint, DesignSpace, Oracle};
 use crate::model::{C2BoundModel, OptimizationCase};
-use crate::optimize::{optimize, OptimalDesign};
+use crate::optimize::{optimize_observed, OptimalDesign};
 use crate::{Error, Result};
+use c2_obs::{MetricsSink, NullSink};
 
 /// The APS driver.
 #[derive(Debug, Clone)]
@@ -59,6 +60,17 @@ pub enum DegradationLevel {
     /// More than half the refinement points died; the chosen point is
     /// real but the swept region is mostly unobserved.
     Severe,
+}
+
+impl DegradationLevel {
+    /// Stable lower-case name, used in trace events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradationLevel::None => "none",
+            DegradationLevel::Partial => "partial",
+            DegradationLevel::Severe => "severe",
+        }
+    }
 }
 
 /// A refinement point whose oracle never succeeded.
@@ -261,6 +273,13 @@ impl Aps {
     /// Stage 1 of the decomposed APS: run the analysis, pin the
     /// skeleton, and lay out the refinement sweep as independent jobs.
     pub fn plan(&self) -> Result<ApsPlan> {
+        self.plan_observed(&NullSink)
+    }
+
+    /// [`Aps::plan`] with the analysis stage instrumented: the final
+    /// KKT cascade reports to `sink` under the `solver` scope, and the
+    /// finished plan is announced under the `aps` scope.
+    pub fn plan_observed(&self, sink: &dyn MetricsSink) -> Result<ApsPlan> {
         // An empty axis makes the space unusable (nothing to snap to,
         // nothing to sweep) — reject it up front rather than panicking
         // deep inside `DesignSpace::snap`.
@@ -271,7 +290,7 @@ impl Aps {
             });
         }
         // --- Analysis: Eq. 13 via Lagrange/Newton (Fig 6 lines 4-13).
-        let analytic = optimize(&self.model)?;
+        let analytic = optimize_observed(&self.model, sink)?;
         // Snap N to the grid first, then re-solve the area split at that
         // N (the continuous optimum's areas are only right for its own
         // N), and snap the areas.
@@ -300,11 +319,26 @@ impl Aps {
                 });
             }
         }
-        Ok(ApsPlan {
+        let plan = ApsPlan {
             analytic,
             skeleton,
             jobs,
-        })
+        };
+        sink.counter_add("aps_plans_total", 1);
+        sink.gauge_set("aps_plan_jobs", plan.jobs.len() as f64);
+        sink.event(
+            "aps",
+            "plan.created",
+            &[
+                ("jobs", plan.jobs.len().into()),
+                ("case", format!("{:?}", plan.analytic.case).into()),
+                ("skeleton_a0", plan.skeleton[0].into()),
+                ("skeleton_a1", plan.skeleton[1].into()),
+                ("skeleton_a2", plan.skeleton[2].into()),
+                ("skeleton_n", plan.skeleton[3].into()),
+            ],
+        );
+        Ok(plan)
     }
 
     /// Stage 2 of the decomposed APS: fold per-job outcomes (from any
@@ -320,6 +354,19 @@ impl Aps {
         plan: &ApsPlan,
         results: &[(usize, PointOutcome)],
         policy: &ResiliencePolicy,
+    ) -> Result<ApsOutcome> {
+        self.assemble_observed(plan, results, policy, &NullSink)
+    }
+
+    /// [`Aps::assemble`] with the fold instrumented: per-point attempt
+    /// counts, success/skip/backfill tallies and the final degradation
+    /// verdict are reported to `sink` under the `aps` scope.
+    pub fn assemble_observed(
+        &self,
+        plan: &ApsPlan,
+        results: &[(usize, PointOutcome)],
+        policy: &ResiliencePolicy,
+        sink: &dyn MetricsSink,
     ) -> Result<ApsOutcome> {
         let mut by_seq: Vec<Option<&PointOutcome>> = vec![None; plan.jobs.len()];
         for (seq, outcome) in results {
@@ -350,6 +397,11 @@ impl Aps {
             })?;
             log.attempted += 1;
             log.oracle_calls += outcome.attempts;
+            sink.observe(
+                "aps_attempts_per_point",
+                &[1.0, 2.0, 4.0, 8.0, 16.0],
+                outcome.attempts as f64,
+            );
             if outcome.attempts > 1 {
                 log.retried += 1;
             }
@@ -399,6 +451,33 @@ impl Aps {
         } else {
             DegradationLevel::Partial
         };
+
+        let backfilled = log
+            .skipped
+            .iter()
+            .filter(|s| s.analytic_estimate.is_some())
+            .count();
+        sink.counter_add("aps_assembles_total", 1);
+        sink.counter_add("aps_points_succeeded_total", log.succeeded as u64);
+        sink.counter_add("aps_points_skipped_total", log.skipped.len() as u64);
+        sink.counter_add("aps_points_retried_total", log.retried as u64);
+        sink.counter_add("aps_backfill_total", backfilled as u64);
+        sink.counter_add("aps_oracle_calls_total", log.oracle_calls as u64);
+        if prediction_error.is_finite() {
+            sink.gauge_set("aps_prediction_error", prediction_error);
+        }
+        sink.event(
+            "aps",
+            "assemble.done",
+            &[
+                ("attempted", log.attempted.into()),
+                ("succeeded", log.succeeded.into()),
+                ("skipped", log.skipped.len().into()),
+                ("backfilled", backfilled.into()),
+                ("retried", log.retried.into()),
+                ("degradation", log.degradation.as_str().into()),
+            ],
+        );
 
         Ok(ApsOutcome {
             chosen,

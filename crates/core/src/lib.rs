@@ -72,7 +72,7 @@ pub use dse::{DesignPoint, DesignSpace, GroundTruth, Oracle};
 pub use energy::{MultiObjective, PowerModel};
 pub use mem_model::{CacheSensitivity, MemoryModel};
 pub use model::{C2BoundModel, DesignVariables, OptimizationCase, ProgramProfile};
-pub use optimize::{optimize, OptimalDesign, SplitSolve};
+pub use optimize::{optimize, optimize_observed, OptimalDesign, SplitSolve};
 pub use scaling::{ScalingPoint, ScalingStudy};
 
 /// Errors from the model and optimizer.

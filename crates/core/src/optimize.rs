@@ -22,6 +22,7 @@ use c2_solver::robust::{RobustOptions, SolveQuality, SolveStrategy};
 
 use crate::model::{C2BoundModel, DesignVariables, OptimizationCase};
 use crate::{Error, Result};
+use c2_obs::{MetricsSink, NullSink};
 
 /// Lower bound on any single area component (mm²) to keep the model in
 /// its physical domain.
@@ -85,6 +86,18 @@ pub fn optimize_split_report(
     model: &C2BoundModel,
     n: f64,
 ) -> Result<(DesignVariables, SplitSolve)> {
+    optimize_split_report_observed(model, n, &NullSink)
+}
+
+/// [`optimize_split_report`] with the KKT cascade instrumented: rung
+/// entries, failures and the acceptance go to `sink` under the
+/// `solver` scope; a Nelder–Mead rescue is counted under
+/// `aps_split_fallback_total`.
+pub fn optimize_split_report_observed(
+    model: &C2BoundModel,
+    n: f64,
+    sink: &dyn MetricsSink,
+) -> Result<(DesignVariables, SplitSolve)> {
     if n < 1.0 {
         return Err(Error::InvalidParameter {
             name: "n",
@@ -144,7 +157,7 @@ pub fn optimize_split_report(
     };
     let problem = EqualityConstrained::new(smooth_objective)
         .constraint(move |a: &[f64]| a[0] + a[1] + a[2] - per_core);
-    let cascade = problem.solve_cascade(
+    let cascade = problem.solve_cascade_observed(
         &seed,
         &RobustOptions {
             newton: NewtonOptions {
@@ -154,6 +167,7 @@ pub fn optimize_split_report(
             },
             ..RobustOptions::default()
         },
+        sink,
     );
 
     let candidate = match &cascade {
@@ -188,6 +202,7 @@ pub fn optimize_split_report(
     }
 
     // Fallback: Nelder–Mead on the two free fractions.
+    sink.counter_add("aps_split_fallback_total", 1);
     let (best, _) = nelder_mead(
         |f: &[f64]| {
             let a0 = f[0].clamp(0.01, 0.98) * per_core;
@@ -220,6 +235,15 @@ pub fn optimize_split_report(
 
 /// Full two-level optimization (Fig 6).
 pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
+    optimize_observed(model, &NullSink)
+}
+
+/// [`optimize`] with the *final* split solve instrumented. The outer
+/// N-scan runs dozens of inner cascades; observing every one would
+/// flood the trace with near-identical solver events, so only the
+/// definitive solve at the chosen `N*` reports to `sink` (the scan
+/// stays on a [`NullSink`]).
+pub fn optimize_observed(model: &C2BoundModel, sink: &dyn MetricsSink) -> Result<OptimalDesign> {
     let n_max = (model.budget.usable() / (3.0 * MIN_AREA)).floor().max(1.0);
     let case = model.case();
 
@@ -268,7 +292,7 @@ pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
         scan_axis.point(best_i)
     };
 
-    let (vars, split_solve) = optimize_split_report(model, n_star)?;
+    let (vars, split_solve) = optimize_split_report_observed(model, n_star, sink)?;
     Ok(OptimalDesign {
         execution_time: model.execution_time(&vars),
         throughput: model.throughput(&vars),

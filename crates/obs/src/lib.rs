@@ -1,0 +1,80 @@
+//! # c2-obs — clock-free observability for the C2-bound DSE stack
+//!
+//! Metrics and traces for a *deterministic* system have a constraint
+//! ordinary telemetry does not: two runs of the same seeded sweep must
+//! produce **byte-identical** output, or the observability layer itself
+//! becomes a source of test flakiness. Everything in this crate is
+//! therefore clock-free:
+//!
+//! * **Counters, gauges and histograms** ([`MetricsRegistry`]) hold
+//!   pure event counts and last-written values — never wall-clock
+//!   timestamps. Histograms store only `u64` bucket counts over a fixed
+//!   bound ladder, so merging two histograms is exact integer addition
+//!   and is associative and commutative (property-tested).
+//! * **The event trace** ([`TraceEvent`]) is keyed by a *logical tick*:
+//!   the position of the event in emission order, assigned by the
+//!   [`Recorder`]. No durations, no instants.
+//! * **Serialization** ([`Report`]) renders through ordered maps with a
+//!   deterministic float format, so the JSON report and the JSONL event
+//!   stream are stable down to the byte.
+//!
+//! Instrumented code talks to the [`MetricsSink`] trait and never to a
+//! concrete backend; production callers pass a [`Recorder`], tests pass
+//! a `Recorder` they later drain, and uninstrumented paths pass
+//! [`NullSink`] at zero cost.
+//!
+//! The determinism contract (what instrumented layers must uphold for
+//! byte-identical traces) is documented in DESIGN.md §7.
+
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod recorder;
+mod report;
+mod sink;
+mod trace;
+
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::Recorder;
+pub use report::Report;
+pub use sink::{MetricsSink, NullSink};
+pub use trace::{FieldValue, TraceEvent};
+
+use std::fmt;
+
+/// Errors produced by the observability layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsError {
+    /// A histogram was constructed with an invalid bound ladder
+    /// (empty, non-finite, or not strictly ascending).
+    InvalidBounds(String),
+    /// Two histograms with different bound ladders were merged.
+    BoundsMismatch {
+        /// Bucket count (bounds length) of the left-hand histogram.
+        left: usize,
+        /// Bucket count (bounds length) of the right-hand histogram.
+        right: usize,
+    },
+    /// A serialized report failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::InvalidBounds(why) => write!(f, "invalid histogram bounds: {why}"),
+            ObsError::BoundsMismatch { left, right } => write!(
+                f,
+                "cannot merge histograms with different bound ladders ({left} vs {right} bounds)"
+            ),
+            ObsError::Parse(why) => write!(f, "malformed obs report: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ObsError>;

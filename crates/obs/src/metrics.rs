@@ -1,0 +1,396 @@
+//! Counters, gauges and fixed-bucket histograms with deterministic
+//! merge.
+//!
+//! A histogram here is *only* a bound ladder plus `u64` bucket counts —
+//! deliberately no floating-point sum-of-observations field. Dropping
+//! the sum is what makes [`Histogram::merge`] exact integer addition,
+//! and therefore associative and commutative (f64 addition is neither),
+//! which the property suite asserts with full structural equality.
+
+use crate::{Json, ObsError, Result};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds.len() + 1` buckets, where bucket
+/// `i` counts observations `x ≤ bounds[i]` (and the last bucket counts
+/// the overflow above every bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram over the given upper bounds, which must be
+    /// non-empty, finite and strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Result<Histogram> {
+        if bounds.is_empty() {
+            return Err(ObsError::InvalidBounds("empty bound ladder".into()));
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(ObsError::InvalidBounds("non-finite bound".into()));
+        }
+        if bounds.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(ObsError::InvalidBounds(
+                "bounds must be strictly ascending".into(),
+            ));
+        }
+        let counts = vec![0; bounds.len() + 1];
+        Ok(Histogram { bounds, counts })
+    }
+
+    /// A geometric ladder `start, start·factor, …` of `steps` bounds —
+    /// the usual shape for delay and iteration-count metrics.
+    pub fn exponential(start: f64, factor: f64, steps: usize) -> Result<Histogram> {
+        if !(start > 0.0) || !start.is_finite() {
+            return Err(ObsError::InvalidBounds(
+                "exponential start must be finite and > 0".into(),
+            ));
+        }
+        if !(factor > 1.0) || !factor.is_finite() {
+            return Err(ObsError::InvalidBounds(
+                "exponential factor must be finite and > 1".into(),
+            ));
+        }
+        if steps == 0 {
+            return Err(ObsError::InvalidBounds(
+                "exponential ladder needs at least one step".into(),
+            ));
+        }
+        let mut bounds = Vec::with_capacity(steps);
+        let mut bound = start;
+        for _ in 0..steps {
+            bounds.push(bound);
+            bound *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation. NaN lands in the overflow bucket: it is
+    /// not comparable to any bound, and dropping it would break count
+    /// conservation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// The bound ladder.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative bucket counts; the last entry equals [`count`].
+    ///
+    /// [`count`]: Histogram::count
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+
+    /// Merge another histogram into this one. Exact (integer bucket
+    /// addition); fails if the bound ladders differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.bounds != other.bounds {
+            return Err(ObsError::BoundsMismatch {
+                left: self.bounds.len(),
+                right: other.bounds.len(),
+            });
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "bounds".into(),
+                Json::Arr(self.bounds.iter().map(|b| Json::Num(*b)).collect()),
+            ),
+            (
+                "counts".into(),
+                Json::Arr(self.counts.iter().map(|c| Json::Num(*c as f64)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Histogram> {
+        let bounds = value
+            .get("bounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ObsError::Parse("histogram missing `bounds`".into()))?
+            .iter()
+            .map(|b| {
+                b.as_f64()
+                    .ok_or_else(|| ObsError::Parse("non-numeric histogram bound".into()))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        let counts = value
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ObsError::Parse("histogram missing `counts`".into()))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| ObsError::Parse("non-integer histogram count".into()))
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        let mut h = Histogram::new(bounds)?;
+        if counts.len() != h.counts.len() {
+            return Err(ObsError::Parse(format!(
+                "histogram has {} counts for {} bounds",
+                counts.len(),
+                h.bounds.len()
+            )));
+        }
+        h.counts = counts;
+        Ok(h)
+    }
+}
+
+/// The metric store: named counters, gauges and histograms, all in
+/// ordered maps so serialization is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record `value` into the named histogram, creating it with the
+    /// given bound ladder on first use. An existing histogram keeps its
+    /// original ladder; `bounds` is then ignored.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        let hist = self.histograms.entry(name.to_string()).or_insert_with(|| {
+            Histogram::new(bounds.to_vec()).unwrap_or_else(|_| {
+                // A bad ladder from instrumented code must not panic the
+                // host program; fall back to a single overflow split.
+                Histogram::new(vec![1.0]).expect("static ladder is valid")
+            })
+        });
+        hist.observe(value);
+    }
+
+    /// The named counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, if ever written.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if ever observed into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one: counters add, gauges take
+    /// the other side's value (it is "later"), histograms merge
+    /// bucket-wise. Fails only on a histogram ladder mismatch.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<()> {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist)?,
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the deterministic JSON value used by [`Report`].
+    ///
+    /// [`Report`]: crate::Report
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild a registry from [`MetricsRegistry::to_json`] output.
+    pub fn from_json(value: &Json) -> Result<MetricsRegistry> {
+        let mut reg = MetricsRegistry::new();
+        if let Some(pairs) = value.get("counters").and_then(Json::as_obj) {
+            for (name, v) in pairs {
+                let count = v
+                    .as_u64()
+                    .ok_or_else(|| ObsError::Parse(format!("counter `{name}` not integral")))?;
+                reg.counters.insert(name.clone(), count);
+            }
+        }
+        if let Some(pairs) = value.get("gauges").and_then(Json::as_obj) {
+            for (name, v) in pairs {
+                // Non-finite gauges render as JSON null; accept them
+                // back as NaN rather than failing the whole report.
+                let x = match v {
+                    Json::Null => f64::NAN,
+                    other => other
+                        .as_f64()
+                        .ok_or_else(|| ObsError::Parse(format!("gauge `{name}` not numeric")))?,
+                };
+                reg.gauges.insert(name.clone(), x);
+            }
+        }
+        if let Some(pairs) = value.get("histograms").and_then(Json::as_obj) {
+            for (name, v) in pairs {
+                reg.histograms
+                    .insert(name.clone(), Histogram::from_json(v)?);
+            }
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]).unwrap();
+        h.observe(0.5); // bucket 0 (≤ 1)
+        h.observe(1.0); // bucket 0 (inclusive)
+        h.observe(5.0); // bucket 1
+        h.observe(1e6); // overflow
+        h.observe(f64::NAN); // overflow, not dropped
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.cumulative(), vec![2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_ladders() {
+        assert!(Histogram::new(vec![]).is_err());
+        assert!(Histogram::new(vec![1.0, 1.0]).is_err());
+        assert!(Histogram::new(vec![2.0, 1.0]).is_err());
+        assert!(Histogram::new(vec![1.0, f64::INFINITY]).is_err());
+        assert!(Histogram::exponential(0.0, 2.0, 4).is_err());
+        assert!(Histogram::exponential(1.0, 1.0, 4).is_err());
+        assert!(Histogram::exponential(1.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn merge_requires_identical_ladders() {
+        let mut a = Histogram::new(vec![1.0, 2.0]).unwrap();
+        let b = Histogram::new(vec![1.0, 3.0]).unwrap();
+        assert!(matches!(a.merge(&b), Err(ObsError::BoundsMismatch { .. })));
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("b_total", 2);
+        reg.counter_add("a_total", 1);
+        reg.gauge_set("depth", 3.5);
+        reg.observe("lat_ms", &[1.0, 8.0], 4.0);
+        reg.observe("lat_ms", &[1.0, 8.0], 40.0);
+        let text = reg.to_json().render();
+        let back = MetricsRegistry::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, reg);
+        // BTreeMap ordering makes the rendering canonical.
+        assert!(text.find("a_total").unwrap() < text.find("b_total").unwrap());
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        a.observe("h", &[1.0], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("x", 2);
+        b.counter_add("y", 5);
+        b.observe("h", &[1.0], 9.0);
+        b.gauge_set("g", 7.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.histogram("h").unwrap().counts(), &[1, 1]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The serialized observation bundle: metrics registry + event trace.
+
+use crate::{FieldValue, Json, MetricsRegistry, ObsError, Result, TraceEvent};
+use std::fmt::Write as _;
+
+/// Everything a run observed: the final metric values and the full
+/// event trace, with deterministic serializations in three shapes —
+/// a single JSON document, a JSONL event stream, and a
+/// Prometheus-style text dump.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Final counter/gauge/histogram values.
+    pub registry: MetricsRegistry,
+    /// The trace, in tick order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Report {
+    /// The full report as one deterministic JSON document (newline
+    /// terminated).
+    pub fn to_json(&self) -> String {
+        let doc = Json::Obj(vec![
+            ("metrics".to_string(), self.registry.to_json()),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ]);
+        let mut text = doc.render();
+        text.push('\n');
+        text
+    }
+
+    /// Just the metrics registry as a JSON document (newline
+    /// terminated).
+    pub fn metrics_json(&self) -> String {
+        let mut text = self.registry.to_json().render();
+        text.push('\n');
+        text
+    }
+
+    /// The event trace as JSONL: one event object per line.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a document produced by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Result<Report> {
+        let doc = Json::parse(text)?;
+        let registry = MetricsRegistry::from_json(
+            doc.get("metrics")
+                .ok_or_else(|| ObsError::Parse("report missing `metrics`".into()))?,
+        )?;
+        let mut events = Vec::new();
+        for item in doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ObsError::Parse("report missing `events` array".into()))?
+        {
+            events.push(event_from_json(item)?);
+        }
+        Ok(Report { registry, events })
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` headers, histogram
+    /// `_bucket`/`_count` series with `le` labels. No timestamps — the
+    /// dump is as deterministic as the registry.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.registry.counters() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in self.registry.gauges() {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", prom_f64(value));
+        }
+        for (name, hist) in self.registry.histograms() {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let cumulative = hist.cumulative();
+            for (bound, cum) in hist.bounds().iter().zip(&cumulative) {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", prom_f64(*bound));
+            }
+            let total = hist.count();
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{name}_count {total}");
+        }
+        out
+    }
+}
+
+/// Deterministic float format for the Prometheus dump: integral values
+/// drop the fraction, everything else uses shortest round-trip.
+fn prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if x.fract() == 0.0 && x.abs() <= 9_007_199_254_740_992.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:?}")
+    }
+}
+
+fn event_from_json(value: &Json) -> Result<TraceEvent> {
+    let pairs = value
+        .as_obj()
+        .ok_or_else(|| ObsError::Parse("trace event is not an object".into()))?;
+    let mut tick = None;
+    let mut scope = None;
+    let mut name = None;
+    let mut fields = Vec::new();
+    for (key, v) in pairs {
+        match key.as_str() {
+            "tick" => tick = v.as_u64(),
+            "scope" => scope = v.as_str().map(str::to_string),
+            "name" => name = v.as_str().map(str::to_string),
+            _ => fields.push((key.clone(), field_from_json(v))),
+        }
+    }
+    Ok(TraceEvent {
+        tick: tick.ok_or_else(|| ObsError::Parse("trace event missing `tick`".into()))?,
+        scope: scope.ok_or_else(|| ObsError::Parse("trace event missing `scope`".into()))?,
+        name: name.ok_or_else(|| ObsError::Parse("trace event missing `name`".into()))?,
+        fields,
+    })
+}
+
+/// Typed field recovery is lossy by design (JSON numbers are one
+/// type): integral values come back as `U64`/`I64`, the rest as `F64`.
+fn field_from_json(value: &Json) -> FieldValue {
+    match value {
+        Json::Bool(b) => FieldValue::Bool(*b),
+        Json::Str(s) => FieldValue::Str(s.clone()),
+        Json::Num(x) => {
+            if let Some(u) = value.as_u64() {
+                FieldValue::U64(u)
+            } else if x.fract() == 0.0 && x.is_finite() && x.abs() <= 9_007_199_254_740_992.0 {
+                FieldValue::I64(*x as i64)
+            } else {
+                FieldValue::F64(*x)
+            }
+        }
+        // Null (e.g. a non-finite float on the way out) and nested
+        // containers degrade to NaN — events carry scalars only.
+        _ => FieldValue::F64(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsSink, Recorder};
+
+    fn sample() -> Report {
+        let rec = Recorder::new();
+        rec.counter_add("jobs_total", 9);
+        rec.gauge_set("queue_depth", 2.0);
+        rec.observe("delay_ms", &[1.0, 10.0, 100.0], 4.0);
+        rec.observe("delay_ms", &[1.0, 10.0, 100.0], 40.0);
+        rec.event(
+            "engine",
+            "attempt.ok",
+            &[("seq", 3u64.into()), ("value", 1.25f64.into())],
+        );
+        rec.event("engine", "run.finish", &[("completed", true.into())]);
+        rec.report()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_stable() {
+        let report = sample();
+        let text = report.to_json();
+        let back = Report::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "serialization is a fixed point");
+    }
+
+    #[test]
+    fn jsonl_has_one_event_per_line() {
+        let report = sample();
+        let jsonl = report.events_jsonl();
+        assert_eq!(jsonl.lines().count(), report.events.len());
+        assert!(jsonl.starts_with("{\"tick\":0,"));
+    }
+
+    #[test]
+    fn prometheus_dump_has_typed_series() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter\njobs_total 9\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 2\n"));
+        assert!(text.contains("delay_ms_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("delay_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("delay_ms_count 2\n"));
+    }
+}

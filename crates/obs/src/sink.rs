@@ -1,0 +1,43 @@
+//! The [`MetricsSink`] trait instrumented layers talk to, and the
+//! zero-cost [`NullSink`].
+//!
+//! The trait takes `&self` and is `Sync` so one sink can be shared by
+//! every worker of the sweep engine's scoped thread pool; implementors
+//! carry their own interior locking (see [`Recorder`]).
+//!
+//! [`Recorder`]: crate::Recorder
+
+use crate::FieldValue;
+
+/// Receiver for metrics and trace events from instrumented code.
+///
+/// All methods are infallible and must not panic: observability must
+/// never take down the computation it observes.
+pub trait MetricsSink: Sync {
+    /// Add `delta` to a named counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Set a named gauge (last write wins).
+    fn gauge_set(&self, name: &str, value: f64);
+
+    /// Record `value` into a named histogram, created with `bounds` on
+    /// first use.
+    fn observe(&self, name: &str, bounds: &[f64], value: f64);
+
+    /// Emit a structured trace event. The sink assigns the logical
+    /// tick; `fields` are kept in the order given.
+    fn event(&self, scope: &str, name: &str, fields: &[(&str, FieldValue)]);
+}
+
+/// A sink that drops everything. The instrumentation default: plain
+/// (unobserved) entry points delegate to their `_observed` twins with
+/// a `&NullSink`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _bounds: &[f64], _value: f64) {}
+    fn event(&self, _scope: &str, _name: &str, _fields: &[(&str, FieldValue)]) {}
+}

@@ -1,0 +1,131 @@
+//! The structured event trace, keyed by logical ticks.
+//!
+//! A tick is not a time: it is the event's position in emission order,
+//! assigned by the [`Recorder`](crate::Recorder) when the event lands.
+//! Under the determinism contract (DESIGN.md §7) emission order is a
+//! pure function of the workload, so the whole trace is byte-stable.
+
+use crate::Json;
+
+/// A single typed field value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer payload (counts, sequence numbers, attempts).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating-point payload (residuals, estimates).
+    F64(f64),
+    /// String payload (states, strategy names, error text).
+    Str(String),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Json {
+        match self {
+            FieldValue::U64(v) => Json::Num(*v as f64),
+            FieldValue::I64(v) => Json::Num(*v as f64),
+            FieldValue::F64(v) => Json::Num(*v),
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// One trace event: which layer spoke (`scope`), what happened
+/// (`name`), when in logical order (`tick`), and the structured
+/// payload (`fields`, in the order the emitter listed them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Logical tick: the event's index in emission order.
+    pub tick: u64,
+    /// Emitting layer, e.g. `"engine"`, `"solver"`, `"aps"`.
+    pub scope: String,
+    /// Event name, e.g. `"attempt.failed"`, `"cascade.rung"`.
+    pub name: String,
+    /// Ordered structured payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Serialize to one deterministic JSON object (`tick`, `scope`,
+    /// `name` first, then the fields in emitter order).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("tick".to_string(), Json::Num(self.tick as f64)),
+            ("scope".to_string(), Json::Str(self.scope.clone())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+        ];
+        for (key, value) in &self.fields {
+            pairs.push((key.clone(), value.to_json()));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_header_then_fields_in_order() {
+        let ev = TraceEvent {
+            tick: 7,
+            scope: "engine".into(),
+            name: "attempt.failed".into(),
+            fields: vec![
+                ("seq".into(), 3u64.into()),
+                ("error".into(), "oracle fault".into()),
+                ("will_retry".into(), true.into()),
+            ],
+        };
+        assert_eq!(
+            ev.to_json().render(),
+            r#"{"tick":7,"scope":"engine","name":"attempt.failed","seq":3,"error":"oracle fault","will_retry":true}"#
+        );
+    }
+}

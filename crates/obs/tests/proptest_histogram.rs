@@ -1,0 +1,116 @@
+//! Property tests for the histogram invariants the determinism
+//! contract leans on.
+//!
+//! Because a [`Histogram`] stores only `u64` bucket counts (no f64
+//! sum-of-observations), `merge` is exact integer addition — so the
+//! algebraic laws below hold as *full structural equality*, not
+//! approximately.
+
+use c2_obs::Histogram;
+use proptest::prelude::*;
+
+/// A valid bound ladder: strictly ascending, finite, 1–6 bounds.
+fn ladders() -> impl Strategy<Value = Vec<f64>> {
+    (prop::collection::vec(0.1f64..50.0, 1..6), -20.0f64..20.0).prop_map(|(steps, origin)| {
+        let mut bound = origin;
+        steps
+            .iter()
+            .map(|step| {
+                bound += step;
+                bound
+            })
+            .collect()
+    })
+}
+
+/// Observation batches, including values outside any ladder.
+fn batches() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..200.0, 0..40)
+}
+
+fn filled(bounds: &[f64], values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(bounds.to_vec()).expect("strategy yields valid ladders");
+    for v in values {
+        h.observe(*v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b).expect("same ladder by construction");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), exactly.
+    #[test]
+    fn merge_is_associative(
+        bounds in ladders(),
+        va in batches(),
+        vb in batches(),
+        vc in batches(),
+    ) {
+        let (a, b, c) = (filled(&bounds, &va), filled(&bounds, &vb), filled(&bounds, &vc));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a, exactly.
+    #[test]
+    fn merge_is_commutative(bounds in ladders(), va in batches(), vb in batches()) {
+        let (a, b) = (filled(&bounds, &va), filled(&bounds, &vb));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Recording a batch in one histogram equals splitting the batch
+    /// at any point, recording the halves separately, and merging —
+    /// and no observation is ever lost (count conservation).
+    #[test]
+    fn split_record_merge_conserves_counts(
+        bounds in ladders(),
+        values in batches(),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let whole = filled(&bounds, &values);
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let parts = merged(
+            &filled(&bounds, &values[..split]),
+            &filled(&bounds, &values[split..]),
+        );
+        prop_assert_eq!(&parts, &whole);
+        prop_assert_eq!(whole.count(), values.len() as u64);
+    }
+
+    /// Cumulative bucket sums are monotone non-decreasing and end at
+    /// the total observation count.
+    #[test]
+    fn cumulative_sums_are_monotone(bounds in ladders(), values in batches()) {
+        let h = filled(&bounds, &values);
+        let cumulative = h.cumulative();
+        prop_assert_eq!(cumulative.len(), h.counts().len());
+        for w in cumulative.windows(2) {
+            prop_assert!(w[0] <= w[1], "cumulative sums must not decrease");
+        }
+        prop_assert_eq!(*cumulative.last().unwrap(), h.count());
+    }
+
+    /// Merging never fails for identical ladders and always fails for
+    /// differing ones.
+    #[test]
+    fn merge_accepts_only_matching_ladders(
+        bounds in ladders(),
+        shift in 0.5f64..5.0,
+        values in batches(),
+    ) {
+        let mut a = filled(&bounds, &values);
+        let same = Histogram::new(bounds.clone()).unwrap();
+        prop_assert!(a.merge(&same).is_ok());
+        let shifted: Vec<f64> = bounds.iter().map(|b| b + shift).collect();
+        let other = Histogram::new(shifted).unwrap();
+        prop_assert!(a.merge(&other).is_err());
+    }
+}

@@ -67,6 +67,37 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lower-case name, used in trace events and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Small integer encoding for the `engine_breaker_state` gauge
+    /// (0 = closed, 1 = open, 2 = half-open).
+    pub fn as_gauge(&self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
+/// One observed breaker state change, drained via
+/// [`CircuitBreaker::take_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State before the change.
+    pub from: BreakerState,
+    /// State after the change.
+    pub to: BreakerState,
+}
+
 /// What the breaker decided for a job about to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
@@ -88,6 +119,7 @@ pub struct CircuitBreaker {
     probe_successes: usize,
     trips: usize,
     short_circuits: usize,
+    last_transition: Option<Transition>,
 }
 
 impl CircuitBreaker {
@@ -102,7 +134,29 @@ impl CircuitBreaker {
             probe_successes: 0,
             trips: 0,
             short_circuits: 0,
+            last_transition: None,
         })
+    }
+
+    /// Move to `to`, recording the transition for
+    /// [`CircuitBreaker::take_transition`].
+    fn set_state(&mut self, to: BreakerState) {
+        if self.state != to {
+            self.last_transition = Some(Transition {
+                from: self.state,
+                to,
+            });
+        }
+        self.state = to;
+    }
+
+    /// Drain the most recent state transition, if one happened since
+    /// the last drain. The engine calls this after every
+    /// `admit`/`on_success`/`on_failure` to turn state changes into
+    /// trace events; each of those calls changes state at most once, so
+    /// a single slot loses nothing.
+    pub fn take_transition(&mut self) -> Option<Transition> {
+        self.last_transition.take()
     }
 
     /// Decide whether the next oracle attempt may run. Must be called
@@ -116,7 +170,7 @@ impl CircuitBreaker {
                     self.short_circuits += 1;
                     Admission::ShortCircuit
                 } else {
-                    self.state = BreakerState::HalfOpen;
+                    self.set_state(BreakerState::HalfOpen);
                     self.probe_successes = 0;
                     Admission::Admit
                 }
@@ -131,7 +185,7 @@ impl CircuitBreaker {
             BreakerState::HalfOpen => {
                 self.probe_successes += 1;
                 if self.probe_successes >= self.policy.probes {
-                    self.state = BreakerState::Closed;
+                    self.set_state(BreakerState::Closed);
                     self.consecutive_failures = 0;
                 }
             }
@@ -156,7 +210,7 @@ impl CircuitBreaker {
     }
 
     fn trip(&mut self) {
-        self.state = BreakerState::Open;
+        self.set_state(BreakerState::Open);
         self.trips += 1;
         self.shorted_while_open = 0;
         self.probe_successes = 0;
@@ -259,6 +313,104 @@ mod tests {
         b.on_failure();
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_to_closed_recovery_emits_transitions() {
+        // trip → cooldown → probe twice → closed, draining the
+        // transition slot at every step to check the emitted sequence.
+        let mut b = breaker(1, 1, 2);
+        assert_eq!(b.take_transition(), None, "fresh breaker has no history");
+        b.admit();
+        b.on_failure();
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            })
+        );
+        assert_eq!(b.admit(), Admission::ShortCircuit);
+        assert_eq!(b.take_transition(), None, "cooldown burn is not a change");
+        assert_eq!(b.admit(), Admission::Admit);
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::Open,
+                to: BreakerState::HalfOpen,
+            })
+        );
+        b.on_success();
+        assert_eq!(b.take_transition(), None, "first probe is not enough");
+        b.admit();
+        b.on_success();
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::HalfOpen,
+                to: BreakerState::Closed,
+            }),
+            "second probe success closes the breaker"
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Recovery is real: the next failure streak starts from zero.
+        b.admit();
+        b.on_failure();
+        assert_eq!(b.trips(), 2, "threshold 1 re-trips on the next failure");
+    }
+
+    #[test]
+    fn half_open_to_open_retrip_emits_transitions() {
+        let mut b = breaker(2, 0, 1);
+        b.admit();
+        b.on_failure();
+        b.admit();
+        b.on_failure(); // second consecutive failure trips
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            })
+        );
+        // cooldown = 0: the next admit probes immediately.
+        assert_eq!(b.admit(), Admission::Admit);
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::Open,
+                to: BreakerState::HalfOpen,
+            })
+        );
+        b.on_failure();
+        assert_eq!(
+            b.take_transition(),
+            Some(Transition {
+                from: BreakerState::HalfOpen,
+                to: BreakerState::Open,
+            }),
+            "a half-open failure re-trips immediately"
+        );
+        assert_eq!(b.trips(), 2);
+        // A re-trip resets the cooldown: the path back is probe again.
+        assert_eq!(b.admit(), Admission::Admit);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(
+            b.take_transition().map(|t| t.to),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn state_names_are_stable() {
+        assert_eq!(BreakerState::Closed.as_str(), "closed");
+        assert_eq!(BreakerState::Open.as_str(), "open");
+        assert_eq!(BreakerState::HalfOpen.as_str(), "half-open");
+        assert_eq!(BreakerState::Closed.as_gauge(), 0.0);
+        assert_eq!(BreakerState::Open.as_gauge(), 1.0);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 2.0);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!   `attempted == succeeded + skipped + backfilled`.
 
 use crate::backoff::BackoffPolicy;
-use crate::breaker::{Admission, BreakerPolicy, CircuitBreaker};
+use crate::breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker};
 use crate::journal::{
     self, error_message, plan_fingerprint, JobRecord, JournalHeader, JournalWriter,
 };
@@ -34,10 +34,16 @@ use crate::{Error, Result};
 use c2_bound::aps::{classify_oracle_result, Aps, ApsOutcome, ApsPlan, PointOutcome};
 use c2_bound::dse::Oracle;
 use c2_bound::ResiliencePolicy;
+use c2_obs::{MetricsSink, NullSink};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Histogram ladder for retry backoff delays (milliseconds).
+const BACKOFF_DELAY_BOUNDS: &[f64] = &[1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
+/// Histogram ladder for per-job oracle attempt counts.
+const ATTEMPTS_PER_JOB_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0];
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +218,7 @@ struct Shared<'a> {
     done_cv: Condvar,
     plan: &'a ApsPlan,
     config: &'a RunConfig,
+    sink: &'a dyn MetricsSink,
 }
 
 impl Shared<'_> {
@@ -228,6 +235,31 @@ impl Shared<'_> {
         cv: &Condvar,
     ) -> MutexGuard<'g, EngineState> {
         cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Drain and publish the breaker's latest state transition, if any.
+/// Called (under the state lock) after every `admit`/`on_success`/
+/// `on_failure`, each of which changes state at most once.
+fn note_breaker(shared: &Shared, st: &mut EngineState) {
+    if let Some(tr) = st.breaker.take_transition() {
+        shared
+            .sink
+            .counter_add("engine_breaker_transitions_total", 1);
+        if tr.to == BreakerState::Open {
+            shared.sink.counter_add("engine_breaker_trips_total", 1);
+        }
+        shared
+            .sink
+            .gauge_set("engine_breaker_state", tr.to.as_gauge());
+        shared.sink.event(
+            "engine",
+            "breaker.transition",
+            &[
+                ("from", tr.from.as_str().into()),
+                ("to", tr.to.as_str().into()),
+            ],
+        );
     }
 }
 
@@ -250,13 +282,32 @@ fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal)
                 .map_err(error_message),
             short_circuited: terminal.short_circuited,
         };
-        if let Err(e) = journal.record(&record) {
-            // A dead journal means resumability is already lost; stop
-            // the run instead of silently continuing unjournaled.
-            st.journal_error = Some(e);
-            st.aborted = true;
+        match journal.record(&record) {
+            Ok(()) => {
+                shared.sink.counter_add("engine_journal_appends_total", 1);
+                shared
+                    .sink
+                    .event("engine", "journal.append", &[("seq", seq.into())]);
+            }
+            Err(e) => {
+                // A dead journal means resumability is already lost; stop
+                // the run instead of silently continuing unjournaled.
+                st.journal_error = Some(e);
+                st.aborted = true;
+            }
         }
     }
+    shared.sink.event(
+        "engine",
+        "job.terminal",
+        &[
+            ("seq", seq.into()),
+            ("attempts", terminal.outcome.attempts.into()),
+            ("timeouts", terminal.timeouts.into()),
+            ("ok", terminal.outcome.result.is_ok().into()),
+            ("short_circuited", terminal.short_circuited.into()),
+        ],
+    );
     st.terminals[seq] = Some(terminal);
     st.generations[seq] += 1; // invalidate any stale in-flight attempt
     st.pending -= 1;
@@ -286,9 +337,25 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                 }
                 if let Some(a) = st.queue.pop_front() {
                     shared.done_cv.notify_all(); // queue capacity freed
-                    match st.breaker.admit() {
-                        Admission::Admit => break a,
+                    let admission = st.breaker.admit();
+                    note_breaker(shared, &mut st);
+                    match admission {
+                        Admission::Admit => {
+                            shared.sink.counter_add("engine_attempts_total", 1);
+                            shared.sink.event(
+                                "engine",
+                                "attempt.started",
+                                &[("seq", a.seq.into()), ("attempt", a.attempt.into())],
+                            );
+                            break a;
+                        }
                         Admission::ShortCircuit => {
+                            shared.sink.counter_add("engine_short_circuits_total", 1);
+                            shared.sink.event(
+                                "engine",
+                                "job.short_circuited",
+                                &[("seq", a.seq.into())],
+                            );
                             let timeouts = st.timeouts_per_job[a.seq];
                             finish(
                                 shared,
@@ -355,6 +422,17 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
         match result {
             Ok(t) => {
                 st.breaker.on_success();
+                note_breaker(shared, &mut st);
+                shared.sink.counter_add("engine_attempt_successes_total", 1);
+                shared.sink.event(
+                    "engine",
+                    "attempt.ok",
+                    &[
+                        ("seq", task.seq.into()),
+                        ("attempt", task.attempt.into()),
+                        ("time", t.into()),
+                    ],
+                );
                 let timeouts = st.timeouts_per_job[task.seq];
                 finish(
                     shared,
@@ -372,10 +450,44 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
             }
             Err(e) => {
                 st.breaker.on_failure();
-                if task.attempt < shared.config.max_attempts {
+                note_breaker(shared, &mut st);
+                let will_retry = task.attempt < shared.config.max_attempts;
+                shared.sink.counter_add("engine_attempt_failures_total", 1);
+                shared.sink.event(
+                    "engine",
+                    "attempt.failed",
+                    &[
+                        ("seq", task.seq.into()),
+                        ("attempt", task.attempt.into()),
+                        ("error", e.to_string().into()),
+                        ("will_retry", will_retry.into()),
+                    ],
+                );
+                if will_retry {
+                    let next = task.attempt + 1;
+                    let delay_ms = shared
+                        .config
+                        .backoff
+                        .delay(task.seq as u64, next)
+                        .as_millis() as u64;
+                    shared.sink.counter_add("engine_retries_scheduled_total", 1);
+                    shared.sink.observe(
+                        "engine_backoff_delay_ms",
+                        BACKOFF_DELAY_BOUNDS,
+                        delay_ms as f64,
+                    );
+                    shared.sink.event(
+                        "engine",
+                        "retry.scheduled",
+                        &[
+                            ("seq", task.seq.into()),
+                            ("attempt", next.into()),
+                            ("delay_ms", delay_ms.into()),
+                        ],
+                    );
                     st.queue.push_back(Attempt {
                         seq: task.seq,
-                        attempt: task.attempt + 1,
+                        attempt: next,
                     });
                     shared.work_cv.notify_one();
                 } else {
@@ -427,11 +539,32 @@ fn watchdog_loop(shared: &Shared) {
                 st.generations[seq] += 1;
                 st.timeouts_per_job[seq] += 1;
                 st.breaker.on_failure();
+                note_breaker(shared, &mut st);
+                shared.sink.counter_add("engine_timeouts_total", 1);
+                shared.sink.event(
+                    "engine",
+                    "watchdog.timeout",
+                    &[("seq", seq.into()), ("attempt", r.attempt.into())],
+                );
                 if r.attempt < shared.config.max_attempts {
-                    st.queue.push_back(Attempt {
-                        seq,
-                        attempt: r.attempt + 1,
-                    });
+                    let next = r.attempt + 1;
+                    let delay_ms = shared.config.backoff.delay(seq as u64, next).as_millis() as u64;
+                    shared.sink.counter_add("engine_retries_scheduled_total", 1);
+                    shared.sink.observe(
+                        "engine_backoff_delay_ms",
+                        BACKOFF_DELAY_BOUNDS,
+                        delay_ms as f64,
+                    );
+                    shared.sink.event(
+                        "engine",
+                        "retry.scheduled",
+                        &[
+                            ("seq", seq.into()),
+                            ("attempt", next.into()),
+                            ("delay_ms", delay_ms.into()),
+                        ],
+                    );
+                    st.queue.push_back(Attempt { seq, attempt: next });
                     shared.work_cv.notify_one();
                 } else {
                     let timeouts = st.timeouts_per_job[seq];
@@ -507,7 +640,32 @@ impl SweepRunner {
         O: Oracle,
         B: Fn() -> O + Sync,
     {
-        let plan = aps.plan()?;
+        self.run_aps_observed(aps, make_oracle, journal_path, resume, &NullSink)
+    }
+
+    /// [`SweepRunner::run_aps`] with the whole run instrumented: job
+    /// lifecycle, retries and backoff delays, breaker transitions,
+    /// journal appends/replays and the analysis/assembly stages all
+    /// report to `sink` (scopes `engine`, `solver`, `aps`).
+    ///
+    /// Determinism contract (DESIGN.md §7): with `workers: 1` the
+    /// captured metrics and event trace are byte-identical across runs
+    /// of the same seeded sweep. With more workers the counters still
+    /// add up, but event interleaving (and therefore ticks and breaker
+    /// trajectories) follows the thread schedule.
+    pub fn run_aps_observed<O, B>(
+        &self,
+        aps: &Aps,
+        make_oracle: B,
+        journal_path: Option<&Path>,
+        resume: bool,
+        sink: &dyn MetricsSink,
+    ) -> Result<RunSummary>
+    where
+        O: Oracle,
+        B: Fn() -> O + Sync,
+    {
+        let plan = aps.plan_observed(sink)?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
             fingerprint: plan_fingerprint(&plan),
@@ -539,6 +697,9 @@ impl SweepRunner {
                             ))
                         })?;
                         replay_breaker(&mut breaker, record);
+                        // Replay reconstructs state the original run
+                        // already traced; don't re-emit its transitions.
+                        let _ = breaker.take_transition();
                         *slot = Some(Terminal {
                             outcome: record.point_outcome(),
                             short_circuited: record.short_circuited,
@@ -546,6 +707,15 @@ impl SweepRunner {
                         });
                         resumed += 1;
                     }
+                    sink.counter_add("engine_journal_replayed_total", resumed as u64);
+                    sink.event(
+                        "engine",
+                        "journal.replayed",
+                        &[
+                            ("records", resumed.into()),
+                            ("breaker_state", breaker.state().as_str().into()),
+                        ],
+                    );
                     Some(JournalWriter::append(path)?)
                 } else {
                     Some(JournalWriter::create(path, &header)?)
@@ -554,6 +724,18 @@ impl SweepRunner {
         };
 
         let pending = terminals.iter().filter(|t| t.is_none()).count();
+        sink.gauge_set("engine_plan_jobs", plan.jobs.len() as f64);
+        sink.gauge_set("engine_breaker_state", breaker.state().as_gauge());
+        sink.event(
+            "engine",
+            "run.start",
+            &[
+                ("jobs", plan.jobs.len().into()),
+                ("pending", pending.into()),
+                ("resumed", resumed.into()),
+                ("workers", self.config.workers.into()),
+            ],
+        );
         let shared = Shared {
             state: Mutex::new(EngineState {
                 queue: VecDeque::new(),
@@ -576,6 +758,7 @@ impl SweepRunner {
             done_cv: Condvar::new(),
             plan: &plan,
             config: &self.config,
+            sink,
         };
 
         if pending > 0 {
@@ -628,7 +811,7 @@ impl SweepRunner {
             .filter_map(|(seq, t)| t.as_ref().map(|t| (seq, t.outcome.clone())))
             .collect();
         let outcome = if completed {
-            Some(aps.assemble(&plan, &results, &self.config.resilience_policy())?)
+            Some(aps.assemble_observed(&plan, &results, &self.config.resilience_policy(), sink)?)
         } else {
             None
         };
@@ -652,6 +835,11 @@ impl SweepRunner {
         };
         for (seq, terminal) in st.terminals.iter().enumerate() {
             let Some(t) = terminal else { continue };
+            sink.observe(
+                "engine_attempts_per_job",
+                ATTEMPTS_PER_JOB_BOUNDS,
+                t.outcome.attempts as f64,
+            );
             report.attempted += 1;
             report.oracle_calls += t.outcome.attempts;
             report.timeouts += t.timeouts;
@@ -673,6 +861,23 @@ impl SweepRunner {
             }
         }
         debug_assert!(report.consistent());
+        sink.event(
+            "engine",
+            "run.finish",
+            &[
+                ("completed", report.completed.into()),
+                ("attempted", report.attempted.into()),
+                ("succeeded", report.succeeded.into()),
+                ("skipped", report.skipped.into()),
+                ("backfilled", report.backfilled.into()),
+                ("resumed", report.resumed.into()),
+                ("retried", report.retried.into()),
+                ("oracle_calls", report.oracle_calls.into()),
+                ("timeouts", report.timeouts.into()),
+                ("short_circuited", report.short_circuited.into()),
+                ("breaker_trips", report.breaker_trips.into()),
+            ],
+        );
         Ok(RunSummary {
             report,
             plan,

@@ -44,7 +44,7 @@ pub mod fault_oracle;
 pub mod journal;
 
 pub use backoff::BackoffPolicy;
-pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker};
+pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, Transition};
 pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
 pub use fault_oracle::InjectedOracle;
 pub use journal::{JobRecord, JournalHeader, JournalWriter};

@@ -13,7 +13,7 @@
 //! Newton solver.
 
 use crate::newton::{newton_system, NewtonOptions, NewtonSolution};
-use crate::robust::{solve_robust, RobustOptions, SolveReport};
+use crate::robust::{solve_robust_observed, RobustOptions, SolveReport};
 use crate::{Error, Result};
 
 /// A boxed scalar function of a design vector.
@@ -152,12 +152,24 @@ impl<'a> EqualityConstrained<'a> {
     /// to the derivative-free stage. The returned [`SolveReport`] names
     /// the winning strategy and whether the solve was degraded.
     pub fn solve_cascade(&self, x0: &[f64], opts: &RobustOptions) -> Result<RobustKktSolution> {
+        self.solve_cascade_observed(x0, opts, &c2_obs::NullSink)
+    }
+
+    /// [`EqualityConstrained::solve_cascade`] with the underlying
+    /// cascade instrumented: rung entries, rung failures and the final
+    /// acceptance are reported to `sink` under the `solver` scope.
+    pub fn solve_cascade_observed(
+        &self,
+        x0: &[f64],
+        opts: &RobustOptions,
+        sink: &dyn c2_obs::MetricsSink,
+    ) -> Result<RobustKktSolution> {
         let n = x0.len();
         if n == 0 {
             return Err(Error::InvalidParameter("empty primal space"));
         }
         let z0 = self.initial_kkt_point(x0);
-        let report = solve_robust(|z, out| self.kkt_residual(n, z, out), &z0, opts)?;
+        let report = solve_robust_observed(|z, out| self.kkt_residual(n, z, out), &z0, opts, sink)?;
         Ok(RobustKktSolution {
             kkt: self.unpack(n, &report.solution),
             report,

@@ -49,7 +49,9 @@ pub use lagrange::{EqualityConstrained, KktSolution, RobustKktSolution};
 pub use linalg::Matrix;
 pub use nelder::{nelder_mead, NelderMeadOptions};
 pub use newton::{newton_system, NewtonOptions, NewtonSolution};
-pub use robust::{solve_robust, RobustOptions, SolveQuality, SolveReport, SolveStrategy};
+pub use robust::{
+    solve_robust, solve_robust_observed, RobustOptions, SolveQuality, SolveReport, SolveStrategy,
+};
 pub use roots::{bisect, newton_scalar};
 
 /// Errors from the numerical routines.

@@ -26,6 +26,7 @@ use crate::linalg::norm2;
 use crate::nelder::{nelder_mead, NelderMeadOptions};
 use crate::newton::{newton_system, NewtonOptions, NewtonSolution};
 use crate::{Error, Result};
+use c2_obs::{MetricsSink, NullSink};
 
 /// Which cascade stage produced the accepted solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,16 @@ pub enum SolveQuality {
     /// Residual above the Newton tolerance but within
     /// [`RobustOptions::degraded_tol`]: usable, flagged for the caller.
     Degraded,
+}
+
+impl SolveQuality {
+    /// Stable lower-case name, used in trace events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolveQuality::Clean => "clean",
+            SolveQuality::Degraded => "degraded",
+        }
+    }
 }
 
 /// One cascade stage that was attempted before success (or total
@@ -172,6 +183,62 @@ pub fn solve_robust<F>(f: F, x0: &[f64], opts: &RobustOptions) -> Result<SolveRe
 where
     F: Fn(&[f64], &mut [f64]),
 {
+    solve_robust_observed(f, x0, opts, &NullSink)
+}
+
+/// Histogram ladder for Newton iteration counts.
+const ITERATION_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Histogram ladder for accepted-solution residuals.
+const RESIDUAL_BOUNDS: &[f64] = &[1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 1.0];
+
+/// Emit the acceptance record for a finished cascade.
+fn emit_accepted(sink: &dyn MetricsSink, report: &SolveReport) {
+    sink.counter_add("solver_solves_total", 1);
+    sink.observe(
+        "solver_newton_iterations",
+        ITERATION_BOUNDS,
+        report.solution.iterations as f64,
+    );
+    sink.observe("solver_residual", RESIDUAL_BOUNDS, report.solution.residual);
+    sink.event(
+        "solver",
+        "cascade.accepted",
+        &[
+            ("rung", report.strategy.to_string().into()),
+            ("retries", report.retries.into()),
+            ("quality", report.quality.as_str().into()),
+            ("iterations", report.solution.iterations.into()),
+            ("residual", report.solution.residual.into()),
+        ],
+    );
+}
+
+/// Emit the failure record for one cascade rung.
+fn emit_rung_failed(sink: &dyn MetricsSink, strategy: SolveStrategy, error: &Error) {
+    sink.counter_add("solver_rung_failures_total", 1);
+    sink.event(
+        "solver",
+        "cascade.rung_failed",
+        &[
+            ("rung", strategy.to_string().into()),
+            ("error", error.to_string().into()),
+        ],
+    );
+}
+
+/// [`solve_robust`] with the cascade instrumented: every rung entry,
+/// rung failure and the final acceptance (or exhaustion) is reported
+/// to `sink` under the `solver` scope. The plain entry point is this
+/// function with a [`NullSink`].
+pub fn solve_robust_observed<F>(
+    f: F,
+    x0: &[f64],
+    opts: &RobustOptions,
+    sink: &dyn MetricsSink,
+) -> Result<SolveReport>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
     if x0.is_empty() {
         return Err(Error::InvalidParameter("empty system"));
     }
@@ -186,21 +253,31 @@ where
     let mut attempts = Vec::new();
 
     // Stage 1: nominal Newton.
+    sink.event(
+        "solver",
+        "cascade.rung",
+        &[("rung", SolveStrategy::NominalNewton.to_string().into())],
+    );
     match newton_system(&f, x0, &opts.newton) {
         Ok(solution) => {
             let quality = quality_of(solution.residual, opts);
-            return Ok(SolveReport {
+            let report = SolveReport {
                 solution,
                 strategy: SolveStrategy::NominalNewton,
                 retries: 0,
                 quality,
                 attempts,
+            };
+            emit_accepted(sink, &report);
+            return Ok(report);
+        }
+        Err(e) => {
+            emit_rung_failed(sink, SolveStrategy::NominalNewton, &e);
+            attempts.push(AttemptRecord {
+                strategy: SolveStrategy::NominalNewton,
+                error: e,
             });
         }
-        Err(e) => attempts.push(AttemptRecord {
-            strategy: SolveStrategy::NominalNewton,
-            error: e,
-        }),
     }
 
     // Stage 2: bounded restarts from deterministically perturbed starts.
@@ -211,25 +288,45 @@ where
             .iter()
             .map(|&xi| xi + scale * xi.abs().max(1.0) * unit_signed(splitmix64(&mut rng_state)))
             .collect();
+        sink.event(
+            "solver",
+            "cascade.rung",
+            &[(
+                "rung",
+                SolveStrategy::PerturbedNewton { attempt }
+                    .to_string()
+                    .into(),
+            )],
+        );
         match newton_system(&f, &start, &opts.newton) {
             Ok(solution) => {
                 let quality = quality_of(solution.residual, opts);
-                return Ok(SolveReport {
+                let report = SolveReport {
                     solution,
                     strategy: SolveStrategy::PerturbedNewton { attempt },
                     retries: attempt,
                     quality,
                     attempts,
+                };
+                emit_accepted(sink, &report);
+                return Ok(report);
+            }
+            Err(e) => {
+                emit_rung_failed(sink, SolveStrategy::PerturbedNewton { attempt }, &e);
+                attempts.push(AttemptRecord {
+                    strategy: SolveStrategy::PerturbedNewton { attempt },
+                    error: e,
                 });
             }
-            Err(e) => attempts.push(AttemptRecord {
-                strategy: SolveStrategy::PerturbedNewton { attempt },
-                error: e,
-            }),
         }
     }
 
     // Stage 3: derivative-free fallback on the merit ‖F(x)‖₂.
+    sink.event(
+        "solver",
+        "cascade.rung",
+        &[("rung", SolveStrategy::DerivativeFree.to_string().into())],
+    );
     let n = x0.len();
     let mut buf = vec![0.0; n];
     let merit = |x: &[f64]| -> f64 {
@@ -268,6 +365,8 @@ where
     let (mut best_x, mut best_m) = match seeded {
         Ok(s) => s,
         Err(e) => {
+            emit_rung_failed(sink, SolveStrategy::DerivativeFree, &e);
+            sink.counter_add("solver_solve_failures_total", 1);
             attempts.push(AttemptRecord {
                 strategy: SolveStrategy::DerivativeFree,
                 error: e.clone(),
@@ -281,13 +380,15 @@ where
     // derivative-free stage that found the basin.
     if let Ok(polished) = newton_system(&f, &best_x, &opts.newton) {
         let quality = quality_of(polished.residual, opts);
-        return Ok(SolveReport {
+        let report = SolveReport {
             solution: polished,
             strategy: SolveStrategy::DerivativeFree,
             retries: opts.max_restarts,
             quality,
             attempts,
-        });
+        };
+        emit_accepted(sink, &report);
+        return Ok(report);
     }
 
     // Refine without derivatives: golden section for 1-D, Nelder–Mead
@@ -324,7 +425,7 @@ where
         f(&best_x, &mut buf);
         let residual = norm2(&buf);
         let quality = quality_of(residual, opts);
-        return Ok(SolveReport {
+        let report = SolveReport {
             solution: NewtonSolution {
                 x: best_x,
                 residual,
@@ -334,12 +435,16 @@ where
             retries: opts.max_restarts,
             quality,
             attempts,
-        });
+        };
+        emit_accepted(sink, &report);
+        return Ok(report);
     }
     let err = Error::DidNotConverge {
         iterations: opts.newton.max_iters,
         residual: best_m,
     };
+    emit_rung_failed(sink, SolveStrategy::DerivativeFree, &err);
+    sink.counter_add("solver_solve_failures_total", 1);
     attempts.push(AttemptRecord {
         strategy: SolveStrategy::DerivativeFree,
         error: err.clone(),

@@ -14,13 +14,17 @@
 //! c2bound-tool adaptive                         # phase-adaptive reconfiguration (SS V)
 //! c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D]
 //!               [--max-attempts K] [--journal PATH] [--resume]
+//!               [--metrics-out PATH]
+//! c2bound-tool obs-report <metrics.json> [--prom|--json]
 //! ```
 //!
 //! `run` drives the APS refinement sweep through the supervised job
 //! engine (`c2-runner`): worker pool, per-attempt deadlines, retry
 //! with backoff, circuit breaking, and — with `--journal` — a
 //! flushed-per-outcome checkpoint file that `--resume` picks up
-//! idempotently after a crash.
+//! idempotently after a crash. `--metrics-out` records a clock-free
+//! observability report (metrics + tick-ordered trace, see DESIGN.md
+//! §7); `obs-report` pretty-prints or re-exports such a report.
 //!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
@@ -45,7 +49,8 @@ fn usage() -> ! {
          c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
          c2bound-tool adaptive\n  \
          c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D] [--max-attempts K] \
-         [--journal PATH] [--resume]"
+         [--journal PATH] [--resume] [--metrics-out PATH]\n  \
+         c2bound-tool obs-report <metrics.json> [--prom|--json]"
     );
     std::process::exit(2);
 }
@@ -253,6 +258,7 @@ fn cmd_run(args: &[String]) {
         ..c2_runner::RunConfig::default()
     };
     let mut journal: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut resume = false;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
@@ -271,6 +277,10 @@ fn cmd_run(args: &[String]) {
             },
             "--journal" => match rest.next() {
                 Some(v) => journal = Some(std::path::PathBuf::from(v)),
+                None => usage(),
+            },
+            "--metrics-out" => match rest.next() {
+                Some(v) => metrics_out = Some(std::path::PathBuf::from(v)),
                 None => usage(),
             },
             "--resume" => resume = true,
@@ -325,12 +335,25 @@ fn cmd_run(args: &[String]) {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let recorder = c2_obs::Recorder::new();
     let summary = runner
-        .run_aps(&aps, || price, journal.as_deref(), resume)
+        .run_aps_observed(&aps, || price, journal.as_deref(), resume, &recorder)
         .unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
+    if let Some(path) = &metrics_out {
+        let report = recorder.report();
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "metrics: wrote {} events and the metric registry to {}",
+            report.events.len(),
+            path.display()
+        );
+    }
     let r = &summary.report;
     println!(
         "run report: {} attempted = {} succeeded + {} skipped + {} backfilled \
@@ -365,6 +388,66 @@ fn cmd_run(args: &[String]) {
         fmt_num(100.0 * outcome.prediction_error),
         outcome.refinement.degradation
     );
+}
+
+/// `obs-report`: summarize (or re-export) a metrics report produced by
+/// `run --metrics-out`.
+fn cmd_obs_report(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    let mode = args.get(1).map(String::as_str);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let report = c2_obs::Report::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    match mode {
+        Some("--prom") => print!("{}", report.to_prometheus()),
+        Some("--json") => print!("{}", report.to_json()),
+        Some(_) => usage(),
+        None => {
+            let reg = &report.registry;
+            let mut t = Table::new(vec!["metric", "kind", "value"]);
+            for (name, value) in reg.counters() {
+                t.row(vec![
+                    name.to_string(),
+                    "counter".to_string(),
+                    value.to_string(),
+                ]);
+            }
+            for (name, value) in reg.gauges() {
+                t.row(vec![name.to_string(), "gauge".to_string(), fmt_num(value)]);
+            }
+            for (name, hist) in reg.histograms() {
+                t.row(vec![
+                    name.to_string(),
+                    "histogram".to_string(),
+                    format!(
+                        "{} observations / {} buckets",
+                        hist.count(),
+                        hist.counts().len()
+                    ),
+                ]);
+            }
+            println!("{}", t.render());
+            let mut scopes: std::collections::BTreeMap<&str, u64> =
+                std::collections::BTreeMap::new();
+            for ev in &report.events {
+                *scopes.entry(ev.scope.as_str()).or_insert(0) += 1;
+            }
+            let by_scope: Vec<String> = scopes
+                .iter()
+                .map(|(scope, n)| format!("{n} {scope}"))
+                .collect();
+            println!(
+                "trace: {} events ({})",
+                report.events.len(),
+                by_scope.join(", ")
+            );
+        }
+    }
 }
 
 fn cmd_scaling(args: &[String]) {
@@ -544,6 +627,7 @@ fn main() {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("aps") => cmd_aps(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("table1") => cmd_table1(),
         Some("multiobjective") => cmd_multiobjective(&args[1..]),

@@ -15,6 +15,7 @@
 pub use c2_ann as ann;
 pub use c2_bound as model;
 pub use c2_camat as camat;
+pub use c2_obs as obs;
 pub use c2_runner as runner;
 pub use c2_sim as sim;
 pub use c2_solver as solver;
