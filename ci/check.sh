@@ -17,6 +17,18 @@ echo "== runner engine integration tests =="
 cargo test -q -p c2-runner --test engine_resume
 cargo test -q -p c2-runner --test proptest_runner
 
+echo "== scenario files (validate + smoke run) =="
+cargo build -q --bin c2bound-tool
+for sc in examples/scenarios/*.json; do
+    echo "-- validate ${sc}"
+    cargo run -q --bin c2bound-tool -- scenario validate "${sc}" > /dev/null
+done
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+    --metrics-out "${smoke_dir}/metrics.json" > /dev/null
+test -s "${smoke_dir}/metrics.json"
+
 echo "== examples (build + smoke run) =="
 cargo build -q --examples
 for ex in examples/*.rs; do

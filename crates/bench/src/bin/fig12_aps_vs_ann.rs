@@ -87,12 +87,12 @@ fn run() -> c2_bench::BenchResult<()> {
 
     let index_of = |p: &DesignPoint| -> c2_bench::BenchResult<[usize; 6]> {
         Ok([
-            position_f(&space.a0, p.a0)?,
-            position_f(&space.a1, p.a1)?,
-            position_f(&space.a2, p.a2)?,
-            position_u(&space.n, p.n)?,
-            position_u(&space.issue, p.issue_width)?,
-            position_u(&space.rob, p.rob_size)?,
+            position_f(space.a0(), p.a0)?,
+            position_f(space.a1(), p.a1)?,
+            position_f(space.a2(), p.a2)?,
+            position_u(space.n(), p.n)?,
+            position_u(space.issue(), p.issue_width)?,
+            position_u(space.rob(), p.rob_size)?,
         ])
     };
 

@@ -115,6 +115,17 @@ impl CamatParams {
         })
     }
 
+    /// Validated construction from a scenario's C-AMAT override block.
+    pub fn from_spec(spec: &c2_config::CamatSpec) -> Result<Self> {
+        CamatParams::new(
+            spec.hit_time,
+            spec.hit_concurrency,
+            spec.pure_miss_rate,
+            spec.pure_avg_miss_penalty,
+            spec.pure_miss_concurrency,
+        )
+    }
+
     /// The sequential special case: `C_H = C_M = 1`, `pMR = MR`,
     /// `pAMP = AMP`, under which C-AMAT degenerates to AMAT (paper §II.A).
     pub fn sequential(amat: AmatParams) -> Self {

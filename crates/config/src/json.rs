@@ -1,18 +1,38 @@
 //! Minimal recursive JSON — deterministic rendering plus a strict
 //! parser.
 //!
-//! The rest of the workspace hand-rolls *flat* JSON (the runner's
-//! journal); the obs report nests (registry → histograms → buckets,
-//! events → fields), so this module carries a tiny recursive value
-//! type. Rendering is deterministic by construction: objects preserve
-//! the insertion order the builder chose (callers insert in sorted or
-//! otherwise fixed order), floats with an exact integer value render
-//! without a fraction, all other finite floats use Rust's shortest
-//! round-trip format, and non-finite floats render as `null` (JSON has
-//! no spelling for them).
+//! This module is the workspace's single recursive JSON value model.
+//! It originated in `c2-obs` (the observability report nests registry →
+//! histograms → buckets); the scenario layer generalizes it here so
+//! both crates share one deterministic value type. Rendering is
+//! deterministic by construction: objects preserve the insertion order
+//! the builder chose (callers insert in sorted or otherwise fixed
+//! order), floats with an exact integer value render without a
+//! fraction, all other finite floats use Rust's shortest round-trip
+//! format, and non-finite floats render as `null` (JSON has no spelling
+//! for them).
 
-use crate::{ObsError, Result};
 use std::fmt::Write as _;
+
+/// A JSON reader/writer error: the byte offset context and a short
+/// reason. Stringly-typed on purpose — callers either surface the text
+/// verbatim or wrap it in their own error enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+type Result<T> = std::result::Result<T, JsonError>;
+
+fn err(msg: impl Into<String>) -> JsonError {
+    JsonError(msg.into())
+}
 
 /// A JSON value. Objects are ordered pair lists, not maps: the builder
 /// fixes the key order, which is what makes rendering byte-stable.
@@ -71,6 +91,51 @@ impl Json {
         }
     }
 
+    /// Render to a human-oriented, still deterministic string: objects
+    /// go multiline with two-space indentation, arrays stay on one line
+    /// (scenario axes are long flat lists), scalars render as in
+    /// [`Json::render`]. `parse(render_pretty(v)) == v` always holds.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    for _ in 0..(depth + 1) * 2 {
+                        out.push(' ');
+                    }
+                    render_str(key, out);
+                    out.push_str(": ");
+                    value.render_pretty_into(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..depth * 2 {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            other => other.render_into(out),
+        }
+    }
+
     /// Parse a complete JSON document; trailing garbage is an error.
     pub fn parse(text: &str) -> Result<Json> {
         let bytes = text.as_bytes();
@@ -79,7 +144,7 @@ impl Json {
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(ObsError::Parse(format!(
+            return Err(err(format!(
                 "trailing bytes at offset {pos} after JSON value"
             )));
         }
@@ -177,7 +242,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err(ObsError::Parse("unexpected end of input".into())),
+        None => Err(err("unexpected end of input")),
         Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
@@ -193,9 +258,7 @@ fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Resu
         *pos += word.len();
         Ok(value)
     } else {
-        Err(ObsError::Parse(format!(
-            "expected `{word}` at offset {pos}"
-        )))
+        Err(err(format!("expected `{word}` at offset {pos}")))
     }
 }
 
@@ -207,10 +270,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| ObsError::Parse(format!("non-UTF-8 number at offset {start}")))?;
+        .map_err(|_| err(format!("non-UTF-8 number at offset {start}")))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| ObsError::Parse(format!("malformed number `{text}` at offset {start}")))
+        .map_err(|_| err(format!("malformed number `{text}` at offset {start}")))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
@@ -219,7 +282,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err(ObsError::Parse("unterminated string".into())),
+            None => return Err(err("unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -237,14 +300,14 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| ObsError::Parse("truncated \\u escape".into()))?;
+                            .ok_or_else(|| err("truncated \\u escape"))?;
                         let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| ObsError::Parse(format!("bad \\u escape `{hex}`")))?;
+                            .map_err(|_| err(format!("bad \\u escape `{hex}`")))?;
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         *pos += 4;
                     }
                     other => {
-                        return Err(ObsError::Parse(format!("bad escape {other:?}")));
+                        return Err(err(format!("bad escape {other:?}")));
                     }
                 }
                 *pos += 1;
@@ -252,7 +315,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
             Some(_) => {
                 // Advance one whole UTF-8 scalar, not one byte.
                 let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| ObsError::Parse("non-UTF-8 string body".into()))?;
+                    .map_err(|_| err("non-UTF-8 string body"))?;
                 let c = rest.chars().next().expect("non-empty by loop guard");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -278,7 +341,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(ObsError::Parse(format!("expected , or ] at offset {pos}"))),
+            _ => return Err(err(format!("expected , or ] at offset {pos}"))),
         }
     }
 }
@@ -294,14 +357,12 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json> {
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
-            return Err(ObsError::Parse(format!(
-                "expected string key at offset {pos}"
-            )));
+            return Err(err(format!("expected string key at offset {pos}")));
         }
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
-            return Err(ObsError::Parse(format!("expected : at offset {pos}")));
+            return Err(err(format!("expected : at offset {pos}")));
         }
         *pos += 1;
         let value = parse_value(bytes, pos)?;
@@ -313,7 +374,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 *pos += 1;
                 return Ok(Json::Obj(pairs));
             }
-            _ => return Err(ObsError::Parse(format!("expected , or }} at offset {pos}"))),
+            _ => return Err(err(format!("expected , or }} at offset {pos}"))),
         }
     }
 }
@@ -358,5 +419,25 @@ mod tests {
         assert_eq!(v.as_str().unwrap(), "aA\n\t\\");
         let v = Json::parse("\"héllo\"").unwrap();
         assert_eq!(v.as_str().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn pretty_render_parses_back_to_the_same_value() {
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::Num(1.0)),
+            (
+                "inner".into(),
+                Json::Obj(vec![
+                    ("xs".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+                    ("name".into(), Json::Str("q".into())),
+                ]),
+            ),
+            ("empty".into(), Json::Obj(Vec::new())),
+        ]);
+        let text = doc.render_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert!(text.contains("  \"inner\": {\n"));
+        assert!(text.contains("\"xs\": [1, 2.5]"));
+        assert!(text.contains("\"empty\": {}"));
     }
 }

@@ -1,0 +1,1775 @@
+//! The `Scenario`: one declarative, validated description of a full
+//! C2-bound experiment — workload, model knobs, chip, design space,
+//! budget, solver tolerances, runner policy, and observability.
+//!
+//! A scenario is a plain JSON document with a fixed canonical section
+//! order. Parsing is strict: unknown keys are rejected (with their
+//! dotted path), duplicate keys are rejected, and every field is
+//! type-checked. Missing sections/fields fall back to defaults that
+//! reproduce the workspace's historical hard-coded behavior bit for
+//! bit (`DesignSpace::paper_scale()`, `ChipConfig::default_single_core()`,
+//! the CLI's solver constants and runner knobs).
+//!
+//! Validation follows the workspace's NaN-rejecting idiom: conditions
+//! are written `!(x > 0.0)` so a NaN fails the check rather than
+//! slipping through an inverted comparison.
+//!
+//! The canonical compact rendering doubles as the identity of the
+//! scenario: [`Scenario::fingerprint`] is FNV-1a over those bytes, and
+//! the runner folds it into the journal header so `--resume` refuses a
+//! journal written for a different scenario.
+
+use crate::json::{Json, JsonError};
+
+/// A typed scenario reading/validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The document is not well-formed JSON.
+    Json(JsonError),
+    /// The `version` field names a schema we do not speak.
+    UnsupportedVersion(u64),
+    /// A key not in the schema, identified by its dotted path.
+    UnknownKey {
+        /// Dotted path of the offending key (e.g. `chip.l1.linesize`).
+        path: String,
+    },
+    /// The same key appears twice in one object.
+    DuplicateKey {
+        /// Dotted path of the repeated key.
+        path: String,
+    },
+    /// A field holds a value of the wrong JSON type.
+    WrongType {
+        /// Dotted path of the field.
+        path: String,
+        /// What the schema expects there.
+        expected: &'static str,
+    },
+    /// A field parsed but fails its physical-range check.
+    OutOfRange {
+        /// Dotted path of the field.
+        path: String,
+        /// The violated constraint, human-readable.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Json(e) => write!(f, "scenario: {e}"),
+            ScenarioError::UnsupportedVersion(v) => {
+                write!(f, "scenario: unsupported version {v} (expected 1)")
+            }
+            ScenarioError::UnknownKey { path } => {
+                write!(f, "scenario: unknown key `{path}`")
+            }
+            ScenarioError::DuplicateKey { path } => {
+                write!(f, "scenario: duplicate key `{path}`")
+            }
+            ScenarioError::WrongType { path, expected } => {
+                write!(f, "scenario: `{path}` must be a {expected}")
+            }
+            ScenarioError::OutOfRange { path, why } => {
+                write!(f, "scenario: `{path}` out of range: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<JsonError> for ScenarioError {
+    fn from(e: JsonError) -> Self {
+        ScenarioError::Json(e)
+    }
+}
+
+/// Scenario-layer result alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;
+
+/// FNV-1a over a byte string: the workspace's standard cheap stable
+/// hash (the runner's journal fingerprints use the same constants).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Spec structs
+// ---------------------------------------------------------------------------
+
+/// Which workload to characterize and at what problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (`tmm`, `spmv`, `stencil`, `fft`, `fluidanimate`).
+    pub name: String,
+    /// Problem-size parameter, interpreted per workload.
+    pub size: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "fluidanimate".into(),
+            size: 100,
+        }
+    }
+}
+
+/// C-AMAT measurement overrides: when present, these replace the
+/// characterized memory-behavior inputs to the analytical model.
+/// Fields mirror `CamatParams` in `c2-camat`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CamatSpec {
+    /// Cache hit time in cycles (paper's `H`).
+    pub hit_time: f64,
+    /// Hit concurrency (paper's `C_H`), at least 1.
+    pub hit_concurrency: f64,
+    /// Pure-miss rate (paper's `pMR`), in `[0, 1]`.
+    pub pure_miss_rate: f64,
+    /// Pure average miss penalty in cycles (paper's `pAMP`).
+    pub pure_avg_miss_penalty: f64,
+    /// Pure-miss concurrency (paper's `C_M`), at least 1.
+    pub pure_miss_concurrency: f64,
+}
+
+/// Analytical-model construction knobs (the constants the CLI used to
+/// hard-code in `model_from`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// L1 miss-rate sensitivity exponent (power-law alpha).
+    pub l1_alpha: f64,
+    /// L2 miss-rate sensitivity exponent (power-law alpha).
+    pub l2_alpha: f64,
+    /// Flat DRAM latency seen by the model, cycles.
+    pub dram_latency: f64,
+    /// Upper clamp on the measured compute/memory overlap fraction.
+    pub overlap_cap: f64,
+    /// Override for the sequential-scaling exponent `g`; `None` uses
+    /// the workload's own complexity-derived scale function.
+    pub g_exponent: Option<f64>,
+    /// C-AMAT measurement overrides; `None` uses characterization.
+    pub camat: Option<CamatSpec>,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            l1_alpha: 0.5,
+            l2_alpha: 1.0,
+            dram_latency: 120.0,
+            overlap_cap: 0.95,
+            g_exponent: None,
+            camat: None,
+        }
+    }
+}
+
+/// One cache level; mirrors `CacheConfig` in `c2-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSpec {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Associativity (ways per set).
+    pub associativity: u64,
+    /// Lookup/hit latency in cycles.
+    pub hit_latency: u64,
+    /// MSHR entries (outstanding misses); 1 = blocking cache.
+    pub mshr_entries: u64,
+    /// Access ports (new lookups accepted per cycle).
+    pub ports: u64,
+    /// Banks (independent lookup pipelines).
+    pub banks: u64,
+    /// Next-line prefetch on demand miss (L1 only).
+    pub next_line_prefetch: bool,
+}
+
+impl CacheSpec {
+    /// Mirror of `CacheConfig::default_l1()`.
+    pub fn default_l1() -> Self {
+        CacheSpec {
+            size_bytes: 32 * 1024,
+            line_size: 64,
+            associativity: 8,
+            hit_latency: 3,
+            mshr_entries: 8,
+            ports: 2,
+            banks: 4,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// Mirror of `CacheConfig::default_l2()`.
+    pub fn default_l2() -> Self {
+        CacheSpec {
+            size_bytes: 2 * 1024 * 1024,
+            line_size: 64,
+            associativity: 16,
+            hit_latency: 12,
+            mshr_entries: 16,
+            ports: 4,
+            banks: 8,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+/// DRAM timing/structure; mirrors `DramConfig` in `c2-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramSpec {
+    /// Independent banks.
+    pub banks: u64,
+    /// Row-buffer size in bytes.
+    pub row_size: u64,
+    /// Row-to-column delay (activate), cycles.
+    pub t_rcd: u64,
+    /// Column access (CAS) latency, cycles.
+    pub t_cas: u64,
+    /// Precharge latency, cycles.
+    pub t_rp: u64,
+    /// Data-bus transfer time per line, cycles.
+    pub t_bus: u64,
+    /// Request-queue capacity per DRAM channel.
+    pub queue_depth: u64,
+}
+
+impl Default for DramSpec {
+    fn default() -> Self {
+        DramSpec {
+            banks: 8,
+            row_size: 8 * 1024,
+            t_rcd: 22,
+            t_cas: 22,
+            t_rp: 22,
+            t_bus: 8,
+            queue_depth: 32,
+        }
+    }
+}
+
+/// Out-of-order core shape; mirrors `CoreConfig` in `c2-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// Instructions issued (and retired) per cycle.
+    pub issue_width: u64,
+    /// Reorder-buffer entries.
+    pub rob_size: u64,
+    /// Execution latency of a non-memory instruction, cycles.
+    pub exec_latency: u64,
+}
+
+impl Default for CoreSpec {
+    fn default() -> Self {
+        CoreSpec {
+            issue_width: 4,
+            rob_size: 128,
+            exec_latency: 1,
+        }
+    }
+}
+
+/// Interconnect latencies; mirrors `NocConfig` in `c2-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocSpec {
+    /// One-way latency L1→L2 (and back), cycles.
+    pub l1_l2_latency: u64,
+    /// One-way latency L2→memory controller, cycles.
+    pub l2_mem_latency: u64,
+}
+
+impl Default for NocSpec {
+    fn default() -> Self {
+        NocSpec {
+            l1_l2_latency: 4,
+            l2_mem_latency: 6,
+        }
+    }
+}
+
+/// Full chip description; mirrors `ChipConfig` in `c2-sim` (minus the
+/// fault plan, which is a test-injection surface, not an experiment
+/// parameter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Number of cores.
+    pub cores: u64,
+    /// Per-core configuration.
+    pub core: CoreSpec,
+    /// Private L1 per core.
+    pub l1: CacheSpec,
+    /// Shared L2.
+    pub l2: CacheSpec,
+    /// DRAM behind the L2.
+    pub dram: DramSpec,
+    /// Interconnect latencies.
+    pub noc: NocSpec,
+    /// Abort if a simulation exceeds this many cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for ChipSpec {
+    fn default() -> Self {
+        ChipSpec {
+            cores: 1,
+            core: CoreSpec::default(),
+            l1: CacheSpec::default_l1(),
+            l2: CacheSpec::default_l2(),
+            dram: DramSpec::default(),
+            noc: NocSpec::default(),
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+/// Design-space axes; mirrors `DesignSpace` in `c2-core`. The default
+/// reproduces `DesignSpace::paper_scale()` bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceSpec {
+    /// Sequential-stage area axis (mm²).
+    pub a0: Vec<f64>,
+    /// Per-core area axis (mm²).
+    pub a1: Vec<f64>,
+    /// Cache-area-per-core axis (mm²).
+    pub a2: Vec<f64>,
+    /// Core-count axis.
+    pub n: Vec<u64>,
+    /// Issue-width axis for the narrowed simulation sweep.
+    pub issue: Vec<u64>,
+    /// ROB-size axis for the narrowed simulation sweep.
+    pub rob: Vec<u64>,
+}
+
+/// Log-spaced inclusive axis, duplicated verbatim from
+/// `DesignSpace::geometric` so the default scenario reproduces
+/// `paper_scale()` bit for bit (same fp operation order).
+fn geometric(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 2);
+    (0..steps)
+        .map(|i| {
+            let t = i as f64 / (steps - 1) as f64;
+            (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+        })
+        .collect()
+}
+
+impl Default for SpaceSpec {
+    fn default() -> Self {
+        SpaceSpec::paper_scale()
+    }
+}
+
+impl SpaceSpec {
+    /// Mirror of `DesignSpace::paper_scale()`.
+    pub fn paper_scale() -> Self {
+        SpaceSpec {
+            a0: geometric(0.5, 16.0, 10),
+            a1: geometric(0.05, 2.0, 10),
+            a2: geometric(0.1, 4.0, 10),
+            n: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512],
+            issue: vec![1, 2, 3, 4, 5, 6, 7, 8, 12, 16],
+            rob: vec![16, 32, 48, 64, 96, 128, 160, 192, 224, 256],
+        }
+    }
+
+    /// Mirror of `DesignSpace::tiny()` — a fast smoke-test space.
+    pub fn tiny() -> Self {
+        SpaceSpec {
+            a0: vec![1.0, 2.0, 4.0, 8.0],
+            a1: vec![0.0625, 0.125, 0.25, 0.5],
+            a2: vec![0.125, 0.5, 1.0, 2.0],
+            n: vec![1, 2, 4, 8],
+            issue: vec![1, 2, 4],
+            rob: vec![16, 64, 128],
+        }
+    }
+}
+
+/// Silicon budget; mirrors `SiliconBudget::new(total, shared)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSpec {
+    /// Total chip area, mm².
+    pub total_area_mm2: f64,
+    /// Area reserved for shared structures, mm².
+    pub shared_area_mm2: f64,
+}
+
+impl Default for BudgetSpec {
+    fn default() -> Self {
+        BudgetSpec {
+            total_area_mm2: 400.0,
+            shared_area_mm2: 40.0,
+        }
+    }
+}
+
+/// Area-model coefficients; mirrors `AreaModel` in `c2-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaSpec {
+    /// Pollack's-rule performance coefficient.
+    pub pollack_k0: f64,
+    /// Pollack's-rule exponent offset.
+    pub pollack_phi0: f64,
+    /// Reference core area, mm².
+    pub reference_core_area: f64,
+    /// Cache density, bytes per mm².
+    pub cache_bytes_per_mm2: f64,
+}
+
+impl Default for AreaSpec {
+    fn default() -> Self {
+        AreaSpec {
+            pollack_k0: 1.0,
+            pollack_phi0: 0.2,
+            reference_core_area: 4.0,
+            cache_bytes_per_mm2: 512.0 * 1024.0,
+        }
+    }
+}
+
+/// Solver tolerances; defaults are the constants historically
+/// hard-coded in `c2-core`'s optimize path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSpec {
+    /// Newton convergence tolerance.
+    pub newton_tol: f64,
+    /// Newton iteration cap.
+    pub newton_max_iters: u64,
+    /// Nelder–Mead convergence tolerance (fallback solver).
+    pub nelder_tol: f64,
+    /// Nelder–Mead iteration cap.
+    pub nelder_max_iters: u64,
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        SolverSpec {
+            newton_tol: 1e-8,
+            newton_max_iters: 200,
+            nelder_tol: 1e-12,
+            nelder_max_iters: 4000,
+        }
+    }
+}
+
+/// Retry backoff policy; mirrors `BackoffPolicy` in `c2-runner`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffSpec {
+    /// First-retry delay, ms.
+    pub base_ms: u64,
+    /// Multiplier per attempt.
+    pub factor: f64,
+    /// Delay ceiling, ms.
+    pub cap_ms: u64,
+    /// Deterministic jitter fraction in `[0, 1]`.
+    pub jitter_frac: f64,
+}
+
+impl Default for BackoffSpec {
+    fn default() -> Self {
+        BackoffSpec {
+            base_ms: 10,
+            factor: 2.0,
+            cap_ms: 1_000,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+/// Circuit-breaker policy; mirrors `BreakerPolicy` in `c2-runner`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerSpec {
+    /// Consecutive failures before the breaker opens.
+    pub trip_threshold: u64,
+    /// Completed jobs to wait before half-opening.
+    pub cooldown: u64,
+    /// Successful probes required to close again.
+    pub probes: u64,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> Self {
+        BreakerSpec {
+            trip_threshold: 5,
+            cooldown: 3,
+            probes: 2,
+        }
+    }
+}
+
+/// Supervised-runner knobs; mirrors `RunConfig` in `c2-runner` with
+/// the CLI `run` command's historical defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerSpec {
+    /// Worker threads.
+    pub workers: u64,
+    /// Per-job deadline, ms (0 disables the deadline).
+    pub deadline_ms: u64,
+    /// Watchdog poll period, ms.
+    pub watchdog_tick_ms: u64,
+    /// Attempts per job before it is skipped/backfilled.
+    pub max_attempts: u64,
+    /// Job-queue capacity.
+    pub queue_capacity: u64,
+    /// Retry backoff policy.
+    pub backoff: BackoffSpec,
+    /// Circuit-breaker policy.
+    pub breaker: BreakerSpec,
+    /// Backfill skipped jobs from the analytic model.
+    pub analytic_fallback: bool,
+}
+
+impl Default for RunnerSpec {
+    fn default() -> Self {
+        RunnerSpec {
+            workers: 2,
+            deadline_ms: 60_000,
+            watchdog_tick_ms: 5,
+            max_attempts: 3,
+            queue_capacity: 64,
+            backoff: BackoffSpec::default(),
+            breaker: BreakerSpec::default(),
+            analytic_fallback: true,
+        }
+    }
+}
+
+/// Observability options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsSpec {
+    /// Write the deterministic metrics report to this path after the
+    /// sweep; `None` disables it.
+    pub metrics_out: Option<String>,
+}
+
+/// The complete declarative experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Schema version; only 1 is currently spoken.
+    pub version: u64,
+    /// Workload selection.
+    pub workload: WorkloadSpec,
+    /// Analytical-model knobs and characterization overrides.
+    pub model: ModelSpec,
+    /// Chip/cache/DRAM configuration for characterization & simulation.
+    pub chip: ChipSpec,
+    /// Design-space axes for the APS sweep.
+    pub space: SpaceSpec,
+    /// Silicon budget constraint.
+    pub budget: BudgetSpec,
+    /// Area-model coefficients.
+    pub area: AreaSpec,
+    /// Solver tolerances.
+    pub solver: SolverSpec,
+    /// Supervised-runner policy.
+    pub runner: RunnerSpec,
+    /// Observability options.
+    pub observability: ObsSpec,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            version: 1,
+            workload: WorkloadSpec::default(),
+            model: ModelSpec::default(),
+            chip: ChipSpec::default(),
+            space: SpaceSpec::default(),
+            budget: BudgetSpec::default(),
+            area: AreaSpec::default(),
+            solver: SolverSpec::default(),
+            runner: RunnerSpec::default(),
+            observability: ObsSpec::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Reject unknown and duplicate keys against a schema's allowed list.
+fn check_keys(pairs: &[(String, Json)], allowed: &[&str], path: &str) -> Result<()> {
+    for (i, (key, _)) in pairs.iter().enumerate() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::UnknownKey {
+                path: join(path, key),
+            });
+        }
+        if pairs[..i].iter().any(|(prev, _)| prev == key) {
+            return Err(ScenarioError::DuplicateKey {
+                path: join(path, key),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn expect_obj<'a>(value: &'a Json, path: &str) -> Result<&'a [(String, Json)]> {
+    value.as_obj().ok_or(ScenarioError::WrongType {
+        path: path.to_string(),
+        expected: "object",
+    })
+}
+
+fn find<'a>(pairs: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_f64(pairs: &[(String, Json)], key: &str, path: &str, default: f64) -> Result<f64> {
+    match find(pairs, key) {
+        None => Ok(default),
+        Some(Json::Num(x)) => Ok(*x),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "number",
+        }),
+    }
+}
+
+fn get_u64(pairs: &[(String, Json)], key: &str, path: &str, default: u64) -> Result<u64> {
+    match find(pairs, key) {
+        None => Ok(default),
+        Some(value) => value.as_u64().ok_or(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "non-negative integer",
+        }),
+    }
+}
+
+fn get_bool(pairs: &[(String, Json)], key: &str, path: &str, default: bool) -> Result<bool> {
+    match find(pairs, key) {
+        None => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "boolean",
+        }),
+    }
+}
+
+fn get_string(pairs: &[(String, Json)], key: &str, path: &str, default: &str) -> Result<String> {
+    match find(pairs, key) {
+        None => Ok(default.to_string()),
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "string",
+        }),
+    }
+}
+
+/// Optional number: absent and `null` both mean "not set".
+fn get_opt_f64(pairs: &[(String, Json)], key: &str, path: &str) -> Result<Option<f64>> {
+    match find(pairs, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(x)) => Ok(Some(*x)),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "number or null",
+        }),
+    }
+}
+
+/// Optional string: absent and `null` both mean "not set".
+fn get_opt_string(pairs: &[(String, Json)], key: &str, path: &str) -> Result<Option<String>> {
+    match find(pairs, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "string or null",
+        }),
+    }
+}
+
+fn get_vec_f64(
+    pairs: &[(String, Json)],
+    key: &str,
+    path: &str,
+    default: &[f64],
+) -> Result<Vec<f64>> {
+    match find(pairs, key) {
+        None => Ok(default.to_vec()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_f64().ok_or(ScenarioError::WrongType {
+                    path: join(path, key),
+                    expected: "array of numbers",
+                })
+            })
+            .collect(),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "array of numbers",
+        }),
+    }
+}
+
+fn get_vec_u64(
+    pairs: &[(String, Json)],
+    key: &str,
+    path: &str,
+    default: &[u64],
+) -> Result<Vec<u64>> {
+    match find(pairs, key) {
+        None => Ok(default.to_vec()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_u64().ok_or(ScenarioError::WrongType {
+                    path: join(path, key),
+                    expected: "array of non-negative integers",
+                })
+            })
+            .collect(),
+        Some(_) => Err(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "array of non-negative integers",
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-section parse / render
+// ---------------------------------------------------------------------------
+
+impl WorkloadSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["name", "size"], path)?;
+        let d = WorkloadSpec::default();
+        Ok(WorkloadSpec {
+            name: get_string(pairs, "name", path, &d.name)?,
+            size: get_u64(pairs, "size", path, d.size)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("size".into(), Json::Num(self.size as f64)),
+        ])
+    }
+}
+
+impl CamatSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "hit_time",
+                "hit_concurrency",
+                "pure_miss_rate",
+                "pure_avg_miss_penalty",
+                "pure_miss_concurrency",
+            ],
+            path,
+        )?;
+        // No defaults here: an override block must spell out every
+        // measurement, otherwise it silently mixes sources.
+        let require = |key: &'static str| -> Result<f64> {
+            match find(pairs, key) {
+                Some(Json::Num(x)) => Ok(*x),
+                Some(_) => Err(ScenarioError::WrongType {
+                    path: join(path, key),
+                    expected: "number",
+                }),
+                None => Err(ScenarioError::OutOfRange {
+                    path: join(path, key),
+                    why: "required when a camat override block is present",
+                }),
+            }
+        };
+        Ok(CamatSpec {
+            hit_time: require("hit_time")?,
+            hit_concurrency: require("hit_concurrency")?,
+            pure_miss_rate: require("pure_miss_rate")?,
+            pure_avg_miss_penalty: require("pure_avg_miss_penalty")?,
+            pure_miss_concurrency: require("pure_miss_concurrency")?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hit_time".into(), Json::Num(self.hit_time)),
+            ("hit_concurrency".into(), Json::Num(self.hit_concurrency)),
+            ("pure_miss_rate".into(), Json::Num(self.pure_miss_rate)),
+            (
+                "pure_avg_miss_penalty".into(),
+                Json::Num(self.pure_avg_miss_penalty),
+            ),
+            (
+                "pure_miss_concurrency".into(),
+                Json::Num(self.pure_miss_concurrency),
+            ),
+        ])
+    }
+}
+
+impl ModelSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "l1_alpha",
+                "l2_alpha",
+                "dram_latency",
+                "overlap_cap",
+                "g_exponent",
+                "camat",
+            ],
+            path,
+        )?;
+        let d = ModelSpec::default();
+        let camat = match find(pairs, "camat") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(CamatSpec::from_json_value(value, &join(path, "camat"))?),
+        };
+        Ok(ModelSpec {
+            l1_alpha: get_f64(pairs, "l1_alpha", path, d.l1_alpha)?,
+            l2_alpha: get_f64(pairs, "l2_alpha", path, d.l2_alpha)?,
+            dram_latency: get_f64(pairs, "dram_latency", path, d.dram_latency)?,
+            overlap_cap: get_f64(pairs, "overlap_cap", path, d.overlap_cap)?,
+            g_exponent: get_opt_f64(pairs, "g_exponent", path)?,
+            camat,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("l1_alpha".into(), Json::Num(self.l1_alpha)),
+            ("l2_alpha".into(), Json::Num(self.l2_alpha)),
+            ("dram_latency".into(), Json::Num(self.dram_latency)),
+            ("overlap_cap".into(), Json::Num(self.overlap_cap)),
+            (
+                "g_exponent".into(),
+                self.g_exponent.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "camat".into(),
+                self.camat.as_ref().map_or(Json::Null, CamatSpec::to_json),
+            ),
+        ])
+    }
+}
+
+impl CacheSpec {
+    fn from_json_value(value: &Json, path: &str, default: &CacheSpec) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "size_bytes",
+                "line_size",
+                "associativity",
+                "hit_latency",
+                "mshr_entries",
+                "ports",
+                "banks",
+                "next_line_prefetch",
+            ],
+            path,
+        )?;
+        Ok(CacheSpec {
+            size_bytes: get_u64(pairs, "size_bytes", path, default.size_bytes)?,
+            line_size: get_u64(pairs, "line_size", path, default.line_size)?,
+            associativity: get_u64(pairs, "associativity", path, default.associativity)?,
+            hit_latency: get_u64(pairs, "hit_latency", path, default.hit_latency)?,
+            mshr_entries: get_u64(pairs, "mshr_entries", path, default.mshr_entries)?,
+            ports: get_u64(pairs, "ports", path, default.ports)?,
+            banks: get_u64(pairs, "banks", path, default.banks)?,
+            next_line_prefetch: get_bool(
+                pairs,
+                "next_line_prefetch",
+                path,
+                default.next_line_prefetch,
+            )?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("size_bytes".into(), Json::Num(self.size_bytes as f64)),
+            ("line_size".into(), Json::Num(self.line_size as f64)),
+            ("associativity".into(), Json::Num(self.associativity as f64)),
+            ("hit_latency".into(), Json::Num(self.hit_latency as f64)),
+            ("mshr_entries".into(), Json::Num(self.mshr_entries as f64)),
+            ("ports".into(), Json::Num(self.ports as f64)),
+            ("banks".into(), Json::Num(self.banks as f64)),
+            (
+                "next_line_prefetch".into(),
+                Json::Bool(self.next_line_prefetch),
+            ),
+        ])
+    }
+}
+
+impl DramSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "banks",
+                "row_size",
+                "t_rcd",
+                "t_cas",
+                "t_rp",
+                "t_bus",
+                "queue_depth",
+            ],
+            path,
+        )?;
+        let d = DramSpec::default();
+        Ok(DramSpec {
+            banks: get_u64(pairs, "banks", path, d.banks)?,
+            row_size: get_u64(pairs, "row_size", path, d.row_size)?,
+            t_rcd: get_u64(pairs, "t_rcd", path, d.t_rcd)?,
+            t_cas: get_u64(pairs, "t_cas", path, d.t_cas)?,
+            t_rp: get_u64(pairs, "t_rp", path, d.t_rp)?,
+            t_bus: get_u64(pairs, "t_bus", path, d.t_bus)?,
+            queue_depth: get_u64(pairs, "queue_depth", path, d.queue_depth)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("banks".into(), Json::Num(self.banks as f64)),
+            ("row_size".into(), Json::Num(self.row_size as f64)),
+            ("t_rcd".into(), Json::Num(self.t_rcd as f64)),
+            ("t_cas".into(), Json::Num(self.t_cas as f64)),
+            ("t_rp".into(), Json::Num(self.t_rp as f64)),
+            ("t_bus".into(), Json::Num(self.t_bus as f64)),
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
+        ])
+    }
+}
+
+impl CoreSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["issue_width", "rob_size", "exec_latency"], path)?;
+        let d = CoreSpec::default();
+        Ok(CoreSpec {
+            issue_width: get_u64(pairs, "issue_width", path, d.issue_width)?,
+            rob_size: get_u64(pairs, "rob_size", path, d.rob_size)?,
+            exec_latency: get_u64(pairs, "exec_latency", path, d.exec_latency)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("issue_width".into(), Json::Num(self.issue_width as f64)),
+            ("rob_size".into(), Json::Num(self.rob_size as f64)),
+            ("exec_latency".into(), Json::Num(self.exec_latency as f64)),
+        ])
+    }
+}
+
+impl NocSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["l1_l2_latency", "l2_mem_latency"], path)?;
+        let d = NocSpec::default();
+        Ok(NocSpec {
+            l1_l2_latency: get_u64(pairs, "l1_l2_latency", path, d.l1_l2_latency)?,
+            l2_mem_latency: get_u64(pairs, "l2_mem_latency", path, d.l2_mem_latency)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("l1_l2_latency".into(), Json::Num(self.l1_l2_latency as f64)),
+            (
+                "l2_mem_latency".into(),
+                Json::Num(self.l2_mem_latency as f64),
+            ),
+        ])
+    }
+}
+
+impl ChipSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &["cores", "core", "l1", "l2", "dram", "noc", "max_cycles"],
+            path,
+        )?;
+        let d = ChipSpec::default();
+        let core = match find(pairs, "core") {
+            None => d.core,
+            Some(value) => CoreSpec::from_json_value(value, &join(path, "core"))?,
+        };
+        let l1 = match find(pairs, "l1") {
+            None => d.l1.clone(),
+            Some(value) => CacheSpec::from_json_value(value, &join(path, "l1"), &d.l1)?,
+        };
+        let l2 = match find(pairs, "l2") {
+            None => d.l2.clone(),
+            Some(value) => CacheSpec::from_json_value(value, &join(path, "l2"), &d.l2)?,
+        };
+        let dram = match find(pairs, "dram") {
+            None => d.dram,
+            Some(value) => DramSpec::from_json_value(value, &join(path, "dram"))?,
+        };
+        let noc = match find(pairs, "noc") {
+            None => d.noc,
+            Some(value) => NocSpec::from_json_value(value, &join(path, "noc"))?,
+        };
+        Ok(ChipSpec {
+            cores: get_u64(pairs, "cores", path, d.cores)?,
+            core,
+            l1,
+            l2,
+            dram,
+            noc,
+            max_cycles: get_u64(pairs, "max_cycles", path, d.max_cycles)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cores".into(), Json::Num(self.cores as f64)),
+            ("core".into(), self.core.to_json()),
+            ("l1".into(), self.l1.to_json()),
+            ("l2".into(), self.l2.to_json()),
+            ("dram".into(), self.dram.to_json()),
+            ("noc".into(), self.noc.to_json()),
+            ("max_cycles".into(), Json::Num(self.max_cycles as f64)),
+        ])
+    }
+}
+
+impl SpaceSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["a0", "a1", "a2", "n", "issue", "rob"], path)?;
+        let d = SpaceSpec::default();
+        Ok(SpaceSpec {
+            a0: get_vec_f64(pairs, "a0", path, &d.a0)?,
+            a1: get_vec_f64(pairs, "a1", path, &d.a1)?,
+            a2: get_vec_f64(pairs, "a2", path, &d.a2)?,
+            n: get_vec_u64(pairs, "n", path, &d.n)?,
+            issue: get_vec_u64(pairs, "issue", path, &d.issue)?,
+            rob: get_vec_u64(pairs, "rob", path, &d.rob)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let nums = |xs: &[f64]| Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect());
+        let ints = |xs: &[u64]| Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect());
+        Json::Obj(vec![
+            ("a0".into(), nums(&self.a0)),
+            ("a1".into(), nums(&self.a1)),
+            ("a2".into(), nums(&self.a2)),
+            ("n".into(), ints(&self.n)),
+            ("issue".into(), ints(&self.issue)),
+            ("rob".into(), ints(&self.rob)),
+        ])
+    }
+}
+
+impl BudgetSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["total_area_mm2", "shared_area_mm2"], path)?;
+        let d = BudgetSpec::default();
+        Ok(BudgetSpec {
+            total_area_mm2: get_f64(pairs, "total_area_mm2", path, d.total_area_mm2)?,
+            shared_area_mm2: get_f64(pairs, "shared_area_mm2", path, d.shared_area_mm2)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("total_area_mm2".into(), Json::Num(self.total_area_mm2)),
+            ("shared_area_mm2".into(), Json::Num(self.shared_area_mm2)),
+        ])
+    }
+}
+
+impl AreaSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "pollack_k0",
+                "pollack_phi0",
+                "reference_core_area",
+                "cache_bytes_per_mm2",
+            ],
+            path,
+        )?;
+        let d = AreaSpec::default();
+        Ok(AreaSpec {
+            pollack_k0: get_f64(pairs, "pollack_k0", path, d.pollack_k0)?,
+            pollack_phi0: get_f64(pairs, "pollack_phi0", path, d.pollack_phi0)?,
+            reference_core_area: get_f64(
+                pairs,
+                "reference_core_area",
+                path,
+                d.reference_core_area,
+            )?,
+            cache_bytes_per_mm2: get_f64(
+                pairs,
+                "cache_bytes_per_mm2",
+                path,
+                d.cache_bytes_per_mm2,
+            )?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("pollack_k0".into(), Json::Num(self.pollack_k0)),
+            ("pollack_phi0".into(), Json::Num(self.pollack_phi0)),
+            (
+                "reference_core_area".into(),
+                Json::Num(self.reference_core_area),
+            ),
+            (
+                "cache_bytes_per_mm2".into(),
+                Json::Num(self.cache_bytes_per_mm2),
+            ),
+        ])
+    }
+}
+
+impl SolverSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "newton_tol",
+                "newton_max_iters",
+                "nelder_tol",
+                "nelder_max_iters",
+            ],
+            path,
+        )?;
+        let d = SolverSpec::default();
+        Ok(SolverSpec {
+            newton_tol: get_f64(pairs, "newton_tol", path, d.newton_tol)?,
+            newton_max_iters: get_u64(pairs, "newton_max_iters", path, d.newton_max_iters)?,
+            nelder_tol: get_f64(pairs, "nelder_tol", path, d.nelder_tol)?,
+            nelder_max_iters: get_u64(pairs, "nelder_max_iters", path, d.nelder_max_iters)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("newton_tol".into(), Json::Num(self.newton_tol)),
+            (
+                "newton_max_iters".into(),
+                Json::Num(self.newton_max_iters as f64),
+            ),
+            ("nelder_tol".into(), Json::Num(self.nelder_tol)),
+            (
+                "nelder_max_iters".into(),
+                Json::Num(self.nelder_max_iters as f64),
+            ),
+        ])
+    }
+}
+
+impl BackoffSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["base_ms", "factor", "cap_ms", "jitter_frac"], path)?;
+        let d = BackoffSpec::default();
+        Ok(BackoffSpec {
+            base_ms: get_u64(pairs, "base_ms", path, d.base_ms)?,
+            factor: get_f64(pairs, "factor", path, d.factor)?,
+            cap_ms: get_u64(pairs, "cap_ms", path, d.cap_ms)?,
+            jitter_frac: get_f64(pairs, "jitter_frac", path, d.jitter_frac)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("base_ms".into(), Json::Num(self.base_ms as f64)),
+            ("factor".into(), Json::Num(self.factor)),
+            ("cap_ms".into(), Json::Num(self.cap_ms as f64)),
+            ("jitter_frac".into(), Json::Num(self.jitter_frac)),
+        ])
+    }
+}
+
+impl BreakerSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["trip_threshold", "cooldown", "probes"], path)?;
+        let d = BreakerSpec::default();
+        Ok(BreakerSpec {
+            trip_threshold: get_u64(pairs, "trip_threshold", path, d.trip_threshold)?,
+            cooldown: get_u64(pairs, "cooldown", path, d.cooldown)?,
+            probes: get_u64(pairs, "probes", path, d.probes)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "trip_threshold".into(),
+                Json::Num(self.trip_threshold as f64),
+            ),
+            ("cooldown".into(), Json::Num(self.cooldown as f64)),
+            ("probes".into(), Json::Num(self.probes as f64)),
+        ])
+    }
+}
+
+impl RunnerSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "workers",
+                "deadline_ms",
+                "watchdog_tick_ms",
+                "max_attempts",
+                "queue_capacity",
+                "backoff",
+                "breaker",
+                "analytic_fallback",
+            ],
+            path,
+        )?;
+        let d = RunnerSpec::default();
+        let backoff = match find(pairs, "backoff") {
+            None => d.backoff,
+            Some(value) => BackoffSpec::from_json_value(value, &join(path, "backoff"))?,
+        };
+        let breaker = match find(pairs, "breaker") {
+            None => d.breaker,
+            Some(value) => BreakerSpec::from_json_value(value, &join(path, "breaker"))?,
+        };
+        Ok(RunnerSpec {
+            workers: get_u64(pairs, "workers", path, d.workers)?,
+            deadline_ms: get_u64(pairs, "deadline_ms", path, d.deadline_ms)?,
+            watchdog_tick_ms: get_u64(pairs, "watchdog_tick_ms", path, d.watchdog_tick_ms)?,
+            max_attempts: get_u64(pairs, "max_attempts", path, d.max_attempts)?,
+            queue_capacity: get_u64(pairs, "queue_capacity", path, d.queue_capacity)?,
+            backoff,
+            breaker,
+            analytic_fallback: get_bool(pairs, "analytic_fallback", path, d.analytic_fallback)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workers".into(), Json::Num(self.workers as f64)),
+            ("deadline_ms".into(), Json::Num(self.deadline_ms as f64)),
+            (
+                "watchdog_tick_ms".into(),
+                Json::Num(self.watchdog_tick_ms as f64),
+            ),
+            ("max_attempts".into(), Json::Num(self.max_attempts as f64)),
+            (
+                "queue_capacity".into(),
+                Json::Num(self.queue_capacity as f64),
+            ),
+            ("backoff".into(), self.backoff.to_json()),
+            ("breaker".into(), self.breaker.to_json()),
+            (
+                "analytic_fallback".into(),
+                Json::Bool(self.analytic_fallback),
+            ),
+        ])
+    }
+}
+
+impl ObsSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["metrics_out"], path)?;
+        Ok(ObsSpec {
+            metrics_out: get_opt_string(pairs, "metrics_out", path)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "metrics_out".into(),
+            self.metrics_out
+                .as_ref()
+                .map_or(Json::Null, |s| Json::Str(s.clone())),
+        )])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: parse, render, validate, fingerprint
+// ---------------------------------------------------------------------------
+
+impl Scenario {
+    /// Parse and validate a scenario document. Strict: unknown keys,
+    /// duplicate keys, type mismatches, and out-of-range values are all
+    /// typed errors.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = Json::parse(text)?;
+        let scenario = Scenario::from_json_value(&doc)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    fn from_json_value(doc: &Json) -> Result<Self> {
+        let pairs = expect_obj(doc, "scenario")?;
+        check_keys(
+            pairs,
+            &[
+                "version",
+                "workload",
+                "model",
+                "chip",
+                "space",
+                "budget",
+                "area",
+                "solver",
+                "runner",
+                "observability",
+            ],
+            "",
+        )?;
+        let version = get_u64(pairs, "version", "", 1)?;
+        if version != 1 {
+            return Err(ScenarioError::UnsupportedVersion(version));
+        }
+        let section = |key: &str| find(pairs, key);
+        Ok(Scenario {
+            version,
+            workload: match section("workload") {
+                None => WorkloadSpec::default(),
+                Some(v) => WorkloadSpec::from_json_value(v, "workload")?,
+            },
+            model: match section("model") {
+                None => ModelSpec::default(),
+                Some(v) => ModelSpec::from_json_value(v, "model")?,
+            },
+            chip: match section("chip") {
+                None => ChipSpec::default(),
+                Some(v) => ChipSpec::from_json_value(v, "chip")?,
+            },
+            space: match section("space") {
+                None => SpaceSpec::default(),
+                Some(v) => SpaceSpec::from_json_value(v, "space")?,
+            },
+            budget: match section("budget") {
+                None => BudgetSpec::default(),
+                Some(v) => BudgetSpec::from_json_value(v, "budget")?,
+            },
+            area: match section("area") {
+                None => AreaSpec::default(),
+                Some(v) => AreaSpec::from_json_value(v, "area")?,
+            },
+            solver: match section("solver") {
+                None => SolverSpec::default(),
+                Some(v) => SolverSpec::from_json_value(v, "solver")?,
+            },
+            runner: match section("runner") {
+                None => RunnerSpec::default(),
+                Some(v) => RunnerSpec::from_json_value(v, "runner")?,
+            },
+            observability: match section("observability") {
+                None => ObsSpec::default(),
+                Some(v) => ObsSpec::from_json_value(v, "observability")?,
+            },
+        })
+    }
+
+    /// The canonical JSON value: every key present, fixed section order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Num(self.version as f64)),
+            ("workload".into(), self.workload.to_json()),
+            ("model".into(), self.model.to_json()),
+            ("chip".into(), self.chip.to_json()),
+            ("space".into(), self.space.to_json()),
+            ("budget".into(), self.budget.to_json()),
+            ("area".into(), self.area.to_json()),
+            ("solver".into(), self.solver.to_json()),
+            ("runner".into(), self.runner.to_json()),
+            ("observability".into(), self.observability.to_json()),
+        ])
+    }
+
+    /// Compact canonical rendering; these bytes define the fingerprint.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Pretty canonical rendering for files and `scenario show`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = self.to_json().render_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Stable identity: FNV-1a over the compact canonical rendering.
+    /// Any semantic change to the scenario changes this value; two
+    /// documents that parse to the same scenario share it.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.render().as_bytes())
+    }
+
+    /// The fingerprint as the fixed-width hex spelling used in CLI
+    /// output and error messages.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Physical-range validation, NaN-rejecting style. Structural
+    /// constraints that belong to a consuming crate (power-of-two set
+    /// counts, line-size agreement, …) are enforced by that crate's
+    /// `from_spec` constructor, not duplicated here.
+    #[allow(clippy::too_many_lines)]
+    pub fn validate(&self) -> Result<()> {
+        fn fail(path: &'static str, why: &'static str) -> ScenarioError {
+            ScenarioError::OutOfRange {
+                path: path.to_string(),
+                why,
+            }
+        }
+
+        if self.version != 1 {
+            return Err(ScenarioError::UnsupportedVersion(self.version));
+        }
+        if self.workload.name.is_empty() {
+            return Err(fail("workload.name", "must be non-empty"));
+        }
+        if self.workload.size == 0 {
+            return Err(fail("workload.size", "must be at least 1"));
+        }
+
+        let m = &self.model;
+        if !(m.l1_alpha > 0.0) || !m.l1_alpha.is_finite() {
+            return Err(fail("model.l1_alpha", "must be finite and positive"));
+        }
+        if !(m.l2_alpha > 0.0) || !m.l2_alpha.is_finite() {
+            return Err(fail("model.l2_alpha", "must be finite and positive"));
+        }
+        if !(m.dram_latency > 0.0) || !m.dram_latency.is_finite() {
+            return Err(fail("model.dram_latency", "must be finite and positive"));
+        }
+        if !(m.overlap_cap >= 0.0) || !(m.overlap_cap < 1.0) {
+            return Err(fail("model.overlap_cap", "must lie in [0, 1)"));
+        }
+        if let Some(g) = m.g_exponent {
+            if !(g >= 0.0) || !g.is_finite() {
+                return Err(fail("model.g_exponent", "must be finite and non-negative"));
+            }
+        }
+        if let Some(c) = &m.camat {
+            if !(c.hit_time > 0.0) || !c.hit_time.is_finite() {
+                return Err(fail("model.camat.hit_time", "must be finite and positive"));
+            }
+            if !(c.hit_concurrency >= 1.0) || !c.hit_concurrency.is_finite() {
+                return Err(fail("model.camat.hit_concurrency", "must be at least 1"));
+            }
+            if !(c.pure_miss_rate >= 0.0) || !(c.pure_miss_rate <= 1.0) {
+                return Err(fail("model.camat.pure_miss_rate", "must lie in [0, 1]"));
+            }
+            if !(c.pure_avg_miss_penalty >= 0.0) || !c.pure_avg_miss_penalty.is_finite() {
+                return Err(fail(
+                    "model.camat.pure_avg_miss_penalty",
+                    "must be finite and non-negative",
+                ));
+            }
+            if !(c.pure_miss_concurrency >= 1.0) || !c.pure_miss_concurrency.is_finite() {
+                return Err(fail(
+                    "model.camat.pure_miss_concurrency",
+                    "must be at least 1",
+                ));
+            }
+        }
+
+        let chip = &self.chip;
+        if chip.cores == 0 {
+            return Err(fail("chip.cores", "must be at least 1"));
+        }
+        if chip.core.issue_width == 0 {
+            return Err(fail("chip.core.issue_width", "must be at least 1"));
+        }
+        if chip.core.rob_size == 0 {
+            return Err(fail("chip.core.rob_size", "must be at least 1"));
+        }
+        if chip.core.exec_latency == 0 {
+            return Err(fail("chip.core.exec_latency", "must be at least 1"));
+        }
+        for (cache, size_path, line_path) in [
+            (&chip.l1, "chip.l1.size_bytes", "chip.l1.line_size"),
+            (&chip.l2, "chip.l2.size_bytes", "chip.l2.line_size"),
+        ] {
+            if cache.size_bytes == 0 {
+                return Err(fail(size_path, "must be positive"));
+            }
+            if cache.line_size == 0 {
+                return Err(fail(line_path, "must be positive"));
+            }
+        }
+        if chip.dram.banks == 0 {
+            return Err(fail("chip.dram.banks", "must be at least 1"));
+        }
+        if chip.max_cycles == 0 {
+            return Err(fail("chip.max_cycles", "must be positive"));
+        }
+
+        let s = &self.space;
+        for (axis, path) in [
+            (&s.a0, "space.a0"),
+            (&s.a1, "space.a1"),
+            (&s.a2, "space.a2"),
+        ] {
+            if axis.is_empty() {
+                return Err(fail(path, "axis must be non-empty"));
+            }
+            if axis.iter().any(|&x| !(x > 0.0) || !x.is_finite()) {
+                return Err(fail(path, "entries must be finite and positive"));
+            }
+        }
+        for (axis, path) in [
+            (&s.n, "space.n"),
+            (&s.issue, "space.issue"),
+            (&s.rob, "space.rob"),
+        ] {
+            if axis.is_empty() {
+                return Err(fail(path, "axis must be non-empty"));
+            }
+            if axis.contains(&0) {
+                return Err(fail(path, "entries must be at least 1"));
+            }
+        }
+
+        let b = &self.budget;
+        if !(b.total_area_mm2 > 0.0) || !b.total_area_mm2.is_finite() {
+            return Err(fail("budget.total_area_mm2", "must be finite and positive"));
+        }
+        if !(b.shared_area_mm2 >= 0.0) || !b.shared_area_mm2.is_finite() {
+            return Err(fail(
+                "budget.shared_area_mm2",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(b.shared_area_mm2 < b.total_area_mm2) {
+            return Err(fail(
+                "budget.shared_area_mm2",
+                "must be smaller than total_area_mm2",
+            ));
+        }
+
+        let a = &self.area;
+        for (x, path) in [
+            (a.pollack_k0, "area.pollack_k0"),
+            (a.pollack_phi0, "area.pollack_phi0"),
+            (a.reference_core_area, "area.reference_core_area"),
+            (a.cache_bytes_per_mm2, "area.cache_bytes_per_mm2"),
+        ] {
+            if !(x > 0.0) || !x.is_finite() {
+                return Err(fail(path, "must be finite and positive"));
+            }
+        }
+
+        let sv = &self.solver;
+        if !(sv.newton_tol > 0.0) || !sv.newton_tol.is_finite() {
+            return Err(fail("solver.newton_tol", "must be finite and positive"));
+        }
+        if sv.newton_max_iters == 0 {
+            return Err(fail("solver.newton_max_iters", "must be at least 1"));
+        }
+        if !(sv.nelder_tol > 0.0) || !sv.nelder_tol.is_finite() {
+            return Err(fail("solver.nelder_tol", "must be finite and positive"));
+        }
+        if sv.nelder_max_iters == 0 {
+            return Err(fail("solver.nelder_max_iters", "must be at least 1"));
+        }
+
+        let r = &self.runner;
+        if r.workers == 0 {
+            return Err(fail("runner.workers", "must be at least 1"));
+        }
+        if r.max_attempts == 0 {
+            return Err(fail("runner.max_attempts", "must be at least 1"));
+        }
+        if r.queue_capacity == 0 {
+            return Err(fail("runner.queue_capacity", "must be at least 1"));
+        }
+        if !(r.backoff.factor >= 1.0) || !r.backoff.factor.is_finite() {
+            return Err(fail("runner.backoff.factor", "must be at least 1"));
+        }
+        if !(r.backoff.jitter_frac >= 0.0) || !(r.backoff.jitter_frac <= 1.0) {
+            return Err(fail("runner.backoff.jitter_frac", "must lie in [0, 1]"));
+        }
+        if r.backoff.cap_ms < r.backoff.base_ms {
+            return Err(fail("runner.backoff.cap_ms", "must be at least base_ms"));
+        }
+        if r.breaker.trip_threshold == 0 {
+            return Err(fail("runner.breaker.trip_threshold", "must be at least 1"));
+        }
+        if r.breaker.probes == 0 {
+            return Err(fail("runner.breaker.probes", "must be at least 1"));
+        }
+
+        if let Some(path) = &self.observability.metrics_out {
+            if path.is_empty() {
+                return Err(fail("observability.metrics_out", "must be non-empty"));
+            }
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_validates_and_round_trips() {
+        let s = Scenario::default();
+        s.validate().expect("default scenario must be valid");
+        let compact = s.render();
+        assert_eq!(Scenario::from_json(&compact).unwrap(), s);
+        let pretty = s.render_pretty();
+        assert_eq!(Scenario::from_json(&pretty).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_document_is_the_default_scenario() {
+        assert_eq!(Scenario::from_json("{}").unwrap(), Scenario::default());
+    }
+
+    #[test]
+    fn tiny_space_scenario_validates() {
+        let s = Scenario {
+            space: SpaceSpec::tiny(),
+            ..Scenario::default()
+        };
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_dotted_paths() {
+        let e = Scenario::from_json(r#"{"chip":{"l1":{"linesize":64}}}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::UnknownKey {
+                path: "chip.l1.linesize".into()
+            }
+        );
+        let e = Scenario::from_json(r#"{"bogus":1}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::UnknownKey {
+                path: "bogus".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let e = Scenario::from_json(r#"{"budget":{"total_area_mm2":1,"total_area_mm2":2}}"#)
+            .unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::DuplicateKey {
+                path: "budget.total_area_mm2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_types_are_rejected_with_expectations() {
+        let e = Scenario::from_json(r#"{"workload":{"size":"big"}}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::WrongType {
+                path: "workload.size".into(),
+                expected: "non-negative integer"
+            }
+        );
+        let e = Scenario::from_json(r#"{"space":{"a0":[1,"x"]}}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::WrongType {
+                path: "space.a0".into(),
+                expected: "array of numbers"
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let e = Scenario::from_json(r#"{"budget":{"total_area_mm2":-5}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "budget.total_area_mm2")
+        );
+        let e = Scenario::from_json(r#"{"space":{"n":[]}}"#).unwrap_err();
+        assert!(matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "space.n"));
+        let e = Scenario::from_json(r#"{"runner":{"workers":0}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "runner.workers")
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let e = Scenario::from_json(r#"{"version":2}"#).unwrap_err();
+        assert_eq!(e, ScenarioError::UnsupportedVersion(2));
+    }
+
+    #[test]
+    fn camat_override_requires_every_field() {
+        let e = Scenario::from_json(r#"{"model":{"camat":{"hit_time":3}}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path.starts_with("model.camat."))
+        );
+        let full = r#"{"model":{"camat":{"hit_time":3,"hit_concurrency":2,
+            "pure_miss_rate":0.02,"pure_avg_miss_penalty":60,"pure_miss_concurrency":4}}}"#;
+        let s = Scenario::from_json(full).unwrap();
+        assert!(s.model.camat.is_some());
+    }
+
+    #[test]
+    fn null_and_absent_optionals_are_equivalent() {
+        let a = Scenario::from_json(r#"{"model":{"g_exponent":null}}"#).unwrap();
+        let b = Scenario::from_json(r#"{"model":{}}"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.model.g_exponent, None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_semantic() {
+        let s = Scenario::default();
+        assert_eq!(s.fingerprint(), Scenario::default().fingerprint());
+        // Whitespace/formatting does not change identity.
+        let reparsed = Scenario::from_json(&s.render_pretty()).unwrap();
+        assert_eq!(reparsed.fingerprint(), s.fingerprint());
+        // A semantic change does.
+        let mut t = s.clone();
+        t.budget.total_area_mm2 = 401.0;
+        assert_ne!(t.fingerprint(), s.fingerprint());
+        assert_eq!(s.fingerprint_hex().len(), 16);
+    }
+}

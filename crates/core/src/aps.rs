@@ -12,7 +12,7 @@
 
 use crate::dse::{analytic_time, DesignPoint, DesignSpace, Oracle};
 use crate::model::{C2BoundModel, OptimizationCase};
-use crate::optimize::{optimize_observed, OptimalDesign};
+use crate::optimize::{optimize_observed_tuned, OptimalDesign, SolverTuning};
 use crate::{Error, Result};
 use c2_obs::{MetricsSink, NullSink};
 
@@ -23,6 +23,8 @@ pub struct Aps {
     pub model: C2BoundModel,
     /// The discrete design space being explored.
     pub space: DesignSpace,
+    /// Solver tolerances for the analysis stage.
+    pub tuning: SolverTuning,
 }
 
 /// Per-point resilience policy for the refinement sweep: how hard to
@@ -193,9 +195,22 @@ pub struct ApsOutcome {
 }
 
 impl Aps {
-    /// Create the driver.
+    /// Create the driver with the default solver tolerances.
     pub fn new(model: C2BoundModel, space: DesignSpace) -> Self {
-        Aps { model, space }
+        Aps {
+            model,
+            space,
+            tuning: SolverTuning::default(),
+        }
+    }
+
+    /// Create the driver with explicit solver tolerances.
+    pub fn with_tuning(model: C2BoundModel, space: DesignSpace, tuning: SolverTuning) -> Self {
+        Aps {
+            model,
+            space,
+            tuning,
+        }
     }
 
     /// Run APS with the default [`ResiliencePolicy`]. `oracle` is the
@@ -290,7 +305,7 @@ impl Aps {
             });
         }
         // --- Analysis: Eq. 13 via Lagrange/Newton (Fig 6 lines 4-13).
-        let analytic = optimize_observed(&self.model, sink)?;
+        let analytic = optimize_observed_tuned(&self.model, &self.tuning, sink)?;
         // Snap N to the grid first, then re-solve the area split at that
         // N (the continuous optimum's areas are only right for its own
         // N), and snap the areas.
@@ -301,9 +316,10 @@ impl Aps {
             analytic.vars.n,
         );
         let n_snapped = self.space.n[pre[3]];
-        let split = crate::optimize::optimize_split(&self.model, n_snapped as f64)
-            .map(|(v, _)| v)
-            .unwrap_or(analytic.vars);
+        let split =
+            crate::optimize::optimize_split_tuned(&self.model, n_snapped as f64, &self.tuning)
+                .map(|(v, _)| v)
+                .unwrap_or(analytic.vars);
         let skeleton = self
             .space
             .snap(split.a0, split.a1, split.a2, n_snapped as f64);

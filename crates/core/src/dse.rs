@@ -75,23 +75,91 @@ impl DesignPoint {
 }
 
 /// The six-axis discrete design space.
-#[derive(Debug, Clone)]
+///
+/// Every axis is guaranteed non-empty: the only ways to obtain a
+/// `DesignSpace` are the named constructors ([`paper_scale`],
+/// [`tiny`]), the validated [`new`], and [`from_spec`] — all of which
+/// reject empty axes — so downstream nearest-neighbour snapping never
+/// sees a degenerate axis.
+///
+/// [`paper_scale`]: DesignSpace::paper_scale
+/// [`tiny`]: DesignSpace::tiny
+/// [`new`]: DesignSpace::new
+/// [`from_spec`]: DesignSpace::from_spec
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     /// Core-area values.
-    pub a0: Vec<f64>,
+    pub(crate) a0: Vec<f64>,
     /// L1-area values.
-    pub a1: Vec<f64>,
+    pub(crate) a1: Vec<f64>,
     /// L2-area values.
-    pub a2: Vec<f64>,
+    pub(crate) a2: Vec<f64>,
     /// Core-count values.
-    pub n: Vec<usize>,
+    pub(crate) n: Vec<usize>,
     /// Issue-width values.
-    pub issue: Vec<usize>,
+    pub(crate) issue: Vec<usize>,
     /// ROB-size values.
-    pub rob: Vec<usize>,
+    pub(crate) rob: Vec<usize>,
 }
 
 impl DesignSpace {
+    /// Validated constructor: every axis must be non-empty. This is the
+    /// type-level guarantee the snapping helpers (`nearest_f`,
+    /// `nearest_u`) rely on.
+    pub fn new(
+        a0: Vec<f64>,
+        a1: Vec<f64>,
+        a2: Vec<f64>,
+        n: Vec<usize>,
+        issue: Vec<usize>,
+        rob: Vec<usize>,
+    ) -> Result<Self> {
+        let lens = [
+            a0.len(),
+            a1.len(),
+            a2.len(),
+            n.len(),
+            issue.len(),
+            rob.len(),
+        ];
+        if lens.contains(&0) {
+            return Err(Error::InvalidParameter {
+                name: "design_space_axis",
+                value: 0.0,
+            });
+        }
+        Ok(DesignSpace {
+            a0,
+            a1,
+            a2,
+            n,
+            issue,
+            rob,
+        })
+    }
+
+    /// Validated construction from a scenario space spec.
+    pub fn from_spec(spec: &c2_config::SpaceSpec) -> Result<Self> {
+        let narrow = |axis: &[u64]| -> Result<Vec<usize>> {
+            axis.iter()
+                .map(|&v| {
+                    usize::try_from(v).map_err(|_| Error::InvalidParameter {
+                        name: "design_space_axis",
+                        value: v as f64,
+                    })
+                })
+                .collect()
+        };
+        DesignSpace::new(
+            spec.a0.clone(),
+            spec.a1.clone(),
+            spec.a2.clone(),
+            narrow(&spec.n)?,
+            narrow(&spec.issue)?,
+            narrow(&spec.rob)?,
+        )
+    }
+
     /// The paper-scale space: ten values per parameter, 10⁶ points.
     pub fn paper_scale() -> Self {
         DesignSpace {
@@ -114,6 +182,36 @@ impl DesignSpace {
             issue: vec![1, 2, 4],
             rob: vec![16, 64, 128],
         }
+    }
+
+    /// Core-area axis values.
+    pub fn a0(&self) -> &[f64] {
+        &self.a0
+    }
+
+    /// L1-area axis values.
+    pub fn a1(&self) -> &[f64] {
+        &self.a1
+    }
+
+    /// L2-area axis values.
+    pub fn a2(&self) -> &[f64] {
+        &self.a2
+    }
+
+    /// Core-count axis values.
+    pub fn n(&self) -> &[usize] {
+        &self.n
+    }
+
+    /// Issue-width axis values.
+    pub fn issue(&self) -> &[usize] {
+        &self.issue
+    }
+
+    /// ROB-size axis values.
+    pub fn rob(&self) -> &[usize] {
+        &self.rob
     }
 
     /// Number of values along each axis.
@@ -198,9 +296,10 @@ fn nearest_f(axis: &[f64], v: f64) -> usize {
             da.total_cmp(&db)
         })
         .map(|(i, _)| i)
-        // Reachable only through a hand-built `DesignSpace` with an
-        // empty axis, which no provided constructor produces; callers
-        // that accept external spaces validate via `axis_lens` first.
+        // Unreachable: every `DesignSpace` constructor (`new`,
+        // `from_spec`, `paper_scale`, `tiny`) rejects empty axes, and
+        // the fields are crate-private, so no caller can hand-build a
+        // space that violates the invariant.
         .expect("non-empty axis")
 }
 
@@ -213,7 +312,8 @@ fn nearest_u(axis: &[usize], v: f64) -> usize {
             da.total_cmp(&db)
         })
         .map(|(i, _)| i)
-        // See `nearest_f`: unreachable for every provided constructor.
+        // See `nearest_f`: the constructor invariant makes this
+        // unreachable.
         .expect("non-empty axis")
 }
 

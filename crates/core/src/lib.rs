@@ -31,6 +31,8 @@
 //! * [`aps`] — the Analysis-Plus-Simulation algorithm (Fig 6) with
 //!   simulation counting;
 //! * [`allocate`] — multi-application core allocation (Fig 7);
+//! * [`scenario`](mod@crate::scenario) — assembly of all of the above from a declarative
+//!   [`c2_config::Scenario`];
 //! * [`report`] — plain-text tables/series for the figure regenerators.
 //!
 //! Extensions beyond the paper's evaluation (its §VII future work):
@@ -60,6 +62,7 @@ pub mod model;
 pub mod optimize;
 pub mod report;
 pub mod scaling;
+pub mod scenario;
 
 pub use adaptive::{AdaptiveDse, AdaptivePlan};
 pub use allocate::{allocate_cores, AppProfile};
@@ -72,8 +75,12 @@ pub use dse::{DesignPoint, DesignSpace, GroundTruth, Oracle};
 pub use energy::{MultiObjective, PowerModel};
 pub use mem_model::{CacheSensitivity, MemoryModel};
 pub use model::{C2BoundModel, DesignVariables, OptimizationCase, ProgramProfile};
-pub use optimize::{optimize, optimize_observed, OptimalDesign, SplitSolve};
+pub use optimize::{
+    optimize, optimize_observed, optimize_observed_tuned, optimize_tuned, OptimalDesign,
+    SolverTuning, SplitSolve,
+};
 pub use scaling::{ScalingPoint, ScalingStudy};
+pub use scenario::{aps_from_scenario, model_from_scenario, scale_function};
 
 /// Errors from the model and optimizer.
 #[derive(Debug, Clone, PartialEq)]

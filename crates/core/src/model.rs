@@ -8,7 +8,7 @@ use crate::{Error, Result};
 
 /// Program-specific inputs measured by characterization (paper Fig 5,
 /// "input" stage).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramProfile {
     /// Base problem size in dynamic instructions (`IC0`, at N = 1).
     pub ic0: f64,

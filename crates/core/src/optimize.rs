@@ -28,6 +28,60 @@ use c2_obs::{MetricsSink, NullSink};
 /// its physical domain.
 const MIN_AREA: f64 = 0.05;
 
+/// Solver tolerances for the two-level optimization. The default is
+/// exactly the historical hard-coded constants, so untuned callers see
+/// bit-identical behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverTuning {
+    /// Newton convergence tolerance on the KKT residual.
+    pub newton_tol: f64,
+    /// Newton iteration cap.
+    pub newton_max_iters: usize,
+    /// Nelder–Mead convergence tolerance (fallback solver).
+    pub nelder_tol: f64,
+    /// Nelder–Mead iteration cap.
+    pub nelder_max_iters: usize,
+}
+
+impl Default for SolverTuning {
+    fn default() -> Self {
+        SolverTuning {
+            newton_tol: 1e-8,
+            newton_max_iters: 200,
+            nelder_tol: 1e-12,
+            nelder_max_iters: 4000,
+        }
+    }
+}
+
+impl SolverTuning {
+    /// Validated construction from a scenario solver spec.
+    pub fn from_spec(spec: &c2_config::SolverSpec) -> Result<Self> {
+        for (name, value) in [
+            ("newton_tol", spec.newton_tol),
+            ("nelder_tol", spec.nelder_tol),
+        ] {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(Error::InvalidParameter { name, value });
+            }
+        }
+        for (name, value) in [
+            ("newton_max_iters", spec.newton_max_iters),
+            ("nelder_max_iters", spec.nelder_max_iters),
+        ] {
+            if value == 0 {
+                return Err(Error::InvalidParameter { name, value: 0.0 });
+            }
+        }
+        Ok(SolverTuning {
+            newton_tol: spec.newton_tol,
+            newton_max_iters: spec.newton_max_iters as usize,
+            nelder_tol: spec.nelder_tol,
+            nelder_max_iters: spec.nelder_max_iters as usize,
+        })
+    }
+}
+
 /// How the inner area-split problem was ultimately solved for the final
 /// `N` — the degradation ladder of the resilient pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +134,16 @@ pub fn optimize_split(model: &C2BoundModel, n: f64) -> Result<(DesignVariables, 
     Ok((vars, solve.is_clean_kkt()))
 }
 
+/// [`optimize_split`] with explicit solver tolerances.
+pub fn optimize_split_tuned(
+    model: &C2BoundModel,
+    n: f64,
+    tuning: &SolverTuning,
+) -> Result<(DesignVariables, bool)> {
+    let (vars, solve) = optimize_split_report_observed_tuned(model, n, tuning, &NullSink)?;
+    Ok((vars, solve.is_clean_kkt()))
+}
+
 /// Like [`optimize_split`], but reports which rung of the degradation
 /// ladder produced the answer.
 pub fn optimize_split_report(
@@ -96,6 +160,16 @@ pub fn optimize_split_report(
 pub fn optimize_split_report_observed(
     model: &C2BoundModel,
     n: f64,
+    sink: &dyn MetricsSink,
+) -> Result<(DesignVariables, SplitSolve)> {
+    optimize_split_report_observed_tuned(model, n, &SolverTuning::default(), sink)
+}
+
+/// [`optimize_split_report_observed`] with explicit solver tolerances.
+pub fn optimize_split_report_observed_tuned(
+    model: &C2BoundModel,
+    n: f64,
+    tuning: &SolverTuning,
     sink: &dyn MetricsSink,
 ) -> Result<(DesignVariables, SplitSolve)> {
     if n < 1.0 {
@@ -161,8 +235,8 @@ pub fn optimize_split_report_observed(
         &seed,
         &RobustOptions {
             newton: NewtonOptions {
-                tol: 1e-8,
-                max_iters: 200,
+                tol: tuning.newton_tol,
+                max_iters: tuning.newton_max_iters,
                 ..NewtonOptions::default()
             },
             ..RobustOptions::default()
@@ -215,8 +289,8 @@ pub fn optimize_split_report_observed(
         },
         &seed_frac,
         &NelderMeadOptions {
-            max_iters: 4000,
-            tol: 1e-12,
+            max_iters: tuning.nelder_max_iters,
+            tol: tuning.nelder_tol,
             ..NelderMeadOptions::default()
         },
     )?;
@@ -238,18 +312,32 @@ pub fn optimize(model: &C2BoundModel) -> Result<OptimalDesign> {
     optimize_observed(model, &NullSink)
 }
 
+/// [`optimize`] with explicit solver tolerances.
+pub fn optimize_tuned(model: &C2BoundModel, tuning: &SolverTuning) -> Result<OptimalDesign> {
+    optimize_observed_tuned(model, tuning, &NullSink)
+}
+
 /// [`optimize`] with the *final* split solve instrumented. The outer
 /// N-scan runs dozens of inner cascades; observing every one would
 /// flood the trace with near-identical solver events, so only the
 /// definitive solve at the chosen `N*` reports to `sink` (the scan
 /// stays on a [`NullSink`]).
 pub fn optimize_observed(model: &C2BoundModel, sink: &dyn MetricsSink) -> Result<OptimalDesign> {
+    optimize_observed_tuned(model, &SolverTuning::default(), sink)
+}
+
+/// [`optimize_observed`] with explicit solver tolerances.
+pub fn optimize_observed_tuned(
+    model: &C2BoundModel,
+    tuning: &SolverTuning,
+    sink: &dyn MetricsSink,
+) -> Result<OptimalDesign> {
     let n_max = (model.budget.usable() / (3.0 * MIN_AREA)).floor().max(1.0);
     let case = model.case();
 
     // Outer objective: the best achievable value at each N.
     let value_at = |n: f64| -> f64 {
-        match optimize_split(model, n) {
+        match optimize_split_tuned(model, n, tuning) {
             Ok((v, _)) => match case {
                 OptimizationCase::MinimizeTime => model.execution_time(&v),
                 OptimizationCase::MaximizeThroughput => model.throughput(&v),
@@ -292,7 +380,7 @@ pub fn optimize_observed(model: &C2BoundModel, sink: &dyn MetricsSink) -> Result
         scan_axis.point(best_i)
     };
 
-    let (vars, split_solve) = optimize_split_report_observed(model, n_star, sink)?;
+    let (vars, split_solve) = optimize_split_report_observed_tuned(model, n_star, tuning, sink)?;
     Ok(OptimalDesign {
         execution_time: model.execution_time(&vars),
         throughput: model.throughput(&vars),
@@ -442,6 +530,30 @@ mod tests {
             frac(&v_hungry),
             frac(&v_lean)
         );
+    }
+
+    #[test]
+    fn default_tuning_matches_historical_constants() {
+        let t = SolverTuning::from_spec(&c2_config::SolverSpec::default()).unwrap();
+        assert_eq!(t, SolverTuning::default());
+        assert!(SolverTuning::from_spec(&c2_config::SolverSpec {
+            newton_tol: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SolverTuning::from_spec(&c2_config::SolverSpec {
+            nelder_max_iters: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn tuned_optimize_with_defaults_matches_untuned() {
+        let m = C2BoundModel::example_big_data();
+        let a = optimize(&m).unwrap();
+        let b = optimize_tuned(&m, &SolverTuning::default()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

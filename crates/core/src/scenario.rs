@@ -1,0 +1,234 @@
+//! Scenario → model wiring: build the analytical model, design space,
+//! and APS driver from a declarative [`Scenario`](c2_config::Scenario).
+//!
+//! The defaults of every `c2-config` spec are chosen so that a default
+//! scenario reproduces, bit for bit, the model the CLI historically
+//! assembled from hard-coded constants (`model_from` in
+//! `c2bound-tool`); tests below pin that equivalence. The scenario
+//! layer only *relocates* those constants into data — it must not move
+//! any numbers.
+
+use c2_config::Scenario;
+use c2_sim::area::{AreaModel, SiliconBudget};
+use c2_sim::ChipConfig;
+use c2_speedup::scale::ScaleFunction;
+use c2_workloads::{Characterization, Workload};
+
+use crate::aps::Aps;
+use crate::dse::DesignSpace;
+use crate::mem_model::{CacheSensitivity, MemoryModel};
+use crate::model::{C2BoundModel, ProgramProfile};
+use crate::optimize::SolverTuning;
+use crate::{Error, Result};
+
+/// The scaling function `g(N)` for a scenario: an explicit
+/// `model.g_exponent` wins; otherwise the workload's complexity-derived
+/// scale function; linear scaling is the last resort (the historical
+/// CLI fallback).
+pub fn scale_function(sc: &Scenario, workload: &dyn Workload) -> ScaleFunction {
+    match sc.model.g_exponent {
+        Some(exp) => ScaleFunction::Power(exp),
+        None => workload
+            .complexity()
+            .scale_function()
+            .unwrap_or(ScaleFunction::Power(1.0)),
+    }
+}
+
+/// Assemble the C²-Bound model from a characterization run and the
+/// scenario's model/area/budget knobs. `chip` is the characterization
+/// chip: it supplies the reference cache capacities and the L2 service
+/// latency (`l2.hit_latency + 2·noc.l1_l2_latency`), exactly as the CLI
+/// always derived them.
+pub fn model_from_scenario(
+    sc: &Scenario,
+    ch: &Characterization,
+    chip: &ChipConfig,
+    g: ScaleFunction,
+) -> Result<C2BoundModel> {
+    let l2_latency = chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64;
+    let memory = match &sc.model.camat {
+        None => MemoryModel::from_characterization(
+            ch,
+            chip.l1.size_bytes as f64,
+            chip.l2.size_bytes as f64,
+            sc.model.l1_alpha,
+            sc.model.l2_alpha,
+            l2_latency,
+            sc.model.dram_latency,
+        )?,
+        Some(spec) => {
+            let params = c2_camat::CamatParams::from_spec(spec).map_err(|e| match e {
+                c2_camat::Error::InvalidParameter { name, value } => {
+                    Error::InvalidParameter { name, value }
+                }
+            })?;
+            // The override replaces the *measured* memory behavior; the
+            // capacity-sensitivity curves still come from the
+            // characterization (they describe the workload's reuse, not
+            // the measurement).
+            let pure_ratio = (params.pure_miss_rate / ch.l1_miss_rate.max(1e-6)).clamp(0.0, 1.0);
+            MemoryModel::new(
+                params.hit_time.max(1.0),
+                params.hit_concurrency.max(1.0),
+                params.pure_miss_concurrency.max(1.0),
+                pure_ratio,
+                l2_latency,
+                sc.model.dram_latency,
+                CacheSensitivity::power_law(
+                    ch.l1_miss_rate.clamp(1e-6, 1.0),
+                    chip.l1.size_bytes as f64,
+                    sc.model.l1_alpha,
+                    1e-4,
+                )?,
+                CacheSensitivity::power_law(
+                    ch.l2_miss_rate.clamp(1e-6, 1.0),
+                    chip.l2.size_bytes as f64,
+                    sc.model.l2_alpha,
+                    1e-3,
+                )?,
+            )?
+        }
+    };
+    let program = ProgramProfile::new(
+        ch.instruction_count as f64,
+        ch.f_seq,
+        ch.f_mem,
+        ch.overlap_cm.clamp(0.0, sc.model.overlap_cap),
+        g,
+    )?;
+    Ok(C2BoundModel::new(
+        program,
+        memory,
+        AreaModel::from_spec(&sc.area)?,
+        SiliconBudget::from_spec(&sc.budget)?,
+    ))
+}
+
+/// The fully assembled APS driver for a scenario: model, design space
+/// and solver tuning, all validated.
+pub fn aps_from_scenario(
+    sc: &Scenario,
+    ch: &Characterization,
+    chip: &ChipConfig,
+    g: ScaleFunction,
+) -> Result<Aps> {
+    let model = model_from_scenario(sc, ch, chip, g)?;
+    let space = DesignSpace::from_spec(&sc.space)?;
+    let tuning = SolverTuning::from_spec(&sc.solver)?;
+    Ok(Aps::with_tuning(model, space, tuning))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2_workloads::characterize;
+
+    fn characterized() -> (Box<dyn Workload>, Characterization, ChipConfig) {
+        let spec = c2_config::WorkloadSpec {
+            name: "stencil".into(),
+            size: 16,
+        };
+        let w = c2_workloads::workload_from_spec(&spec).unwrap();
+        let chip = ChipConfig::default_single_core();
+        let ch = characterize(&w.generate(), &chip).unwrap();
+        (w, ch, chip)
+    }
+
+    #[test]
+    fn default_scenario_reproduces_the_hardcoded_model() {
+        let sc = Scenario::default();
+        let (w, ch, chip) = characterized();
+        let g = scale_function(&sc, w.as_ref());
+        let new = model_from_scenario(&sc, &ch, &chip, g).unwrap();
+
+        // The CLI's historical hard-coded construction.
+        let memory = MemoryModel::from_characterization(
+            &ch,
+            chip.l1.size_bytes as f64,
+            chip.l2.size_bytes as f64,
+            0.5,
+            1.0,
+            chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
+            120.0,
+        )
+        .unwrap();
+        let program = ProgramProfile::new(
+            ch.instruction_count as f64,
+            ch.f_seq,
+            ch.f_mem,
+            ch.overlap_cm.clamp(0.0, 0.95),
+            scale_function(&sc, w.as_ref()),
+        )
+        .unwrap();
+        let old = C2BoundModel::new(
+            program,
+            memory,
+            AreaModel::default(),
+            SiliconBudget::new(400.0, 40.0).unwrap(),
+        );
+
+        assert_eq!(new.program, old.program);
+        assert_eq!(new.area, old.area);
+        assert_eq!(new.budget, old.budget);
+        // MemoryModel is not PartialEq; compare it through its outputs
+        // on a spread of capacities.
+        for (c1, c2) in [(16e3, 1e6), (32e3, 2e6), (256e3, 16e6)] {
+            assert_eq!(
+                new.memory.camat(c1, c2).to_bits(),
+                old.memory.camat(c1, c2).to_bits()
+            );
+            assert_eq!(
+                new.memory.amat(c1, c2).to_bits(),
+                old.memory.amat(c1, c2).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn g_exponent_override_wins() {
+        let mut sc = Scenario::default();
+        let (w, _, _) = characterized();
+        sc.model.g_exponent = Some(0.5);
+        assert_eq!(scale_function(&sc, w.as_ref()), ScaleFunction::Power(0.5));
+    }
+
+    #[test]
+    fn camat_override_replaces_measurement() {
+        let mut sc = Scenario::default();
+        sc.model.camat = Some(c2_config::CamatSpec {
+            hit_time: 3.0,
+            hit_concurrency: 2.5,
+            pure_miss_rate: 0.02,
+            pure_avg_miss_penalty: 20.0,
+            pure_miss_concurrency: 2.0,
+        });
+        let (w, ch, chip) = characterized();
+        let g = scale_function(&sc, w.as_ref());
+        let m = model_from_scenario(&sc, &ch, &chip, g).unwrap();
+        assert_eq!(m.memory.hit_time, 3.0);
+        assert_eq!(m.memory.hit_concurrency, 2.5);
+        assert_eq!(m.memory.pure_miss_concurrency, 2.0);
+
+        // An invalid override is rejected with a typed error.
+        sc.model.camat.as_mut().unwrap().hit_concurrency = 0.5;
+        let err = model_from_scenario(&sc, &ch, &chip, g).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidParameter {
+                name: "hit_concurrency",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aps_from_scenario_matches_paper_scale_space() {
+        let sc = Scenario::default();
+        let (w, ch, chip) = characterized();
+        let g = scale_function(&sc, w.as_ref());
+        let aps = aps_from_scenario(&sc, &ch, &chip, g).unwrap();
+        assert_eq!(aps.space, DesignSpace::paper_scale());
+        assert_eq!(aps.tuning, SolverTuning::default());
+    }
+}

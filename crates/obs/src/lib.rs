@@ -28,14 +28,15 @@
 
 #![warn(missing_docs)]
 
-mod json;
 mod metrics;
 mod recorder;
 mod report;
 mod sink;
 mod trace;
 
-pub use json::Json;
+// The recursive JSON value model moved to `c2-config` (the scenario
+// layer shares it); re-exported here so obs callers keep compiling.
+pub use c2_config::Json;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::Recorder;
 pub use report::Report;
@@ -75,6 +76,12 @@ impl fmt::Display for ObsError {
 }
 
 impl std::error::Error for ObsError {}
+
+impl From<c2_config::JsonError> for ObsError {
+    fn from(e: c2_config::JsonError) -> Self {
+        ObsError::Parse(e.0)
+    }
+}
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, ObsError>;

@@ -67,6 +67,11 @@ pub struct RunConfig {
     pub breaker: BreakerPolicy,
     /// Backfill dead points with calibrated analytic estimates.
     pub analytic_fallback: bool,
+    /// Fingerprint of the scenario this run executes, mixed into the
+    /// journal header so `--resume` is scenario-bound; `None` (the
+    /// scenario-less positional path) keeps the bare plan fingerprint
+    /// and stays byte-compatible with pre-scenario journals.
+    pub scenario_fingerprint: Option<u64>,
     /// Test hook simulating a crash: stop (without draining) after
     /// this many terminal outcomes this run. The journal keeps every
     /// record flushed before the "crash".
@@ -84,12 +89,66 @@ impl Default for RunConfig {
             backoff: BackoffPolicy::default(),
             breaker: BreakerPolicy::default(),
             analytic_fallback: true,
+            scenario_fingerprint: None,
             abort_after: None,
         }
     }
 }
 
 impl RunConfig {
+    /// Validated construction from a scenario's runner spec. The
+    /// scenario fingerprint is set separately ([`Self::with_scenario`])
+    /// because the spec describes engine policy, not run identity.
+    pub fn from_spec(spec: &c2_config::RunnerSpec) -> Result<Self> {
+        fn narrow(value: u64, what: &'static str) -> Result<usize> {
+            usize::try_from(value).map_err(|_| Error::InvalidConfig(what))
+        }
+        let config = RunConfig {
+            workers: narrow(spec.workers, "workers exceeds the platform word size")?,
+            deadline_ms: spec.deadline_ms,
+            watchdog_tick_ms: spec.watchdog_tick_ms,
+            max_attempts: narrow(
+                spec.max_attempts,
+                "max_attempts exceeds the platform word size",
+            )?,
+            queue_capacity: narrow(
+                spec.queue_capacity,
+                "queue_capacity exceeds the platform word size",
+            )?,
+            backoff: BackoffPolicy {
+                base_ms: spec.backoff.base_ms,
+                factor: spec.backoff.factor,
+                cap_ms: spec.backoff.cap_ms,
+                jitter_frac: spec.backoff.jitter_frac,
+            },
+            breaker: BreakerPolicy {
+                trip_threshold: narrow(
+                    spec.breaker.trip_threshold,
+                    "breaker trip_threshold exceeds the platform word size",
+                )?,
+                cooldown: narrow(
+                    spec.breaker.cooldown,
+                    "breaker cooldown exceeds the platform word size",
+                )?,
+                probes: narrow(
+                    spec.breaker.probes,
+                    "breaker probes exceeds the platform word size",
+                )?,
+            },
+            analytic_fallback: spec.analytic_fallback,
+            scenario_fingerprint: None,
+            abort_after: None,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The same configuration bound to a scenario fingerprint.
+    pub fn with_scenario(mut self, fingerprint: u64) -> Self {
+        self.scenario_fingerprint = Some(fingerprint);
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.workers == 0 {
@@ -668,7 +727,10 @@ impl SweepRunner {
         let plan = aps.plan_observed(sink)?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
-            fingerprint: plan_fingerprint(&plan),
+            fingerprint: journal::bind_fingerprint(
+                plan_fingerprint(&plan),
+                self.config.scenario_fingerprint,
+            ),
         };
 
         let mut terminals: Vec<Option<Terminal>> = vec![None; plan.jobs.len()];

@@ -108,6 +108,28 @@ pub fn plan_fingerprint(plan: &ApsPlan) -> u64 {
     h
 }
 
+/// Bind a plan fingerprint to the scenario that produced it, by
+/// continuing the same FNV-1a stream over the scenario fingerprint's
+/// bytes. A journal written under one scenario then refuses to resume
+/// under a modified one even when the modification leaves the job list
+/// unchanged (e.g. a solver-tolerance edit). `None` — the positional
+/// CLI path, which has no scenario file — leaves the plan fingerprint
+/// untouched, so journals written before the scenario layer existed
+/// remain resumable.
+pub fn bind_fingerprint(plan_fp: u64, scenario_fp: Option<u64>) -> u64 {
+    match scenario_fp {
+        None => plan_fp,
+        Some(s) => {
+            let mut h = plan_fp;
+            for b in s.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+    }
+}
+
 /// What a journal file contained.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalContents {
@@ -559,6 +581,16 @@ mod tests {
         let parsed = parse(&text).unwrap();
         assert_eq!(parsed.records.len(), 1);
         assert_eq!(parsed.records[0].result, Ok(5.0));
+    }
+
+    #[test]
+    fn bind_fingerprint_is_identity_without_a_scenario() {
+        assert_eq!(bind_fingerprint(0x1234, None), 0x1234);
+        let bound = bind_fingerprint(0x1234, Some(7));
+        assert_ne!(bound, 0x1234);
+        // Deterministic, and sensitive to the scenario fingerprint.
+        assert_eq!(bound, bind_fingerprint(0x1234, Some(7)));
+        assert_ne!(bound, bind_fingerprint(0x1234, Some(8)));
     }
 
     #[test]

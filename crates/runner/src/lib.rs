@@ -47,7 +47,7 @@ pub use backoff::BackoffPolicy;
 pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, Transition};
 pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
 pub use fault_oracle::InjectedOracle;
-pub use journal::{JobRecord, JournalHeader, JournalWriter};
+pub use journal::{bind_fingerprint, JobRecord, JournalHeader, JournalWriter};
 
 /// Errors produced by the engine and its journal.
 #[derive(Debug, Clone, PartialEq)]

@@ -87,6 +87,7 @@ fn acceptance_config() -> RunConfig {
             probes: 2,
         },
         analytic_fallback: true,
+        scenario_fingerprint: None,
         abort_after: None,
     }
 }
@@ -222,8 +223,16 @@ fn resume_rejects_a_journal_from_a_different_sweep() {
     assert!(full.report.completed);
 
     // Same job count, different design space: the fingerprint differs.
-    let mut space = DesignSpace::tiny();
-    space.rob = vec![32, 96, 256];
+    let tiny = DesignSpace::tiny();
+    let space = DesignSpace::new(
+        tiny.a0().to_vec(),
+        tiny.a1().to_vec(),
+        tiny.a2().to_vec(),
+        tiny.n().to_vec(),
+        tiny.issue().to_vec(),
+        vec![32, 96, 256],
+    )
+    .unwrap();
     let other = Aps::new(C2BoundModel::example_big_data(), space);
     let runner = SweepRunner::new(acceptance_config()).unwrap();
     let err = runner

@@ -37,6 +37,11 @@ impl SiliconBudget {
         })
     }
 
+    /// Validated construction from a scenario budget spec.
+    pub fn from_spec(spec: &c2_config::BudgetSpec) -> Result<Self> {
+        SiliconBudget::new(spec.total_area_mm2, spec.shared_area_mm2)
+    }
+
     /// Area available for cores and caches: `A − Ac`.
     pub fn usable(&self) -> f64 {
         self.total_area - self.shared_area
@@ -73,6 +78,28 @@ impl Default for AreaModel {
 }
 
 impl AreaModel {
+    /// Validated construction from a scenario area spec.
+    pub fn from_spec(spec: &c2_config::AreaSpec) -> Result<Self> {
+        for x in [
+            spec.pollack_k0,
+            spec.pollack_phi0,
+            spec.reference_core_area,
+            spec.cache_bytes_per_mm2,
+        ] {
+            if !(x > 0.0) || !x.is_finite() {
+                return Err(Error::InvalidConfig(
+                    "area-model coefficients must be finite and positive",
+                ));
+            }
+        }
+        Ok(AreaModel {
+            pollack_k0: spec.pollack_k0,
+            pollack_phi0: spec.pollack_phi0,
+            reference_core_area: spec.reference_core_area,
+            cache_bytes_per_mm2: spec.cache_bytes_per_mm2,
+        })
+    }
+
     /// `CPI_exe(A0) = k0 · A0^{-1/2} + φ0` (paper Eq. 11).
     pub fn cpi_exe(&self, a0: f64) -> f64 {
         debug_assert!(a0 > 0.0);

@@ -2,6 +2,12 @@
 
 use crate::{Error, Result};
 
+/// Narrow a scenario's `u64` field into the width the simulator uses,
+/// with a typed error instead of a silent truncation.
+fn narrow<T: TryFrom<u64>>(value: u64, what: &'static str) -> Result<T> {
+    T::try_from(value).map_err(|_| Error::InvalidConfig(what))
+}
+
 /// Configuration of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -53,6 +59,22 @@ impl CacheConfig {
             banks: 8,
             next_line_prefetch: false,
         }
+    }
+
+    /// Validated construction from a scenario cache spec.
+    pub fn from_spec(spec: &c2_config::CacheSpec) -> Result<Self> {
+        let config = CacheConfig {
+            size_bytes: spec.size_bytes,
+            line_size: spec.line_size,
+            associativity: narrow(spec.associativity, "associativity too large")?,
+            hit_latency: narrow(spec.hit_latency, "hit_latency too large")?,
+            mshr_entries: narrow(spec.mshr_entries, "mshr_entries too large")?,
+            ports: narrow(spec.ports, "ports too large")?,
+            banks: narrow(spec.banks, "banks too large")?,
+            next_line_prefetch: spec.next_line_prefetch,
+        };
+        config.validate()?;
+        Ok(config)
     }
 
     /// Number of sets.
@@ -131,6 +153,21 @@ impl DramConfig {
         }
     }
 
+    /// Validated construction from a scenario DRAM spec.
+    pub fn from_spec(spec: &c2_config::DramSpec) -> Result<Self> {
+        let config = DramConfig {
+            banks: narrow(spec.banks, "dram banks too large")?,
+            row_size: spec.row_size,
+            t_rcd: narrow(spec.t_rcd, "t_rcd too large")?,
+            t_cas: narrow(spec.t_cas, "t_cas too large")?,
+            t_rp: narrow(spec.t_rp, "t_rp too large")?,
+            t_bus: narrow(spec.t_bus, "t_bus too large")?,
+            queue_depth: narrow(spec.queue_depth, "queue_depth too large")?,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.banks == 0 || !self.banks.is_power_of_two() {
@@ -170,6 +207,17 @@ impl CoreConfig {
             rob_size: 128,
             exec_latency: 1,
         }
+    }
+
+    /// Validated construction from a scenario core spec.
+    pub fn from_spec(spec: &c2_config::CoreSpec) -> Result<Self> {
+        let config = CoreConfig {
+            issue_width: narrow(spec.issue_width, "issue_width too large")?,
+            rob_size: narrow(spec.rob_size, "rob_size too large")?,
+            exec_latency: narrow(spec.exec_latency, "exec_latency too large")?,
+        };
+        config.validate()?;
+        Ok(config)
     }
 
     /// A scalar in-order-like core (no memory-level parallelism from the
@@ -213,6 +261,14 @@ impl NocConfig {
             l1_l2_latency: 4,
             l2_mem_latency: 6,
         }
+    }
+
+    /// Validated construction from a scenario NoC spec.
+    pub fn from_spec(spec: &c2_config::NocSpec) -> Result<Self> {
+        Ok(NocConfig {
+            l1_l2_latency: narrow(spec.l1_l2_latency, "l1_l2_latency too large")?,
+            l2_mem_latency: narrow(spec.l2_mem_latency, "l2_mem_latency too large")?,
+        })
     }
 }
 
@@ -260,6 +316,24 @@ impl ChipConfig {
         }
     }
 
+    /// Validated construction from a scenario chip spec. The fault
+    /// plan stays inert: fault injection is a test surface, not an
+    /// experiment parameter.
+    pub fn from_spec(spec: &c2_config::ChipSpec) -> Result<Self> {
+        let config = ChipConfig {
+            cores: narrow(spec.cores, "cores too large")?,
+            core: CoreConfig::from_spec(&spec.core)?,
+            l1: CacheConfig::from_spec(&spec.l1)?,
+            l2: CacheConfig::from_spec(&spec.l2)?,
+            dram: DramConfig::from_spec(&spec.dram)?,
+            noc: NocConfig::from_spec(&spec.noc)?,
+            max_cycles: spec.max_cycles,
+            fault: crate::fault::FaultPlan::default(),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
     /// Validate the full configuration.
     pub fn validate(&self) -> Result<()> {
         if self.cores == 0 {
@@ -289,6 +363,14 @@ mod tests {
         assert!(ChipConfig::default_single_core().validate().is_ok());
         assert!(ChipConfig::default_multi_core(16).validate().is_ok());
         assert!(CoreConfig::scalar_blocking().validate().is_ok());
+    }
+
+    #[test]
+    fn default_spec_reproduces_the_default_chip() {
+        // The scenario layer's defaults must be the historical chip
+        // bit for bit — no behavioral drift from the refactor.
+        let from_spec = ChipConfig::from_spec(&c2_config::ChipSpec::default()).expect("spec");
+        assert_eq!(from_spec, ChipConfig::default_single_core());
     }
 
     #[test]

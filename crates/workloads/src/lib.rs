@@ -135,6 +135,22 @@ pub trait Workload {
     fn generate(&self) -> WorkloadTrace;
 }
 
+/// Instantiate a workload by name and size, the way the CLI always
+/// has: sizes below each kernel's sensible minimum are clamped up, and
+/// the FFT size is rounded to the next power of two. Returns `None`
+/// for an unknown name.
+pub fn workload_from_spec(spec: &c2_config::WorkloadSpec) -> Option<Box<dyn Workload>> {
+    let size = usize::try_from(spec.size).ok()?;
+    Some(match spec.name.as_str() {
+        "tmm" => Box::new(tmm::TiledMatMul::new(size.max(8), 8, 1)),
+        "spmv" => Box::new(spmv::BandSpmv::new(size.max(16), 3, 1)),
+        "stencil" => Box::new(stencil::Stencil2D::new(size.max(8), size.max(8), 2, 1)),
+        "fft" => Box::new(fft::Fft::new(size.max(8).next_power_of_two(), 1)),
+        "fluidanimate" => Box::new(fluidanimate::FluidAnimate::new(size.max(100), 12, 1, 1)),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

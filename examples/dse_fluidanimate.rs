@@ -63,7 +63,7 @@ fn main() {
     println!(
         "\ndesign space: {} points; APS will simulate only the issue x ROB cross ({} runs)",
         space.size(),
-        space.issue.len() * space.rob.len()
+        space.issue().len() * space.rob().len()
     );
     let aps = Aps::new(model, space);
     let t0 = std::time::Instant::now();

@@ -12,9 +12,12 @@
 //! c2bound-tool characterize-file <path>         # characterize a #c2trace file
 //! c2bound-tool multiobjective [weight]          # energy/perf trade-off (SS VII)
 //! c2bound-tool adaptive                         # phase-adaptive reconfiguration (SS V)
-//! c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D]
-//!               [--max-attempts K] [--journal PATH] [--resume]
-//!               [--metrics-out PATH]
+//! c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N]
+//!               [--deadline-ms D] [--max-attempts K] [--journal PATH]
+//!               [--resume] [--metrics-out PATH]
+//! c2bound-tool scenario init [PATH]             # canonical default scenario
+//! c2bound-tool scenario validate <PATH>         # parse + validate, print fingerprint
+//! c2bound-tool scenario show <PATH>             # canonical render + fingerprint
 //! c2bound-tool obs-report <metrics.json> [--prom|--json]
 //! ```
 //!
@@ -26,16 +29,25 @@
 //! observability report (metrics + tick-ordered trace, see DESIGN.md
 //! §7); `obs-report` pretty-prints or re-exports such a report.
 //!
+//! `run --scenario` executes a declarative scenario file (DESIGN.md
+//! §8): every knob — workload, chip, model constants, design space,
+//! budget, solver tolerances, runner policy — comes from the document,
+//! and the scenario fingerprint is bound into the resume journal so a
+//! checkpoint can only be resumed against the scenario that wrote it.
+//! The positional form is the same pipeline over the built-in defaults
+//! (tiny sweep space) and writes fingerprint-free journals. Command-line
+//! flags override the scenario's runner section in both forms.
+//!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
 
-use c2_bound::aps::Aps;
-use c2_bound::dse::{simulate_point, DesignPoint, DesignSpace};
+use c2_bound::dse::{simulate_point, DesignPoint};
 use c2_bound::optimize::optimize;
 use c2_bound::report::{fmt_num, Table};
 use c2_bound::scaling::ScalingStudy;
-use c2_bound::{C2BoundModel, MemoryModel, ProgramProfile};
-use c2_sim::area::{AreaModel, SiliconBudget};
+use c2_bound::{aps_from_scenario, scale_function, C2BoundModel, ProgramProfile};
+use c2_config::{Scenario, SpaceSpec};
+use c2_sim::area::SiliconBudget;
 use c2_sim::ChipConfig;
 use c2_speedup::scale::ScaleFunction;
 use c2_workloads::{characterize, Characterization, Workload, WorkloadTrace};
@@ -48,38 +60,37 @@ fn usage() -> ! {
          c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
          c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
          c2bound-tool adaptive\n  \
-         c2bound-tool run <workload> [size] [--workers N] [--deadline-ms D] [--max-attempts K] \
-         [--journal PATH] [--resume] [--metrics-out PATH]\n  \
+         c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] \
+         [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--metrics-out PATH]\n  \
+         c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
          c2bound-tool obs-report <metrics.json> [--prom|--json]"
     );
     std::process::exit(2);
 }
 
-fn parse_or<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
-    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+/// Parse a value that is actually present on the command line. A
+/// malformed value is a one-line error and a nonzero exit — never a
+/// silently substituted default.
+fn parse_arg<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {name}: {raw:?}");
+        std::process::exit(2);
+    })
 }
 
-fn workload_by_name(name: &str, size: usize) -> Option<Box<dyn Workload>> {
-    Some(match name {
-        "tmm" => Box::new(c2_workloads::tmm::TiledMatMul::new(size.max(8), 8, 1)),
-        "spmv" => Box::new(c2_workloads::spmv::BandSpmv::new(size.max(16), 3, 1)),
-        "stencil" => Box::new(c2_workloads::stencil::Stencil2D::new(
-            size.max(8),
-            size.max(8),
-            2,
-            1,
-        )),
-        "fft" => Box::new(c2_workloads::fft::Fft::new(
-            size.max(8).next_power_of_two(),
-            1,
-        )),
-        "fluidanimate" => Box::new(c2_workloads::fluidanimate::FluidAnimate::new(
-            size.max(100),
-            12,
-            1,
-            1,
-        )),
-        _ => return None,
+/// Positional argument `i`: absent means `default`; present but
+/// unparsable is an error (see `parse_arg`).
+fn parse_or<T: std::str::FromStr>(args: &[String], i: usize, name: &str, default: T) -> T {
+    match args.get(i) {
+        None => default,
+        Some(raw) => parse_arg(raw, name),
+    }
+}
+
+fn workload_by_name(name: &str, size: u64) -> Option<Box<dyn Workload>> {
+    c2_workloads::workload_from_spec(&c2_config::WorkloadSpec {
+        name: name.to_string(),
+        size,
     })
 }
 
@@ -90,36 +101,35 @@ fn characterize_workload(w: &dyn Workload) -> (WorkloadTrace, Characterization, 
     (trace, ch, chip)
 }
 
-fn model_from(ch: &Characterization, chip: &ChipConfig, g: ScaleFunction) -> C2BoundModel {
-    let memory = MemoryModel::from_characterization(
-        ch,
-        chip.l1.size_bytes as f64,
-        chip.l2.size_bytes as f64,
-        0.5,
-        1.0,
-        chip.l2.hit_latency as f64 + 2.0 * chip.noc.l1_l2_latency as f64,
-        120.0,
-    )
-    .expect("memory model");
-    let program = ProgramProfile::new(
-        ch.instruction_count as f64,
-        ch.f_seq,
-        ch.f_mem,
-        ch.overlap_cm.clamp(0.0, 0.95),
-        g,
-    )
-    .expect("program profile");
-    C2BoundModel::new(
-        program,
-        memory,
-        AreaModel::default(),
-        SiliconBudget::new(400.0, 40.0).expect("budget"),
-    )
+/// The positional commands run the default scenario with only the
+/// workload (and, for sweeps, the fast tiny space) overridden — the
+/// same pipeline as `run --scenario`, same constants, no drift.
+fn positional_scenario(name: &str, size: u64, tiny_space: bool) -> Scenario {
+    let mut sc = Scenario::default();
+    sc.workload.name = name.to_string();
+    sc.workload.size = size;
+    if tiny_space {
+        sc.space = SpaceSpec::tiny();
+    }
+    sc
+}
+
+/// Read, parse, and validate a scenario file, or exit with a one-line
+/// typed error.
+fn load_scenario(path: &str) -> Scenario {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Scenario::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn cmd_characterize(args: &[String]) {
     let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
-    let size = parse_or(args, 1, 32usize);
+    let size = parse_or(args, 1, "size", 32u64);
     let Some(w) = workload_by_name(name, size) else {
         usage()
     };
@@ -158,11 +168,11 @@ fn cmd_characterize(args: &[String]) {
 }
 
 fn cmd_optimize(args: &[String]) {
-    let f_seq = parse_or(args, 0, 0.05f64);
-    let f_mem = parse_or(args, 1, 0.3f64);
-    let g_exp = parse_or(args, 2, 1.5f64);
-    let area = parse_or(args, 3, 400.0f64);
-    let shared = parse_or(args, 4, 40.0f64);
+    let f_seq = parse_or(args, 0, "f_seq", 0.05f64);
+    let f_mem = parse_or(args, 1, "f_mem", 0.3f64);
+    let g_exp = parse_or(args, 2, "g_exponent", 1.5f64);
+    let area = parse_or(args, 3, "total_area", 400.0f64);
+    let shared = parse_or(args, 4, "shared_area", 40.0f64);
     let mut model = C2BoundModel::example_big_data();
     model.program =
         ProgramProfile::new(1e9, f_seq, f_mem, 0.1, ScaleFunction::Power(g_exp)).expect("profile");
@@ -194,25 +204,23 @@ fn cmd_optimize(args: &[String]) {
 
 fn cmd_aps(args: &[String]) {
     let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
-    let size = parse_or(args, 1, 24usize);
-    let Some(w) = workload_by_name(name, size) else {
+    let size = parse_or(args, 1, "size", 24u64);
+    let sc = positional_scenario(name, size, true);
+    let Some(w) = c2_workloads::workload_from_spec(&sc.workload) else {
         usage()
     };
-    let (trace, ch, chip) = characterize_workload(w.as_ref());
-    let g = w
-        .complexity()
-        .scale_function()
-        .unwrap_or(ScaleFunction::Power(1.0));
-    let model = model_from(&ch, &chip, g);
-    let area = model.area;
-    let budget = model.budget;
-    let space = DesignSpace::tiny();
+    let chip = ChipConfig::from_spec(&sc.chip).expect("default chip spec");
+    let trace = w.generate();
+    let ch = characterize(&trace, &chip).expect("characterization failed");
+    let g = scale_function(&sc, w.as_ref());
+    let aps = aps_from_scenario(&sc, &ch, &chip, g).expect("scenario model");
+    let area = aps.model.area;
+    let budget = aps.model.budget;
     println!(
         "APS over a {}-point space; refining {} microarchitecture points with real simulations...",
-        space.size(),
-        space.issue.len() * space.rob.len()
+        aps.space.size(),
+        aps.space.issue().len() * aps.space.rob().len()
     );
-    let aps = Aps::new(model, space);
     let outcome = aps
         .run(|p: &DesignPoint| {
             simulate_point(p, &trace, &area, &budget)
@@ -247,32 +255,38 @@ fn cmd_aps(args: &[String]) {
 }
 
 /// `run`: the APS refinement sweep on the supervised engine, with an
-/// optional checkpoint journal and idempotent resume.
+/// optional checkpoint journal and idempotent resume. The sweep is
+/// described either positionally (workload + size over the built-in
+/// defaults) or by a declarative scenario file; flags override the
+/// scenario's runner policy in both forms.
+#[allow(clippy::too_many_lines)]
 fn cmd_run(args: &[String]) {
-    let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
-    let mut size = 24usize;
-    let mut config = c2_runner::RunConfig {
-        workers: 2,
-        deadline_ms: 60_000,
-        max_attempts: 3,
-        ..c2_runner::RunConfig::default()
-    };
+    let mut scenario_path: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut size: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_attempts: Option<usize> = None;
     let mut journal: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut resume = false;
-    let mut rest = args[1..].iter();
+    let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
-            "--workers" => match rest.next().and_then(|v| v.parse().ok()) {
-                Some(v) => config.workers = v,
+            "--scenario" => match rest.next() {
+                Some(v) => scenario_path = Some(v.clone()),
                 None => usage(),
             },
-            "--deadline-ms" => match rest.next().and_then(|v| v.parse().ok()) {
-                Some(v) => config.deadline_ms = v,
+            "--workers" => match rest.next() {
+                Some(v) => workers = Some(parse_arg(v, "--workers")),
                 None => usage(),
             },
-            "--max-attempts" => match rest.next().and_then(|v| v.parse().ok()) {
-                Some(v) => config.max_attempts = v,
+            "--deadline-ms" => match rest.next() {
+                Some(v) => deadline_ms = Some(parse_arg(v, "--deadline-ms")),
+                None => usage(),
+            },
+            "--max-attempts" => match rest.next() {
+                Some(v) => max_attempts = Some(parse_arg(v, "--max-attempts")),
                 None => usage(),
             },
             "--journal" => match rest.next() {
@@ -284,10 +298,16 @@ fn cmd_run(args: &[String]) {
                 None => usage(),
             },
             "--resume" => resume = true,
-            other => match other.parse() {
-                Ok(v) => size = v,
-                Err(_) => usage(),
-            },
+            other if !other.starts_with('-') => {
+                if name.is_none() {
+                    name = Some(other.to_string());
+                } else if size.is_none() {
+                    size = Some(parse_arg(other, "size"));
+                } else {
+                    usage()
+                }
+            }
+            _ => usage(),
         }
     }
     if resume && journal.is_none() {
@@ -303,19 +323,64 @@ fn cmd_run(args: &[String]) {
             std::process::exit(2);
         }
     }
-    let Some(w) = workload_by_name(name, size) else {
-        usage()
+    // The scenario: loaded (and fingerprinted, binding the journal) or
+    // assembled from the positional form, which keeps the historical
+    // tiny sweep space and fingerprint-free journals.
+    let (sc, fingerprint) = match &scenario_path {
+        Some(path) => {
+            if name.is_some() || size.is_some() {
+                eprintln!("error: --scenario and a positional workload are mutually exclusive");
+                std::process::exit(2);
+            }
+            let sc = load_scenario(path);
+            let fp = sc.fingerprint();
+            (sc, Some(fp))
+        }
+        None => {
+            let Some(name) = name else { usage() };
+            (positional_scenario(&name, size.unwrap_or(24), true), None)
+        }
     };
-    let (trace, ch, chip) = characterize_workload(w.as_ref());
-    let g = w
-        .complexity()
-        .scale_function()
-        .unwrap_or(ScaleFunction::Power(1.0));
-    let model = model_from(&ch, &chip, g);
-    let area = model.area;
-    let budget = model.budget;
-    let space = DesignSpace::tiny();
-    let aps = Aps::new(model, space);
+    let mut config = c2_runner::RunConfig::from_spec(&sc.runner).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(v) = workers {
+        config.workers = v;
+    }
+    if let Some(v) = deadline_ms {
+        config.deadline_ms = v;
+    }
+    if let Some(v) = max_attempts {
+        config.max_attempts = v;
+    }
+    if let Some(fp) = fingerprint {
+        config = config.with_scenario(fp);
+    }
+    if metrics_out.is_none() {
+        metrics_out = sc
+            .observability
+            .metrics_out
+            .as_ref()
+            .map(std::path::PathBuf::from);
+    }
+    let Some(w) = c2_workloads::workload_from_spec(&sc.workload) else {
+        eprintln!("error: unknown workload {:?}", sc.workload.name);
+        std::process::exit(2);
+    };
+    let chip = ChipConfig::from_spec(&sc.chip).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let trace = w.generate();
+    let ch = characterize(&trace, &chip).expect("characterization failed");
+    let g = scale_function(&sc, w.as_ref());
+    let aps = aps_from_scenario(&sc, &ch, &chip, g).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let area = aps.model.area;
+    let budget = aps.model.budget;
     println!(
         "supervised sweep: {} workers, deadline {} ms, {} attempts/job{}",
         config.workers,
@@ -390,6 +455,40 @@ fn cmd_run(args: &[String]) {
     );
 }
 
+/// `scenario`: manage declarative scenario files. `init` emits the
+/// canonical defaults, `validate` parses and range-checks a file, and
+/// `show` prints the canonical rendering plus the fingerprint that a
+/// journaled `run --scenario` binds into its checkpoints.
+fn cmd_scenario(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("init") => {
+            let sc = Scenario::default();
+            match args.get(1) {
+                None => print!("{}", sc.render_pretty()),
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, sc.render_pretty()) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path} (fingerprint {})", sc.fingerprint_hex());
+                }
+            }
+        }
+        Some("validate") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let sc = load_scenario(path);
+            println!("ok: {path} (fingerprint {})", sc.fingerprint_hex());
+        }
+        Some("show") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let sc = load_scenario(path);
+            print!("{}", sc.render_pretty());
+            println!("fingerprint: {}", sc.fingerprint_hex());
+        }
+        _ => usage(),
+    }
+}
+
 /// `obs-report`: summarize (or re-export) a metrics report produced by
 /// `run --metrics-out`.
 fn cmd_obs_report(args: &[String]) {
@@ -451,7 +550,7 @@ fn cmd_obs_report(args: &[String]) {
 }
 
 fn cmd_scaling(args: &[String]) {
-    let f_mem = parse_or(args, 0, 0.3f64);
+    let f_mem = parse_or(args, 0, "f_mem", 0.3f64);
     let study = ScalingStudy::paper_figs_8_to_11(f_mem).expect("study");
     let ns = [1.0, 4.0, 16.0, 64.0, 256.0, 1000.0];
     let mut t = Table::new(vec!["N", "W", "T(C=1)", "T(C=8)", "W/T(C=1)", "W/T(C=8)"]);
@@ -497,7 +596,7 @@ fn cmd_table1() {
 
 fn cmd_trace(args: &[String]) {
     let name = args.first().map(String::as_str).unwrap_or_else(|| usage());
-    let size = parse_or(args, 1, 32usize);
+    let size = parse_or(args, 1, "size", 32u64);
     let Some(w) = workload_by_name(name, size) else {
         usage()
     };
@@ -542,7 +641,7 @@ fn cmd_characterize_file(args: &[String]) {
 
 fn cmd_multiobjective(args: &[String]) {
     use c2_bound::energy::{MultiObjective, PowerModel};
-    let weight = parse_or(args, 0, 0.5f64);
+    let weight = parse_or(args, 0, "weight", 0.5f64);
     let mut base = C2BoundModel::example_big_data();
     base.program =
         ProgramProfile::new(1e9, 0.15, 0.3, 0.1, ScaleFunction::Power(0.5)).expect("profile");
@@ -627,6 +726,7 @@ fn main() {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("aps") => cmd_aps(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("table1") => cmd_table1(),

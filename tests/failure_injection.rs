@@ -169,7 +169,7 @@ fn oracle_failure_mid_refinement_skips_and_degrades() {
         ..FaultPlan::default()
     };
     let space = DesignSpace::tiny(); // 3 issue x 3 rob = 9 sweep points
-    let sweep = space.issue.len() * space.rob.len();
+    let sweep = space.issue().len() * space.rob().len();
     let aps = Aps::new(C2BoundModel::example_big_data(), space);
     let policy = ResiliencePolicy {
         max_attempts: 1,

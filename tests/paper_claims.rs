@@ -89,7 +89,7 @@ fn design_space_narrowing_four_orders() {
     // orders of magnitude, from one million to one hundred."
     let space = c2bound::model::DesignSpace::paper_scale();
     assert_eq!(space.size(), 1_000_000);
-    let refinement = space.issue.len() * space.rob.len();
+    let refinement = space.issue().len() * space.rob().len();
     assert_eq!(refinement, 100);
     assert!((space.size() as f64 / refinement as f64).log10() >= 4.0);
 }

@@ -63,14 +63,15 @@ fn aps_with_real_simulator_oracle() {
     let budget = model.budget;
 
     // 2 x 2 microarchitecture cross to keep the test fast.
-    let space = DesignSpace {
-        a0: vec![2.0, 4.0],
-        a1: vec![0.0625, 0.25],
-        a2: vec![0.25, 1.0],
-        n: vec![1, 2, 4],
-        issue: vec![2, 4],
-        rob: vec![32, 128],
-    };
+    let space = DesignSpace::new(
+        vec![2.0, 4.0],
+        vec![0.0625, 0.25],
+        vec![0.25, 1.0],
+        vec![1, 2, 4],
+        vec![2, 4],
+        vec![32, 128],
+    )
+    .expect("design space");
     let aps = Aps::new(model, space);
     let outcome = aps
         .run(|p| {
