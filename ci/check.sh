@@ -16,6 +16,8 @@ cargo test --workspace -q
 echo "== runner engine integration tests =="
 cargo test -q -p c2-runner --test engine_resume
 cargo test -q -p c2-runner --test proptest_runner
+cargo test -q -p c2-runner --test sharded_engine
+cargo test -q -p c2-runner --test proptest_sharded
 
 echo "== scenario files (validate + smoke run) =="
 cargo build -q --bin c2bound-tool
@@ -28,6 +30,20 @@ trap 'rm -rf "${smoke_dir}"' EXIT
 cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
     --metrics-out "${smoke_dir}/metrics.json" > /dev/null
 test -s "${smoke_dir}/metrics.json"
+
+echo "== sharded bit-identity (1 vs 4 threads, quick.json) =="
+for t in 1 4; do
+    cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+        --threads "${t}" \
+        --journal "${smoke_dir}/journal-t${t}.jsonl" \
+        --metrics-out "${smoke_dir}/metrics-t${t}.json" > /dev/null
+done
+cmp "${smoke_dir}/journal-t1.jsonl" "${smoke_dir}/journal-t4.jsonl"
+cmp "${smoke_dir}/metrics-t1.json" "${smoke_dir}/metrics-t4.json"
+
+echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="
+cargo bench -q -p c2-bench --bench sweep_benches > /dev/null
+test -s BENCH_sweep.json
 
 echo "== examples (build + smoke run) =="
 cargo build -q --examples

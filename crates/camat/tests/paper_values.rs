@@ -1,0 +1,91 @@
+//! Pin Eq. 1 (AMAT) and Eq. 2 (C-AMAT) against the paper's own
+//! hand-computed Fig. 1 numbers, so a regression in either closed form
+//! or in the timeline measurement is caught against external truth
+//! rather than against the code's own output.
+//!
+//! Source constants (PAPER.md, §"The model"; paper Fig. 1 and §II.A):
+//!
+//! * `AMAT  = H + MR·AMP`            (Eq. 1)
+//! * `C-AMAT = H/C_H + pMR·pAMP/C_M` (Eq. 2)
+//!
+//! Fig. 1's five-access timeline measures `H = 3`, `MR = 2/5`,
+//! `AMP = 2`, `C_H = 5/2`, `pMR = 1/5`, `pAMP = 2`, `C_M = 1`, giving
+//! `AMAT = 3.8` and `C-AMAT = 1.6` — the paper's headline example of
+//! concurrency shrinking the apparent memory time by more than 2x.
+
+use c2_camat::{AmatParams, CamatParams, Timeline};
+
+/// Fig. 1 parameters, entered as literals from the paper (NOT derived
+/// from the timeline — that cross-check is a separate test).
+const H: f64 = 3.0;
+const MR: f64 = 0.4; // 2 misses / 5 accesses
+const AMP: f64 = 2.0; // (3 + 1) penalty cycles / 2 misses
+const C_H: f64 = 2.5; // 5/2: 15 hit-cycles over 6 hit-active cycles
+const P_MR: f64 = 0.2; // 1 pure miss / 5 accesses
+const P_AMP: f64 = 2.0; // 2 pure-miss cycles on the one pure miss
+const C_M: f64 = 1.0; // no overlap between pure misses
+
+#[test]
+fn eq1_amat_reproduces_fig1() {
+    let amat = AmatParams::new(H, MR, AMP).expect("valid Fig. 1 parameters");
+    assert!(
+        (amat.value() - 3.8).abs() < 1e-12,
+        "Eq. 1 at Fig. 1's parameters must give AMAT = 3.8, got {}",
+        amat.value()
+    );
+}
+
+#[test]
+fn eq2_camat_reproduces_fig1() {
+    let camat = CamatParams::new(H, C_H, P_MR, P_AMP, C_M).expect("valid Fig. 1 parameters");
+    // H/C_H + pMR·pAMP/C_M = 3/2.5 + 0.2·2/1 = 1.2 + 0.4 = 1.6.
+    assert!(
+        (camat.value() - 1.6).abs() < 1e-12,
+        "Eq. 2 at Fig. 1's parameters must give C-AMAT = 1.6, got {}",
+        camat.value()
+    );
+}
+
+#[test]
+fn fig1_timeline_measurement_agrees_with_the_hand_computed_parameters() {
+    let m = Timeline::paper_fig1().measure();
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+    assert!(close(m.hit_time, H), "H: {} vs {H}", m.hit_time);
+    assert!(close(m.miss_rate(), MR), "MR: {} vs {MR}", m.miss_rate());
+    assert!(
+        close(m.avg_miss_penalty, AMP),
+        "AMP: {} vs {AMP}",
+        m.avg_miss_penalty
+    );
+    assert!(
+        close(m.hit_concurrency, C_H),
+        "C_H: {} vs {C_H}",
+        m.hit_concurrency
+    );
+    assert!(
+        close(m.pure_miss_rate(), P_MR),
+        "pMR: {} vs {P_MR}",
+        m.pure_miss_rate()
+    );
+    assert!(
+        close(m.pure_avg_miss_penalty, P_AMP),
+        "pAMP: {} vs {P_AMP}",
+        m.pure_avg_miss_penalty
+    );
+    assert!(
+        close(m.pure_miss_concurrency, C_M),
+        "C_M: {} vs {C_M}",
+        m.pure_miss_concurrency
+    );
+    assert!(close(m.amat(), 3.8));
+    assert!(close(m.camat(), 1.6));
+}
+
+#[test]
+fn concurrency_never_inflates_memory_time_at_fig1_scale() {
+    // The paper's qualitative claim around Fig. 1: with C_H, C_M >= 1
+    // and pMR <= MR, pAMP <= AMP, C-AMAT can only improve on AMAT.
+    let amat = AmatParams::new(H, MR, AMP).unwrap().value();
+    let camat = CamatParams::new(H, C_H, P_MR, P_AMP, C_M).unwrap().value();
+    assert!(camat < amat, "C-AMAT {camat} must beat AMAT {amat}");
+}

@@ -20,6 +20,6 @@ pub mod scenario;
 pub use json::{Json, JsonError};
 pub use scenario::{
     fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChipSpec,
-    CoreSpec, DramSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec, Scenario, ScenarioError,
-    SolverSpec, SpaceSpec, WorkloadSpec,
+    CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec, Scenario,
+    ScenarioError, SolverSpec, SpaceSpec, WorkloadSpec,
 };

@@ -503,12 +503,29 @@ impl Default for BreakerSpec {
     }
 }
 
+/// Content-addressed evaluation-cache knobs; mirrors the cache side
+/// of `RunConfig` in `c2-runner`. The cache memoizes oracle results
+/// under (scenario fingerprint, design-point content key), so editing
+/// the scenario invalidates entries without explicit versioning.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalCacheSpec {
+    /// Whether the sweep consults and populates the cache.
+    pub enabled: bool,
+    /// Cache file path (JSONL); required when `enabled`.
+    pub path: Option<String>,
+}
+
 /// Supervised-runner knobs; mirrors `RunConfig` in `c2-runner` with
 /// the CLI `run` command's historical defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunnerSpec {
     /// Worker threads.
     pub workers: u64,
+    /// Deterministic sharded execution threads; 0 keeps the legacy
+    /// shared-queue pool driven by `workers`. Any value ≥ 1 selects
+    /// the sharded engine, whose journal, metrics, and outcome are
+    /// bit-identical for every thread count.
+    pub threads: u64,
     /// Per-job deadline, ms (0 disables the deadline).
     pub deadline_ms: u64,
     /// Watchdog poll period, ms.
@@ -521,6 +538,8 @@ pub struct RunnerSpec {
     pub backoff: BackoffSpec,
     /// Circuit-breaker policy.
     pub breaker: BreakerSpec,
+    /// Content-addressed evaluation cache (sharded engine only).
+    pub cache: EvalCacheSpec,
     /// Backfill skipped jobs from the analytic model.
     pub analytic_fallback: bool,
 }
@@ -529,12 +548,14 @@ impl Default for RunnerSpec {
     fn default() -> Self {
         RunnerSpec {
             workers: 2,
+            threads: 0,
             deadline_ms: 60_000,
             watchdog_tick_ms: 5,
             max_attempts: 3,
             queue_capacity: 64,
             backoff: BackoffSpec::default(),
             breaker: BreakerSpec::default(),
+            cache: EvalCacheSpec::default(),
             analytic_fallback: true,
         }
     }
@@ -1240,6 +1261,29 @@ impl BreakerSpec {
     }
 }
 
+impl EvalCacheSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["enabled", "path"], path)?;
+        Ok(EvalCacheSpec {
+            enabled: get_bool(pairs, "enabled", path, false)?,
+            path: get_opt_string(pairs, "path", path)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("enabled".into(), Json::Bool(self.enabled)),
+            (
+                "path".into(),
+                self.path
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ),
+        ])
+    }
+}
+
 impl RunnerSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1247,12 +1291,14 @@ impl RunnerSpec {
             pairs,
             &[
                 "workers",
+                "threads",
                 "deadline_ms",
                 "watchdog_tick_ms",
                 "max_attempts",
                 "queue_capacity",
                 "backoff",
                 "breaker",
+                "cache",
                 "analytic_fallback",
             ],
             path,
@@ -1266,14 +1312,20 @@ impl RunnerSpec {
             None => d.breaker,
             Some(value) => BreakerSpec::from_json_value(value, &join(path, "breaker"))?,
         };
+        let cache = match find(pairs, "cache") {
+            None => d.cache,
+            Some(value) => EvalCacheSpec::from_json_value(value, &join(path, "cache"))?,
+        };
         Ok(RunnerSpec {
             workers: get_u64(pairs, "workers", path, d.workers)?,
+            threads: get_u64(pairs, "threads", path, d.threads)?,
             deadline_ms: get_u64(pairs, "deadline_ms", path, d.deadline_ms)?,
             watchdog_tick_ms: get_u64(pairs, "watchdog_tick_ms", path, d.watchdog_tick_ms)?,
             max_attempts: get_u64(pairs, "max_attempts", path, d.max_attempts)?,
             queue_capacity: get_u64(pairs, "queue_capacity", path, d.queue_capacity)?,
             backoff,
             breaker,
+            cache,
             analytic_fallback: get_bool(pairs, "analytic_fallback", path, d.analytic_fallback)?,
         })
     }
@@ -1281,6 +1333,7 @@ impl RunnerSpec {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("workers".into(), Json::Num(self.workers as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
             ("deadline_ms".into(), Json::Num(self.deadline_ms as f64)),
             (
                 "watchdog_tick_ms".into(),
@@ -1293,6 +1346,7 @@ impl RunnerSpec {
             ),
             ("backoff".into(), self.backoff.to_json()),
             ("breaker".into(), self.breaker.to_json()),
+            ("cache".into(), self.cache.to_json()),
             (
                 "analytic_fallback".into(),
                 Json::Bool(self.analytic_fallback),
@@ -1629,6 +1683,22 @@ impl Scenario {
         }
         if r.breaker.probes == 0 {
             return Err(fail("runner.breaker.probes", "must be at least 1"));
+        }
+        if r.cache.enabled {
+            match &r.cache.path {
+                None => {
+                    return Err(fail(
+                        "runner.cache.path",
+                        "is required when the cache is enabled",
+                    ))
+                }
+                Some(p) if p.is_empty() => {
+                    return Err(fail("runner.cache.path", "must be non-empty"))
+                }
+                Some(_) => {}
+            }
+        } else if matches!(&r.cache.path, Some(p) if p.is_empty()) {
+            return Err(fail("runner.cache.path", "must be non-empty"));
         }
 
         if let Some(path) = &self.observability.metrics_out {

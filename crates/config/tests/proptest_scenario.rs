@@ -4,8 +4,8 @@
 //! the round trip.
 
 use c2_config::{
-    BackoffSpec, BreakerSpec, BudgetSpec, CamatSpec, ModelSpec, RunnerSpec, Scenario, SolverSpec,
-    SpaceSpec, WorkloadSpec,
+    BackoffSpec, BreakerSpec, BudgetSpec, CamatSpec, EvalCacheSpec, ModelSpec, RunnerSpec,
+    Scenario, SolverSpec, SpaceSpec, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -102,26 +102,34 @@ fn runners() -> impl Strategy<Value = RunnerSpec> {
         (1u64..50, 1.0f64..4.0, 0.0f64..1.0),
         (1u64..10, 0u64..10, 1u64..5),
         0u64..2,
+        (0u64..9, 0u64..2),
     )
         .prop_map(
-            |((workers, deadline, tick, attempts, cap), bo, br, fb)| RunnerSpec {
-                workers,
-                deadline_ms: deadline,
-                watchdog_tick_ms: tick,
-                max_attempts: attempts,
-                queue_capacity: cap,
-                backoff: BackoffSpec {
-                    base_ms: bo.0,
-                    factor: bo.1,
-                    cap_ms: bo.0 + 100,
-                    jitter_frac: bo.2,
-                },
-                breaker: BreakerSpec {
-                    trip_threshold: br.0,
-                    cooldown: br.1,
-                    probes: br.2,
-                },
-                analytic_fallback: fb == 1,
+            |((workers, deadline, tick, attempts, cap), bo, br, fb, (threads, cached))| {
+                RunnerSpec {
+                    workers,
+                    threads,
+                    deadline_ms: deadline,
+                    watchdog_tick_ms: tick,
+                    max_attempts: attempts,
+                    queue_capacity: cap,
+                    backoff: BackoffSpec {
+                        base_ms: bo.0,
+                        factor: bo.1,
+                        cap_ms: bo.0 + 100,
+                        jitter_frac: bo.2,
+                    },
+                    breaker: BreakerSpec {
+                        trip_threshold: br.0,
+                        cooldown: br.1,
+                        probes: br.2,
+                    },
+                    cache: EvalCacheSpec {
+                        enabled: cached == 1,
+                        path: (cached == 1).then(|| "eval-cache.jsonl".to_string()),
+                    },
+                    analytic_fallback: fb == 1,
+                }
             },
         )
 }

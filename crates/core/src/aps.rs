@@ -133,6 +133,34 @@ pub struct RefinementJob {
     pub point: DesignPoint,
 }
 
+impl RefinementJob {
+    /// FNV-1a key of the *work itself*: the multi-index and the design
+    /// point's exact bit patterns, deliberately excluding `seq`. Two
+    /// jobs that simulate the same configuration share a content key
+    /// whatever their position in the sweep, so anything derived from
+    /// it — retry-backoff jitter, evaluation-cache addresses — is
+    /// reproducible under any sharding or plan reordering.
+    pub fn content_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for d in self.index {
+            eat(&(d as u64).to_le_bytes());
+        }
+        eat(&self.point.a0.to_bits().to_le_bytes());
+        eat(&self.point.a1.to_bits().to_le_bytes());
+        eat(&self.point.a2.to_bits().to_le_bytes());
+        eat(&(self.point.n as u64).to_le_bytes());
+        eat(&(self.point.issue_width as u64).to_le_bytes());
+        eat(&(self.point.rob_size as u64).to_le_bytes());
+        h
+    }
+}
+
 /// The analysis-stage output plus the refinement work list: everything
 /// a driver needs to run the simulation stage of APS, in any order, on
 /// any number of workers, across any number of process lifetimes.

@@ -1,0 +1,272 @@
+//! The content-addressed evaluation cache.
+//!
+//! Oracle evaluations are pure functions of the scenario (model, chip,
+//! workload, budget — summarized by the scenario FNV fingerprint) and
+//! of the design point being simulated (summarized by the job's
+//! [`content key`](c2_bound::aps::RefinementJob::content_key), which
+//! deliberately excludes the job's plan position). The cache memoizes
+//! *successful* evaluations under the FNV-1a mix of those two
+//! fingerprints, so a result computed once is reusable:
+//!
+//! * across `--resume` runs — a job whose journal record was torn off
+//!   by a crash is redone as a cache hit instead of a re-simulation;
+//! * across whole runs of the same scenario — a warm cache turns a
+//!   repeated sweep into pure bookkeeping;
+//! * never across *different* scenarios — the scenario fingerprint is
+//!   part of every address, so editing the model invalidates the cache
+//!   without any explicit versioning.
+//!
+//! Entries also record how many oracle attempts the original
+//! computation consumed. A hit replays that attempt history into the
+//! shard's circuit breaker (exactly like journal replay does), so a
+//! resumed-with-cache run walks the breaker through the same
+//! trajectory as the uninterrupted run and the merged sweep stays
+//! bit-identical.
+//!
+//! On disk the cache is JSONL, same dialect as the journal: a header
+//! line pinning the format version, then one line per entry, flushed
+//! as written. The cache is advisory — a torn or malformed entry line
+//! is skipped, not fatal — but a file whose header is not ours is
+//! rejected rather than appended to.
+//!
+//! ```text
+//! {"c2cache":1}
+//! {"key":"81ee23fcbe4f85d0","attempts":1,"time":123456.0}
+//! ```
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Cache format version written in the header.
+pub const CACHE_VERSION: u64 = 1;
+
+/// One memoized successful evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedEval {
+    /// Oracle attempts the original computation consumed (≥ 1).
+    pub attempts: usize,
+    /// The simulated time.
+    pub time: f64,
+}
+
+/// The cache address of one evaluation: FNV-1a over the scenario
+/// fingerprint and the job's content key. The scenario-less positional
+/// path (`scenario_fp == None`) hashes a distinct tag byte so it can
+/// never collide with a scenario whose fingerprint happens to be zero.
+pub fn cache_key(scenario_fp: Option<u64>, content_key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    match scenario_fp {
+        None => eat(&[0u8]),
+        Some(fp) => {
+            eat(&[1u8]);
+            eat(&fp.to_le_bytes());
+        }
+    }
+    eat(&content_key.to_le_bytes());
+    h
+}
+
+/// A persistent evaluation cache: an immutable snapshot of everything
+/// on disk when the run started, plus an append-only writer for the
+/// results this run computes.
+///
+/// Lookups consult **only the snapshot** (and, in the sharded engine,
+/// the shard's own stores). Results stored by *other* shards of the
+/// same run are deliberately invisible — whether they land before or
+/// after a lookup depends on the thread schedule, and the determinism
+/// contract forbids any schedule-dependent behaviour. Fresh results
+/// become visible to everyone on the next run.
+#[derive(Debug)]
+pub struct EvalCache {
+    snapshot: HashMap<u64, CachedEval>,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl EvalCache {
+    /// Open (or create) the cache at `path`: load every well-formed
+    /// entry as the read snapshot and position a writer at the end.
+    pub fn open(path: &Path) -> Result<Self> {
+        let snapshot = match File::open(path) {
+            Ok(mut f) => {
+                let mut text = String::new();
+                f.read_to_string(&mut text)
+                    .map_err(|e| Error::Io(format!("read {path:?}: {e}")))?;
+                parse_snapshot(&text, path)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let file =
+                    File::create(path).map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
+                let mut out = BufWriter::new(file);
+                out.write_all(format!("{{\"c2cache\":{CACHE_VERSION}}}\n").as_bytes())
+                    .and_then(|()| out.flush())
+                    .map_err(|e| Error::Io(format!("cache write: {e}")))?;
+                return Ok(EvalCache {
+                    snapshot: HashMap::new(),
+                    writer: Mutex::new(out),
+                });
+            }
+            Err(e) => return Err(Error::Io(format!("open {path:?}: {e}"))),
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
+        Ok(EvalCache {
+            snapshot,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Look `key` up in the start-of-run snapshot.
+    pub fn lookup(&self, key: u64) -> Option<CachedEval> {
+        self.snapshot.get(&key).copied()
+    }
+
+    /// Entries in the start-of-run snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// Whether the start-of-run snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty()
+    }
+
+    /// Append one entry and flush it to the OS. Duplicate keys are
+    /// harmless (the evaluation is deterministic, so the values agree;
+    /// the loader keeps the first).
+    pub fn store(&self, key: u64, entry: CachedEval) -> Result<()> {
+        let line = format!(
+            "{{\"key\":\"{key:016x}\",\"attempts\":{},\"time\":{:?}}}\n",
+            entry.attempts, entry.time
+        );
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.flush())
+            .map_err(|e| Error::Io(format!("cache write: {e}")))
+    }
+}
+
+fn parse_snapshot(text: &str, path: &Path) -> Result<HashMap<u64, CachedEval>> {
+    let mut lines = text.split('\n').filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Journal(format!("cache {path:?} exists but is empty (no header)")))?;
+    let expected = format!("{{\"c2cache\":{CACHE_VERSION}}}");
+    if header.trim() != expected {
+        return Err(Error::Journal(format!(
+            "{path:?} is not a c2-runner evaluation cache (header {header:?})"
+        )));
+    }
+    let mut map = HashMap::new();
+    for line in lines {
+        // Advisory store: a torn or malformed entry loses one
+        // memoized result, nothing else.
+        let Some(entry) = parse_entry(line) else {
+            continue;
+        };
+        map.entry(entry.0).or_insert(entry.1);
+    }
+    Ok(map)
+}
+
+/// Parse one `{"key":"<hex16>","attempts":N,"time":T}` line.
+fn parse_entry(line: &str) -> Option<(u64, CachedEval)> {
+    let rest = line.trim().strip_prefix("{\"key\":\"")?;
+    let (hex, rest) = rest.split_once("\",\"attempts\":")?;
+    let key = u64::from_str_radix(hex, 16).ok()?;
+    let (attempts, rest) = rest.split_once(",\"time\":")?;
+    let attempts: usize = attempts.parse().ok()?;
+    let time: f64 = rest.strip_suffix('}')?.parse().ok()?;
+    if attempts == 0 || !time.is_finite() {
+        return None;
+    }
+    Some((key, CachedEval { attempts, time }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("c2runner-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn store_then_reopen_round_trips() {
+        let path = tmp("roundtrip.jsonl");
+        let c = EvalCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        c.store(
+            7,
+            CachedEval {
+                attempts: 2,
+                time: 0.1 + 0.2,
+            },
+        )
+        .unwrap();
+        assert_eq!(c.lookup(7), None, "stores are invisible until reopen");
+        drop(c);
+        let c = EvalCache::open(&path).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.lookup(7),
+            Some(CachedEval {
+                attempts: 2,
+                time: 0.1 + 0.2
+            }),
+            "times round-trip bit-exactly"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_entries_are_skipped() {
+        let path = tmp("torn.jsonl");
+        std::fs::write(
+            &path,
+            "{\"c2cache\":1}\n{\"key\":\"0000000000000001\",\"attempts\":1,\"time\":5.0}\n{\"key\":\"00000000000",
+        )
+        .unwrap();
+        let c = EvalCache::open(&path).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.lookup(1),
+            Some(CachedEval {
+                attempts: 1,
+                time: 5.0
+            })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_appended_to() {
+        let path = tmp("foreign.jsonl");
+        std::fs::write(&path, "not a cache\n").unwrap();
+        assert!(matches!(EvalCache::open(&path), Err(Error::Journal(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_key_separates_scenarios_and_the_positional_path() {
+        assert_ne!(cache_key(None, 42), cache_key(Some(0), 42));
+        assert_ne!(cache_key(Some(1), 42), cache_key(Some(2), 42));
+        assert_ne!(cache_key(Some(1), 42), cache_key(Some(1), 43));
+        assert_eq!(cache_key(Some(1), 42), cache_key(Some(1), 42));
+    }
+}

@@ -27,16 +27,19 @@
 
 use crate::backoff::BackoffPolicy;
 use crate::breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker};
+use crate::cache::{cache_key, CachedEval, EvalCache};
 use crate::journal::{
     self, error_message, plan_fingerprint, JobRecord, JournalHeader, JournalWriter,
 };
+use crate::shard::{partition, shard_of, BufferSink};
 use crate::{Error, Result};
 use c2_bound::aps::{classify_oracle_result, Aps, ApsOutcome, ApsPlan, PointOutcome};
 use c2_bound::dse::Oracle;
 use c2_bound::ResiliencePolicy;
 use c2_obs::{MetricsSink, NullSink};
 use std::collections::{HashMap, VecDeque};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -50,6 +53,17 @@ const ATTEMPTS_PER_JOB_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0];
 pub struct RunConfig {
     /// Worker threads in the pool (≥ 1).
     pub workers: usize,
+    /// Deterministic sharded execution: OS threads draining the shard
+    /// set. `0` (the default) selects the legacy shared-queue pool
+    /// driven by `workers`; any value ≥ 1 selects the sharded engine,
+    /// whose merged journal, metrics, and outcome are bit-identical
+    /// for every thread count (DESIGN.md §10). The sharded engine has
+    /// no watchdog, so `deadline_ms` is ignored there.
+    pub threads: usize,
+    /// Content-addressed evaluation cache file; `None` disables
+    /// memoization. Only the sharded engine (`threads` ≥ 1) consults
+    /// the cache.
+    pub cache_path: Option<PathBuf>,
     /// Per-attempt wall-clock deadline in milliseconds; 0 disables the
     /// deadline and the watchdog.
     pub deadline_ms: u64,
@@ -82,6 +96,8 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             workers: 2,
+            threads: 0,
+            cache_path: None,
             deadline_ms: 0,
             watchdog_tick_ms: 5,
             max_attempts: 2,
@@ -103,8 +119,22 @@ impl RunConfig {
         fn narrow(value: u64, what: &'static str) -> Result<usize> {
             usize::try_from(value).map_err(|_| Error::InvalidConfig(what))
         }
+        let cache_path = if spec.cache.enabled {
+            match &spec.cache.path {
+                Some(p) => Some(PathBuf::from(p)),
+                None => {
+                    return Err(Error::InvalidConfig(
+                        "runner.cache.path is required when the cache is enabled",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
         let config = RunConfig {
             workers: narrow(spec.workers, "workers exceeds the platform word size")?,
+            threads: narrow(spec.threads, "threads exceeds the platform word size")?,
+            cache_path,
             deadline_ms: spec.deadline_ms,
             watchdog_tick_ms: spec.watchdog_tick_ms,
             max_attempts: narrow(
@@ -202,6 +232,11 @@ pub struct RunReport {
     pub short_circuited: usize,
     /// Times the circuit breaker tripped open.
     pub breaker_trips: usize,
+    /// Jobs satisfied from the content-addressed evaluation cache
+    /// instead of live oracle work (their original attempt history
+    /// still counts under `oracle_calls`/`retried`, so the merged
+    /// ledger matches the uninterrupted run's).
+    pub cache_hits: usize,
     /// Whether every job in the plan reached a terminal state (false
     /// after a simulated crash).
     pub completed: bool,
@@ -254,6 +289,7 @@ struct Terminal {
     outcome: PointOutcome,
     short_circuited: bool,
     timeouts: usize,
+    cached: bool,
 }
 
 struct EngineState {
@@ -340,6 +376,7 @@ fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal)
                 .map(|t| *t)
                 .map_err(error_message),
             short_circuited: terminal.short_circuited,
+            cached: terminal.cached,
         };
         match journal.record(&record) {
             Ok(()) => {
@@ -430,6 +467,7 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                                     },
                                     short_circuited: true,
                                     timeouts,
+                                    cached: false,
                                 },
                             );
                             continue;
@@ -443,7 +481,8 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
 
         // --- backoff (outside the lock, before the deadline clock) --
         if task.attempt >= 2 {
-            std::thread::sleep(shared.config.backoff.delay(task.seq as u64, task.attempt));
+            let key = shared.plan.jobs[task.seq].content_key();
+            std::thread::sleep(shared.config.backoff.delay(key, task.attempt));
         }
 
         // --- register with the watchdog and run the oracle ----------
@@ -504,6 +543,7 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                         },
                         short_circuited: false,
                         timeouts,
+                        cached: false,
                     },
                 );
             }
@@ -524,11 +564,8 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                 );
                 if will_retry {
                     let next = task.attempt + 1;
-                    let delay_ms = shared
-                        .config
-                        .backoff
-                        .delay(task.seq as u64, next)
-                        .as_millis() as u64;
+                    let key = shared.plan.jobs[task.seq].content_key();
+                    let delay_ms = shared.config.backoff.delay(key, next).as_millis() as u64;
                     shared.sink.counter_add("engine_retries_scheduled_total", 1);
                     shared.sink.observe(
                         "engine_backoff_delay_ms",
@@ -562,6 +599,7 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                             },
                             short_circuited: false,
                             timeouts,
+                            cached: false,
                         },
                     );
                 }
@@ -607,7 +645,8 @@ fn watchdog_loop(shared: &Shared) {
                 );
                 if r.attempt < shared.config.max_attempts {
                     let next = r.attempt + 1;
-                    let delay_ms = shared.config.backoff.delay(seq as u64, next).as_millis() as u64;
+                    let key = shared.plan.jobs[seq].content_key();
+                    let delay_ms = shared.config.backoff.delay(key, next).as_millis() as u64;
                     shared.sink.counter_add("engine_retries_scheduled_total", 1);
                     shared.sink.observe(
                         "engine_backoff_delay_ms",
@@ -641,6 +680,7 @@ fn watchdog_loop(shared: &Shared) {
                             },
                             short_circuited: false,
                             timeouts,
+                            cached: false,
                         },
                     );
                 }
@@ -724,6 +764,9 @@ impl SweepRunner {
         O: Oracle,
         B: Fn() -> O + Sync,
     {
+        if self.config.threads > 0 {
+            return self.run_sharded(aps, make_oracle, journal_path, resume, sink);
+        }
         let plan = aps.plan_observed(sink)?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
@@ -766,6 +809,7 @@ impl SweepRunner {
                             outcome: record.point_outcome(),
                             short_circuited: record.short_circuited,
                             timeouts: record.timeouts,
+                            cached: record.cached,
                         });
                         resumed += 1;
                     }
@@ -865,9 +909,544 @@ impl SweepRunner {
             return Err(e);
         }
 
-        let completed = st.terminals.iter().all(|t| t.is_some());
-        let results: Vec<(usize, PointOutcome)> = st
-            .terminals
+        let trips = st.breaker.trips();
+        self.assemble_and_report(aps, plan, st.terminals, resumed, trips, sink)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic sharded engine (`threads` ≥ 1)
+// ---------------------------------------------------------------------------
+
+/// Drain and publish a breaker transition through any sink (the
+/// sharded engine's per-shard buffers tag the transition with the
+/// shard that owns the breaker).
+fn note_breaker_sink(sink: &dyn MetricsSink, breaker: &mut CircuitBreaker, shard: Option<usize>) {
+    if let Some(tr) = breaker.take_transition() {
+        sink.counter_add("engine_breaker_transitions_total", 1);
+        if tr.to == BreakerState::Open {
+            sink.counter_add("engine_breaker_trips_total", 1);
+        }
+        sink.gauge_set("engine_breaker_state", tr.to.as_gauge());
+        let mut fields: Vec<(&str, c2_obs::FieldValue)> = Vec::with_capacity(3);
+        if let Some(i) = shard {
+            fields.push(("shard", i.into()));
+        }
+        fields.push(("from", tr.from.as_str().into()));
+        fields.push(("to", tr.to.as_str().into()));
+        sink.event("engine", "breaker.transition", &fields);
+    }
+}
+
+/// The journal record a terminal outcome canonically encodes. Inverse
+/// of the resume-replay construction, and exact both ways: errors are
+/// reduced through [`error_message`] and times use shortest round-trip
+/// formatting, so record → terminal → record is the identity.
+fn record_of(seq: usize, t: &Terminal) -> JobRecord {
+    JobRecord {
+        seq,
+        attempts: t.outcome.attempts,
+        timeouts: t.timeouts,
+        result: t.outcome.result.as_ref().map(|v| *v).map_err(error_message),
+        short_circuited: t.short_circuited,
+        cached: t.cached,
+    }
+}
+
+/// Shared (journal, abort) state of a sharded run.
+struct ShardJournal {
+    writer: Option<JournalWriter>,
+    error: Option<Error>,
+}
+
+/// Per-shard mutable state, claimed whole by one worker at a time.
+struct ShardCell {
+    breaker: CircuitBreaker,
+    buffer: BufferSink,
+    results: Vec<(usize, Terminal)>,
+}
+
+/// Execute one job to its terminal outcome inside a shard. Pure
+/// function of (config, plan, cache snapshot, shard state) — threads
+/// never influence it, which is the heart of the determinism argument.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_job<O: Oracle>(
+    config: &RunConfig,
+    plan: &ApsPlan,
+    cache: Option<&EvalCache>,
+    local_store: &mut HashMap<u64, CachedEval>,
+    cell: &mut ShardCell,
+    oracle: &mut O,
+    shard: usize,
+    seq: usize,
+) -> Terminal {
+    let job = &plan.jobs[seq];
+    let content = job.content_key();
+    let ckey = cache_key(config.scenario_fingerprint, content);
+    let mut attempt = 1usize;
+    loop {
+        let admission = cell.breaker.admit();
+        note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+        if admission == Admission::ShortCircuit {
+            cell.buffer.counter_add("engine_short_circuits_total", 1);
+            cell.buffer
+                .event("engine", "job.short_circuited", &[("seq", seq.into())]);
+            return Terminal {
+                outcome: PointOutcome {
+                    attempts: attempt - 1,
+                    result: Err(c2_bound::Error::Simulation(
+                        "circuit breaker open: oracle attempt not admitted".to_string(),
+                    )),
+                },
+                short_circuited: true,
+                timeouts: 0,
+                cached: false,
+            };
+        }
+        if attempt == 1 {
+            // Consult the cache: the start-of-run snapshot plus this
+            // shard's own stores (cross-shard stores are invisible by
+            // design — their timing is schedule-dependent).
+            let hit =
+                cache.and_then(|c| local_store.get(&ckey).copied().or_else(|| c.lookup(ckey)));
+            if let Some(hit) = hit {
+                // Replay the original computation's attempt history
+                // into the breaker (the admission above was attempt 1),
+                // so the shard's breaker walks the same trajectory as
+                // the run that populated the cache.
+                for i in 1..=hit.attempts {
+                    if i > 1 {
+                        let _ = cell.breaker.admit();
+                    }
+                    if i == hit.attempts {
+                        cell.breaker.on_success();
+                    } else {
+                        cell.breaker.on_failure();
+                    }
+                    note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+                }
+                cell.buffer.counter_add("engine_cache_hits_total", 1);
+                cell.buffer.event(
+                    "engine",
+                    "cache.hit",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempts", hit.attempts.into()),
+                        ("time", hit.time.into()),
+                    ],
+                );
+                return Terminal {
+                    outcome: PointOutcome {
+                        attempts: hit.attempts,
+                        result: Ok(hit.time),
+                    },
+                    short_circuited: false,
+                    timeouts: 0,
+                    cached: true,
+                };
+            } else if cache.is_some() {
+                cell.buffer.counter_add("engine_cache_misses_total", 1);
+            }
+        }
+        cell.buffer.counter_add("engine_attempts_total", 1);
+        cell.buffer.event(
+            "engine",
+            "attempt.started",
+            &[("seq", seq.into()), ("attempt", attempt.into())],
+        );
+        if attempt >= 2 {
+            std::thread::sleep(config.backoff.delay(content, attempt));
+        }
+        let result = classify_oracle_result(oracle.evaluate(seq as u64, &job.point));
+        match result {
+            Ok(t) => {
+                cell.breaker.on_success();
+                note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+                cell.buffer.counter_add("engine_attempt_successes_total", 1);
+                cell.buffer.event(
+                    "engine",
+                    "attempt.ok",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempt", attempt.into()),
+                        ("time", t.into()),
+                    ],
+                );
+                if let Some(c) = cache {
+                    let entry = CachedEval {
+                        attempts: attempt,
+                        time: t,
+                    };
+                    local_store.insert(ckey, entry);
+                    // The store lands before the journal record does:
+                    // a crash between the two is exactly the torn-tail
+                    // case the cache repairs on resume.
+                    match c.store(ckey, entry) {
+                        Ok(()) => cell.buffer.counter_add("engine_cache_stores_total", 1),
+                        Err(_) => cell.buffer.counter_add("engine_cache_errors_total", 1),
+                    }
+                }
+                return Terminal {
+                    outcome: PointOutcome {
+                        attempts: attempt,
+                        result: Ok(t),
+                    },
+                    short_circuited: false,
+                    timeouts: 0,
+                    cached: false,
+                };
+            }
+            Err(e) => {
+                cell.breaker.on_failure();
+                note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+                let will_retry = attempt < config.max_attempts;
+                cell.buffer.counter_add("engine_attempt_failures_total", 1);
+                cell.buffer.event(
+                    "engine",
+                    "attempt.failed",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempt", attempt.into()),
+                        ("error", e.to_string().into()),
+                        ("will_retry", will_retry.into()),
+                    ],
+                );
+                if will_retry {
+                    let next = attempt + 1;
+                    let delay_ms = config.backoff.delay(content, next).as_millis() as u64;
+                    cell.buffer.counter_add("engine_retries_scheduled_total", 1);
+                    cell.buffer.observe(
+                        "engine_backoff_delay_ms",
+                        BACKOFF_DELAY_BOUNDS,
+                        delay_ms as f64,
+                    );
+                    cell.buffer.event(
+                        "engine",
+                        "retry.scheduled",
+                        &[
+                            ("seq", seq.into()),
+                            ("attempt", next.into()),
+                            ("delay_ms", delay_ms.into()),
+                        ],
+                    );
+                    attempt = next;
+                } else {
+                    return Terminal {
+                        outcome: PointOutcome {
+                            attempts: attempt,
+                            result: Err(e),
+                        },
+                        short_circuited: false,
+                        timeouts: 0,
+                        cached: false,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl SweepRunner {
+    /// The deterministic sharded engine (DESIGN.md §10). The plan is
+    /// partitioned into shards by a pure function of its size; `N`
+    /// worker threads claim whole shards work-stealing-style and run
+    /// each shard's jobs sequentially in `seq` order against a
+    /// per-shard circuit breaker and content-keyed backoff. Journal
+    /// records, metrics, and trace events are buffered per shard and
+    /// merged in shard order after the join, and a completed run's
+    /// journal is rewritten canonically (records in `seq` order via
+    /// temp-file + rename) — so every artifact is bit-identical for
+    /// every thread count, and identical to the `threads: 1` serial
+    /// execution. `deadline_ms` (wall-clock, inherently
+    /// schedule-dependent) is not enforced here; `timeouts` is always
+    /// zero in sharded journals.
+    fn run_sharded<O, B>(
+        &self,
+        aps: &Aps,
+        make_oracle: B,
+        journal_path: Option<&Path>,
+        resume: bool,
+        sink: &dyn MetricsSink,
+    ) -> Result<RunSummary>
+    where
+        O: Oracle,
+        B: Fn() -> O + Sync,
+    {
+        let plan = aps.plan_observed(sink)?;
+        let header = JournalHeader {
+            jobs: plan.jobs.len(),
+            fingerprint: journal::bind_fingerprint(
+                plan_fingerprint(&plan),
+                self.config.scenario_fingerprint,
+            ),
+        };
+        let cache = match &self.config.cache_path {
+            None => None,
+            Some(path) => {
+                let c = EvalCache::open(path)?;
+                sink.gauge_set("engine_cache_snapshot_entries", c.len() as f64);
+                Some(c)
+            }
+        };
+
+        let shards = partition(plan.jobs.len());
+        let mut breakers = Vec::with_capacity(shards.len());
+        for _ in 0..shards.len() {
+            breakers.push(CircuitBreaker::new(self.config.breaker)?);
+        }
+        let mut terminals: Vec<Option<Terminal>> = vec![None; plan.jobs.len()];
+        let mut resumed = 0usize;
+        let writer = match journal_path {
+            None => None,
+            Some(path) => {
+                if resume && path.exists() {
+                    let contents = journal::load(path)?;
+                    if contents.header != header {
+                        return Err(Error::Journal(format!(
+                            "journal {path:?} belongs to a different sweep \
+                             (jobs {} fingerprint {:#x}, expected jobs {} fingerprint {:#x})",
+                            contents.header.jobs,
+                            contents.header.fingerprint,
+                            header.jobs,
+                            header.fingerprint
+                        )));
+                    }
+                    // Deterministic replay: records sorted by seq, each
+                    // driven through its *own shard's* breaker (shard
+                    // membership is a pure function of seq, so replay
+                    // rebuilds exactly the per-shard trajectories the
+                    // interrupted run had).
+                    let mut records = contents.records;
+                    records.sort_by_key(|r| r.seq);
+                    for record in &records {
+                        let slot = terminals.get_mut(record.seq).ok_or_else(|| {
+                            Error::Journal(format!(
+                                "journal record seq {} out of range",
+                                record.seq
+                            ))
+                        })?;
+                        let b = &mut breakers[shard_of(record.seq, shards.len())];
+                        replay_breaker(b, record);
+                        let _ = b.take_transition();
+                        *slot = Some(Terminal {
+                            outcome: record.point_outcome(),
+                            short_circuited: record.short_circuited,
+                            timeouts: record.timeouts,
+                            cached: record.cached,
+                        });
+                        resumed += 1;
+                    }
+                    sink.counter_add("engine_journal_replayed_total", resumed as u64);
+                    sink.event(
+                        "engine",
+                        "journal.replayed",
+                        &[("records", resumed.into()), ("shards", shards.len().into())],
+                    );
+                    Some(JournalWriter::append(path)?)
+                } else {
+                    Some(JournalWriter::create(path, &header)?)
+                }
+            }
+        };
+
+        let pending = terminals.iter().filter(|t| t.is_none()).count();
+        sink.gauge_set("engine_plan_jobs", plan.jobs.len() as f64);
+        sink.event(
+            "engine",
+            "run.start",
+            &[
+                // Deliberately no `threads` field: the trace must be
+                // bit-identical for every thread count, so only
+                // schedule-invariant facts (the shard partition) are
+                // recorded here. The CLI echoes the thread count.
+                ("jobs", plan.jobs.len().into()),
+                ("pending", pending.into()),
+                ("resumed", resumed.into()),
+                ("shards", shards.len().into()),
+            ],
+        );
+
+        let resumed_seqs: Vec<bool> = terminals.iter().map(|t| t.is_some()).collect();
+        let cells: Vec<Mutex<ShardCell>> = breakers
+            .into_iter()
+            .map(|breaker| {
+                Mutex::new(ShardCell {
+                    breaker,
+                    buffer: BufferSink::new(),
+                    results: Vec::new(),
+                })
+            })
+            .collect();
+        let journal = Mutex::new(ShardJournal {
+            writer,
+            error: None,
+        });
+        let abort = AtomicBool::new(false);
+        let terminals_this_run = AtomicUsize::new(0);
+        let next_shard = AtomicUsize::new(0);
+
+        if pending > 0 {
+            let nthreads = self.config.threads.min(shards.len());
+            std::thread::scope(|scope| {
+                for _ in 0..nthreads {
+                    let shards = &shards;
+                    let cells = &cells;
+                    let resumed_seqs = &resumed_seqs;
+                    let plan = &plan;
+                    let cache = cache.as_ref();
+                    let journal = &journal;
+                    let abort = &abort;
+                    let terminals_this_run = &terminals_this_run;
+                    let next_shard = &next_shard;
+                    let make_oracle = &make_oracle;
+                    let config = &self.config;
+                    scope.spawn(move || {
+                        let mut oracle = make_oracle();
+                        loop {
+                            let i = next_shard.fetch_add(1, Ordering::SeqCst);
+                            if i >= shards.len() || abort.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let mut cell = cells[i].lock().unwrap_or_else(|e| e.into_inner());
+                            // Within-run memoization is per shard, not
+                            // per worker: a worker-wide store's contents
+                            // would depend on which shards the worker
+                            // happened to run first.
+                            let mut local_store: HashMap<u64, CachedEval> = HashMap::new();
+                            let shard_pending =
+                                shards[i].iter().filter(|&&s| !resumed_seqs[s]).count();
+                            cell.buffer.event(
+                                "engine",
+                                "shard.started",
+                                &[("shard", i.into()), ("pending", shard_pending.into())],
+                            );
+                            for &seq in &shards[i] {
+                                if resumed_seqs[seq] {
+                                    continue;
+                                }
+                                if abort.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let terminal = run_sharded_job(
+                                    config,
+                                    plan,
+                                    cache,
+                                    &mut local_store,
+                                    &mut cell,
+                                    &mut oracle,
+                                    i,
+                                    seq,
+                                );
+                                {
+                                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                                    if j.error.is_none() {
+                                        if let Some(w) = j.writer.as_mut() {
+                                            match w.record(&record_of(seq, &terminal)) {
+                                                Ok(()) => {
+                                                    cell.buffer.counter_add(
+                                                        "engine_journal_appends_total",
+                                                        1,
+                                                    );
+                                                    cell.buffer.event(
+                                                        "engine",
+                                                        "journal.append",
+                                                        &[("seq", seq.into())],
+                                                    );
+                                                }
+                                                Err(e) => {
+                                                    j.error = Some(e);
+                                                    abort.store(true, Ordering::SeqCst);
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                cell.buffer.event(
+                                    "engine",
+                                    "job.terminal",
+                                    &[
+                                        ("seq", seq.into()),
+                                        ("attempts", terminal.outcome.attempts.into()),
+                                        ("timeouts", terminal.timeouts.into()),
+                                        ("ok", terminal.outcome.result.is_ok().into()),
+                                        ("short_circuited", terminal.short_circuited.into()),
+                                        ("cached", terminal.cached.into()),
+                                    ],
+                                );
+                                cell.results.push((seq, terminal));
+                                let done = terminals_this_run.fetch_add(1, Ordering::SeqCst) + 1;
+                                if let Some(limit) = config.abort_after {
+                                    if done >= limit {
+                                        abort.store(true, Ordering::SeqCst);
+                                    }
+                                }
+                            }
+                            cell.buffer
+                                .event("engine", "shard.finished", &[("shard", i.into())]);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Flush-and-close before merging; a dead journal means
+        // resumability is already lost, so surface it.
+        let mut journal = journal.into_inner().unwrap_or_else(|e| e.into_inner());
+        journal.writer = None;
+        if let Some(e) = journal.error.take() {
+            return Err(e);
+        }
+
+        // Deterministic merge: shard order, whatever the schedule was.
+        let mut breaker_trips = 0usize;
+        for cell in cells {
+            let cell = cell.into_inner().unwrap_or_else(|e| e.into_inner());
+            breaker_trips += cell.breaker.trips();
+            cell.buffer.replay(sink);
+            for (seq, terminal) in cell.results {
+                terminals[seq] = Some(terminal);
+            }
+        }
+
+        // A completed run's journal is rewritten canonically (records
+        // in seq order), making the durable bytes a pure function of
+        // the outcomes: independent of thread count, of live append
+        // order, and of the run's crash/resume history (modulo the
+        // honest `cached` markers on repaired records).
+        let completed = terminals.iter().all(|t| t.is_some());
+        if completed {
+            if let Some(path) = journal_path {
+                let records: Vec<JobRecord> = terminals
+                    .iter()
+                    .enumerate()
+                    .map(|(seq, t)| record_of(seq, t.as_ref().expect("completed")))
+                    .collect();
+                journal::rewrite_canonical(path, &header, &records)?;
+                sink.counter_add("engine_journal_rewrites_total", 1);
+                sink.event(
+                    "engine",
+                    "journal.canonical",
+                    &[("records", records.len().into())],
+                );
+            }
+        }
+
+        self.assemble_and_report(aps, plan, terminals, resumed, breaker_trips, sink)
+    }
+
+    /// Common tail of both engines: assemble the outcome, account
+    /// every terminal into the ledger, and trace `run.finish`.
+    fn assemble_and_report(
+        &self,
+        aps: &Aps,
+        plan: ApsPlan,
+        terminals: Vec<Option<Terminal>>,
+        resumed: usize,
+        breaker_trips: usize,
+        sink: &dyn MetricsSink,
+    ) -> Result<RunSummary> {
+        let completed = terminals.iter().all(|t| t.is_some());
+        let results: Vec<(usize, PointOutcome)> = terminals
             .iter()
             .enumerate()
             .filter_map(|(seq, t)| t.as_ref().map(|t| (seq, t.outcome.clone())))
@@ -892,10 +1471,10 @@ impl SweepRunner {
         let mut report = RunReport {
             completed,
             resumed,
-            breaker_trips: st.breaker.trips(),
+            breaker_trips,
             ..RunReport::default()
         };
-        for (seq, terminal) in st.terminals.iter().enumerate() {
+        for (seq, terminal) in terminals.iter().enumerate() {
             let Some(t) = terminal else { continue };
             sink.observe(
                 "engine_attempts_per_job",
@@ -910,6 +1489,9 @@ impl SweepRunner {
             }
             if t.short_circuited {
                 report.short_circuited += 1;
+            }
+            if t.cached {
+                report.cache_hits += 1;
             }
             match &t.outcome.result {
                 Ok(_) => report.succeeded += 1,
@@ -938,6 +1520,7 @@ impl SweepRunner {
                 ("timeouts", report.timeouts.into()),
                 ("short_circuited", report.short_circuited.into()),
                 ("breaker_trips", report.breaker_trips.into()),
+                ("cache_hits", report.cache_hits.into()),
             ],
         );
         Ok(RunSummary {

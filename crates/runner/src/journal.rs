@@ -58,6 +58,11 @@ pub struct JobRecord {
     pub result: std::result::Result<f64, String>,
     /// Whether the circuit breaker denied the job its oracle.
     pub short_circuited: bool,
+    /// Whether the result was satisfied from the content-addressed
+    /// evaluation cache instead of a live oracle run. `attempts` then
+    /// reports the attempt history of the *original* computation (the
+    /// cache replays it into the breaker), not new oracle work.
+    pub cached: bool,
 }
 
 impl JobRecord {
@@ -198,6 +203,9 @@ impl JournalWriter {
         if r.short_circuited {
             line.push_str(",\"short_circuited\":true");
         }
+        if r.cached {
+            line.push_str(",\"cached\":true");
+        }
         line.push('}');
         self.write_line(&line)
     }
@@ -209,6 +217,27 @@ impl JournalWriter {
             .and_then(|()| self.out.flush())
             .map_err(|e| Error::Io(format!("journal write: {e}")))
     }
+}
+
+/// Rewrite the journal at `path` in **canonical form**: the header
+/// followed by every record in ascending `seq` order, via a sibling
+/// temp file and an atomic rename. The sharded engine calls this once
+/// a run completes, so the durable journal's bytes are a pure function
+/// of the terminal outcomes — independent of the thread count that
+/// produced them, of live append (completion) order, and of how many
+/// crash/resume cycles the run went through.
+pub fn rewrite_canonical(path: &Path, header: &JournalHeader, records: &[JobRecord]) -> Result<()> {
+    debug_assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut w = JournalWriter::create(&tmp, header)?;
+        for r in records {
+            w.record(r)?;
+        }
+    }
+    std::fs::rename(&tmp, path).map_err(|e| Error::Io(format!("rename {tmp:?} over {path:?}: {e}")))
 }
 
 /// Load and validate a journal file.
@@ -310,6 +339,7 @@ fn record_from(fields: &[(String, Json)]) -> Option<JobRecord> {
         timeouts,
         result,
         short_circuited: matches!(get(fields, "short_circuited"), Some(Json::Bool(true))),
+        cached: matches!(get(fields, "cached"), Some(Json::Bool(true))),
     })
 }
 
@@ -494,6 +524,7 @@ mod tests {
                 timeouts: 0,
                 result: Ok(1234.5678901234567),
                 short_circuited: false,
+                cached: true,
             },
             JobRecord {
                 seq: 1,
@@ -501,6 +532,7 @@ mod tests {
                 timeouts: 1,
                 result: Err("deadline of 25 ms exceeded".into()),
                 short_circuited: false,
+                cached: false,
             },
             JobRecord {
                 seq: 2,
@@ -508,6 +540,7 @@ mod tests {
                 timeouts: 0,
                 result: Err("circuit breaker open: \"sick\"\nbackend".into()),
                 short_circuited: true,
+                cached: false,
             },
         ]
     }
@@ -603,6 +636,7 @@ mod tests {
             timeouts: 0,
             result: Err(msg),
             short_circuited: false,
+            cached: false,
         };
         assert_eq!(rec.point_outcome().result, Err(e));
     }

@@ -15,7 +15,15 @@
 //!   and probes half-open before trusting the oracle again;
 //! * [`journal`] — a JSONL checkpoint journal flushed per terminal
 //!   outcome, so a killed sweep resumes idempotently and the merged
-//!   result is identical to an uninterrupted run.
+//!   result is identical to an uninterrupted run;
+//! * [`shard`] — the deterministic sharded scheduler behind
+//!   `RunConfig::threads`: whole shards are work-stolen by OS threads,
+//!   per-shard breaker/backoff state is schedule-invariant, and
+//!   per-shard outputs merge in shard order, so the journal, metrics,
+//!   and outcome are bit-identical for every thread count;
+//! * [`cache`] — a content-addressed evaluation cache keyed by
+//!   (scenario fingerprint, design-point content key) that memoizes
+//!   oracle results within and across `--resume` runs.
 //!
 //! ```
 //! use c2_bound::{Aps, C2BoundModel, DesignPoint, DesignSpace};
@@ -39,15 +47,19 @@
 
 pub mod backoff;
 pub mod breaker;
+pub mod cache;
 pub mod engine;
 pub mod fault_oracle;
 pub mod journal;
+pub mod shard;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, Transition};
+pub use cache::{cache_key, CachedEval, EvalCache};
 pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
 pub use fault_oracle::InjectedOracle;
 pub use journal::{bind_fingerprint, JobRecord, JournalHeader, JournalWriter};
+pub use shard::{partition, shard_count, shard_of, BufferSink};
 
 /// Errors produced by the engine and its journal.
 #[derive(Debug, Clone, PartialEq)]

@@ -89,6 +89,8 @@ fn acceptance_config() -> RunConfig {
         analytic_fallback: true,
         scenario_fingerprint: None,
         abort_after: None,
+        threads: 0,
+        cache_path: None,
     }
 }
 

@@ -1,0 +1,130 @@
+//! Property test for the sharded engine's headline contract: for
+//! random sweep policies (fault masks, retry budgets, backoff and
+//! breaker tunings) and every thread count in {1, 2, 4, 8}, the
+//! parallel sweep's journal bytes, metrics snapshot, and final report
+//! are identical to the serial (1-thread) run.
+
+use c2_bound::aps::Aps;
+use c2_bound::dse::{DesignPoint, DesignSpace, Oracle};
+use c2_bound::C2BoundModel;
+use c2_obs::Recorder;
+use c2_runner::{BackoffPolicy, BreakerPolicy, RunConfig, SweepRunner};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fresh scratch path per sweep (cases run many sweeps each).
+fn scratch() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("c2-proptest-sharded");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!(
+        "journal-{}-{}.jsonl",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Oracle that deterministically fails jobs by key: jobs whose bit is
+/// set in `mask` fail their first `flaky` attempts, jobs in
+/// `dead_mask` always fail. Keyed, so the fault pattern is identical
+/// no matter which thread runs which job when.
+struct MaskOracle {
+    flaky_mask: u32,
+    dead_mask: u32,
+    attempts_seen: [usize; 32],
+    flaky: usize,
+}
+
+impl Oracle for MaskOracle {
+    fn evaluate(&mut self, key: u64, point: &DesignPoint) -> c2_bound::Result<f64> {
+        let k = key as usize % 32;
+        self.attempts_seen[k] += 1;
+        let dead = (self.dead_mask >> k) & 1 == 1;
+        let flaky = (self.flaky_mask >> k) & 1 == 1 && self.attempts_seen[k] <= self.flaky;
+        if dead || flaky {
+            Err(c2_bound::Error::Simulation(format!("masked fault {key}")))
+        } else {
+            Ok(1.0e9 / (point.n * point.issue_width * point.rob_size) as f64)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial_for_every_thread_count(
+        raw_flaky in 0u32..512,
+        raw_dead in 0u32..512,
+        flaky in 1usize..3,
+        max_attempts in 1usize..4,
+        base_ms in 0u64..2,
+        jitter_frac in 0.0f64..1.0,
+        trip in 2usize..8,
+        cooldown in 0usize..4,
+        probes in 1usize..3,
+    ) {
+        // Keep job 0 healthy so assembly always has a surviving point.
+        let flaky_mask = raw_flaky & !1;
+        let dead_mask = raw_dead & !1;
+        let aps = Aps::new(C2BoundModel::example_big_data(), DesignSpace::tiny());
+        let run = |threads: usize| -> (Vec<u8>, String, c2_runner::RunReport) {
+            let config = RunConfig {
+                threads,
+                max_attempts,
+                backoff: BackoffPolicy {
+                    base_ms,
+                    factor: 2.0,
+                    cap_ms: base_ms * 4,
+                    jitter_frac,
+                },
+                breaker: BreakerPolicy {
+                    trip_threshold: trip,
+                    cooldown,
+                    probes,
+                },
+                ..RunConfig::default()
+            };
+            let journal = scratch();
+            let recorder = Recorder::new();
+            let summary = SweepRunner::new(config)
+                .unwrap()
+                .run_aps_observed(
+                    &aps,
+                    || MaskOracle {
+                        flaky_mask,
+                        dead_mask,
+                        attempts_seen: [0; 32],
+                        flaky,
+                    },
+                    Some(&journal),
+                    false,
+                    &recorder,
+                )
+                .unwrap();
+            let bytes = std::fs::read(&journal).expect("journal readable");
+            let _ = std::fs::remove_file(&journal);
+            (bytes, recorder.report().to_json(), summary.report)
+        };
+
+        let (serial_bytes, serial_metrics, serial_report) = run(1);
+        prop_assert!(serial_report.completed);
+        prop_assert!(serial_report.consistent());
+        for threads in [2usize, 4, 8] {
+            let (bytes, metrics, report) = run(threads);
+            prop_assert_eq!(
+                &serial_bytes, &bytes,
+                "journal bytes diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                &serial_metrics, &metrics,
+                "metrics snapshot diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                &serial_report, &report,
+                "final report diverged at {} threads", threads
+            );
+        }
+    }
+}

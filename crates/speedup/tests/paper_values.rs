@@ -1,0 +1,61 @@
+//! Pin Eq. 4 (Sun-Ni's memory-bounded speedup) against hand-computed
+//! values, so a regression in the law or in the `g(N)` scale-function
+//! plumbing is caught against externally derived truth.
+//!
+//! Source (PAPER.md, §"The model"; paper §II.B, Eq. 4):
+//!
+//! `S(N) = (f_seq + (1-f_seq)·g(N)) / (f_seq + (1-f_seq)·g(N)/N)`
+//!
+//! with the paper's special cases: `g(N) = 1` recovers Amdahl's law and
+//! `g(N) = N` recovers Gustafson's law. All expected values below are
+//! worked by hand at `f_seq = 0.2`, `N = 4`:
+//!
+//! * `g(N) = 1`: S = 1/(0.2 + 0.8/4) = 1/0.4 = 2.5
+//! * `g(N) = N`: S = 0.2 + 0.8·4 = 3.4
+//! * `g(N) = N^1.5`: g(4) = 8, S = (0.2 + 0.8·8)/(0.2 + 0.8·2) = 6.6/1.8 = 3.666…
+
+use c2_speedup::laws::{amdahl, gustafson, sun_ni};
+use c2_speedup::scale::ScaleFunction;
+
+const F_SEQ: f64 = 0.2;
+const N: f64 = 4.0;
+const TOL: f64 = 1e-12;
+
+#[test]
+fn eq4_with_constant_g_recovers_amdahl_2_5() {
+    let s = sun_ni(F_SEQ, N, &ScaleFunction::Constant);
+    assert!((s - 2.5).abs() < TOL, "expected 2.5, got {s}");
+    assert!((s - amdahl(F_SEQ, N)).abs() < TOL);
+}
+
+#[test]
+fn eq4_with_linear_g_recovers_gustafson_3_4() {
+    // g(N) = N is Power(1) in the scale-function vocabulary.
+    let s = sun_ni(F_SEQ, N, &ScaleFunction::Power(1.0));
+    assert!((s - 3.4).abs() < TOL, "expected 3.4, got {s}");
+    assert!((s - gustafson(F_SEQ, N)).abs() < TOL);
+}
+
+#[test]
+fn eq4_with_superlinear_g_gives_6_6_over_1_8() {
+    // g(N) = N^1.5, the paper's memory-bounded regime where the
+    // scaled-up problem grows faster than the machine: g(4) = 8,
+    // S = 6.6 / 1.8 = 3.666… — above Gustafson at the same N.
+    let s = sun_ni(F_SEQ, N, &ScaleFunction::Power(1.5));
+    let expected = 6.6 / 1.8;
+    assert!((s - expected).abs() < TOL, "expected {expected}, got {s}");
+    assert!(s > gustafson(F_SEQ, N));
+}
+
+#[test]
+fn eq4_orders_the_three_regimes_as_the_paper_does() {
+    // Amdahl < Gustafson < memory-bounded superlinear, at f=0.2, N=4.
+    let a = sun_ni(F_SEQ, N, &ScaleFunction::Constant);
+    let g = sun_ni(F_SEQ, N, &ScaleFunction::Power(1.0));
+    let m = sun_ni(F_SEQ, N, &ScaleFunction::Power(1.5));
+    assert!(a < g && g < m, "ordering violated: {a}, {g}, {m}");
+    // And exactly-at-the-paper's-numbers sanity for all three at once.
+    assert!((a - 2.5).abs() < TOL);
+    assert!((g - 3.4).abs() < TOL);
+    assert!((m - 6.6 / 1.8).abs() < TOL);
+}

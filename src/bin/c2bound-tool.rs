@@ -60,8 +60,9 @@ fn usage() -> ! {
          c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
          c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
          c2bound-tool adaptive\n  \
-         c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] \
-         [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--metrics-out PATH]\n  \
+         c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
+         [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
+         [--metrics-out PATH]\n  \
          c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
          c2bound-tool obs-report <metrics.json> [--prom|--json]"
     );
@@ -265,6 +266,8 @@ fn cmd_run(args: &[String]) {
     let mut name: Option<String> = None;
     let mut size: Option<u64> = None;
     let mut workers: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut cache: Option<std::path::PathBuf> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut max_attempts: Option<usize> = None;
     let mut journal: Option<std::path::PathBuf> = None;
@@ -279,6 +282,14 @@ fn cmd_run(args: &[String]) {
             },
             "--workers" => match rest.next() {
                 Some(v) => workers = Some(parse_arg(v, "--workers")),
+                None => usage(),
+            },
+            "--threads" => match rest.next() {
+                Some(v) => threads = Some(parse_arg(v, "--threads")),
+                None => usage(),
+            },
+            "--cache" => match rest.next() {
+                Some(v) => cache = Some(std::path::PathBuf::from(v)),
                 None => usage(),
             },
             "--deadline-ms" => match rest.next() {
@@ -348,6 +359,12 @@ fn cmd_run(args: &[String]) {
     if let Some(v) = workers {
         config.workers = v;
     }
+    if let Some(v) = threads {
+        config.threads = v;
+    }
+    if let Some(p) = cache {
+        config.cache_path = Some(p);
+    }
     if let Some(v) = deadline_ms {
         config.deadline_ms = v;
     }
@@ -382,14 +399,24 @@ fn cmd_run(args: &[String]) {
     let area = aps.model.area;
     let budget = aps.model.budget;
     println!(
-        "supervised sweep: {} workers, deadline {} ms, {} attempts/job{}",
-        config.workers,
-        config.deadline_ms,
+        "supervised sweep: {}, {} attempts/job{}{}",
+        if config.threads > 0 {
+            format!("{} sharded threads", config.threads)
+        } else {
+            format!(
+                "{} workers, deadline {} ms",
+                config.workers, config.deadline_ms
+            )
+        },
         config.max_attempts,
         match (&journal, resume) {
             (Some(p), true) => format!(", resuming journal {}", p.display()),
             (Some(p), false) => format!(", journaling to {}", p.display()),
             (None, _) => String::new(),
+        },
+        match &config.cache_path {
+            Some(p) => format!(", cache {}", p.display()),
+            None => String::new(),
         }
     );
     let price = |p: &DesignPoint| {
@@ -422,7 +449,8 @@ fn cmd_run(args: &[String]) {
     let r = &summary.report;
     println!(
         "run report: {} attempted = {} succeeded + {} skipped + {} backfilled \
-         ({} resumed, {} retried, {} oracle calls, {} timeouts, {} short-circuited, {} breaker trips)",
+         ({} resumed, {} retried, {} oracle calls, {} cache hits, {} timeouts, \
+         {} short-circuited, {} breaker trips)",
         r.attempted,
         r.succeeded,
         r.skipped,
@@ -430,6 +458,7 @@ fn cmd_run(args: &[String]) {
         r.resumed,
         r.retried,
         r.oracle_calls,
+        r.cache_hits,
         r.timeouts,
         r.short_circuited,
         r.breaker_trips
