@@ -505,8 +505,11 @@ impl Default for BreakerSpec {
 
 /// Content-addressed evaluation-cache knobs; mirrors the cache side
 /// of `RunConfig` in `c2-runner`. The cache memoizes oracle results
-/// under (scenario fingerprint, design-point content key), so editing
-/// the scenario invalidates entries without explicit versioning.
+/// under (run identity fingerprint, design-point content key) — the
+/// identity binds the plan and scenario fingerprints — so editing the
+/// scenario invalidates entries without explicit versioning. Only the
+/// sharded engine consults the cache: enabling it requires
+/// `runner.threads >= 1` (validated, not silently ignored).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EvalCacheSpec {
     /// Whether the sweep consults and populates the cache.
@@ -1685,6 +1688,15 @@ impl Scenario {
             return Err(fail("runner.breaker.probes", "must be at least 1"));
         }
         if r.cache.enabled {
+            // Only the sharded engine consults the cache; accepting an
+            // enabled cache under the legacy pool would let users
+            // believe memoization is active when it is not.
+            if r.threads == 0 {
+                return Err(fail(
+                    "runner.cache.enabled",
+                    "requires the sharded engine (runner.threads >= 1)",
+                ));
+            }
             match &r.cache.path {
                 None => {
                     return Err(fail(
@@ -1801,6 +1813,24 @@ mod tests {
         assert!(
             matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "runner.workers")
         );
+    }
+
+    #[test]
+    fn enabled_cache_requires_the_sharded_engine() {
+        // The legacy pool (threads 0) never consults the cache, so an
+        // enabled cache there must be rejected, not silently ignored.
+        let e = Scenario::from_json(
+            r#"{"runner":{"threads":0,"cache":{"enabled":true,"path":"c.jsonl"}}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "runner.cache.enabled")
+        );
+        let ok = Scenario::from_json(
+            r#"{"runner":{"threads":2,"cache":{"enabled":true,"path":"c.jsonl"}}}"#,
+        )
+        .unwrap();
+        assert!(ok.runner.cache.enabled);
     }
 
     #[test]

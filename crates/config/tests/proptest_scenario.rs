@@ -108,7 +108,9 @@ fn runners() -> impl Strategy<Value = RunnerSpec> {
             |((workers, deadline, tick, attempts, cap), bo, br, fb, (threads, cached))| {
                 RunnerSpec {
                     workers,
-                    threads,
+                    // An enabled cache requires the sharded engine, so
+                    // keep the generated combination coherent.
+                    threads: if cached == 1 { threads.max(1) } else { threads },
                     deadline_ms: deadline,
                     watchdog_tick_ms: tick,
                     max_attempts: attempts,

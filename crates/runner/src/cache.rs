@@ -1,20 +1,31 @@
 //! The content-addressed evaluation cache.
 //!
-//! Oracle evaluations are pure functions of the scenario (model, chip,
-//! workload, budget — summarized by the scenario FNV fingerprint) and
-//! of the design point being simulated (summarized by the job's
+//! Oracle evaluations are pure functions of the run's identity (model,
+//! chip, workload, budget — everything that shapes the sweep) and of
+//! the design point being simulated (summarized by the job's
 //! [`content key`](c2_bound::aps::RefinementJob::content_key), which
 //! deliberately excludes the job's plan position). The cache memoizes
-//! *successful* evaluations under the FNV-1a mix of those two
-//! fingerprints, so a result computed once is reusable:
+//! *successful* evaluations under the FNV-1a mix of a **run identity
+//! fingerprint** and the content key, so a result computed once is
+//! reusable:
 //!
 //! * across `--resume` runs — a job whose journal record was torn off
 //!   by a crash is redone as a cache hit instead of a re-simulation;
 //! * across whole runs of the same scenario — a warm cache turns a
 //!   repeated sweep into pure bookkeeping;
-//! * never across *different* scenarios — the scenario fingerprint is
+//! * never across *different* runs' work — the identity fingerprint is
 //!   part of every address, so editing the model invalidates the cache
 //!   without any explicit versioning.
+//!
+//! The engine derives the identity from the same material the journal
+//! header pins: the plan fingerprint bound to the scenario fingerprint
+//! (`journal::bind_fingerprint`), further bound to
+//! [`RunConfig::cache_fingerprint`](crate::RunConfig::cache_fingerprint)
+//! when set. The CLI's scenario-less positional path (`run <workload>
+//! [size]`) sets that field to the fingerprint of the scenario it
+//! assembles internally, so one cache file shared across positional
+//! invocations can never serve one workload's or size's simulated
+//! times to another — a mismatched identity can only miss.
 //!
 //! Entries also record how many oracle attempts the original
 //! computation consumed. A hit replays that attempt history into the
@@ -26,8 +37,10 @@
 //! On disk the cache is JSONL, same dialect as the journal: a header
 //! line pinning the format version, then one line per entry, flushed
 //! as written. The cache is advisory — a torn or malformed entry line
-//! is skipped, not fatal — but a file whose header is not ours is
-//! rejected rather than appended to.
+//! is skipped, not fatal, and a file that is empty or holds only a
+//! torn header (a crash between creation and the header flush) is
+//! reset to a fresh cache — but a file whose header is some *other*
+//! format is rejected rather than appended to.
 //!
 //! ```text
 //! {"c2cache":1}
@@ -53,11 +66,13 @@ pub struct CachedEval {
     pub time: f64,
 }
 
-/// The cache address of one evaluation: FNV-1a over the scenario
-/// fingerprint and the job's content key. The scenario-less positional
-/// path (`scenario_fp == None`) hashes a distinct tag byte so it can
-/// never collide with a scenario whose fingerprint happens to be zero.
-pub fn cache_key(scenario_fp: Option<u64>, content_key: u64) -> u64 {
+/// The cache address of one evaluation: FNV-1a over the run's identity
+/// fingerprint and the job's content key. The identity is the journal's
+/// bound fingerprint (plan ⊕ scenario) further bound to any positional
+/// cache fingerprint — oracle results depend on the workload, model,
+/// and size, none of which the content key (pure grid geometry) can
+/// see, so the identity must carry them.
+pub fn cache_key(run_identity: u64, content_key: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -65,13 +80,7 @@ pub fn cache_key(scenario_fp: Option<u64>, content_key: u64) -> u64 {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
     };
-    match scenario_fp {
-        None => eat(&[0u8]),
-        Some(fp) => {
-            eat(&[1u8]);
-            eat(&fp.to_le_bytes());
-        }
-    }
+    eat(&run_identity.to_le_bytes());
     eat(&content_key.to_le_bytes());
     h
 }
@@ -95,35 +104,40 @@ pub struct EvalCache {
 impl EvalCache {
     /// Open (or create) the cache at `path`: load every well-formed
     /// entry as the read snapshot and position a writer at the end.
+    /// A missing file, an empty file, or one holding only a torn
+    /// header (a crash between creation and the header flush) becomes
+    /// a fresh cache — the cache is advisory and must never block a
+    /// run — while a file in some other format is rejected.
     pub fn open(path: &Path) -> Result<Self> {
-        let snapshot = match File::open(path) {
+        match File::open(path) {
             Ok(mut f) => {
                 let mut text = String::new();
                 f.read_to_string(&mut text)
                     .map_err(|e| Error::Io(format!("read {path:?}: {e}")))?;
-                parse_snapshot(&text, path)?
+                if let Some(snapshot) = parse_snapshot(&text, path)? {
+                    let file = OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
+                    return Ok(EvalCache {
+                        snapshot,
+                        writer: Mutex::new(BufWriter::new(file)),
+                    });
+                }
+                // Empty or torn header: fall through and recreate
+                // (File::create truncates the remnant).
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                let file =
-                    File::create(path).map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
-                let mut out = BufWriter::new(file);
-                out.write_all(format!("{{\"c2cache\":{CACHE_VERSION}}}\n").as_bytes())
-                    .and_then(|()| out.flush())
-                    .map_err(|e| Error::Io(format!("cache write: {e}")))?;
-                return Ok(EvalCache {
-                    snapshot: HashMap::new(),
-                    writer: Mutex::new(out),
-                });
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(Error::Io(format!("open {path:?}: {e}"))),
-        };
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
+        }
+        let file = File::create(path).map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
+        let mut out = BufWriter::new(file);
+        out.write_all(format!("{{\"c2cache\":{CACHE_VERSION}}}\n").as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| Error::Io(format!("cache write: {e}")))?;
         Ok(EvalCache {
-            snapshot,
-            writer: Mutex::new(BufWriter::new(file)),
+            snapshot: HashMap::new(),
+            writer: Mutex::new(out),
         })
     }
 
@@ -157,13 +171,22 @@ impl EvalCache {
     }
 }
 
-fn parse_snapshot(text: &str, path: &Path) -> Result<HashMap<u64, CachedEval>> {
+/// Parse a cache file's contents. `Ok(None)` means the file is an
+/// empty or torn-header remnant and should be reset to a fresh cache;
+/// `Err` means it is some other format and must not be touched.
+fn parse_snapshot(text: &str, path: &Path) -> Result<Option<HashMap<u64, CachedEval>>> {
     let mut lines = text.split('\n').filter(|l| !l.trim().is_empty());
-    let header = lines
-        .next()
-        .ok_or_else(|| Error::Journal(format!("cache {path:?} exists but is empty (no header)")))?;
+    let Some(header) = lines.next() else {
+        return Ok(None); // crash before the header flushed
+    };
     let expected = format!("{{\"c2cache\":{CACHE_VERSION}}}");
     if header.trim() != expected {
+        // A header torn mid-write is a strict prefix of the expected
+        // header with nothing after it (entries can only follow a
+        // complete header). Anything else is a foreign file.
+        if expected.starts_with(header.trim()) && lines.next().is_none() {
+            return Ok(None);
+        }
         return Err(Error::Journal(format!(
             "{path:?} is not a c2-runner evaluation cache (header {header:?})"
         )));
@@ -177,7 +200,7 @@ fn parse_snapshot(text: &str, path: &Path) -> Result<HashMap<u64, CachedEval>> {
         };
         map.entry(entry.0).or_insert(entry.1);
     }
-    Ok(map)
+    Ok(Some(map))
 }
 
 /// Parse one `{"key":"<hex16>","attempts":N,"time":T}` line.
@@ -259,14 +282,66 @@ mod tests {
         let path = tmp("foreign.jsonl");
         std::fs::write(&path, "not a cache\n").unwrap();
         assert!(matches!(EvalCache::open(&path), Err(Error::Journal(_))));
+        // A torn header followed by more lines cannot be our remnant
+        // (entries only ever follow a complete header): also foreign.
+        std::fs::write(&path, "{\"c2cach\nsomething else\n").unwrap();
+        assert!(matches!(EvalCache::open(&path), Err(Error::Journal(_))));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn cache_key_separates_scenarios_and_the_positional_path() {
-        assert_ne!(cache_key(None, 42), cache_key(Some(0), 42));
-        assert_ne!(cache_key(Some(1), 42), cache_key(Some(2), 42));
-        assert_ne!(cache_key(Some(1), 42), cache_key(Some(1), 43));
-        assert_eq!(cache_key(Some(1), 42), cache_key(Some(1), 42));
+    fn empty_file_is_reset_to_a_fresh_cache() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let c = EvalCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        c.store(
+            3,
+            CachedEval {
+                attempts: 1,
+                time: 2.0,
+            },
+        )
+        .unwrap();
+        drop(c);
+        let c = EvalCache::open(&path).unwrap();
+        assert_eq!(
+            c.lookup(3),
+            Some(CachedEval {
+                attempts: 1,
+                time: 2.0
+            })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_is_reset_to_a_fresh_cache() {
+        // Crash between File::create and the header flush: the file
+        // holds a prefix of the header. The cache is advisory, so this
+        // must self-heal, not block every subsequent run.
+        let path = tmp("torn-header.jsonl");
+        std::fs::write(&path, "{\"c2cach").unwrap();
+        let c = EvalCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        c.store(
+            9,
+            CachedEval {
+                attempts: 2,
+                time: 7.5,
+            },
+        )
+        .unwrap();
+        drop(c);
+        let c = EvalCache::open(&path).unwrap();
+        assert_eq!(c.len(), 1, "the rewritten header is well-formed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_key_separates_run_identities_and_points() {
+        assert_ne!(cache_key(1, 42), cache_key(2, 42));
+        assert_ne!(cache_key(1, 42), cache_key(1, 43));
+        assert_eq!(cache_key(1, 42), cache_key(1, 42));
     }
 }

@@ -61,9 +61,18 @@ pub struct RunConfig {
     /// no watchdog, so `deadline_ms` is ignored there.
     pub threads: usize,
     /// Content-addressed evaluation cache file; `None` disables
-    /// memoization. Only the sharded engine (`threads` ≥ 1) consults
-    /// the cache.
+    /// memoization. Only the sharded engine consults the cache, so
+    /// setting a path with `threads == 0` is rejected by
+    /// [`RunConfig::validate`] rather than silently ignored.
     pub cache_path: Option<PathBuf>,
+    /// Extra run identity bound into evaluation-cache addresses, for
+    /// runs whose journal deliberately stays fingerprint-free. The
+    /// CLI's positional path (`run <workload> [size]`) sets this to
+    /// the fingerprint of the scenario it assembles internally, so a
+    /// cache file shared across positional invocations can never serve
+    /// one workload's or size's simulated times to another. Redundant
+    /// (but harmless) when `scenario_fingerprint` is set.
+    pub cache_fingerprint: Option<u64>,
     /// Per-attempt wall-clock deadline in milliseconds; 0 disables the
     /// deadline and the watchdog.
     pub deadline_ms: u64,
@@ -98,6 +107,7 @@ impl Default for RunConfig {
             workers: 2,
             threads: 0,
             cache_path: None,
+            cache_fingerprint: None,
             deadline_ms: 0,
             watchdog_tick_ms: 5,
             max_attempts: 2,
@@ -135,6 +145,7 @@ impl RunConfig {
             workers: narrow(spec.workers, "workers exceeds the platform word size")?,
             threads: narrow(spec.threads, "threads exceeds the platform word size")?,
             cache_path,
+            cache_fingerprint: None,
             deadline_ms: spec.deadline_ms,
             watchdog_tick_ms: spec.watchdog_tick_ms,
             max_attempts: narrow(
@@ -192,6 +203,14 @@ impl RunConfig {
         }
         if self.watchdog_tick_ms == 0 {
             return Err(Error::InvalidConfig("watchdog_tick_ms must be positive"));
+        }
+        if self.cache_path.is_some() && self.threads == 0 {
+            // The legacy pool never consults the cache; accepting the
+            // path there would let users believe memoization is active
+            // when it is not.
+            return Err(Error::InvalidConfig(
+                "the evaluation cache requires the sharded engine (set threads >= 1)",
+            ));
         }
         self.backoff.validate()?;
         self.breaker.validate()
@@ -966,6 +985,29 @@ struct ShardCell {
     results: Vec<(usize, Terminal)>,
 }
 
+/// Whether a cached entry's attempt history can be replayed through
+/// `breaker` without an admission short-circuiting. The caller has
+/// already consumed (and been admitted by) the first admission, so the
+/// dry run probes admissions from the second attempt on, on a clone. A
+/// shared or stale cache file can hold histories the current shard's
+/// breaker would refuse mid-replay; forcing those through would walk a
+/// trajectory no live run could produce, so such entries are treated
+/// as misses instead.
+fn replayable(breaker: &CircuitBreaker, attempts: usize) -> bool {
+    let mut probe = breaker.clone();
+    for i in 1..=attempts {
+        if i > 1 && probe.admit() == Admission::ShortCircuit {
+            return false;
+        }
+        if i == attempts {
+            probe.on_success();
+        } else {
+            probe.on_failure();
+        }
+    }
+    true
+}
+
 /// Execute one job to its terminal outcome inside a shard. Pure
 /// function of (config, plan, cache snapshot, shard state) — threads
 /// never influence it, which is the heart of the determinism argument.
@@ -974,6 +1016,7 @@ fn run_sharded_job<O: Oracle>(
     config: &RunConfig,
     plan: &ApsPlan,
     cache: Option<&EvalCache>,
+    cache_identity: u64,
     local_store: &mut HashMap<u64, CachedEval>,
     cell: &mut ShardCell,
     oracle: &mut O,
@@ -982,7 +1025,7 @@ fn run_sharded_job<O: Oracle>(
 ) -> Terminal {
     let job = &plan.jobs[seq];
     let content = job.content_key();
-    let ckey = cache_key(config.scenario_fingerprint, content);
+    let ckey = cache_key(cache_identity, content);
     let mut attempt = 1usize;
     loop {
         let admission = cell.breaker.admit();
@@ -1006,9 +1049,16 @@ fn run_sharded_job<O: Oracle>(
         if attempt == 1 {
             // Consult the cache: the start-of-run snapshot plus this
             // shard's own stores (cross-shard stores are invisible by
-            // design — their timing is schedule-dependent).
-            let hit =
-                cache.and_then(|c| local_store.get(&ckey).copied().or_else(|| c.lookup(ckey)));
+            // design — their timing is schedule-dependent). An entry
+            // whose attempt history no live run under this policy
+            // could produce — more attempts than allowed, or a replay
+            // the shard's breaker would refuse mid-way — is demoted to
+            // a miss and evaluated live.
+            let hit = cache
+                .and_then(|c| local_store.get(&ckey).copied().or_else(|| c.lookup(ckey)))
+                .filter(|h| {
+                    h.attempts <= config.max_attempts && replayable(&cell.breaker, h.attempts)
+                });
             if let Some(hit) = hit {
                 // Replay the original computation's attempt history
                 // into the breaker (the admission above was attempt 1),
@@ -1188,6 +1238,14 @@ impl SweepRunner {
                 Some(c)
             }
         };
+        // Cache addresses bind the same identity the journal header
+        // pins (plan ⊕ scenario), further bound to the positional
+        // path's assembled-scenario fingerprint — oracle results
+        // depend on workload/model/size, which the content key (pure
+        // grid geometry) cannot carry, so a shared cache file must
+        // miss, never mis-serve, across different runs' work.
+        let cache_identity =
+            journal::bind_fingerprint(header.fingerprint, self.config.cache_fingerprint);
 
         let shards = partition(plan.jobs.len());
         let mut breakers = Vec::with_capacity(shards.len());
@@ -1331,6 +1389,7 @@ impl SweepRunner {
                                     config,
                                     plan,
                                     cache,
+                                    cache_identity,
                                     &mut local_store,
                                     &mut cell,
                                     &mut oracle,

@@ -22,8 +22,11 @@
 //!   per-shard outputs merge in shard order, so the journal, metrics,
 //!   and outcome are bit-identical for every thread count;
 //! * [`cache`] — a content-addressed evaluation cache keyed by
-//!   (scenario fingerprint, design-point content key) that memoizes
-//!   oracle results within and across `--resume` runs.
+//!   (run identity fingerprint, design-point content key) that
+//!   memoizes oracle results within and across `--resume` runs; the
+//!   identity binds the plan and scenario (or positional-workload)
+//!   fingerprints, so a shared cache file can only miss, never
+//!   mis-serve, across different sweeps.
 //!
 //! ```
 //! use c2_bound::{Aps, C2BoundModel, DesignPoint, DesignSpace};
@@ -58,7 +61,7 @@ pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, Transi
 pub use cache::{cache_key, CachedEval, EvalCache};
 pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
 pub use fault_oracle::InjectedOracle;
-pub use journal::{bind_fingerprint, JobRecord, JournalHeader, JournalWriter};
+pub use journal::{bind_fingerprint, plan_fingerprint, JobRecord, JournalHeader, JournalWriter};
 pub use shard::{partition, shard_count, shard_of, BufferSink};
 
 /// Errors produced by the engine and its journal.

@@ -91,6 +91,7 @@ fn acceptance_config() -> RunConfig {
         abort_after: None,
         threads: 0,
         cache_path: None,
+        cache_fingerprint: None,
     }
 }
 

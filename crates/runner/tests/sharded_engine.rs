@@ -14,8 +14,8 @@ use c2_bound::dse::{DesignPoint, DesignSpace};
 use c2_bound::C2BoundModel;
 use c2_obs::{FieldValue, Recorder};
 use c2_runner::{
-    cache_key, BackoffPolicy, BreakerPolicy, CachedEval, EvalCache, InjectedOracle, RunConfig,
-    RunSummary, SweepRunner,
+    bind_fingerprint, cache_key, plan_fingerprint, BackoffPolicy, BreakerPolicy, CachedEval,
+    EvalCache, InjectedOracle, RunConfig, RunSummary, SweepRunner,
 };
 use c2_sim::FaultPlan;
 use std::path::PathBuf;
@@ -287,6 +287,122 @@ fn cache_is_scenario_scoped() {
     assert_eq!(warm.report.cache_hits, warm.report.attempted);
 }
 
+/// Regression (review): on the scenario-less positional path the
+/// content key is pure grid geometry, so without extra identity a
+/// shared cache file could serve one workload's simulated times to
+/// another. `cache_fingerprint` (the CLI sets it to the assembled
+/// scenario's fingerprint) must scope the addresses.
+#[test]
+fn cache_is_positional_identity_scoped() {
+    let cache = scratch("positional-scoped-cache.jsonl");
+    let run = |cache_fp: u64| {
+        let runner = SweepRunner::new(RunConfig {
+            cache_path: Some(cache.clone()),
+            cache_fingerprint: Some(cache_fp),
+            ..config(2)
+        })
+        .unwrap();
+        runner
+            .run_aps(
+                &aps(),
+                || InjectedOracle::new(FaultPlan::default(), pricer).unwrap(),
+                None,
+                false,
+            )
+            .unwrap()
+    };
+    let first = run(0x1111);
+    assert_eq!(first.report.cache_hits, 0);
+    let other = run(0x2222);
+    assert_eq!(
+        other.report.cache_hits, 0,
+        "a different positional identity (workload/size) must miss"
+    );
+    let warm = run(0x1111);
+    assert_eq!(warm.report.cache_hits, warm.report.attempted);
+}
+
+/// Regression (review): the cache silently did nothing under the
+/// legacy pool; now a cache path with `threads == 0` is rejected at
+/// validation instead.
+#[test]
+fn cache_with_the_legacy_pool_is_rejected() {
+    let err = SweepRunner::new(RunConfig {
+        threads: 0,
+        cache_path: Some(scratch("rejected-cache.jsonl")),
+        ..RunConfig::default()
+    })
+    .unwrap_err();
+    assert!(matches!(err, c2_runner::Error::InvalidConfig(_)));
+}
+
+/// Regression (review): a cached attempt history that the shard's
+/// breaker would refuse mid-replay (possible with a shared or stale
+/// cache file) must be treated as a miss and evaluated live — forcing
+/// the replay through an open breaker would walk a trajectory no live
+/// run could produce.
+#[test]
+fn non_replayable_cache_entries_fall_back_to_live_evaluation() {
+    let cache = scratch("non-replayable-cache.jsonl");
+    let tight_breaker = |cache_path: Option<PathBuf>| RunConfig {
+        cache_path,
+        breaker: BreakerPolicy {
+            trip_threshold: 2,
+            cooldown: 3,
+            probes: 2,
+        },
+        ..config(1)
+    };
+    // Seed every job with a 4-attempt history: replaying 3 failures
+    // trips a threshold-2 breaker open after the second, so the third
+    // replay admission would short-circuit — not a trajectory a live
+    // run under this policy could have produced.
+    let plan = aps().plan().unwrap();
+    let identity = bind_fingerprint(plan_fingerprint(&plan), None);
+    {
+        let store = EvalCache::open(&cache).unwrap();
+        for job in &plan.jobs {
+            store
+                .store(
+                    cache_key(identity, job.content_key()),
+                    CachedEval {
+                        attempts: 4,
+                        time: pricer(&job.point).unwrap(),
+                    },
+                )
+                .unwrap();
+        }
+    }
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counting = {
+        let calls = Arc::clone(&calls);
+        move || {
+            let calls = Arc::clone(&calls);
+            move |p: &DesignPoint| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                pricer(p)
+            }
+        }
+    };
+    let runner = SweepRunner::new(tight_breaker(Some(cache.clone()))).unwrap();
+    let summary = runner.run_aps(&aps(), counting, None, false).unwrap();
+    assert!(summary.report.completed);
+    assert_eq!(
+        summary.report.cache_hits, 0,
+        "every seeded history is refused, none forced through"
+    );
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        summary.report.attempted,
+        "every job is evaluated live instead"
+    );
+    assert_eq!(summary.report.succeeded, summary.report.attempted);
+    assert_eq!(
+        summary.report.breaker_trips, 0,
+        "the live healthy oracle never trips the breaker"
+    );
+}
+
 #[test]
 fn cache_hits_replay_the_original_attempt_history_into_the_breaker() {
     // A job that succeeded on attempt 2 is cached with attempts: 2; a
@@ -488,6 +604,9 @@ fn torn_tail_resume_with_interleaved_cache_hits_is_bit_identical() {
     // store what they compute, and sharing a file would let one leg's
     // stores turn the other leg's fresh computations into hits.
     let plan = aps().plan().unwrap();
+    // A run with no scenario or positional fingerprint keys its cache
+    // by the bare plan fingerprint (the journal's bound identity).
+    let identity = bind_fingerprint(plan_fingerprint(&plan), None);
     let seeded_cache = |name: &str| -> PathBuf {
         let path = scratch(name);
         let store = EvalCache::open(&path).unwrap();
@@ -495,7 +614,7 @@ fn torn_tail_resume_with_interleaved_cache_hits_is_bit_identical() {
             let job = &plan.jobs[seq];
             store
                 .store(
-                    cache_key(None, job.content_key()),
+                    cache_key(identity, job.content_key()),
                     CachedEval {
                         attempts: 1,
                         time: pricer(&job.point).unwrap(),

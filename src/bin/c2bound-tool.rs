@@ -37,6 +37,10 @@
 //! The positional form is the same pipeline over the built-in defaults
 //! (tiny sweep space) and writes fingerprint-free journals. Command-line
 //! flags override the scenario's runner section in both forms.
+//! `--cache` requires the sharded engine (`--threads N`, N >= 1); on
+//! the positional form, cache entries are keyed by the fingerprint of
+//! the internally assembled scenario, so a shared cache file can never
+//! serve one workload's or size's results to another.
 //!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
@@ -371,8 +375,22 @@ fn cmd_run(args: &[String]) {
     if let Some(v) = max_attempts {
         config.max_attempts = v;
     }
-    if let Some(fp) = fingerprint {
-        config = config.with_scenario(fp);
+    if config.cache_path.is_some() && config.threads == 0 {
+        eprintln!(
+            "error: the evaluation cache requires the sharded engine; \
+             pass --threads N (N >= 1) or set runner.threads"
+        );
+        std::process::exit(2);
+    }
+    match fingerprint {
+        Some(fp) => config = config.with_scenario(fp),
+        // The positional path keeps fingerprint-free journals for
+        // byte-compatibility, but the evaluation cache still needs
+        // real run identity (workload, size, model): bind the
+        // assembled scenario's fingerprint into cache addresses only,
+        // so one cache file shared across positional invocations can
+        // never serve one workload's simulated times to another.
+        None => config.cache_fingerprint = Some(sc.fingerprint()),
     }
     if metrics_out.is_none() {
         metrics_out = sc
