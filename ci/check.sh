@@ -41,6 +41,33 @@ done
 cmp "${smoke_dir}/journal-t1.jsonl" "${smoke_dir}/journal-t4.jsonl"
 cmp "${smoke_dir}/metrics-t1.json" "${smoke_dir}/metrics-t4.json"
 
+echo "== crash matrix (library) =="
+cargo test -q -p c2-runner --test crash_matrix
+
+echo "== CLI crash/resume smoke (quick.json, three crash points) =="
+# Kill the engine early (write 3: a record append), in the middle
+# (write 12: checkpoint region), and at the very last write the run
+# performs (write 20); resume each on honest storage and demand bytes
+# identical to the clean run.
+clean="${smoke_dir}/crash-clean"
+cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+    --threads 2 --checkpoint-every 2 \
+    --journal "${clean}.jsonl" --metrics-out "${clean}.json" > /dev/null
+for n in 3 12 20; do
+    out="${smoke_dir}/crash-n${n}"
+    if cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+        --threads 2 --checkpoint-every 2 --chaos "crash-at=${n},seed=${n}" \
+        --journal "${out}.jsonl" > /dev/null 2>&1; then
+        echo "error: chaos crash-at=${n} did not fire" >&2
+        exit 1
+    fi
+    cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+        --threads 2 --checkpoint-every 2 --resume \
+        --journal "${out}.jsonl" --metrics-out "${out}.json" > /dev/null
+    cmp "${clean}.jsonl" "${out}.jsonl"
+    cmp "${clean}.json" "${out}.json"
+done
+
 echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="
 cargo bench -q -p c2-bench --bench sweep_benches > /dev/null
 test -s BENCH_sweep.json

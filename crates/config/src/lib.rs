@@ -19,7 +19,7 @@ pub mod scenario;
 
 pub use json::{Json, JsonError};
 pub use scenario::{
-    fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChipSpec,
-    CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec, Scenario,
-    ScenarioError, SolverSpec, SpaceSpec, WorkloadSpec,
+    fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChaosSpec,
+    ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec,
+    Scenario, ScenarioError, SolverSpec, SpaceSpec, WorkloadSpec,
 };

@@ -518,6 +518,35 @@ pub struct EvalCacheSpec {
     pub path: Option<String>,
 }
 
+/// Deterministic storage-fault injection for the crash/chaos harness;
+/// mirrors `ChaosPlan` in `c2-runner`. All write indices are 1-based
+/// counts of storage writes performed by the run. The default plan
+/// injects nothing; scenarios normally omit the section entirely.
+///
+/// Chaos, like `sync` and `checkpoint_every`, is an *operational*
+/// knob: it changes how the run interacts with storage, never what
+/// the sweep computes, so it is excluded from the scenario
+/// fingerprint — a chaos run's journal stays resumable by the same
+/// scenario with chaos disarmed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// Simulate a crash at the n-th storage write: a torn prefix of
+    /// the write lands, then all storage is dead for the run.
+    pub crash_at_write: Option<u64>,
+    /// How many bytes of the crashed write land before the "power
+    /// cut" (default 0 when crashing; ignored otherwise).
+    pub torn_bytes: Option<u64>,
+    /// Fail the n-th storage write with a no-space error (the run
+    /// aborts cleanly; storage stays alive).
+    pub enospc_at_write: Option<u64>,
+    /// Write only half of the n-th write's bytes, then report success
+    /// (silent short write; surfaced on the next read as a torn line).
+    pub short_write_at: Option<u64>,
+    /// Reserved for future randomized plans; bound into nothing yet
+    /// but pinned in the rendering so documents round-trip.
+    pub seed: u64,
+}
+
 /// Supervised-runner knobs; mirrors `RunConfig` in `c2-runner` with
 /// the CLI `run` command's historical defaults.
 #[derive(Debug, Clone, PartialEq)]
@@ -545,6 +574,18 @@ pub struct RunnerSpec {
     pub cache: EvalCacheSpec,
     /// Backfill skipped jobs from the analytic model.
     pub analytic_fallback: bool,
+    /// Journal/cache fsync policy: `"never"`, `"on-checkpoint"`
+    /// (default), or `"always"`. Operational — excluded from the
+    /// scenario fingerprint.
+    pub sync: String,
+    /// Journal a per-shard breaker checkpoint every this many appended
+    /// records (0 disables; sharded engine only). Checkpoints bound
+    /// how many records resume must replay. Operational — excluded
+    /// from the scenario fingerprint.
+    pub checkpoint_every: u64,
+    /// Deterministic storage-fault injection; `None` runs on plain
+    /// disk. Operational — excluded from the scenario fingerprint.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for RunnerSpec {
@@ -560,6 +601,9 @@ impl Default for RunnerSpec {
             breaker: BreakerSpec::default(),
             cache: EvalCacheSpec::default(),
             analytic_fallback: true,
+            sync: "on-checkpoint".to_string(),
+            checkpoint_every: 64,
+            chaos: None,
         }
     }
 }
@@ -705,6 +749,18 @@ fn get_opt_f64(pairs: &[(String, Json)], key: &str, path: &str) -> Result<Option
         Some(_) => Err(ScenarioError::WrongType {
             path: join(path, key),
             expected: "number or null",
+        }),
+    }
+}
+
+/// Optional non-negative integer: absent and `null` both mean "not
+/// set".
+fn get_opt_u64(pairs: &[(String, Json)], key: &str, path: &str) -> Result<Option<u64>> {
+    match find(pairs, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value.as_u64().map(Some).ok_or(ScenarioError::WrongType {
+            path: join(path, key),
+            expected: "non-negative integer or null",
         }),
     }
 }
@@ -1287,6 +1343,43 @@ impl EvalCacheSpec {
     }
 }
 
+impl ChaosSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "crash_at_write",
+                "torn_bytes",
+                "enospc_at_write",
+                "short_write_at",
+                "seed",
+            ],
+            path,
+        )?;
+        Ok(ChaosSpec {
+            crash_at_write: get_opt_u64(pairs, "crash_at_write", path)?,
+            torn_bytes: get_opt_u64(pairs, "torn_bytes", path)?,
+            enospc_at_write: get_opt_u64(pairs, "enospc_at_write", path)?,
+            short_write_at: get_opt_u64(pairs, "short_write_at", path)?,
+            seed: get_u64(pairs, "seed", path, 0)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        fn opt(v: Option<u64>) -> Json {
+            v.map_or(Json::Null, |n| Json::Num(n as f64))
+        }
+        Json::Obj(vec![
+            ("crash_at_write".into(), opt(self.crash_at_write)),
+            ("torn_bytes".into(), opt(self.torn_bytes)),
+            ("enospc_at_write".into(), opt(self.enospc_at_write)),
+            ("short_write_at".into(), opt(self.short_write_at)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+        ])
+    }
+}
+
 impl RunnerSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1303,6 +1396,9 @@ impl RunnerSpec {
                 "breaker",
                 "cache",
                 "analytic_fallback",
+                "sync",
+                "checkpoint_every",
+                "chaos",
             ],
             path,
         )?;
@@ -1319,6 +1415,10 @@ impl RunnerSpec {
             None => d.cache,
             Some(value) => EvalCacheSpec::from_json_value(value, &join(path, "cache"))?,
         };
+        let chaos = match find(pairs, "chaos") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(ChaosSpec::from_json_value(value, &join(path, "chaos"))?),
+        };
         Ok(RunnerSpec {
             workers: get_u64(pairs, "workers", path, d.workers)?,
             threads: get_u64(pairs, "threads", path, d.threads)?,
@@ -1330,11 +1430,20 @@ impl RunnerSpec {
             breaker,
             cache,
             analytic_fallback: get_bool(pairs, "analytic_fallback", path, d.analytic_fallback)?,
+            sync: get_string(pairs, "sync", path, &d.sync)?,
+            checkpoint_every: get_u64(pairs, "checkpoint_every", path, d.checkpoint_every)?,
+            chaos,
         })
     }
 
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
+    /// The canonical JSON. `semantic` drops the operational keys
+    /// (`sync`, `checkpoint_every`, `chaos`) that configure *how* the
+    /// run persists, never *what* it computes — they are excluded
+    /// from the fingerprint so, e.g., a crashed chaos run's journal
+    /// stays resumable with chaos disarmed, and so pre-existing
+    /// fingerprints survive the keys' introduction.
+    fn to_json_with(&self, semantic: bool) -> Json {
+        let mut pairs = vec![
             ("workers".into(), Json::Num(self.workers as f64)),
             ("threads".into(), Json::Num(self.threads as f64)),
             ("deadline_ms".into(), Json::Num(self.deadline_ms as f64)),
@@ -1354,7 +1463,19 @@ impl RunnerSpec {
                 "analytic_fallback".into(),
                 Json::Bool(self.analytic_fallback),
             ),
-        ])
+        ];
+        if !semantic {
+            pairs.push(("sync".into(), Json::Str(self.sync.clone())));
+            pairs.push((
+                "checkpoint_every".into(),
+                Json::Num(self.checkpoint_every as f64),
+            ));
+            pairs.push((
+                "chaos".into(),
+                self.chaos.as_ref().map_or(Json::Null, ChaosSpec::to_json),
+            ));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -1458,6 +1579,10 @@ impl Scenario {
 
     /// The canonical JSON value: every key present, fixed section order.
     pub fn to_json(&self) -> Json {
+        self.to_json_with(false)
+    }
+
+    fn to_json_with(&self, semantic: bool) -> Json {
         Json::Obj(vec![
             ("version".into(), Json::Num(self.version as f64)),
             ("workload".into(), self.workload.to_json()),
@@ -1467,7 +1592,7 @@ impl Scenario {
             ("budget".into(), self.budget.to_json()),
             ("area".into(), self.area.to_json()),
             ("solver".into(), self.solver.to_json()),
-            ("runner".into(), self.runner.to_json()),
+            ("runner".into(), self.runner.to_json_with(semantic)),
             ("observability".into(), self.observability.to_json()),
         ])
     }
@@ -1484,11 +1609,16 @@ impl Scenario {
         out
     }
 
-    /// Stable identity: FNV-1a over the compact canonical rendering.
-    /// Any semantic change to the scenario changes this value; two
-    /// documents that parse to the same scenario share it.
+    /// Stable identity: FNV-1a over the compact *semantic* rendering —
+    /// the canonical bytes minus the operational runner keys (`sync`,
+    /// `checkpoint_every`, `chaos`), which configure durability and
+    /// fault injection, never what the sweep computes. Any semantic
+    /// change to the scenario changes this value; two documents that
+    /// parse to the same scenario share it, as do two scenarios that
+    /// differ only operationally (so a crashed chaos run's journal is
+    /// resumable with chaos disarmed).
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(self.render().as_bytes())
+        fnv1a(self.to_json_with(true).render().as_bytes())
     }
 
     /// The fingerprint as the fixed-width hex spelling used in CLI
@@ -1711,6 +1841,23 @@ impl Scenario {
             }
         } else if matches!(&r.cache.path, Some(p) if p.is_empty()) {
             return Err(fail("runner.cache.path", "must be non-empty"));
+        }
+        if !matches!(r.sync.as_str(), "never" | "on-checkpoint" | "always") {
+            return Err(fail(
+                "runner.sync",
+                "must be one of never, on-checkpoint, always",
+            ));
+        }
+        if let Some(chaos) = &r.chaos {
+            for (value, path) in [
+                (chaos.crash_at_write, "runner.chaos.crash_at_write"),
+                (chaos.enospc_at_write, "runner.chaos.enospc_at_write"),
+                (chaos.short_write_at, "runner.chaos.short_write_at"),
+            ] {
+                if value == Some(0) {
+                    return Err(fail(path, "write indices are 1-based; must be at least 1"));
+                }
+            }
         }
 
         if let Some(path) = &self.observability.metrics_out {

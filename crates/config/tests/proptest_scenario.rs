@@ -4,8 +4,8 @@
 //! the round trip.
 
 use c2_config::{
-    BackoffSpec, BreakerSpec, BudgetSpec, CamatSpec, EvalCacheSpec, ModelSpec, RunnerSpec,
-    Scenario, SolverSpec, SpaceSpec, WorkloadSpec,
+    BackoffSpec, BreakerSpec, BudgetSpec, CamatSpec, ChaosSpec, EvalCacheSpec, ModelSpec,
+    RunnerSpec, Scenario, SolverSpec, SpaceSpec, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -103,9 +103,17 @@ fn runners() -> impl Strategy<Value = RunnerSpec> {
         (1u64..10, 0u64..10, 1u64..5),
         0u64..2,
         (0u64..9, 0u64..2),
+        (0usize..3, 0u64..200, 0u64..2, 1u64..10),
     )
         .prop_map(
-            |((workers, deadline, tick, attempts, cap), bo, br, fb, (threads, cached))| {
+            |(
+                (workers, deadline, tick, attempts, cap),
+                bo,
+                br,
+                fb,
+                (threads, cached),
+                (sync_idx, ckpt, chaos_on, chaos_val),
+            )| {
                 RunnerSpec {
                     workers,
                     // An enabled cache requires the sharded engine, so
@@ -131,6 +139,15 @@ fn runners() -> impl Strategy<Value = RunnerSpec> {
                         path: (cached == 1).then(|| "eval-cache.jsonl".to_string()),
                     },
                     analytic_fallback: fb == 1,
+                    sync: ["never", "on-checkpoint", "always"][sync_idx].to_string(),
+                    checkpoint_every: ckpt,
+                    chaos: (chaos_on == 1).then_some(ChaosSpec {
+                        crash_at_write: Some(chaos_val),
+                        torn_bytes: Some(chaos_val / 2),
+                        enospc_at_write: None,
+                        short_write_at: None,
+                        seed: chaos_val,
+                    }),
                 }
             },
         )

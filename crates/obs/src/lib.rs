@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod metrics;
+pub mod names;
 mod recorder;
 mod report;
 mod sink;

@@ -1,0 +1,49 @@
+//! Well-known metric names for the chaos/durability surface.
+//!
+//! The engine's original counters predate this module and live as
+//! string literals at their emission sites; the names below were added
+//! with the crash-and-chaos harness and are shared between the engine
+//! (emission) and the test harnesses (assertion), so they get named
+//! constants — a typo then fails to compile instead of silently
+//! asserting against a counter that nothing increments.
+//!
+//! All of these are **operational** metrics: they describe how a
+//! particular run interacted with storage and recovery machinery
+//! (checkpoints written, tails truncated, caches republished), not
+//! what the sweep computed. The engine therefore routes them to the
+//! separate *ops* sink — they are legitimately different between a
+//! clean run and a crash/resume run, and must stay out of the
+//! bit-identity-compared main metrics. The one exception is
+//! [`ENGINE_QUARANTINED_TOTAL`]: a quarantined job is part of the
+//! sweep's outcome (the journal records it), so it is emitted to the
+//! main sink and is resume-invariant like every other job metric.
+
+/// Jobs whose oracle panicked and were quarantined (terminated without
+/// retries, degraded to analytic backfill). Main sink; resume-invariant.
+pub const ENGINE_QUARANTINED_TOTAL: &str = "engine_quarantined_total";
+
+/// Checkpoint lines written to the journal. Ops sink.
+pub const ENGINE_JOURNAL_CHECKPOINTS_TOTAL: &str = "engine_journal_checkpoints_total";
+
+/// Torn journal tails truncated away before appending on resume. Ops
+/// sink.
+pub const ENGINE_JOURNAL_TRUNCATION_REPAIRS_TOTAL: &str = "engine_journal_truncation_repairs_total";
+
+/// Journal records replayed *after* the latest usable checkpoint by the
+/// fast (unobserved) resume path — the quantity checkpoints exist to
+/// bound. Ops sink.
+pub const ENGINE_RESUME_TAIL_REPLAYED_TOTAL: &str = "engine_resume_tail_replayed_total";
+
+/// Torn or malformed cache entry lines skipped (self-healed) while
+/// loading the evaluation cache. Ops sink.
+pub const ENGINE_CACHE_RECOVERED_RECORDS_TOTAL: &str = "engine_cache_recovered_records_total";
+
+/// Atomic cache publications performed at run completion. Ops sink.
+pub const ENGINE_CACHE_PUBLISHES_TOTAL: &str = "engine_cache_publishes_total";
+
+/// Entries in the most recent cache publication (gauge). Ops sink.
+pub const ENGINE_CACHE_PUBLISHED_ENTRIES: &str = "engine_cache_published_entries";
+
+/// Storage faults (failed journal/cache writes) the engine observed
+/// before aborting or degrading. Ops sink.
+pub const ENGINE_STORAGE_FAULTS_TOTAL: &str = "engine_storage_faults_total";

@@ -34,24 +34,41 @@
 //! trajectory as the uninterrupted run and the merged sweep stays
 //! bit-identical.
 //!
+//! **Publication is crash-atomic and happens once, at run completion.**
+//! The engine reads the file once at startup ([`load`]) and never
+//! writes it while jobs run; when the sweep completes it derives fresh
+//! entries from the journal's terminal records, merges them over the
+//! startup snapshot, and [`publish`]es the union via a sibling temp
+//! file and an atomic rename. A crash mid-sweep therefore leaves the
+//! cache byte-identical to run start — which is what makes the
+//! crash-matrix proof possible: the resumed run sees exactly the
+//! snapshot the uninterrupted run saw, so its hit/miss pattern (and
+//! with it the journal's `cached` flags and the cache-hit metrics)
+//! converges on the clean run's without any normalization. Nothing is
+//! lost to the crash either: the resumed run's completed work is still
+//! in the journal, and publication re-derives entries from those
+//! records.
+//!
 //! On disk the cache is JSONL, same dialect as the journal: a header
-//! line pinning the format version, then one line per entry, flushed
-//! as written. The cache is advisory — a torn or malformed entry line
-//! is skipped, not fatal, and a file that is empty or holds only a
-//! torn header (a crash between creation and the header flush) is
-//! reset to a fresh cache — but a file whose header is some *other*
-//! format is rejected rather than appended to.
+//! line pinning the format version, then one line per entry, sorted by
+//! key (publication is a pure function of the entry set). The cache is
+//! advisory — a torn or malformed entry line is skipped (and counted,
+//! so the engine can surface a recovery metric), not fatal, and a file
+//! that is empty or holds only a torn header is treated as a fresh
+//! cache — but a file whose header is some *other* format is rejected
+//! rather than overwritten.
 //!
 //! ```text
 //! {"c2cache":1}
 //! {"key":"81ee23fcbe4f85d0","attempts":1,"time":123456.0}
 //! ```
 
+use crate::storage::Storage;
 use crate::{Error, Result};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Cache format version written in the header.
@@ -85,36 +102,108 @@ pub fn cache_key(run_identity: u64, content_key: u64) -> u64 {
     h
 }
 
-/// A persistent evaluation cache: an immutable snapshot of everything
-/// on disk when the run started, plus an append-only writer for the
-/// results this run computes.
+fn header_line() -> String {
+    format!("{{\"c2cache\":{CACHE_VERSION}}}")
+}
+
+fn entry_line(key: u64, entry: &CachedEval) -> String {
+    format!(
+        "{{\"key\":\"{key:016x}\",\"attempts\":{},\"time\":{:?}}}",
+        entry.attempts, entry.time
+    )
+}
+
+/// What [`load`] found on disk at run start.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadedCache {
+    /// Every well-formed entry (first occurrence of each key wins).
+    pub snapshot: HashMap<u64, CachedEval>,
+    /// Torn or malformed entry lines that were skipped. The engine
+    /// surfaces this as a recovery counter — a non-zero value means a
+    /// crash or disk fault cost some memoized results but nothing else.
+    pub skipped: usize,
+}
+
+/// Read the cache at `path` without creating or modifying anything.
+/// A missing file, an empty file, or one holding only a torn header
+/// (a crash between creation and the header flush, from older engines
+/// that wrote the header eagerly) loads as an empty cache — the cache
+/// is advisory and must never block a run — while a file in some other
+/// format is rejected so [`publish`] can't clobber a foreign file.
+pub fn load(storage: &dyn Storage, path: &Path) -> Result<LoadedCache> {
+    let Some(text) = storage.read_to_string(path)? else {
+        return Ok(LoadedCache::default());
+    };
+    match parse_snapshot(&text, path)? {
+        Some((snapshot, skipped)) => Ok(LoadedCache { snapshot, skipped }),
+        None => Ok(LoadedCache::default()),
+    }
+}
+
+/// Atomically replace the cache at `path` with exactly `entries`:
+/// header plus one line per entry in ascending key order, written to a
+/// sibling temp file and renamed over the original. `sync` fsyncs
+/// before the rename so the publication survives power loss.
 ///
-/// Lookups consult **only the snapshot** (and, in the sharded engine,
-/// the shard's own stores). Results stored by *other* shards of the
-/// same run are deliberately invisible — whether they land before or
-/// after a lookup depends on the thread schedule, and the determinism
-/// contract forbids any schedule-dependent behaviour. Fresh results
-/// become visible to everyone on the next run.
+/// Callers pass the union of the startup snapshot and the entries
+/// derived from this run's journal — the cache file is shared across
+/// run identities (addresses embed the identity), so publishing only
+/// this run's entries would evict every other sweep's results.
+pub fn publish(
+    storage: &dyn Storage,
+    sync: bool,
+    path: &Path,
+    entries: &BTreeMap<u64, CachedEval>,
+) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut out = storage.create(&tmp)?;
+        let mut buf = header_line();
+        buf.push('\n');
+        out.write_all(buf.as_bytes())?;
+        for (key, entry) in entries {
+            let mut line = entry_line(*key, entry);
+            line.push('\n');
+            out.write_all(line.as_bytes())?;
+        }
+        out.flush()?;
+        if sync {
+            out.sync()?;
+        }
+    }
+    storage.rename(&tmp, path)
+}
+
+/// A persistent evaluation cache: an immutable snapshot of everything
+/// on disk when opened, plus an append-only writer.
+///
+/// This is the *incremental* interface — tests and tools use it to
+/// seed or extend a cache file entry by entry. The engine itself reads
+/// with [`load`] and writes once per completed run with [`publish`];
+/// see the module docs for why. Lookups consult **only the snapshot**:
+/// results stored after open are invisible until reopen.
 #[derive(Debug)]
 pub struct EvalCache {
     snapshot: HashMap<u64, CachedEval>,
     writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
 }
 
 impl EvalCache {
     /// Open (or create) the cache at `path`: load every well-formed
     /// entry as the read snapshot and position a writer at the end.
     /// A missing file, an empty file, or one holding only a torn
-    /// header (a crash between creation and the header flush) becomes
-    /// a fresh cache — the cache is advisory and must never block a
-    /// run — while a file in some other format is rejected.
+    /// header becomes a fresh cache, while a file in some other format
+    /// is rejected.
     pub fn open(path: &Path) -> Result<Self> {
         match File::open(path) {
             Ok(mut f) => {
                 let mut text = String::new();
                 f.read_to_string(&mut text)
                     .map_err(|e| Error::Io(format!("read {path:?}: {e}")))?;
-                if let Some(snapshot) = parse_snapshot(&text, path)? {
+                if let Some((snapshot, _skipped)) = parse_snapshot(&text, path)? {
                     let file = OpenOptions::new()
                         .append(true)
                         .open(path)
@@ -122,6 +211,7 @@ impl EvalCache {
                     return Ok(EvalCache {
                         snapshot,
                         writer: Mutex::new(BufWriter::new(file)),
+                        path: path.to_path_buf(),
                     });
                 }
                 // Empty or torn header: fall through and recreate
@@ -132,12 +222,13 @@ impl EvalCache {
         }
         let file = File::create(path).map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
         let mut out = BufWriter::new(file);
-        out.write_all(format!("{{\"c2cache\":{CACHE_VERSION}}}\n").as_bytes())
+        out.write_all(format!("{}\n", header_line()).as_bytes())
             .and_then(|()| out.flush())
-            .map_err(|e| Error::Io(format!("cache write: {e}")))?;
+            .map_err(|e| Error::Io(format!("write {path:?}: {e}")))?;
         Ok(EvalCache {
             snapshot: HashMap::new(),
             writer: Mutex::new(out),
+            path: path.to_path_buf(),
         })
     }
 
@@ -160,31 +251,29 @@ impl EvalCache {
     /// harmless (the evaluation is deterministic, so the values agree;
     /// the loader keeps the first).
     pub fn store(&self, key: u64, entry: CachedEval) -> Result<()> {
-        let line = format!(
-            "{{\"key\":\"{key:016x}\",\"attempts\":{},\"time\":{:?}}}\n",
-            entry.attempts, entry.time
-        );
+        let line = format!("{}\n", entry_line(key, &entry));
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         w.write_all(line.as_bytes())
             .and_then(|()| w.flush())
-            .map_err(|e| Error::Io(format!("cache write: {e}")))
+            .map_err(|e| Error::Io(format!("write {:?}: {e}", self.path)))
     }
 }
 
-/// Parse a cache file's contents. `Ok(None)` means the file is an
-/// empty or torn-header remnant and should be reset to a fresh cache;
-/// `Err` means it is some other format and must not be touched.
-fn parse_snapshot(text: &str, path: &Path) -> Result<Option<HashMap<u64, CachedEval>>> {
+/// Parse a cache file's contents into (entries, skipped-line count).
+/// `Ok(None)` means the file is an empty or torn-header remnant and
+/// should be treated as a fresh cache; `Err` means it is some other
+/// format and must not be touched.
+#[allow(clippy::type_complexity)]
+fn parse_snapshot(text: &str, path: &Path) -> Result<Option<(HashMap<u64, CachedEval>, usize)>> {
     let mut lines = text.split('\n').filter(|l| !l.trim().is_empty());
     let Some(header) = lines.next() else {
         return Ok(None); // crash before the header flushed
     };
-    let expected = format!("{{\"c2cache\":{CACHE_VERSION}}}");
-    if header.trim() != expected {
+    if header.trim() != header_line() {
         // A header torn mid-write is a strict prefix of the expected
         // header with nothing after it (entries can only follow a
         // complete header). Anything else is a foreign file.
-        if expected.starts_with(header.trim()) && lines.next().is_none() {
+        if header_line().starts_with(header.trim()) && lines.next().is_none() {
             return Ok(None);
         }
         return Err(Error::Journal(format!(
@@ -192,15 +281,17 @@ fn parse_snapshot(text: &str, path: &Path) -> Result<Option<HashMap<u64, CachedE
         )));
     }
     let mut map = HashMap::new();
+    let mut skipped = 0usize;
     for line in lines {
         // Advisory store: a torn or malformed entry loses one
-        // memoized result, nothing else.
+        // memoized result, nothing else — later entries still load.
         let Some(entry) = parse_entry(line) else {
+            skipped += 1;
             continue;
         };
         map.entry(entry.0).or_insert(entry.1);
     }
-    Ok(Some(map))
+    Ok(Some((map, skipped)))
 }
 
 /// Parse one `{"key":"<hex16>","attempts":N,"time":T}` line.
@@ -220,6 +311,7 @@ fn parse_entry(line: &str) -> Option<(u64, CachedEval)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::DISK;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("c2runner-cache-tests");
@@ -273,6 +365,101 @@ mod tests {
                 attempts: 1,
                 time: 5.0
             })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_record_mid_file_is_skipped_and_counted_not_fatal() {
+        // A torn record does not have to be the final line: a crash of
+        // an older engine plus a later append, or a disk fault, can
+        // leave garbage mid-file. Later well-formed entries must still
+        // load, and the skip must be observable.
+        let path = tmp("torn-mid.jsonl");
+        std::fs::write(
+            &path,
+            "{\"c2cache\":1}\n\
+             {\"key\":\"0000000000000001\",\"attempts\":1,\"time\":5.0}\n\
+             {\"key\":\"00000000000\n\
+             garbage, not json\n\
+             {\"key\":\"0000000000000002\",\"attempts\":3,\"time\":6.5}\n",
+        )
+        .unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.skipped, 2);
+        assert_eq!(loaded.snapshot.len(), 2);
+        assert_eq!(
+            loaded.snapshot.get(&2),
+            Some(&CachedEval {
+                attempts: 3,
+                time: 6.5
+            }),
+            "entries after the torn line still load"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_is_read_only_and_tolerates_missing_and_torn_header() {
+        let path = tmp("load-missing.jsonl");
+        let loaded = load(&DISK, &path).unwrap();
+        assert!(loaded.snapshot.is_empty());
+        assert!(!path.exists(), "load must not create the file");
+        std::fs::write(&path, "{\"c2cach").unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert!(loaded.snapshot.is_empty());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"c2cach",
+            "load must not repair the file either"
+        );
+        std::fs::write(&path, "not a cache\n").unwrap();
+        assert!(matches!(load(&DISK, &path), Err(Error::Journal(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn publish_writes_sorted_entries_and_replaces_atomically() {
+        let path = tmp("publish.jsonl");
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            0xBEEF,
+            CachedEval {
+                attempts: 2,
+                time: 7.0,
+            },
+        );
+        entries.insert(
+            0x0001,
+            CachedEval {
+                attempts: 1,
+                time: 5.0,
+            },
+        );
+        publish(&DISK, false, &path, &entries).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"c2cache\":1}\n\
+             {\"key\":\"0000000000000001\",\"attempts\":1,\"time\":5.0}\n\
+             {\"key\":\"000000000000beef\",\"attempts\":2,\"time\":7.0}\n",
+            "publication is sorted by key: a pure function of the set"
+        );
+        // Republishing a superset replaces the file wholesale.
+        entries.insert(
+            0x0002,
+            CachedEval {
+                attempts: 1,
+                time: 6.0,
+            },
+        );
+        publish(&DISK, true, &path, &entries).unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.snapshot.len(), 3);
+        assert_eq!(loaded.skipped, 0);
+        assert!(
+            !path.with_extension("jsonl.tmp").exists(),
+            "the temp file is consumed by the rename"
         );
         std::fs::remove_file(&path).ok();
     }

@@ -15,29 +15,64 @@
 //!   failures trip it open and subsequent jobs are short-circuited to
 //!   calibrated analytic backfill instead of queueing up behind a sick
 //!   backend, with half-open probes deciding when to trust it again;
+//! * an oracle that **panics** is isolated (`catch_unwind`): the job is
+//!   quarantined — terminated immediately, never re-queued — the panic
+//!   is charged to the breaker, the worker's oracle is rebuilt, and the
+//!   sweep degrades to analytic backfill instead of dying;
 //! * every terminal outcome is appended to a JSONL **journal** and
-//!   flushed immediately, so a killed run resumes idempotently: on
-//!   `resume`, journaled jobs are not re-run, the breaker is replayed
-//!   to the state the interrupted run left it in, and the merged sweep
-//!   is bit-identical to an uninterrupted one (all fault injection is
-//!   keyed to stable job identities, never to call order);
+//!   flushed immediately (fsync per the [`SyncPolicy`]), with periodic
+//!   per-shard breaker **checkpoints** so resume cost stops growing
+//!   with sweep length; a killed run resumes idempotently — a torn
+//!   journal tail is truncated away before appending, journaled jobs
+//!   are not re-run, the breaker is restored to the state the
+//!   interrupted run left it in, and the merged sweep is bit-identical
+//!   to an uninterrupted one (all fault injection is keyed to stable
+//!   job identities, never to call order);
+//! * all storage I/O flows through the [`Storage`] trait, so a
+//!   [`ChaosPlan`] can inject torn writes, short writes, `ENOSPC`, and
+//!   crash-at-Nth-write underneath the engine — the crash-matrix
+//!   harness proves resume correctness at every write the engine
+//!   performs;
 //! * shutdown is graceful — the queue drains, the journal is flushed,
 //!   and a [`RunReport`] accounts for every job:
 //!   `attempted == succeeded + skipped + backfilled`.
+//!
+//! ## Resume bit-identity (DESIGN.md §10–§11)
+//!
+//! The sharded engine splits every job into a pure **decision**
+//! ([`decide_sharded_job`], which runs the oracle against a *clone* of
+//! the shard breaker and emits nothing) and a deterministic **emission**
+//! ([`emit_job_events`], which drives the real breaker and emits the
+//! canonical event/metric sequence for a terminal record). Live jobs
+//! run both halves; resumed jobs re-run only the emission half from
+//! their journal record. Metrics and traces of a resumed run are
+//! therefore identical to the uninterrupted run's *by construction* —
+//! the same function produced them from the same records.
+//!
+//! Operational metrics that legitimately differ between a clean run
+//! and a crash/resume run (checkpoints written, tails truncated,
+//! records replayed, caches republished — see [`c2_obs::names`]) are
+//! routed to a separate *ops* sink and stay out of the bit-compared
+//! artifacts.
 
 use crate::backoff::BackoffPolicy;
 use crate::breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker};
-use crate::cache::{cache_key, CachedEval, EvalCache};
+use crate::cache::{self, cache_key, CachedEval};
+use crate::chaos::{ChaosPlan, ChaosStorage};
 use crate::journal::{
-    self, error_message, plan_fingerprint, JobRecord, JournalHeader, JournalWriter,
+    self, error_message, plan_fingerprint, Checkpoint, JobRecord, JournalHeader, JournalWriter,
+    SyncPolicy,
 };
 use crate::shard::{partition, shard_of, BufferSink};
+use crate::storage::{DiskStorage, Storage};
 use crate::{Error, Result};
 use c2_bound::aps::{classify_oracle_result, Aps, ApsOutcome, ApsPlan, PointOutcome};
 use c2_bound::dse::Oracle;
 use c2_bound::ResiliencePolicy;
-use c2_obs::{MetricsSink, NullSink};
-use std::collections::{HashMap, VecDeque};
+use c2_obs::{names, MetricsSink, NullSink};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -90,6 +125,18 @@ pub struct RunConfig {
     pub breaker: BreakerPolicy,
     /// Backfill dead points with calibrated analytic estimates.
     pub analytic_fallback: bool,
+    /// When journal (and cache-publish) bytes are fsynced to the
+    /// device. The default, [`SyncPolicy::OnCheckpoint`], syncs at
+    /// checkpoint lines and before atomic renames.
+    pub sync: SyncPolicy,
+    /// Write a per-shard breaker checkpoint into the journal every
+    /// this many appended records (0 disables checkpointing). Only the
+    /// sharded engine checkpoints; checkpoints bound how many records
+    /// the fast resume path must replay.
+    pub checkpoint_every: usize,
+    /// Deterministic storage-fault injection plan for the crash/chaos
+    /// harness; `None` (or an all-`None` plan) runs on plain disk.
+    pub chaos: Option<ChaosPlan>,
     /// Fingerprint of the scenario this run executes, mixed into the
     /// journal header so `--resume` is scenario-bound; `None` (the
     /// scenario-less positional path) keeps the bare plan fingerprint
@@ -115,6 +162,9 @@ impl Default for RunConfig {
             backoff: BackoffPolicy::default(),
             breaker: BreakerPolicy::default(),
             analytic_fallback: true,
+            sync: SyncPolicy::default(),
+            checkpoint_every: 64,
+            chaos: None,
             scenario_fingerprint: None,
             abort_after: None,
         }
@@ -177,6 +227,20 @@ impl RunConfig {
                 )?,
             },
             analytic_fallback: spec.analytic_fallback,
+            sync: SyncPolicy::parse(&spec.sync).ok_or(Error::InvalidConfig(
+                "runner.sync must be one of never|on-checkpoint|always",
+            ))?,
+            checkpoint_every: narrow(
+                spec.checkpoint_every,
+                "checkpoint_every exceeds the platform word size",
+            )?,
+            chaos: spec.chaos.as_ref().map(|c| ChaosPlan {
+                crash_at_write: c.crash_at_write,
+                torn_bytes: c.torn_bytes,
+                enospc_at_write: c.enospc_at_write,
+                short_write_at: c.short_write_at,
+                seed: c.seed,
+            }),
             scenario_fingerprint: None,
             abort_after: None,
         };
@@ -211,6 +275,9 @@ impl RunConfig {
             return Err(Error::InvalidConfig(
                 "the evaluation cache requires the sharded engine (set threads >= 1)",
             ));
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
         }
         self.backoff.validate()?;
         self.breaker.validate()
@@ -249,6 +316,10 @@ pub struct RunReport {
     pub timeouts: usize,
     /// Jobs denied their oracle by an open circuit breaker.
     pub short_circuited: usize,
+    /// Jobs whose oracle panicked and were quarantined: terminated
+    /// without retries, isolated from the pool, degraded to analytic
+    /// backfill.
+    pub quarantined: usize,
     /// Times the circuit breaker tripped open.
     pub breaker_trips: usize,
     /// Jobs satisfied from the content-addressed evaluation cache
@@ -309,6 +380,20 @@ struct Terminal {
     short_circuited: bool,
     timeouts: usize,
     cached: bool,
+    quarantined: bool,
+}
+
+/// Reduce a `catch_unwind` payload to the human-readable panic message
+/// (the `&str`/`String` payloads `panic!` produces; anything exotic
+/// degrades to a fixed marker so the journal record stays meaningful).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 struct EngineState {
@@ -333,6 +418,7 @@ struct Shared<'a> {
     plan: &'a ApsPlan,
     config: &'a RunConfig,
     sink: &'a dyn MetricsSink,
+    ops: &'a dyn MetricsSink,
 }
 
 impl Shared<'_> {
@@ -396,6 +482,7 @@ fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal)
                 .map_err(error_message),
             short_circuited: terminal.short_circuited,
             cached: terminal.cached,
+            quarantined: terminal.quarantined,
         };
         match journal.record(&record) {
             Ok(()) => {
@@ -407,22 +494,33 @@ fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal)
             Err(e) => {
                 // A dead journal means resumability is already lost; stop
                 // the run instead of silently continuing unjournaled.
+                shared
+                    .ops
+                    .counter_add(names::ENGINE_STORAGE_FAULTS_TOTAL, 1);
+                shared.ops.event(
+                    "engine",
+                    "storage.fault",
+                    &[
+                        ("op", "journal.append".into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
                 st.journal_error = Some(e);
                 st.aborted = true;
             }
         }
     }
-    shared.sink.event(
-        "engine",
-        "job.terminal",
-        &[
-            ("seq", seq.into()),
-            ("attempts", terminal.outcome.attempts.into()),
-            ("timeouts", terminal.timeouts.into()),
-            ("ok", terminal.outcome.result.is_ok().into()),
-            ("short_circuited", terminal.short_circuited.into()),
-        ],
-    );
+    let mut fields: Vec<(&str, c2_obs::FieldValue)> = vec![
+        ("seq", seq.into()),
+        ("attempts", terminal.outcome.attempts.into()),
+        ("timeouts", terminal.timeouts.into()),
+        ("ok", terminal.outcome.result.is_ok().into()),
+        ("short_circuited", terminal.short_circuited.into()),
+    ];
+    if terminal.quarantined {
+        fields.push(("quarantined", true.into()));
+    }
+    shared.sink.event("engine", "job.terminal", &fields);
     st.terminals[seq] = Some(terminal);
     st.generations[seq] += 1; // invalidate any stale in-flight attempt
     st.pending -= 1;
@@ -440,8 +538,13 @@ fn finish(shared: &Shared, st: &mut EngineState, seq: usize, terminal: Terminal)
     shared.done_cv.notify_all();
 }
 
-/// Worker thread: pop admitted attempts and run them.
-fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
+/// Worker thread: pop admitted attempts and run them. Each worker owns
+/// one oracle built by `make_oracle`; an oracle that panics is
+/// discarded and rebuilt (whatever internal state it held is suspect),
+/// and the panicking job is quarantined — terminated immediately with
+/// no retries and never re-queued.
+fn worker_loop<O: Oracle, B: Fn() -> O>(shared: &Shared, make_oracle: &B) {
+    let mut oracle = make_oracle();
     loop {
         // --- pop + breaker admission (one critical section) ---------
         let (task, generation) = {
@@ -487,6 +590,7 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                                     short_circuited: true,
                                     timeouts,
                                     cached: false,
+                                    quarantined: false,
                                 },
                             );
                             continue;
@@ -523,7 +627,25 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
             );
         }
         let point = &shared.plan.jobs[task.seq].point;
-        let result = classify_oracle_result(oracle.evaluate(task.seq as u64, point));
+        let evaluated = catch_unwind(AssertUnwindSafe(|| {
+            classify_oracle_result(oracle.evaluate(task.seq as u64, point))
+        }));
+        let (result, quarantined) = match evaluated {
+            Ok(r) => (r, false),
+            Err(payload) => {
+                // Panic isolation: the oracle's internal state is
+                // suspect after an unwind, so rebuild it before the
+                // worker takes another job.
+                oracle = make_oracle();
+                (
+                    Err(c2_bound::Error::Simulation(format!(
+                        "oracle panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                    true,
+                )
+            }
+        };
 
         // --- report -------------------------------------------------
         let mut st = shared.lock();
@@ -563,13 +685,16 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                         short_circuited: false,
                         timeouts,
                         cached: false,
+                        quarantined: false,
                     },
                 );
             }
             Err(e) => {
                 st.breaker.on_failure();
                 note_breaker(shared, &mut st);
-                let will_retry = task.attempt < shared.config.max_attempts;
+                // A quarantined job never retries: its oracle panicked,
+                // and re-running the same stable key would panic again.
+                let will_retry = !quarantined && task.attempt < shared.config.max_attempts;
                 shared.sink.counter_add("engine_attempt_failures_total", 1);
                 shared.sink.event(
                     "engine",
@@ -606,6 +731,12 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                     });
                     shared.work_cv.notify_one();
                 } else {
+                    if quarantined {
+                        shared.sink.counter_add(names::ENGINE_QUARANTINED_TOTAL, 1);
+                        shared
+                            .sink
+                            .event("engine", "job.quarantined", &[("seq", task.seq.into())]);
+                    }
                     let timeouts = st.timeouts_per_job[task.seq];
                     finish(
                         shared,
@@ -619,6 +750,7 @@ fn worker_loop<O: Oracle>(shared: &Shared, mut oracle: O) {
                             short_circuited: false,
                             timeouts,
                             cached: false,
+                            quarantined,
                         },
                     );
                 }
@@ -700,6 +832,7 @@ fn watchdog_loop(shared: &Shared) {
                             short_circuited: false,
                             timeouts,
                             cached: false,
+                            quarantined: false,
                         },
                     );
                 }
@@ -737,6 +870,19 @@ impl SweepRunner {
         &self.config
     }
 
+    /// The storage stack this run persists through: plain disk, or
+    /// disk wrapped in a [`ChaosStorage`] when a chaos plan is armed.
+    /// Built fresh per run so the chaos write counter starts at zero.
+    fn storage(&self) -> Box<dyn Storage> {
+        match &self.config.chaos {
+            Some(plan) if !plan.is_none() => Box::new(
+                ChaosStorage::new(Box::new(DiskStorage), *plan)
+                    .expect("chaos plan validated by RunConfig::validate"),
+            ),
+            _ => Box::new(DiskStorage),
+        }
+    }
+
     /// Run the refinement stage of `aps` on the supervised pool.
     ///
     /// `make_oracle` constructs one oracle per worker thread (oracles
@@ -758,7 +904,21 @@ impl SweepRunner {
         O: Oracle,
         B: Fn() -> O + Sync,
     {
-        self.run_aps_observed(aps, make_oracle, journal_path, resume, &NullSink)
+        if self.config.threads > 0 {
+            // The unobserved path resumes through breaker checkpoints
+            // (restore + tail replay) instead of reconstructing the
+            // full event stream nobody is listening to.
+            return self.run_sharded(
+                aps,
+                make_oracle,
+                journal_path,
+                resume,
+                &NullSink,
+                &NullSink,
+                false,
+            );
+        }
+        self.run_legacy(aps, make_oracle, journal_path, resume, &NullSink, &NullSink)
     }
 
     /// [`SweepRunner::run_aps`] with the whole run instrumented: job
@@ -766,11 +926,13 @@ impl SweepRunner {
     /// journal appends/replays and the analysis/assembly stages all
     /// report to `sink` (scopes `engine`, `solver`, `aps`).
     ///
-    /// Determinism contract (DESIGN.md §7): with `workers: 1` the
-    /// captured metrics and event trace are byte-identical across runs
-    /// of the same seeded sweep. With more workers the counters still
-    /// add up, but event interleaving (and therefore ticks and breaker
-    /// trajectories) follows the thread schedule.
+    /// Determinism contract (DESIGN.md §7/§10): with `workers: 1` (or
+    /// any sharded `threads` count) the captured metrics and event
+    /// trace are byte-identical across runs of the same seeded sweep —
+    /// including runs that crashed and resumed, whose pre-crash events
+    /// are reconstructed from the journal. Operational recovery
+    /// metrics are discarded here; use [`SweepRunner::run_aps_full`]
+    /// to capture them.
     pub fn run_aps_observed<O, B>(
         &self,
         aps: &Aps,
@@ -783,9 +945,50 @@ impl SweepRunner {
         O: Oracle,
         B: Fn() -> O + Sync,
     {
+        self.run_aps_full(aps, make_oracle, journal_path, resume, sink, &NullSink)
+    }
+
+    /// [`SweepRunner::run_aps_observed`] with a second, **operational**
+    /// sink. `sink` receives the deterministic, resume-invariant run
+    /// artifacts; `ops` receives recovery and durability telemetry
+    /// (checkpoints written, torn tails truncated, records replayed,
+    /// cache publications, storage faults — the [`c2_obs::names`]
+    /// constants) that legitimately differs between a clean run and a
+    /// crash/resume run and must stay out of bit-compared output.
+    pub fn run_aps_full<O, B>(
+        &self,
+        aps: &Aps,
+        make_oracle: B,
+        journal_path: Option<&Path>,
+        resume: bool,
+        sink: &dyn MetricsSink,
+        ops: &dyn MetricsSink,
+    ) -> Result<RunSummary>
+    where
+        O: Oracle,
+        B: Fn() -> O + Sync,
+    {
         if self.config.threads > 0 {
-            return self.run_sharded(aps, make_oracle, journal_path, resume, sink);
+            return self.run_sharded(aps, make_oracle, journal_path, resume, sink, ops, true);
         }
+        self.run_legacy(aps, make_oracle, journal_path, resume, sink, ops)
+    }
+
+    /// The legacy shared-queue pool (`threads == 0`).
+    fn run_legacy<O, B>(
+        &self,
+        aps: &Aps,
+        make_oracle: B,
+        journal_path: Option<&Path>,
+        resume: bool,
+        sink: &dyn MetricsSink,
+        ops: &dyn MetricsSink,
+    ) -> Result<RunSummary>
+    where
+        O: Oracle,
+        B: Fn() -> O + Sync,
+    {
+        let storage = self.storage();
         let plan = aps.plan_observed(sink)?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
@@ -802,7 +1005,7 @@ impl SweepRunner {
             None => None,
             Some(path) => {
                 if resume && path.exists() {
-                    let contents = journal::load(path)?;
+                    let contents = journal::load_with(storage.as_ref(), path)?;
                     if contents.header != header {
                         return Err(Error::Journal(format!(
                             "journal {path:?} belongs to a different sweep \
@@ -812,6 +1015,17 @@ impl SweepRunner {
                             header.jobs,
                             header.fingerprint
                         )));
+                    }
+                    if contents.truncated_tail {
+                        // Cut the torn tail off *before* appending so a
+                        // second crash cannot concatenate onto it.
+                        storage.truncate(path, contents.valid_len as u64)?;
+                        ops.counter_add(names::ENGINE_JOURNAL_TRUNCATION_REPAIRS_TOTAL, 1);
+                        ops.event(
+                            "engine",
+                            "journal.truncated",
+                            &[("valid_len", contents.valid_len.into())],
+                        );
                     }
                     for record in &contents.records {
                         let slot = terminals.get_mut(record.seq).ok_or_else(|| {
@@ -829,6 +1043,7 @@ impl SweepRunner {
                             short_circuited: record.short_circuited,
                             timeouts: record.timeouts,
                             cached: record.cached,
+                            quarantined: record.quarantined,
                         });
                         resumed += 1;
                     }
@@ -841,9 +1056,18 @@ impl SweepRunner {
                             ("breaker_state", breaker.state().as_str().into()),
                         ],
                     );
-                    Some(JournalWriter::append(path)?)
+                    Some(JournalWriter::append_with(
+                        storage.as_ref(),
+                        self.config.sync,
+                        path,
+                    )?)
                 } else {
-                    Some(JournalWriter::create(path, &header)?)
+                    Some(JournalWriter::create_with(
+                        storage.as_ref(),
+                        self.config.sync,
+                        path,
+                        &header,
+                    )?)
                 }
             }
         };
@@ -884,6 +1108,7 @@ impl SweepRunner {
             plan: &plan,
             config: &self.config,
             sink,
+            ops,
         };
 
         if pending > 0 {
@@ -891,7 +1116,7 @@ impl SweepRunner {
                 for _ in 0..self.config.workers {
                     let shared = &shared;
                     let make_oracle = &make_oracle;
-                    scope.spawn(move || worker_loop(shared, make_oracle()));
+                    scope.spawn(move || worker_loop(shared, make_oracle));
                 }
                 if self.config.deadline_ms > 0 {
                     let shared = &shared;
@@ -929,7 +1154,7 @@ impl SweepRunner {
         }
 
         let trips = st.breaker.trips();
-        self.assemble_and_report(aps, plan, st.terminals, resumed, trips, sink)
+        self.assemble_and_report(aps, plan, st.terminals, resumed, trips, sink, false)
     }
 }
 
@@ -969,6 +1194,19 @@ fn record_of(seq: usize, t: &Terminal) -> JobRecord {
         result: t.outcome.result.as_ref().map(|v| *v).map_err(error_message),
         short_circuited: t.short_circuited,
         cached: t.cached,
+        quarantined: t.quarantined,
+    }
+}
+
+/// The terminal outcome a journal record canonically encodes (the
+/// other direction of [`record_of`]).
+fn terminal_of(record: &JobRecord) -> Terminal {
+    Terminal {
+        outcome: record.point_outcome(),
+        short_circuited: record.short_circuited,
+        timeouts: record.timeouts,
+        cached: record.cached,
+        quarantined: record.quarantined,
     }
 }
 
@@ -983,6 +1221,16 @@ struct ShardCell {
     breaker: CircuitBreaker,
     buffer: BufferSink,
     results: Vec<(usize, Terminal)>,
+    /// Records of this shard present in the journal (resumed ones
+    /// counted during setup, live ones as they append) — the
+    /// checkpoint cadence counter, so resume keeps the cadence a
+    /// clean run had.
+    appended: usize,
+    /// Within-run memoization, per shard (not per worker: a
+    /// worker-wide store's contents would depend on which shards the
+    /// worker happened to run first). Re-seeded from resumed records
+    /// so a resumed run hits exactly where the clean run hit.
+    local_store: HashMap<u64, CachedEval>,
 }
 
 /// Whether a cached entry's attempt history can be replayed through
@@ -1008,108 +1256,217 @@ fn replayable(breaker: &CircuitBreaker, attempts: usize) -> bool {
     true
 }
 
-/// Execute one job to its terminal outcome inside a shard. Pure
-/// function of (config, plan, cache snapshot, shard state) — threads
-/// never influence it, which is the heart of the determinism argument.
+/// Decide one job's terminal outcome inside a shard, **emitting
+/// nothing**: the oracle runs against a *clone* of the shard breaker,
+/// so the real breaker and the sinks are untouched. The returned
+/// `bool` is the panic-poison flag: `true` means the oracle unwound
+/// and the worker must rebuild it before the next job.
+///
+/// [`emit_job_events`] later replays the decision's canonical record
+/// through the real breaker — the identical function that replays
+/// *resumed* records, which is what makes a resumed run's artifacts
+/// bit-identical to a clean run's by construction (DESIGN.md §10–§11).
 #[allow(clippy::too_many_arguments)]
-fn run_sharded_job<O: Oracle>(
+fn decide_sharded_job<O: Oracle>(
     config: &RunConfig,
     plan: &ApsPlan,
-    cache: Option<&EvalCache>,
+    cache_on: bool,
+    snapshot: &HashMap<u64, CachedEval>,
+    local_store: &HashMap<u64, CachedEval>,
     cache_identity: u64,
-    local_store: &mut HashMap<u64, CachedEval>,
-    cell: &mut ShardCell,
+    breaker: &CircuitBreaker,
     oracle: &mut O,
-    shard: usize,
     seq: usize,
-) -> Terminal {
+) -> (Terminal, bool) {
     let job = &plan.jobs[seq];
     let content = job.content_key();
     let ckey = cache_key(cache_identity, content);
+    let mut probe = breaker.clone();
     let mut attempt = 1usize;
     loop {
-        let admission = cell.breaker.admit();
-        note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
-        if admission == Admission::ShortCircuit {
-            cell.buffer.counter_add("engine_short_circuits_total", 1);
-            cell.buffer
-                .event("engine", "job.short_circuited", &[("seq", seq.into())]);
-            return Terminal {
-                outcome: PointOutcome {
-                    attempts: attempt - 1,
-                    result: Err(c2_bound::Error::Simulation(
-                        "circuit breaker open: oracle attempt not admitted".to_string(),
-                    )),
-                },
-                short_circuited: true,
-                timeouts: 0,
-                cached: false,
-            };
-        }
-        if attempt == 1 {
-            // Consult the cache: the start-of-run snapshot plus this
-            // shard's own stores (cross-shard stores are invisible by
-            // design — their timing is schedule-dependent). An entry
-            // whose attempt history no live run under this policy
-            // could produce — more attempts than allowed, or a replay
-            // the shard's breaker would refuse mid-way — is demoted to
-            // a miss and evaluated live.
-            let hit = cache
-                .and_then(|c| local_store.get(&ckey).copied().or_else(|| c.lookup(ckey)))
-                .filter(|h| {
-                    h.attempts <= config.max_attempts && replayable(&cell.breaker, h.attempts)
-                });
-            if let Some(hit) = hit {
-                // Replay the original computation's attempt history
-                // into the breaker (the admission above was attempt 1),
-                // so the shard's breaker walks the same trajectory as
-                // the run that populated the cache.
-                for i in 1..=hit.attempts {
-                    if i > 1 {
-                        let _ = cell.breaker.admit();
-                    }
-                    if i == hit.attempts {
-                        cell.breaker.on_success();
-                    } else {
-                        cell.breaker.on_failure();
-                    }
-                    note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
-                }
-                cell.buffer.counter_add("engine_cache_hits_total", 1);
-                cell.buffer.event(
-                    "engine",
-                    "cache.hit",
-                    &[
-                        ("seq", seq.into()),
-                        ("attempts", hit.attempts.into()),
-                        ("time", hit.time.into()),
-                    ],
-                );
-                return Terminal {
+        if probe.admit() == Admission::ShortCircuit {
+            return (
+                Terminal {
                     outcome: PointOutcome {
-                        attempts: hit.attempts,
-                        result: Ok(hit.time),
+                        attempts: attempt - 1,
+                        result: Err(c2_bound::Error::Simulation(
+                            "circuit breaker open: oracle attempt not admitted".to_string(),
+                        )),
                     },
-                    short_circuited: false,
+                    short_circuited: true,
                     timeouts: 0,
-                    cached: true,
-                };
-            } else if cache.is_some() {
-                cell.buffer.counter_add("engine_cache_misses_total", 1);
+                    cached: false,
+                    quarantined: false,
+                },
+                false,
+            );
+        }
+        if attempt == 1 && cache_on {
+            // Consult the cache: the start-of-run snapshot plus this
+            // shard's own within-run stores (cross-shard stores are
+            // invisible by design — their timing is
+            // schedule-dependent). An entry whose attempt history no
+            // live run under this policy could produce — more attempts
+            // than allowed, or a replay the shard's breaker would
+            // refuse mid-way — is demoted to a miss and evaluated live.
+            let hit = local_store
+                .get(&ckey)
+                .copied()
+                .or_else(|| snapshot.get(&ckey).copied())
+                .filter(|h| h.attempts <= config.max_attempts && replayable(&probe, h.attempts));
+            if let Some(hit) = hit {
+                return (
+                    Terminal {
+                        outcome: PointOutcome {
+                            attempts: hit.attempts,
+                            result: Ok(hit.time),
+                        },
+                        short_circuited: false,
+                        timeouts: 0,
+                        cached: true,
+                        quarantined: false,
+                    },
+                    false,
+                );
             }
+        }
+        if attempt >= 2 {
+            std::thread::sleep(config.backoff.delay(content, attempt));
+        }
+        let evaluated = catch_unwind(AssertUnwindSafe(|| {
+            classify_oracle_result(oracle.evaluate(seq as u64, &job.point))
+        }));
+        match evaluated {
+            Err(payload) => {
+                // Panic isolation: quarantine the job at this attempt
+                // (no retries — the panic is keyed to the job, so
+                // re-running it would panic again) and tell the caller
+                // to rebuild the poisoned oracle.
+                return (
+                    Terminal {
+                        outcome: PointOutcome {
+                            attempts: attempt,
+                            result: Err(c2_bound::Error::Simulation(format!(
+                                "oracle panicked: {}",
+                                panic_message(payload.as_ref())
+                            ))),
+                        },
+                        short_circuited: false,
+                        timeouts: 0,
+                        cached: false,
+                        quarantined: true,
+                    },
+                    true,
+                );
+            }
+            Ok(Ok(t)) => {
+                return (
+                    Terminal {
+                        outcome: PointOutcome {
+                            attempts: attempt,
+                            result: Ok(t),
+                        },
+                        short_circuited: false,
+                        timeouts: 0,
+                        cached: false,
+                        quarantined: false,
+                    },
+                    false,
+                );
+            }
+            Ok(Err(e)) => {
+                probe.on_failure();
+                if attempt < config.max_attempts {
+                    attempt += 1;
+                } else {
+                    return (
+                        Terminal {
+                            outcome: PointOutcome {
+                                attempts: attempt,
+                                result: Err(e),
+                            },
+                            short_circuited: false,
+                            timeouts: 0,
+                            cached: false,
+                            quarantined: false,
+                        },
+                        false,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Replay one canonical job record through the shard's **real**
+/// breaker, emitting the full event/metric sequence into the shard
+/// buffer. This single function produces the artifacts for both live
+/// jobs (on the record [`decide_sharded_job`] just produced) and
+/// resumed jobs (on the record loaded from the journal), so the two
+/// are bit-identical by construction.
+///
+/// Record shapes are unambiguous: a cached record replays its original
+/// attempt history; a non-cached `Ok` record is `attempts-1` failures
+/// then a success; a non-quarantined `Err` record is `max_attempts`
+/// failures; a quarantined record ends at whichever attempt panicked;
+/// a short-circuited record is all will-retry failures plus the
+/// refused admission.
+fn emit_job_events(
+    config: &RunConfig,
+    plan: &ApsPlan,
+    cache_on: bool,
+    record: &JobRecord,
+    cell: &mut ShardCell,
+    shard: usize,
+) {
+    let seq = record.seq;
+    let content = plan.jobs[seq].content_key();
+    if record.cached {
+        let _ = cell.breaker.admit();
+        note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+        // Replay the original computation's attempt history into the
+        // breaker (the admission above was attempt 1), so the shard's
+        // breaker walks the same trajectory as the run that populated
+        // the cache.
+        for i in 1..=record.attempts {
+            if i > 1 {
+                let _ = cell.breaker.admit();
+            }
+            if i == record.attempts {
+                cell.breaker.on_success();
+            } else {
+                cell.breaker.on_failure();
+            }
+            note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+        }
+        let time = *record.result.as_ref().expect("cached records are Ok");
+        cell.buffer.counter_add("engine_cache_hits_total", 1);
+        cell.buffer.event(
+            "engine",
+            "cache.hit",
+            &[
+                ("seq", seq.into()),
+                ("attempts", record.attempts.into()),
+                ("time", time.into()),
+            ],
+        );
+        return;
+    }
+    for i in 1..=record.attempts {
+        let _ = cell.breaker.admit();
+        note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+        if i == 1 && cache_on {
+            cell.buffer.counter_add("engine_cache_misses_total", 1);
         }
         cell.buffer.counter_add("engine_attempts_total", 1);
         cell.buffer.event(
             "engine",
             "attempt.started",
-            &[("seq", seq.into()), ("attempt", attempt.into())],
+            &[("seq", seq.into()), ("attempt", i.into())],
         );
-        if attempt >= 2 {
-            std::thread::sleep(config.backoff.delay(content, attempt));
-        }
-        let result = classify_oracle_result(oracle.evaluate(seq as u64, &job.point));
-        match result {
-            Ok(t) => {
+        let terminal_here = i == record.attempts && !record.short_circuited;
+        match (&record.result, terminal_here) {
+            (Ok(t), true) => {
                 cell.breaker.on_success();
                 note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
                 cell.buffer.counter_add("engine_attempt_successes_total", 1);
@@ -1118,82 +1475,159 @@ fn run_sharded_job<O: Oracle>(
                     "attempt.ok",
                     &[
                         ("seq", seq.into()),
-                        ("attempt", attempt.into()),
-                        ("time", t.into()),
+                        ("attempt", i.into()),
+                        ("time", (*t).into()),
                     ],
                 );
-                if let Some(c) = cache {
-                    let entry = CachedEval {
-                        attempts: attempt,
-                        time: t,
-                    };
-                    local_store.insert(ckey, entry);
-                    // The store lands before the journal record does:
-                    // a crash between the two is exactly the torn-tail
-                    // case the cache repairs on resume.
-                    match c.store(ckey, entry) {
-                        Ok(()) => cell.buffer.counter_add("engine_cache_stores_total", 1),
-                        Err(_) => cell.buffer.counter_add("engine_cache_errors_total", 1),
-                    }
-                }
-                return Terminal {
-                    outcome: PointOutcome {
-                        attempts: attempt,
-                        result: Ok(t),
-                    },
-                    short_circuited: false,
-                    timeouts: 0,
-                    cached: false,
-                };
             }
-            Err(e) => {
+            (Err(msg), true) => {
                 cell.breaker.on_failure();
                 note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
-                let will_retry = attempt < config.max_attempts;
                 cell.buffer.counter_add("engine_attempt_failures_total", 1);
                 cell.buffer.event(
                     "engine",
                     "attempt.failed",
                     &[
                         ("seq", seq.into()),
-                        ("attempt", attempt.into()),
-                        ("error", e.to_string().into()),
-                        ("will_retry", will_retry.into()),
+                        ("attempt", i.into()),
+                        ("error", msg.as_str().into()),
+                        ("will_retry", false.into()),
                     ],
                 );
-                if will_retry {
-                    let next = attempt + 1;
-                    let delay_ms = config.backoff.delay(content, next).as_millis() as u64;
-                    cell.buffer.counter_add("engine_retries_scheduled_total", 1);
-                    cell.buffer.observe(
-                        "engine_backoff_delay_ms",
-                        BACKOFF_DELAY_BOUNDS,
-                        delay_ms as f64,
-                    );
-                    cell.buffer.event(
-                        "engine",
-                        "retry.scheduled",
-                        &[
-                            ("seq", seq.into()),
-                            ("attempt", next.into()),
-                            ("delay_ms", delay_ms.into()),
-                        ],
-                    );
-                    attempt = next;
-                } else {
-                    return Terminal {
-                        outcome: PointOutcome {
-                            attempts: attempt,
-                            result: Err(e),
-                        },
-                        short_circuited: false,
-                        timeouts: 0,
-                        cached: false,
-                    };
+                if record.quarantined {
+                    cell.buffer.counter_add(names::ENGINE_QUARANTINED_TOTAL, 1);
+                    cell.buffer
+                        .event("engine", "job.quarantined", &[("seq", seq.into())]);
                 }
+            }
+            (_, false) => {
+                cell.breaker.on_failure();
+                note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+                cell.buffer.counter_add("engine_attempt_failures_total", 1);
+                cell.buffer.event(
+                    "engine",
+                    "attempt.failed",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempt", i.into()),
+                        ("will_retry", true.into()),
+                    ],
+                );
+                let next = i + 1;
+                let delay_ms = config.backoff.delay(content, next).as_millis() as u64;
+                cell.buffer.counter_add("engine_retries_scheduled_total", 1);
+                cell.buffer.observe(
+                    "engine_backoff_delay_ms",
+                    BACKOFF_DELAY_BOUNDS,
+                    delay_ms as f64,
+                );
+                cell.buffer.event(
+                    "engine",
+                    "retry.scheduled",
+                    &[
+                        ("seq", seq.into()),
+                        ("attempt", next.into()),
+                        ("delay_ms", delay_ms.into()),
+                    ],
+                );
             }
         }
     }
+    if record.short_circuited {
+        let _ = cell.breaker.admit();
+        note_breaker_sink(&cell.buffer, &mut cell.breaker, Some(shard));
+        cell.buffer.counter_add("engine_short_circuits_total", 1);
+        cell.buffer
+            .event("engine", "job.short_circuited", &[("seq", seq.into())]);
+    }
+}
+
+/// Emit the `job.terminal` trace line for one sharded terminal.
+fn emit_terminal_event(cell: &mut ShardCell, seq: usize, t: &Terminal) {
+    let mut fields: Vec<(&str, c2_obs::FieldValue)> = vec![
+        ("seq", seq.into()),
+        ("attempts", t.outcome.attempts.into()),
+        ("timeouts", t.timeouts.into()),
+        ("ok", t.outcome.result.is_ok().into()),
+        ("short_circuited", t.short_circuited.into()),
+        ("cached", t.cached.into()),
+    ];
+    if t.quarantined {
+        fields.push(("quarantined", true.into()));
+    }
+    cell.buffer.event("engine", "job.terminal", &fields);
+}
+
+/// Seed the shard's within-run memoization from a terminal. For live
+/// jobs this is the store the original engine performed inline; for
+/// resumed jobs it rebuilds the store the interrupted run had, so a
+/// resumed sweep hits the cache exactly where the clean sweep did.
+fn seed_local_store(
+    local_store: &mut HashMap<u64, CachedEval>,
+    plan: &ApsPlan,
+    cache_identity: u64,
+    seq: usize,
+    t: &Terminal,
+) {
+    if t.short_circuited {
+        return;
+    }
+    if let Ok(time) = t.outcome.result.as_ref() {
+        let ckey = cache_key(cache_identity, plan.jobs[seq].content_key());
+        local_store.insert(
+            ckey,
+            CachedEval {
+                attempts: t.outcome.attempts,
+                time: *time,
+            },
+        );
+    }
+}
+
+/// Restore per-shard breakers for the **fast** (unobserved) resume
+/// path: start each shard's breaker from its newest usable journal
+/// checkpoint and replay only the records appended after it —
+/// checkpoints exist precisely to bound this tail. Shards without a
+/// usable checkpoint replay their full record list. `records` must be
+/// sorted by `seq` (within a shard, append order *is* seq order, so
+/// `covered` counts a seq-ordered prefix).
+fn restore_shard_breakers(
+    policy: BreakerPolicy,
+    nshards: usize,
+    records: &[JobRecord],
+    checkpoints: &[Checkpoint],
+    ops: &dyn MetricsSink,
+) -> Result<Vec<CircuitBreaker>> {
+    let mut by_shard: Vec<Vec<&JobRecord>> = vec![Vec::new(); nshards];
+    for r in records {
+        by_shard[shard_of(r.seq, nshards)].push(r);
+    }
+    let mut breakers = Vec::with_capacity(nshards);
+    let mut tail_replayed = 0u64;
+    for (i, shard_records) in by_shard.iter().enumerate() {
+        // A checkpoint covering more records than the journal holds is
+        // stale (it outlived a repair that dropped records); ignore it.
+        let ckpt = checkpoints
+            .iter()
+            .filter(|c| c.shard == i && c.covered <= shard_records.len())
+            .max_by_key(|c| c.covered);
+        let (mut b, start) = match ckpt {
+            Some(c) => (
+                CircuitBreaker::from_snapshot(policy, c.snapshot)?,
+                c.covered,
+            ),
+            None => (CircuitBreaker::new(policy)?, 0),
+        };
+        for r in &shard_records[start..] {
+            replay_breaker(&mut b, r);
+            tail_replayed += 1;
+        }
+        // Replay reconstructs state the original run already traced.
+        let _ = b.take_transition();
+        breakers.push(b);
+    }
+    ops.counter_add(names::ENGINE_RESUME_TAIL_REPLAYED_TOTAL, tail_replayed);
+    Ok(breakers)
 }
 
 impl SweepRunner {
@@ -1210,6 +1644,15 @@ impl SweepRunner {
     /// execution. `deadline_ms` (wall-clock, inherently
     /// schedule-dependent) is not enforced here; `timeouts` is always
     /// zero in sharded journals.
+    ///
+    /// `reconstruct` selects how a resumed journal is replayed:
+    /// `true` (the observed path) re-emits every resumed record's full
+    /// event/metric sequence through [`emit_job_events`] so the run's
+    /// artifacts are bit-identical to an uninterrupted run's; `false`
+    /// (the unobserved path) skips the event work and restores breaker
+    /// state from checkpoints plus a bounded record tail
+    /// ([`restore_shard_breakers`]).
+    #[allow(clippy::too_many_arguments)]
     fn run_sharded<O, B>(
         &self,
         aps: &Aps,
@@ -1217,11 +1660,14 @@ impl SweepRunner {
         journal_path: Option<&Path>,
         resume: bool,
         sink: &dyn MetricsSink,
+        ops: &dyn MetricsSink,
+        reconstruct: bool,
     ) -> Result<RunSummary>
     where
         O: Oracle,
         B: Fn() -> O + Sync,
     {
+        let storage = self.storage();
         let plan = aps.plan_observed(sink)?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
@@ -1230,14 +1676,35 @@ impl SweepRunner {
                 self.config.scenario_fingerprint,
             ),
         };
-        let cache = match &self.config.cache_path {
-            None => None,
+        // Read-only cache snapshot, taken once at run start. The run
+        // publishes its merged cache atomically at completion; a crash
+        // anywhere leaves the cache file byte-identical to run start,
+        // so a resumed run loads exactly this snapshot again — which
+        // is what keeps the snapshot gauge (and every cache hit/miss)
+        // resume-invariant.
+        let snapshot: HashMap<u64, CachedEval> = match &self.config.cache_path {
+            None => HashMap::new(),
             Some(path) => {
-                let c = EvalCache::open(path)?;
-                sink.gauge_set("engine_cache_snapshot_entries", c.len() as f64);
-                Some(c)
+                let loaded = cache::load(storage.as_ref(), path)?;
+                if loaded.skipped > 0 {
+                    ops.counter_add(
+                        names::ENGINE_CACHE_RECOVERED_RECORDS_TOTAL,
+                        loaded.skipped as u64,
+                    );
+                    ops.event(
+                        "engine",
+                        "cache.recovered",
+                        &[("skipped", loaded.skipped.into())],
+                    );
+                }
+                sink.gauge_set(
+                    "engine_cache_snapshot_entries",
+                    loaded.snapshot.len() as f64,
+                );
+                loaded.snapshot
             }
         };
+        let cache_on = self.config.cache_path.is_some();
         // Cache addresses bind the same identity the journal header
         // pins (plan ⊕ scenario), further bound to the positional
         // path's assembled-scenario fingerprint — oracle results
@@ -1248,17 +1715,15 @@ impl SweepRunner {
             journal::bind_fingerprint(header.fingerprint, self.config.cache_fingerprint);
 
         let shards = partition(plan.jobs.len());
-        let mut breakers = Vec::with_capacity(shards.len());
-        for _ in 0..shards.len() {
-            breakers.push(CircuitBreaker::new(self.config.breaker)?);
-        }
         let mut terminals: Vec<Option<Terminal>> = vec![None; plan.jobs.len()];
         let mut resumed = 0usize;
+        let mut resumed_records: Vec<JobRecord> = Vec::new();
+        let mut resumed_checkpoints: Vec<Checkpoint> = Vec::new();
         let writer = match journal_path {
             None => None,
             Some(path) => {
                 if resume && path.exists() {
-                    let contents = journal::load(path)?;
+                    let contents = journal::load_with(storage.as_ref(), path)?;
                     if contents.header != header {
                         return Err(Error::Journal(format!(
                             "journal {path:?} belongs to a different sweep \
@@ -1269,11 +1734,20 @@ impl SweepRunner {
                             header.fingerprint
                         )));
                     }
+                    if contents.truncated_tail {
+                        // Cut the torn tail off *before* appending so a
+                        // second crash cannot concatenate onto it.
+                        storage.truncate(path, contents.valid_len as u64)?;
+                        ops.counter_add(names::ENGINE_JOURNAL_TRUNCATION_REPAIRS_TOTAL, 1);
+                        ops.event(
+                            "engine",
+                            "journal.truncated",
+                            &[("valid_len", contents.valid_len.into())],
+                        );
+                    }
                     // Deterministic replay: records sorted by seq, each
-                    // driven through its *own shard's* breaker (shard
-                    // membership is a pure function of seq, so replay
-                    // rebuilds exactly the per-shard trajectories the
-                    // interrupted run had).
+                    // later driven through its *own shard's* state
+                    // (shard membership is a pure function of seq).
                     let mut records = contents.records;
                     records.sort_by_key(|r| r.seq);
                     for record in &records {
@@ -1283,58 +1757,118 @@ impl SweepRunner {
                                 record.seq
                             ))
                         })?;
-                        let b = &mut breakers[shard_of(record.seq, shards.len())];
-                        replay_breaker(b, record);
-                        let _ = b.take_transition();
-                        *slot = Some(Terminal {
-                            outcome: record.point_outcome(),
-                            short_circuited: record.short_circuited,
-                            timeouts: record.timeouts,
-                            cached: record.cached,
-                        });
+                        *slot = Some(terminal_of(record));
                         resumed += 1;
                     }
-                    sink.counter_add("engine_journal_replayed_total", resumed as u64);
-                    sink.event(
+                    // Recovery telemetry goes to the ops sink: a clean
+                    // run replays nothing, and the main sink's
+                    // artifacts must not betray the crash history.
+                    ops.counter_add("engine_journal_replayed_total", resumed as u64);
+                    ops.event(
                         "engine",
                         "journal.replayed",
                         &[("records", resumed.into()), ("shards", shards.len().into())],
                     );
-                    Some(JournalWriter::append(path)?)
+                    resumed_records = records;
+                    resumed_checkpoints = contents.checkpoints;
+                    Some(JournalWriter::append_with(
+                        storage.as_ref(),
+                        self.config.sync,
+                        path,
+                    )?)
                 } else {
-                    Some(JournalWriter::create(path, &header)?)
+                    Some(JournalWriter::create_with(
+                        storage.as_ref(),
+                        self.config.sync,
+                        path,
+                        &header,
+                    )?)
                 }
             }
         };
 
-        let pending = terminals.iter().filter(|t| t.is_none()).count();
         sink.gauge_set("engine_plan_jobs", plan.jobs.len() as f64);
         sink.event(
             "engine",
             "run.start",
             &[
-                // Deliberately no `threads` field: the trace must be
-                // bit-identical for every thread count, so only
-                // schedule-invariant facts (the shard partition) are
-                // recorded here. The CLI echoes the thread count.
+                // Deliberately no `threads` field (the trace must be
+                // bit-identical for every thread count) and no
+                // pending/resumed counts (it must also be bit-identical
+                // across crash/resume histories): only
+                // schedule-invariant, history-invariant facts. The CLI
+                // echoes the thread count; resume telemetry lives on
+                // the ops sink.
                 ("jobs", plan.jobs.len().into()),
-                ("pending", pending.into()),
-                ("resumed", resumed.into()),
                 ("shards", shards.len().into()),
             ],
         );
 
+        // Per-shard breakers: the observed (reconstruct) path starts
+        // fresh and replays resumed records through the full emitter
+        // below; the fast path restores from checkpoints + tails.
+        let breakers: Vec<CircuitBreaker> = if !reconstruct && resumed > 0 {
+            restore_shard_breakers(
+                self.config.breaker,
+                shards.len(),
+                &resumed_records,
+                &resumed_checkpoints,
+                ops,
+            )?
+        } else {
+            let mut v = Vec::with_capacity(shards.len());
+            for _ in 0..shards.len() {
+                v.push(CircuitBreaker::new(self.config.breaker)?);
+            }
+            v
+        };
+
         let resumed_seqs: Vec<bool> = terminals.iter().map(|t| t.is_some()).collect();
-        let cells: Vec<Mutex<ShardCell>> = breakers
+        let mut cells_raw: Vec<ShardCell> = breakers
             .into_iter()
-            .map(|breaker| {
-                Mutex::new(ShardCell {
+            .enumerate()
+            .map(|(i, breaker)| {
+                let cell = ShardCell {
                     breaker,
                     buffer: BufferSink::new(),
                     results: Vec::new(),
-                })
+                    appended: 0,
+                    local_store: HashMap::new(),
+                };
+                // Emitted at construction (not by the worker) so it
+                // precedes the resumed-record events replayed into the
+                // buffer below.
+                cell.buffer.event(
+                    "engine",
+                    "shard.started",
+                    &[("shard", i.into()), ("jobs", shards[i].len().into())],
+                );
+                cell
             })
             .collect();
+
+        // Replay resumed records into their shards: the observed path
+        // re-emits each record's full artifact sequence; both paths
+        // advance the checkpoint cadence counter and re-seed the
+        // within-run cache memo the interrupted run had built.
+        for record in &resumed_records {
+            let si = shard_of(record.seq, shards.len());
+            let cell = &mut cells_raw[si];
+            let t = terminal_of(record);
+            if reconstruct {
+                emit_job_events(&self.config, &plan, cache_on, record, cell, si);
+                cell.buffer.counter_add("engine_journal_appends_total", 1);
+                cell.buffer
+                    .event("engine", "journal.append", &[("seq", record.seq.into())]);
+                emit_terminal_event(cell, record.seq, &t);
+            }
+            cell.appended += 1;
+            if cache_on {
+                seed_local_store(&mut cell.local_store, &plan, cache_identity, record.seq, &t);
+            }
+        }
+
+        let cells: Vec<Mutex<ShardCell>> = cells_raw.into_iter().map(Mutex::new).collect();
         let journal = Mutex::new(ShardJournal {
             writer,
             error: None,
@@ -1343,110 +1877,170 @@ impl SweepRunner {
         let terminals_this_run = AtomicUsize::new(0);
         let next_shard = AtomicUsize::new(0);
 
-        if pending > 0 {
-            let nthreads = self.config.threads.min(shards.len());
-            std::thread::scope(|scope| {
-                for _ in 0..nthreads {
-                    let shards = &shards;
-                    let cells = &cells;
-                    let resumed_seqs = &resumed_seqs;
-                    let plan = &plan;
-                    let cache = cache.as_ref();
-                    let journal = &journal;
-                    let abort = &abort;
-                    let terminals_this_run = &terminals_this_run;
-                    let next_shard = &next_shard;
-                    let make_oracle = &make_oracle;
-                    let config = &self.config;
-                    scope.spawn(move || {
-                        let mut oracle = make_oracle();
-                        loop {
-                            let i = next_shard.fetch_add(1, Ordering::SeqCst);
-                            if i >= shards.len() || abort.load(Ordering::SeqCst) {
-                                return;
+        // The scope runs even when every job resumed: workers still
+        // claim each shard to emit its `shard.finished` marker, so a
+        // fully-resumed run's trace matches the uninterrupted one.
+        let nthreads = self.config.threads.min(shards.len());
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                let shards = &shards;
+                let cells = &cells;
+                let resumed_seqs = &resumed_seqs;
+                let plan = &plan;
+                let snapshot = &snapshot;
+                let journal = &journal;
+                let abort = &abort;
+                let terminals_this_run = &terminals_this_run;
+                let next_shard = &next_shard;
+                let make_oracle = &make_oracle;
+                let config = &self.config;
+                scope.spawn(move || {
+                    let mut oracle = make_oracle();
+                    loop {
+                        let i = next_shard.fetch_add(1, Ordering::SeqCst);
+                        if i >= shards.len() || abort.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let mut cell = cells[i].lock().unwrap_or_else(|e| e.into_inner());
+                        for &seq in &shards[i] {
+                            if resumed_seqs[seq] {
+                                continue;
                             }
-                            let mut cell = cells[i].lock().unwrap_or_else(|e| e.into_inner());
-                            // Within-run memoization is per shard, not
-                            // per worker: a worker-wide store's contents
-                            // would depend on which shards the worker
-                            // happened to run first.
-                            let mut local_store: HashMap<u64, CachedEval> = HashMap::new();
-                            let shard_pending =
-                                shards[i].iter().filter(|&&s| !resumed_seqs[s]).count();
-                            cell.buffer.event(
-                                "engine",
-                                "shard.started",
-                                &[("shard", i.into()), ("pending", shard_pending.into())],
+                            if abort.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let (terminal, poisoned) = decide_sharded_job(
+                                config,
+                                plan,
+                                cache_on,
+                                snapshot,
+                                &cell.local_store,
+                                cache_identity,
+                                &cell.breaker,
+                                &mut oracle,
+                                seq,
                             );
-                            for &seq in &shards[i] {
-                                if resumed_seqs[seq] {
-                                    continue;
-                                }
-                                if abort.load(Ordering::SeqCst) {
-                                    break;
-                                }
-                                let terminal = run_sharded_job(
-                                    config,
-                                    plan,
-                                    cache,
-                                    cache_identity,
-                                    &mut local_store,
-                                    &mut cell,
-                                    &mut oracle,
-                                    i,
-                                    seq,
-                                );
-                                {
-                                    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
-                                    if j.error.is_none() {
-                                        if let Some(w) = j.writer.as_mut() {
-                                            match w.record(&record_of(seq, &terminal)) {
-                                                Ok(()) => {
-                                                    cell.buffer.counter_add(
-                                                        "engine_journal_appends_total",
-                                                        1,
-                                                    );
-                                                    cell.buffer.event(
-                                                        "engine",
-                                                        "journal.append",
-                                                        &[("seq", seq.into())],
-                                                    );
+                            if poisoned {
+                                // The unwound oracle's internals are
+                                // suspect; rebuild before the next job.
+                                oracle = make_oracle();
+                            }
+                            let record = record_of(seq, &terminal);
+                            emit_job_events(config, plan, cache_on, &record, &mut cell, i);
+                            {
+                                let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+                                if j.error.is_none() {
+                                    if let Some(w) = j.writer.as_mut() {
+                                        match w.record(&record) {
+                                            Ok(()) => {
+                                                cell.buffer.counter_add(
+                                                    "engine_journal_appends_total",
+                                                    1,
+                                                );
+                                                cell.buffer.event(
+                                                    "engine",
+                                                    "journal.append",
+                                                    &[("seq", seq.into())],
+                                                );
+                                                cell.appended += 1;
+                                                if config.checkpoint_every > 0
+                                                    && cell
+                                                        .appended
+                                                        .is_multiple_of(config.checkpoint_every)
+                                                {
+                                                    let ck = Checkpoint {
+                                                        shard: i,
+                                                        covered: cell.appended,
+                                                        snapshot: cell.breaker.snapshot(),
+                                                    };
+                                                    match w.checkpoint(&ck) {
+                                                        Ok(()) => {
+                                                            ops.counter_add(
+                                                                names::ENGINE_JOURNAL_CHECKPOINTS_TOTAL,
+                                                                1,
+                                                            );
+                                                            ops.event(
+                                                                "engine",
+                                                                "journal.checkpoint",
+                                                                &[
+                                                                    ("shard", i.into()),
+                                                                    (
+                                                                        "covered",
+                                                                        cell.appended.into(),
+                                                                    ),
+                                                                ],
+                                                            );
+                                                        }
+                                                        Err(e) => {
+                                                            ops.counter_add(
+                                                                names::ENGINE_STORAGE_FAULTS_TOTAL,
+                                                                1,
+                                                            );
+                                                            ops.event(
+                                                                "engine",
+                                                                "storage.fault",
+                                                                &[
+                                                                    (
+                                                                        "op",
+                                                                        "journal.checkpoint"
+                                                                            .into(),
+                                                                    ),
+                                                                    (
+                                                                        "error",
+                                                                        e.to_string().into(),
+                                                                    ),
+                                                                ],
+                                                            );
+                                                            j.error = Some(e);
+                                                            abort.store(true, Ordering::SeqCst);
+                                                        }
+                                                    }
                                                 }
-                                                Err(e) => {
-                                                    j.error = Some(e);
-                                                    abort.store(true, Ordering::SeqCst);
-                                                }
+                                            }
+                                            Err(e) => {
+                                                ops.counter_add(
+                                                    names::ENGINE_STORAGE_FAULTS_TOTAL,
+                                                    1,
+                                                );
+                                                ops.event(
+                                                    "engine",
+                                                    "storage.fault",
+                                                    &[
+                                                        ("op", "journal.append".into()),
+                                                        ("error", e.to_string().into()),
+                                                    ],
+                                                );
+                                                j.error = Some(e);
+                                                abort.store(true, Ordering::SeqCst);
                                             }
                                         }
                                     }
                                 }
-                                cell.buffer.event(
-                                    "engine",
-                                    "job.terminal",
-                                    &[
-                                        ("seq", seq.into()),
-                                        ("attempts", terminal.outcome.attempts.into()),
-                                        ("timeouts", terminal.timeouts.into()),
-                                        ("ok", terminal.outcome.result.is_ok().into()),
-                                        ("short_circuited", terminal.short_circuited.into()),
-                                        ("cached", terminal.cached.into()),
-                                    ],
+                            }
+                            emit_terminal_event(&mut cell, seq, &terminal);
+                            if cache_on {
+                                seed_local_store(
+                                    &mut cell.local_store,
+                                    plan,
+                                    cache_identity,
+                                    seq,
+                                    &terminal,
                                 );
-                                cell.results.push((seq, terminal));
-                                let done = terminals_this_run.fetch_add(1, Ordering::SeqCst) + 1;
-                                if let Some(limit) = config.abort_after {
-                                    if done >= limit {
-                                        abort.store(true, Ordering::SeqCst);
-                                    }
+                            }
+                            cell.results.push((seq, terminal));
+                            let done = terminals_this_run.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let Some(limit) = config.abort_after {
+                                if done >= limit {
+                                    abort.store(true, Ordering::SeqCst);
                                 }
                             }
-                            cell.buffer
-                                .event("engine", "shard.finished", &[("shard", i.into())]);
                         }
-                    });
-                }
-            });
-        }
+                        cell.buffer
+                            .event("engine", "shard.finished", &[("shard", i.into())]);
+                    }
+                });
+            }
+        });
 
         // Flush-and-close before merging; a dead journal means
         // resumability is already lost, so surface it.
@@ -1467,20 +2061,38 @@ impl SweepRunner {
             }
         }
 
-        // A completed run's journal is rewritten canonically (records
-        // in seq order), making the durable bytes a pure function of
-        // the outcomes: independent of thread count, of live append
-        // order, and of the run's crash/resume history (modulo the
-        // honest `cached` markers on repaired records).
         let completed = terminals.iter().all(|t| t.is_some());
         if completed {
+            // A completed run's journal is rewritten canonically
+            // (records in seq order, checkpoints dropped), making the
+            // durable bytes a pure function of the outcomes:
+            // independent of thread count, of live append order, and
+            // of the run's crash/resume history (modulo the honest
+            // `cached` markers on repaired records).
             if let Some(path) = journal_path {
                 let records: Vec<JobRecord> = terminals
                     .iter()
                     .enumerate()
                     .map(|(seq, t)| record_of(seq, t.as_ref().expect("completed")))
                     .collect();
-                journal::rewrite_canonical(path, &header, &records)?;
+                if let Err(e) = journal::rewrite_canonical_with(
+                    storage.as_ref(),
+                    self.config.sync,
+                    path,
+                    &header,
+                    &records,
+                ) {
+                    ops.counter_add(names::ENGINE_STORAGE_FAULTS_TOTAL, 1);
+                    ops.event(
+                        "engine",
+                        "storage.fault",
+                        &[
+                            ("op", "journal.rewrite".into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    return Err(e);
+                }
                 sink.counter_add("engine_journal_rewrites_total", 1);
                 sink.event(
                     "engine",
@@ -1488,13 +2100,60 @@ impl SweepRunner {
                     &[("records", records.len().into())],
                 );
             }
+            // Publish the merged cache atomically: the start-of-run
+            // snapshot plus every live success, written to a temp file
+            // and renamed over the old cache. Incomplete runs publish
+            // nothing, so a crash leaves the cache byte-identical to
+            // run start.
+            if let Some(path) = &self.config.cache_path {
+                let mut entries: BTreeMap<u64, CachedEval> = snapshot.into_iter().collect();
+                for (seq, t) in terminals.iter().enumerate() {
+                    let t = t.as_ref().expect("completed");
+                    if t.short_circuited {
+                        continue;
+                    }
+                    if let Ok(time) = t.outcome.result.as_ref() {
+                        entries.insert(
+                            cache_key(cache_identity, plan.jobs[seq].content_key()),
+                            CachedEval {
+                                attempts: t.outcome.attempts,
+                                time: *time,
+                            },
+                        );
+                    }
+                }
+                match cache::publish(
+                    storage.as_ref(),
+                    self.config.sync != SyncPolicy::Never,
+                    path,
+                    &entries,
+                ) {
+                    Ok(()) => {
+                        ops.counter_add(names::ENGINE_CACHE_PUBLISHES_TOTAL, 1);
+                        ops.gauge_set(names::ENGINE_CACHE_PUBLISHED_ENTRIES, entries.len() as f64);
+                    }
+                    Err(e) => {
+                        ops.counter_add(names::ENGINE_STORAGE_FAULTS_TOTAL, 1);
+                        ops.event(
+                            "engine",
+                            "storage.fault",
+                            &[
+                                ("op", "cache.publish".into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                        return Err(e);
+                    }
+                }
+            }
         }
 
-        self.assemble_and_report(aps, plan, terminals, resumed, breaker_trips, sink)
+        self.assemble_and_report(aps, plan, terminals, resumed, breaker_trips, sink, true)
     }
 
     /// Common tail of both engines: assemble the outcome, account
     /// every terminal into the ledger, and trace `run.finish`.
+    #[allow(clippy::too_many_arguments)]
     fn assemble_and_report(
         &self,
         aps: &Aps,
@@ -1503,6 +2162,7 @@ impl SweepRunner {
         resumed: usize,
         breaker_trips: usize,
         sink: &dyn MetricsSink,
+        sharded: bool,
     ) -> Result<RunSummary> {
         let completed = terminals.iter().all(|t| t.is_some());
         let results: Vec<(usize, PointOutcome)> = terminals
@@ -1552,6 +2212,9 @@ impl SweepRunner {
             if t.cached {
                 report.cache_hits += 1;
             }
+            if t.quarantined {
+                report.quarantined += 1;
+            }
             match &t.outcome.result {
                 Ok(_) => report.succeeded += 1,
                 Err(_) => {
@@ -1564,28 +2227,265 @@ impl SweepRunner {
             }
         }
         debug_assert!(report.consistent());
-        sink.event(
-            "engine",
-            "run.finish",
-            &[
-                ("completed", report.completed.into()),
-                ("attempted", report.attempted.into()),
-                ("succeeded", report.succeeded.into()),
-                ("skipped", report.skipped.into()),
-                ("backfilled", report.backfilled.into()),
-                ("resumed", report.resumed.into()),
-                ("retried", report.retried.into()),
-                ("oracle_calls", report.oracle_calls.into()),
-                ("timeouts", report.timeouts.into()),
-                ("short_circuited", report.short_circuited.into()),
-                ("breaker_trips", report.breaker_trips.into()),
-                ("cache_hits", report.cache_hits.into()),
-            ],
-        );
+        let mut fields: Vec<(&str, c2_obs::FieldValue)> = vec![
+            ("completed", report.completed.into()),
+            ("attempted", report.attempted.into()),
+            ("succeeded", report.succeeded.into()),
+            ("skipped", report.skipped.into()),
+            ("backfilled", report.backfilled.into()),
+        ];
+        if !sharded {
+            // The legacy trace reports resume counts inline; the
+            // sharded trace must stay bit-identical across
+            // crash/resume histories, so its resume telemetry lives on
+            // the ops sink instead.
+            fields.push(("resumed", report.resumed.into()));
+        }
+        fields.extend([
+            ("retried", report.retried.into()),
+            ("oracle_calls", report.oracle_calls.into()),
+            ("timeouts", report.timeouts.into()),
+            ("short_circuited", report.short_circuited.into()),
+            ("quarantined", report.quarantined.into()),
+            ("breaker_trips", report.breaker_trips.into()),
+            ("cache_hits", report.cache_hits.into()),
+        ]);
+        sink.event("engine", "run.finish", &fields);
         Ok(RunSummary {
             report,
             plan,
             outcome,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JobRecord;
+
+    #[test]
+    fn panic_message_decodes_common_payloads() {
+        let static_str: Box<dyn Any + Send> = Box::new("static boom");
+        assert_eq!(panic_message(static_str.as_ref()), "static boom");
+        let owned: Box<dyn Any + Send> = Box::new(String::from("owned boom"));
+        assert_eq!(panic_message(owned.as_ref()), "owned boom");
+        let weird: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(weird.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn record_and_terminal_are_inverse() {
+        for record in [
+            JobRecord {
+                seq: 3,
+                attempts: 2,
+                timeouts: 1,
+                result: Ok(7.5),
+                short_circuited: false,
+                cached: true,
+                quarantined: false,
+            },
+            JobRecord {
+                seq: 9,
+                attempts: 1,
+                timeouts: 0,
+                result: Err("oracle panicked: boom".to_string()),
+                short_circuited: false,
+                cached: false,
+                quarantined: true,
+            },
+            JobRecord {
+                seq: 0,
+                attempts: 0,
+                timeouts: 0,
+                result: Err("circuit breaker open: oracle attempt not admitted".to_string()),
+                short_circuited: true,
+                cached: false,
+                quarantined: false,
+            },
+        ] {
+            let t = terminal_of(&record);
+            assert_eq!(record_of(record.seq, &t), record);
+        }
+    }
+
+    /// Counting sink: captures `counter_add` totals, drops the rest.
+    #[derive(Default)]
+    struct CountSink(Mutex<HashMap<String, u64>>);
+
+    impl CountSink {
+        fn get(&self, name: &str) -> u64 {
+            *self.0.lock().unwrap().get(name).unwrap_or(&0)
+        }
+    }
+
+    impl MetricsSink for CountSink {
+        fn counter_add(&self, name: &str, delta: u64) {
+            *self.0.lock().unwrap().entry(name.to_string()).or_default() += delta;
+        }
+        fn gauge_set(&self, _: &str, _: f64) {}
+        fn observe(&self, _: &str, _: &[f64], _: f64) {}
+        fn event(&self, _: &str, _: &str, _: &[(&str, c2_obs::FieldValue)]) {}
+    }
+
+    fn tight_policy() -> BreakerPolicy {
+        BreakerPolicy {
+            trip_threshold: 2,
+            cooldown: 2,
+            probes: 1,
+        }
+    }
+
+    fn rec(seq: usize, attempts: usize, ok: bool) -> JobRecord {
+        JobRecord {
+            seq,
+            attempts,
+            timeouts: 0,
+            result: if ok { Ok(1.0) } else { Err("boom".to_string()) },
+            short_circuited: false,
+            cached: false,
+            quarantined: false,
+        }
+    }
+
+    /// Mixed success/failure history across two shards, busy enough to
+    /// trip the tight breaker at least once on shard 0.
+    fn history(nshards: usize) -> Vec<JobRecord> {
+        (0..12)
+            .map(|seq| rec(seq, 1 + seq % 3, seq % 4 != 0))
+            .inspect(|r| {
+                // Each record lands in a real shard of the partition.
+                assert!(shard_of(r.seq, nshards) < nshards);
+            })
+            .collect()
+    }
+
+    /// Replay every record of a shard through a fresh breaker — the
+    /// ground truth `restore_shard_breakers` must reproduce.
+    fn full_replay(
+        policy: BreakerPolicy,
+        nshards: usize,
+        records: &[JobRecord],
+    ) -> Vec<CircuitBreaker> {
+        let mut breakers: Vec<CircuitBreaker> = (0..nshards)
+            .map(|_| CircuitBreaker::new(policy).unwrap())
+            .collect();
+        for r in records {
+            replay_breaker(&mut breakers[shard_of(r.seq, nshards)], r);
+        }
+        for b in &mut breakers {
+            let _ = b.take_transition();
+        }
+        breakers
+    }
+
+    #[test]
+    fn restore_without_checkpoints_matches_full_replay() {
+        let nshards = 2;
+        let records = history(nshards);
+        let want = full_replay(tight_policy(), nshards, &records);
+        let ops = CountSink::default();
+        let got = restore_shard_breakers(tight_policy(), nshards, &records, &[], &ops).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.snapshot(), w.snapshot());
+        }
+        assert_eq!(
+            ops.get(names::ENGINE_RESUME_TAIL_REPLAYED_TOTAL),
+            records.len() as u64,
+            "with no checkpoint every record is tail"
+        );
+    }
+
+    #[test]
+    fn checkpoint_bounds_the_replay_tail() {
+        let nshards = 2;
+        let records = history(nshards);
+        let want = full_replay(tight_policy(), nshards, &records);
+
+        // Checkpoint shard 0 after its first 3 records: replay exactly
+        // that prefix to capture the state a live run persisted.
+        let shard0: Vec<&JobRecord> = records
+            .iter()
+            .filter(|r| shard_of(r.seq, nshards) == 0)
+            .collect();
+        assert!(shard0.len() > 3, "history too small for the test");
+        let mut prefix = CircuitBreaker::new(tight_policy()).unwrap();
+        for r in &shard0[..3] {
+            replay_breaker(&mut prefix, r);
+        }
+        let ckpt = Checkpoint {
+            shard: 0,
+            covered: 3,
+            snapshot: prefix.snapshot(),
+        };
+
+        let ops = CountSink::default();
+        let got = restore_shard_breakers(tight_policy(), nshards, &records, &[ckpt], &ops).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.snapshot(), w.snapshot());
+        }
+        // Shard 0 replays only its tail; shard 1 (no checkpoint)
+        // replays everything.
+        let shard1_len = records.len() - shard0.len();
+        assert_eq!(
+            ops.get(names::ENGINE_RESUME_TAIL_REPLAYED_TOTAL),
+            (shard0.len() - 3 + shard1_len) as u64
+        );
+    }
+
+    #[test]
+    fn stale_checkpoint_covering_more_than_the_journal_is_ignored() {
+        let nshards = 2;
+        let records = history(nshards);
+        let want = full_replay(tight_policy(), nshards, &records);
+        let shard0_len = records
+            .iter()
+            .filter(|r| shard_of(r.seq, nshards) == 0)
+            .count();
+        // A checkpoint claiming to cover more records than the journal
+        // holds outlived a truncation repair; trusting it would skip
+        // records that no longer exist.
+        let stale = Checkpoint {
+            shard: 0,
+            covered: shard0_len + 5,
+            snapshot: CircuitBreaker::new(tight_policy()).unwrap().snapshot(),
+        };
+        let ops = CountSink::default();
+        let got =
+            restore_shard_breakers(tight_policy(), nshards, &records, &[stale], &ops).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.snapshot(), w.snapshot());
+        }
+        assert_eq!(
+            ops.get(names::ENGINE_RESUME_TAIL_REPLAYED_TOTAL),
+            records.len() as u64,
+            "the stale checkpoint must not shorten the tail"
+        );
+    }
+
+    #[test]
+    fn latest_valid_checkpoint_wins() {
+        let nshards = 1;
+        let records: Vec<JobRecord> = (0..8).map(|seq| rec(seq, 1, seq % 3 != 0)).collect();
+        let want = full_replay(tight_policy(), nshards, &records);
+        // Two valid checkpoints; the one covering more records should
+        // be chosen, leaving the shorter tail.
+        let mut ckpts = Vec::new();
+        for covered in [2usize, 6] {
+            let mut b = CircuitBreaker::new(tight_policy()).unwrap();
+            for r in &records[..covered] {
+                replay_breaker(&mut b, r);
+            }
+            ckpts.push(Checkpoint {
+                shard: 0,
+                covered,
+                snapshot: b.snapshot(),
+            });
+        }
+        let ops = CountSink::default();
+        let got = restore_shard_breakers(tight_policy(), nshards, &records, &ckpts, &ops).unwrap();
+        assert_eq!(got[0].snapshot(), want[0].snapshot());
+        assert_eq!(ops.get(names::ENGINE_RESUME_TAIL_REPLAYED_TOTAL), 2);
     }
 }

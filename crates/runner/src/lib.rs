@@ -51,25 +51,35 @@
 pub mod backoff;
 pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod fault_oracle;
 pub mod journal;
 pub mod shard;
+pub mod storage;
 
 pub use backoff::BackoffPolicy;
-pub use breaker::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, Transition};
+pub use breaker::{
+    Admission, BreakerPolicy, BreakerSnapshot, BreakerState, CircuitBreaker, Transition,
+};
 pub use cache::{cache_key, CachedEval, EvalCache};
+pub use chaos::{ChaosPlan, ChaosStorage};
 pub use engine::{RunConfig, RunReport, RunSummary, SweepRunner};
 pub use fault_oracle::InjectedOracle;
-pub use journal::{bind_fingerprint, plan_fingerprint, JobRecord, JournalHeader, JournalWriter};
+pub use journal::{
+    bind_fingerprint, plan_fingerprint, Checkpoint, JobRecord, JournalHeader, JournalWriter,
+    SyncPolicy,
+};
 pub use shard::{partition, shard_count, shard_of, BufferSink};
+pub use storage::{DiskStorage, Storage, StorageFile};
 
 /// Errors produced by the engine and its journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// An engine, backoff, or breaker parameter is out of range.
     InvalidConfig(&'static str),
-    /// Filesystem trouble while writing or reading the journal.
+    /// Filesystem trouble while writing or reading the journal or
+    /// evaluation cache. The message always names the failing path.
     Io(String),
     /// The journal's contents are unusable (corrupt, or it belongs to
     /// a different sweep).
@@ -82,7 +92,7 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
-            Error::Io(msg) => write!(f, "journal i/o error: {msg}"),
+            Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
             Error::Journal(msg) => write!(f, "journal error: {msg}"),
             Error::Core(e) => write!(f, "model error: {e}"),
         }

@@ -13,6 +13,7 @@ use c2_bound::dse::{chip_config_for, DesignPoint, DesignSpace};
 use c2_bound::C2BoundModel;
 use c2_runner::{
     journal, BackoffPolicy, BreakerPolicy, InjectedOracle, RunConfig, RunReport, SweepRunner,
+    SyncPolicy,
 };
 use c2_sim::{FaultPlan, OracleHang, Simulator};
 use c2_trace::synthetic::{RandomGenerator, TraceGenerator};
@@ -92,6 +93,9 @@ fn acceptance_config() -> RunConfig {
         threads: 0,
         cache_path: None,
         cache_fingerprint: None,
+        sync: SyncPolicy::default(),
+        checkpoint_every: 64,
+        chaos: None,
     }
 }
 

@@ -87,6 +87,14 @@ pub struct FaultPlan {
     /// [`OracleHang`]). The cycle engine ignores this field; the
     /// fault-aware adapter ([`crate::oracle::FaultyOracle`]) honors it.
     pub oracle_hang: Option<OracleHang>,
+    /// For DSE-level drivers: every `n`-th keyed evaluation (0-based
+    /// keys `n-1, 2n-1, ...`) **panics** inside the oracle instead of
+    /// returning an error — the worst-case misbehaving backend, used to
+    /// prove a supervised driver's panic isolation (`catch_unwind`,
+    /// quarantine, analytic backfill). Keyed like
+    /// [`FaultPlan::oracle_key_fails`], so resumed and reordered sweeps
+    /// observe identical panics. The cycle engine ignores this field.
+    pub oracle_panic_period: Option<u64>,
 }
 
 impl FaultPlan {
@@ -137,6 +145,11 @@ impl FaultPlan {
                 return Err(Error::InvalidConfig("oracle_hang stall is zero"));
             }
         }
+        if let Some(n) = self.oracle_panic_period {
+            if n == 0 {
+                return Err(Error::InvalidConfig("oracle_panic_period must be positive"));
+            }
+        }
         Ok(())
     }
 
@@ -155,6 +168,16 @@ impl FaultPlan {
     /// identical faults.
     pub fn oracle_key_fails(&self, key: u64) -> bool {
         match self.oracle_failure_period {
+            Some(n) => (key + 1).is_multiple_of(n),
+            None => false,
+        }
+    }
+
+    /// Whether the evaluation with stable 0-based `key` should panic
+    /// inside the oracle. Keyed, so independent of call order and
+    /// retries.
+    pub fn oracle_key_panics(&self, key: u64) -> bool {
+        match self.oracle_panic_period {
             Some(n) => (key + 1).is_multiple_of(n),
             None => false,
         }
@@ -260,6 +283,25 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(p.validate().is_err());
+
+        let p = FaultPlan {
+            oracle_panic_period: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn keyed_panics_select_by_period_independently_of_order() {
+        let p = FaultPlan {
+            oracle_panic_period: Some(4),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_ok());
+        assert!(!p.is_none());
+        let panics: Vec<u64> = (0..12).filter(|&k| p.oracle_key_panics(k)).collect();
+        assert_eq!(panics, vec![3, 7, 11]);
+        assert!(!FaultPlan::default().oracle_key_panics(3));
     }
 
     #[test]

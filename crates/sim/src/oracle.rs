@@ -54,7 +54,9 @@ impl<F> FaultyOracle<F> {
     /// Order of injections: a hang stalls the calling thread first
     /// (modelling a request that outlives any reasonable deadline —
     /// supervised drivers will have timed the attempt out long before
-    /// it returns), then a keyed failure aborts the evaluation with
+    /// it returns), then a keyed panic unwinds out of the adapter
+    /// (the misbehaving-backend fault that `catch_unwind` isolation is
+    /// proved against), then a keyed failure aborts the evaluation with
     /// [`Error::InjectedFault`], and only then does the real oracle
     /// run.
     pub fn call<T, E>(&mut self, key: u64, arg: &T) -> std::result::Result<f64, E>
@@ -65,6 +67,9 @@ impl<F> FaultyOracle<F> {
         self.calls += 1;
         if let Some(stall) = self.plan.oracle_key_stall(key) {
             std::thread::sleep(stall);
+        }
+        if self.plan.oracle_key_panics(key) {
+            panic!("injected oracle panic at key {key}");
         }
         if self.plan.oracle_key_fails(key) {
             return Err(Error::InjectedFault {
@@ -129,6 +134,9 @@ impl<F> SharedOracle<F> {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(stall) = self.plan.oracle_key_stall(key) {
             std::thread::sleep(stall);
+        }
+        if self.plan.oracle_key_panics(key) {
+            panic!("injected oracle panic at key {key}");
         }
         if self.plan.oracle_key_fails(key) {
             return Err(Error::InjectedFault {
@@ -215,6 +223,33 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(FaultyOracle::new(plan, ok_oracle).is_err());
+    }
+
+    #[test]
+    fn keyed_panics_unwind_out_of_both_adapters() {
+        let plan = FaultPlan {
+            oracle_panic_period: Some(3),
+            ..FaultPlan::default()
+        };
+        // Key 2 panics ((2+1) % 3 == 0); keys 0 and 1 pass through.
+        let mut owned = FaultyOracle::new(plan, ok_oracle).unwrap();
+        assert_eq!(owned.call(0, &1.0), Ok(2.0));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            owned.call::<f64, Error>(2, &1.0)
+        }));
+        let payload = unwound.expect_err("key 2 must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "injected oracle panic at key 2");
+        let shared = SharedOracle::new(plan, ok_oracle).unwrap();
+        assert_eq!(shared.call(1, &1.0), Ok(2.0));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.call::<f64, Error>(5, &1.0)
+        }))
+        .is_err());
+        assert_eq!(shared.calls(), 2, "panicked calls are still counted");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! c2bound-tool adaptive                         # phase-adaptive reconfiguration (SS V)
 //! c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N]
 //!               [--deadline-ms D] [--max-attempts K] [--journal PATH]
-//!               [--resume] [--metrics-out PATH]
+//!               [--resume] [--metrics-out PATH] [--sync POLICY]
+//!               [--checkpoint-every N] [--chaos SPEC]
+//! c2bound-tool journal compact <PATH>           # repair + shrink a resume journal
 //! c2bound-tool scenario init [PATH]             # canonical default scenario
 //! c2bound-tool scenario validate <PATH>         # parse + validate, print fingerprint
 //! c2bound-tool scenario show <PATH>             # canonical render + fingerprint
@@ -42,6 +44,15 @@
 //! the internally assembled scenario, so a shared cache file can never
 //! serve one workload's or size's results to another.
 //!
+//! Durability knobs: `--sync never|on-checkpoint|always` picks the
+//! fsync policy, `--checkpoint-every N` the journal checkpoint cadence
+//! (0 disables), and `--chaos "crash-at=7,torn=3"` arms deterministic
+//! storage fault injection (keys: `crash-at`, `torn`, `enospc-at`,
+//! `short-at`, `seed`; write indices are 1-based) — the crash-matrix
+//! harness in a flag, for rehearsing crash/resume in the field.
+//! `journal compact` repairs and shrinks an interrupted journal in
+//! place (torn tail, duplicate records, stale checkpoints).
+//!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
 
@@ -66,7 +77,9 @@ fn usage() -> ! {
          c2bound-tool adaptive\n  \
          c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
          [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
-         [--metrics-out PATH]\n  \
+         [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
+         [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S]\n  \
+         c2bound-tool journal compact <PATH>\n  \
          c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
          c2bound-tool obs-report <metrics.json> [--prom|--json]"
     );
@@ -259,6 +272,39 @@ fn cmd_aps(args: &[String]) {
     );
 }
 
+/// Parse `--chaos "crash-at=7,torn=3,seed=42"` into a fault plan.
+/// Keys mirror the scenario's `runner.chaos` section; write indices
+/// are 1-based (the plan itself rejects 0).
+fn parse_chaos(raw: &str) -> c2_runner::ChaosPlan {
+    let mut plan = c2_runner::ChaosPlan::default();
+    for part in raw.split(',').filter(|p| !p.is_empty()) {
+        let Some((key, value)) = part.split_once('=') else {
+            eprintln!("error: invalid --chaos item {part:?} (expected key=value)");
+            std::process::exit(2);
+        };
+        let n: u64 = parse_arg(value, "--chaos value");
+        match key {
+            "crash-at" => plan.crash_at_write = Some(n),
+            "torn" => plan.torn_bytes = Some(n),
+            "enospc-at" => plan.enospc_at_write = Some(n),
+            "short-at" => plan.short_write_at = Some(n),
+            "seed" => plan.seed = n,
+            _ => {
+                eprintln!(
+                    "error: unknown --chaos key {key:?} \
+                     (crash-at|torn|enospc-at|short-at|seed)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if plan.is_none() {
+        eprintln!("error: --chaos injects nothing; give at least one fault");
+        std::process::exit(2);
+    }
+    plan
+}
+
 /// `run`: the APS refinement sweep on the supervised engine, with an
 /// optional checkpoint journal and idempotent resume. The sweep is
 /// described either positionally (workload + size over the built-in
@@ -276,6 +322,9 @@ fn cmd_run(args: &[String]) {
     let mut max_attempts: Option<usize> = None;
     let mut journal: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut sync: Option<c2_runner::SyncPolicy> = None;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut chaos: Option<c2_runner::ChaosPlan> = None;
     let mut resume = false;
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
@@ -310,6 +359,23 @@ fn cmd_run(args: &[String]) {
             },
             "--metrics-out" => match rest.next() {
                 Some(v) => metrics_out = Some(std::path::PathBuf::from(v)),
+                None => usage(),
+            },
+            "--sync" => match rest.next() {
+                Some(v) => {
+                    sync = Some(c2_runner::SyncPolicy::parse(v).unwrap_or_else(|| {
+                        eprintln!("error: invalid --sync {v:?} (never|on-checkpoint|always)");
+                        std::process::exit(2);
+                    }));
+                }
+                None => usage(),
+            },
+            "--checkpoint-every" => match rest.next() {
+                Some(v) => checkpoint_every = Some(parse_arg(v, "--checkpoint-every")),
+                None => usage(),
+            },
+            "--chaos" => match rest.next() {
+                Some(v) => chaos = Some(parse_chaos(v)),
                 None => usage(),
             },
             "--resume" => resume = true,
@@ -375,6 +441,15 @@ fn cmd_run(args: &[String]) {
     if let Some(v) = max_attempts {
         config.max_attempts = v;
     }
+    if let Some(v) = sync {
+        config.sync = v;
+    }
+    if let Some(v) = checkpoint_every {
+        config.checkpoint_every = v;
+    }
+    if let Some(p) = chaos {
+        config.chaos = Some(p);
+    }
     if config.cache_path.is_some() && config.threads == 0 {
         eprintln!(
             "error: the evaluation cache requires the sharded engine; \
@@ -417,7 +492,7 @@ fn cmd_run(args: &[String]) {
     let area = aps.model.area;
     let budget = aps.model.budget;
     println!(
-        "supervised sweep: {}, {} attempts/job{}{}",
+        "supervised sweep: {}, {} attempts/job{}{}{}",
         if config.threads > 0 {
             format!("{} sharded threads", config.threads)
         } else {
@@ -435,6 +510,11 @@ fn cmd_run(args: &[String]) {
         match &config.cache_path {
             Some(p) => format!(", cache {}", p.display()),
             None => String::new(),
+        },
+        if config.chaos.is_some() {
+            ", chaos armed"
+        } else {
+            ""
         }
     );
     let price = |p: &DesignPoint| {
@@ -468,7 +548,7 @@ fn cmd_run(args: &[String]) {
     println!(
         "run report: {} attempted = {} succeeded + {} skipped + {} backfilled \
          ({} resumed, {} retried, {} oracle calls, {} cache hits, {} timeouts, \
-         {} short-circuited, {} breaker trips)",
+         {} short-circuited, {} quarantined, {} breaker trips)",
         r.attempted,
         r.succeeded,
         r.skipped,
@@ -479,6 +559,7 @@ fn cmd_run(args: &[String]) {
         r.cache_hits,
         r.timeouts,
         r.short_circuited,
+        r.quarantined,
         r.breaker_trips
     );
     let Some(outcome) = summary.outcome else {
@@ -500,6 +581,38 @@ fn cmd_run(args: &[String]) {
         fmt_num(100.0 * outcome.prediction_error),
         outcome.refinement.degradation
     );
+}
+
+/// `journal`: maintain resume journals. `compact` repairs and shrinks
+/// an interrupted journal in place — dropping a torn trailing line,
+/// duplicate records, and all but the newest checkpoint per shard —
+/// and reports what it did. Safe to run any number of times; a
+/// compacted journal resumes identically to the original.
+fn cmd_journal(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("compact") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let stats =
+                c2_runner::journal::compact(std::path::Path::new(path)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "compacted {path}: kept {} records and {} checkpoints \
+                 (dropped {} duplicate records, {} stale checkpoints{})",
+                stats.records,
+                stats.checkpoints_kept,
+                stats.duplicates_dropped,
+                stats.checkpoints_dropped,
+                if stats.torn_tail_dropped {
+                    ", one torn tail"
+                } else {
+                    ""
+                }
+            );
+        }
+        _ => usage(),
+    }
 }
 
 /// `scenario`: manage declarative scenario files. `init` emits the
@@ -773,6 +886,7 @@ fn main() {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("aps") => cmd_aps(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("journal") => cmd_journal(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
