@@ -18,6 +18,8 @@ cargo test -q -p c2-runner --test engine_resume
 cargo test -q -p c2-runner --test proptest_runner
 cargo test -q -p c2-runner --test sharded_engine
 cargo test -q -p c2-runner --test proptest_sharded
+cargo test -q -p c2-runner --test serve_daemon
+cargo test -q -p c2-runner --test proptest_serve
 
 echo "== scenario files (validate + smoke run) =="
 cargo build -q --bin c2bound-tool
@@ -66,6 +68,49 @@ for n in 3 12 20; do
         --journal "${out}.jsonl" --metrics-out "${out}.json" > /dev/null
     cmp "${clean}.jsonl" "${out}.jsonl"
     cmp "${clean}.json" "${out}.json"
+done
+
+echo "== serve daemon smoke (two tenants, drain mid-run, resume, bit-identity) =="
+serve_dir="${smoke_dir}/serve-jobs"
+serve_log="${smoke_dir}/serve.log"
+variant="${smoke_dir}/quick-variant.json"
+sed 's/"size": *16/"size": 12/' examples/scenarios/quick.json > "${variant}"
+cargo run -q --bin c2bound-tool -- serve --addr 127.0.0.1:0 \
+    --dir "${serve_dir}" --executors 1 > "${serve_log}" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "${serve_log}")"
+    [ -n "${addr}" ] && break
+    sleep 0.1
+done
+if [ -z "${addr}" ]; then
+    echo "error: serve daemon never reported an address" >&2
+    exit 1
+fi
+# Two concurrent clients, then a drain while their jobs are running or
+# queued. The daemon must exit 0 (enforced by `wait` under `set -e`).
+cargo run -q --bin c2bound-tool -- submit --addr "${addr}" --tenant a \
+    --scenario examples/scenarios/quick.json > /dev/null &
+client_a=$!
+cargo run -q --bin c2bound-tool -- submit --addr "${addr}" --tenant b \
+    --scenario "${variant}" > /dev/null &
+client_b=$!
+wait "${client_a}" "${client_b}"
+cargo run -q --bin c2bound-tool -- shutdown --addr "${addr}" --wait > /dev/null
+wait "${serve_pid}"
+# Resume the backlog the drain left behind, then demand every job's
+# artifacts match a one-shot run of its persisted scenario.
+cargo run -q --bin c2bound-tool -- serve --dir "${serve_dir}" \
+    --resume --drain-on-idle --executors 1 > /dev/null
+for job in job0001 job0002; do
+    grep -q '"state":"completed"' "${serve_dir}/${job}.outcome.json"
+    cargo run -q --bin c2bound-tool -- run \
+        --scenario "${serve_dir}/${job}.scenario.json" --threads 1 \
+        --journal "${smoke_dir}/${job}.oneshot.jsonl" \
+        --metrics-out "${smoke_dir}/${job}.oneshot.json" > /dev/null
+    cmp "${serve_dir}/${job}.journal.jsonl" "${smoke_dir}/${job}.oneshot.jsonl"
+    cmp "${serve_dir}/${job}.metrics.json" "${smoke_dir}/${job}.oneshot.json"
 done
 
 echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="

@@ -21,5 +21,5 @@ pub use json::{Json, JsonError};
 pub use scenario::{
     fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChaosSpec,
     ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec,
-    Scenario, ScenarioError, SolverSpec, SpaceSpec, WorkloadSpec,
+    Scenario, ScenarioError, ServeSpec, SolverSpec, SpaceSpec, WorkloadSpec,
 };

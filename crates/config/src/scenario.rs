@@ -608,6 +608,62 @@ impl Default for RunnerSpec {
     }
 }
 
+/// Service-layer policy for `c2bound-tool serve`; mirrors
+/// `ServePolicy` in `c2-runner`. Governs how the daemon admits,
+/// queues, and sheds submissions — never what any admitted sweep
+/// computes — so the whole section is *operational*: like `sync`,
+/// `checkpoint_every`, and `chaos` it is excluded from the scenario
+/// fingerprint, and a scenario submitted to a daemon keeps the exact
+/// journal/cache identity of the same scenario under one-shot `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// Bounded job-queue depth; a submission arriving with the queue
+    /// full is shed (429 + `Retry-After`), never queued unboundedly.
+    pub queue_depth: u64,
+    /// Maximum queued-plus-running jobs per tenant before further
+    /// submissions from that tenant are shed.
+    pub per_client_budget: u64,
+    /// Executor threads draining the job queue (each admitted job
+    /// still shards internally per its own `runner.threads`).
+    pub executors: u64,
+    /// Per-request socket read/parse deadline, ms; a client that
+    /// cannot produce a full request within it is disconnected.
+    pub read_timeout_ms: u64,
+    /// Maximum request body size in bytes; larger submissions are
+    /// rejected before being read.
+    pub max_body_bytes: u64,
+    /// Per-tenant admission breaker: a tenant whose jobs keep failing
+    /// is shed outright until the breaker's clock-free cooldown and
+    /// probe cycle readmits it.
+    pub breaker: BreakerSpec,
+    /// Shed backoff: `Retry-After` on rejected submissions follows
+    /// this schedule (deterministic capped jitter keyed by tenant).
+    pub shed_backoff: BackoffSpec,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            queue_depth: 16,
+            per_client_budget: 2,
+            executors: 2,
+            read_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+            breaker: BreakerSpec {
+                trip_threshold: 3,
+                cooldown: 4,
+                probes: 1,
+            },
+            shed_backoff: BackoffSpec {
+                base_ms: 250,
+                factor: 2.0,
+                cap_ms: 5_000,
+                jitter_frac: 0.25,
+            },
+        }
+    }
+}
+
 /// Observability options.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ObsSpec {
@@ -637,6 +693,9 @@ pub struct Scenario {
     pub solver: SolverSpec,
     /// Supervised-runner policy.
     pub runner: RunnerSpec,
+    /// Service-layer (daemon) policy. Operational — excluded from the
+    /// scenario fingerprint.
+    pub serve: ServeSpec,
     /// Observability options.
     pub observability: ObsSpec,
 }
@@ -653,6 +712,7 @@ impl Default for Scenario {
             area: AreaSpec::default(),
             solver: SolverSpec::default(),
             runner: RunnerSpec::default(),
+            serve: ServeSpec::default(),
             observability: ObsSpec::default(),
         }
     }
@@ -1479,6 +1539,64 @@ impl RunnerSpec {
     }
 }
 
+impl ServeSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "queue_depth",
+                "per_client_budget",
+                "executors",
+                "read_timeout_ms",
+                "max_body_bytes",
+                "breaker",
+                "shed_backoff",
+            ],
+            path,
+        )?;
+        let d = ServeSpec::default();
+        let breaker = match find(pairs, "breaker") {
+            None => d.breaker,
+            Some(value) => BreakerSpec::from_json_value(value, &join(path, "breaker"))?,
+        };
+        let shed_backoff = match find(pairs, "shed_backoff") {
+            None => d.shed_backoff,
+            Some(value) => BackoffSpec::from_json_value(value, &join(path, "shed_backoff"))?,
+        };
+        Ok(ServeSpec {
+            queue_depth: get_u64(pairs, "queue_depth", path, d.queue_depth)?,
+            per_client_budget: get_u64(pairs, "per_client_budget", path, d.per_client_budget)?,
+            executors: get_u64(pairs, "executors", path, d.executors)?,
+            read_timeout_ms: get_u64(pairs, "read_timeout_ms", path, d.read_timeout_ms)?,
+            max_body_bytes: get_u64(pairs, "max_body_bytes", path, d.max_body_bytes)?,
+            breaker,
+            shed_backoff,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
+            (
+                "per_client_budget".into(),
+                Json::Num(self.per_client_budget as f64),
+            ),
+            ("executors".into(), Json::Num(self.executors as f64)),
+            (
+                "read_timeout_ms".into(),
+                Json::Num(self.read_timeout_ms as f64),
+            ),
+            (
+                "max_body_bytes".into(),
+                Json::Num(self.max_body_bytes as f64),
+            ),
+            ("breaker".into(), self.breaker.to_json()),
+            ("shed_backoff".into(), self.shed_backoff.to_json()),
+        ])
+    }
+}
+
 impl ObsSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1527,6 +1645,7 @@ impl Scenario {
                 "area",
                 "solver",
                 "runner",
+                "serve",
                 "observability",
             ],
             "",
@@ -1570,6 +1689,10 @@ impl Scenario {
                 None => RunnerSpec::default(),
                 Some(v) => RunnerSpec::from_json_value(v, "runner")?,
             },
+            serve: match section("serve") {
+                None => ServeSpec::default(),
+                Some(v) => ServeSpec::from_json_value(v, "serve")?,
+            },
             observability: match section("observability") {
                 None => ObsSpec::default(),
                 Some(v) => ObsSpec::from_json_value(v, "observability")?,
@@ -1583,7 +1706,7 @@ impl Scenario {
     }
 
     fn to_json_with(&self, semantic: bool) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("version".into(), Json::Num(self.version as f64)),
             ("workload".into(), self.workload.to_json()),
             ("model".into(), self.model.to_json()),
@@ -1593,8 +1716,17 @@ impl Scenario {
             ("area".into(), self.area.to_json()),
             ("solver".into(), self.solver.to_json()),
             ("runner".into(), self.runner.to_json_with(semantic)),
-            ("observability".into(), self.observability.to_json()),
-        ])
+        ];
+        if !semantic {
+            // The whole service-layer section is operational (daemon
+            // admission/shedding policy): dropped from the semantic
+            // rendering so submitting a scenario to `serve` cannot
+            // change its fingerprint — and with it the journal and
+            // cache identity — relative to one-shot `run`.
+            pairs.push(("serve".into(), self.serve.to_json()));
+        }
+        pairs.push(("observability".into(), self.observability.to_json()));
+        Json::Obj(pairs)
     }
 
     /// Compact canonical rendering; these bytes define the fingerprint.
@@ -1858,6 +1990,41 @@ impl Scenario {
                     return Err(fail(path, "write indices are 1-based; must be at least 1"));
                 }
             }
+        }
+
+        let se = &self.serve;
+        if se.queue_depth == 0 {
+            return Err(fail("serve.queue_depth", "must be at least 1"));
+        }
+        if se.per_client_budget == 0 {
+            return Err(fail("serve.per_client_budget", "must be at least 1"));
+        }
+        if se.executors == 0 {
+            return Err(fail("serve.executors", "must be at least 1"));
+        }
+        if se.read_timeout_ms == 0 {
+            return Err(fail("serve.read_timeout_ms", "must be at least 1"));
+        }
+        if se.max_body_bytes == 0 {
+            return Err(fail("serve.max_body_bytes", "must be at least 1"));
+        }
+        if se.breaker.trip_threshold == 0 {
+            return Err(fail("serve.breaker.trip_threshold", "must be at least 1"));
+        }
+        if se.breaker.probes == 0 {
+            return Err(fail("serve.breaker.probes", "must be at least 1"));
+        }
+        if !(se.shed_backoff.factor >= 1.0) || !se.shed_backoff.factor.is_finite() {
+            return Err(fail("serve.shed_backoff.factor", "must be at least 1"));
+        }
+        if !(se.shed_backoff.jitter_frac >= 0.0) || !(se.shed_backoff.jitter_frac <= 1.0) {
+            return Err(fail("serve.shed_backoff.jitter_frac", "must lie in [0, 1]"));
+        }
+        if se.shed_backoff.cap_ms < se.shed_backoff.base_ms {
+            return Err(fail(
+                "serve.shed_backoff.cap_ms",
+                "must be at least base_ms",
+            ));
         }
 
         if let Some(path) = &self.observability.metrics_out {

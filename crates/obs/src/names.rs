@@ -47,3 +47,100 @@ pub const ENGINE_CACHE_PUBLISHED_ENTRIES: &str = "engine_cache_published_entries
 /// Storage faults (failed journal/cache writes) the engine observed
 /// before aborting or degrading. Ops sink.
 pub const ENGINE_STORAGE_FAULTS_TOTAL: &str = "engine_storage_faults_total";
+
+// ---------------------------------------------------------------------------
+// Service layer (`c2bound-tool serve`)
+// ---------------------------------------------------------------------------
+//
+// Every serve metric is operational: it describes how the daemon
+// admitted, queued, shed, or drained traffic — never what any
+// admitted sweep computed — so all of them go to the daemon's ops
+// sink. Per-job run metrics keep flowing to each job's own main-sink
+// recorder, which is what stays bit-identical to one-shot `run`.
+//
+// The full set is enumerated in [`SERVE_METRIC_NAMES`]; a property
+// test drives the daemon and asserts every emitted `serve_*` name is
+// in that list, so an emission site cannot drift to an unregistered
+// (typo'd) name.
+
+/// TCP connections accepted by the listener.
+pub const SERVE_CONNECTIONS_TOTAL: &str = "serve_connections_total";
+
+/// Well-formed HTTP requests parsed (any endpoint, any verdict).
+pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
+
+/// Connections dropped before a full request was parsed: malformed
+/// framing, oversized header/body, or a read/parse deadline hit.
+pub const SERVE_REQUESTS_REJECTED_TOTAL: &str = "serve_requests_rejected_total";
+
+/// Connection handlers that panicked and were quarantined (the
+/// connection died; the daemon did not).
+pub const SERVE_CONNECTIONS_PANICKED_TOTAL: &str = "serve_connections_panicked_total";
+
+/// Submissions admitted into the job queue.
+pub const SERVE_ADMITTED_TOTAL: &str = "serve_admitted_total";
+
+/// Submissions shed because the bounded job queue was full.
+pub const SERVE_SHED_QUEUE_FULL_TOTAL: &str = "serve_shed_queue_full_total";
+
+/// Submissions shed because the tenant's concurrency budget was
+/// exhausted.
+pub const SERVE_SHED_BUDGET_TOTAL: &str = "serve_shed_budget_total";
+
+/// Submissions shed because the tenant's admission breaker was open.
+pub const SERVE_SHED_BREAKER_TOTAL: &str = "serve_shed_breaker_total";
+
+/// Submissions rejected with a typed scenario error (unparsable or
+/// invalid document) before admission control.
+pub const SERVE_REJECTED_INVALID_TOTAL: &str = "serve_rejected_invalid_total";
+
+/// Jobs that ran to a completed sweep.
+pub const SERVE_JOBS_COMPLETED_TOTAL: &str = "serve_jobs_completed_total";
+
+/// Jobs that terminated with a typed error (storage fault, model
+/// error, interrupted sweep).
+pub const SERVE_JOBS_FAILED_TOTAL: &str = "serve_jobs_failed_total";
+
+/// Jobs whose execution panicked and was quarantined by the
+/// executor's `catch_unwind` isolation.
+pub const SERVE_JOBS_QUARANTINED_TOTAL: &str = "serve_jobs_quarantined_total";
+
+/// Jobs re-admitted from a previous daemon's artifact directory by
+/// `serve --resume`.
+pub const SERVE_JOBS_RESUMED_TOTAL: &str = "serve_jobs_resumed_total";
+
+/// Drains initiated (SIGTERM or `/shutdown`); at most 1 per process.
+pub const SERVE_DRAINS_TOTAL: &str = "serve_drains_total";
+
+/// Jobs still pending (queued, never started) when the drain
+/// completed; they stay durable on disk for `--resume`.
+pub const SERVE_DRAIN_PENDING_JOBS: &str = "serve_drain_pending_jobs";
+
+/// Current queued-job count (gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+
+/// Currently executing jobs (gauge).
+pub const SERVE_ACTIVE_JOBS: &str = "serve_active_jobs";
+
+/// Every registered serve metric name. Emission sites must use the
+/// constants above; the property suite asserts that every `serve_*`
+/// name a live daemon emits appears here.
+pub const SERVE_METRIC_NAMES: &[&str] = &[
+    SERVE_CONNECTIONS_TOTAL,
+    SERVE_REQUESTS_TOTAL,
+    SERVE_REQUESTS_REJECTED_TOTAL,
+    SERVE_CONNECTIONS_PANICKED_TOTAL,
+    SERVE_ADMITTED_TOTAL,
+    SERVE_SHED_QUEUE_FULL_TOTAL,
+    SERVE_SHED_BUDGET_TOTAL,
+    SERVE_SHED_BREAKER_TOTAL,
+    SERVE_REJECTED_INVALID_TOTAL,
+    SERVE_JOBS_COMPLETED_TOTAL,
+    SERVE_JOBS_FAILED_TOTAL,
+    SERVE_JOBS_QUARANTINED_TOTAL,
+    SERVE_JOBS_RESUMED_TOTAL,
+    SERVE_DRAINS_TOTAL,
+    SERVE_DRAIN_PENDING_JOBS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_ACTIVE_JOBS,
+];

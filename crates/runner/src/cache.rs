@@ -140,24 +140,43 @@ pub fn load(storage: &dyn Storage, path: &Path) -> Result<LoadedCache> {
     }
 }
 
-/// Atomically replace the cache at `path` with exactly `entries`:
-/// header plus one line per entry in ascending key order, written to a
-/// sibling temp file and renamed over the original. `sync` fsyncs
-/// before the rename so the publication survives power loss.
+/// Atomically replace the cache at `path` with the union of `entries`
+/// and whatever the file holds *now*: header plus one line per entry
+/// in ascending key order, written to a sibling temp file and renamed
+/// over the original. `sync` fsyncs before the rename so the
+/// publication survives power loss.
 ///
 /// Callers pass the union of the startup snapshot and the entries
 /// derived from this run's journal — the cache file is shared across
 /// run identities (addresses embed the identity), so publishing only
-/// this run's entries would evict every other sweep's results.
+/// this run's entries would evict every other sweep's results. The
+/// re-read here extends the same courtesy to *concurrent* publishers
+/// (several daemon executors, or parallel one-shot runs, sharing one
+/// cache): a run that completed after this run's startup snapshot was
+/// taken keeps its entries. On a key both sides know, `entries` wins —
+/// evaluations are pure functions of the key, so the values agree
+/// anyway. The temp file name is unique per publication; a fixed name
+/// would let one publisher rename a sibling's half-written temp file
+/// into place and strand the sibling's rename.
 pub fn publish(
     storage: &dyn Storage,
     sync: bool,
     path: &Path,
     entries: &BTreeMap<u64, CachedEval>,
 ) -> Result<()> {
+    static PUBLISH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = PUBLISH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.{seq}.tmp", std::process::id()));
     let tmp = PathBuf::from(tmp);
+    let mut merged = load(storage, path)?
+        .snapshot
+        .into_iter()
+        .collect::<BTreeMap<u64, CachedEval>>();
+    for (key, entry) in entries {
+        merged.insert(*key, *entry);
+    }
+    let entries = &merged;
     {
         let mut out = storage.create(&tmp)?;
         let mut buf = header_line();
@@ -445,7 +464,7 @@ mod tests {
              {\"key\":\"000000000000beef\",\"attempts\":2,\"time\":7.0}\n",
             "publication is sorted by key: a pure function of the set"
         );
-        // Republishing a superset replaces the file wholesale.
+        // Republishing merges with what's on disk and stays sorted.
         entries.insert(
             0x0002,
             CachedEval {
@@ -461,6 +480,50 @@ mod tests {
             !path.with_extension("jsonl.tmp").exists(),
             "the temp file is consumed by the rename"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_publishers_never_strand_each_other() {
+        // Several runs sharing one cache file (daemon executors, or
+        // parallel one-shot runs) may complete at the same moment.
+        // Every publish must succeed: with a fixed temp-file name one
+        // publisher could rename a sibling's half-written temp file
+        // into place and fail the sibling's rename with ENOENT.
+        let path = tmp("concurrent.jsonl");
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let path = &path;
+                s.spawn(move || {
+                    for i in 0..25u64 {
+                        let mut entries = BTreeMap::new();
+                        entries.insert(
+                            t * 1000 + i,
+                            CachedEval {
+                                attempts: 1,
+                                time: i as f64,
+                            },
+                        );
+                        publish(&DISK, false, path, &entries).unwrap();
+                    }
+                });
+            }
+        });
+        // The survivor is a well-formed cache (renames are atomic, so
+        // readers never observe a torn file) with no stranded temps.
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.skipped, 0);
+        assert!(!loaded.snapshot.is_empty());
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let strays = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().to_string();
+                name.starts_with(&stem) && name.ends_with(".tmp")
+            })
+            .count();
+        assert_eq!(strays, 0, "every temp file is consumed by its rename");
         std::fs::remove_file(&path).ok();
     }
 

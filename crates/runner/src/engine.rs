@@ -383,6 +383,19 @@ struct Terminal {
     quarantined: bool,
 }
 
+/// Reject a zero-job refinement plan before any journal or cache file
+/// is touched. Defense in depth: the design-space constructors already
+/// refuse empty axes, but if an empty plan ever reached the engine it
+/// would otherwise create (and on completion publish) an empty journal
+/// and cache that later resumes would happily accept as a finished
+/// sweep.
+fn ensure_plan_nonempty(jobs: usize) -> Result<()> {
+    if jobs == 0 {
+        return Err(Error::EmptyPlan);
+    }
+    Ok(())
+}
+
 /// Reduce a `catch_unwind` payload to the human-readable panic message
 /// (the `&str`/`String` payloads `panic!` produces; anything exotic
 /// degrades to a fixed marker so the journal record stays meaningful).
@@ -990,6 +1003,7 @@ impl SweepRunner {
     {
         let storage = self.storage();
         let plan = aps.plan_observed(sink)?;
+        ensure_plan_nonempty(plan.jobs.len())?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
             fingerprint: journal::bind_fingerprint(
@@ -1669,6 +1683,7 @@ impl SweepRunner {
     {
         let storage = self.storage();
         let plan = aps.plan_observed(sink)?;
+        ensure_plan_nonempty(plan.jobs.len())?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
             fingerprint: journal::bind_fingerprint(
@@ -1676,6 +1691,14 @@ impl SweepRunner {
                 self.config.scenario_fingerprint,
             ),
         };
+        // Cache addresses bind the same identity the journal header
+        // pins (plan ⊕ scenario), further bound to the positional
+        // path's assembled-scenario fingerprint — oracle results
+        // depend on workload/model/size, which the content key (pure
+        // grid geometry) cannot carry, so a shared cache file must
+        // miss, never mis-serve, across different runs' work.
+        let cache_identity =
+            journal::bind_fingerprint(header.fingerprint, self.config.cache_fingerprint);
         // Read-only cache snapshot, taken once at run start. The run
         // publishes its merged cache atomically at completion; a crash
         // anywhere leaves the cache file byte-identical to run start,
@@ -1697,22 +1720,26 @@ impl SweepRunner {
                         &[("skipped", loaded.skipped.into())],
                     );
                 }
-                sink.gauge_set(
-                    "engine_cache_snapshot_entries",
-                    loaded.snapshot.len() as f64,
-                );
+                // The gauge counts only the entries addressable by
+                // *this* run's identity. A cache file shared across
+                // scenarios (the serve daemon's) also carries foreign
+                // entries, which can never hit; counting them would
+                // make this main-sink gauge depend on other runs'
+                // publishes and break bit-identity with one-shot runs.
+                let relevant = plan
+                    .jobs
+                    .iter()
+                    .filter(|job| {
+                        loaded
+                            .snapshot
+                            .contains_key(&cache_key(cache_identity, job.content_key()))
+                    })
+                    .count();
+                sink.gauge_set("engine_cache_snapshot_entries", relevant as f64);
                 loaded.snapshot
             }
         };
         let cache_on = self.config.cache_path.is_some();
-        // Cache addresses bind the same identity the journal header
-        // pins (plan ⊕ scenario), further bound to the positional
-        // path's assembled-scenario fingerprint — oracle results
-        // depend on workload/model/size, which the content key (pure
-        // grid geometry) cannot carry, so a shared cache file must
-        // miss, never mis-serve, across different runs' work.
-        let cache_identity =
-            journal::bind_fingerprint(header.fingerprint, self.config.cache_fingerprint);
 
         let shards = partition(plan.jobs.len());
         let mut terminals: Vec<Option<Terminal>> = vec![None; plan.jobs.len()];
@@ -2101,10 +2128,11 @@ impl SweepRunner {
                 );
             }
             // Publish the merged cache atomically: the start-of-run
-            // snapshot plus every live success, written to a temp file
-            // and renamed over the old cache. Incomplete runs publish
-            // nothing, so a crash leaves the cache byte-identical to
-            // run start.
+            // snapshot plus every live success (further unioned with
+            // whatever concurrent runs published meanwhile — see
+            // `cache::publish`), written to a temp file and renamed
+            // over the old cache. Incomplete runs publish nothing, so
+            // a crash leaves the cache byte-identical to run start.
             if let Some(path) = &self.config.cache_path {
                 let mut entries: BTreeMap<u64, CachedEval> = snapshot.into_iter().collect();
                 for (seq, t) in terminals.iter().enumerate() {
@@ -2263,6 +2291,16 @@ impl SweepRunner {
 mod tests {
     use super::*;
     use crate::journal::JobRecord;
+
+    #[test]
+    fn empty_plans_are_a_typed_error() {
+        assert_eq!(ensure_plan_nonempty(0), Err(Error::EmptyPlan));
+        assert_eq!(ensure_plan_nonempty(1), Ok(()));
+        // Both engines check before journal/cache creation, so the
+        // error text is what a submitter sees instead of a published
+        // empty artifact.
+        assert!(Error::EmptyPlan.to_string().contains("no jobs"));
+    }
 
     #[test]
     fn panic_message_decodes_common_payloads() {

@@ -55,6 +55,7 @@ pub mod chaos;
 pub mod engine;
 pub mod fault_oracle;
 pub mod journal;
+pub mod serve;
 pub mod shard;
 pub mod storage;
 
@@ -70,6 +71,7 @@ pub use journal::{
     bind_fingerprint, plan_fingerprint, Checkpoint, JobRecord, JournalHeader, JournalWriter,
     SyncPolicy,
 };
+pub use serve::{Daemon, JobState, ScenarioExecutor, ServeOptions, ServePolicy, ServeReport};
 pub use shard::{partition, shard_count, shard_of, BufferSink};
 pub use storage::{DiskStorage, Storage, StorageFile};
 
@@ -78,6 +80,10 @@ pub use storage::{DiskStorage, Storage, StorageFile};
 pub enum Error {
     /// An engine, backoff, or breaker parameter is out of range.
     InvalidConfig(&'static str),
+    /// The refinement plan contains zero jobs. Caught before any
+    /// journal or cache file is created, so an empty submission can
+    /// never publish empty (yet valid-looking) artifacts.
+    EmptyPlan,
     /// Filesystem trouble while writing or reading the journal or
     /// evaluation cache. The message always names the failing path.
     Io(String),
@@ -92,6 +98,11 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            Error::EmptyPlan => write!(
+                f,
+                "the refinement plan has no jobs (empty design space); \
+                 refusing to run an empty sweep"
+            ),
             Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
             Error::Journal(msg) => write!(f, "journal error: {msg}"),
             Error::Core(e) => write!(f, "model error: {e}"),

@@ -1,0 +1,110 @@
+//! Graceful-drain signalling: one latch, two writers (SIGTERM and
+//! `/shutdown`), many readers.
+//!
+//! [`DrainControl`] is a process-wide latch the daemon polls: once it
+//! flips, the listener stops admitting, the queue wakes its executors
+//! with `None`, in-flight jobs run to completion (each is journaled by
+//! the engine anyway, so even a hard kill stays resumable), and the
+//! daemon exits 0. The latch is *sticky* — there is no undrain.
+//!
+//! SIGTERM delivery uses the classic self-contained trick: install a
+//! signal handler via the libc `signal(2)` symbol (declared here by
+//! hand — no crates) whose only action is storing a relaxed atomic
+//! flag, the one thing that is async-signal-safe. The daemon's poller
+//! thread translates that flag into a drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A sticky drain latch shared between the listener, executors, and
+/// signal poller. Cloning shares the latch.
+#[derive(Debug, Clone, Default)]
+pub struct DrainControl {
+    flag: Arc<AtomicBool>,
+}
+
+impl DrainControl {
+    /// A fresh, un-drained latch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flip the latch. Returns `true` the first time (the caller that
+    /// actually initiated the drain), `false` for every repeat.
+    pub fn begin(&self) -> bool {
+        !self.flag.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether a drain has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2) from libc, declared by hand to keep the
+        // no-new-dependencies rule. The handler is an extern "C" fn
+        // pointer passed as its address.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Only async-signal-safe work: store a flag.
+        SIGTERM_SEEN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX libc symbol; installing a
+        // handler that only stores an atomic flag is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+
+    pub fn seen() -> bool {
+        SIGTERM_SEEN.load(Ordering::SeqCst)
+    }
+}
+
+/// Install the process SIGTERM handler (idempotent). After this,
+/// [`sigterm_seen`] reports whether a SIGTERM has arrived. On
+/// non-Unix targets this is a no-op.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    sigterm::install();
+}
+
+/// Whether the process has received SIGTERM since
+/// [`install_sigterm_handler`] ran. Always `false` on non-Unix.
+pub fn sigterm_seen() -> bool {
+    #[cfg(unix)]
+    {
+        sigterm::seen()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_latch_is_sticky_and_shared() {
+        let control = DrainControl::new();
+        let clone = control.clone();
+        assert!(!control.is_draining());
+        assert!(control.begin(), "first begin wins");
+        assert!(!clone.begin(), "repeat begin reports already-draining");
+        assert!(clone.is_draining(), "clones share the latch");
+    }
+}

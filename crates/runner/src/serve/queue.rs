@@ -1,0 +1,154 @@
+//! Bounded multi-tenant job queue between the accept loop and the
+//! executor pool.
+//!
+//! The queue is the daemon's one buffering point, and it is *bounded
+//! by construction*: a full queue makes [`JobQueue::try_push`] return
+//! `false` so admission can shed the submission with a 429 instead of
+//! buffering without limit. Executors block on [`JobQueue::pop`];
+//! during a drain `pop` wakes everyone and returns `None`, and any
+//! jobs still queued stay behind — their scenarios were persisted at
+//! admission, so a later `serve --resume` re-admits them.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    draining: bool,
+}
+
+/// A bounded MPMC queue (mutex + condvar; no dependencies).
+pub struct JobQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// Create a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item` unless the queue is full or draining. Returns
+    /// `true` on success; `false` means the caller must shed.
+    pub fn try_push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.draining || inner.items.len() >= self.capacity {
+            return false;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is draining and empty of work to
+    /// hand out — the executor's signal to exit its loop.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.draining {
+                // Drain leaves queued items in place: they are already
+                // durable on disk and belong to the next --resume.
+                return None;
+            }
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Switch to draining: reject new pushes, wake all blocked `pop`s
+    /// (which return `None`), keep already-queued items untouched.
+    pub fn drain(&self) {
+        self.inner.lock().unwrap().draining = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of currently queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_sheds_at_capacity() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3), "third push must shed");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3), "pop frees a slot");
+    }
+
+    #[test]
+    fn drain_wakes_blocked_consumers_and_preserves_items() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block on the empty queue.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(q.try_push(7));
+        assert_eq!(consumer.join().unwrap(), Some(7));
+
+        assert!(q.try_push(8));
+        q.drain();
+        assert_eq!(q.pop(), None, "draining pop returns None");
+        assert_eq!(q.len(), 1, "queued item survives the drain");
+        assert!(!q.try_push(9), "draining queue rejects new work");
+    }
+
+    #[test]
+    fn many_producers_one_consumer_sees_every_item() {
+        let q = Arc::new(JobQueue::<usize>::new(64));
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        while !q.try_push(t * 100 + i) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = {
+            if q.is_empty() {
+                None
+            } else {
+                q.pop()
+            }
+        } {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 32);
+    }
+}

@@ -16,6 +16,12 @@
 //!               [--deadline-ms D] [--max-attempts K] [--journal PATH]
 //!               [--resume] [--metrics-out PATH] [--sync POLICY]
 //!               [--checkpoint-every N] [--chaos SPEC]
+//! c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE]
+//!               [--cache PATH] [--resume] [--drain-on-idle]
+//!               [--executors N] [--queue-depth N] [--budget N]
+//! c2bound-tool submit --addr HOST:PORT --scenario FILE [--tenant NAME] [--wait]
+//! c2bound-tool status --addr HOST:PORT [JOB]    # daemon job table / one job
+//! c2bound-tool shutdown --addr HOST:PORT [--wait]
 //! c2bound-tool journal compact <PATH>           # repair + shrink a resume journal
 //! c2bound-tool scenario init [PATH]             # canonical default scenario
 //! c2bound-tool scenario validate <PATH>         # parse + validate, print fingerprint
@@ -53,6 +59,15 @@
 //! `journal compact` repairs and shrinks an interrupted journal in
 //! place (torn tail, duplicate records, stale checkpoints).
 //!
+//! `serve` turns the same engine into a supervised multi-tenant
+//! daemon (DESIGN.md §12): a hand-rolled HTTP/1.1 listener with
+//! per-tenant admission breakers, bounded-queue load shedding with
+//! deterministic `Retry-After`, durable per-job artifacts, and
+//! graceful drain on SIGTERM or `/shutdown`. `submit`, `status`, and
+//! `shutdown` are the matching clients. Every admitted job runs the
+//! identical pipeline as one-shot `run --scenario`, so its journal and
+//! metrics are byte-identical to the command-line run.
+//!
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
 
@@ -67,22 +82,29 @@ use c2_sim::ChipConfig;
 use c2_speedup::scale::ScaleFunction;
 use c2_workloads::{characterize, Characterization, Workload, WorkloadTrace};
 
+/// The usage text, verbatim. A golden test pins it so the help a user
+/// actually sees is reviewed like any other interface change.
+const USAGE: &str = "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|fluidanimate> [size]\n  \
+     c2bound-tool optimize [f_seq] [f_mem] [g_exponent] [total_area] [shared_area]\n  \
+     c2bound-tool aps <workload> [size]\n  c2bound-tool scaling [f_mem]\n  \
+     c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
+     c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
+     c2bound-tool adaptive\n  \
+     c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
+     [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
+     [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
+     [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S]\n  \
+     c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE] [--cache PATH] \
+     [--resume] [--drain-on-idle] [--executors N] [--queue-depth N] [--budget N]\n  \
+     c2bound-tool submit --addr HOST:PORT --scenario FILE [--tenant NAME] [--wait] [--poll-ms N]\n  \
+     c2bound-tool status --addr HOST:PORT [JOB]\n  \
+     c2bound-tool shutdown --addr HOST:PORT [--wait]\n  \
+     c2bound-tool journal compact <PATH>\n  \
+     c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
+     c2bound-tool obs-report <metrics.json> [--prom|--json]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|fluidanimate> [size]\n  \
-         c2bound-tool optimize [f_seq] [f_mem] [g_exponent] [total_area] [shared_area]\n  \
-         c2bound-tool aps <workload> [size]\n  c2bound-tool scaling [f_mem]\n  \
-         c2bound-tool table1\n  c2bound-tool trace <workload> [size]\n  \
-         c2bound-tool characterize-file <path>\n  c2bound-tool multiobjective [weight]\n  \
-         c2bound-tool adaptive\n  \
-         c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
-         [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
-         [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
-         [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S]\n  \
-         c2bound-tool journal compact <PATH>\n  \
-         c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
-         c2bound-tool obs-report <metrics.json> [--prom|--json]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -128,6 +150,13 @@ fn positional_scenario(name: &str, size: u64, tiny_space: bool) -> Scenario {
     sc.workload.size = size;
     if tiny_space {
         sc.space = SpaceSpec::tiny();
+    }
+    // Positional arguments get the same range checks a scenario file
+    // gets: `run stencil 0` must die with a typed error here, not
+    // reach the engine and publish an empty journal or cache.
+    if let Err(e) = sc.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
     sc
 }
@@ -877,6 +906,325 @@ fn cmd_adaptive() {
     );
 }
 
+/// The real DSE pipeline as a [`c2_runner::ScenarioExecutor`]: the
+/// daemon hands it an admitted scenario and it runs the exact same
+/// workload → characterize → APS → `SweepRunner` path as one-shot
+/// `run --scenario`, which is what makes a served job's journal and
+/// metrics byte-identical to the command-line run.
+struct PipelineExecutor;
+
+impl c2_runner::ScenarioExecutor for PipelineExecutor {
+    fn execute(
+        &self,
+        sc: &Scenario,
+        config: c2_runner::RunConfig,
+        journal: &std::path::Path,
+        resume: bool,
+        sink: &dyn c2_obs::MetricsSink,
+        ops: &dyn c2_obs::MetricsSink,
+    ) -> c2_runner::Result<c2_runner::RunSummary> {
+        let sim_err = |what: &str, e: String| {
+            c2_runner::Error::Core(c2_bound::Error::Simulation(format!("{what}: {e}")))
+        };
+        let w = c2_workloads::workload_from_spec(&sc.workload).ok_or(
+            c2_runner::Error::InvalidConfig("unknown workload in admitted scenario"),
+        )?;
+        let chip = ChipConfig::from_spec(&sc.chip).map_err(|e| sim_err("chip", e.to_string()))?;
+        let trace = w.generate();
+        let ch = characterize(&trace, &chip).map_err(|e| sim_err("characterize", e.to_string()))?;
+        let g = scale_function(sc, w.as_ref());
+        let aps = aps_from_scenario(sc, &ch, &chip, g)?;
+        let area = aps.model.area;
+        let budget = aps.model.budget;
+        let price = |p: &DesignPoint| {
+            simulate_point(p, &trace, &area, &budget)
+                .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
+        };
+        let runner = c2_runner::SweepRunner::new(config)?;
+        runner.run_aps_full(&aps, || price, Some(journal), resume, sink, ops)
+    }
+}
+
+/// `serve`: the supervised DSE-as-a-service daemon (DESIGN.md §12).
+/// Policy comes from the `serve` section of `--scenario` (defaults
+/// otherwise), with `--executors`/`--queue-depth`/`--budget` as
+/// command-line overrides. Prints `serving on <addr>` once the
+/// listener is bound, runs until drained (SIGTERM, `/shutdown`, or
+/// `--drain-on-idle`), and exits 0 with a drain summary.
+fn cmd_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut dir = std::path::PathBuf::from("serve-jobs");
+    let mut scenario_path: Option<String> = None;
+    let mut cache: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut drain_on_idle = false;
+    let mut executors: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut budget: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--dir" => dir = std::path::PathBuf::from(value("--dir")),
+            "--scenario" => scenario_path = Some(value("--scenario")),
+            "--cache" => cache = Some(std::path::PathBuf::from(value("--cache"))),
+            "--resume" => resume = true,
+            "--drain-on-idle" => drain_on_idle = true,
+            "--executors" => executors = Some(parse_arg(&value("--executors"), "--executors")),
+            "--queue-depth" => {
+                queue_depth = Some(parse_arg(&value("--queue-depth"), "--queue-depth"));
+            }
+            "--budget" => budget = Some(parse_arg(&value("--budget"), "--budget")),
+            _ => usage(),
+        }
+    }
+    let spec = match &scenario_path {
+        Some(path) => load_scenario(path).serve,
+        None => c2_config::ServeSpec::default(),
+    };
+    let mut policy = c2_runner::ServePolicy::from_spec(&spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(v) = executors {
+        policy.executors = v;
+    }
+    if let Some(v) = queue_depth {
+        policy.queue_depth = v;
+    }
+    if let Some(v) = budget {
+        policy.per_client_budget = v;
+    }
+    if let Err(e) = policy.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let options = c2_runner::ServeOptions {
+        addr,
+        dir,
+        cache_path: cache,
+        policy,
+        resume,
+        drain_on_idle,
+        watch_sigterm: true,
+    };
+    let mut daemon = c2_runner::Daemon::bind(options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    // Flushed eagerly: scripts parse this line from a pipe to learn
+    // the ephemeral port before the daemon blocks in accept.
+    println!("serving on {}", daemon.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = daemon.run(&PipelineExecutor).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "drained: {} admitted ({} resumed), {} completed, {} failed, {} quarantined, \
+         {} shed, {} pending for --resume",
+        report.admitted,
+        report.resumed,
+        report.completed,
+        report.failed,
+        report.quarantined,
+        report.shed,
+        report.pending_at_drain
+    );
+}
+
+/// One HTTP exchange with a serve daemon, or a one-line error exit.
+fn daemon_call(
+    addr: &str,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    c2_runner::serve::protocol::http_call(addr, method, target, headers, body, 10_000)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {method} {target} on {addr}: {e}");
+            std::process::exit(1);
+        })
+}
+
+/// `submit`: send a scenario file to a serve daemon. Prints the
+/// daemon's JSON response; with `--wait`, polls the job until it
+/// reaches a terminal state and exits nonzero unless it completed.
+fn cmd_submit(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut scenario_path: Option<String> = None;
+    let mut tenant = "anonymous".to_string();
+    let mut wait = false;
+    let mut poll_ms: u64 = 100;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--scenario" => scenario_path = Some(value("--scenario")),
+            "--tenant" => tenant = value("--tenant"),
+            "--wait" => wait = true,
+            "--poll-ms" => poll_ms = parse_arg(&value("--poll-ms"), "--poll-ms"),
+            _ => usage(),
+        }
+    }
+    let (Some(addr), Some(scenario_path)) = (addr, scenario_path) else {
+        eprintln!("error: submit requires --addr and --scenario");
+        std::process::exit(2);
+    };
+    // Sent verbatim: the daemon is the validation authority, so its
+    // 422 body reports exactly what a local `scenario validate` would.
+    let body = std::fs::read(&scenario_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {scenario_path}: {e}");
+        std::process::exit(1);
+    });
+    let (status, headers, response) = daemon_call(
+        &addr,
+        "POST",
+        "/submit",
+        &[("X-Tenant", &tenant), ("Content-Type", "application/json")],
+        &body,
+    );
+    let text = String::from_utf8_lossy(&response);
+    if status != 202 {
+        let retry = headers
+            .iter()
+            .find(|(k, _)| k == "retry-after")
+            .map(|(_, v)| format!(" (retry after {v} s)"))
+            .unwrap_or_default();
+        eprintln!(
+            "error: submission rejected with {status}{retry}: {}",
+            text.trim()
+        );
+        std::process::exit(1);
+    }
+    print!("{text}");
+    if !wait {
+        return;
+    }
+    let job = c2_config::Json::parse(&text)
+        .ok()
+        .and_then(|doc| {
+            doc.as_obj()
+                .and_then(|pairs| pairs.iter().find(|(k, _)| k == "job").cloned())
+        })
+        .and_then(|(_, v)| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| {
+            eprintln!("error: daemon's 202 response carried no job id");
+            std::process::exit(1);
+        });
+    loop {
+        let (status, _, response) = daemon_call(&addr, "GET", &format!("/status/{job}"), &[], b"");
+        if status != 200 {
+            eprintln!("error: status poll for {job} returned {status}");
+            std::process::exit(1);
+        }
+        let text = String::from_utf8_lossy(&response);
+        let state = c2_config::Json::parse(&text)
+            .ok()
+            .and_then(|doc| {
+                doc.as_obj()
+                    .and_then(|pairs| pairs.iter().find(|(k, _)| k == "state").cloned())
+            })
+            .and_then(|(_, v)| v.as_str().map(str::to_string))
+            .unwrap_or_default();
+        match state.as_str() {
+            "completed" => {
+                print!("{text}");
+                return;
+            }
+            "failed" | "quarantined" => {
+                eprint!("{text}");
+                std::process::exit(1);
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(poll_ms)),
+        }
+    }
+}
+
+/// `status`: print a daemon's job table, or one job's detail.
+fn cmd_status(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut job: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("error: --addr requires a value");
+                    std::process::exit(2);
+                }));
+            }
+            other if !other.starts_with('-') && job.is_none() => job = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: status requires --addr");
+        std::process::exit(2);
+    };
+    let target = match &job {
+        Some(id) => format!("/status/{id}"),
+        None => "/status".to_string(),
+    };
+    let (status, _, response) = daemon_call(&addr, "GET", &target, &[], b"");
+    print!("{}", String::from_utf8_lossy(&response));
+    if status != 200 {
+        std::process::exit(1);
+    }
+}
+
+/// `shutdown`: ask a daemon to drain. With `--wait`, blocks until the
+/// daemon's socket stops answering (i.e. the process exited).
+fn cmd_shutdown(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut wait = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("error: --addr requires a value");
+                    std::process::exit(2);
+                }));
+            }
+            "--wait" => wait = true,
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: shutdown requires --addr");
+        std::process::exit(2);
+    };
+    let (status, _, response) = daemon_call(&addr, "POST", "/shutdown", &[], b"");
+    print!("{}", String::from_utf8_lossy(&response));
+    if status != 200 {
+        std::process::exit(1);
+    }
+    if wait {
+        // Poll until the daemon stops answering — i.e. the drain
+        // finished and the listener closed.
+        while c2_runner::serve::protocol::http_call(&addr, "GET", "/status", &[], b"", 2_000)
+            .is_ok()
+        {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -886,6 +1234,10 @@ fn main() {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("aps") => cmd_aps(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("journal") => cmd_journal(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
@@ -893,6 +1245,12 @@ fn main() {
         Some("table1") => cmd_table1(),
         Some("multiobjective") => cmd_multiobjective(&args[1..]),
         Some("adaptive") => cmd_adaptive(),
-        _ => usage(),
+        Some(other) => {
+            // An unrecognized subcommand is an explicit error on
+            // stderr plus the usage text — never a silent fallthrough.
+            eprintln!("error: unknown subcommand {other:?}");
+            usage()
+        }
+        None => usage(),
     }
 }

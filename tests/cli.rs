@@ -175,3 +175,106 @@ fn run_journals_and_resumes_idempotently() {
     assert!(!out.status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn usage_text_matches_the_golden_snapshot() {
+    let out = tool().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let golden = include_str!("golden/usage.txt");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stderr),
+        golden,
+        "usage text drifted from tests/golden/usage.txt; \
+         regenerate it if the change is intentional"
+    );
+}
+
+#[test]
+fn unknown_subcommands_error_to_stderr_with_usage() {
+    let out = tool().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "usage must not pollute stdout");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("error: unknown subcommand \"frobnicate\""),
+        "{err}"
+    );
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn misspelled_subcommand_is_not_silently_absorbed() {
+    let out = tool()
+        .args(["rnu", "stencil", "10"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error: unknown subcommand \"rnu\""), "{err}");
+}
+
+#[test]
+fn positional_zero_size_is_a_typed_error_before_the_engine() {
+    let dir = std::env::temp_dir().join(format!("c2bound-zero-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("zero.journal.jsonl");
+    let out = tool()
+        .args([
+            "run",
+            "stencil",
+            "0",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("workload.size"), "{err}");
+    assert!(
+        !journal.exists(),
+        "a rejected run must not create a journal file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scenario_with_empty_axis_is_rejected_before_any_artifact() {
+    let dir = std::env::temp_dir().join(format!("c2bound-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("empty.json");
+    std::fs::write(
+        &scenario,
+        r#"{
+  "version": 1,
+  "workload": { "name": "stencil", "size": 16 },
+  "space": {
+    "a0": [], "a1": [0.125], "a2": [0.5],
+    "n": [1, 2], "issue": [1], "rob": [16]
+  },
+  "runner": { "workers": 1 }
+}"#,
+    )
+    .unwrap();
+    let journal = dir.join("empty.journal.jsonl");
+    let out = tool()
+        .args([
+            "run",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("space"), "{err}");
+    assert!(
+        !journal.exists(),
+        "a rejected scenario must not create a journal file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
