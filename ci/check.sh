@@ -113,9 +113,30 @@ for job in job0001 job0002; do
     cmp "${serve_dir}/${job}.metrics.json" "${smoke_dir}/${job}.oneshot.json"
 done
 
+echo "== oracle-mode smoke (phase vs full, quick.json) =="
+for mode in full phase; do
+    cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+        --oracle-mode "${mode}" \
+        --journal "${smoke_dir}/oracle-${mode}.jsonl" \
+        --metrics-out "${smoke_dir}/oracle-${mode}.json" > /dev/null
+    test -s "${smoke_dir}/oracle-${mode}.json"
+done
+# The two modes must never alias: the oracle mode is bound into the
+# scenario fingerprint, which every journal record carries.
+if cmp -s "${smoke_dir}/oracle-full.jsonl" "${smoke_dir}/oracle-phase.jsonl"; then
+    echo "error: phase-mode journal must carry a distinct fingerprint" >&2
+    exit 1
+fi
+
 echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="
 cargo bench -q -p c2-bench --bench sweep_benches > /dev/null
 test -s BENCH_sweep.json
+
+echo "== scaling smoke (1 vs 8 threads + phase cut, archives BENCH_phase.json) =="
+# The bench itself enforces the floors (>=5x at 8 threads, >=1.5x
+# per-oracle cut) and refreshes the checked-in record.
+cargo bench -q -p c2-bench --bench phase_benches > /dev/null
+test -s BENCH_phase.json
 
 echo "== examples (build + smoke run) =="
 cargo build -q --examples

@@ -13,11 +13,14 @@
 //! The oracle prices every point through one shared, read-only
 //! [`c2_sim::SharedOracle`] — the same sharing pattern the parallel
 //! engine is designed around — with a fixed per-evaluation latency
-//! (a sleep), so the ideal speedup at `t` threads is `t` regardless
-//! of how many physical cores the benchmark machine has. That models
-//! the dominant real deployment, where each evaluation blocks on an
-//! external simulator process; a compute-bound oracle scales the same
-//! way once physical cores are available.
+//! ([`c2_bench::spin::deterministic_spin`]: a constant work quantum
+//! plus a sleep to an absolute deadline), so the ideal speedup at `t`
+//! threads is `t` regardless of how many physical cores the benchmark
+//! machine has, and the per-evaluation cost does not drift with
+//! scheduler noise between reps. That models the dominant real
+//! deployment, where each evaluation blocks on an external simulator
+//! process; a compute-bound oracle scales the same way once physical
+//! cores are available.
 
 use c2_bound::dse::{DesignPoint, DesignSpace};
 use c2_bound::{Aps, C2BoundModel};
@@ -39,9 +42,10 @@ fn paper_scale_aps() -> Aps {
 }
 
 /// Block for the fixed per-evaluation latency, then price
-/// analytically. See the module docs for why the cost is a sleep.
+/// analytically. See the module docs for why the cost is a
+/// deterministic spin rather than a bare sleep or busy-wait.
 fn priced(p: &DesignPoint) -> c2_bound::Result<f64> {
-    std::thread::sleep(ORACLE_SPIN);
+    c2_bench::spin::deterministic_spin(ORACLE_SPIN);
     Ok(1.0e9 / (p.n as f64 * p.issue_width as f64 * p.rob_size as f64))
 }
 

@@ -229,6 +229,52 @@ pub fn header(figure: &str, claim: &str) {
     println!("================================================================");
 }
 
+/// Deterministic fixed-latency oracle work for the wall-clock benches.
+///
+/// The sweep benchmarks model an oracle whose cost is an external
+/// simulator process: latency-bound, identical per evaluation. A bare
+/// `thread::sleep` gives that latency but with scheduler oversleep
+/// *per call site*, and an open-loop busy-wait burns a core and
+/// varies with host load — both pollute best-of-`reps` speedup
+/// numbers. [`spin::deterministic_spin`] combines a fixed-iteration
+/// splitmix64 quantum (the same instruction stream on every call, so
+/// the compute cost is a constant) with a single sleep to an absolute
+/// deadline taken at entry, so every evaluation costs the same wall
+/// time regardless of when the OS wakes the thread mid-quantum.
+pub mod spin {
+    use std::time::{Duration, Instant};
+
+    /// Iterations of the work quantum; tens of microseconds of real
+    /// compute, deliberately small next to the millisecond-scale
+    /// latencies the benches use.
+    const WORK_ITERS: u64 = 20_000;
+
+    fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Block for exactly `latency` of wall time (modulo one final
+    /// scheduler wakeup), doing a deterministic quantum of real work
+    /// first. Returns the quantum's checksum so callers can feed it
+    /// to a sink the optimizer cannot remove.
+    pub fn deterministic_spin(latency: Duration) -> u64 {
+        let deadline = Instant::now() + latency;
+        let mut x = 0;
+        for _ in 0..WORK_ITERS {
+            x = splitmix64(x);
+        }
+        let x = std::hint::black_box(x);
+        let now = Instant::now();
+        if now < deadline {
+            std::thread::sleep(deadline - now);
+        }
+        x
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

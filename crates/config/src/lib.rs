@@ -20,6 +20,7 @@ pub mod scenario;
 pub use json::{Json, JsonError};
 pub use scenario::{
     fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChaosSpec,
-    ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, Result, RunnerSpec,
-    Scenario, ScenarioError, ServeSpec, SolverSpec, SpaceSpec, WorkloadSpec,
+    ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, OracleMode,
+    OracleSpec, PhaseSpec, Result, RunnerSpec, Scenario, ScenarioError, ServeSpec, SolverSpec,
+    SpaceSpec, WorkloadSpec,
 };

@@ -458,6 +458,81 @@ impl Default for SolverSpec {
     }
 }
 
+/// Phase-detection knobs for the phase-clustered oracle; mirrors
+/// `PhaseConfig` in `c2-trace` (signature-histogram sizes and k-means
+/// iteration caps keep that crate's defaults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Accesses per clustering interval.
+    pub interval_len: u64,
+    /// Number of phases (clusters) to detect; clamped down to the
+    /// number of available intervals by the consumer.
+    pub clusters: u64,
+    /// Deterministic seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for PhaseSpec {
+    fn default() -> Self {
+        PhaseSpec {
+            interval_len: 1000,
+            clusters: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Oracle selection: how the sweep prices a design point.
+///
+/// `mode: "full"` simulates the whole workload trace at every point
+/// (the historical behaviour); `mode: "phase"` runs phase detection
+/// once and simulates only the representative interval per phase,
+/// reconstructing full-run metrics as the weight-combined estimate.
+///
+/// The section is **semantic** when it deviates from `full`: phase
+/// mode changes what a sweep computes, so it is bound into the
+/// scenario fingerprint (and with it the journal and cache identity).
+/// In `full` mode the section is dropped from the semantic rendering
+/// entirely, so every pre-existing fingerprint survives the key's
+/// introduction unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OracleSpec {
+    /// `"full"` or `"phase"`.
+    pub mode: OracleMode,
+    /// Phase-detection knobs (ignored in `full` mode but always
+    /// validated and rendered).
+    pub phase: PhaseSpec,
+}
+
+/// The oracle evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleMode {
+    /// Simulate the full trace at every design point.
+    #[default]
+    Full,
+    /// Simulate one representative interval per detected phase.
+    Phase,
+}
+
+impl OracleMode {
+    /// The canonical spelling used in scenario JSON and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OracleMode::Full => "full",
+            OracleMode::Phase => "phase",
+        }
+    }
+
+    /// Parse the canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(OracleMode::Full),
+            "phase" => Some(OracleMode::Phase),
+            _ => None,
+        }
+    }
+}
+
 /// Retry backoff policy; mirrors `BackoffPolicy` in `c2-runner`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackoffSpec {
@@ -691,6 +766,9 @@ pub struct Scenario {
     pub area: AreaSpec,
     /// Solver tolerances.
     pub solver: SolverSpec,
+    /// Oracle selection (full-trace vs phase-clustered pricing).
+    /// Semantic whenever it deviates from `full` mode.
+    pub oracle: OracleSpec,
     /// Supervised-runner policy.
     pub runner: RunnerSpec,
     /// Service-layer (daemon) policy. Operational — excluded from the
@@ -711,6 +789,7 @@ impl Default for Scenario {
             budget: BudgetSpec::default(),
             area: AreaSpec::default(),
             solver: SolverSpec::default(),
+            oracle: OracleSpec::default(),
             runner: RunnerSpec::default(),
             serve: ServeSpec::default(),
             observability: ObsSpec::default(),
@@ -1440,6 +1519,52 @@ impl ChaosSpec {
     }
 }
 
+impl PhaseSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["interval_len", "clusters", "seed"], path)?;
+        let d = PhaseSpec::default();
+        Ok(PhaseSpec {
+            interval_len: get_u64(pairs, "interval_len", path, d.interval_len)?,
+            clusters: get_u64(pairs, "clusters", path, d.clusters)?,
+            seed: get_u64(pairs, "seed", path, d.seed)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("interval_len".into(), Json::Num(self.interval_len as f64)),
+            ("clusters".into(), Json::Num(self.clusters as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+        ])
+    }
+}
+
+impl OracleSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["mode", "phase"], path)?;
+        let d = OracleSpec::default();
+        let mode_str = get_string(pairs, "mode", path, d.mode.as_str())?;
+        let mode = OracleMode::parse(&mode_str).ok_or(ScenarioError::OutOfRange {
+            path: join(path, "mode"),
+            why: "must be \"full\" or \"phase\"",
+        })?;
+        let phase = match find(pairs, "phase") {
+            None => d.phase,
+            Some(value) => PhaseSpec::from_json_value(value, &join(path, "phase"))?,
+        };
+        Ok(OracleSpec { mode, phase })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mode".into(), Json::Str(self.mode.as_str().to_string())),
+            ("phase".into(), self.phase.to_json()),
+        ])
+    }
+}
+
 impl RunnerSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1644,6 +1769,7 @@ impl Scenario {
                 "budget",
                 "area",
                 "solver",
+                "oracle",
                 "runner",
                 "serve",
                 "observability",
@@ -1685,6 +1811,10 @@ impl Scenario {
                 None => SolverSpec::default(),
                 Some(v) => SolverSpec::from_json_value(v, "solver")?,
             },
+            oracle: match section("oracle") {
+                None => OracleSpec::default(),
+                Some(v) => OracleSpec::from_json_value(v, "oracle")?,
+            },
             runner: match section("runner") {
                 None => RunnerSpec::default(),
                 Some(v) => RunnerSpec::from_json_value(v, "runner")?,
@@ -1715,8 +1845,16 @@ impl Scenario {
             ("budget".into(), self.budget.to_json()),
             ("area".into(), self.area.to_json()),
             ("solver".into(), self.solver.to_json()),
-            ("runner".into(), self.runner.to_json_with(semantic)),
         ];
+        // The oracle section is semantic exactly when it deviates from
+        // full-trace pricing: phase mode changes what the sweep
+        // computes, so it must move the fingerprint; in full mode the
+        // section is dropped from the semantic rendering so every
+        // fingerprint minted before the key existed stays valid.
+        if !semantic || self.oracle.mode != OracleMode::Full {
+            pairs.push(("oracle".into(), self.oracle.to_json()));
+        }
+        pairs.push(("runner".into(), self.runner.to_json_with(semantic)));
         if !semantic {
             // The whole service-layer section is operational (daemon
             // admission/shedding policy): dropped from the semantic
@@ -1922,6 +2060,20 @@ impl Scenario {
         }
         if sv.nelder_max_iters == 0 {
             return Err(fail("solver.nelder_max_iters", "must be at least 1"));
+        }
+
+        let o = &self.oracle;
+        if o.phase.interval_len == 0 {
+            return Err(fail("oracle.phase.interval_len", "must be at least 1"));
+        }
+        if o.phase.interval_len > 1_000_000_000 {
+            return Err(fail("oracle.phase.interval_len", "is implausibly large"));
+        }
+        if o.phase.clusters == 0 {
+            return Err(fail("oracle.phase.clusters", "must be at least 1"));
+        }
+        if o.phase.clusters > 1024 {
+            return Err(fail("oracle.phase.clusters", "is implausibly large"));
         }
 
         let r = &self.runner;
@@ -2145,6 +2297,79 @@ mod tests {
         )
         .unwrap();
         assert!(ok.runner.cache.enabled);
+    }
+
+    #[test]
+    fn oracle_section_round_trips_and_validates() {
+        let s = Scenario::from_json(
+            r#"{"oracle":{"mode":"phase","phase":{"interval_len":500,"clusters":3,"seed":7}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.oracle.mode, OracleMode::Phase);
+        assert_eq!(s.oracle.phase.interval_len, 500);
+        assert_eq!(s.oracle.phase.clusters, 3);
+        assert_eq!(s.oracle.phase.seed, 7);
+        assert_eq!(Scenario::from_json(&s.render()).unwrap(), s);
+
+        let e = Scenario::from_json(r#"{"oracle":{"mode":"turbo"}}"#).unwrap_err();
+        assert!(matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "oracle.mode"));
+        let e = Scenario::from_json(r#"{"oracle":{"phase":{"interval_len":0}}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "oracle.phase.interval_len")
+        );
+        let e = Scenario::from_json(r#"{"oracle":{"phase":{"clusters":0}}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "oracle.phase.clusters")
+        );
+        let e = Scenario::from_json(r#"{"oracle":{"turbo":true}}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::UnknownKey {
+                path: "oracle.turbo".into()
+            }
+        );
+    }
+
+    #[test]
+    fn full_mode_oracle_is_fingerprint_invisible() {
+        // The section only became expressible in this schema revision:
+        // a full-mode oracle (with any phase knobs) must not move any
+        // pre-existing fingerprint, while phase mode is semantic and
+        // must move it.
+        let base = Scenario::default();
+        let full_tweaked = Scenario {
+            oracle: OracleSpec {
+                mode: OracleMode::Full,
+                phase: PhaseSpec {
+                    interval_len: 123,
+                    clusters: 9,
+                    seed: 1,
+                },
+            },
+            ..Scenario::default()
+        };
+        assert_eq!(base.fingerprint(), full_tweaked.fingerprint());
+
+        let phased = Scenario {
+            oracle: OracleSpec {
+                mode: OracleMode::Phase,
+                ..OracleSpec::default()
+            },
+            ..Scenario::default()
+        };
+        assert_ne!(base.fingerprint(), phased.fingerprint());
+        // And the phase knobs are bound in once the mode is phase.
+        let phased_tweaked = Scenario {
+            oracle: OracleSpec {
+                mode: OracleMode::Phase,
+                phase: PhaseSpec {
+                    interval_len: 123,
+                    ..PhaseSpec::default()
+                },
+            },
+            ..Scenario::default()
+        };
+        assert_ne!(phased.fingerprint(), phased_tweaked.fingerprint());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod energy;
 pub mod mem_model;
 pub mod model;
 pub mod optimize;
+pub mod phase;
 pub mod report;
 pub mod scaling;
 pub mod scenario;
@@ -79,6 +80,7 @@ pub use optimize::{
     optimize, optimize_observed, optimize_observed_tuned, optimize_tuned, OptimalDesign,
     SolverTuning, SplitSolve,
 };
+pub use phase::{PhaseEstimate, PhaseOracle, PhasePlan, PhaseSummary};
 pub use scaling::{ScalingPoint, ScalingStudy};
 pub use scenario::{aps_from_scenario, model_from_scenario, scale_function};
 

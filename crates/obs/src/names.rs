@@ -48,6 +48,42 @@ pub const ENGINE_CACHE_PUBLISHED_ENTRIES: &str = "engine_cache_published_entries
 /// before aborting or degrading. Ops sink.
 pub const ENGINE_STORAGE_FAULTS_TOTAL: &str = "engine_storage_faults_total";
 
+/// Shard-claim batches taken by sharded-engine workers (each batch
+/// claims one or more whole shards in a single atomic step). Ops sink:
+/// scheduling is thread-count-dependent by design.
+pub const STEAL_BATCH_CLAIMS_TOTAL: &str = "steal_batch_claims_total";
+
+/// Shards claimed across all batches (≥ claims; the ratio is the
+/// adaptive steal granularity actually achieved). Ops sink.
+pub const STEAL_BATCH_SHARDS_TOTAL: &str = "steal_batch_shards_total";
+
+/// Largest single claim batch observed (gauge). Ops sink.
+pub const STEAL_BATCH_MAX_SHARDS: &str = "steal_batch_max_shards";
+
+// ---------------------------------------------------------------------------
+// Phase-clustered oracle (`--oracle-mode phase`)
+// ---------------------------------------------------------------------------
+//
+// Telemetry about the phase fast path. All ops-sink: they describe how
+// a particular invocation obtained its phase plan (fresh detection vs
+// cache memo), never what the sweep computed — the computed outcome is
+// pinned separately by the phase-accuracy tests.
+
+/// Phases the active plan simulates per oracle call (gauge; 0 for the
+/// exact short-trace fallback). Ops sink.
+pub const ORACLE_PHASE_COUNT: &str = "oracle_phase_count";
+
+/// Phase plans rebuilt from a memoized summary in the eval cache,
+/// skipping re-clustering. Ops sink.
+pub const ORACLE_PHASE_MEMO_HITS_TOTAL: &str = "oracle_phase_memo_hits_total";
+
+/// Phase detections run from scratch (memo absent or stale). Ops sink.
+pub const ORACLE_PHASE_DETECTIONS_TOTAL: &str = "oracle_phase_detections_total";
+
+/// Per-mille of the full trace's accesses one oracle call actually
+/// simulates (gauge; 1000 = exact fallback). Ops sink.
+pub const ORACLE_PHASE_SIMULATED_PERMILLE: &str = "oracle_phase_simulated_permille";
+
 // ---------------------------------------------------------------------------
 // Service layer (`c2bound-tool serve`)
 // ---------------------------------------------------------------------------

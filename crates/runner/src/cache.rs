@@ -62,6 +62,21 @@
 //! {"c2cache":1}
 //! {"key":"81ee23fcbe4f85d0","attempts":1,"time":123456.0}
 //! ```
+//!
+//! The file can additionally hold **phase-memo records** — the
+//! detected phase structure of a workload, keyed by the scenario's
+//! semantic identity, so repeated phase-mode runs of the same design
+//! space skip re-clustering:
+//!
+//! ```text
+//! {"c2phase":1,"key":"81ee23fcbe4f85d0","interval_len":1000,"labels":[0,1,0],"representatives":[0,1]}
+//! ```
+//!
+//! Phase records ride the same durability machinery: [`load`] collects
+//! them (without counting them as recovered/skipped lines) and
+//! [`publish`] re-emits whatever the file holds, so a publication never
+//! evicts a memo. They are advisory exactly like eval entries — a torn
+//! phase line loses one memo, nothing else.
 
 use crate::storage::Storage;
 use crate::{Error, Result};
@@ -113,11 +128,69 @@ fn entry_line(key: u64, entry: &CachedEval) -> String {
     )
 }
 
+/// One memoized phase detection: the summary a `PhasePlan` can be
+/// rebuilt from without re-clustering. Empty `labels` +
+/// `representatives` encodes the exact short-trace fallback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Accesses per clustering interval.
+    pub interval_len: u64,
+    /// Per-interval phase labels.
+    pub labels: Vec<u64>,
+    /// Representative interval index per phase.
+    pub representatives: Vec<u64>,
+}
+
+fn phase_line(key: u64, r: &PhaseRecord) -> String {
+    let list = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"c2phase\":1,\"key\":\"{key:016x}\",\"interval_len\":{},\"labels\":[{}],\"representatives\":[{}]}}",
+        r.interval_len,
+        list(&r.labels),
+        list(&r.representatives)
+    )
+}
+
+/// Parse one phase-memo line; `None` if `line` is not one.
+fn parse_phase(line: &str) -> Option<(u64, PhaseRecord)> {
+    let rest = line.trim().strip_prefix("{\"c2phase\":1,\"key\":\"")?;
+    let (hex, rest) = rest.split_once("\",\"interval_len\":")?;
+    let key = u64::from_str_radix(hex, 16).ok()?;
+    let (il, rest) = rest.split_once(",\"labels\":[")?;
+    let interval_len: u64 = il.parse().ok()?;
+    let (labels, rest) = rest.split_once("],\"representatives\":[")?;
+    let reps = rest.strip_suffix("]}")?;
+    let parse_list = |s: &str| -> Option<Vec<u64>> {
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        s.split(',').map(|x| x.parse().ok()).collect()
+    };
+    if interval_len == 0 {
+        return None;
+    }
+    Some((
+        key,
+        PhaseRecord {
+            interval_len,
+            labels: parse_list(labels)?,
+            representatives: parse_list(reps)?,
+        },
+    ))
+}
+
 /// What [`load`] found on disk at run start.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadedCache {
     /// Every well-formed entry (first occurrence of each key wins).
     pub snapshot: HashMap<u64, CachedEval>,
+    /// Phase-memo records found in the file (first occurrence wins).
+    pub phases: HashMap<u64, PhaseRecord>,
     /// Torn or malformed entry lines that were skipped. The engine
     /// surfaces this as a recovery counter — a non-zero value means a
     /// crash or disk fault cost some memoized results but nothing else.
@@ -135,9 +208,34 @@ pub fn load(storage: &dyn Storage, path: &Path) -> Result<LoadedCache> {
         return Ok(LoadedCache::default());
     };
     match parse_snapshot(&text, path)? {
-        Some((snapshot, skipped)) => Ok(LoadedCache { snapshot, skipped }),
+        Some(loaded) => Ok(loaded),
         None => Ok(LoadedCache::default()),
     }
+}
+
+/// Append one phase-memo record to the cache at `path`, creating the
+/// file (with its header) if missing or holding only a torn remnant.
+/// Runs before the engine starts, so it never races the engine's
+/// read-once/publish-once discipline; concurrent appenders interleave
+/// whole lines (O_APPEND) and the loader keeps the first of any
+/// duplicate key.
+pub fn append_phase(path: &Path, key: u64, record: &PhaseRecord) -> Result<()> {
+    let fresh = match std::fs::read_to_string(path) {
+        Ok(text) => parse_snapshot(&text, path)?.is_none(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+        Err(e) => return Err(Error::Io(format!("read {path:?}: {e}"))),
+    };
+    if fresh {
+        std::fs::write(path, format!("{}\n", header_line()))
+            .map_err(|e| Error::Io(format!("create {path:?}: {e}")))?;
+    }
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
+    f.write_all(format!("{}\n", phase_line(key, record)).as_bytes())
+        .and_then(|()| f.flush())
+        .map_err(|e| Error::Io(format!("write {path:?}: {e}")))
 }
 
 /// Atomically replace the cache at `path` with the union of `entries`
@@ -169,7 +267,8 @@ pub fn publish(
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".{}.{seq}.tmp", std::process::id()));
     let tmp = PathBuf::from(tmp);
-    let mut merged = load(storage, path)?
+    let on_disk = load(storage, path)?;
+    let mut merged = on_disk
         .snapshot
         .into_iter()
         .collect::<BTreeMap<u64, CachedEval>>();
@@ -177,6 +276,12 @@ pub fn publish(
         merged.insert(*key, *entry);
     }
     let entries = &merged;
+    // Phase memos are never produced by the engine: re-emit whatever
+    // the file holds so a publication cannot evict them.
+    let phases = on_disk
+        .phases
+        .into_iter()
+        .collect::<BTreeMap<u64, PhaseRecord>>();
     {
         let mut out = storage.create(&tmp)?;
         let mut buf = header_line();
@@ -184,6 +289,11 @@ pub fn publish(
         out.write_all(buf.as_bytes())?;
         for (key, entry) in entries {
             let mut line = entry_line(*key, entry);
+            line.push('\n');
+            out.write_all(line.as_bytes())?;
+        }
+        for (key, record) in &phases {
+            let mut line = phase_line(*key, record);
             line.push('\n');
             out.write_all(line.as_bytes())?;
         }
@@ -222,13 +332,13 @@ impl EvalCache {
                 let mut text = String::new();
                 f.read_to_string(&mut text)
                     .map_err(|e| Error::Io(format!("read {path:?}: {e}")))?;
-                if let Some((snapshot, _skipped)) = parse_snapshot(&text, path)? {
+                if let Some(loaded) = parse_snapshot(&text, path)? {
                     let file = OpenOptions::new()
                         .append(true)
                         .open(path)
                         .map_err(|e| Error::Io(format!("open {path:?} for append: {e}")))?;
                     return Ok(EvalCache {
-                        snapshot,
+                        snapshot: loaded.snapshot,
                         writer: Mutex::new(BufWriter::new(file)),
                         path: path.to_path_buf(),
                     });
@@ -278,12 +388,10 @@ impl EvalCache {
     }
 }
 
-/// Parse a cache file's contents into (entries, skipped-line count).
-/// `Ok(None)` means the file is an empty or torn-header remnant and
-/// should be treated as a fresh cache; `Err` means it is some other
-/// format and must not be touched.
-#[allow(clippy::type_complexity)]
-fn parse_snapshot(text: &str, path: &Path) -> Result<Option<(HashMap<u64, CachedEval>, usize)>> {
+/// Parse a cache file's contents. `Ok(None)` means the file is an
+/// empty or torn-header remnant and should be treated as a fresh
+/// cache; `Err` means it is some other format and must not be touched.
+fn parse_snapshot(text: &str, path: &Path) -> Result<Option<LoadedCache>> {
     let mut lines = text.split('\n').filter(|l| !l.trim().is_empty());
     let Some(header) = lines.next() else {
         return Ok(None); // crash before the header flushed
@@ -299,18 +407,19 @@ fn parse_snapshot(text: &str, path: &Path) -> Result<Option<(HashMap<u64, Cached
             "{path:?} is not a c2-runner evaluation cache (header {header:?})"
         )));
     }
-    let mut map = HashMap::new();
-    let mut skipped = 0usize;
+    let mut loaded = LoadedCache::default();
     for line in lines {
         // Advisory store: a torn or malformed entry loses one
         // memoized result, nothing else — later entries still load.
-        let Some(entry) = parse_entry(line) else {
-            skipped += 1;
-            continue;
-        };
-        map.entry(entry.0).or_insert(entry.1);
+        if let Some((key, entry)) = parse_entry(line) {
+            loaded.snapshot.entry(key).or_insert(entry);
+        } else if let Some((key, record)) = parse_phase(line) {
+            loaded.phases.entry(key).or_insert(record);
+        } else {
+            loaded.skipped += 1;
+        }
     }
-    Ok(Some((map, skipped)))
+    Ok(Some(loaded))
 }
 
 /// Parse one `{"key":"<hex16>","attempts":N,"time":T}` line.
@@ -585,6 +694,53 @@ mod tests {
         drop(c);
         let c = EvalCache::open(&path).unwrap();
         assert_eq!(c.len(), 1, "the rewritten header is well-formed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn phase_records_ride_the_cache_without_perturbing_entries() {
+        let path = tmp("phase-memo.jsonl");
+        let record = PhaseRecord {
+            interval_len: 1000,
+            labels: vec![0, 1, 0, 2],
+            representatives: vec![0, 1, 3],
+        };
+        // Append creates the file (with header) and the memo loads back.
+        append_phase(&path, 0xF00D, &record).unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.phases.get(&0xF00D), Some(&record));
+        assert_eq!(loaded.skipped, 0, "a phase line is not a torn line");
+        assert!(loaded.snapshot.is_empty());
+
+        // The exact-fallback marker (all-empty lists) round-trips too.
+        let exact = PhaseRecord {
+            interval_len: 500,
+            labels: Vec::new(),
+            representatives: Vec::new(),
+        };
+        append_phase(&path, 0xBEEF, &exact).unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.phases.len(), 2);
+        assert_eq!(loaded.phases.get(&0xBEEF), Some(&exact));
+
+        // Publication preserves memos alongside the merged entries...
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            1,
+            CachedEval {
+                attempts: 1,
+                time: 5.0,
+            },
+        );
+        publish(&DISK, false, &path, &entries).unwrap();
+        let loaded = load(&DISK, &path).unwrap();
+        assert_eq!(loaded.snapshot.len(), 1);
+        assert_eq!(loaded.phases.len(), 2);
+        assert_eq!(loaded.skipped, 0);
+
+        // ...and the incremental interface still opens the file.
+        let c = EvalCache::open(&path).unwrap();
+        assert_eq!(c.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

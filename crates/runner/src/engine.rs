@@ -1240,6 +1240,14 @@ struct ShardCell {
     /// checkpoint cadence counter, so resume keeps the cadence a
     /// clean run had.
     appended: usize,
+    /// Live records decided but not yet written to the journal. The
+    /// worker appends these under **one** journal lock per checkpoint
+    /// boundary (and once at shard completion) instead of locking per
+    /// job, so the global journal mutex stops serializing the hot
+    /// path. A crash loses at most one shard's unflushed tail, which
+    /// resume simply re-runs; completed runs rewrite the journal
+    /// canonically, so the durable bytes are unchanged.
+    pending: Vec<JobRecord>,
     /// Within-run memoization, per shard (not per worker: a
     /// worker-wide store's contents would depend on which shards the
     /// worker happened to run first). Re-seeded from resumed records
@@ -1280,6 +1288,8 @@ fn replayable(breaker: &CircuitBreaker, attempts: usize) -> bool {
 /// through the real breaker — the identical function that replays
 /// *resumed* records, which is what makes a resumed run's artifacts
 /// bit-identical to a clean run's by construction (DESIGN.md §10–§11).
+/// `ckey` is the job's cache address, precomputed by the worker in one
+/// batch per claimed shard (rather than re-derived per job here).
 #[allow(clippy::too_many_arguments)]
 fn decide_sharded_job<O: Oracle>(
     config: &RunConfig,
@@ -1287,14 +1297,13 @@ fn decide_sharded_job<O: Oracle>(
     cache_on: bool,
     snapshot: &HashMap<u64, CachedEval>,
     local_store: &HashMap<u64, CachedEval>,
-    cache_identity: u64,
+    ckey: u64,
     breaker: &CircuitBreaker,
     oracle: &mut O,
     seq: usize,
 ) -> (Terminal, bool) {
     let job = &plan.jobs[seq];
     let content = job.content_key();
-    let ckey = cache_key(cache_identity, content);
     let mut probe = breaker.clone();
     let mut attempt = 1usize;
     loop {
@@ -1572,22 +1581,79 @@ fn emit_terminal_event(cell: &mut ShardCell, seq: usize, t: &Terminal) {
     cell.buffer.event("engine", "job.terminal", &fields);
 }
 
+/// Write a shard's pending journal records (and, at a checkpoint
+/// boundary, the checkpoint line) under a single journal lock. Called
+/// when the shard's cadence counter crosses a `checkpoint_every`
+/// multiple and once when the worker finishes the shard, so the lock
+/// is taken O(jobs / checkpoint_every) times instead of once per job.
+/// A storage fault poisons the journal and aborts the run, exactly as
+/// the old per-job path did; the remaining pending records are
+/// discarded (the run returns the error before any buffer merges).
+fn flush_shard_pending(
+    journal: &Mutex<ShardJournal>,
+    cell: &mut ShardCell,
+    shard: usize,
+    checkpoint: bool,
+    ops: &dyn MetricsSink,
+    abort: &AtomicBool,
+) {
+    if cell.pending.is_empty() && !checkpoint {
+        return;
+    }
+    let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+    if j.error.is_some() {
+        cell.pending.clear();
+        return;
+    }
+    let mut fault: Option<(&'static str, Error)> = None;
+    if let Some(w) = j.writer.as_mut() {
+        for record in cell.pending.drain(..) {
+            if let Err(e) = w.record(&record) {
+                fault = Some(("journal.append", e));
+                break;
+            }
+        }
+        if fault.is_none() && checkpoint {
+            let ck = Checkpoint {
+                shard,
+                covered: cell.appended,
+                snapshot: cell.breaker.snapshot(),
+            };
+            match w.checkpoint(&ck) {
+                Ok(()) => {
+                    ops.counter_add(names::ENGINE_JOURNAL_CHECKPOINTS_TOTAL, 1);
+                    ops.event(
+                        "engine",
+                        "journal.checkpoint",
+                        &[("shard", shard.into()), ("covered", cell.appended.into())],
+                    );
+                }
+                Err(e) => fault = Some(("journal.checkpoint", e)),
+            }
+        }
+    }
+    cell.pending.clear();
+    if let Some((op, e)) = fault {
+        ops.counter_add(names::ENGINE_STORAGE_FAULTS_TOTAL, 1);
+        ops.event(
+            "engine",
+            "storage.fault",
+            &[("op", op.into()), ("error", e.to_string().into())],
+        );
+        j.error = Some(e);
+        abort.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Seed the shard's within-run memoization from a terminal. For live
 /// jobs this is the store the original engine performed inline; for
 /// resumed jobs it rebuilds the store the interrupted run had, so a
 /// resumed sweep hits the cache exactly where the clean sweep did.
-fn seed_local_store(
-    local_store: &mut HashMap<u64, CachedEval>,
-    plan: &ApsPlan,
-    cache_identity: u64,
-    seq: usize,
-    t: &Terminal,
-) {
+fn seed_local_store(local_store: &mut HashMap<u64, CachedEval>, ckey: u64, t: &Terminal) {
     if t.short_circuited {
         return;
     }
     if let Ok(time) = t.outcome.result.as_ref() {
-        let ckey = cache_key(cache_identity, plan.jobs[seq].content_key());
         local_store.insert(
             ckey,
             CachedEval {
@@ -1860,6 +1926,7 @@ impl SweepRunner {
                     buffer: BufferSink::new(),
                     results: Vec::new(),
                     appended: 0,
+                    pending: Vec::new(),
                     local_store: HashMap::new(),
                 };
                 // Emitted at construction (not by the worker) so it
@@ -1891,7 +1958,8 @@ impl SweepRunner {
             }
             cell.appended += 1;
             if cache_on {
-                seed_local_store(&mut cell.local_store, &plan, cache_identity, record.seq, &t);
+                let ckey = cache_key(cache_identity, plan.jobs[record.seq].content_key());
+                seed_local_store(&mut cell.local_store, ckey, &t);
             }
         }
 
@@ -1903,6 +1971,8 @@ impl SweepRunner {
         let abort = AtomicBool::new(false);
         let terminals_this_run = AtomicUsize::new(0);
         let next_shard = AtomicUsize::new(0);
+        let max_batch = AtomicUsize::new(0);
+        let has_journal = journal_path.is_some();
 
         // The scope runs even when every job resumed: workers still
         // claim each shard to emit its `shard.finished` marker, so a
@@ -1919,155 +1989,121 @@ impl SweepRunner {
                 let abort = &abort;
                 let terminals_this_run = &terminals_this_run;
                 let next_shard = &next_shard;
+                let max_batch = &max_batch;
                 let make_oracle = &make_oracle;
                 let config = &self.config;
                 scope.spawn(move || {
                     let mut oracle = make_oracle();
                     loop {
-                        let i = next_shard.fetch_add(1, Ordering::SeqCst);
-                        if i >= shards.len() || abort.load(Ordering::SeqCst) {
+                        // Adaptive steal granularity: claim a batch of
+                        // consecutive shards sized to the remaining
+                        // queue depth (deep queue → big batches, few
+                        // claim CAS rounds; near the end → single
+                        // shards, so stragglers still balance). The
+                        // depth read is advisory — over-claiming past
+                        // the end is handled below, and which worker
+                        // runs which shard never affects the output.
+                        let claimed = next_shard.load(Ordering::Relaxed);
+                        let remaining = shards.len().saturating_sub(claimed);
+                        let want = (remaining / (2 * nthreads)).max(1);
+                        let first = next_shard.fetch_add(want, Ordering::SeqCst);
+                        if first >= shards.len() || abort.load(Ordering::SeqCst) {
                             return;
                         }
-                        let mut cell = cells[i].lock().unwrap_or_else(|e| e.into_inner());
-                        for &seq in &shards[i] {
-                            if resumed_seqs[seq] {
-                                continue;
-                            }
+                        let last = (first + want).min(shards.len());
+                        ops.counter_add(names::STEAL_BATCH_CLAIMS_TOTAL, 1);
+                        ops.counter_add(names::STEAL_BATCH_SHARDS_TOTAL, (last - first) as u64);
+                        max_batch.fetch_max(last - first, Ordering::Relaxed);
+                        for i in first..last {
                             if abort.load(Ordering::SeqCst) {
-                                break;
+                                return;
                             }
-                            let (terminal, poisoned) = decide_sharded_job(
-                                config,
-                                plan,
-                                cache_on,
-                                snapshot,
-                                &cell.local_store,
-                                cache_identity,
-                                &cell.breaker,
-                                &mut oracle,
-                                seq,
-                            );
-                            if poisoned {
-                                // The unwound oracle's internals are
-                                // suspect; rebuild before the next job.
-                                oracle = make_oracle();
-                            }
-                            let record = record_of(seq, &terminal);
-                            emit_job_events(config, plan, cache_on, &record, &mut cell, i);
-                            {
-                                let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
-                                if j.error.is_none() {
-                                    if let Some(w) = j.writer.as_mut() {
-                                        match w.record(&record) {
-                                            Ok(()) => {
-                                                cell.buffer.counter_add(
-                                                    "engine_journal_appends_total",
-                                                    1,
-                                                );
-                                                cell.buffer.event(
-                                                    "engine",
-                                                    "journal.append",
-                                                    &[("seq", seq.into())],
-                                                );
-                                                cell.appended += 1;
-                                                if config.checkpoint_every > 0
-                                                    && cell
-                                                        .appended
-                                                        .is_multiple_of(config.checkpoint_every)
-                                                {
-                                                    let ck = Checkpoint {
-                                                        shard: i,
-                                                        covered: cell.appended,
-                                                        snapshot: cell.breaker.snapshot(),
-                                                    };
-                                                    match w.checkpoint(&ck) {
-                                                        Ok(()) => {
-                                                            ops.counter_add(
-                                                                names::ENGINE_JOURNAL_CHECKPOINTS_TOTAL,
-                                                                1,
-                                                            );
-                                                            ops.event(
-                                                                "engine",
-                                                                "journal.checkpoint",
-                                                                &[
-                                                                    ("shard", i.into()),
-                                                                    (
-                                                                        "covered",
-                                                                        cell.appended.into(),
-                                                                    ),
-                                                                ],
-                                                            );
-                                                        }
-                                                        Err(e) => {
-                                                            ops.counter_add(
-                                                                names::ENGINE_STORAGE_FAULTS_TOTAL,
-                                                                1,
-                                                            );
-                                                            ops.event(
-                                                                "engine",
-                                                                "storage.fault",
-                                                                &[
-                                                                    (
-                                                                        "op",
-                                                                        "journal.checkpoint"
-                                                                            .into(),
-                                                                    ),
-                                                                    (
-                                                                        "error",
-                                                                        e.to_string().into(),
-                                                                    ),
-                                                                ],
-                                                            );
-                                                            j.error = Some(e);
-                                                            abort.store(true, Ordering::SeqCst);
-                                                        }
-                                                    }
-                                                }
-                                            }
-                                            Err(e) => {
-                                                ops.counter_add(
-                                                    names::ENGINE_STORAGE_FAULTS_TOTAL,
-                                                    1,
-                                                );
-                                                ops.event(
-                                                    "engine",
-                                                    "storage.fault",
-                                                    &[
-                                                        ("op", "journal.append".into()),
-                                                        ("error", e.to_string().into()),
-                                                    ],
-                                                );
-                                                j.error = Some(e);
-                                                abort.store(true, Ordering::SeqCst);
-                                            }
-                                        }
+                            let mut cell = cells[i].lock().unwrap_or_else(|e| e.into_inner());
+                            // One batched key derivation per claimed
+                            // shard: every job's cache address up
+                            // front, instead of hashing inside the
+                            // per-job decision path.
+                            let keys: Vec<u64> = shards[i]
+                                .iter()
+                                .map(|&seq| cache_key(cache_identity, plan.jobs[seq].content_key()))
+                                .collect();
+                            for (pos, &seq) in shards[i].iter().enumerate() {
+                                if resumed_seqs[seq] {
+                                    continue;
+                                }
+                                if abort.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let (terminal, poisoned) = decide_sharded_job(
+                                    config,
+                                    plan,
+                                    cache_on,
+                                    snapshot,
+                                    &cell.local_store,
+                                    keys[pos],
+                                    &cell.breaker,
+                                    &mut oracle,
+                                    seq,
+                                );
+                                if poisoned {
+                                    // The unwound oracle's internals are
+                                    // suspect; rebuild before the next job.
+                                    oracle = make_oracle();
+                                }
+                                let record = record_of(seq, &terminal);
+                                emit_job_events(config, plan, cache_on, &record, &mut cell, i);
+                                if has_journal {
+                                    // Buffer the record; the journal
+                                    // lock is taken only at checkpoint
+                                    // boundaries and shard completion.
+                                    // The append marker is emitted here
+                                    // (not at flush) so the per-shard
+                                    // buffer sequence is byte-identical
+                                    // to the old per-job path; if a
+                                    // flush later faults, the run
+                                    // errors out before any buffer
+                                    // reaches the main sink.
+                                    cell.pending.push(record);
+                                    cell.buffer.counter_add("engine_journal_appends_total", 1);
+                                    cell.buffer.event(
+                                        "engine",
+                                        "journal.append",
+                                        &[("seq", seq.into())],
+                                    );
+                                    cell.appended += 1;
+                                    if config.checkpoint_every > 0
+                                        && cell.appended.is_multiple_of(config.checkpoint_every)
+                                    {
+                                        flush_shard_pending(
+                                            journal, &mut cell, i, true, ops, abort,
+                                        );
+                                    }
+                                }
+                                emit_terminal_event(&mut cell, seq, &terminal);
+                                if cache_on {
+                                    seed_local_store(&mut cell.local_store, keys[pos], &terminal);
+                                }
+                                cell.results.push((seq, terminal));
+                                let done = terminals_this_run.fetch_add(1, Ordering::SeqCst) + 1;
+                                if let Some(limit) = config.abort_after {
+                                    if done >= limit {
+                                        abort.store(true, Ordering::SeqCst);
                                     }
                                 }
                             }
-                            emit_terminal_event(&mut cell, seq, &terminal);
-                            if cache_on {
-                                seed_local_store(
-                                    &mut cell.local_store,
-                                    plan,
-                                    cache_identity,
-                                    seq,
-                                    &terminal,
-                                );
-                            }
-                            cell.results.push((seq, terminal));
-                            let done = terminals_this_run.fetch_add(1, Ordering::SeqCst) + 1;
-                            if let Some(limit) = config.abort_after {
-                                if done >= limit {
-                                    abort.store(true, Ordering::SeqCst);
-                                }
-                            }
+                            flush_shard_pending(journal, &mut cell, i, false, ops, abort);
+                            cell.buffer
+                                .event("engine", "shard.finished", &[("shard", i.into())]);
                         }
-                        cell.buffer
-                            .event("engine", "shard.finished", &[("shard", i.into())]);
                     }
                 });
             }
         });
+
+        ops.gauge_set(
+            names::STEAL_BATCH_MAX_SHARDS,
+            max_batch.load(Ordering::Relaxed) as f64,
+        );
 
         // Flush-and-close before merging; a dead journal means
         // resumability is already lost, so surface it.

@@ -8,8 +8,6 @@
 //! each core's L1 every cycle, so the reported C-AMAT parameters are
 //! *measured* by the same machinery the paper proposes in hardware.
 
-use std::collections::BTreeMap;
-
 use c2_camat::detector::CamatDetector;
 use c2_camat::{Apc, LayerApc, MemoryLayer};
 use c2_trace::Trace;
@@ -20,7 +18,7 @@ use crate::core::{Core, NextOp};
 use crate::dram::Dram;
 use crate::metrics::{LayerStats, PerCoreStats};
 use crate::mshr::{MshrFile, MshrOutcome};
-use crate::request::{MemRequest, ReqId, ReqState};
+use crate::request::{MemRequest, ReqId, ReqState, RequestArena};
 use crate::{Error, Result};
 
 /// Writeback request ids live in their own namespace so fill completions
@@ -135,7 +133,7 @@ struct Engine {
     /// Cycle until which each L2 bank's input is busy (pipelined: +1).
     l2_bank_busy: Vec<u64>,
     dram: Dram,
-    requests: BTreeMap<ReqId, MemRequest>,
+    requests: RequestArena,
     next_req: ReqId,
     next_wb: ReqId,
     /// Pending DRAM writebacks (line indices) awaiting queue space.
@@ -160,6 +158,9 @@ struct Engine {
     /// Demand memory requests issued so far (1-based after increment),
     /// keyed to the fault plan's `fail_at_request`.
     demand_requests: u64,
+    /// Scratch for MSHR waiter drains (one allocation per run, not per
+    /// fill).
+    waiter_buf: Vec<ReqId>,
     // Statistics
     l1_layer: LayerStats,
     l2_layer: LayerStats,
@@ -190,7 +191,7 @@ impl Engine {
             l2_queue: Vec::new(),
             l2_bank_busy: vec![0; config.l2.banks],
             dram,
-            requests: BTreeMap::new(),
+            requests: RequestArena::new(),
             next_req: 0,
             next_wb: WB_BASE,
             wb_pending: Vec::new(),
@@ -203,6 +204,7 @@ impl Engine {
             outstanding: vec![0; config.cores],
             l2_resident: 0,
             demand_requests: 0,
+            waiter_buf: Vec::new(),
             l1_layer: LayerStats::default(),
             l2_layer: LayerStats::default(),
             dram_layer: LayerStats::default(),
@@ -282,14 +284,16 @@ impl Engine {
                 self.writebacks += 1;
             }
         }
-        let waiters = self.l2_mshr.complete(line);
+        let mut waiters = std::mem::take(&mut self.waiter_buf);
+        self.l2_mshr.complete_into(line, &mut waiters);
         let arrive = now + self.config.noc.l1_l2_latency as u64;
-        for w in waiters {
+        for &w in &waiters {
             if let Some(r) = self.requests.get_mut(&w) {
                 r.state = ReqState::FillToL1 { arrive_at: arrive };
                 self.schedule.push(std::cmp::Reverse((arrive, w)));
             }
         }
+        self.waiter_buf = waiters;
         // An L2 MSHR entry just freed: wake blocked L2 misses.
         self.drain_l2_retries(now);
     }
@@ -527,7 +531,8 @@ impl Engine {
             let r = &self.requests[&id];
             (r.core, r.line)
         };
-        let waiters = self.l1_mshrs[core].complete(line);
+        let mut waiters = std::mem::take(&mut self.waiter_buf);
+        self.l1_mshrs[core].complete_into(line, &mut waiters);
         // The line becomes dirty if any waiting access was a store
         // (write-allocate policy).
         let dirty = waiters
@@ -547,9 +552,10 @@ impl Engine {
             waiters.contains(&id),
             "the filling primary must be among the MSHR waiters"
         );
-        for w in waiters {
+        for &w in &waiters {
             self.complete_request(w, now, true);
         }
+        self.waiter_buf = waiters;
         // An MSHR entry just freed: wake blocked misses of this core.
         self.drain_l1_retries(core, now);
     }

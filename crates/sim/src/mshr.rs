@@ -6,8 +6,6 @@
 //! one. The number of entries caps the memory-level parallelism a cache
 //! can sustain — the knob the C²-Bound ablations turn.
 
-use std::collections::HashMap;
-
 /// Outcome of registering a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -22,15 +20,27 @@ pub enum MshrOutcome {
 /// One MSHR entry.
 #[derive(Debug, Clone)]
 struct Entry {
+    /// Line index this entry tracks.
+    line: u64,
     /// Request ids waiting on this line (primary first).
     waiters: Vec<u64>,
 }
 
 /// A file of MSHR entries keyed by line index.
+///
+/// Real MSHR files hold a handful of entries (4–32), so the store is a
+/// flat `Vec` searched linearly — on a file this small that beats a
+/// hash map's hashing and probing, and together with the retired
+/// waiter-`Vec` pool it keeps the simulator's per-miss path free of
+/// allocator traffic. Completion order of *waiters within an entry* is
+/// insertion order (primary first), which the engine relies on.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    entries: Vec<Entry>,
+    /// Waiter vectors recycled from completed entries; `register`
+    /// reuses them so steady-state misses allocate nothing.
+    spare: Vec<Vec<u64>>,
     // Statistics
     primary_misses: u64,
     secondary_misses: u64,
@@ -44,7 +54,8 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be positive");
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity.min(64)),
+            spare: Vec::new(),
             primary_misses: 0,
             secondary_misses: 0,
             stalls: 0,
@@ -52,10 +63,14 @@ impl MshrFile {
         }
     }
 
+    fn position(&self, line: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.line == line)
+    }
+
     /// Register a miss on `line` by request `req`.
     pub fn register(&mut self, line: u64, req: u64) -> MshrOutcome {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.waiters.push(req);
+        if let Some(i) = self.position(line) {
+            self.entries[i].waiters.push(req);
             self.secondary_misses += 1;
             return MshrOutcome::Merged;
         }
@@ -63,7 +78,9 @@ impl MshrFile {
             self.stalls += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, Entry { waiters: vec![req] });
+        let mut waiters = self.spare.pop().unwrap_or_default();
+        waiters.push(req);
+        self.entries.push(Entry { line, waiters });
         self.primary_misses += 1;
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::Allocated
@@ -71,15 +88,30 @@ impl MshrFile {
 
     /// Complete the miss on `line`, returning every waiting request id.
     pub fn complete(&mut self, line: u64) -> Vec<u64> {
-        self.entries
-            .remove(&line)
-            .map(|e| e.waiters)
-            .unwrap_or_default()
+        match self.position(line) {
+            Some(i) => self.entries.swap_remove(i).waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Complete the miss on `line`, draining the waiting request ids
+    /// into `out` (cleared first) and recycling the entry's waiter
+    /// storage — the allocation-free variant of [`complete`] the
+    /// engine's fill path uses.
+    ///
+    /// [`complete`]: MshrFile::complete
+    pub fn complete_into(&mut self, line: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some(i) = self.position(line) {
+            let mut e = self.entries.swap_remove(i);
+            out.append(&mut e.waiters);
+            self.spare.push(e.waiters);
+        }
     }
 
     /// Whether a miss on `line` is already outstanding.
     pub fn contains(&self, line: u64) -> bool {
-        self.entries.contains_key(&line)
+        self.position(line).is_some()
     }
 
     /// Current number of outstanding miss lines.
@@ -92,9 +124,10 @@ impl MshrFile {
         self.entries.len() >= self.capacity
     }
 
-    /// Outstanding lines (for the MCD detector feed).
+    /// Outstanding lines (for the MCD detector feed), in no particular
+    /// order.
     pub fn outstanding_lines(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.keys().copied()
+        self.entries.iter().map(|e| e.line)
     }
 
     /// Primary (entry-allocating) misses seen.
@@ -187,5 +220,24 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         MshrFile::new(0);
+    }
+
+    #[test]
+    fn complete_into_matches_complete_and_recycles() {
+        let mut a = MshrFile::new(2);
+        let mut b = MshrFile::new(2);
+        for m in [&mut a, &mut b] {
+            m.register(7, 1);
+            m.register(7, 2);
+            m.register(9, 3);
+        }
+        let mut out = Vec::new();
+        a.complete_into(7, &mut out);
+        assert_eq!(out, b.complete(7), "same waiters, same order");
+        a.complete_into(42, &mut out);
+        assert!(out.is_empty(), "unknown line drains nothing");
+        // The recycled waiter vec backs the next allocation.
+        assert_eq!(a.register(11, 4), MshrOutcome::Allocated);
+        assert_eq!(a.occupancy(), 2);
     }
 }

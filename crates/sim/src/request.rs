@@ -98,6 +98,125 @@ impl MemRequest {
     }
 }
 
+/// Dense arena for the engine's in-flight request table, replacing a
+/// `BTreeMap<ReqId, MemRequest>` on the simulator's hottest path.
+///
+/// Demand and prefetch ids are allocated monotonically and **never
+/// reused** (stale-event detection in the engine relies on a completed
+/// id staying absent), so the live ids always fall inside a sliding
+/// window `[base, base + slots.len())`. Lookup is one bounds check and
+/// one ring-buffer index instead of a tree walk, and insertion is an
+/// amortized push. Removal trims exhausted slots from both ends so the
+/// window tracks the in-flight set, not the whole run. Writeback ids
+/// (`>= 1 << 62`) are never inserted; their lookups simply miss.
+///
+/// The API mirrors the `BTreeMap` subset the engine used, so the swap
+/// is type-only and the simulated results stay bit-identical.
+#[derive(Debug, Default, Clone)]
+pub struct RequestArena {
+    slots: std::collections::VecDeque<Option<MemRequest>>,
+    /// Id of `slots[0]`. Meaningless while `slots` is empty.
+    base: ReqId,
+    live: usize,
+}
+
+impl RequestArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RequestArena::default()
+    }
+
+    #[inline]
+    fn index_of(&self, id: ReqId) -> Option<usize> {
+        if self.slots.is_empty() || id < self.base {
+            return None;
+        }
+        let idx = (id - self.base) as usize;
+        if idx >= self.slots.len() {
+            return None;
+        }
+        Some(idx)
+    }
+
+    /// Insert `req` under `id`. Ids must arrive in non-decreasing
+    /// order relative to the live window (the engine's allocator is a
+    /// monotonic counter); re-inserting below the window is a logic
+    /// error.
+    pub fn insert(&mut self, id: ReqId, req: MemRequest) -> Option<MemRequest> {
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        assert!(
+            id >= self.base,
+            "request id {id} below the live window base {}",
+            self.base
+        );
+        let idx = (id - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        let old = self.slots[idx].replace(req);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    /// Borrow the request under `id`, if live.
+    pub fn get(&self, id: &ReqId) -> Option<&MemRequest> {
+        self.index_of(*id).and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Mutably borrow the request under `id`, if live.
+    pub fn get_mut(&mut self, id: &ReqId) -> Option<&mut MemRequest> {
+        match self.index_of(*id) {
+            Some(i) => self.slots[i].as_mut(),
+            None => None,
+        }
+    }
+
+    /// Whether `id` is live.
+    pub fn contains_key(&self, id: &ReqId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the request under `id`; the freed slot is
+    /// trimmed from the window edges once its neighbours drain too.
+    pub fn remove(&mut self, id: &ReqId) -> Option<MemRequest> {
+        let idx = self.index_of(*id)?;
+        let old = self.slots[idx].take();
+        if old.is_some() {
+            self.live -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            while matches!(self.slots.back(), Some(None)) {
+                self.slots.pop_back();
+            }
+        }
+        old
+    }
+
+    /// Number of live requests.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no request is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl std::ops::Index<&ReqId> for RequestArena {
+    type Output = MemRequest;
+
+    fn index(&self, id: &ReqId) -> &MemRequest {
+        self.get(id).expect("no live request under this id")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +268,66 @@ mod tests {
             assert!(!req(s).in_hit_phase(5), "{s:?}");
         }
         assert!(!req(ReqState::Done).is_outstanding_miss(5));
+    }
+
+    fn arena_req(id: ReqId) -> MemRequest {
+        MemRequest {
+            id,
+            ..req(ReqState::L1MshrRetry)
+        }
+    }
+
+    #[test]
+    fn arena_insert_get_remove_round_trip() {
+        let mut a = RequestArena::new();
+        assert!(a.is_empty());
+        for id in 0..8u64 {
+            assert!(a.insert(id, arena_req(id)).is_none());
+        }
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[&3].id, 3);
+        assert!(a.contains_key(&7));
+        assert!(!a.contains_key(&8));
+        a.get_mut(&5).unwrap().state = ReqState::Done;
+        assert_eq!(a.get(&5).unwrap().state, ReqState::Done);
+        for id in 0..8u64 {
+            assert_eq!(a.remove(&id).unwrap().id, id);
+            assert!(a.remove(&id).is_none(), "ids are never reused");
+        }
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn arena_window_slides_and_tolerates_gaps() {
+        let mut a = RequestArena::new();
+        a.insert(10, arena_req(10));
+        a.insert(11, arena_req(11));
+        // Rollback of the newest id (the prefetch-full path) leaves a
+        // gap the next monotonic insert skips over.
+        a.remove(&11);
+        a.insert(13, arena_req(13));
+        assert!(!a.contains_key(&11));
+        assert!(!a.contains_key(&12));
+        assert_eq!(a.len(), 2);
+        // Draining the front advances the base past the hole.
+        a.remove(&10);
+        assert!(a.contains_key(&13));
+        a.remove(&13);
+        assert!(a.is_empty());
+        // Reuse after a full drain restarts the window anywhere.
+        a.insert(100, arena_req(100));
+        assert_eq!(a[&100].id, 100);
+    }
+
+    #[test]
+    fn arena_misses_out_of_window_ids() {
+        let mut a = RequestArena::new();
+        a.insert(5, arena_req(5));
+        // Below the window (already retired) and far above it (a
+        // writeback id) both miss instead of panicking.
+        assert!(a.get(&0).is_none());
+        assert!(a.get(&(1 << 62)).is_none());
+        assert!(a.get_mut(&(1 << 62)).is_none());
+        assert!(a.remove(&(1 << 62)).is_none());
     }
 }

@@ -55,6 +55,29 @@ pub struct Phases {
 }
 
 impl Phases {
+    /// Rebuild a `Phases` from previously detected parts — the
+    /// memoization path: callers that cached `labels`,
+    /// `representatives`, and `interval_len` can skip re-clustering.
+    ///
+    /// Every label must index into `representatives` and
+    /// `interval_len` must be positive; violations are a caller bug.
+    pub fn from_parts(
+        labels: Vec<PhaseLabel>,
+        representatives: Vec<usize>,
+        interval_len: usize,
+    ) -> Self {
+        assert!(interval_len > 0, "interval_len must be positive");
+        assert!(
+            labels.iter().all(|l| l.0 < representatives.len()),
+            "label out of range of the representative set"
+        );
+        Phases {
+            labels,
+            representatives,
+            interval_len,
+        }
+    }
+
     /// Per-interval phase labels, in interval order.
     pub fn labels(&self) -> &[PhaseLabel] {
         &self.labels
@@ -182,7 +205,7 @@ impl PhaseDetector {
             let d = sq_dist(sig, &centroids[c]);
             if d < best[c] {
                 best[c] = d;
-                representatives[i_fix(c)] = i;
+                representatives[c] = i;
             }
         }
         // Drop empty clusters (possible if k-means collapsed), compacting
@@ -202,11 +225,6 @@ impl PhaseDetector {
             interval_len: self.config.interval_len,
         })
     }
-}
-
-#[inline]
-fn i_fix(c: usize) -> usize {
-    c
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -401,6 +419,45 @@ mod tests {
         for &r in phases.representatives() {
             assert!(r < 6);
         }
+    }
+
+    #[test]
+    fn detection_is_deterministic_for_same_trace_and_seed() {
+        // Same trace + same seed must give identical labels,
+        // representatives, and weights on every run (and platform) —
+        // the phase oracle's cache memoization depends on it.
+        let g = MixedPhaseGenerator::new(
+            vec![
+                Box::new(StridedGenerator::new(0, 64, 600)),
+                Box::new(PointerChaseGenerator::new(1 << 29, 192, 600, 9)),
+                Box::new(StridedGenerator::new(1 << 20, 128, 600)),
+            ],
+            3,
+        );
+        let trace = g.generate();
+        let config = PhaseConfig {
+            interval_len: 300,
+            clusters: 3,
+            ..PhaseConfig::default()
+        };
+        let first = PhaseDetector::new(config.clone()).detect(&trace).unwrap();
+        for _ in 0..3 {
+            let again = PhaseDetector::new(config.clone()).detect(&trace).unwrap();
+            assert_eq!(again.labels(), first.labels());
+            assert_eq!(again.representatives(), first.representatives());
+            assert_eq!(again.weights(), first.weights());
+        }
+        // A different seed is allowed to differ; a detector rebuilt from
+        // the memoized parts must not.
+        let rebuilt = Phases::from_parts(
+            first.labels().to_vec(),
+            first.representatives().to_vec(),
+            first.interval_len(),
+        );
+        assert_eq!(rebuilt.labels(), first.labels());
+        assert_eq!(rebuilt.representatives(), first.representatives());
+        assert_eq!(rebuilt.weights(), first.weights());
+        assert_eq!(rebuilt.transitions(), first.transitions());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N]
 //!               [--deadline-ms D] [--max-attempts K] [--journal PATH]
 //!               [--resume] [--metrics-out PATH] [--sync POLICY]
-//!               [--checkpoint-every N] [--chaos SPEC]
+//!               [--checkpoint-every N] [--chaos SPEC] [--oracle-mode MODE]
 //! c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE]
 //!               [--cache PATH] [--resume] [--drain-on-idle]
 //!               [--executors N] [--queue-depth N] [--budget N]
@@ -50,6 +50,14 @@
 //! the internally assembled scenario, so a shared cache file can never
 //! serve one workload's or size's results to another.
 //!
+//! `--oracle-mode phase` (or a scenario `oracle` section) switches the
+//! per-point oracle to the phase-clustered fast path (DESIGN.md §13):
+//! phase detection runs once per workload, every design point then
+//! simulates only one representative interval per phase, and the
+//! detected summary is memoized in the evaluation cache so repeated
+//! invocations skip re-clustering. Phase mode is an estimator — its
+//! journals and caches are fingerprint-isolated from full-mode runs.
+//!
 //! Durability knobs: `--sync never|on-checkpoint|always` picks the
 //! fsync policy, `--checkpoint-every N` the journal checkpoint cadence
 //! (0 disables), and `--chaos "crash-at=7,torn=3"` arms deterministic
@@ -71,13 +79,16 @@
 //! Everything is computed live: `characterize` and `aps` run the
 //! cycle-level simulator; `optimize` solves Eq. 13.
 
-use c2_bound::dse::{simulate_point, DesignPoint};
+use c2_bound::dse::{simulate_point, DesignPoint, Oracle};
 use c2_bound::optimize::optimize;
 use c2_bound::report::{fmt_num, Table};
 use c2_bound::scaling::ScalingStudy;
-use c2_bound::{aps_from_scenario, scale_function, C2BoundModel, ProgramProfile};
-use c2_config::{Scenario, SpaceSpec};
-use c2_sim::area::SiliconBudget;
+use c2_bound::{
+    aps_from_scenario, scale_function, C2BoundModel, PhaseOracle, PhasePlan, PhaseSummary,
+    ProgramProfile,
+};
+use c2_config::{OracleMode, Scenario, SpaceSpec};
+use c2_sim::area::{AreaModel, SiliconBudget};
 use c2_sim::ChipConfig;
 use c2_speedup::scale::ScaleFunction;
 use c2_workloads::{characterize, Characterization, Workload, WorkloadTrace};
@@ -93,7 +104,7 @@ const USAGE: &str = "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|f
      c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
      [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
      [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
-     [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S]\n  \
+     [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S] [--oracle-mode full|phase]\n  \
      c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE] [--cache PATH] \
      [--resume] [--drain-on-idle] [--executors N] [--queue-depth N] [--budget N]\n  \
      c2bound-tool submit --addr HOST:PORT --scenario FILE [--tenant NAME] [--wait] [--poll-ms N]\n  \
@@ -354,6 +365,7 @@ fn cmd_run(args: &[String]) {
     let mut sync: Option<c2_runner::SyncPolicy> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut chaos: Option<c2_runner::ChaosPlan> = None;
+    let mut oracle_mode: Option<OracleMode> = None;
     let mut resume = false;
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
@@ -407,6 +419,15 @@ fn cmd_run(args: &[String]) {
                 Some(v) => chaos = Some(parse_chaos(v)),
                 None => usage(),
             },
+            "--oracle-mode" => match rest.next() {
+                Some(v) => {
+                    oracle_mode = Some(OracleMode::parse(v).unwrap_or_else(|| {
+                        eprintln!("error: invalid --oracle-mode {v:?} (full|phase)");
+                        std::process::exit(2);
+                    }));
+                }
+                None => usage(),
+            },
             "--resume" => resume = true,
             other if !other.starts_with('-') => {
                 if name.is_none() {
@@ -442,13 +463,23 @@ fn cmd_run(args: &[String]) {
                 eprintln!("error: --scenario and a positional workload are mutually exclusive");
                 std::process::exit(2);
             }
-            let sc = load_scenario(path);
+            let mut sc = load_scenario(path);
+            // The override lands before the fingerprint is taken, so a
+            // phase-mode run binds its mode into the journal, the cache
+            // identity, and the phase memo address.
+            if let Some(mode) = oracle_mode {
+                sc.oracle.mode = mode;
+            }
             let fp = sc.fingerprint();
             (sc, Some(fp))
         }
         None => {
             let Some(name) = name else { usage() };
-            (positional_scenario(&name, size.unwrap_or(24), true), None)
+            let mut sc = positional_scenario(&name, size.unwrap_or(24), true);
+            if let Some(mode) = oracle_mode {
+                sc.oracle.mode = mode;
+            }
+            (sc, None)
         }
     };
     let mut config = c2_runner::RunConfig::from_spec(&sc.runner).unwrap_or_else(|e| {
@@ -546,9 +577,42 @@ fn cmd_run(args: &[String]) {
             ""
         }
     );
-    let price = |p: &DesignPoint| {
-        simulate_point(p, &trace, &area, &budget)
-            .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
+    let phase_oracle = match sc.oracle.mode {
+        OracleMode::Full => None,
+        OracleMode::Phase => {
+            let oracle = phase_oracle_for(
+                &sc,
+                &trace,
+                area,
+                budget,
+                config.cache_path.as_deref(),
+                &c2_obs::NullSink,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let plan = oracle.plan();
+            println!(
+                "oracle: phase mode, {} phases, {:.1}% of the trace per evaluation{}",
+                plan.phase_count(),
+                100.0 * plan.simulated_fraction(),
+                if plan.is_exact() {
+                    " (trace too short to cluster; exact fallback)"
+                } else {
+                    ""
+                }
+            );
+            Some(oracle)
+        }
+    };
+    let pricer = match &phase_oracle {
+        None => Pricer::Full {
+            trace: &trace,
+            area: &area,
+            budget: &budget,
+        },
+        Some(oracle) => Pricer::Phase(oracle),
     };
     let runner = c2_runner::SweepRunner::new(config).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -556,7 +620,13 @@ fn cmd_run(args: &[String]) {
     });
     let recorder = c2_obs::Recorder::new();
     let summary = runner
-        .run_aps_observed(&aps, || price, journal.as_deref(), resume, &recorder)
+        .run_aps_observed(
+            &aps,
+            || pricer.clone(),
+            journal.as_deref(),
+            resume,
+            &recorder,
+        )
         .unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -906,6 +976,110 @@ fn cmd_adaptive() {
     );
 }
 
+/// The per-design-point oracle shared by one-shot `run` and the serve
+/// executor, selected by the scenario's `oracle.mode`: `full`
+/// simulates the whole workload at every point; `phase` prices each
+/// point through the phase-clustered estimator (DESIGN.md §13). One
+/// enum serves both paths so they cannot drift — a served phase job
+/// and a command-line phase run execute the identical oracle.
+#[derive(Clone)]
+enum Pricer<'a> {
+    Full {
+        trace: &'a WorkloadTrace,
+        area: &'a AreaModel,
+        budget: &'a SiliconBudget,
+    },
+    Phase(&'a PhaseOracle),
+}
+
+impl Oracle for Pricer<'_> {
+    fn evaluate(&mut self, _key: u64, p: &DesignPoint) -> c2_bound::Result<f64> {
+        match self {
+            Pricer::Full {
+                trace,
+                area,
+                budget,
+            } => simulate_point(p, trace, area, budget)
+                .map_err(|e| c2_bound::Error::Simulation(e.to_string())),
+            Pricer::Phase(oracle) => oracle.price(p),
+        }
+    }
+}
+
+/// Cache address of a scenario's memoized phase summary:
+/// `cache_key(scenario_fingerprint, PHASE_MEMO_SALT)`. The fingerprint
+/// already binds the workload, its size, and every `oracle.phase` knob
+/// (phase mode renders the section semantically), so a memo can only
+/// hit for the exact detection it stores; the salt keeps the address
+/// disjoint from every job entry's (identity, content-key) space.
+const PHASE_MEMO_SALT: u64 = 0x6332_5048_4153_4531; // "c2PHASE1"
+
+/// Build the phase-clustered oracle for a scenario: reuse the phase
+/// summary memoized in the evaluation cache when present and still
+/// consistent with the workload, otherwise run `PhaseDetector` once
+/// and memoize the result for the next invocation. `oracle_phase_*`
+/// telemetry goes to `ops` — never the main sink, because memo-hit vs
+/// fresh-detection legitimately differs between a first and a repeat
+/// run of the same scenario.
+fn phase_oracle_for(
+    sc: &Scenario,
+    workload: &WorkloadTrace,
+    area: AreaModel,
+    budget: SiliconBudget,
+    cache_path: Option<&std::path::Path>,
+    ops: &dyn c2_obs::MetricsSink,
+) -> c2_bound::Result<PhaseOracle> {
+    let config = c2_trace::PhaseConfig {
+        interval_len: sc.oracle.phase.interval_len as usize,
+        clusters: sc.oracle.phase.clusters as usize,
+        seed: sc.oracle.phase.seed,
+        ..c2_trace::PhaseConfig::default()
+    };
+    let memo_key = c2_runner::cache_key(sc.fingerprint(), PHASE_MEMO_SALT);
+    let memoized: Option<PhasePlan> = cache_path.and_then(|path| {
+        let loaded = c2_runner::cache::load(&c2_runner::storage::DISK, path).ok()?;
+        let record = loaded.phases.get(&memo_key)?;
+        let summary = PhaseSummary {
+            labels: record.labels.iter().map(|&l| l as usize).collect(),
+            representatives: record.representatives.iter().map(|&r| r as usize).collect(),
+            interval_len: record.interval_len as usize,
+        };
+        // A corrupted or stale record fails the plan's consistency
+        // validation and falls through to a fresh detection.
+        PhasePlan::from_summary(workload, summary).ok()
+    });
+    let plan = match memoized {
+        Some(plan) => {
+            ops.counter_add(c2_obs::names::ORACLE_PHASE_MEMO_HITS_TOTAL, 1);
+            plan
+        }
+        None => {
+            let plan = PhasePlan::detect(workload, &config)?;
+            ops.counter_add(c2_obs::names::ORACLE_PHASE_DETECTIONS_TOTAL, 1);
+            if let Some(path) = cache_path {
+                let s = plan.summary();
+                let record = c2_runner::PhaseRecord {
+                    interval_len: s.interval_len as u64,
+                    labels: s.labels.iter().map(|&l| l as u64).collect(),
+                    representatives: s.representatives.iter().map(|&r| r as u64).collect(),
+                };
+                // Memoization is an optimization; a failed append is
+                // ops telemetry, never fatal.
+                if c2_runner::cache::append_phase(path, memo_key, &record).is_err() {
+                    ops.counter_add(c2_obs::names::ENGINE_STORAGE_FAULTS_TOTAL, 1);
+                }
+            }
+            plan
+        }
+    };
+    ops.gauge_set(c2_obs::names::ORACLE_PHASE_COUNT, plan.phase_count() as f64);
+    ops.gauge_set(
+        c2_obs::names::ORACLE_PHASE_SIMULATED_PERMILLE,
+        (plan.simulated_fraction() * 1000.0).round(),
+    );
+    Ok(PhaseOracle::new(plan, area, budget))
+}
+
 /// The real DSE pipeline as a [`c2_runner::ScenarioExecutor`]: the
 /// daemon hands it an admitted scenario and it runs the exact same
 /// workload → characterize → APS → `SweepRunner` path as one-shot
@@ -936,12 +1110,23 @@ impl c2_runner::ScenarioExecutor for PipelineExecutor {
         let aps = aps_from_scenario(sc, &ch, &chip, g)?;
         let area = aps.model.area;
         let budget = aps.model.budget;
-        let price = |p: &DesignPoint| {
-            simulate_point(p, &trace, &area, &budget)
-                .map_err(|e| c2_bound::Error::Simulation(e.to_string()))
+        let phase_oracle = match sc.oracle.mode {
+            OracleMode::Full => None,
+            OracleMode::Phase => Some(
+                phase_oracle_for(sc, &trace, area, budget, config.cache_path.as_deref(), ops)
+                    .map_err(c2_runner::Error::Core)?,
+            ),
+        };
+        let pricer = match &phase_oracle {
+            None => Pricer::Full {
+                trace: &trace,
+                area: &area,
+                budget: &budget,
+            },
+            Some(oracle) => Pricer::Phase(oracle),
         };
         let runner = c2_runner::SweepRunner::new(config)?;
-        runner.run_aps_full(&aps, || price, Some(journal), resume, sink, ops)
+        runner.run_aps_full(&aps, || pricer.clone(), Some(journal), resume, sink, ops)
     }
 }
 

@@ -11,7 +11,7 @@ use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 
-use c2_config::{Scenario, SpaceSpec};
+use c2_config::{OracleMode, Scenario, SpaceSpec};
 
 fn tool() -> Command {
     Command::new(env!("CARGO_BIN_EXE_c2bound-tool"))
@@ -295,5 +295,74 @@ fn sigterm_drains_gracefully_and_resume_finishes_the_backlog() {
         let reference = oneshot(&dir, tag, &jobs.join(format!("{job}.scenario.json")));
         assert_bit_identical(&jobs, job, &reference);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite of DESIGN.md §13: the same workload served once in full
+/// mode and once in phase mode. Each job's artifacts must be
+/// byte-identical to a one-shot `run` of its persisted scenario (the
+/// daemon and the CLI share one `Pricer`), and the two jobs must
+/// never alias: the oracle mode is bound into the scenario
+/// fingerprint, so their journals — and therefore their cache
+/// identities — are distinct.
+#[test]
+fn phase_mode_jobs_match_oneshot_run_and_never_alias_full_mode() {
+    let dir = temp_dir("phase");
+    let jobs = dir.join("jobs");
+    let full_sc = write_scenario(&dir, "full.json", "fluidanimate", 120);
+    let phase_sc = dir.join("phase.json");
+    {
+        let mut sc = Scenario::default();
+        sc.workload.name = "fluidanimate".into();
+        sc.workload.size = 120;
+        sc.space = SpaceSpec::tiny();
+        sc.oracle.mode = OracleMode::Phase;
+        std::fs::write(&phase_sc, sc.render_pretty()).expect("write scenario");
+    }
+    let (daemon, addr) = spawn_daemon(&jobs, &["--executors", "1"]);
+
+    for sc in [&full_sc, &phase_sc] {
+        let out = tool()
+            .args([
+                "submit",
+                "--addr",
+                &addr,
+                "--scenario",
+                sc.to_str().unwrap(),
+                "--wait",
+            ])
+            .output()
+            .expect("spawn submit");
+        assert!(
+            out.status.success(),
+            "submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("\"state\":\"completed\""),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    let out = tool()
+        .args(["shutdown", "--addr", &addr, "--wait"])
+        .output()
+        .expect("spawn shutdown");
+    assert!(out.status.success());
+    reap_daemon(daemon);
+
+    // The persisted phase-mode scenario keeps its oracle block.
+    let persisted = std::fs::read_to_string(jobs.join("job0002.scenario.json")).unwrap();
+    assert!(persisted.contains("\"mode\": \"phase\""), "{persisted}");
+
+    let ref_full = oneshot(&dir, "full", &jobs.join("job0001.scenario.json"));
+    let ref_phase = oneshot(&dir, "phase", &jobs.join("job0002.scenario.json"));
+    assert_bit_identical(&jobs, "job0001", &ref_full);
+    assert_bit_identical(&jobs, "job0002", &ref_phase);
+    assert_ne!(
+        ref_full.0, ref_phase.0,
+        "full- and phase-mode journals must carry distinct fingerprints"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
