@@ -128,6 +128,53 @@ if cmp -s "${smoke_dir}/oracle-full.jsonl" "${smoke_dir}/oracle-phase.jsonl"; th
     exit 1
 fi
 
+echo "== model backends + roofline (gpu_sm.json, DESIGN.md SS14) =="
+# The checked-in GPU scenario (validated by the loop above) runs
+# end-to-end with a roofline report + metrics, and the roofline bytes
+# match the pinned golden.
+cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/gpu_sm.json \
+    --threads 1 \
+    --roofline-out "${smoke_dir}/gpu-roofline.json" \
+    --metrics-out "${smoke_dir}/gpu-metrics.json" > /dev/null
+test -s "${smoke_dir}/gpu-metrics.json"
+cmp tests/golden/gpu_sm_roofline.json "${smoke_dir}/gpu-roofline.json"
+cargo run -q --bin c2bound-tool -- roofline "${smoke_dir}/gpu-roofline.json" > /dev/null
+# GPU sweeps are deterministic across the sharded engine's thread
+# counts: 1 vs 4 threads must be bit-identical (journal + roofline).
+for t in 1 4; do
+    cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/gpu_sm.json \
+        --threads "${t}" \
+        --journal "${smoke_dir}/gpu-journal-t${t}.jsonl" \
+        --roofline-out "${smoke_dir}/gpu-roofline-t${t}.json" > /dev/null
+done
+cmp "${smoke_dir}/gpu-journal-t1.jsonl" "${smoke_dir}/gpu-journal-t4.jsonl"
+cmp "${smoke_dir}/gpu-roofline-t1.json" "${smoke_dir}/gpu-roofline-t4.json"
+# A served gpu job emits the identical roofline: `roofline_out` is an
+# operational (non-semantic) key, so the scenario fingerprint — and
+# therefore the report bytes — match the one-shot golden exactly.
+gpu_variant="${smoke_dir}/gpu-serve-scenario.json"
+sed "s|\"roofline_out\": null|\"roofline_out\": \"${smoke_dir}/serve-roofline.json\"|" \
+    examples/scenarios/gpu_sm.json > "${gpu_variant}"
+gpu_serve_log="${smoke_dir}/gpu-serve.log"
+cargo run -q --bin c2bound-tool -- serve --addr 127.0.0.1:0 \
+    --dir "${smoke_dir}/gpu-serve-jobs" --executors 1 > "${gpu_serve_log}" &
+gpu_serve_pid=$!
+gpu_addr=""
+for _ in $(seq 1 100); do
+    gpu_addr="$(sed -n 's/^serving on //p' "${gpu_serve_log}")"
+    [ -n "${gpu_addr}" ] && break
+    sleep 0.1
+done
+if [ -z "${gpu_addr}" ]; then
+    echo "error: gpu serve daemon never reported an address" >&2
+    exit 1
+fi
+cargo run -q --bin c2bound-tool -- submit --addr "${gpu_addr}" --tenant gpu \
+    --scenario "${gpu_variant}" --wait > /dev/null
+cargo run -q --bin c2bound-tool -- shutdown --addr "${gpu_addr}" --wait > /dev/null
+wait "${gpu_serve_pid}"
+cmp tests/golden/gpu_sm_roofline.json "${smoke_dir}/serve-roofline.json"
+
 echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="
 cargo bench -q -p c2-bench --bench sweep_benches > /dev/null
 test -s BENCH_sweep.json

@@ -19,8 +19,8 @@ pub mod scenario;
 
 pub use json::{Json, JsonError};
 pub use scenario::{
-    fnv1a, AreaSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec, CamatSpec, ChaosSpec,
-    ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, ModelSpec, NocSpec, ObsSpec, OracleMode,
-    OracleSpec, PhaseSpec, Result, RunnerSpec, Scenario, ScenarioError, ServeSpec, SolverSpec,
-    SpaceSpec, WorkloadSpec,
+    fnv1a, AreaSpec, BackendKind, BackendSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec,
+    CamatSpec, ChaosSpec, ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, GpuSpec, ModelSpec, NocSpec,
+    ObsSpec, OracleMode, OracleSpec, PhaseSpec, Result, RunnerSpec, Scenario, ScenarioError,
+    ServeSpec, SolverSpec, SpaceSpec, WorkloadSpec,
 };

@@ -389,6 +389,20 @@ impl SpaceSpec {
             rob: vec![16, 64, 128],
         }
     }
+
+    /// GPU-SM axes: `n` is the SM count, `issue` the FP32 lanes per
+    /// SM, `rob` the occupancy target in percent. Area axes are per-SM
+    /// mm² (compute, register file/L1, L2 slice).
+    pub fn gpu_sm() -> Self {
+        SpaceSpec {
+            a0: vec![2.0, 4.0],
+            a1: vec![0.25],
+            a2: vec![0.5],
+            n: vec![8, 16, 32, 64],
+            issue: vec![32, 64, 128, 256],
+            rob: vec![25, 50, 75, 100],
+        }
+    }
 }
 
 /// Silicon budget; mirrors `SiliconBudget::new(total, shared)`.
@@ -529,6 +543,99 @@ impl OracleMode {
             "full" => Some(OracleMode::Full),
             "phase" => Some(OracleMode::Phase),
             _ => None,
+        }
+    }
+}
+
+/// Backend selection: which analytical model prices the sweep.
+///
+/// `kind: "cpu-cmp"` is the historical C²-bound Eq. 10 objective
+/// (capacity/concurrency CPU-CMP bound); `kind: "gpu-sm"` prices
+/// candidates with the compositional SM throughput bound
+/// `Φ_SM = θ · C_fp32 · (1 + m_FMA)` under a Roofline bandwidth
+/// ceiling, reinterpreting the space axes as (SMs, lanes/SM,
+/// occupancy target).
+///
+/// Like [`OracleSpec`], the section is **semantic** exactly when it
+/// deviates from the default: a non-CPU backend changes what every
+/// candidate evaluation computes, so it is bound into the scenario
+/// fingerprint (and with it the journal and cache identity). With the
+/// default `cpu-cmp` backend the section is dropped from the semantic
+/// rendering entirely, so every fingerprint minted before the key
+/// existed stays valid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BackendSpec {
+    /// `"cpu-cmp"` or `"gpu-sm"`.
+    pub kind: BackendKind,
+    /// GPU-SM model knobs (ignored by `cpu-cmp` but always validated
+    /// and rendered).
+    pub gpu: GpuSpec,
+}
+
+/// The analytical model family pricing the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The paper's Eq. 10 capacity/concurrency CPU-CMP bound.
+    #[default]
+    CpuCmp,
+    /// The compositional GPU streaming-multiprocessor throughput bound.
+    GpuSm,
+}
+
+impl BackendKind {
+    /// The canonical spelling used in scenario JSON and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::CpuCmp => "cpu-cmp",
+            BackendKind::GpuSm => "gpu-sm",
+        }
+    }
+
+    /// Parse the canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cpu-cmp" => Some(BackendKind::CpuCmp),
+            "gpu-sm" => Some(BackendKind::GpuSm),
+            _ => None,
+        }
+    }
+}
+
+/// GPU-SM model knobs; mirrors `GpuSmModel` in `c2-bound`. The space
+/// axes are reinterpreted — `n` is the SM count, `issue` the FP32
+/// lanes per SM, `rob` the occupancy target in percent — so the
+/// section carries only the per-workload and per-memory-system
+/// parameters the axes cannot express.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Total kernel work in FP32 FLOPs.
+    pub work_flops: f64,
+    /// FMA fraction of FP32 instructions, in `[0, 1]`; each FMA
+    /// retires two FLOPs, hence the `(1 + m_FMA)` factor.
+    pub m_fma: f64,
+    /// Lanes per warp (32 on every shipping NVIDIA part).
+    pub warp_lanes: u64,
+    /// DRAM traffic per FLOP, bytes — the reciprocal of operational
+    /// intensity.
+    pub mem_bytes_per_flop: f64,
+    /// Memory bandwidth in bytes per SM-clock cycle (chip-wide).
+    pub mem_bandwidth: f64,
+    /// Warps resident per SM under the kernel's register/smem usage.
+    pub resident_warps: u64,
+    /// Architectural maximum warps per SM.
+    pub max_warps: u64,
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec {
+            work_flops: 1e9,
+            m_fma: 0.5,
+            warp_lanes: 32,
+            mem_bytes_per_flop: 0.25,
+            mem_bandwidth: 256.0,
+            resident_warps: 32,
+            max_warps: 48,
         }
     }
 }
@@ -745,6 +852,13 @@ pub struct ObsSpec {
     /// Write the deterministic metrics report to this path after the
     /// sweep; `None` disables it.
     pub metrics_out: Option<String>,
+    /// Write the deterministic Roofline overlay (one point per
+    /// evaluated candidate) to this path after the sweep; `None`
+    /// disables it. Operational — where a report lands never changes
+    /// what the sweep computes, so the key is excluded from the
+    /// semantic rendering (the historical `metrics_out` key predates
+    /// that split and stays in it for fingerprint compatibility).
+    pub roofline_out: Option<String>,
 }
 
 /// The complete declarative experiment description.
@@ -769,6 +883,9 @@ pub struct Scenario {
     /// Oracle selection (full-trace vs phase-clustered pricing).
     /// Semantic whenever it deviates from `full` mode.
     pub oracle: OracleSpec,
+    /// Model-backend selection (CPU-CMP Eq. 10 vs GPU-SM bound).
+    /// Semantic whenever it deviates from `cpu-cmp`.
+    pub backend: BackendSpec,
     /// Supervised-runner policy.
     pub runner: RunnerSpec,
     /// Service-layer (daemon) policy. Operational — excluded from the
@@ -790,6 +907,7 @@ impl Default for Scenario {
             area: AreaSpec::default(),
             solver: SolverSpec::default(),
             oracle: OracleSpec::default(),
+            backend: BackendSpec::default(),
             runner: RunnerSpec::default(),
             serve: ServeSpec::default(),
             observability: ObsSpec::default(),
@@ -1565,6 +1683,78 @@ impl OracleSpec {
     }
 }
 
+impl GpuSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "work_flops",
+                "m_fma",
+                "warp_lanes",
+                "mem_bytes_per_flop",
+                "mem_bandwidth",
+                "resident_warps",
+                "max_warps",
+            ],
+            path,
+        )?;
+        let d = GpuSpec::default();
+        Ok(GpuSpec {
+            work_flops: get_f64(pairs, "work_flops", path, d.work_flops)?,
+            m_fma: get_f64(pairs, "m_fma", path, d.m_fma)?,
+            warp_lanes: get_u64(pairs, "warp_lanes", path, d.warp_lanes)?,
+            mem_bytes_per_flop: get_f64(pairs, "mem_bytes_per_flop", path, d.mem_bytes_per_flop)?,
+            mem_bandwidth: get_f64(pairs, "mem_bandwidth", path, d.mem_bandwidth)?,
+            resident_warps: get_u64(pairs, "resident_warps", path, d.resident_warps)?,
+            max_warps: get_u64(pairs, "max_warps", path, d.max_warps)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("work_flops".into(), Json::Num(self.work_flops)),
+            ("m_fma".into(), Json::Num(self.m_fma)),
+            ("warp_lanes".into(), Json::Num(self.warp_lanes as f64)),
+            (
+                "mem_bytes_per_flop".into(),
+                Json::Num(self.mem_bytes_per_flop),
+            ),
+            ("mem_bandwidth".into(), Json::Num(self.mem_bandwidth)),
+            (
+                "resident_warps".into(),
+                Json::Num(self.resident_warps as f64),
+            ),
+            ("max_warps".into(), Json::Num(self.max_warps as f64)),
+        ])
+    }
+}
+
+impl BackendSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["kind", "gpu"], path)?;
+        let d = BackendSpec::default();
+        let kind_str = get_string(pairs, "kind", path, d.kind.as_str())?;
+        let kind = BackendKind::parse(&kind_str).ok_or(ScenarioError::OutOfRange {
+            path: join(path, "kind"),
+            why: "must be \"cpu-cmp\" or \"gpu-sm\"",
+        })?;
+        let gpu = match find(pairs, "gpu") {
+            None => d.gpu,
+            Some(value) => GpuSpec::from_json_value(value, &join(path, "gpu"))?,
+        };
+        Ok(BackendSpec { kind, gpu })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str(self.kind.as_str().to_string())),
+            ("gpu".into(), self.gpu.to_json()),
+        ])
+    }
+}
+
 impl RunnerSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1725,19 +1915,33 @@ impl ServeSpec {
 impl ObsSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
-        check_keys(pairs, &["metrics_out"], path)?;
+        check_keys(pairs, &["metrics_out", "roofline_out"], path)?;
         Ok(ObsSpec {
             metrics_out: get_opt_string(pairs, "metrics_out", path)?,
+            roofline_out: get_opt_string(pairs, "roofline_out", path)?,
         })
     }
 
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![(
+    /// `semantic` drops `roofline_out`: report destinations are
+    /// operational, but the historical `metrics_out` key was already
+    /// part of the fingerprint input and must stay to keep every
+    /// pre-existing fingerprint valid.
+    fn to_json_with(&self, semantic: bool) -> Json {
+        let mut pairs = vec![(
             "metrics_out".into(),
             self.metrics_out
                 .as_ref()
                 .map_or(Json::Null, |s| Json::Str(s.clone())),
-        )])
+        )];
+        if !semantic {
+            pairs.push((
+                "roofline_out".into(),
+                self.roofline_out
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -1770,6 +1974,7 @@ impl Scenario {
                 "area",
                 "solver",
                 "oracle",
+                "backend",
                 "runner",
                 "serve",
                 "observability",
@@ -1815,6 +2020,10 @@ impl Scenario {
                 None => OracleSpec::default(),
                 Some(v) => OracleSpec::from_json_value(v, "oracle")?,
             },
+            backend: match section("backend") {
+                None => BackendSpec::default(),
+                Some(v) => BackendSpec::from_json_value(v, "backend")?,
+            },
             runner: match section("runner") {
                 None => RunnerSpec::default(),
                 Some(v) => RunnerSpec::from_json_value(v, "runner")?,
@@ -1854,6 +2063,13 @@ impl Scenario {
         if !semantic || self.oracle.mode != OracleMode::Full {
             pairs.push(("oracle".into(), self.oracle.to_json()));
         }
+        // Same rule for the backend: a non-default backend changes
+        // what every evaluation computes, so it moves the fingerprint;
+        // the default `cpu-cmp` section is dropped from the semantic
+        // rendering so pre-existing fingerprints survive unchanged.
+        if !semantic || self.backend.kind != BackendKind::CpuCmp {
+            pairs.push(("backend".into(), self.backend.to_json()));
+        }
         pairs.push(("runner".into(), self.runner.to_json_with(semantic)));
         if !semantic {
             // The whole service-layer section is operational (daemon
@@ -1863,7 +2079,10 @@ impl Scenario {
             // cache identity — relative to one-shot `run`.
             pairs.push(("serve".into(), self.serve.to_json()));
         }
-        pairs.push(("observability".into(), self.observability.to_json()));
+        pairs.push((
+            "observability".into(),
+            self.observability.to_json_with(semantic),
+        ));
         Json::Obj(pairs)
     }
 
@@ -2076,6 +2295,41 @@ impl Scenario {
             return Err(fail("oracle.phase.clusters", "is implausibly large"));
         }
 
+        let be = &self.backend;
+        // Phase windows are C-AMAT-specific: the phase oracle clusters
+        // trace intervals by memory behaviour the GPU bound never
+        // models, so the combination is rejected here (and again at
+        // the CLI and engine layers), mirroring the
+        // cache-with-legacy-pool rule below.
+        if be.kind != BackendKind::CpuCmp && o.mode == OracleMode::Phase {
+            return Err(fail(
+                "oracle.mode",
+                "phase oracle requires the cpu-cmp backend",
+            ));
+        }
+        let g = &be.gpu;
+        for (x, path) in [
+            (g.work_flops, "backend.gpu.work_flops"),
+            (g.mem_bytes_per_flop, "backend.gpu.mem_bytes_per_flop"),
+            (g.mem_bandwidth, "backend.gpu.mem_bandwidth"),
+        ] {
+            if !(x > 0.0) || !x.is_finite() {
+                return Err(fail(path, "must be finite and positive"));
+            }
+        }
+        if !(g.m_fma >= 0.0) || !(g.m_fma <= 1.0) {
+            return Err(fail("backend.gpu.m_fma", "must lie in [0, 1]"));
+        }
+        if g.warp_lanes == 0 {
+            return Err(fail("backend.gpu.warp_lanes", "must be at least 1"));
+        }
+        if g.resident_warps == 0 {
+            return Err(fail("backend.gpu.resident_warps", "must be at least 1"));
+        }
+        if g.max_warps == 0 {
+            return Err(fail("backend.gpu.max_warps", "must be at least 1"));
+        }
+
         let r = &self.runner;
         if r.workers == 0 {
             return Err(fail("runner.workers", "must be at least 1"));
@@ -2182,6 +2436,11 @@ impl Scenario {
         if let Some(path) = &self.observability.metrics_out {
             if path.is_empty() {
                 return Err(fail("observability.metrics_out", "must be non-empty"));
+            }
+        }
+        if let Some(path) = &self.observability.roofline_out {
+            if path.is_empty() {
+                return Err(fail("observability.roofline_out", "must be non-empty"));
             }
         }
 
@@ -2370,6 +2629,116 @@ mod tests {
             ..Scenario::default()
         };
         assert_ne!(phased.fingerprint(), phased_tweaked.fingerprint());
+    }
+
+    #[test]
+    fn backend_section_round_trips_and_validates() {
+        let s = Scenario::from_json(
+            r#"{"backend":{"kind":"gpu-sm","gpu":{"work_flops":2e9,"m_fma":1.0,
+                "warp_lanes":32,"mem_bytes_per_flop":0.5,"mem_bandwidth":512,
+                "resident_warps":24,"max_warps":48}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.backend.kind, BackendKind::GpuSm);
+        assert_eq!(s.backend.gpu.work_flops, 2e9);
+        assert_eq!(s.backend.gpu.m_fma, 1.0);
+        assert_eq!(Scenario::from_json(&s.render()).unwrap(), s);
+
+        let e = Scenario::from_json(r#"{"backend":{"kind":"tpu"}}"#).unwrap_err();
+        assert!(matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "backend.kind"));
+        let e = Scenario::from_json(r#"{"backend":{"gpu":{"m_fma":1.5}}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "backend.gpu.m_fma")
+        );
+        let e = Scenario::from_json(r#"{"backend":{"gpu":{"mem_bandwidth":0}}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "backend.gpu.mem_bandwidth")
+        );
+        let e = Scenario::from_json(r#"{"backend":{"lanes":64}}"#).unwrap_err();
+        assert_eq!(
+            e,
+            ScenarioError::UnknownKey {
+                path: "backend.lanes".into()
+            }
+        );
+    }
+
+    #[test]
+    fn cpu_backend_is_fingerprint_invisible() {
+        // Same grandfathering rule as the oracle section: the default
+        // cpu-cmp backend (with any gpu knobs) must not move any
+        // pre-existing fingerprint, while gpu-sm is semantic and must.
+        let base = Scenario::default();
+        let cpu_tweaked = Scenario {
+            backend: BackendSpec {
+                kind: BackendKind::CpuCmp,
+                gpu: GpuSpec {
+                    work_flops: 7e7,
+                    ..GpuSpec::default()
+                },
+            },
+            ..Scenario::default()
+        };
+        assert_eq!(base.fingerprint(), cpu_tweaked.fingerprint());
+
+        let gpu = Scenario {
+            backend: BackendSpec {
+                kind: BackendKind::GpuSm,
+                ..BackendSpec::default()
+            },
+            ..Scenario::default()
+        };
+        assert_ne!(base.fingerprint(), gpu.fingerprint());
+        // And the gpu knobs are bound in once the kind is gpu-sm.
+        let gpu_tweaked = Scenario {
+            backend: BackendSpec {
+                kind: BackendKind::GpuSm,
+                gpu: GpuSpec {
+                    m_fma: 0.25,
+                    ..GpuSpec::default()
+                },
+            },
+            ..Scenario::default()
+        };
+        assert_ne!(gpu.fingerprint(), gpu_tweaked.fingerprint());
+    }
+
+    #[test]
+    fn phase_oracle_requires_cpu_backend() {
+        let e = Scenario::from_json(r#"{"backend":{"kind":"gpu-sm"},"oracle":{"mode":"phase"}}"#)
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "oracle.mode"));
+        // Either half alone is fine.
+        Scenario::from_json(r#"{"backend":{"kind":"gpu-sm"}}"#).unwrap();
+        Scenario::from_json(r#"{"oracle":{"mode":"phase"}}"#).unwrap();
+    }
+
+    #[test]
+    fn roofline_out_is_operational() {
+        let s = Scenario::from_json(r#"{"observability":{"roofline_out":"roof.json"}}"#).unwrap();
+        assert_eq!(s.backend.kind, BackendKind::CpuCmp);
+        assert_eq!(s.observability.roofline_out.as_deref(), Some("roof.json"));
+        // Report destinations never change what the sweep computes.
+        assert_eq!(s.fingerprint(), Scenario::default().fingerprint());
+        // But they do round-trip through the canonical rendering.
+        assert_eq!(Scenario::from_json(&s.render()).unwrap(), s);
+        let e = Scenario::from_json(r#"{"observability":{"roofline_out":""}}"#).unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::OutOfRange { ref path, .. } if path == "observability.roofline_out")
+        );
+    }
+
+    #[test]
+    fn gpu_sm_space_scenario_validates() {
+        let s = Scenario {
+            space: SpaceSpec::gpu_sm(),
+            backend: BackendSpec {
+                kind: BackendKind::GpuSm,
+                ..BackendSpec::default()
+            },
+            ..Scenario::default()
+        };
+        s.validate().unwrap();
     }
 
     #[test]

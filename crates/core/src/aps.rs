@@ -412,6 +412,26 @@ impl Aps {
         policy: &ResiliencePolicy,
         sink: &dyn MetricsSink,
     ) -> Result<ApsOutcome> {
+        fold_outcomes(&self.space, plan, results, policy, sink, &|p| {
+            analytic_time(&self.model, p)
+        })
+    }
+}
+
+/// The backend-agnostic assembly fold shared by every
+/// [`crate::backend::BackendSweep`]: exactly the historical
+/// `Aps::assemble_observed` body with the analytic estimator abstracted
+/// out, so the CPU path's outcomes, metrics and events stay
+/// bit-identical while other backends reuse the machinery.
+pub(crate) fn fold_outcomes(
+    space: &DesignSpace,
+    plan: &ApsPlan,
+    results: &[(usize, PointOutcome)],
+    policy: &ResiliencePolicy,
+    sink: &dyn MetricsSink,
+    analytic_time_of: &dyn Fn(&DesignPoint) -> f64,
+) -> Result<ApsOutcome> {
+    {
         let mut by_seq: Vec<Option<&PointOutcome>> = vec![None; plan.jobs.len()];
         for (seq, outcome) in results {
             let slot = by_seq.get_mut(*seq).ok_or(Error::InvalidParameter {
@@ -452,7 +472,7 @@ impl Aps {
             match &outcome.result {
                 Ok(t) => {
                     log.succeeded += 1;
-                    pairs.push((analytic_time(&self.model, &job.point), *t));
+                    pairs.push((analytic_time_of(&job.point), *t));
                     if best.as_ref().is_none_or(|(_, _, bt)| *t < *bt) {
                         best = Some((job.index, job.point, *t));
                     }
@@ -480,8 +500,8 @@ impl Aps {
         if policy.analytic_fallback {
             if let Some(scale) = calibration_scale(&pairs) {
                 for s in &mut log.skipped {
-                    let p = self.space.point_at(s.index);
-                    let a = analytic_time(&self.model, &p);
+                    let p = space.point_at(s.index);
+                    let a = analytic_time_of(&p);
                     if a.is_finite() && a > 0.0 {
                         s.analytic_estimate = Some(scale * a);
                     }

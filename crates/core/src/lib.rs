@@ -55,6 +55,7 @@ pub mod adaptive;
 pub mod allocate;
 pub mod aps;
 pub mod asymmetric;
+pub mod backend;
 pub mod dse;
 pub mod energy;
 pub mod mem_model;
@@ -72,6 +73,10 @@ pub use aps::{
     ResiliencePolicy, SkippedPoint,
 };
 pub use asymmetric::{AsymmetricDesign, AsymmetricModel};
+pub use backend::{
+    roofline_json, roofline_points, BackendSweep, BoundDecomposition, Ceiling, CpuCmpBackend,
+    GpuSmBackend, GpuSmModel, ModelBackend, RooflinePoint, CPU_CMP_IDENTITY, GPU_SM_IDENTITY,
+};
 pub use dse::{DesignPoint, DesignSpace, GroundTruth, Oracle};
 pub use energy::{MultiObjective, PowerModel};
 pub use mem_model::{CacheSensitivity, MemoryModel};
@@ -82,7 +87,9 @@ pub use optimize::{
 };
 pub use phase::{PhaseEstimate, PhaseOracle, PhasePlan, PhaseSummary};
 pub use scaling::{ScalingPoint, ScalingStudy};
-pub use scenario::{aps_from_scenario, model_from_scenario, scale_function};
+pub use scenario::{
+    aps_from_scenario, gpu_sweep_from_scenario, model_from_scenario, scale_function,
+};
 
 /// Errors from the model and optimizer.
 #[derive(Debug, Clone, PartialEq)]

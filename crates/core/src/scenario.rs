@@ -15,6 +15,7 @@ use c2_speedup::scale::ScaleFunction;
 use c2_workloads::{Characterization, Workload};
 
 use crate::aps::Aps;
+use crate::backend::{GpuSmBackend, GpuSmModel};
 use crate::dse::DesignSpace;
 use crate::mem_model::{CacheSensitivity, MemoryModel};
 use crate::model::{C2BoundModel, ProgramProfile};
@@ -119,6 +120,59 @@ pub fn aps_from_scenario(
     Ok(Aps::with_tuning(model, space, tuning))
 }
 
+/// The fully assembled GPU-SM sweep for a scenario: model knobs from
+/// `backend.gpu`, the silicon budget, and the (reinterpreted) space
+/// axes, all validated.
+///
+/// Rejects a phase-mode oracle: phase windows cluster trace intervals
+/// by C-AMAT memory behaviour the GPU bound never models, so the
+/// combination is a typed error here (the engine layer), mirroring the
+/// same rejection in `Scenario::validate` and the CLI.
+pub fn gpu_sweep_from_scenario(sc: &Scenario) -> Result<GpuSmBackend> {
+    if sc.oracle.mode == c2_config::OracleMode::Phase {
+        return Err(Error::Optimization(
+            "the phase-clustered oracle requires the cpu-cmp backend \
+             (phase windows are C-AMAT-specific)"
+                .to_string(),
+        ));
+    }
+    let g = &sc.backend.gpu;
+    for (name, value) in [
+        ("work_flops", g.work_flops),
+        ("mem_bytes_per_flop", g.mem_bytes_per_flop),
+        ("mem_bandwidth", g.mem_bandwidth),
+    ] {
+        if !(value > 0.0) || !value.is_finite() {
+            return Err(Error::Optimization(format!(
+                "backend.gpu.{name} = {value} must be finite and positive"
+            )));
+        }
+    }
+    if !(0.0..=1.0).contains(&g.m_fma) {
+        return Err(Error::Optimization(format!(
+            "backend.gpu.m_fma = {} must lie in [0, 1]",
+            g.m_fma
+        )));
+    }
+    if g.warp_lanes == 0 || g.resident_warps == 0 || g.max_warps == 0 {
+        return Err(Error::Optimization(
+            "backend.gpu warp counts must be at least 1".to_string(),
+        ));
+    }
+    let model = GpuSmModel {
+        work_flops: g.work_flops,
+        m_fma: g.m_fma,
+        warp_lanes: g.warp_lanes as f64,
+        mem_bytes_per_flop: g.mem_bytes_per_flop,
+        mem_bandwidth: g.mem_bandwidth,
+        resident_warps: g.resident_warps as f64,
+        max_warps: g.max_warps as f64,
+        budget: SiliconBudget::from_spec(&sc.budget)?,
+    };
+    let space = DesignSpace::from_spec(&sc.space)?;
+    Ok(GpuSmBackend { model, space })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +274,25 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn gpu_sweep_from_scenario_builds_and_rejects_phase_oracle() {
+        let mut sc = Scenario {
+            space: c2_config::SpaceSpec::gpu_sm(),
+            backend: c2_config::BackendSpec {
+                kind: c2_config::BackendKind::GpuSm,
+                ..c2_config::BackendSpec::default()
+            },
+            ..Scenario::default()
+        };
+        let backend = gpu_sweep_from_scenario(&sc).unwrap();
+        assert_eq!(backend.model.work_flops, 1e9);
+        assert_eq!(backend.space, DesignSpace::from_spec(&sc.space).unwrap());
+
+        sc.oracle.mode = c2_config::OracleMode::Phase;
+        let err = gpu_sweep_from_scenario(&sc).unwrap_err();
+        assert!(matches!(err, Error::Optimization(ref w) if w.contains("cpu-cmp backend")));
     }
 
     #[test]

@@ -85,6 +85,43 @@ pub const ORACLE_PHASE_DETECTIONS_TOTAL: &str = "oracle_phase_detections_total";
 pub const ORACLE_PHASE_SIMULATED_PERMILLE: &str = "oracle_phase_simulated_permille";
 
 // ---------------------------------------------------------------------------
+// Model backends (`run --backend`) and the Roofline overlay
+// ---------------------------------------------------------------------------
+//
+// Per-backend telemetry. All ops-sink: which backend priced a sweep is
+// already pinned semantically (scenario fingerprint, journal header,
+// cache identity), so these counters are pure operational attribution
+// — and keeping them off the main sink is what lets the CPU path's
+// bit-compared metrics stay byte-identical to the pre-backend era.
+
+/// Candidate evaluations priced by the CPU-CMP (Eq. 10) backend. Ops
+/// sink.
+pub const BACKEND_CPU_CMP_POINTS_TOTAL: &str = "backend_cpu_cmp_points_total";
+
+/// Candidate evaluations priced by the GPU-SM backend. Ops sink.
+pub const BACKEND_GPU_SM_POINTS_TOTAL: &str = "backend_gpu_sm_points_total";
+
+/// Roofline points emitted into a `--roofline-out` report. Ops sink.
+pub const ROOFLINE_POINTS_TOTAL: &str = "roofline_points_total";
+
+/// Roofline points whose compute ceiling binds. Ops sink.
+pub const ROOFLINE_COMPUTE_BOUND_TOTAL: &str = "roofline_compute_bound_total";
+
+/// Roofline points whose bandwidth ceiling binds. Ops sink.
+pub const ROOFLINE_BANDWIDTH_BOUND_TOTAL: &str = "roofline_bandwidth_bound_total";
+
+/// Every registered backend/roofline metric name, mirroring
+/// [`SERVE_METRIC_NAMES`]: emission sites must use the constants
+/// above.
+pub const BACKEND_METRIC_NAMES: &[&str] = &[
+    BACKEND_CPU_CMP_POINTS_TOTAL,
+    BACKEND_GPU_SM_POINTS_TOTAL,
+    ROOFLINE_POINTS_TOTAL,
+    ROOFLINE_COMPUTE_BOUND_TOTAL,
+    ROOFLINE_BANDWIDTH_BOUND_TOTAL,
+];
+
+// ---------------------------------------------------------------------------
 // Service layer (`c2bound-tool serve`)
 // ---------------------------------------------------------------------------
 //

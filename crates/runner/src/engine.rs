@@ -66,7 +66,8 @@ use crate::journal::{
 use crate::shard::{partition, shard_of, BufferSink};
 use crate::storage::{DiskStorage, Storage};
 use crate::{Error, Result};
-use c2_bound::aps::{classify_oracle_result, Aps, ApsOutcome, ApsPlan, PointOutcome};
+use c2_bound::aps::{classify_oracle_result, ApsOutcome, ApsPlan, PointOutcome};
+use c2_bound::backend::BackendSweep;
 use c2_bound::dse::Oracle;
 use c2_bound::ResiliencePolicy;
 use c2_obs::{names, MetricsSink, NullSink};
@@ -350,6 +351,11 @@ pub struct RunSummary {
     /// The assembled outcome; `None` when the run did not complete
     /// (simulated crash).
     pub outcome: Option<ApsOutcome>,
+    /// Per-job terminal outcomes, `(seq, outcome)` in `seq` order —
+    /// the raw material the roofline overlay decomposes. Present even
+    /// for interrupted runs (then covering only the jobs that
+    /// terminated).
+    pub results: Vec<(usize, PointOutcome)>,
 }
 
 /// The supervised job-execution engine.
@@ -896,7 +902,14 @@ impl SweepRunner {
         }
     }
 
-    /// Run the refinement stage of `aps` on the supervised pool.
+    /// Run the refinement stage of `sweep` on the supervised pool.
+    ///
+    /// `sweep` is any [`BackendSweep`] — the CPU-CMP [`c2_bound::Aps`]
+    /// or the GPU-SM backend; the engine's journaling, caching, retry
+    /// and resume machinery is backend-agnostic. A non-default
+    /// backend's identity is bound into the journal header (and thus
+    /// every cache address), so checkpoints and caches can never be
+    /// cross-served between backends.
     ///
     /// `make_oracle` constructs one oracle per worker thread (oracles
     /// need not be `Send`; they are built where they run). When
@@ -908,7 +921,7 @@ impl SweepRunner {
     /// the assembled outcome (for completed runs) and the ledger.
     pub fn run_aps<O, B>(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         make_oracle: B,
         journal_path: Option<&Path>,
         resume: bool,
@@ -922,7 +935,7 @@ impl SweepRunner {
             // (restore + tail replay) instead of reconstructing the
             // full event stream nobody is listening to.
             return self.run_sharded(
-                aps,
+                sweep,
                 make_oracle,
                 journal_path,
                 resume,
@@ -931,7 +944,14 @@ impl SweepRunner {
                 false,
             );
         }
-        self.run_legacy(aps, make_oracle, journal_path, resume, &NullSink, &NullSink)
+        self.run_legacy(
+            sweep,
+            make_oracle,
+            journal_path,
+            resume,
+            &NullSink,
+            &NullSink,
+        )
     }
 
     /// [`SweepRunner::run_aps`] with the whole run instrumented: job
@@ -948,7 +968,7 @@ impl SweepRunner {
     /// to capture them.
     pub fn run_aps_observed<O, B>(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         make_oracle: B,
         journal_path: Option<&Path>,
         resume: bool,
@@ -958,7 +978,7 @@ impl SweepRunner {
         O: Oracle,
         B: Fn() -> O + Sync,
     {
-        self.run_aps_full(aps, make_oracle, journal_path, resume, sink, &NullSink)
+        self.run_aps_full(sweep, make_oracle, journal_path, resume, sink, &NullSink)
     }
 
     /// [`SweepRunner::run_aps_observed`] with a second, **operational**
@@ -970,7 +990,7 @@ impl SweepRunner {
     /// crash/resume run and must stay out of bit-compared output.
     pub fn run_aps_full<O, B>(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         make_oracle: B,
         journal_path: Option<&Path>,
         resume: bool,
@@ -982,15 +1002,15 @@ impl SweepRunner {
         B: Fn() -> O + Sync,
     {
         if self.config.threads > 0 {
-            return self.run_sharded(aps, make_oracle, journal_path, resume, sink, ops, true);
+            return self.run_sharded(sweep, make_oracle, journal_path, resume, sink, ops, true);
         }
-        self.run_legacy(aps, make_oracle, journal_path, resume, sink, ops)
+        self.run_legacy(sweep, make_oracle, journal_path, resume, sink, ops)
     }
 
     /// The legacy shared-queue pool (`threads == 0`).
     fn run_legacy<O, B>(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         make_oracle: B,
         journal_path: Option<&Path>,
         resume: bool,
@@ -1002,13 +1022,16 @@ impl SweepRunner {
         B: Fn() -> O + Sync,
     {
         let storage = self.storage();
-        let plan = aps.plan_observed(sink)?;
+        let plan = sweep.plan_observed(sink)?;
         ensure_plan_nonempty(plan.jobs.len())?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
             fingerprint: journal::bind_fingerprint(
-                plan_fingerprint(&plan),
-                self.config.scenario_fingerprint,
+                journal::bind_fingerprint(
+                    plan_fingerprint(&plan),
+                    self.config.scenario_fingerprint,
+                ),
+                journal::backend_fingerprint(sweep.identity()),
             ),
         };
 
@@ -1168,7 +1191,7 @@ impl SweepRunner {
         }
 
         let trips = st.breaker.trips();
-        self.assemble_and_report(aps, plan, st.terminals, resumed, trips, sink, false)
+        self.assemble_and_report(sweep, plan, st.terminals, resumed, trips, sink, false)
     }
 }
 
@@ -1735,7 +1758,7 @@ impl SweepRunner {
     #[allow(clippy::too_many_arguments)]
     fn run_sharded<O, B>(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         make_oracle: B,
         journal_path: Option<&Path>,
         resume: bool,
@@ -1748,13 +1771,16 @@ impl SweepRunner {
         B: Fn() -> O + Sync,
     {
         let storage = self.storage();
-        let plan = aps.plan_observed(sink)?;
+        let plan = sweep.plan_observed(sink)?;
         ensure_plan_nonempty(plan.jobs.len())?;
         let header = JournalHeader {
             jobs: plan.jobs.len(),
             fingerprint: journal::bind_fingerprint(
-                plan_fingerprint(&plan),
-                self.config.scenario_fingerprint,
+                journal::bind_fingerprint(
+                    plan_fingerprint(&plan),
+                    self.config.scenario_fingerprint,
+                ),
+                journal::backend_fingerprint(sweep.identity()),
             ),
         };
         // Cache addresses bind the same identity the journal header
@@ -2212,7 +2238,7 @@ impl SweepRunner {
             }
         }
 
-        self.assemble_and_report(aps, plan, terminals, resumed, breaker_trips, sink, true)
+        self.assemble_and_report(sweep, plan, terminals, resumed, breaker_trips, sink, true)
     }
 
     /// Common tail of both engines: assemble the outcome, account
@@ -2220,7 +2246,7 @@ impl SweepRunner {
     #[allow(clippy::too_many_arguments)]
     fn assemble_and_report(
         &self,
-        aps: &Aps,
+        sweep: &dyn BackendSweep,
         plan: ApsPlan,
         terminals: Vec<Option<Terminal>>,
         resumed: usize,
@@ -2235,7 +2261,12 @@ impl SweepRunner {
             .filter_map(|(seq, t)| t.as_ref().map(|t| (seq, t.outcome.clone())))
             .collect();
         let outcome = if completed {
-            Some(aps.assemble_observed(&plan, &results, &self.config.resilience_policy(), sink)?)
+            Some(sweep.assemble_observed(
+                &plan,
+                &results,
+                &self.config.resilience_policy(),
+                sink,
+            )?)
         } else {
             None
         };
@@ -2319,6 +2350,7 @@ impl SweepRunner {
             report,
             plan,
             outcome,
+            results,
         })
     }
 }

@@ -208,6 +208,25 @@ pub fn bind_fingerprint(plan_fp: u64, scenario_fp: Option<u64>) -> u64 {
     }
 }
 
+/// The identity contribution of a model backend, in the shape
+/// [`bind_fingerprint`] consumes. The default `"cpu-cmp"` backend
+/// contributes nothing (`None`) — every journal and cache written
+/// before backends existed was implicitly a CPU-CMP artifact and must
+/// keep its exact header bytes — while any other backend hashes its
+/// identity string, so a checkpoint or cache entry written under one
+/// backend can never be resumed or served under another.
+pub fn backend_fingerprint(identity: &str) -> Option<u64> {
+    if identity == c2_bound::backend::CPU_CMP_IDENTITY {
+        return None;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in identity.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Some(h)
+}
+
 /// What a journal file contained.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalContents {

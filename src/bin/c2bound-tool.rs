@@ -16,6 +16,7 @@
 //!               [--deadline-ms D] [--max-attempts K] [--journal PATH]
 //!               [--resume] [--metrics-out PATH] [--sync POLICY]
 //!               [--checkpoint-every N] [--chaos SPEC] [--oracle-mode MODE]
+//!               [--backend cpu-cmp|gpu-sm] [--roofline-out PATH]
 //! c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE]
 //!               [--cache PATH] [--resume] [--drain-on-idle]
 //!               [--executors N] [--queue-depth N] [--budget N]
@@ -23,9 +24,10 @@
 //! c2bound-tool status --addr HOST:PORT [JOB]    # daemon job table / one job
 //! c2bound-tool shutdown --addr HOST:PORT [--wait]
 //! c2bound-tool journal compact <PATH>           # repair + shrink a resume journal
-//! c2bound-tool scenario init [PATH]             # canonical default scenario
+//! c2bound-tool scenario init [--backend cpu-cmp|gpu-sm] [PATH]
 //! c2bound-tool scenario validate <PATH>         # parse + validate, print fingerprint
 //! c2bound-tool scenario show <PATH>             # canonical render + fingerprint
+//! c2bound-tool roofline <FILE>                  # render a --roofline-out report
 //! c2bound-tool obs-report <metrics.json> [--prom|--json]
 //! ```
 //!
@@ -58,6 +60,21 @@
 //! invocations skip re-clustering. Phase mode is an estimator — its
 //! journals and caches are fingerprint-isolated from full-mode runs.
 //!
+//! `--backend gpu-sm` (or a scenario `backend` section, DESIGN.md §14)
+//! swaps the C-AMAT/Eq. 10 pricing core for the GPU streaming-
+//! multiprocessor analytical backend: the same axes reinterpreted as
+//! (SM count, FP32 lanes per SM, occupancy target), priced by
+//! `Φ_SM = θ·C_fp32·(1+m_FMA)` against a bandwidth roof. Backend
+//! identity is bound into journal headers and cache addresses, so a
+//! cpu-cmp checkpoint or cache entry can never be resumed or served
+//! under gpu-sm (or vice versa). The phase oracle is C-AMAT-specific
+//! and is rejected with any non-CPU backend. `--roofline-out PATH`
+//! (either backend, `run` or served jobs via the scenario's
+//! `observability.roofline_out`) writes every evaluated candidate's
+//! (operational intensity, ceilings, attained bound, limiting ceiling)
+//! as deterministic JSON; `roofline` renders such a file as an ASCII
+//! log-log chart plus a per-candidate table.
+//!
 //! Durability knobs: `--sync never|on-checkpoint|always` picks the
 //! fsync policy, `--checkpoint-every N` the journal checkpoint cadence
 //! (0 disables), and `--chaos "crash-at=7,torn=3"` arms deterministic
@@ -84,10 +101,11 @@ use c2_bound::optimize::optimize;
 use c2_bound::report::{fmt_num, Table};
 use c2_bound::scaling::ScalingStudy;
 use c2_bound::{
-    aps_from_scenario, scale_function, C2BoundModel, PhaseOracle, PhasePlan, PhaseSummary,
+    aps_from_scenario, gpu_sweep_from_scenario, roofline_json, roofline_points, scale_function,
+    BackendSweep, C2BoundModel, Ceiling, GpuSmBackend, PhaseOracle, PhasePlan, PhaseSummary,
     ProgramProfile,
 };
-use c2_config::{OracleMode, Scenario, SpaceSpec};
+use c2_config::{BackendKind, BackendSpec, OracleMode, Scenario, SpaceSpec};
 use c2_sim::area::{AreaModel, SiliconBudget};
 use c2_sim::ChipConfig;
 use c2_speedup::scale::ScaleFunction;
@@ -104,14 +122,16 @@ const USAGE: &str = "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|f
      c2bound-tool run (<workload> [size] | --scenario FILE) [--workers N] [--threads N] \
      [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
      [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
-     [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S] [--oracle-mode full|phase]\n  \
+     [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S] [--oracle-mode full|phase] \
+     [--backend cpu-cmp|gpu-sm] [--roofline-out PATH]\n  \
      c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE] [--cache PATH] \
      [--resume] [--drain-on-idle] [--executors N] [--queue-depth N] [--budget N]\n  \
      c2bound-tool submit --addr HOST:PORT --scenario FILE [--tenant NAME] [--wait] [--poll-ms N]\n  \
      c2bound-tool status --addr HOST:PORT [JOB]\n  \
      c2bound-tool shutdown --addr HOST:PORT [--wait]\n  \
      c2bound-tool journal compact <PATH>\n  \
-     c2bound-tool scenario init [PATH] | validate <PATH> | show <PATH>\n  \
+     c2bound-tool scenario init [--backend cpu-cmp|gpu-sm] [PATH] | validate <PATH> | show <PATH>\n  \
+     c2bound-tool roofline <FILE>\n  \
      c2bound-tool obs-report <metrics.json> [--prom|--json]";
 
 fn usage() -> ! {
@@ -366,6 +386,8 @@ fn cmd_run(args: &[String]) {
     let mut checkpoint_every: Option<usize> = None;
     let mut chaos: Option<c2_runner::ChaosPlan> = None;
     let mut oracle_mode: Option<OracleMode> = None;
+    let mut backend: Option<BackendKind> = None;
+    let mut roofline_out: Option<std::path::PathBuf> = None;
     let mut resume = false;
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
@@ -428,6 +450,19 @@ fn cmd_run(args: &[String]) {
                 }
                 None => usage(),
             },
+            "--backend" => match rest.next() {
+                Some(v) => {
+                    backend = Some(BackendKind::parse(v).unwrap_or_else(|| {
+                        eprintln!("error: invalid --backend {v:?} (cpu-cmp|gpu-sm)");
+                        std::process::exit(2);
+                    }));
+                }
+                None => usage(),
+            },
+            "--roofline-out" => match rest.next() {
+                Some(v) => roofline_out = Some(std::path::PathBuf::from(v)),
+                None => usage(),
+            },
             "--resume" => resume = true,
             other if !other.starts_with('-') => {
                 if name.is_none() {
@@ -464,11 +499,15 @@ fn cmd_run(args: &[String]) {
                 std::process::exit(2);
             }
             let mut sc = load_scenario(path);
-            // The override lands before the fingerprint is taken, so a
-            // phase-mode run binds its mode into the journal, the cache
-            // identity, and the phase memo address.
+            // The overrides land before the fingerprint is taken, so a
+            // phase-mode or gpu-sm run binds its mode and backend into
+            // the journal, the cache identity, and the phase memo
+            // address.
             if let Some(mode) = oracle_mode {
                 sc.oracle.mode = mode;
+            }
+            if let Some(kind) = backend {
+                sc.backend.kind = kind;
             }
             let fp = sc.fingerprint();
             (sc, Some(fp))
@@ -479,9 +518,23 @@ fn cmd_run(args: &[String]) {
             if let Some(mode) = oracle_mode {
                 sc.oracle.mode = mode;
             }
+            if let Some(kind) = backend {
+                sc.backend.kind = kind;
+            }
             (sc, None)
         }
     };
+    // Scenario validation rejects a stored phase+gpu combination, but
+    // the flag overrides can assemble one after validation ran — the
+    // same typed rejection applies here (and again in the assembly
+    // layer, for callers that bypass the CLI).
+    if sc.backend.kind != BackendKind::CpuCmp && sc.oracle.mode == OracleMode::Phase {
+        eprintln!(
+            "error: the phase-clustered oracle requires the cpu-cmp backend \
+             (phase windows are C-AMAT-specific)"
+        );
+        std::process::exit(2);
+    }
     let mut config = c2_runner::RunConfig::from_spec(&sc.runner).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -534,23 +587,13 @@ fn cmd_run(args: &[String]) {
             .as_ref()
             .map(std::path::PathBuf::from);
     }
-    let Some(w) = c2_workloads::workload_from_spec(&sc.workload) else {
-        eprintln!("error: unknown workload {:?}", sc.workload.name);
-        std::process::exit(2);
-    };
-    let chip = ChipConfig::from_spec(&sc.chip).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let trace = w.generate();
-    let ch = characterize(&trace, &chip).expect("characterization failed");
-    let g = scale_function(&sc, w.as_ref());
-    let aps = aps_from_scenario(&sc, &ch, &chip, g).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let area = aps.model.area;
-    let budget = aps.model.budget;
+    if roofline_out.is_none() {
+        roofline_out = sc
+            .observability
+            .roofline_out
+            .as_ref()
+            .map(std::path::PathBuf::from);
+    }
     println!(
         "supervised sweep: {}, {} attempts/job{}{}{}",
         if config.threads > 0 {
@@ -577,60 +620,111 @@ fn cmd_run(args: &[String]) {
             ""
         }
     );
-    let phase_oracle = match sc.oracle.mode {
-        OracleMode::Full => None,
-        OracleMode::Phase => {
-            let oracle = phase_oracle_for(
-                &sc,
-                &trace,
-                area,
-                budget,
-                config.cache_path.as_deref(),
-                &c2_obs::NullSink,
-            )
-            .unwrap_or_else(|e| {
+    let recorder = c2_obs::Recorder::new();
+    let summary = match sc.backend.kind {
+        // The GPU-SM analytical backend needs no workload trace or
+        // characterization: the whole pricing core is closed-form, so
+        // the pipeline is scenario → backend → supervised sweep.
+        BackendKind::GpuSm => {
+            let sweep = gpu_sweep_from_scenario(&sc).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             });
-            let plan = oracle.plan();
-            println!(
-                "oracle: phase mode, {} phases, {:.1}% of the trace per evaluation{}",
-                plan.phase_count(),
-                100.0 * plan.simulated_fraction(),
-                if plan.is_exact() {
-                    " (trace too short to cluster; exact fallback)"
-                } else {
-                    ""
+            let pricer = Pricer::Gpu(&sweep);
+            let runner = c2_runner::SweepRunner::new(config).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let summary = runner
+                .run_aps_observed(
+                    &sweep,
+                    || pricer.clone(),
+                    journal.as_deref(),
+                    resume,
+                    &recorder,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            write_roofline_or_die(&sweep, &summary, fingerprint, roofline_out.as_deref());
+            summary
+        }
+        BackendKind::CpuCmp => {
+            let Some(w) = c2_workloads::workload_from_spec(&sc.workload) else {
+                eprintln!("error: unknown workload {:?}", sc.workload.name);
+                std::process::exit(2);
+            };
+            let chip = ChipConfig::from_spec(&sc.chip).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let trace = w.generate();
+            let ch = characterize(&trace, &chip).expect("characterization failed");
+            let g = scale_function(&sc, w.as_ref());
+            let aps = aps_from_scenario(&sc, &ch, &chip, g).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let area = aps.model.area;
+            let budget = aps.model.budget;
+            let phase_oracle = match sc.oracle.mode {
+                OracleMode::Full => None,
+                OracleMode::Phase => {
+                    let oracle = phase_oracle_for(
+                        &sc,
+                        &trace,
+                        area,
+                        budget,
+                        config.cache_path.as_deref(),
+                        &c2_obs::NullSink,
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    });
+                    let plan = oracle.plan();
+                    println!(
+                        "oracle: phase mode, {} phases, {:.1}% of the trace per evaluation{}",
+                        plan.phase_count(),
+                        100.0 * plan.simulated_fraction(),
+                        if plan.is_exact() {
+                            " (trace too short to cluster; exact fallback)"
+                        } else {
+                            ""
+                        }
+                    );
+                    Some(oracle)
                 }
-            );
-            Some(oracle)
+            };
+            let pricer = match &phase_oracle {
+                None => Pricer::Full {
+                    trace: &trace,
+                    area: &area,
+                    budget: &budget,
+                },
+                Some(oracle) => Pricer::Phase(oracle),
+            };
+            let runner = c2_runner::SweepRunner::new(config).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let summary = runner
+                .run_aps_observed(
+                    &aps,
+                    || pricer.clone(),
+                    journal.as_deref(),
+                    resume,
+                    &recorder,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            write_roofline_or_die(&aps, &summary, fingerprint, roofline_out.as_deref());
+            summary
         }
     };
-    let pricer = match &phase_oracle {
-        None => Pricer::Full {
-            trace: &trace,
-            area: &area,
-            budget: &budget,
-        },
-        Some(oracle) => Pricer::Phase(oracle),
-    };
-    let runner = c2_runner::SweepRunner::new(config).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let recorder = c2_obs::Recorder::new();
-    let summary = runner
-        .run_aps_observed(
-            &aps,
-            || pricer.clone(),
-            journal.as_deref(),
-            resume,
-            &recorder,
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
     if let Some(path) = &metrics_out {
         let report = recorder.report();
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -665,15 +759,28 @@ fn cmd_run(args: &[String]) {
         println!("run did not complete; resume with --journal/--resume");
         return;
     };
-    println!(
-        "chosen: N = {}, A0 = {} mm2, L1 = {} mm2, L2 = {} mm2, issue = {}, ROB = {}",
-        outcome.chosen.n,
-        fmt_num(outcome.chosen.a0),
-        fmt_num(outcome.chosen.a1),
-        fmt_num(outcome.chosen.a2),
-        outcome.chosen.issue_width,
-        outcome.chosen.rob_size
-    );
+    match sc.backend.kind {
+        BackendKind::CpuCmp => println!(
+            "chosen: N = {}, A0 = {} mm2, L1 = {} mm2, L2 = {} mm2, issue = {}, ROB = {}",
+            outcome.chosen.n,
+            fmt_num(outcome.chosen.a0),
+            fmt_num(outcome.chosen.a1),
+            fmt_num(outcome.chosen.a2),
+            outcome.chosen.issue_width,
+            outcome.chosen.rob_size
+        ),
+        // Same axes, GPU-SM vocabulary (DESIGN.md §14).
+        BackendKind::GpuSm => println!(
+            "chosen: SMs = {}, FP32 lanes/SM = {}, occupancy target = {}%, \
+             SM area = {} mm2 (L1 {} / L2 {})",
+            outcome.chosen.n,
+            outcome.chosen.issue_width,
+            outcome.chosen.rob_size,
+            fmt_num(outcome.chosen.a0),
+            fmt_num(outcome.chosen.a1),
+            fmt_num(outcome.chosen.a2)
+        ),
+    }
     println!(
         "best simulated time: {} cycles; calibrated model error: {}%; degradation: {:?}",
         fmt_num(outcome.best_time),
@@ -721,8 +828,40 @@ fn cmd_journal(args: &[String]) {
 fn cmd_scenario(args: &[String]) {
     match args.first().map(String::as_str) {
         Some("init") => {
-            let sc = Scenario::default();
-            match args.get(1) {
+            let mut kind = BackendKind::CpuCmp;
+            let mut path: Option<&String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--backend" => match it.next() {
+                        Some(v) => {
+                            kind = BackendKind::parse(v).unwrap_or_else(|| {
+                                eprintln!("error: invalid --backend {v:?} (cpu-cmp|gpu-sm)");
+                                std::process::exit(2);
+                            });
+                        }
+                        None => usage(),
+                    },
+                    other if !other.starts_with('-') && path.is_none() => path = Some(arg),
+                    _ => usage(),
+                }
+            }
+            let sc = match kind {
+                BackendKind::CpuCmp => Scenario::default(),
+                // The gpu-sm starter swaps in the reinterpreted axes
+                // (SM count, FP32 lanes/SM, occupancy target) so the
+                // emitted document sweeps a meaningful GPU space out
+                // of the box.
+                BackendKind::GpuSm => Scenario {
+                    backend: BackendSpec {
+                        kind: BackendKind::GpuSm,
+                        ..BackendSpec::default()
+                    },
+                    space: SpaceSpec::gpu_sm(),
+                    ..Scenario::default()
+                },
+            };
+            match path {
                 None => print!("{}", sc.render_pretty()),
                 Some(path) => {
                     if let Err(e) = std::fs::write(path, sc.render_pretty()) {
@@ -806,6 +945,189 @@ fn cmd_obs_report(args: &[String]) {
             );
         }
     }
+}
+
+/// One parsed candidate from a roofline report.
+struct RooflineRow {
+    seq: u64,
+    n: u64,
+    issue: u64,
+    rob: u64,
+    oi: f64,
+    compute: f64,
+    bandwidth: f64,
+    bound: f64,
+    attained: Option<f64>,
+    limiting: String,
+}
+
+/// `roofline`: render a `--roofline-out` report as an ASCII log-log
+/// chart — attained bound versus operational intensity, every
+/// candidate labeled with its limiting ceiling — plus a per-candidate
+/// table. Pure presentation: the numbers come verbatim from the file.
+#[allow(clippy::too_many_lines)]
+fn cmd_roofline(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| usage());
+    if args.len() > 1 {
+        usage();
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = c2_config::Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let get = |obj: &[(String, c2_config::Json)], key: &str| -> c2_config::Json {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| {
+                eprintln!("error: {path} is not a roofline report (missing {key:?})");
+                std::process::exit(1)
+            })
+    };
+    let Some(top) = doc.as_obj() else {
+        eprintln!("error: {path} is not a roofline report (top level is not an object)");
+        std::process::exit(1);
+    };
+    if get(top, "c2roofline").as_u64() != Some(1) {
+        eprintln!("error: {path}: unsupported roofline report version");
+        std::process::exit(1);
+    }
+    let backend = get(top, "backend").as_str().unwrap_or("?").to_string();
+    let fingerprint = get(top, "fingerprint")
+        .as_str()
+        .map_or_else(|| "unbound".to_string(), str::to_string);
+    let Some(raw_points) = get(top, "points").as_arr().map(<[c2_config::Json]>::to_vec) else {
+        eprintln!("error: {path} is not a roofline report (points is not an array)");
+        std::process::exit(1);
+    };
+    let mut rows: Vec<RooflineRow> = Vec::with_capacity(raw_points.len());
+    for raw in &raw_points {
+        let Some(obj) = raw.as_obj() else {
+            eprintln!("error: {path}: a roofline point is not an object");
+            std::process::exit(1);
+        };
+        let point = get(obj, "point");
+        let Some(p) = point.as_obj() else {
+            eprintln!("error: {path}: a roofline point carries no design point");
+            std::process::exit(1);
+        };
+        rows.push(RooflineRow {
+            seq: get(obj, "seq").as_u64().unwrap_or(0),
+            n: get(p, "n").as_u64().unwrap_or(0),
+            issue: get(p, "issue").as_u64().unwrap_or(0),
+            rob: get(p, "rob").as_u64().unwrap_or(0),
+            oi: get(obj, "operational_intensity")
+                .as_f64()
+                .unwrap_or(f64::NAN),
+            compute: get(obj, "compute_ceiling").as_f64().unwrap_or(f64::NAN),
+            bandwidth: get(obj, "bandwidth_ceiling").as_f64().unwrap_or(f64::NAN),
+            bound: get(obj, "bound").as_f64().unwrap_or(f64::NAN),
+            attained: get(obj, "attained").as_f64(),
+            limiting: get(obj, "limiting").as_str().unwrap_or("?").to_string(),
+        });
+    }
+    let compute_limited = rows.iter().filter(|r| r.limiting == "compute").count();
+    println!(
+        "roofline: {} backend, {} candidates ({} compute-limited, {} bandwidth-limited), \
+         fingerprint {}",
+        backend,
+        rows.len(),
+        compute_limited,
+        rows.len() - compute_limited,
+        fingerprint
+    );
+    // The chart plots each candidate's attained bound at its
+    // operational intensity on log-log axes: 'C' = the compute ceiling
+    // binds, 'B' = the bandwidth roof binds. Non-finite points are
+    // listed in the table but cannot be charted.
+    let chartable: Vec<&RooflineRow> = rows
+        .iter()
+        .filter(|r| r.oi.is_finite() && r.oi > 0.0 && r.bound.is_finite() && r.bound > 0.0)
+        .collect();
+    if chartable.is_empty() {
+        println!("(no finite candidates to chart)");
+    } else {
+        const W: usize = 64;
+        const H: usize = 16;
+        let span = |lo: f64, hi: f64| -> (f64, f64) {
+            // A degenerate axis (every candidate at one OI — common
+            // for gpu-sm, whose intensity is a workload constant) gets
+            // padded so the lone column sits mid-chart.
+            if hi - lo < 1e-9 {
+                (lo - 0.602, hi + 0.602)
+            } else {
+                (lo - 0.05 * (hi - lo), hi + 0.05 * (hi - lo))
+            }
+        };
+        let xs: Vec<f64> = chartable.iter().map(|r| r.oi.log10()).collect();
+        let ys: Vec<f64> = chartable.iter().map(|r| r.bound.log10()).collect();
+        let (x_lo, x_hi) = span(
+            xs.iter().copied().fold(f64::INFINITY, f64::min),
+            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let (y_lo, y_hi) = span(
+            ys.iter().copied().fold(f64::INFINITY, f64::min),
+            ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let col = |x: f64| (((x - x_lo) / (x_hi - x_lo)) * (W - 1) as f64).round() as usize;
+        let row =
+            |y: f64| (H - 1) - (((y - y_lo) / (y_hi - y_lo)) * (H - 1) as f64).round() as usize;
+        let mut grid = vec![vec![' '; W]; H];
+        for r in &chartable {
+            let (c, l) = (col(r.oi.log10()), row(r.bound.log10()));
+            grid[l][c] = if r.limiting == "compute" { 'C' } else { 'B' };
+        }
+        for (i, line) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{:.3e}", 10f64.powf(y_hi))
+            } else if i == H - 1 {
+                format!("{:.3e}", 10f64.powf(y_lo))
+            } else {
+                String::new()
+            };
+            println!("{label:>10} |{}", line.iter().collect::<String>());
+        }
+        println!("{:>10} +{}", "", "-".repeat(W));
+        println!(
+            "{:>10}  {:<w$}{:>w2$}",
+            "OI (F/B):",
+            format!("{:.3e}", 10f64.powf(x_lo)),
+            format!("{:.3e}", 10f64.powf(x_hi)),
+            w = W / 2,
+            w2 = W - W / 2
+        );
+    }
+    let mut t = Table::new(vec![
+        "seq",
+        "n",
+        "issue",
+        "rob",
+        "OI (F/B)",
+        "compute",
+        "bandwidth",
+        "bound",
+        "attained",
+        "limiting",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.seq.to_string(),
+            r.n.to_string(),
+            r.issue.to_string(),
+            r.rob.to_string(),
+            fmt_num(r.oi),
+            fmt_num(r.compute),
+            fmt_num(r.bandwidth),
+            fmt_num(r.bound),
+            r.attained.map_or_else(|| "-".to_string(), fmt_num),
+            r.limiting.clone(),
+        ]);
+    }
+    println!("{}", t.render());
 }
 
 fn cmd_scaling(args: &[String]) {
@@ -990,6 +1312,11 @@ enum Pricer<'a> {
         budget: &'a SiliconBudget,
     },
     Phase(&'a PhaseOracle),
+    /// The GPU-SM measurement oracle: the analytical bound priced at
+    /// the *achieved* occupancy (DESIGN.md §14), so the sweep's
+    /// refinement stage has a deterministic "measured" surface to
+    /// calibrate against, exactly like the CPU simulator does.
+    Gpu(&'a GpuSmBackend),
 }
 
 impl Oracle for Pricer<'_> {
@@ -1002,6 +1329,56 @@ impl Oracle for Pricer<'_> {
             } => simulate_point(p, trace, area, budget)
                 .map_err(|e| c2_bound::Error::Simulation(e.to_string())),
             Pricer::Phase(oracle) => oracle.price(p),
+            Pricer::Gpu(backend) => backend.measure(p),
+        }
+    }
+}
+
+/// Decompose a finished sweep into Roofline points, account for them
+/// on the ops sink, and write the deterministic JSON report. Shared by
+/// one-shot `run` and the serve executor so a served job's roofline is
+/// byte-identical to the command-line run's.
+fn emit_roofline(
+    sweep: &dyn BackendSweep,
+    summary: &c2_runner::RunSummary,
+    fingerprint: Option<u64>,
+    path: &std::path::Path,
+    ops: &dyn c2_obs::MetricsSink,
+) -> std::io::Result<usize> {
+    let points = roofline_points(sweep, &summary.plan, &summary.results);
+    let compute = points
+        .iter()
+        .filter(|p| p.limiting == Ceiling::Compute)
+        .count();
+    ops.counter_add(c2_obs::names::ROOFLINE_POINTS_TOTAL, points.len() as u64);
+    ops.counter_add(c2_obs::names::ROOFLINE_COMPUTE_BOUND_TOTAL, compute as u64);
+    ops.counter_add(
+        c2_obs::names::ROOFLINE_BANDWIDTH_BOUND_TOTAL,
+        (points.len() - compute) as u64,
+    );
+    std::fs::write(path, roofline_json(sweep.identity(), fingerprint, &points))?;
+    Ok(points.len())
+}
+
+/// `run`'s roofline emission: a no-op without a destination (flag or
+/// scenario `observability.roofline_out`); an IO failure is fatal,
+/// like a failed `--metrics-out` write.
+fn write_roofline_or_die(
+    sweep: &dyn BackendSweep,
+    summary: &c2_runner::RunSummary,
+    fingerprint: Option<u64>,
+    path: Option<&std::path::Path>,
+) {
+    let Some(path) = path else { return };
+    match emit_roofline(sweep, summary, fingerprint, path, &c2_obs::NullSink) {
+        Ok(n) => println!(
+            "roofline: wrote {n} candidate points ({} backend) to {}",
+            sweep.identity(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("error: cannot write roofline to {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
 }
@@ -1100,6 +1477,30 @@ impl c2_runner::ScenarioExecutor for PipelineExecutor {
         let sim_err = |what: &str, e: String| {
             c2_runner::Error::Core(c2_bound::Error::Simulation(format!("{what}: {e}")))
         };
+        // The GPU-SM branch mirrors one-shot `run --backend gpu-sm`:
+        // no trace, no characterization, closed-form pricing.
+        if sc.backend.kind == c2_config::BackendKind::GpuSm {
+            let sweep = gpu_sweep_from_scenario(sc).map_err(c2_runner::Error::Core)?;
+            let pricer = Pricer::Gpu(&sweep);
+            let runner = c2_runner::SweepRunner::new(config)?;
+            let summary =
+                runner.run_aps_full(&sweep, || pricer.clone(), Some(journal), resume, sink, ops)?;
+            ops.counter_add(
+                c2_obs::names::BACKEND_GPU_SM_POINTS_TOTAL,
+                summary.results.len() as u64,
+            );
+            if let Some(out) = &sc.observability.roofline_out {
+                emit_roofline(
+                    &sweep,
+                    &summary,
+                    Some(sc.fingerprint()),
+                    std::path::Path::new(out),
+                    ops,
+                )
+                .map_err(|e| sim_err("roofline", e.to_string()))?;
+            }
+            return Ok(summary);
+        }
         let w = c2_workloads::workload_from_spec(&sc.workload).ok_or(
             c2_runner::Error::InvalidConfig("unknown workload in admitted scenario"),
         )?;
@@ -1126,7 +1527,23 @@ impl c2_runner::ScenarioExecutor for PipelineExecutor {
             Some(oracle) => Pricer::Phase(oracle),
         };
         let runner = c2_runner::SweepRunner::new(config)?;
-        runner.run_aps_full(&aps, || pricer.clone(), Some(journal), resume, sink, ops)
+        let summary =
+            runner.run_aps_full(&aps, || pricer.clone(), Some(journal), resume, sink, ops)?;
+        ops.counter_add(
+            c2_obs::names::BACKEND_CPU_CMP_POINTS_TOTAL,
+            summary.results.len() as u64,
+        );
+        if let Some(out) = &sc.observability.roofline_out {
+            emit_roofline(
+                &aps,
+                &summary,
+                Some(sc.fingerprint()),
+                std::path::Path::new(out),
+                ops,
+            )
+            .map_err(|e| sim_err("roofline", e.to_string()))?;
+        }
+        Ok(summary)
     }
 }
 
@@ -1425,6 +1842,7 @@ fn main() {
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("journal") => cmd_journal(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("roofline") => cmd_roofline(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
         Some("table1") => cmd_table1(),

@@ -297,4 +297,70 @@ proptest! {
         let back = c2bound::trace::io::from_str(&c2bound::trace::io::to_string(&t)).unwrap();
         prop_assert_eq!(t, back);
     }
+
+    /// Backend identity binding (DESIGN.md §14): for any plan and
+    /// scenario fingerprint, the journal header bound under the
+    /// grandfathered cpu-cmp backend equals the pre-refactor header
+    /// (byte-compatibility), while any other backend identity moves
+    /// it — so a resumed journal or shared-journal header can never be
+    /// accepted across backends, even on fingerprint-free positional
+    /// runs.
+    #[test]
+    fn backend_binding_isolates_journal_headers(
+        plan_fp in 0u64..=u64::MAX,
+        scenario_fp in prop::option::of(0u64..=u64::MAX),
+        idx in 0usize..4,
+    ) {
+        use c2bound::runner::journal::{backend_fingerprint, bind_fingerprint};
+        let others = ["gpu-sm", "gpu-sm-v2", "npu-tile", "dsp"];
+        let base = bind_fingerprint(plan_fp, scenario_fp);
+        let cpu = bind_fingerprint(base, backend_fingerprint("cpu-cmp"));
+        prop_assert_eq!(cpu, base, "cpu-cmp must be header-invariant");
+        let alt = bind_fingerprint(base, backend_fingerprint(others[idx]));
+        prop_assert_ne!(alt, cpu, "{} shares the cpu-cmp header", others[idx]);
+        for (i, a) in others.iter().enumerate() {
+            for b in &others[i + 1..] {
+                prop_assert_ne!(
+                    bind_fingerprint(base, backend_fingerprint(a)),
+                    bind_fingerprint(base, backend_fingerprint(b)),
+                    "{} and {} share a header", a, b
+                );
+            }
+        }
+    }
+
+    /// Shared-cache isolation across backends: for any GPU knob values,
+    /// the gpu-sm variant of a scenario fingerprints differently from
+    /// its cpu-cmp twin, so every cache address (`cache_key`) derived
+    /// from those fingerprints is disjoint — a cpu-cmp entry can never
+    /// be served to a gpu-sm run of the same document, or vice versa.
+    /// The document also round-trips through the canonical renderer.
+    #[test]
+    fn gpu_scenarios_fingerprint_apart_from_cpu_twins(
+        work_exp in 6.0f64..12.0,
+        m_fma in 0.0f64..1.0,
+        bw in 64.0f64..2048.0,
+        content_key in 0u64..=u64::MAX,
+    ) {
+        use c2_config::{BackendKind, Scenario};
+        let mut cpu = Scenario::default();
+        cpu.backend.gpu.work_flops = 10f64.powf(work_exp);
+        cpu.backend.gpu.m_fma = m_fma;
+        cpu.backend.gpu.mem_bandwidth = bw;
+        let mut gpu = cpu.clone();
+        gpu.backend.kind = BackendKind::GpuSm;
+        // Round-trip: the canonical rendering parses back to the same
+        // fingerprint.
+        let reparsed = Scenario::from_json(&gpu.render_pretty()).unwrap();
+        prop_assert_eq!(reparsed.fingerprint(), gpu.fingerprint());
+        // The cpu twin ignores gpu knobs (grandfathered default
+        // rendering), the gpu one binds them.
+        prop_assert_eq!(cpu.fingerprint(), Scenario::default().fingerprint());
+        prop_assert_ne!(gpu.fingerprint(), cpu.fingerprint());
+        prop_assert_ne!(
+            c2bound::runner::cache_key(gpu.fingerprint(), content_key),
+            c2bound::runner::cache_key(cpu.fingerprint(), content_key),
+            "cache addresses collide across backends"
+        );
+    }
 }

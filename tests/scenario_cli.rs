@@ -62,6 +62,53 @@ fn scenario_show_matches_golden_snapshot() {
     assert_eq!(String::from_utf8_lossy(&out.stdout), golden);
 }
 
+/// Render completeness: `scenario show` (and `init`, which shares the
+/// canonical renderer) must emit *every* section of the schema. The
+/// `oracle` and `backend` blocks were each added after the original
+/// renderer was written — this pins the full key set so a future
+/// section cannot silently disappear from shows and starter files
+/// while still round-tripping through the parser's defaults.
+#[test]
+fn scenario_show_renders_every_section() {
+    let out = tool()
+        .args([
+            "scenario",
+            "show",
+            repo_path("examples/scenarios/paper_scale.json")
+                .to_str()
+                .unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for section in [
+        "\"version\"",
+        "\"workload\"",
+        "\"model\"",
+        "\"chip\"",
+        "\"space\"",
+        "\"budget\"",
+        "\"area\"",
+        "\"solver\"",
+        "\"oracle\"",
+        "\"backend\"",
+        "\"runner\"",
+        "\"serve\"",
+        "\"observability\"",
+    ] {
+        assert!(
+            text.contains(&format!("  {section}: ")),
+            "scenario show dropped the {section} section"
+        );
+    }
+    // The late-added blocks render their own sub-keys too, not just an
+    // empty shell.
+    for key in ["\"mode\"", "\"kind\"", "\"gpu\"", "\"roofline_out\""] {
+        assert!(text.contains(key), "scenario show dropped {key}");
+    }
+}
+
 /// Every checked-in example scenario must validate.
 #[test]
 fn all_example_scenarios_validate() {
