@@ -175,6 +175,41 @@ cargo run -q --bin c2bound-tool -- shutdown --addr "${gpu_addr}" --wait > /dev/n
 wait "${gpu_serve_pid}"
 cmp tests/golden/gpu_sm_roofline.json "${smoke_dir}/serve-roofline.json"
 
+echo "== law validation harness (DESIGN.md SS15) =="
+cargo test -q --test law_validation
+cargo test -q -p c2-speedup
+cargo test -q -p c2-runner --lib screen::
+
+echo "== surrogate screening smoke (screened vs full, quick.json) =="
+# A screened sweep must stay under the scenario's true-evaluation
+# budget and still report a chosen design; the full run is the
+# reference enumeration over the same document.
+cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+    --threads 1 > "${smoke_dir}/screen-full.out"
+cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+    --threads 1 --screen > "${smoke_dir}/screen-on.out"
+grep -q "^chosen:" "${smoke_dir}/screen-full.out"
+grep -q "^chosen:" "${smoke_dir}/screen-on.out"
+grep -q "^screen report:" "${smoke_dir}/screen-on.out"
+if grep -q "^screen report:" "${smoke_dir}/screen-full.out"; then
+    echo "error: unscreened run printed a screen report" >&2
+    exit 1
+fi
+
+echo "== screened bit-identity (1 vs 4 threads, quick.json) =="
+for t in 1 4; do
+    cargo run -q --bin c2bound-tool -- run --scenario examples/scenarios/quick.json \
+        --threads "${t}" --screen \
+        --journal "${smoke_dir}/screen-journal-t${t}.jsonl" > /dev/null
+done
+cmp "${smoke_dir}/screen-journal-t1.jsonl" "${smoke_dir}/screen-journal-t4.jsonl"
+# Screening is bound into the journal identity: the screened and full
+# journals over the same scenario must never alias.
+if cmp -s "${smoke_dir}/journal-t1.jsonl" "${smoke_dir}/screen-journal-t1.jsonl"; then
+    echo "error: screened journal must carry a distinct identity" >&2
+    exit 1
+fi
+
 echo "== sweep benchmark smoke (archives BENCH_sweep.json) =="
 cargo bench -q -p c2-bench --bench sweep_benches > /dev/null
 test -s BENCH_sweep.json

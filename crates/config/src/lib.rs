@@ -20,7 +20,8 @@ pub mod scenario;
 pub use json::{Json, JsonError};
 pub use scenario::{
     fnv1a, AreaSpec, BackendKind, BackendSpec, BackoffSpec, BreakerSpec, BudgetSpec, CacheSpec,
-    CamatSpec, ChaosSpec, ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, GpuSpec, ModelSpec, NocSpec,
-    ObsSpec, OracleMode, OracleSpec, PhaseSpec, Result, RunnerSpec, Scenario, ScenarioError,
-    ServeSpec, SolverSpec, SpaceSpec, WorkloadSpec,
+    CamatSpec, ChaosSpec, ChipSpec, CoreSpec, DramSpec, EvalCacheSpec, GpuSpec, LawKind,
+    MemoryWallSpec, ModelSpec, NocSpec, ObsSpec, OracleMode, OracleSpec, PhaseSpec, Result,
+    RunnerSpec, Scenario, ScenarioError, ScreenSpec, ServeSpec, SolverSpec, SpaceSpec, SpeedupSpec,
+    UslSpec, WorkloadSpec,
 };

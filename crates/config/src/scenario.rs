@@ -640,6 +640,159 @@ impl Default for GpuSpec {
     }
 }
 
+/// Scalability-law selection: which law of the `ScalabilityLaw`
+/// family converts core count into speedup (equivalently, into the
+/// normalized parallel-time factor of the execution-time model).
+///
+/// Like [`OracleSpec`] and [`BackendSpec`], the section is **semantic**
+/// exactly when it deviates from the default: a non-Sun-Ni law changes
+/// every analytic time the sweep computes, so it is bound into the
+/// scenario fingerprint. With the default `sun-ni` law the section is
+/// dropped from the semantic rendering entirely, so every fingerprint
+/// minted before the key existed stays valid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpeedupSpec {
+    /// `"sun-ni"`, `"amdahl"`, `"memory-wall"` or `"usl"`.
+    pub law: LawKind,
+    /// Memory-wall law parameters (ignored by other laws but always
+    /// validated and rendered).
+    pub memory_wall: MemoryWallSpec,
+    /// USL parameters (ignored by other laws but always validated and
+    /// rendered).
+    pub usl: UslSpec,
+}
+
+/// The scalability-law family member pricing core-count scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LawKind {
+    /// Sun-Ni's memory-bounded law (paper Eq. 4) with the workload's
+    /// `g(N)` — the historical default.
+    #[default]
+    SunNi,
+    /// Amdahl's fixed-size law (`g(N) = 1` degenerate case).
+    Amdahl,
+    /// Furtunato-style bandwidth-saturation law: a `beta` fraction of
+    /// parallel work stops scaling past `n_sat` cores.
+    MemoryWall,
+    /// Gunther's Universal Scalability Law (contention `sigma` +
+    /// coherency `kappa`; retrograde when `kappa > 0`).
+    Usl,
+}
+
+impl LawKind {
+    /// The canonical spelling used in scenario JSON and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LawKind::SunNi => "sun-ni",
+            LawKind::Amdahl => "amdahl",
+            LawKind::MemoryWall => "memory-wall",
+            LawKind::Usl => "usl",
+        }
+    }
+
+    /// Parse the canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sun-ni" => Some(LawKind::SunNi),
+            "amdahl" => Some(LawKind::Amdahl),
+            "memory-wall" => Some(LawKind::MemoryWall),
+            "usl" => Some(LawKind::Usl),
+            _ => None,
+        }
+    }
+}
+
+/// Memory-wall law parameters; mirrors `MemoryWall` in `c2-speedup`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryWallSpec {
+    /// Bandwidth-bound fraction of the parallel work, in `[0, 1]`.
+    pub beta: f64,
+    /// Core count at which aggregate bandwidth demand saturates the
+    /// memory system (`>= 1`).
+    pub n_sat: f64,
+}
+
+impl Default for MemoryWallSpec {
+    fn default() -> Self {
+        MemoryWallSpec {
+            beta: 0.5,
+            n_sat: 64.0,
+        }
+    }
+}
+
+/// USL parameters; mirrors `Usl` in `c2-speedup`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UslSpec {
+    /// Contention coefficient `sigma` in `[0, 1]`; `null` adopts the
+    /// workload's measured sequential fraction.
+    pub sigma: Option<f64>,
+    /// Coherency coefficient `kappa >= 0`.
+    pub kappa: f64,
+}
+
+impl Default for UslSpec {
+    fn default() -> Self {
+        UslSpec {
+            sigma: None,
+            kappa: 0.0,
+        }
+    }
+}
+
+/// Surrogate-screening selection: train the `c2-ann` MLP online during
+/// the sweep and route only high-uncertainty candidates to the real
+/// oracle (active learning), instead of simulating every refinement
+/// point.
+///
+/// The section is **semantic** exactly when screening is enabled:
+/// screening changes which points receive true evaluations — and with
+/// that the journal's record set — so it is bound into the scenario
+/// fingerprint. With screening disabled the section is dropped from
+/// the semantic rendering so pre-existing fingerprints survive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenSpec {
+    /// Whether the screening stage replaces full enumeration.
+    pub enabled: bool,
+    /// Deterministic seed for the surrogate committee (the acquisition
+    /// rule itself is rank-based and needs no randomness).
+    pub seed: u64,
+    /// True evaluations in the seeding round (evenly spread over the
+    /// plan).
+    pub initial: u64,
+    /// True evaluations added per acquisition round.
+    pub batch: u64,
+    /// Hard cap on true oracle evaluations across all rounds.
+    pub budget: u64,
+    /// Committee size (independently seeded MLPs whose prediction
+    /// spread is the uncertainty signal); at least 2.
+    pub committee: u64,
+    /// Hidden-layer width of each committee member.
+    pub hidden: u64,
+    /// Training epochs per round for each committee member.
+    pub epochs: u64,
+    /// Early-stop threshold on the worst committee disagreement in
+    /// ln-time space (roughly relative error); `0` disables early
+    /// stopping and the budget alone terminates the loop.
+    pub tolerance: f64,
+}
+
+impl Default for ScreenSpec {
+    fn default() -> Self {
+        ScreenSpec {
+            enabled: false,
+            seed: 0xC2A7,
+            initial: 16,
+            batch: 8,
+            budget: 64,
+            committee: 3,
+            hidden: 16,
+            epochs: 200,
+            tolerance: 0.02,
+        }
+    }
+}
+
 /// Retry backoff policy; mirrors `BackoffPolicy` in `c2-runner`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackoffSpec {
@@ -886,6 +1039,12 @@ pub struct Scenario {
     /// Model-backend selection (CPU-CMP Eq. 10 vs GPU-SM bound).
     /// Semantic whenever it deviates from `cpu-cmp`.
     pub backend: BackendSpec,
+    /// Scalability-law selection. Semantic whenever it deviates from
+    /// `sun-ni`.
+    pub speedup: SpeedupSpec,
+    /// Surrogate-screening selection. Semantic whenever screening is
+    /// enabled.
+    pub screen: ScreenSpec,
     /// Supervised-runner policy.
     pub runner: RunnerSpec,
     /// Service-layer (daemon) policy. Operational — excluded from the
@@ -908,6 +1067,8 @@ impl Default for Scenario {
             solver: SolverSpec::default(),
             oracle: OracleSpec::default(),
             backend: BackendSpec::default(),
+            speedup: SpeedupSpec::default(),
+            screen: ScreenSpec::default(),
             runner: RunnerSpec::default(),
             serve: ServeSpec::default(),
             observability: ObsSpec::default(),
@@ -1755,6 +1916,125 @@ impl BackendSpec {
     }
 }
 
+impl MemoryWallSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["beta", "n_sat"], path)?;
+        let d = MemoryWallSpec::default();
+        Ok(MemoryWallSpec {
+            beta: get_f64(pairs, "beta", path, d.beta)?,
+            n_sat: get_f64(pairs, "n_sat", path, d.n_sat)?,
+        })
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("beta".into(), Json::Num(self.beta)),
+            ("n_sat".into(), Json::Num(self.n_sat)),
+        ])
+    }
+}
+
+impl UslSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["sigma", "kappa"], path)?;
+        let d = UslSpec::default();
+        Ok(UslSpec {
+            sigma: get_opt_f64(pairs, "sigma", path)?,
+            kappa: get_f64(pairs, "kappa", path, d.kappa)?,
+        })
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("sigma".into(), self.sigma.map_or(Json::Null, Json::Num)),
+            ("kappa".into(), Json::Num(self.kappa)),
+        ])
+    }
+}
+
+impl SpeedupSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(pairs, &["law", "memory_wall", "usl"], path)?;
+        let d = SpeedupSpec::default();
+        let law_str = get_string(pairs, "law", path, d.law.as_str())?;
+        let law = LawKind::parse(&law_str).ok_or(ScenarioError::OutOfRange {
+            path: join(path, "law"),
+            why: "must be \"sun-ni\", \"amdahl\", \"memory-wall\" or \"usl\"",
+        })?;
+        let memory_wall = match find(pairs, "memory_wall") {
+            None => d.memory_wall,
+            Some(value) => MemoryWallSpec::from_json_value(value, &join(path, "memory_wall"))?,
+        };
+        let usl = match find(pairs, "usl") {
+            None => d.usl,
+            Some(value) => UslSpec::from_json_value(value, &join(path, "usl"))?,
+        };
+        Ok(SpeedupSpec {
+            law,
+            memory_wall,
+            usl,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("law".into(), Json::Str(self.law.as_str().to_string())),
+            ("memory_wall".into(), self.memory_wall.to_json()),
+            ("usl".into(), self.usl.to_json()),
+        ])
+    }
+}
+
+impl ScreenSpec {
+    fn from_json_value(value: &Json, path: &str) -> Result<Self> {
+        let pairs = expect_obj(value, path)?;
+        check_keys(
+            pairs,
+            &[
+                "enabled",
+                "seed",
+                "initial",
+                "batch",
+                "budget",
+                "committee",
+                "hidden",
+                "epochs",
+                "tolerance",
+            ],
+            path,
+        )?;
+        let d = ScreenSpec::default();
+        Ok(ScreenSpec {
+            enabled: get_bool(pairs, "enabled", path, d.enabled)?,
+            seed: get_u64(pairs, "seed", path, d.seed)?,
+            initial: get_u64(pairs, "initial", path, d.initial)?,
+            batch: get_u64(pairs, "batch", path, d.batch)?,
+            budget: get_u64(pairs, "budget", path, d.budget)?,
+            committee: get_u64(pairs, "committee", path, d.committee)?,
+            hidden: get_u64(pairs, "hidden", path, d.hidden)?,
+            epochs: get_u64(pairs, "epochs", path, d.epochs)?,
+            tolerance: get_f64(pairs, "tolerance", path, d.tolerance)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("enabled".into(), Json::Bool(self.enabled)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("initial".into(), Json::Num(self.initial as f64)),
+            ("batch".into(), Json::Num(self.batch as f64)),
+            ("budget".into(), Json::Num(self.budget as f64)),
+            ("committee".into(), Json::Num(self.committee as f64)),
+            ("hidden".into(), Json::Num(self.hidden as f64)),
+            ("epochs".into(), Json::Num(self.epochs as f64)),
+            ("tolerance".into(), Json::Num(self.tolerance)),
+        ])
+    }
+}
+
 impl RunnerSpec {
     fn from_json_value(value: &Json, path: &str) -> Result<Self> {
         let pairs = expect_obj(value, path)?;
@@ -1975,6 +2255,8 @@ impl Scenario {
                 "solver",
                 "oracle",
                 "backend",
+                "speedup",
+                "screen",
                 "runner",
                 "serve",
                 "observability",
@@ -2024,6 +2306,14 @@ impl Scenario {
                 None => BackendSpec::default(),
                 Some(v) => BackendSpec::from_json_value(v, "backend")?,
             },
+            speedup: match section("speedup") {
+                None => SpeedupSpec::default(),
+                Some(v) => SpeedupSpec::from_json_value(v, "speedup")?,
+            },
+            screen: match section("screen") {
+                None => ScreenSpec::default(),
+                Some(v) => ScreenSpec::from_json_value(v, "screen")?,
+            },
             runner: match section("runner") {
                 None => RunnerSpec::default(),
                 Some(v) => RunnerSpec::from_json_value(v, "runner")?,
@@ -2069,6 +2359,20 @@ impl Scenario {
         // rendering so pre-existing fingerprints survive unchanged.
         if !semantic || self.backend.kind != BackendKind::CpuCmp {
             pairs.push(("backend".into(), self.backend.to_json()));
+        }
+        // Same rule for the scalability law: a non-Sun-Ni law changes
+        // every analytic time the sweep computes; the default section
+        // is dropped from the semantic rendering so every pre-existing
+        // fingerprint survives the key's introduction.
+        if !semantic || self.speedup.law != LawKind::SunNi {
+            pairs.push(("speedup".into(), self.speedup.to_json()));
+        }
+        // And for screening: enabling it changes which points receive
+        // true evaluations (the journal's record set), so it moves the
+        // fingerprint; the disabled section is dropped from the
+        // semantic rendering.
+        if !semantic || self.screen.enabled {
+            pairs.push(("screen".into(), self.screen.to_json()));
         }
         pairs.push(("runner".into(), self.runner.to_json_with(semantic)));
         if !semantic {
@@ -2328,6 +2632,62 @@ impl Scenario {
         }
         if g.max_warps == 0 {
             return Err(fail("backend.gpu.max_warps", "must be at least 1"));
+        }
+
+        let sp = &self.speedup;
+        if !(sp.memory_wall.beta >= 0.0) || !(sp.memory_wall.beta <= 1.0) {
+            return Err(fail("speedup.memory_wall.beta", "must lie in [0, 1]"));
+        }
+        if !(sp.memory_wall.n_sat >= 1.0) || !sp.memory_wall.n_sat.is_finite() {
+            return Err(fail(
+                "speedup.memory_wall.n_sat",
+                "must be finite and at least 1",
+            ));
+        }
+        if let Some(sigma) = sp.usl.sigma {
+            if !(0.0..=1.0).contains(&sigma) || !sigma.is_finite() {
+                return Err(fail("speedup.usl.sigma", "must lie in [0, 1]"));
+            }
+        }
+        if !(sp.usl.kappa >= 0.0) || !sp.usl.kappa.is_finite() {
+            return Err(fail("speedup.usl.kappa", "must be finite and non-negative"));
+        }
+
+        let sc = &self.screen;
+        if sc.enabled && o.mode == OracleMode::Phase {
+            // The phase oracle is itself an estimator: screening an
+            // estimator trains the surrogate on reconstructed times
+            // and compounds unbounded error, so the combination is
+            // rejected here (and again at the CLI and engine layers),
+            // mirroring the phase-with-GPU rule above.
+            return Err(fail(
+                "screen.enabled",
+                "surrogate screening requires the full oracle",
+            ));
+        }
+        if sc.initial == 0 {
+            return Err(fail("screen.initial", "must be at least 1"));
+        }
+        if sc.batch == 0 {
+            return Err(fail("screen.batch", "must be at least 1"));
+        }
+        if sc.budget < sc.initial {
+            return Err(fail("screen.budget", "must be at least screen.initial"));
+        }
+        if sc.committee < 2 {
+            return Err(fail(
+                "screen.committee",
+                "needs at least 2 members for a disagreement signal",
+            ));
+        }
+        if sc.hidden == 0 {
+            return Err(fail("screen.hidden", "must be at least 1"));
+        }
+        if sc.epochs == 0 {
+            return Err(fail("screen.epochs", "must be at least 1"));
+        }
+        if !(sc.tolerance >= 0.0) || !sc.tolerance.is_finite() {
+            return Err(fail("screen.tolerance", "must be finite and non-negative"));
         }
 
         let r = &self.runner;

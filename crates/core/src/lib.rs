@@ -88,7 +88,8 @@ pub use optimize::{
 pub use phase::{PhaseEstimate, PhaseOracle, PhasePlan, PhaseSummary};
 pub use scaling::{ScalingPoint, ScalingStudy};
 pub use scenario::{
-    aps_from_scenario, gpu_sweep_from_scenario, model_from_scenario, scale_function,
+    aps_from_scenario, gpu_sweep_from_scenario, law_from_scenario, model_from_scenario,
+    scale_function,
 };
 
 /// Errors from the model and optimizer.

@@ -1,6 +1,7 @@
 //! The C²-Bound objective function and constraints (paper Eqs. 10–12).
 
 use c2_sim::area::{AreaModel, SiliconBudget};
+use c2_speedup::law::ScalabilityLaw;
 use c2_speedup::scale::ScaleFunction;
 
 use crate::mem_model::MemoryModel;
@@ -96,10 +97,18 @@ pub struct C2BoundModel {
     pub area: AreaModel,
     /// Silicon budget (Eq. 12 right-hand side).
     pub budget: SiliconBudget,
+    /// Scalability-law override. `None` — the default — means Sun-Ni
+    /// over the live `program.g` (the paper's law, evaluated exactly as
+    /// the pre-trait code did, so default-path results stay
+    /// bit-identical and mutating `program` keeps taking effect).
+    /// `Some(law)` dispatches every speedup/time-factor computation
+    /// through the [`ScalabilityLaw`] object instead.
+    pub law: Option<std::sync::Arc<dyn ScalabilityLaw>>,
 }
 
 impl C2BoundModel {
-    /// Assemble the model.
+    /// Assemble the model with the default Sun-Ni law over
+    /// `program.g`.
     pub fn new(
         program: ProgramProfile,
         memory: MemoryModel,
@@ -111,7 +120,15 @@ impl C2BoundModel {
             memory,
             area,
             budget,
+            law: None,
         }
+    }
+
+    /// The same model with every speedup/time-factor computation
+    /// dispatched through `law` instead of the built-in Sun-Ni path.
+    pub fn with_law(mut self, law: std::sync::Arc<dyn ScalabilityLaw>) -> Self {
+        self.law = Some(law);
+        self
     }
 
     /// `CPI_exe(A0)` by Pollack's rule (Eq. 11).
@@ -129,14 +146,27 @@ impl C2BoundModel {
 
     /// The execution-time objective `J_D` (Eq. 10), in cycles.
     pub fn execution_time(&self, v: &DesignVariables) -> f64 {
-        let gn = self.program.g.eval(v.n.max(1.0));
-        let parallel_factor = self.program.f_seq + gn * (1.0 - self.program.f_seq) / v.n.max(1.0);
+        let n = v.n.max(1.0);
+        let parallel_factor = match &self.law {
+            // The pre-trait expression, verbatim: the default path's
+            // floats are pinned by tests/golden/pre_law_*.
+            None => {
+                let gn = self.program.g.eval(n);
+                self.program.f_seq + gn * (1.0 - self.program.f_seq) / n
+            }
+            Some(law) => law.time_factor(self.program.f_seq, n),
+        };
         self.program.ic0 * self.cycles_per_instruction(v) * parallel_factor
     }
 
-    /// The scaled problem size `W(N) = g(N) · IC0` (Eq. 9).
+    /// The scaled problem size `W(N) = g(N) · IC0` (Eq. 9); fixed-size
+    /// laws (Amdahl, memory-wall, USL) keep `W = IC0`.
     pub fn problem_size(&self, n: f64) -> f64 {
-        self.program.g.eval(n.max(1.0)) * self.program.ic0
+        let n = n.max(1.0);
+        match &self.law {
+            None => self.program.g.eval(n) * self.program.ic0,
+            Some(law) => law.work_scale(n) * self.program.ic0,
+        }
     }
 
     /// Throughput `W/T` at a design point.
@@ -144,10 +174,14 @@ impl C2BoundModel {
         self.problem_size(v.n) / self.execution_time(v)
     }
 
-    /// Memory-bounded speedup at `N` (Sun-Ni, Eq. 4) — independent of
-    /// the area split.
+    /// Speedup at `N` under the model's scalability law (Sun-Ni Eq. 4
+    /// by default) — independent of the area split.
     pub fn speedup(&self, n: f64) -> f64 {
-        c2_speedup::laws::sun_ni(self.program.f_seq, n.max(1.0), &self.program.g)
+        let n = n.max(1.0);
+        match &self.law {
+            None => c2_speedup::laws::sun_ni(self.program.f_seq, n, &self.program.g),
+            Some(law) => law.speedup(self.program.f_seq, n),
+        }
     }
 
     /// Whether a design point satisfies the area constraint (Eq. 12).
@@ -162,7 +196,11 @@ impl C2BoundModel {
     /// The case split of §III.C: the sign of `∂L/∂N` for large N is
     /// decided by whether `g(N) ≥ O(N)`.
     pub fn case(&self) -> OptimizationCase {
-        if self.program.g.is_at_least_linear() {
+        let at_least_linear = match &self.law {
+            None => self.program.g.is_at_least_linear(),
+            Some(law) => law.work_is_at_least_linear(),
+        };
+        if at_least_linear {
             OptimizationCase::MaximizeThroughput
         } else {
             OptimizationCase::MinimizeTime
@@ -196,6 +234,7 @@ impl C2BoundModel {
             memory: MemoryModel::default_big_data(),
             area: AreaModel::default(),
             budget: SiliconBudget::new(400.0, 40.0).expect("valid budget"),
+            law: None,
         }
     }
 }

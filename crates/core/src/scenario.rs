@@ -8,9 +8,12 @@
 //! layer only *relocates* those constants into data — it must not move
 //! any numbers.
 
-use c2_config::Scenario;
+use std::sync::Arc;
+
+use c2_config::{LawKind, Scenario};
 use c2_sim::area::{AreaModel, SiliconBudget};
 use c2_sim::ChipConfig;
+use c2_speedup::law::{Amdahl, MemoryWall, ScalabilityLaw, Usl};
 use c2_speedup::scale::ScaleFunction;
 use c2_workloads::{Characterization, Workload};
 
@@ -34,6 +37,36 @@ pub fn scale_function(sc: &Scenario, workload: &dyn Workload) -> ScaleFunction {
             .scale_function()
             .unwrap_or(ScaleFunction::Power(1.0)),
     }
+}
+
+/// The scalability law selected by a scenario's `speedup` block.
+///
+/// Returns `None` for the default Sun-Ni law: the model's built-in
+/// path evaluates Sun-Ni over the live `program.g` with the exact
+/// pre-trait float ordering, and keeping it selected (rather than
+/// boxing an equivalent law object) is what the `pre_law_*` goldens
+/// pin. Non-default laws construct the validated `c2-speedup` object.
+pub fn law_from_scenario(sc: &Scenario) -> Result<Option<Arc<dyn ScalabilityLaw>>> {
+    fn adapt(e: c2_speedup::Error) -> Error {
+        match e {
+            c2_speedup::Error::InvalidParameter { name, value } => {
+                Error::InvalidParameter { name, value }
+            }
+            c2_speedup::Error::InversionFailed(what) => Error::Optimization(what.to_string()),
+        }
+    }
+    Ok(match sc.speedup.law {
+        LawKind::SunNi => None,
+        LawKind::Amdahl => Some(Arc::new(Amdahl)),
+        LawKind::MemoryWall => {
+            let mw = &sc.speedup.memory_wall;
+            Some(Arc::new(MemoryWall::new(mw.beta, mw.n_sat).map_err(adapt)?))
+        }
+        LawKind::Usl => {
+            let u = &sc.speedup.usl;
+            Some(Arc::new(Usl::new(u.sigma, u.kappa).map_err(adapt)?))
+        }
+    })
 }
 
 /// Assemble the C²-Bound model from a characterization run and the
@@ -98,12 +131,16 @@ pub fn model_from_scenario(
         ch.overlap_cm.clamp(0.0, sc.model.overlap_cap),
         g,
     )?;
-    Ok(C2BoundModel::new(
+    let model = C2BoundModel::new(
         program,
         memory,
         AreaModel::from_spec(&sc.area)?,
         SiliconBudget::from_spec(&sc.budget)?,
-    ))
+    );
+    Ok(match law_from_scenario(sc)? {
+        None => model,
+        Some(law) => model.with_law(law),
+    })
 }
 
 /// The fully assembled APS driver for a scenario: model, design space
@@ -293,6 +330,60 @@ mod tests {
         sc.oracle.mode = c2_config::OracleMode::Phase;
         let err = gpu_sweep_from_scenario(&sc).unwrap_err();
         assert!(matches!(err, Error::Optimization(ref w) if w.contains("cpu-cmp backend")));
+    }
+
+    #[test]
+    fn law_from_scenario_selects_and_validates() {
+        let mut sc = Scenario::default();
+        // Default: Sun-Ni stays on the built-in (None) path.
+        assert!(law_from_scenario(&sc).unwrap().is_none());
+
+        sc.speedup.law = c2_config::LawKind::Amdahl;
+        assert_eq!(law_from_scenario(&sc).unwrap().unwrap().name(), "amdahl");
+
+        sc.speedup.law = c2_config::LawKind::MemoryWall;
+        sc.speedup.memory_wall.beta = 0.7;
+        sc.speedup.memory_wall.n_sat = 32.0;
+        let law = law_from_scenario(&sc).unwrap().unwrap();
+        assert_eq!(law.name(), "memory-wall");
+        // Saturated: beta = 0.7 of parallel work is stuck at n_sat.
+        assert!(law.speedup(0.0, 512.0) < law.work_scale(512.0) * 512.0);
+
+        sc.speedup.memory_wall.beta = 2.0;
+        let err = law_from_scenario(&sc).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { name: "beta", .. }));
+
+        sc.speedup.law = c2_config::LawKind::Usl;
+        sc.speedup.usl = c2_config::UslSpec {
+            sigma: Some(0.05),
+            kappa: 0.001,
+        };
+        assert_eq!(law_from_scenario(&sc).unwrap().unwrap().name(), "usl");
+    }
+
+    #[test]
+    fn non_default_law_changes_the_assembled_model() {
+        let (w, ch, chip) = characterized();
+        let sc = Scenario::default();
+        let g = scale_function(&sc, w.as_ref());
+        let sun_ni = model_from_scenario(&sc, &ch, &chip, g).unwrap();
+
+        let mut amdahl_sc = Scenario::default();
+        amdahl_sc.speedup.law = c2_config::LawKind::Amdahl;
+        let amdahl = model_from_scenario(&amdahl_sc, &ch, &chip, g).unwrap();
+
+        // Same point, different law ⇒ different analytic time (the
+        // stencil workload's g(N) = N is far from fixed-size).
+        let v = crate::model::DesignVariables {
+            a0: 4.0,
+            a1: 0.25,
+            a2: 1.0,
+            n: 16.0,
+        };
+        assert!(sun_ni.law.is_none());
+        assert!(amdahl.law.is_some());
+        assert!(amdahl.execution_time(&v) < sun_ni.execution_time(&v));
+        assert_eq!(amdahl.problem_size(16.0), amdahl.program.ic0);
     }
 
     #[test]

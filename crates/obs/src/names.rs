@@ -122,6 +122,47 @@ pub const BACKEND_METRIC_NAMES: &[&str] = &[
 ];
 
 // ---------------------------------------------------------------------------
+// Surrogate screening (`run --screen`)
+// ---------------------------------------------------------------------------
+//
+// Telemetry about the active-learning screening stage. All ops-sink:
+// how many rounds the acquisition loop ran and how many candidates the
+// surrogate screened out is recovery-style attribution (a resumed run
+// replays fewer live evaluations), while the screened outcome itself
+// is pinned by the law-validation harness and the journal bytes.
+
+/// Candidate points sent to the real oracle by the screening stage
+/// (initial seeding + acquisition rounds). Ops sink.
+pub const SCREEN_TRUE_EVALUATIONS_TOTAL: &str = "screen_true_evaluations_total";
+
+/// Candidate points the surrogate screened out (never simulated; their
+/// times are committee predictions). Ops sink.
+pub const SCREEN_SCREENED_OUT_TOTAL: &str = "screen_screened_out_total";
+
+/// Acquisition rounds the screening loop ran (committee retrains). Ops
+/// sink.
+pub const SCREEN_ROUNDS_TOTAL: &str = "screen_rounds_total";
+
+/// Journaled evaluations replayed instead of re-run on `--resume`. Ops
+/// sink.
+pub const SCREEN_RESUMED_TOTAL: &str = "screen_resumed_total";
+
+/// Worst committee disagreement (ln-time spread) among still-screened
+/// candidates when the loop stopped (gauge, per-mille). Ops sink.
+pub const SCREEN_FINAL_SPREAD_PERMILLE: &str = "screen_final_spread_permille";
+
+/// Every registered screening metric name, mirroring
+/// [`BACKEND_METRIC_NAMES`]: emission sites must use the constants
+/// above.
+pub const SCREEN_METRIC_NAMES: &[&str] = &[
+    SCREEN_TRUE_EVALUATIONS_TOTAL,
+    SCREEN_SCREENED_OUT_TOTAL,
+    SCREEN_ROUNDS_TOTAL,
+    SCREEN_RESUMED_TOTAL,
+    SCREEN_FINAL_SPREAD_PERMILLE,
+];
+
+// ---------------------------------------------------------------------------
 // Service layer (`c2bound-tool serve`)
 // ---------------------------------------------------------------------------
 //

@@ -892,7 +892,7 @@ impl SweepRunner {
     /// The storage stack this run persists through: plain disk, or
     /// disk wrapped in a [`ChaosStorage`] when a chaos plan is armed.
     /// Built fresh per run so the chaos write counter starts at zero.
-    fn storage(&self) -> Box<dyn Storage> {
+    pub(crate) fn storage(&self) -> Box<dyn Storage> {
         match &self.config.chaos {
             Some(plan) if !plan.is_none() => Box::new(
                 ChaosStorage::new(Box::new(DiskStorage), *plan)

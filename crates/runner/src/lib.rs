@@ -26,7 +26,12 @@
 //!   memoizes oracle results within and across `--resume` runs; the
 //!   identity binds the plan and scenario (or positional-workload)
 //!   fingerprints, so a shared cache file can only miss, never
-//!   mis-serve, across different sweeps.
+//!   mis-serve, across different sweeps;
+//! * [`screen`] — active-learning surrogate screening: a committee of
+//!   `c2-ann` MLPs trained online during the sweep routes only
+//!   high-uncertainty candidates to the true oracle, with a
+//!   deterministic acquisition rule so journals and outcomes stay
+//!   bit-identical across thread counts and kill/resume histories.
 //!
 //! ```
 //! use c2_bound::{Aps, C2BoundModel, DesignPoint, DesignSpace};
@@ -55,6 +60,7 @@ pub mod chaos;
 pub mod engine;
 pub mod fault_oracle;
 pub mod journal;
+pub mod screen;
 pub mod serve;
 pub mod shard;
 pub mod storage;
@@ -71,6 +77,7 @@ pub use journal::{
     bind_fingerprint, plan_fingerprint, Checkpoint, JobRecord, JournalHeader, JournalWriter,
     SyncPolicy,
 };
+pub use screen::{ScreenConfig, ScreenReport};
 pub use serve::{Daemon, JobState, ScenarioExecutor, ServeOptions, ServePolicy, ServeReport};
 pub use shard::{partition, shard_count, shard_of, BufferSink};
 pub use storage::{DiskStorage, Storage, StorageFile};

@@ -1,0 +1,360 @@
+//! The pluggable scalability-law family.
+//!
+//! The paper hard-wires Sun-Ni's memory-bounded law into every speedup
+//! expression, but related work shows a single law mispredicts once
+//! bandwidth contention binds: Furtunato et al. ("When parallel
+//! speedups hit the memory wall") add a bandwidth-saturation term, and
+//! Gunther's Universal Scalability Law adds a coherency penalty that
+//! makes speedup *retrograde* past a critical core count. The
+//! [`ScalabilityLaw`] trait abstracts all of them behind one
+//! object-safe interface so models, scenarios and sweeps can select a
+//! law at run time.
+//!
+//! Contract (see DESIGN.md §15):
+//!
+//! * `work_scale(n)` — how much the executed problem grows when `n`
+//!   cores (and their memory) are provisioned: `W(N)/W(1)`. Fixed-size
+//!   laws return `1`.
+//! * `serial_time(f_seq, n)` — normalized time to run the (possibly
+//!   scaled) problem on **one** core: `1` for fixed-size laws,
+//!   `f + (1-f)·g(N)` for Sun-Ni.
+//! * `time_factor(f_seq, n)` — normalized parallel execution time on
+//!   `n` cores. This is the factor [the model's] `execution_time`
+//!   multiplies into its cycle estimate, so for `SunNi` its float
+//!   evaluation order is kept **bit-identical** to the pre-trait code
+//!   path (pinned by `tests/golden/pre_law_*`).
+//! * `speedup(f_seq, n) = serial_time / time_factor`, with `S(1) = 1`
+//!   and `S(N) ≤ N` for every law in the family.
+//!
+//! All methods require `f_seq ∈ [0, 1]` and `n ≥ 1` (debug-asserted,
+//! matching [`crate::laws`]).
+
+use crate::scale::ScaleFunction;
+use crate::{laws, Error, Result};
+
+/// An object-safe scalability law: how speedup (equivalently,
+/// normalized parallel time) evolves with core count.
+pub trait ScalabilityLaw: std::fmt::Debug + Send + Sync {
+    /// Stable identity string (`"sun-ni"`, `"amdahl"`, `"memory-wall"`,
+    /// `"usl"`) — the spelling used by scenarios and the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Problem-size scale `W(N)/W(1)`: how much work the user actually
+    /// runs when `n` cores' worth of memory is available. `1` for
+    /// fixed-size laws.
+    fn work_scale(&self, n: f64) -> f64;
+
+    /// Normalized time to execute the scaled problem on a single core.
+    fn serial_time(&self, f_seq: f64, n: f64) -> f64;
+
+    /// Normalized parallel execution time on `n` cores (the factor the
+    /// core model multiplies into its per-instruction cycle estimate).
+    fn time_factor(&self, f_seq: f64, n: f64) -> f64;
+
+    /// Speedup `S(N) = serial_time / time_factor`.
+    fn speedup(&self, f_seq: f64, n: f64) -> f64 {
+        self.serial_time(f_seq, n) / self.time_factor(f_seq, n)
+    }
+
+    /// Whether executed work grows at least linearly in `N` — the
+    /// paper's §III.C case split (no finite `N` minimizes execution
+    /// time; optimize throughput instead). Fixed-size laws return
+    /// `false`.
+    fn work_is_at_least_linear(&self) -> bool {
+        false
+    }
+}
+
+/// Sun-Ni's memory-bounded law (paper Eq. 4) — the default, wrapping
+/// today's `g(N)`-driven path bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SunNi {
+    /// The problem-size scale function `g(N)`.
+    pub g: ScaleFunction,
+}
+
+impl SunNi {
+    /// Sun-Ni with scale function `g`.
+    pub fn new(g: ScaleFunction) -> Self {
+        SunNi { g }
+    }
+}
+
+impl ScalabilityLaw for SunNi {
+    fn name(&self) -> &'static str {
+        "sun-ni"
+    }
+
+    fn work_scale(&self, n: f64) -> f64 {
+        self.g.eval(n)
+    }
+
+    fn serial_time(&self, f_seq: f64, n: f64) -> f64 {
+        f_seq + (1.0 - f_seq) * self.g.eval(n)
+    }
+
+    fn time_factor(&self, f_seq: f64, n: f64) -> f64 {
+        // Exactly the pre-trait expression from the model's
+        // execution_time: `f + g(N)·(1-f)/N`, in this operation order.
+        let gn = self.g.eval(n);
+        f_seq + gn * (1.0 - f_seq) / n
+    }
+
+    fn speedup(&self, f_seq: f64, n: f64) -> f64 {
+        laws::sun_ni(f_seq, n, &self.g)
+    }
+
+    fn work_is_at_least_linear(&self) -> bool {
+        self.g.is_at_least_linear()
+    }
+}
+
+/// Amdahl's fixed-size law — the `g(N) = 1` degenerate case of Sun-Ni.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Amdahl;
+
+impl ScalabilityLaw for Amdahl {
+    fn name(&self) -> &'static str {
+        "amdahl"
+    }
+
+    fn work_scale(&self, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn serial_time(&self, _f_seq: f64, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn time_factor(&self, f_seq: f64, n: f64) -> f64 {
+        f_seq + (1.0 - f_seq) / n
+    }
+}
+
+/// Furtunato-style memory-wall law: a fraction `beta` of the parallel
+/// work is bandwidth-bound and stops scaling once `n` exceeds the
+/// saturation point `n_sat` (aggregate demand fills the memory roof),
+/// while the remaining `1 - beta` keeps scaling as `1/N`:
+///
+/// ```text
+/// T(N)/T(1) = f + (1-f) · [ (1-β)/N + β/min(N, N_sat) ]
+/// ```
+///
+/// `beta = 0` (or `n_sat = ∞`) degenerates to Amdahl; past `n_sat` the
+/// speedup plateaus at the memory wall instead of climbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryWall {
+    /// Bandwidth-bound fraction of the parallel work, in `[0, 1]`.
+    pub beta: f64,
+    /// Core count at which aggregate bandwidth demand saturates the
+    /// memory system (`≥ 1`).
+    pub n_sat: f64,
+}
+
+impl MemoryWall {
+    /// Validated constructor: `beta ∈ [0, 1]`, `n_sat ≥ 1` and finite.
+    pub fn new(beta: f64, n_sat: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&beta) || !beta.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        if !(n_sat >= 1.0) || !n_sat.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "n_sat",
+                value: n_sat,
+            });
+        }
+        Ok(MemoryWall { beta, n_sat })
+    }
+}
+
+impl ScalabilityLaw for MemoryWall {
+    fn name(&self) -> &'static str {
+        "memory-wall"
+    }
+
+    fn work_scale(&self, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn serial_time(&self, _f_seq: f64, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn time_factor(&self, f_seq: f64, n: f64) -> f64 {
+        let effective = n.min(self.n_sat);
+        f_seq + (1.0 - f_seq) * ((1.0 - self.beta) / n + self.beta / effective)
+    }
+}
+
+/// Gunther's Universal Scalability Law:
+///
+/// ```text
+/// S(N) = N / (1 + σ·(N-1) + κ·N·(N-1))
+/// ```
+///
+/// `sigma` is the contention (serialization) coefficient and `kappa`
+/// the coherency (crosstalk) coefficient. With `kappa > 0` the law has
+/// a *retrograde* region: speedup peaks near `N* = √((1-σ)/κ)` and
+/// falls beyond it. When `sigma` is `None` the model's measured
+/// sequential fraction `f_seq` is used as the contention coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Usl {
+    /// Contention coefficient `σ ∈ [0, 1]`; `None` adopts `f_seq`.
+    pub sigma: Option<f64>,
+    /// Coherency coefficient `κ ≥ 0`.
+    pub kappa: f64,
+}
+
+impl Usl {
+    /// Validated constructor: `sigma ∈ [0, 1]` when given, `kappa ≥ 0`,
+    /// both finite.
+    pub fn new(sigma: Option<f64>, kappa: f64) -> Result<Self> {
+        if let Some(s) = sigma {
+            if !(0.0..=1.0).contains(&s) || !s.is_finite() {
+                return Err(Error::InvalidParameter {
+                    name: "sigma",
+                    value: s,
+                });
+            }
+        }
+        if !(kappa >= 0.0) || !kappa.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+            });
+        }
+        Ok(Usl { sigma, kappa })
+    }
+
+    /// The effective contention coefficient for a profile with
+    /// sequential fraction `f_seq`.
+    pub fn effective_sigma(&self, f_seq: f64) -> f64 {
+        self.sigma.unwrap_or(f_seq)
+    }
+}
+
+impl ScalabilityLaw for Usl {
+    fn name(&self) -> &'static str {
+        "usl"
+    }
+
+    fn work_scale(&self, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn serial_time(&self, _f_seq: f64, _n: f64) -> f64 {
+        1.0
+    }
+
+    fn time_factor(&self, f_seq: f64, n: f64) -> f64 {
+        let sigma = self.effective_sigma(f_seq);
+        (1.0 + sigma * (n - 1.0) + self.kappa * n * (n - 1.0)) / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sun_ni_law_matches_free_functions_exactly() {
+        for g in [
+            ScaleFunction::Constant,
+            ScaleFunction::Power(1.0),
+            ScaleFunction::Power(1.5),
+            ScaleFunction::Log2,
+        ] {
+            let law = SunNi::new(g);
+            for f in [0.0, 0.05, 0.3, 1.0] {
+                for n in [1.0, 2.0, 16.0, 512.0] {
+                    // Bit-identical, not merely close: the law is a
+                    // wrapper over the existing path.
+                    assert_eq!(
+                        law.speedup(f, n),
+                        laws::sun_ni(f, n, &g),
+                        "{g:?} f={f} n={n}"
+                    );
+                    let gn = g.eval(n);
+                    assert_eq!(law.time_factor(f, n), f + gn * (1.0 - f) / n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amdahl_law_matches_free_function() {
+        let law = Amdahl;
+        for f in [0.0, 0.1, 0.5] {
+            for n in [1.0, 8.0, 256.0] {
+                assert!((law.speedup(f, n) - laws::amdahl(f, n)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_wall_degenerates_to_amdahl_when_beta_zero() {
+        let wall = MemoryWall::new(0.0, 8.0).unwrap();
+        for n in [1.0, 4.0, 64.0] {
+            assert!((wall.speedup(0.1, n) - Amdahl.speedup(0.1, n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_wall_plateaus_past_saturation() {
+        let wall = MemoryWall::new(1.0, 8.0).unwrap();
+        // With f = 0 and everything bandwidth-bound, speedup is capped
+        // at n_sat no matter how many cores are added.
+        assert!((wall.speedup(0.0, 8.0) - 8.0).abs() < 1e-12);
+        assert!((wall.speedup(0.0, 512.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usl_peak_location_matches_gunther() {
+        // S(N) peaks near sqrt((1 - sigma) / kappa).
+        let usl = Usl::new(Some(0.05), 0.001).unwrap();
+        let peak = ((1.0 - 0.05f64) / 0.001).sqrt();
+        let s_peak = usl.speedup(0.0, peak.round());
+        assert!(s_peak > usl.speedup(0.0, 2.0 * peak.round()));
+        assert!(s_peak > usl.speedup(0.0, (peak / 2.0).round()));
+    }
+
+    #[test]
+    fn usl_adopts_f_seq_when_sigma_unset() {
+        let usl = Usl::new(None, 0.0).unwrap();
+        for n in [2.0, 32.0] {
+            // kappa = 0, sigma = f_seq: USL reduces exactly to Amdahl.
+            assert!((usl.speedup(0.2, n) - laws::amdahl(0.2, n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constructors_reject_out_of_domain_parameters() {
+        assert!(MemoryWall::new(-0.1, 8.0).is_err());
+        assert!(MemoryWall::new(1.1, 8.0).is_err());
+        assert!(MemoryWall::new(0.5, 0.5).is_err());
+        assert!(MemoryWall::new(0.5, f64::NAN).is_err());
+        assert!(Usl::new(Some(-0.1), 0.0).is_err());
+        assert!(Usl::new(Some(2.0), 0.0).is_err());
+        assert!(Usl::new(None, -1.0).is_err());
+        assert!(Usl::new(None, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_dispatches() {
+        let laws: Vec<Box<dyn ScalabilityLaw>> = vec![
+            Box::new(SunNi::new(ScaleFunction::Power(1.5))),
+            Box::new(Amdahl),
+            Box::new(MemoryWall::new(0.4, 16.0).unwrap()),
+            Box::new(Usl::new(Some(0.02), 0.0005).unwrap()),
+        ];
+        for law in &laws {
+            assert!((law.speedup(0.1, 1.0) - 1.0).abs() < 1e-9, "{}", law.name());
+            assert!(law.time_factor(0.1, 64.0) > 0.0, "{}", law.name());
+        }
+        let names: Vec<&str> = laws.iter().map(|l| l.name()).collect();
+        assert_eq!(names, ["sun-ni", "amdahl", "memory-wall", "usl"]);
+    }
+}

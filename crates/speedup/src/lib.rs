@@ -10,6 +10,9 @@
 //!   reproducing the paper's Table I.
 //! * [`memory_bound`] — memory-capacity-bounded problem sizes `W = h(M)`
 //!   and the on-chip working-set bound of §V.
+//! * [`law`] — the pluggable [`ScalabilityLaw`] family generalizing the
+//!   paper's Sun-Ni default: Amdahl, a Furtunato-style memory-wall law,
+//!   and Gunther's Universal Scalability Law.
 //!
 //! ```
 //! use c2_speedup::{laws, scale::ScaleFunction};
@@ -24,10 +27,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod law;
 pub mod laws;
 pub mod memory_bound;
 pub mod scale;
 
+pub use law::{Amdahl, MemoryWall, ScalabilityLaw, SunNi, Usl};
 pub use laws::{amdahl, efficiency, gustafson, sun_ni};
 pub use memory_bound::{BoundKind, MemoryBoundedProblem, OnChipBound};
 pub use scale::{Complexity, ComplexityPair, ScaleFunction};

@@ -1,0 +1,141 @@
+//! Property-based invariants of the [`ScalabilityLaw`] family.
+//!
+//! Every law in the family must satisfy the structural facts the
+//! DSE stack leans on: speedup never exceeds the core count, `S(1) = 1`,
+//! Amdahl is exactly the `g(N) = 1` degenerate case of Sun-Ni, the
+//! memory wall only ever costs speedup relative to Amdahl, and USL has
+//! a retrograde region *iff* its coherency coefficient is positive.
+
+use proptest::prelude::*;
+
+use c2_speedup::law::{Amdahl, MemoryWall, ScalabilityLaw, SunNi, Usl};
+use c2_speedup::scale::ScaleFunction;
+
+/// Strategy: a random law from the whole family, boxed. The vendored
+/// proptest shim has no `prop_oneof!`, so a selector index picks the
+/// variant and the remaining draws parameterize it.
+fn any_law() -> impl Strategy<Value = Box<dyn ScalabilityLaw>> {
+    (
+        0u8..6,
+        0.0f64..2.0,   // Sun-Ni power exponent
+        0.0f64..=1.0,  // memory-wall beta
+        1.0f64..256.0, // memory-wall n_sat
+        0.0f64..0.5,   // USL sigma
+        0.0f64..0.01,  // USL kappa
+    )
+        .prop_map(|(which, b, beta, n_sat, sigma, kappa)| match which {
+            0 => Box::new(SunNi::new(ScaleFunction::Power(b))) as Box<dyn ScalabilityLaw>,
+            1 => Box::new(SunNi::new(ScaleFunction::Constant)),
+            2 => Box::new(SunNi::new(ScaleFunction::Log2)),
+            3 => Box::new(Amdahl),
+            4 => Box::new(MemoryWall::new(beta, n_sat).unwrap()),
+            _ => Box::new(Usl::new(Some(sigma), kappa).unwrap()),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `S(N) ≤ N` for every law: adding cores can never buy more than
+    /// linear speedup (Sun-Ni's scaled problem grows the work too).
+    #[test]
+    fn speedup_never_exceeds_core_count(
+        law in any_law(),
+        f in 0.0f64..=1.0,
+        n in 1.0f64..1024.0,
+    ) {
+        let s = law.speedup(f, n);
+        prop_assert!(s <= n * (1.0 + 1e-9), "{}: S({n}) = {s}", law.name());
+        prop_assert!(s > 0.0, "{}: S({n}) = {s}", law.name());
+    }
+
+    /// `S(1) = 1` and `time_factor(1) = serial_time(1)` for every law.
+    #[test]
+    fn one_core_is_the_identity(law in any_law(), f in 0.0f64..=1.0) {
+        prop_assert!((law.speedup(f, 1.0) - 1.0).abs() < 1e-9, "{}", law.name());
+        let tf = law.time_factor(f, 1.0);
+        let st = law.serial_time(f, 1.0);
+        prop_assert!((tf - st).abs() < 1e-9, "{}: {tf} vs {st}", law.name());
+    }
+
+    /// Amdahl is *exactly* Sun-Ni with `g(N) = 1` — same bits, not
+    /// merely close, for the speedup and the normalized time factor.
+    #[test]
+    fn amdahl_is_degenerate_sun_ni(f in 0.0f64..=1.0, n in 1.0f64..1024.0) {
+        let degenerate = SunNi::new(ScaleFunction::Constant);
+        let s_sn = degenerate.speedup(f, n);
+        let s_am = Amdahl.speedup(f, n);
+        prop_assert!((s_sn - s_am).abs() < 1e-12, "{s_sn} vs {s_am}");
+        let tf_sn = degenerate.time_factor(f, n);
+        let tf_am = Amdahl.time_factor(f, n);
+        prop_assert!((tf_sn - tf_am).abs() < 1e-12, "{tf_sn} vs {tf_am}");
+    }
+
+    /// The memory wall only ever costs speedup relative to Amdahl, and
+    /// degenerates to Amdahl exactly when `beta = 0`.
+    #[test]
+    fn memory_wall_never_beats_amdahl(
+        beta in 0.0f64..=1.0,
+        n_sat in 1.0f64..256.0,
+        f in 0.0f64..=1.0,
+        n in 1.0f64..1024.0,
+    ) {
+        let wall = MemoryWall::new(beta, n_sat).unwrap();
+        prop_assert!(wall.speedup(f, n) <= Amdahl.speedup(f, n) + 1e-9);
+        let free = MemoryWall::new(0.0, n_sat).unwrap();
+        prop_assert!((free.speedup(f, n) - Amdahl.speedup(f, n)).abs() < 1e-12);
+    }
+
+    /// With `kappa = 0` USL is monotone non-decreasing in N — no
+    /// retrograde region without a coherency penalty.
+    #[test]
+    fn usl_without_coherency_is_monotone(
+        sigma in 0.0f64..=1.0,
+        f in 0.0f64..=1.0,
+        n1 in 1.0f64..512.0,
+        step in 1.0f64..512.0,
+    ) {
+        let usl = Usl::new(Some(sigma), 0.0).unwrap();
+        let n2 = n1 + step;
+        prop_assert!(
+            usl.speedup(f, n2) >= usl.speedup(f, n1) - 1e-9,
+            "S({n2}) < S({n1}) at sigma {sigma}"
+        );
+    }
+
+    /// With `kappa > 0` USL *does* have a retrograde region: speedup at
+    /// four times the analytic peak `N* = sqrt((1-sigma)/kappa)` is
+    /// strictly below the peak value.
+    #[test]
+    fn usl_with_coherency_is_retrograde(
+        sigma in 0.0f64..0.9,
+        kappa in 1e-4f64..0.01,
+    ) {
+        let usl = Usl::new(Some(sigma), kappa).unwrap();
+        let peak = ((1.0 - sigma) / kappa).sqrt().max(1.0);
+        let s_peak = usl.speedup(0.0, peak);
+        let s_past = usl.speedup(0.0, 4.0 * peak);
+        prop_assert!(
+            s_past < s_peak,
+            "no retrograde: S({peak}) = {s_peak}, S({}) = {s_past}",
+            4.0 * peak
+        );
+    }
+
+    /// Speedup equals serial_time / time_factor for every law — the
+    /// default-method identity the model's execution-time path assumes.
+    #[test]
+    fn speedup_is_serial_over_parallel_time(
+        law in any_law(),
+        f in 0.0f64..=1.0,
+        n in 1.0f64..1024.0,
+    ) {
+        let ratio = law.serial_time(f, n) / law.time_factor(f, n);
+        let s = law.speedup(f, n);
+        prop_assert!(
+            (ratio - s).abs() <= 1e-9 * s.abs().max(1.0),
+            "{}: {ratio} vs {s}",
+            law.name()
+        );
+    }
+}

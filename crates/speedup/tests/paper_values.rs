@@ -47,6 +47,61 @@ fn eq4_with_superlinear_g_gives_6_6_over_1_8() {
     assert!(s > gustafson(F_SEQ, N));
 }
 
+// ---------------------------------------------------------------------
+// Table I pins: the paper's per-application g(N) constants, evaluated
+// at N = 16 and hand-computed. The numeric derivation (derive_g) must
+// reproduce the closed forms, and Eq. 4 evaluated with those g values
+// must hit the hand-worked speedups.
+// ---------------------------------------------------------------------
+
+use c2_speedup::scale::ComplexityPair;
+
+#[test]
+fn table1_tmm_g_of_16_is_64() {
+    // Tiled MM: W = 2n³, M = 3n² ⇒ g(N) = N^{3/2}; g(16) = 16^1.5 = 64.
+    assert!((ScaleFunction::Power(1.5).eval(16.0) - 64.0).abs() < TOL);
+    let derived = ComplexityPair::tiled_matrix_multiplication()
+        .derive_g(64.0, 16.0)
+        .unwrap();
+    assert!((derived - 64.0).abs() / 64.0 < 1e-6, "derived {derived}");
+}
+
+#[test]
+fn table1_linear_rows_g_of_16_is_16() {
+    // Band sparse MM and stencil: W = O(n), M = O(n) ⇒ g(N) = N.
+    for pair in [ComplexityPair::band_sparse_mm(), ComplexityPair::stencil()] {
+        let derived = pair.derive_g(100.0, 16.0).unwrap();
+        assert!((derived - 16.0).abs() / 16.0 < 1e-6, "derived {derived}");
+    }
+}
+
+#[test]
+fn table1_fft_g_of_16_is_22_4_at_n0_1024() {
+    // FFT: computation n·log₂n, memory n. Exact g(N) at base n₀ is
+    // N·(1 + log₂N / log₂n₀); at n₀ = 1024, N = 16:
+    // 16·(1 + 4/10) = 22.4 — superlinear but far below TMM's 64.
+    let derived = ComplexityPair::fft().derive_g(1024.0, 16.0).unwrap();
+    assert!((derived - 22.4).abs() < 0.05, "derived {derived}");
+}
+
+#[test]
+fn table1_eq4_speedups_at_n_16_hand_computed() {
+    // Eq. 4 at f_seq = 0.1, N = 16 with Table I's g values:
+    // * TMM, g = 64:  S = (0.1 + 0.9·64) / (0.1 + 0.9·64/16)
+    //                   = 57.7 / 3.7 = 15.594594…
+    // * stencil, g = 16: S = 0.1 + 0.9·16 = 14.5 (Gustafson's point)
+    // * Amdahl, g = 1:  S = 1 / (0.1 + 0.9/16) = 6.4
+    let f = 0.1;
+    let tmm = sun_ni(f, 16.0, &ScaleFunction::Power(1.5));
+    assert!((tmm - 57.7 / 3.7).abs() < TOL, "tmm {tmm}");
+    let stencil = sun_ni(f, 16.0, &ScaleFunction::Power(1.0));
+    assert!((stencil - 14.5).abs() < TOL, "stencil {stencil}");
+    let fixed = sun_ni(f, 16.0, &ScaleFunction::Constant);
+    assert!((fixed - 6.4).abs() < TOL, "fixed {fixed}");
+    // Table ordering at equal N: Amdahl < linear rows < TMM.
+    assert!(fixed < stencil && stencil < tmm);
+}
+
 #[test]
 fn eq4_orders_the_three_regimes_as_the_paper_does() {
     // Amdahl < Gustafson < memory-bounded superlinear, at f=0.2, N=4.

@@ -105,7 +105,7 @@ use c2_bound::{
     BackendSweep, C2BoundModel, Ceiling, GpuSmBackend, PhaseOracle, PhasePlan, PhaseSummary,
     ProgramProfile,
 };
-use c2_config::{BackendKind, BackendSpec, OracleMode, Scenario, SpaceSpec};
+use c2_config::{BackendKind, BackendSpec, LawKind, OracleMode, Scenario, SpaceSpec};
 use c2_sim::area::{AreaModel, SiliconBudget};
 use c2_sim::ChipConfig;
 use c2_speedup::scale::ScaleFunction;
@@ -123,14 +123,16 @@ const USAGE: &str = "usage:\n  c2bound-tool characterize <tmm|spmv|stencil|fft|f
      [--deadline-ms D] [--max-attempts K] [--journal PATH] [--resume] [--cache PATH] \
      [--metrics-out PATH] [--sync never|on-checkpoint|always] [--checkpoint-every N] \
      [--chaos crash-at=N,torn=K,enospc-at=N,short-at=N,seed=S] [--oracle-mode full|phase] \
-     [--backend cpu-cmp|gpu-sm] [--roofline-out PATH]\n  \
+     [--backend cpu-cmp|gpu-sm] [--law sun-ni|amdahl|memory-wall|usl] [--screen] \
+     [--roofline-out PATH]\n  \
      c2bound-tool serve [--addr HOST:PORT] [--dir PATH] [--scenario FILE] [--cache PATH] \
      [--resume] [--drain-on-idle] [--executors N] [--queue-depth N] [--budget N]\n  \
      c2bound-tool submit --addr HOST:PORT --scenario FILE [--tenant NAME] [--wait] [--poll-ms N]\n  \
      c2bound-tool status --addr HOST:PORT [JOB]\n  \
      c2bound-tool shutdown --addr HOST:PORT [--wait]\n  \
      c2bound-tool journal compact <PATH>\n  \
-     c2bound-tool scenario init [--backend cpu-cmp|gpu-sm] [PATH] | validate <PATH> | show <PATH>\n  \
+     c2bound-tool scenario init [--backend cpu-cmp|gpu-sm] [--law sun-ni|amdahl|memory-wall|usl] \
+     [PATH] | validate <PATH> | show <PATH>\n  \
      c2bound-tool roofline <FILE>\n  \
      c2bound-tool obs-report <metrics.json> [--prom|--json]";
 
@@ -371,6 +373,62 @@ fn parse_chaos(raw: &str) -> c2_runner::ChaosPlan {
 /// defaults) or by a declarative scenario file; flags override the
 /// scenario's runner policy in both forms.
 #[allow(clippy::too_many_lines)]
+/// Run the supervised sweep for `cmd_run`, dispatching between full
+/// enumeration and surrogate screening on the scenario's `screen`
+/// block. Screening prints its own accounting line; its operational
+/// telemetry (the `SCREEN_*` counters) is deliberately not folded
+/// into `--metrics-out`, which golden tests bit-compare.
+fn run_supervised(
+    runner: &c2_runner::SweepRunner,
+    sc: &Scenario,
+    sweep: &dyn BackendSweep,
+    pricer: &Pricer<'_>,
+    journal: Option<&std::path::Path>,
+    resume: bool,
+    recorder: &c2_obs::Recorder,
+) -> c2_runner::RunSummary {
+    if sc.screen.enabled {
+        let screen_cfg = c2_runner::ScreenConfig::from_scenario(sc).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let (summary, report) = runner
+            .run_screened(
+                sweep,
+                &screen_cfg,
+                || pricer.clone(),
+                journal,
+                resume,
+                recorder,
+                &c2_obs::NullSink,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "screen report: {} true evaluations of {} candidates \
+             ({} screened out, {} resumed) in {} rounds; \
+             final committee spread {}{}",
+            report.true_evaluations,
+            report.plan_jobs,
+            report.screened_out,
+            report.resumed,
+            report.rounds,
+            fmt_num(report.final_spread),
+            if report.converged { " (converged)" } else { "" }
+        );
+        summary
+    } else {
+        runner
+            .run_aps_observed(sweep, || pricer.clone(), journal, resume, recorder)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+    }
+}
+
 fn cmd_run(args: &[String]) {
     let mut scenario_path: Option<String> = None;
     let mut name: Option<String> = None;
@@ -387,6 +445,8 @@ fn cmd_run(args: &[String]) {
     let mut chaos: Option<c2_runner::ChaosPlan> = None;
     let mut oracle_mode: Option<OracleMode> = None;
     let mut backend: Option<BackendKind> = None;
+    let mut law: Option<LawKind> = None;
+    let mut screen_flag = false;
     let mut roofline_out: Option<std::path::PathBuf> = None;
     let mut resume = false;
     let mut rest = args.iter();
@@ -463,6 +523,16 @@ fn cmd_run(args: &[String]) {
                 Some(v) => roofline_out = Some(std::path::PathBuf::from(v)),
                 None => usage(),
             },
+            "--law" => match rest.next() {
+                Some(v) => {
+                    law = Some(LawKind::parse(v).unwrap_or_else(|| {
+                        eprintln!("error: invalid --law {v:?} (sun-ni|amdahl|memory-wall|usl)");
+                        std::process::exit(2);
+                    }));
+                }
+                None => usage(),
+            },
+            "--screen" => screen_flag = true,
             "--resume" => resume = true,
             other if !other.starts_with('-') => {
                 if name.is_none() {
@@ -509,6 +579,12 @@ fn cmd_run(args: &[String]) {
             if let Some(kind) = backend {
                 sc.backend.kind = kind;
             }
+            if let Some(l) = law {
+                sc.speedup.law = l;
+            }
+            if screen_flag {
+                sc.screen.enabled = true;
+            }
             let fp = sc.fingerprint();
             (sc, Some(fp))
         }
@@ -521,6 +597,12 @@ fn cmd_run(args: &[String]) {
             if let Some(kind) = backend {
                 sc.backend.kind = kind;
             }
+            if let Some(l) = law {
+                sc.speedup.law = l;
+            }
+            if screen_flag {
+                sc.screen.enabled = true;
+            }
             (sc, None)
         }
     };
@@ -532,6 +614,17 @@ fn cmd_run(args: &[String]) {
         eprintln!(
             "error: the phase-clustered oracle requires the cpu-cmp backend \
              (phase windows are C-AMAT-specific)"
+        );
+        std::process::exit(2);
+    }
+    // Same three-layer pattern for screening: the scenario validator
+    // rejects a stored phase+screen combination, this check catches
+    // one assembled by flag overrides, and `ScreenConfig` rejects it
+    // again for callers that bypass the CLI.
+    if sc.screen.enabled && sc.oracle.mode == OracleMode::Phase {
+        eprintln!(
+            "error: surrogate screening requires the full oracle \
+             (--screen is incompatible with --oracle-mode phase)"
         );
         std::process::exit(2);
     }
@@ -635,18 +728,15 @@ fn cmd_run(args: &[String]) {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
-            let summary = runner
-                .run_aps_observed(
-                    &sweep,
-                    || pricer.clone(),
-                    journal.as_deref(),
-                    resume,
-                    &recorder,
-                )
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
+            let summary = run_supervised(
+                &runner,
+                &sc,
+                &sweep,
+                &pricer,
+                journal.as_deref(),
+                resume,
+                &recorder,
+            );
             write_roofline_or_die(&sweep, &summary, fingerprint, roofline_out.as_deref());
             summary
         }
@@ -709,18 +799,15 @@ fn cmd_run(args: &[String]) {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
-            let summary = runner
-                .run_aps_observed(
-                    &aps,
-                    || pricer.clone(),
-                    journal.as_deref(),
-                    resume,
-                    &recorder,
-                )
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
+            let summary = run_supervised(
+                &runner,
+                &sc,
+                &aps,
+                &pricer,
+                journal.as_deref(),
+                resume,
+                &recorder,
+            );
             write_roofline_or_die(&aps, &summary, fingerprint, roofline_out.as_deref());
             summary
         }
@@ -829,6 +916,7 @@ fn cmd_scenario(args: &[String]) {
     match args.first().map(String::as_str) {
         Some("init") => {
             let mut kind = BackendKind::CpuCmp;
+            let mut law: Option<LawKind> = None;
             let mut path: Option<&String> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -842,11 +930,22 @@ fn cmd_scenario(args: &[String]) {
                         }
                         None => usage(),
                     },
+                    "--law" => match it.next() {
+                        Some(v) => {
+                            law = Some(LawKind::parse(v).unwrap_or_else(|| {
+                                eprintln!(
+                                    "error: invalid --law {v:?} (sun-ni|amdahl|memory-wall|usl)"
+                                );
+                                std::process::exit(2);
+                            }));
+                        }
+                        None => usage(),
+                    },
                     other if !other.starts_with('-') && path.is_none() => path = Some(arg),
                     _ => usage(),
                 }
             }
-            let sc = match kind {
+            let mut sc = match kind {
                 BackendKind::CpuCmp => Scenario::default(),
                 // The gpu-sm starter swaps in the reinterpreted axes
                 // (SM count, FP32 lanes/SM, occupancy target) so the
@@ -861,6 +960,9 @@ fn cmd_scenario(args: &[String]) {
                     ..Scenario::default()
                 },
             };
+            if let Some(l) = law {
+                sc.speedup.law = l;
+            }
             match path {
                 None => print!("{}", sc.render_pretty()),
                 Some(path) => {
@@ -1483,8 +1585,22 @@ impl c2_runner::ScenarioExecutor for PipelineExecutor {
             let sweep = gpu_sweep_from_scenario(sc).map_err(c2_runner::Error::Core)?;
             let pricer = Pricer::Gpu(&sweep);
             let runner = c2_runner::SweepRunner::new(config)?;
-            let summary =
-                runner.run_aps_full(&sweep, || pricer.clone(), Some(journal), resume, sink, ops)?;
+            let summary = if sc.screen.enabled {
+                let screen_cfg = c2_runner::ScreenConfig::from_scenario(sc)?;
+                runner
+                    .run_screened(
+                        &sweep,
+                        &screen_cfg,
+                        || pricer.clone(),
+                        Some(journal),
+                        resume,
+                        sink,
+                        ops,
+                    )?
+                    .0
+            } else {
+                runner.run_aps_full(&sweep, || pricer.clone(), Some(journal), resume, sink, ops)?
+            };
             ops.counter_add(
                 c2_obs::names::BACKEND_GPU_SM_POINTS_TOTAL,
                 summary.results.len() as u64,
@@ -1527,8 +1643,22 @@ impl c2_runner::ScenarioExecutor for PipelineExecutor {
             Some(oracle) => Pricer::Phase(oracle),
         };
         let runner = c2_runner::SweepRunner::new(config)?;
-        let summary =
-            runner.run_aps_full(&aps, || pricer.clone(), Some(journal), resume, sink, ops)?;
+        let summary = if sc.screen.enabled {
+            let screen_cfg = c2_runner::ScreenConfig::from_scenario(sc)?;
+            runner
+                .run_screened(
+                    &aps,
+                    &screen_cfg,
+                    || pricer.clone(),
+                    Some(journal),
+                    resume,
+                    sink,
+                    ops,
+                )?
+                .0
+        } else {
+            runner.run_aps_full(&aps, || pricer.clone(), Some(journal), resume, sink, ops)?
+        };
         ops.counter_add(
             c2_obs::names::BACKEND_CPU_CMP_POINTS_TOTAL,
             summary.results.len() as u64,
